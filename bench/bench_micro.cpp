@@ -1,0 +1,171 @@
+// E11 — microbenchmarks (google-benchmark): throughput of each pipeline
+// stage.  Not a paper artefact; establishes that the implementation scales
+// to collector-sized corpora (RouteViews rv2 held ~466k prefixes in 2013).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "bgpsim/observation.h"
+#include "core/asrank.h"
+#include "core/cones.h"
+#include "core/degrees.h"
+#include "mrt/table_dump_v2.h"
+#include "paths/sanitizer.h"
+#include "topogen/topogen.h"
+
+namespace {
+
+using namespace asrank;
+
+const topogen::GroundTruth& truth() {
+  static const auto t = topogen::generate(topogen::GenParams::preset("medium"));
+  return t;
+}
+
+const bgpsim::Observation& observation() {
+  static const auto obs = [] {
+    bgpsim::ObservationParams params;
+    params.full_vps = 20;
+    params.partial_vps = 5;
+    return bgpsim::observe(truth(), params);
+  }();
+  return obs;
+}
+
+const paths::PathCorpus& raw_corpus() {
+  static const auto corpus = paths::PathCorpus::from_records(observation().routes);
+  return corpus;
+}
+
+const paths::PathCorpus& clean_corpus() {
+  static const auto corpus = [] {
+    paths::SanitizerConfig config;
+    config.ixp_asns.insert(truth().ixp_asns.begin(), truth().ixp_asns.end());
+    return paths::sanitize(raw_corpus(), config).corpus;
+  }();
+  return corpus;
+}
+
+void BM_TopologyGenerate(benchmark::State& state) {
+  auto params = topogen::GenParams::preset("small");
+  for (auto _ : state) {
+    auto generated = topogen::generate(params);
+    benchmark::DoNotOptimize(generated.graph.link_count());
+  }
+}
+BENCHMARK(BM_TopologyGenerate);
+
+void BM_RouteSimPerDestination(benchmark::State& state) {
+  const bgpsim::RouteSimulator simulator(truth().graph);
+  const auto ases = simulator.ases();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto table = simulator.routes_to(ases[i % ases.size()]);
+    benchmark::DoNotOptimize(table.reachable_count());
+    ++i;
+  }
+}
+BENCHMARK(BM_RouteSimPerDestination);
+
+void BM_Sanitize(benchmark::State& state) {
+  paths::SanitizerConfig config;
+  config.ixp_asns.insert(truth().ixp_asns.begin(), truth().ixp_asns.end());
+  for (auto _ : state) {
+    auto result = paths::sanitize(raw_corpus(), config);
+    benchmark::DoNotOptimize(result.stats.output_records);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raw_corpus().size()));
+}
+BENCHMARK(BM_Sanitize);
+
+void BM_DegreesCompute(benchmark::State& state) {
+  for (auto _ : state) {
+    auto degrees = core::Degrees::compute(clean_corpus());
+    benchmark::DoNotOptimize(degrees.ranked().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(clean_corpus().size()));
+}
+BENCHMARK(BM_DegreesCompute);
+
+void BM_CliqueInference(benchmark::State& state) {
+  const auto degrees = core::Degrees::compute(clean_corpus());
+  for (auto _ : state) {
+    auto clique = core::infer_clique(clean_corpus(), degrees, core::CliqueConfig{});
+    benchmark::DoNotOptimize(clique.size());
+  }
+}
+BENCHMARK(BM_CliqueInference);
+
+void BM_FullInference(benchmark::State& state) {
+  core::InferenceConfig config;
+  config.sanitizer.ixp_asns.insert(truth().ixp_asns.begin(), truth().ixp_asns.end());
+  const core::AsRankInference inference(config);
+  for (auto _ : state) {
+    auto result = inference.run(raw_corpus());
+    benchmark::DoNotOptimize(result.graph.link_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raw_corpus().size()));
+}
+BENCHMARK(BM_FullInference);
+
+const core::InferenceResult& inference_result() {
+  static const auto result = [] {
+    core::InferenceConfig config;
+    config.sanitizer.ixp_asns.insert(truth().ixp_asns.begin(), truth().ixp_asns.end());
+    return core::AsRankInference(config).run(raw_corpus());
+  }();
+  return result;
+}
+
+void BM_RecursiveCone(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cones = core::recursive_cone(inference_result().graph);
+    benchmark::DoNotOptimize(cones.size());
+  }
+}
+BENCHMARK(BM_RecursiveCone);
+
+void BM_PpdcCone(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cones = core::provider_peer_observed_cone(inference_result().graph,
+                                                   inference_result().sanitized);
+    benchmark::DoNotOptimize(cones.size());
+  }
+}
+BENCHMARK(BM_PpdcCone);
+
+void BM_MrtEncode(benchmark::State& state) {
+  const auto dump = bgpsim::to_rib_dump(observation());
+  for (auto _ : state) {
+    std::ostringstream stream;
+    mrt::write_table_dump_v2(dump, stream);
+    benchmark::DoNotOptimize(stream.tellp());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dump.rib.size()));
+}
+BENCHMARK(BM_MrtEncode);
+
+void BM_MrtDecode(benchmark::State& state) {
+  const auto dump = bgpsim::to_rib_dump(observation());
+  std::ostringstream encoded;
+  mrt::write_table_dump_v2(dump, encoded);
+  const std::string bytes = encoded.str();
+  for (auto _ : state) {
+    std::istringstream stream(bytes);
+    auto parsed = mrt::read_table_dump_v2(stream);
+    benchmark::DoNotOptimize(parsed.rib.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dump.rib.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_MrtDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,368 @@
+// asrank_cli — end-to-end command-line workflow over files, mirroring how
+// the CAIDA pipeline is driven in practice:
+//
+//   asrank_cli generate --preset medium --seed 42 --out truth.as-rel
+//   asrank_cli observe  --preset medium --seed 42 --mrt rib.mrt
+//   asrank_cli infer    --mrt rib.mrt --out inferred.as-rel
+//   asrank_cli infer    --pipe paths.txt --out inferred.as-rel
+//   asrank_cli cones    --as-rel inferred.as-rel --mrt rib.mrt --method ppdc --out cones.ppdc
+//   asrank_cli rank     --as-rel inferred.as-rel --mrt rib.mrt --top 15
+//   asrank_cli validate --inferred inferred.as-rel --truth truth.as-rel
+//
+// Every artifact is a documented interchange format: .as-rel and .ppdc-ases
+// (CAIDA text formats), MRT TABLE_DUMP_V2 (binary RIB), or "prefix|path"
+// pipe tables.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "bgpsim/collector.h"
+#include "bgpsim/observation.h"
+#include "bgpsim/update_stream.h"
+#include "core/asrank.h"
+#include "core/cones.h"
+#include "core/hierarchy.h"
+#include "core/ranking.h"
+#include "mrt/bgp4mp.h"
+#include "mrt/table_dump_v2.h"
+#include "mrt/text_table.h"
+#include "topogen/topogen.h"
+#include "topology/graph_diff.h"
+#include "topology/serialization.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "validation/ppv.h"
+
+namespace {
+
+using namespace asrank;
+
+/// Minimal --flag value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::runtime_error("expected --flag, got '" + key + "'");
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) throw std::runtime_error("missing value for --" + key);
+      values_[key] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto value = get(key);
+    if (!value) throw std::runtime_error("missing required --" + key);
+    return *value;
+  }
+  [[nodiscard]] std::string get_or(const std::string& key, const std::string& fallback) const {
+    return get(key).value_or(fallback);
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto value = get(key);
+    return value ? std::strtoull(value->c_str(), nullptr, 10) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return in;
+}
+
+topogen::GroundTruth generate_truth(const Args& args) {
+  auto params = topogen::GenParams::preset(args.get_or("preset", "medium"));
+  params.seed = args.get_u64("seed", 42);
+  return topogen::generate(params);
+}
+
+bgpsim::Observation observe_world(const topogen::GroundTruth& truth, const Args& args) {
+  bgpsim::ObservationParams params;
+  params.seed = args.get_u64("seed", 42) + 1;
+  params.full_vps = args.get_u64("full-vps", 30);
+  params.partial_vps = args.get_u64("partial-vps", 10);
+  return bgpsim::observe(truth, params);
+}
+
+/// Load a path corpus from --mrt (binary) or --pipe (text) input.
+paths::PathCorpus load_corpus(const Args& args) {
+  if (const auto mrt_path = args.get("mrt")) {
+    auto in = open_in(*mrt_path);
+    const auto dump = mrt::read_table_dump_v2(in);
+    return paths::PathCorpus::from_records(bgpsim::from_rib_dump(dump));
+  }
+  if (const auto pipe_path = args.get("pipe")) {
+    auto in = open_in(*pipe_path);
+    paths::PathCorpus corpus;
+    for (const auto& route : mrt::parse_pipe_table(in)) {
+      // Pipe tables carry no VP column; the first hop is the VP's AS.
+      if (route.path.empty()) continue;
+      corpus.add(route.path.first(), route.prefix, route.path);
+    }
+    return corpus;
+  }
+  throw std::runtime_error("need --mrt <file> or --pipe <file> input");
+}
+
+int cmd_generate(const Args& args) {
+  const auto truth = generate_truth(args);
+  auto out = open_out(args.require("out"));
+  write_as_rel(truth.graph, out);
+  if (const auto ppdc_path = args.get("ppdc")) {
+    auto ppdc_out = open_out(*ppdc_path);
+    write_ppdc(core::recursive_cone(truth.graph), ppdc_out);
+  }
+  std::cerr << "wrote " << truth.graph.as_count() << " ASes, "
+            << truth.graph.link_count() << " links\n";
+  return 0;
+}
+
+int cmd_observe(const Args& args) {
+  const auto truth = generate_truth(args);
+  const auto observation = observe_world(truth, args);
+  if (const auto mrt_path = args.get("mrt")) {
+    auto out = open_out(*mrt_path);
+    mrt::write_table_dump_v2(bgpsim::to_rib_dump(observation), out);
+  } else if (const auto pipe_path = args.get("pipe")) {
+    auto out = open_out(*pipe_path);
+    std::vector<mrt::TextRoute> routes;
+    routes.reserve(observation.routes.size());
+    for (const auto& route : observation.routes) {
+      routes.push_back({route.prefix, route.path, true});
+    }
+    mrt::write_pipe_table(routes, out);
+  } else {
+    throw std::runtime_error("need --mrt <file> or --pipe <file> output");
+  }
+  std::cerr << "wrote " << observation.routes.size() << " routes from "
+            << observation.vps.size() << " VPs\n";
+  return 0;
+}
+
+int cmd_infer(const Args& args) {
+  const auto corpus = load_corpus(args);
+  core::InferenceConfig config;
+  if (const auto ixps = args.get("ixp")) {
+    for (const auto token : util::split(*ixps, ',')) {
+      if (const auto asn = Asn::parse(token)) config.sanitizer.ixp_asns.insert(*asn);
+    }
+  }
+  const auto result = core::AsRankInference(config).run(corpus);
+  auto out = open_out(args.require("out"));
+  write_as_rel(result.graph, out);
+
+  const auto counts = result.graph.link_counts();
+  std::cerr << "inferred " << counts.p2c << " c2p + " << counts.p2p << " p2p links; clique";
+  for (const Asn as : result.clique) std::cerr << " AS" << as.value();
+  std::cerr << "\nsanitize: " << result.audit.sanitize.input_records << " -> "
+            << result.audit.sanitize.output_records << " records; poisoned discarded "
+            << result.audit.poisoned_discarded << "; acyclic "
+            << (result.audit.p2c_acyclic ? "yes" : "NO") << "\n";
+  return 0;
+}
+
+int cmd_cones(const Args& args) {
+  auto graph_in = open_in(args.require("as-rel"));
+  const AsGraph graph = read_as_rel(graph_in);
+  const std::string method = args.get_or("method", "ppdc");
+  ConeMap cones;
+  if (method == "recursive") {
+    cones = core::recursive_cone(graph);
+  } else {
+    const auto corpus = load_corpus(args);
+    cones = method == "observed" ? core::bgp_observed_cone(graph, corpus)
+                                 : core::provider_peer_observed_cone(graph, corpus);
+  }
+  auto out = open_out(args.require("out"));
+  write_ppdc(cones, out);
+  std::cerr << "wrote " << cones.size() << " cones (" << method << ")\n";
+  return 0;
+}
+
+int cmd_rank(const Args& args) {
+  auto graph_in = open_in(args.require("as-rel"));
+  const AsGraph graph = read_as_rel(graph_in);
+  const auto corpus = load_corpus(args);
+  const auto degrees = core::Degrees::compute(corpus);
+  const auto cones = core::provider_peer_observed_cone(graph, corpus);
+  const auto hierarchy = core::analyze_hierarchy(graph, graph.provider_free_ases());
+
+  util::TableWriter table({"rank", "AS", "cone", "transit degree", "class"});
+  for (const auto& entry : core::top_n(cones, degrees, args.get_u64("top", 15))) {
+    table.add_row({std::to_string(entry.rank), "AS" + entry.as.str(),
+                   util::fmt_count(entry.cone_size), util::fmt_count(entry.transit_degree),
+                   std::string(to_string(hierarchy.tiers.at(entry.as)))});
+  }
+  table.render(std::cout);
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  auto inferred_in = open_in(args.require("inferred"));
+  auto truth_in = open_in(args.require("truth"));
+  const AsGraph inferred = read_as_rel(inferred_in);
+  const AsGraph truth = read_as_rel(truth_in);
+  const auto accuracy = validation::evaluate_against_truth(inferred, truth);
+  util::TableWriter table({"metric", "value"});
+  table.add_row({"links compared", util::fmt_count(accuracy.compared)});
+  table.add_row({"c2p PPV", util::fmt_pct(accuracy.c2p.ppv())});
+  table.add_row({"p2p PPV", util::fmt_pct(accuracy.p2p.ppv())});
+  table.add_row({"overall accuracy", util::fmt_pct(accuracy.accuracy())});
+  table.add_row({"direction flips", util::fmt_count(accuracy.direction_errors)});
+  table.add_row({"phantom links", util::fmt_count(accuracy.unknown_links)});
+  table.add_row({"siblings excluded", util::fmt_count(accuracy.s2s_links)});
+  table.render(std::cout);
+  return 0;
+}
+
+int cmd_diff(const Args& args) {
+  auto before_in = open_in(args.require("before"));
+  auto after_in = open_in(args.require("after"));
+  const AsGraph before = read_as_rel(before_in);
+  const AsGraph after = read_as_rel(after_in);
+  const auto diff = diff_graphs(before, after);
+  util::TableWriter table({"change", "count"});
+  table.add_row({"links added", util::fmt_count(diff.added.size())});
+  table.add_row({"links removed", util::fmt_count(diff.removed.size())});
+  table.add_row({"relationship changed", util::fmt_count(diff.changed.size())});
+  table.add_row({"unchanged", util::fmt_count(diff.unchanged)});
+  table.add_row({"annotation stability", util::fmt_pct(diff.stability())});
+  table.render(std::cout);
+  for (const auto& change : diff.changed) {
+    std::cout << "  AS" << change.before.a.value() << "-AS" << change.before.b.value()
+              << ": " << to_string(change.before.type) << " -> "
+              << to_string(change.after.type) << "\n";
+  }
+  return 0;
+}
+
+int cmd_hierarchy(const Args& args) {
+  auto graph_in = open_in(args.require("as-rel"));
+  const AsGraph graph = read_as_rel(graph_in);
+  std::vector<Asn> clique;
+  if (const auto members = args.get("clique")) {
+    for (const auto token : util::split(*members, ',')) {
+      if (const auto asn = Asn::parse(token)) clique.push_back(*asn);
+    }
+    std::sort(clique.begin(), clique.end());
+  } else {
+    clique = graph.provider_free_ases();
+  }
+  const auto summary = core::analyze_hierarchy(graph, clique);
+  const auto depths = core::hierarchy_depths(graph);
+  std::size_t max_depth = 0;
+  for (const auto& [as, depth] : depths) max_depth = std::max(max_depth, depth);
+
+  util::TableWriter table({"metric", "value"});
+  table.add_row({"ASes", util::fmt_count(graph.as_count())});
+  table.add_row({"links", util::fmt_count(graph.link_count())});
+  table.add_row({"clique / provider-free roots", util::fmt_count(summary.clique)});
+  table.add_row({"transit ASes", util::fmt_count(summary.transit)});
+  table.add_row({"leaf providers", util::fmt_count(summary.leaf_providers)});
+  table.add_row({"stub ASes", util::fmt_count(summary.stubs)});
+  table.add_row({"hierarchy depth", std::to_string(max_depth)});
+  table.add_row({"mean providers (multihoming)", util::fmt(summary.mean_providers, 2)});
+  table.add_row({"p2p share of links", util::fmt_pct(summary.p2p_share)});
+  table.render(std::cout);
+  return 0;
+}
+
+int cmd_updates(const Args& args) {
+  // Generate an evolution step and emit the BGP4MP update stream between
+  // the two snapshots.
+  auto truth = generate_truth(args);
+  const auto before = observe_world(truth, args);
+  util::Rng rng(args.get_u64("seed", 42) + 1000);
+  topogen::EvolveParams evolve_params;
+  evolve_params.new_stubs = truth.graph.as_count() / 50;
+  evolve_params.new_peerings = truth.graph.link_count() / 40;
+  topogen::evolve(truth, rng, evolve_params);
+  const auto after = observe_world(truth, args);
+
+  const auto updates = bgpsim::diff_observations(before, after, before.routes.empty() ? 0 : 1);
+  auto out = open_out(args.require("out"));
+  for (const auto& update : updates) mrt::write_update(update, out);
+  if (const auto rib_path = args.get("rib")) {
+    auto rib_out = open_out(*rib_path);
+    mrt::write_table_dump_v2(bgpsim::to_rib_dump(before), rib_out);
+  }
+  std::cerr << "wrote " << updates.size() << " update messages\n";
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  auto rib_in = open_in(args.require("rib"));
+  auto collector = bgpsim::Collector::from_rib_dump(mrt::read_table_dump_v2(rib_in));
+  auto updates_in = open_in(args.require("updates"));
+  const auto updates = mrt::read_updates(updates_in);
+  for (const auto& update : updates) collector.apply(update);
+  auto out = open_out(args.require("out"));
+  mrt::write_table_dump_v2(collector.snapshot(), out);
+  std::cerr << "replayed " << updates.size() << " updates over "
+            << collector.peers().size() << " peers; table now holds "
+            << collector.route_count() << " routes (" << collector.ignored_updates()
+            << " updates ignored)\n";
+  return 0;
+}
+
+void usage() {
+  std::cerr <<
+      "usage: asrank_cli <command> [--flag value ...]\n"
+      "commands:\n"
+      "  generate --out F.as-rel [--ppdc F.ppdc] [--preset P] [--seed N]\n"
+      "  observe  (--mrt F | --pipe F) [--preset P] [--seed N] [--full-vps N] [--partial-vps N]\n"
+      "  infer    (--mrt F | --pipe F) --out F.as-rel [--ixp a,b,c]\n"
+      "  cones    --as-rel F --out F.ppdc [--method recursive|ppdc|observed] [--mrt F | --pipe F]\n"
+      "  rank     --as-rel F (--mrt F | --pipe F) [--top N]\n"
+      "  validate --inferred F.as-rel --truth F.as-rel\n"
+      "  hierarchy --as-rel F [--clique a,b,c]\n"
+      "  diff     --before F.as-rel --after F.as-rel\n"
+      "  updates  --out F.updates [--rib F.mrt] [--preset P] [--seed N]\n"
+      "  replay   --rib F.mrt --updates F.updates --out F2.mrt\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "observe") return cmd_observe(args);
+    if (command == "infer") return cmd_infer(args);
+    if (command == "cones") return cmd_cones(args);
+    if (command == "rank") return cmd_rank(args);
+    if (command == "validate") return cmd_validate(args);
+    if (command == "hierarchy") return cmd_hierarchy(args);
+    if (command == "diff") return cmd_diff(args);
+    if (command == "updates") return cmd_updates(args);
+    if (command == "replay") return cmd_replay(args);
+    usage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "asrank_cli " << command << ": " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,74 @@
+#include "asn/as_path.h"
+
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace asrank {
+
+bool AsPath::has_loop() const {
+  std::unordered_set<Asn> seen;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i > 0 && hops_[i] == hops_[i - 1]) continue;  // prepending run
+    if (!seen.insert(hops_[i]).second) return true;
+  }
+  return false;
+}
+
+bool AsPath::has_reserved_asn() const noexcept {
+  for (const Asn hop : hops_) {
+    if (hop.reserved()) return true;
+  }
+  return false;
+}
+
+bool AsPath::has_prepending() const noexcept {
+  for (std::size_t i = 1; i < hops_.size(); ++i) {
+    if (hops_[i] == hops_[i - 1]) return true;
+  }
+  return false;
+}
+
+bool AsPath::contains(Asn a) const noexcept {
+  for (const Asn hop : hops_) {
+    if (hop == a) return true;
+  }
+  return false;
+}
+
+std::optional<std::size_t> AsPath::index_of(Asn a) const noexcept {
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (hops_[i] == a) return i;
+  }
+  return std::nullopt;
+}
+
+AsPath AsPath::compress_prepending() const {
+  std::vector<Asn> out;
+  out.reserve(hops_.size());
+  for (const Asn hop : hops_) {
+    if (out.empty() || out.back() != hop) out.push_back(hop);
+  }
+  return AsPath(std::move(out));
+}
+
+std::string AsPath::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += hops_[i].str();
+  }
+  return out;
+}
+
+std::optional<AsPath> AsPath::parse(std::string_view text) {
+  std::vector<Asn> hops;
+  for (const auto token : util::split_ws(text)) {
+    const auto asn = Asn::parse(token);
+    if (!asn) return std::nullopt;
+    hops.push_back(*asn);
+  }
+  return AsPath(std::move(hops));
+}
+
+}  // namespace asrank

@@ -1,0 +1,75 @@
+// AS path representation.  A path is the sequence of ASNs a route
+// announcement traversed, nearest-AS (the vantage point side) first — the
+// same orientation as RouteViews table dumps.  Prepending (an AS repeating
+// itself for traffic engineering) is preserved on ingestion and removed by
+// the sanitization pipeline, so the type distinguishes raw from compressed
+// forms explicitly.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asn/asn.h"
+
+namespace asrank {
+
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<Asn> hops) : hops_(std::move(hops)) {}
+  AsPath(std::initializer_list<std::uint32_t> raw) {
+    hops_.reserve(raw.size());
+    for (auto v : raw) hops_.emplace_back(v);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return hops_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return hops_.size(); }
+  [[nodiscard]] Asn at(std::size_t i) const { return hops_.at(i); }
+  [[nodiscard]] std::span<const Asn> hops() const noexcept { return hops_; }
+
+  /// Nearest AS (the collector peer / vantage point side).
+  [[nodiscard]] Asn first() const { return hops_.at(0); }
+  /// Origin AS (announced the prefix).
+  [[nodiscard]] Asn last() const { return hops_.at(hops_.size() - 1); }
+
+  void push_back(Asn a) { hops_.push_back(a); }
+
+  /// True if any AS appears at two non-adjacent positions (adjacent repeats
+  /// are prepending, not loops).  Looped paths signal poisoning or
+  /// measurement error and are discarded by the sanitizer (paper §4 step 1).
+  [[nodiscard]] bool has_loop() const;
+
+  /// True if any hop is an IANA-reserved ASN.
+  [[nodiscard]] bool has_reserved_asn() const noexcept;
+
+  /// True if adjacent duplicate hops exist.
+  [[nodiscard]] bool has_prepending() const noexcept;
+
+  [[nodiscard]] bool contains(Asn a) const noexcept;
+
+  /// Position of the first occurrence of `a`, if present.
+  [[nodiscard]] std::optional<std::size_t> index_of(Asn a) const noexcept;
+
+  /// Copy with adjacent duplicates collapsed ("701 701 174" -> "701 174").
+  [[nodiscard]] AsPath compress_prepending() const;
+
+  /// Space-separated rendering, e.g. "701 174 3356".
+  [[nodiscard]] std::string str() const;
+
+  /// Parse a space-separated path.  Returns nullopt if any token is not a
+  /// valid ASN.  Tokens in braces (AS_SET remnants, "{1,2}") are rejected:
+  /// the sanitizer drops AS_SET paths before they reach this representation.
+  [[nodiscard]] static std::optional<AsPath> parse(std::string_view text);
+
+  friend bool operator==(const AsPath& a, const AsPath& b) = default;
+
+ private:
+  std::vector<Asn> hops_;
+};
+
+}  // namespace asrank

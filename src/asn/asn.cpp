@@ -1,0 +1,25 @@
+#include "asn/asn.h"
+
+#include "util/strings.h"
+
+namespace asrank {
+
+std::optional<Asn> Asn::parse(std::string_view text) noexcept {
+  text = util::trim(text);
+  if (text.size() >= 2 && (text[0] == 'A' || text[0] == 'a') &&
+      (text[1] == 'S' || text[1] == 's')) {
+    text.remove_prefix(2);
+  }
+  if (const auto dot = text.find('.'); dot != std::string_view::npos) {
+    // asdot notation: high.low with high,low both 16-bit.
+    const auto high = util::parse_unsigned<std::uint16_t>(text.substr(0, dot));
+    const auto low = util::parse_unsigned<std::uint16_t>(text.substr(dot + 1));
+    if (!high || !low) return std::nullopt;
+    return Asn((static_cast<std::uint32_t>(*high) << 16) | *low);
+  }
+  const auto value = util::parse_unsigned<std::uint32_t>(text);
+  if (!value) return std::nullopt;
+  return Asn(*value);
+}
+
+}  // namespace asrank

@@ -1,0 +1,65 @@
+// Core Autonomous System number type and IANA-derived classification.
+//
+// ASNs are 32-bit (RFC 6793).  The inference pipeline must recognise and
+// discard reserved/private/documentation ASNs appearing in paths (paper §3:
+// path sanitization), so the classification logic lives here, next to the
+// type, and is exhaustively unit-tested against the IANA special registry.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace asrank {
+
+/// Strongly-typed AS number.  A default-constructed Asn is the invalid
+/// sentinel AS0 (RFC 7607: AS0 must not be used for routing).
+class Asn {
+ public:
+  constexpr Asn() noexcept = default;
+  constexpr explicit Asn(std::uint32_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != 0; }
+
+  /// True for ASNs reserved by IANA and thus illegal in public AS paths:
+  /// AS0, AS23456 (AS_TRANS), 64496-64511 & 65536-65551 (documentation),
+  /// 64512-65534 (private use), 65535, 4200000000-4294967294 (private use),
+  /// and 4294967295 (last, reserved).
+  [[nodiscard]] constexpr bool reserved() const noexcept {
+    const std::uint32_t v = value_;
+    return v == 0 || v == 23456 || (v >= 64496 && v <= 65551) ||
+           v >= 4200000000U || v == 65535;
+  }
+
+  /// True for private-use ASNs specifically (subset of reserved()).
+  [[nodiscard]] constexpr bool private_use() const noexcept {
+    const std::uint32_t v = value_;
+    return (v >= 64512 && v <= 65534) || (v >= 4200000000U && v <= 4294967294U);
+  }
+
+  [[nodiscard]] std::string str() const { return std::to_string(value_); }
+
+  /// Parse "65000" or "AS65000" (case-insensitive); also accepts asdot
+  /// notation "X.Y" for 4-byte ASNs.  Returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Asn> parse(std::string_view text) noexcept;
+
+  friend constexpr auto operator<=>(Asn a, Asn b) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace asrank
+
+template <>
+struct std::hash<asrank::Asn> {
+  std::size_t operator()(asrank::Asn a) const noexcept {
+    // Fibonacci hashing spreads sequential ASNs (common in synthetic
+    // topologies) across buckets.
+    return static_cast<std::size_t>(a.value()) * 0x9e3779b97f4a7c15ULL;
+  }
+};

@@ -1,0 +1,26 @@
+// Common interface for relationship-inference algorithms so the comparison
+// experiments (paper Table "ASRank vs prior work") can run every algorithm
+// over identical corpora.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "paths/corpus.h"
+#include "topology/as_graph.h"
+
+namespace asrank::baselines {
+
+class InferenceAlgorithm {
+ public:
+  virtual ~InferenceAlgorithm() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Infer relationships for every link observed in `corpus`.  The corpus is
+  /// expected to be sanitized (prepending compressed, loops removed);
+  /// algorithms must tolerate unsanitized input without crashing.
+  [[nodiscard]] virtual AsGraph infer(const paths::PathCorpus& corpus) const = 0;
+};
+
+}  // namespace asrank::baselines

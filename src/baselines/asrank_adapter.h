@@ -1,0 +1,24 @@
+// Adapter exposing the core ASRank pipeline through the common
+// InferenceAlgorithm interface used by the comparison experiments.
+#pragma once
+
+#include "baselines/algorithm.h"
+#include "core/asrank.h"
+
+namespace asrank::baselines {
+
+class AsRankAlgorithm final : public InferenceAlgorithm {
+ public:
+  explicit AsRankAlgorithm(core::InferenceConfig config = {})
+      : inference_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return "asrank"; }
+  [[nodiscard]] AsGraph infer(const paths::PathCorpus& corpus) const override {
+    return inference_.run(corpus).graph;
+  }
+
+ private:
+  core::AsRankInference inference_;
+};
+
+}  // namespace asrank::baselines

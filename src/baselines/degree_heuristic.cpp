@@ -1,0 +1,36 @@
+#include "baselines/degree_heuristic.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace asrank::baselines {
+
+AsGraph DegreeHeuristic::infer(const paths::PathCorpus& corpus) const {
+  std::unordered_map<Asn, std::unordered_set<Asn>> neighbors;
+  for (const paths::PathRecord& record : corpus.records()) {
+    const auto hops = record.path.hops();
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      if (hops[i] == hops[i + 1]) continue;
+      neighbors[hops[i]].insert(hops[i + 1]);
+      neighbors[hops[i + 1]].insert(hops[i]);
+    }
+  }
+  AsGraph graph;
+  for (const auto& [as, adj] : neighbors) {
+    for (const Asn other : adj) {
+      if (other.value() <= as.value()) continue;  // visit each pair once
+      const auto da = static_cast<double>(adj.size());
+      const auto db = static_cast<double>(neighbors.at(other).size());
+      const double big = da > db ? da : db;
+      const double small = da > db ? db : da;
+      if (small <= 0.0 || big / small > config_.provider_ratio) {
+        graph.add_p2c(da >= db ? as : other, da >= db ? other : as);
+      } else {
+        graph.add_p2p(as, other);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace asrank::baselines

@@ -1,0 +1,27 @@
+// Naive degree-ratio heuristic: the strawman baseline.  For every observed
+// link, the side with the much larger node degree is the provider; links
+// between comparable-degree ASes are peers.  No valley-free reasoning at all
+// — its error rate shows why structural algorithms are needed.
+#pragma once
+
+#include "baselines/algorithm.h"
+
+namespace asrank::baselines {
+
+struct DegreeHeuristicConfig {
+  /// A link is p2c when max(deg)/min(deg) exceeds this ratio, else p2p.
+  double provider_ratio = 2.0;
+};
+
+class DegreeHeuristic final : public InferenceAlgorithm {
+ public:
+  explicit DegreeHeuristic(DegreeHeuristicConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "degree-ratio"; }
+  [[nodiscard]] AsGraph infer(const paths::PathCorpus& corpus) const override;
+
+ private:
+  DegreeHeuristicConfig config_;
+};
+
+}  // namespace asrank::baselines

@@ -1,0 +1,114 @@
+#include "baselines/gao.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace asrank::baselines {
+
+namespace {
+
+using paths::PathCorpus;
+using paths::PathRecord;
+
+/// Directed transit evidence: key = normalized pair, counts per direction.
+struct TransitCounts {
+  std::uint32_t lo_provides = 0;  ///< lower-ASN side observed providing
+  std::uint32_t hi_provides = 0;
+};
+
+}  // namespace
+
+AsGraph GaoInference::infer(const PathCorpus& corpus) const {
+  // Phase 1: node degrees.
+  std::unordered_map<Asn, std::unordered_set<Asn>> neighbors;
+  for (const PathRecord& record : corpus.records()) {
+    const auto hops = record.path.hops();
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      if (hops[i] == hops[i + 1]) continue;
+      neighbors[hops[i]].insert(hops[i + 1]);
+      neighbors[hops[i + 1]].insert(hops[i]);
+    }
+  }
+  auto degree = [&](Asn as) -> std::size_t {
+    const auto it = neighbors.find(as);
+    return it == neighbors.end() ? 0 : it->second.size();
+  };
+
+  // Phase 2: uphill/downhill transit counts around each path's top provider.
+  std::unordered_map<std::uint64_t, TransitCounts> transit;
+  auto count_transit = [&](Asn provider, Asn customer) {
+    auto& counts = transit[PathCorpus::key(provider, customer)];
+    if (provider.value() < customer.value()) {
+      ++counts.lo_provides;
+    } else {
+      ++counts.hi_provides;
+    }
+  };
+  for (const PathRecord& record : corpus.records()) {
+    const auto hops = record.path.hops();
+    if (hops.size() < 2) continue;
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      if (degree(hops[i]) > degree(hops[top])) top = i;
+    }
+    for (std::size_t j = 1; j < hops.size(); ++j) {
+      if (hops[j - 1] == hops[j]) continue;
+      if (j <= top) {
+        count_transit(hops[j], hops[j - 1]);  // uphill: right provides
+      } else {
+        count_transit(hops[j - 1], hops[j]);  // downhill: left provides
+      }
+    }
+  }
+
+  // Phase 3: transit / sibling assignment.
+  AsGraph graph;
+  for (const auto& [key, counts] : transit) {
+    const Asn lo(static_cast<std::uint32_t>(key >> 32));
+    const Asn hi(static_cast<std::uint32_t>(key));
+    const bool lo_transits = counts.lo_provides > config_.sibling_threshold;
+    const bool hi_transits = counts.hi_provides > config_.sibling_threshold;
+    if (lo_transits && hi_transits) {
+      graph.add_s2s(lo, hi);
+    } else if (counts.lo_provides > counts.hi_provides) {
+      graph.add_p2c(lo, hi);
+    } else if (counts.hi_provides > counts.lo_provides) {
+      graph.add_p2c(hi, lo);
+    } else {
+      // Equal small evidence both ways: higher degree provides.
+      graph.add_p2c(degree(lo) >= degree(hi) ? lo : hi,
+                    degree(lo) >= degree(hi) ? hi : lo);
+    }
+  }
+
+  // Phase 4: peering around path tops.
+  for (const PathRecord& record : corpus.records()) {
+    const auto hops = record.path.hops();
+    if (hops.size() < 2) continue;
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      if (degree(hops[i]) > degree(hops[top])) top = i;
+    }
+    auto consider = [&](Asn a, Asn b) {
+      if (a == b) return;
+      const auto it = transit.find(PathCorpus::key(a, b));
+      if (it == transit.end()) return;
+      // Not peering if either direction shows repeated transit evidence.
+      if (it->second.lo_provides > config_.sibling_threshold ||
+          it->second.hi_provides > config_.sibling_threshold) {
+        return;
+      }
+      const double da = static_cast<double>(std::max<std::size_t>(degree(a), 1));
+      const double db = static_cast<double>(std::max<std::size_t>(degree(b), 1));
+      const double ratio = da > db ? da / db : db / da;
+      if (ratio <= config_.peering_degree_ratio) graph.add_p2p(a, b);
+    };
+    if (top > 0) consider(hops[top - 1], hops[top]);
+    if (top + 1 < hops.size()) consider(hops[top], hops[top + 1]);
+  }
+
+  return graph;
+}
+
+}  // namespace asrank::baselines

@@ -1,0 +1,124 @@
+#include "baselines/tor_local_search.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/degree_heuristic.h"
+
+namespace asrank::baselines {
+
+namespace {
+
+using paths::PathCorpus;
+using paths::PathRecord;
+
+/// Is the hop sequence valley-free under the labelling in `graph`?
+/// Grammar: c2p* p2p? p2c* (sibling links are transparent).
+bool valley_free(const AsGraph& graph, std::span<const Asn> hops) {
+  // States: 0 = ascending, 1 = peaked/descending.
+  int state = 0;
+  for (std::size_t i = 1; i < hops.size(); ++i) {
+    const auto view = graph.view(hops[i - 1], hops[i]);
+    if (!view) return false;  // unlabelled link cannot satisfy the path
+    switch (*view) {
+      case RelView::kProvider:  // moving up
+        if (state != 0) return false;
+        break;
+      case RelView::kPeer:
+        if (state != 0) return false;
+        state = 1;
+        break;
+      case RelView::kCustomer:
+        state = 1;
+        break;
+      case RelView::kSibling:
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t TorLocalSearch::violations(const AsGraph& graph, const PathCorpus& corpus) {
+  std::size_t count = 0;
+  for (const PathRecord& record : corpus.records()) {
+    if (!valley_free(graph, record.path.hops())) ++count;
+  }
+  return count;
+}
+
+AsGraph TorLocalSearch::infer(const PathCorpus& corpus) const {
+  // Initial labelling: plain degree comparison.
+  DegreeHeuristicConfig initial_config;
+  initial_config.provider_ratio = config_.initial_provider_ratio;
+  AsGraph graph = DegreeHeuristic(initial_config).infer(corpus);
+
+  // Deduplicate paths (identical rows add identical objective terms) and
+  // index them by the links they cross.
+  std::vector<std::vector<Asn>> unique_paths;
+  {
+    std::unordered_set<std::string> seen;
+    for (const PathRecord& record : corpus.records()) {
+      const auto key = record.path.str();
+      if (seen.insert(key).second) {
+        const auto hops = record.path.hops();
+        unique_paths.emplace_back(hops.begin(), hops.end());
+      }
+    }
+  }
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> paths_by_link;
+  for (std::size_t p = 0; p < unique_paths.size(); ++p) {
+    std::unordered_set<std::uint64_t> links;
+    for (std::size_t i = 1; i < unique_paths[p].size(); ++i) {
+      if (unique_paths[p][i - 1] == unique_paths[p][i]) continue;
+      links.insert(PathCorpus::key(unique_paths[p][i - 1], unique_paths[p][i]));
+    }
+    for (const std::uint64_t link : links) paths_by_link[link].push_back(p);
+  }
+
+  auto local_violations = [&](const std::vector<std::size_t>& path_ids) {
+    std::size_t count = 0;
+    for (const std::size_t p : path_ids) {
+      if (!valley_free(graph, unique_paths[p])) ++count;
+    }
+    return count;
+  };
+
+  // Hill-climb: for each link, try the three labellings, keep the best
+  // (ties keep the current labelling so passes terminate).
+  const auto links = graph.links();
+  for (std::size_t pass = 0; pass < config_.max_passes; ++pass) {
+    bool improved = false;
+    for (const Link& original : links) {
+      const auto it = paths_by_link.find(PathCorpus::key(original.a, original.b));
+      if (it == paths_by_link.end()) continue;
+      const auto current = graph.link(original.a, original.b);
+      if (!current) continue;
+
+      std::size_t best_violations = local_violations(it->second);
+      Link best = *current;
+      const Link candidates[] = {
+          {current->a, current->b, LinkType::kP2C},
+          {current->b, current->a, LinkType::kP2C},
+          {current->a, current->b, LinkType::kP2P},
+      };
+      for (const Link& candidate : candidates) {
+        if (candidate.type == current->type && candidate.a == current->a) continue;
+        graph.set_relationship(candidate.a, candidate.b, candidate.type);
+        const std::size_t with_candidate = local_violations(it->second);
+        if (with_candidate < best_violations) {
+          best_violations = with_candidate;
+          best = candidate;
+          improved = true;
+        }
+      }
+      graph.set_relationship(best.a, best.b, best.type);
+    }
+    if (!improved) break;
+  }
+  return graph;
+}
+
+}  // namespace asrank::baselines

@@ -1,0 +1,62 @@
+#include "bgpsim/collector.h"
+
+#include <algorithm>
+
+namespace asrank::bgpsim {
+
+Collector::Collector(std::vector<VantagePoint> peers) : peers_(std::move(peers)) {
+  for (const VantagePoint& peer : peers_) peer_set_.insert(peer.as);
+}
+
+Collector Collector::from_rib_dump(const mrt::RibDump& dump) {
+  std::vector<VantagePoint> peers;
+  peers.reserve(dump.peers.size());
+  for (const mrt::PeerEntry& peer : dump.peers) peers.push_back({peer.as, true});
+  Collector collector(std::move(peers));
+  collector.last_timestamp_ = dump.timestamp;
+  // Qualified call: the static member of the same name would otherwise hide
+  // the namespace-level decoder.
+  for (const ObservedRoute& route : asrank::bgpsim::from_rib_dump(dump)) {
+    collector.table_[{route.vp, route.prefix}] = route.path;
+  }
+  return collector;
+}
+
+void Collector::apply(const mrt::UpdateMessage& update) {
+  if (!peer_set_.contains(update.peer_as)) {
+    ++ignored_updates_;
+    return;
+  }
+  last_timestamp_ = std::max(last_timestamp_, update.timestamp);
+  for (const Prefix& prefix : update.withdrawn) {
+    table_.erase({update.peer_as, prefix});
+  }
+  for (const Prefix& prefix : update.announced) {
+    table_[{update.peer_as, prefix}] = update.attrs.as_path;
+  }
+}
+
+void Collector::reset_peer(Asn peer) {
+  auto it = table_.lower_bound({peer, Prefix{}});
+  while (it != table_.end() && it->first.first == peer) {
+    it = table_.erase(it);
+  }
+}
+
+std::vector<ObservedRoute> Collector::routes() const {
+  std::vector<ObservedRoute> out;
+  out.reserve(table_.size());
+  for (const auto& [key, path] : table_) {
+    out.push_back({key.first, key.second, path});
+  }
+  return out;
+}
+
+mrt::RibDump Collector::snapshot() const {
+  Observation observation;
+  observation.vps = peers_;
+  observation.routes = routes();
+  return to_rib_dump(observation, last_timestamp_);
+}
+
+}  // namespace asrank::bgpsim

@@ -1,0 +1,59 @@
+// Collector state machine: the component that turns a base RIB plus a live
+// BGP4MP update stream into the table a route collector holds at any point
+// in time — the stateful half of the RIB-plus-updates ingestion model
+// RouteViews/RIS archives imply.
+//
+// Semantics follow collector behaviour:
+//   * per-(peer, prefix) best route, replaced by announcements, removed by
+//     withdrawals;
+//   * a peer session reset flushes every route from that peer;
+//   * updates are applied in arrival order; the collector tracks the last
+//     timestamp seen, and snapshots carry it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgpsim/observation.h"
+#include "mrt/bgp4mp.h"
+#include "mrt/table_dump_v2.h"
+
+namespace asrank::bgpsim {
+
+class Collector {
+ public:
+  /// Start empty with a configured peer set.
+  explicit Collector(std::vector<VantagePoint> peers);
+
+  /// Initialize from a RIB snapshot (peer set taken from the dump).
+  [[nodiscard]] static Collector from_rib_dump(const mrt::RibDump& dump);
+
+  /// Apply one update.  Updates from unconfigured peers are counted and
+  /// ignored, as a collector ignores sessions it does not have.
+  void apply(const mrt::UpdateMessage& update);
+
+  /// Flush all routes learned from `peer` (session reset).
+  void reset_peer(Asn peer);
+
+  /// Current table as observation rows (deterministic order).
+  [[nodiscard]] std::vector<ObservedRoute> routes() const;
+
+  /// Current table as an MRT RIB snapshot.
+  [[nodiscard]] mrt::RibDump snapshot() const;
+
+  [[nodiscard]] std::size_t route_count() const noexcept { return table_.size(); }
+  [[nodiscard]] std::uint32_t last_timestamp() const noexcept { return last_timestamp_; }
+  [[nodiscard]] std::size_t ignored_updates() const noexcept { return ignored_updates_; }
+  [[nodiscard]] const std::vector<VantagePoint>& peers() const noexcept { return peers_; }
+
+ private:
+  std::vector<VantagePoint> peers_;
+  std::unordered_set<Asn> peer_set_;
+  std::map<std::pair<Asn, Prefix>, AsPath> table_;
+  std::uint32_t last_timestamp_ = 0;
+  std::size_t ignored_updates_ = 0;
+};
+
+}  // namespace asrank::bgpsim

@@ -1,0 +1,105 @@
+// Vantage-point observation: what a route collector would record.
+//
+// The paper's input is the set of AS paths seen by RouteViews/RIS collector
+// peers.  Two kinds of peers matter (paper §4): "full feed" VPs export their
+// entire table to the collector, while partial VPs treat the collector like a
+// settlement-free peer and export only customer-learned (and self-originated)
+// routes.  Partial VPs are what make inference step 6 necessary.
+//
+// Observation also injects the measurement pathologies the sanitization
+// pipeline must survive, each with ground-truth bookkeeping so tests can
+// assert exactly what the sanitizer removed:
+//
+//   * prepending  — origin ASes repeat themselves for traffic engineering;
+//   * poisoning   — an origin inserts a victim AS into its announcement,
+//                   creating the "AS appears twice, non-adjacent" signature;
+//   * IXP leak    — a route-server ASN appears inside paths crossing a p2p
+//                   link established at that IXP;
+//   * private leak— an unstripped private-use ASN appears next to the origin.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.h"
+#include "asn/as_path.h"
+#include "asn/prefix.h"
+#include "bgpsim/route_sim.h"
+#include "mrt/table_dump_v2.h"
+#include "topogen/topogen.h"
+#include "util/rng.h"
+
+namespace asrank::bgpsim {
+
+struct VantagePoint {
+  Asn as;
+  bool full_feed = true;
+};
+
+struct ObservationParams {
+  std::uint64_t seed = 7;
+  std::size_t full_vps = 30;
+  std::size_t partial_vps = 10;
+
+  /// Fraction of destination ASes each VP's table covers (1.0 = all).
+  double destination_sample = 1.0;
+
+  /// Pathology rates.  Prepending and leaks are per observed path; poisoning
+  /// is per *origin AS* (a poisoning origin transforms every announcement it
+  /// makes, as real traffic-engineering poisoning does).
+  double prepend_prob = 0.03;
+  double poison_prob = 0.004;
+  double ixp_leak_prob = 0.05;     ///< per path crossing an IXP-born p2p link
+  double private_leak_prob = 0.003;
+
+  /// When true, VP tables are keyed by originated prefixes (multiple rows
+  /// per origin AS); when false, one synthetic /24 per origin AS.
+  bool expand_prefixes = true;
+
+  /// Worker threads for the per-destination routing computations.
+  /// 1 = serial; 0 = hardware concurrency.  Results are identical for every
+  /// thread count: each destination draws from its own seeded RNG stream.
+  std::size_t threads = 1;
+};
+
+struct ObservedRoute {
+  Asn vp;
+  Prefix prefix;
+  AsPath path;  ///< VP first, origin last; may contain injected pathologies
+};
+
+/// Tally of injected pathologies, for asserting sanitizer behaviour.
+struct PathologyAudit {
+  std::size_t prepended = 0;
+  std::size_t poisoned_loop = 0;    ///< "O X O" loop-style poison (sanitizer-visible)
+  std::size_t poisoned_insert = 0;  ///< loop-free tier-1 insertion (step-4 territory)
+  std::size_t ixp_leaked = 0;
+  std::size_t private_leaked = 0;
+
+  [[nodiscard]] std::size_t poisoned() const noexcept {
+    return poisoned_loop + poisoned_insert;
+  }
+};
+
+struct Observation {
+  std::vector<VantagePoint> vps;
+  std::vector<ObservedRoute> routes;
+  PathologyAudit audit;
+};
+
+/// Simulate collector ingestion over the ground-truth topology.
+/// Deterministic given params.seed.
+[[nodiscard]] Observation observe(const topogen::GroundTruth& truth,
+                                  const ObservationParams& params);
+
+/// Package an observation as an MRT TABLE_DUMP_V2 RIB snapshot, so the
+/// ingestion pipeline can exercise the binary path end to end.
+[[nodiscard]] mrt::RibDump to_rib_dump(const Observation& observation,
+                                       std::uint32_t timestamp = 1367193600);
+
+/// Recover observed routes from an MRT RIB snapshot (inverse of to_rib_dump
+/// up to pathology bookkeeping, which is not representable in MRT).
+[[nodiscard]] std::vector<ObservedRoute> from_rib_dump(const mrt::RibDump& dump);
+
+}  // namespace asrank::bgpsim

@@ -1,0 +1,88 @@
+// Gao–Rexford BGP route propagation over a relationship-annotated topology.
+//
+// This substrate replaces the RouteViews/RIPE RIS data the paper ingests.
+// For each destination AS we compute the route every other AS selects under
+// the standard policy model:
+//
+//   Export: an AS exports routes learned from customers (and its own
+//   originations) to everyone; routes learned from peers or providers are
+//   exported to customers only.  Siblings exchange all routes.
+//
+//   Selection: prefer customer-learned routes over peer-learned over
+//   provider-learned (local preference); within a class prefer the shortest
+//   AS path; break remaining ties toward the lowest neighbour ASN, which
+//   makes the whole simulation deterministic.
+//
+// The resulting paths are valley-free by construction, mirror the real
+// visibility bias (p2p links are visible almost only from below), and carry
+// ground-truth labels — the property the validation experiments need.
+//
+// Implementation: per destination, a three-phase relaxation
+// (customer-class BFS up, one peer hop, provider-class Dijkstra down),
+// O((V + E) log V) per destination.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.h"
+#include "asn/as_path.h"
+#include "topology/as_graph.h"
+
+namespace asrank::bgpsim {
+
+/// Class of the route an AS selected, in decreasing preference order.
+enum class RouteClass : std::uint8_t { kCustomer = 0, kPeer = 1, kProvider = 2, kNone = 3 };
+
+/// The route one AS selected toward the current destination.
+struct SelectedRoute {
+  RouteClass route_class = RouteClass::kNone;
+  std::uint32_t length = 0;  ///< AS hops to the destination (0 at the origin)
+  Asn next_hop;              ///< neighbour the route was learned from (invalid at origin)
+};
+
+/// Routing outcome for a single destination AS.
+class RouteTable {
+ public:
+  RouteTable(Asn destination, std::unordered_map<Asn, SelectedRoute> routes)
+      : destination_(destination), routes_(std::move(routes)) {}
+
+  [[nodiscard]] Asn destination() const noexcept { return destination_; }
+
+  /// The selected route at `as`; kNone class if the AS cannot reach the
+  /// destination (never happens when assumption A2 holds).
+  [[nodiscard]] SelectedRoute route(Asn as) const noexcept;
+
+  /// Reconstruct the full AS path `as` uses, starting with `as` itself and
+  /// ending at the destination.  Empty path if unreachable.
+  [[nodiscard]] AsPath path_from(Asn as) const;
+
+  [[nodiscard]] std::size_t reachable_count() const noexcept { return routes_.size(); }
+
+ private:
+  Asn destination_;
+  std::unordered_map<Asn, SelectedRoute> routes_;
+};
+
+/// Policy-routing engine bound to one topology.  The graph must outlive the
+/// simulator.
+class RouteSimulator {
+ public:
+  explicit RouteSimulator(const AsGraph& graph);
+
+  /// Compute every AS's selected route toward `destination`.
+  [[nodiscard]] RouteTable routes_to(Asn destination) const;
+
+  /// The ASes known to the simulator (topology snapshot at construction).
+  [[nodiscard]] std::span<const Asn> ases() const noexcept { return sorted_ases_; }
+
+ private:
+  const AsGraph& graph_;
+  std::vector<Asn> sorted_ases_;  ///< deterministic iteration order
+  std::unordered_map<Asn, std::size_t> index_;
+  std::vector<std::vector<std::size_t>> providers_, customers_, peers_, siblings_;
+};
+
+}  // namespace asrank::bgpsim

@@ -1,0 +1,95 @@
+#include "bgpsim/update_stream.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace asrank::bgpsim {
+
+namespace {
+
+/// (vp, prefix) -> path, with deterministic iteration.
+using RouteKey = std::pair<Asn, Prefix>;
+using RouteMap = std::map<RouteKey, AsPath>;
+
+RouteMap index_routes(const Observation& observation) {
+  RouteMap map;
+  for (const ObservedRoute& route : observation.routes) {
+    map[{route.vp, route.prefix}] = route.path;
+  }
+  return map;
+}
+
+mrt::UpdateMessage base_message(Asn vp, std::uint32_t timestamp) {
+  mrt::UpdateMessage message;
+  message.timestamp = timestamp;
+  message.peer_as = vp;
+  message.local_as = Asn(65534);  // collector side; never appears in paths
+  message.peer_ip = 0x0a000000 + vp.value();
+  message.local_ip = 0x0a0000fe;
+  return message;
+}
+
+}  // namespace
+
+std::vector<mrt::UpdateMessage> diff_observations(const Observation& before,
+                                                  const Observation& after,
+                                                  std::uint32_t timestamp) {
+  const RouteMap old_routes = index_routes(before);
+  const RouteMap new_routes = index_routes(after);
+
+  std::vector<mrt::UpdateMessage> out;
+  // Withdrawals: in before, not in after.  Batched per VP.
+  std::map<Asn, std::vector<Prefix>> withdrawals;
+  for (const auto& [key, path] : old_routes) {
+    if (!new_routes.contains(key)) withdrawals[key.first].push_back(key.second);
+  }
+  for (const auto& [vp, prefixes] : withdrawals) {
+    auto message = base_message(vp, timestamp);
+    message.withdrawn = prefixes;
+    out.push_back(std::move(message));
+  }
+
+  // Announcements: new or changed paths.  One message per (vp, path) batch
+  // in prefix order, as a real speaker batches NLRI sharing attributes.
+  std::map<std::pair<Asn, std::string>, mrt::UpdateMessage> announce_batches;
+  for (const auto& [key, path] : new_routes) {
+    const auto old_it = old_routes.find(key);
+    if (old_it != old_routes.end() && old_it->second == path) continue;
+    auto& message = announce_batches[{key.first, path.str()}];
+    if (message.announced.empty()) {
+      message = base_message(key.first, timestamp);
+      message.attrs.as_path = path;
+      message.attrs.next_hop = 0x0a000000 + key.first.value();
+    }
+    message.announced.push_back(key.second);
+  }
+  for (auto& [batch_key, message] : announce_batches) out.push_back(std::move(message));
+  return out;
+}
+
+std::vector<ObservedRoute> apply_updates(const Observation& base,
+                                         const std::vector<mrt::UpdateMessage>& updates) {
+  std::unordered_set<Asn> known_vps;
+  for (const VantagePoint& vp : base.vps) known_vps.insert(vp.as);
+
+  RouteMap table = index_routes(base);
+  for (const mrt::UpdateMessage& update : updates) {
+    if (!known_vps.contains(update.peer_as)) continue;
+    for (const Prefix& prefix : update.withdrawn) {
+      table.erase({update.peer_as, prefix});
+    }
+    for (const Prefix& prefix : update.announced) {
+      table[{update.peer_as, prefix}] = update.attrs.as_path;
+    }
+  }
+
+  std::vector<ObservedRoute> out;
+  out.reserve(table.size());
+  for (const auto& [key, path] : table) {
+    out.push_back({key.first, key.second, path});
+  }
+  return out;
+}
+
+}  // namespace asrank::bgpsim

@@ -1,0 +1,32 @@
+// Incremental update streams: the BGP4MP "updates" complement to RIB
+// snapshots.  Collectors publish both; a topology pipeline that only ever
+// reloads full RIBs misses short-lived links, so this module diffs two
+// observations into the per-peer announce/withdraw messages a collector
+// would have recorded between them, and can replay a stream on top of a
+// base observation to reconstruct the later table.
+#pragma once
+
+#include <vector>
+
+#include "bgpsim/observation.h"
+#include "mrt/bgp4mp.h"
+
+namespace asrank::bgpsim {
+
+/// Diff two observations of the same VP set into update messages:
+///   * a route present only in `after` becomes an announcement;
+///   * a route present only in `before` becomes a withdrawal;
+///   * a route whose path changed becomes an (implicit-withdraw) announce.
+/// Messages are ordered deterministically (by VP, then prefix) and stamped
+/// with `timestamp`.
+[[nodiscard]] std::vector<mrt::UpdateMessage> diff_observations(const Observation& before,
+                                                                const Observation& after,
+                                                                std::uint32_t timestamp);
+
+/// Apply a stream of updates to a base observation, producing the table the
+/// collector would hold afterwards.  Unknown-VP updates are ignored (a
+/// collector only tracks configured peers).
+[[nodiscard]] std::vector<ObservedRoute> apply_updates(
+    const Observation& base, const std::vector<mrt::UpdateMessage>& updates);
+
+}  // namespace asrank::bgpsim

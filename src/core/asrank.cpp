@@ -1,0 +1,545 @@
+#include "core/asrank.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace asrank::core {
+
+namespace {
+
+using paths::PathCorpus;
+using paths::PathRecord;
+
+constexpr Asn lo_of(std::uint64_t key) noexcept {
+  return Asn(static_cast<std::uint32_t>(key >> 32));
+}
+constexpr Asn hi_of(std::uint64_t key) noexcept {
+  return Asn(static_cast<std::uint32_t>(key));
+}
+
+/// Working state for one observed link during inference.
+struct LinkState {
+  enum class Kind : std::uint8_t { kUnknown, kC2pLoProv, kC2pHiProv, kP2pFixed, kS2S };
+  Kind kind = Kind::kUnknown;
+  std::uint32_t votes_lo_prov = 0;  ///< votes that the lower-ASN side provides
+  std::uint32_t votes_hi_prov = 0;
+  std::uint32_t observations = 0;   ///< times the link appeared in paths
+};
+
+class Pipeline {
+ public:
+  Pipeline(const InferenceConfig& config, const PathCorpus& raw) : config_(config) {
+    run(raw);
+  }
+
+  InferenceResult take() { return std::move(result_); }
+
+ private:
+  void run(const PathCorpus& raw);
+  void discard_poisoned(const PathCorpus& corpus);
+  void detect_partial_vps();
+  void vote_on_paths();
+  void commit_votes();
+  void triplet_fixpoint();
+  void repair_provider_less();
+  void stub_clique_pass();
+  void enforce_transit_free_clique();
+  void finalize_graph();
+  void repair_cycles();
+
+  [[nodiscard]] bool in_clique(Asn as) const { return clique_set_.contains(as); }
+  void set_c2p(Asn provider, Asn customer);
+  [[nodiscard]] LinkState::Kind kind_of(Asn a, Asn b) const;
+
+  const InferenceConfig& config_;
+  InferenceResult result_;
+  std::unordered_set<Asn> clique_set_;
+  std::unordered_set<Asn> partial_vps_;
+  std::unordered_map<std::uint64_t, LinkState> links_;
+  std::unordered_set<Asn> transit_ases_;  ///< seen between two other ASes
+};
+
+LinkState::Kind Pipeline::kind_of(Asn a, Asn b) const {
+  const auto it = links_.find(PathCorpus::key(a, b));
+  return it == links_.end() ? LinkState::Kind::kUnknown : it->second.kind;
+}
+
+void Pipeline::set_c2p(Asn provider, Asn customer) {
+  auto& state = links_[PathCorpus::key(provider, customer)];
+  state.kind = provider.value() < customer.value() ? LinkState::Kind::kC2pLoProv
+                                                   : LinkState::Kind::kC2pHiProv;
+}
+
+void Pipeline::run(const PathCorpus& raw) {
+  // Step 1: sanitize.
+  auto sanitized = paths::sanitize(raw, config_.sanitizer);
+  result_.audit.sanitize = sanitized.stats;
+
+  // Step 2: rank.
+  result_.degrees = Degrees::compute(sanitized.corpus);
+  result_.audit.ranked_ases = result_.degrees.ranked().size();
+
+  // Step 3: clique.
+  result_.clique = infer_clique(sanitized.corpus, result_.degrees, config_.clique);
+  clique_set_.insert(result_.clique.begin(), result_.clique.end());
+  result_.audit.clique_size = result_.clique.size();
+
+  // Step 4: discard poisoned paths.
+  discard_poisoned(sanitized.corpus);
+
+  // Register every observed link and transit AS.
+  for (const PathRecord& record : result_.sanitized.records()) {
+    const auto hops = record.path.hops();
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      ++links_[PathCorpus::key(hops[i], hops[i + 1])].observations;
+      if (i > 0) transit_ases_.insert(hops[i]);
+    }
+  }
+  // Clique-internal links are p2p by assumption A1.
+  for (std::size_t i = 0; i < result_.clique.size(); ++i) {
+    for (std::size_t j = i + 1; j < result_.clique.size(); ++j) {
+      const auto it = links_.find(PathCorpus::key(result_.clique[i], result_.clique[j]));
+      if (it != links_.end()) it->second.kind = LinkState::Kind::kP2pFixed;
+    }
+  }
+
+  // Steps 5-11.
+  detect_partial_vps();
+  vote_on_paths();
+  commit_votes();
+  if (config_.triplet_fixpoint) triplet_fixpoint();
+  if (config_.provider_less_repair) repair_provider_less();
+  if (config_.stub_clique_pass) stub_clique_pass();
+  enforce_transit_free_clique();
+  finalize_graph();
+  repair_cycles();
+  result_.audit.p2c_acyclic = result_.graph.p2c_acyclic();
+}
+
+void Pipeline::discard_poisoned(const PathCorpus& corpus) {
+  for (const PathRecord& record : corpus.records()) {
+    bool poisoned = false;
+    if (config_.discard_poisoned && !clique_set_.empty()) {
+      const auto hops = record.path.hops();
+      std::size_t first = hops.size(), last = 0, count = 0;
+      for (std::size_t i = 0; i < hops.size(); ++i) {
+        if (in_clique(hops[i])) {
+          first = std::min(first, i);
+          last = std::max(last, i);
+          ++count;
+        }
+      }
+      // Clique hops must form one contiguous segment; a gap means a
+      // non-clique AS sits between two tier-1s, the poisoning signature.
+      poisoned = count > 0 && (last - first + 1) != count;
+    }
+    if (poisoned) {
+      ++result_.audit.poisoned_discarded;
+    } else {
+      result_.sanitized.add(record);
+    }
+  }
+}
+
+void Pipeline::detect_partial_vps() {
+  if (config_.partial_vp_threshold <= 0.0) return;
+  std::unordered_map<Asn, std::size_t> table_sizes;
+  for (const PathRecord& record : result_.sanitized.records()) ++table_sizes[record.vp];
+  std::size_t max_size = 0;
+  for (const auto& [vp, size] : table_sizes) max_size = std::max(max_size, size);
+  for (const auto& [vp, size] : table_sizes) {
+    if (static_cast<double>(size) <
+        config_.partial_vp_threshold * static_cast<double>(max_size)) {
+      partial_vps_.insert(vp);
+    }
+  }
+  result_.audit.partial_vps = partial_vps_.size();
+}
+
+void Pipeline::vote_on_paths() {
+  const Degrees& degrees = result_.degrees;
+  auto vote = [&](Asn provider, Asn customer) {
+    auto& state = links_[PathCorpus::key(provider, customer)];
+    if (state.kind == LinkState::Kind::kP2pFixed) return;
+    if (provider.value() < customer.value()) {
+      ++state.votes_lo_prov;
+    } else {
+      ++state.votes_hi_prov;
+    }
+    ++result_.audit.c2p_votes;
+  };
+
+  for (const PathRecord& record : result_.sanitized.records()) {
+    const auto hops = record.path.hops();
+    if (hops.size() < 2) continue;
+
+    // A path is valley-free around a single peak.  We vote c2p only for
+    // positions that are certainly on the up or down slope; the (at most
+    // two) links adjacent to the peak are the only p2p candidates and are
+    // deferred to the fixpoint / fallback stages.  Three cases locate the
+    // peak:
+    //   (a) partial-view VPs export customer routes only: the whole path
+    //       descends from the VP (no deferral at all);
+    //   (b) paths crossing the clique peak at the (contiguous) clique
+    //       segment: ascent strictly before it, descent strictly after,
+    //       with the two boundary links deferred (an AS may peer with a
+    //       clique member);
+    //   (c) otherwise the apex is approximated by the highest-ranked AS and
+    //       both apex-adjacent links are deferred.
+    std::size_t defer_lo = hops.size(), defer_hi = hops.size();  // j-indices to skip
+    std::size_t peak_first = 0, peak_last = 0;                   // hop index range of peak
+
+    if (partial_vps_.contains(record.vp)) {
+      // (a): peak is the VP itself; nothing deferred, everything descends.
+    } else {
+      std::size_t first_clique = hops.size(), last_clique = hops.size();
+      for (std::size_t i = 0; i < hops.size(); ++i) {
+        if (in_clique(hops[i])) {
+          if (first_clique == hops.size()) first_clique = i;
+          last_clique = i;
+        }
+      }
+      if (first_clique != hops.size()) {
+        // (b): poisoned paths were discarded, so the segment is contiguous.
+        peak_first = first_clique;
+        peak_last = last_clique;
+        defer_lo = first_clique;     // link (first-1 -> first)
+        defer_hi = last_clique + 1;  // link (last -> last+1)
+      } else {
+        // (c): rank apex.
+        std::size_t apex = 0;
+        for (std::size_t i = 1; i < hops.size(); ++i) {
+          if (degrees.rank_of(hops[i]) < degrees.rank_of(hops[apex])) apex = i;
+        }
+        peak_first = peak_last = apex;
+        defer_lo = apex;
+        defer_hi = apex + 1;
+      }
+    }
+
+    for (std::size_t j = 1; j < hops.size(); ++j) {
+      const Asn left = hops[j - 1];
+      const Asn right = hops[j];
+      if (j == defer_lo || j == defer_hi) {
+        // Optional ablation knob: vote c2p at a deferred peak link anyway
+        // when the transit-degree gap makes peering look implausible.  Off
+        // by default — bench_ablation shows it trades c2p PPV for coverage.
+        if (config_.apex_degree_gap > 0.0) {
+          const Asn peak_side = (j == defer_lo) ? right : left;
+          const Asn other = (j == defer_lo) ? left : right;
+          const auto td_peak = static_cast<double>(degrees.transit_degree(peak_side));
+          const auto td_other = static_cast<double>(degrees.transit_degree(other));
+          if (td_peak >= config_.apex_degree_gap * std::max(td_other, 1.0)) {
+            vote(peak_side, other);
+            continue;
+          }
+        }
+        ++result_.audit.apex_links_deferred;
+        continue;
+      }
+      if (j > peak_first && j <= peak_last) continue;  // clique-internal: fixed p2p
+      if (j <= peak_first) {
+        vote(right, left);  // ascending toward the peak
+      } else {
+        vote(left, right);  // descending from the peak
+      }
+    }
+  }
+}
+
+void Pipeline::commit_votes() {
+  const Degrees& degrees = result_.degrees;
+  for (auto& [key, state] : links_) {
+    if (state.kind != LinkState::Kind::kUnknown) continue;
+    if (state.votes_lo_prov == 0 && state.votes_hi_prov == 0) continue;
+    if (state.votes_lo_prov > 0 && state.votes_hi_prov > 0) {
+      ++result_.audit.vote_conflicts;
+      // Balanced, persistent two-way transit evidence is the sibling
+      // signature: siblings re-export everything, so the link ascends in
+      // some paths and descends in others.
+      const std::uint32_t low = std::min(state.votes_lo_prov, state.votes_hi_prov);
+      const std::uint32_t high = std::max(state.votes_lo_prov, state.votes_hi_prov);
+      if (config_.sibling_conflict_ratio > 0.0 && low >= config_.sibling_min_votes &&
+          static_cast<double>(low) >=
+              config_.sibling_conflict_ratio * static_cast<double>(high)) {
+        state.kind = LinkState::Kind::kS2S;
+        ++result_.audit.siblings_inferred;
+        continue;
+      }
+    }
+    if (state.votes_lo_prov > state.votes_hi_prov) {
+      state.kind = LinkState::Kind::kC2pLoProv;
+    } else if (state.votes_hi_prov > state.votes_lo_prov) {
+      state.kind = LinkState::Kind::kC2pHiProv;
+    } else {
+      // Tie: the higher-ranked side is the provider.
+      state.kind = degrees.rank_of(lo_of(key)) < degrees.rank_of(hi_of(key))
+                       ? LinkState::Kind::kC2pLoProv
+                       : LinkState::Kind::kC2pHiProv;
+    }
+    ++result_.audit.links_committed_c2p;
+  }
+}
+
+void Pipeline::triplet_fixpoint() {
+  // Valley-free propagation in both directions:
+  //   forward:  after a path crosses a known p2p link or a known descent,
+  //             every later link must descend (left side provides);
+  //   backward: before a known p2p link or a known ascent, every earlier
+  //             link must ascend (right side provides).
+  bool changed = true;
+  std::size_t iterations = 0;
+  while (changed && iterations < 16) {
+    changed = false;
+    ++iterations;
+    for (const PathRecord& record : result_.sanitized.records()) {
+      const auto hops = record.path.hops();
+      if (hops.size() < 2) continue;
+
+      auto classify = [&](std::size_t j) {
+        // Link between hops[j-1] and hops[j].
+        const Asn left = hops[j - 1];
+        const Asn right = hops[j];
+        const LinkState::Kind kind = kind_of(left, right);
+        struct Info {
+          LinkState::Kind kind;
+          bool descending;  // known p2c, left provides
+          bool ascending;   // known c2p, right provides
+        };
+        const bool left_is_lo = left.value() < right.value();
+        const bool desc = (kind == LinkState::Kind::kC2pLoProv && left_is_lo) ||
+                          (kind == LinkState::Kind::kC2pHiProv && !left_is_lo);
+        const bool asc = kind != LinkState::Kind::kUnknown &&
+                         kind != LinkState::Kind::kP2pFixed &&
+                         kind != LinkState::Kind::kS2S && !desc;
+        return Info{kind, desc, asc};
+      };
+
+      bool descending = partial_vps_.contains(record.vp);
+      for (std::size_t j = 1; j < hops.size(); ++j) {
+        const auto info = classify(j);
+        if (descending) {
+          if (info.kind == LinkState::Kind::kUnknown) {
+            set_c2p(hops[j - 1], hops[j]);
+            ++result_.audit.triplet_inferred;
+            changed = true;
+          } else if (info.ascending || info.kind == LinkState::Kind::kP2pFixed) {
+            // Contradiction with commits made from stronger evidence; the
+            // path is not valley-free under the current labelling.
+            ++result_.audit.valley_violations;
+            break;
+          }
+        } else if (info.kind == LinkState::Kind::kP2pFixed || info.descending) {
+          descending = true;
+        }
+      }
+
+      bool ascending = false;
+      for (std::size_t j = hops.size() - 1; j >= 1; --j) {
+        const auto info = classify(j);
+        if (ascending) {
+          if (info.kind == LinkState::Kind::kUnknown) {
+            set_c2p(hops[j], hops[j - 1]);  // right side provides
+            ++result_.audit.triplet_inferred;
+            changed = true;
+          } else if (info.descending || info.kind == LinkState::Kind::kP2pFixed) {
+            ++result_.audit.valley_violations;
+            break;
+          }
+        } else if (info.kind == LinkState::Kind::kP2pFixed || info.ascending) {
+          ascending = true;
+        }
+      }
+    }
+  }
+}
+
+void Pipeline::repair_provider_less() {
+  const Degrees& degrees = result_.degrees;
+  // Collect current provider existence and per-AS unknown-link neighbours.
+  std::unordered_set<Asn> has_provider;
+  std::unordered_map<Asn, std::vector<std::pair<Asn, std::uint32_t>>> unknown_neighbors;
+  for (const auto& [key, state] : links_) {
+    const Asn lo = lo_of(key), hi = hi_of(key);
+    switch (state.kind) {
+      case LinkState::Kind::kC2pLoProv: has_provider.insert(hi); break;
+      case LinkState::Kind::kC2pHiProv: has_provider.insert(lo); break;
+      case LinkState::Kind::kUnknown:
+        unknown_neighbors[lo].emplace_back(hi, state.observations);
+        unknown_neighbors[hi].emplace_back(lo, state.observations);
+        break;
+      case LinkState::Kind::kP2pFixed:
+      case LinkState::Kind::kS2S:
+        break;
+    }
+  }
+  for (const Asn as : transit_ases_) {
+    if (in_clique(as) || has_provider.contains(as)) continue;
+    const auto it = unknown_neighbors.find(as);
+    if (it == unknown_neighbors.end()) continue;
+    // Most-observed higher-ranked neighbour becomes the provider.
+    Asn best;
+    std::uint32_t best_obs = 0;
+    for (const auto& [neighbor, observations] : it->second) {
+      if (degrees.rank_of(neighbor) >= degrees.rank_of(as)) continue;
+      if (observations > best_obs || (observations == best_obs && neighbor < best)) {
+        best = neighbor;
+        best_obs = observations;
+      }
+    }
+    if (best.valid() && kind_of(best, as) == LinkState::Kind::kUnknown) {
+      set_c2p(best, as);
+      ++result_.audit.providerless_repaired;
+    }
+  }
+}
+
+void Pipeline::stub_clique_pass() {
+  for (auto& [key, state] : links_) {
+    if (state.kind != LinkState::Kind::kUnknown) continue;
+    const Asn lo = lo_of(key), hi = hi_of(key);
+    const bool lo_clique = in_clique(lo), hi_clique = in_clique(hi);
+    if (lo_clique == hi_clique) continue;
+    const Asn member = lo_clique ? lo : hi;
+    const Asn other = lo_clique ? hi : lo;
+    if (!transit_ases_.contains(other)) {  // a stub never transits
+      set_c2p(member, other);
+      ++result_.audit.stub_clique_links;
+    }
+  }
+}
+
+void Pipeline::enforce_transit_free_clique() {
+  // Assumption A1: clique members buy transit from no one.  A c2p commit
+  // with a clique member on the customer side is necessarily a direction
+  // error (a handful of misleading path positions can out-vote the truth
+  // for links seen from few VPs), and it is catastrophic if left standing:
+  // the false "provider" captures the member's entire customer cone and
+  // rockets up the ranking.  Re-orient such links toward the member.
+  for (auto& [key, state] : links_) {
+    const Asn lo = lo_of(key), hi = hi_of(key);
+    Asn provider, customer;
+    if (state.kind == LinkState::Kind::kC2pLoProv) {
+      provider = lo;
+      customer = hi;
+    } else if (state.kind == LinkState::Kind::kC2pHiProv) {
+      provider = hi;
+      customer = lo;
+    } else {
+      continue;
+    }
+    if (in_clique(customer) && !in_clique(provider)) {
+      set_c2p(customer, provider);
+      ++result_.audit.clique_direction_fixes;
+    }
+  }
+}
+
+void Pipeline::finalize_graph() {
+  for (const auto& [key, state] : links_) {
+    const Asn lo = lo_of(key), hi = hi_of(key);
+    switch (state.kind) {
+      case LinkState::Kind::kC2pLoProv:
+        result_.graph.add_p2c(lo, hi);
+        break;
+      case LinkState::Kind::kC2pHiProv:
+        result_.graph.add_p2c(hi, lo);
+        break;
+      case LinkState::Kind::kP2pFixed:
+        result_.graph.add_p2p(lo, hi);
+        break;
+      case LinkState::Kind::kS2S:
+        result_.graph.add_s2s(lo, hi);
+        break;
+      case LinkState::Kind::kUnknown:
+        result_.graph.add_p2p(lo, hi);
+        ++result_.audit.p2p_fallback;
+        break;
+    }
+  }
+}
+
+void Pipeline::repair_cycles() {
+  if (result_.graph.p2c_acyclic()) return;
+  // Tarjan SCC over the provider->customer digraph; inside each non-trivial
+  // SCC, re-orient c2p edges so the higher-ranked endpoint provides, which
+  // imposes a strict total order and breaks all cycles without discarding
+  // transit evidence.
+  const std::vector<Asn> ases = result_.graph.ases();
+  std::unordered_map<Asn, std::size_t> index;
+  for (std::size_t i = 0; i < ases.size(); ++i) index.emplace(ases[i], i);
+  const std::size_t n = ases.size();
+
+  std::vector<std::size_t> low(n, 0), disc(n, 0), scc_id(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::size_t timer = 1, scc_count = 0;
+
+  // Iterative Tarjan to avoid deep recursion on large graphs.
+  struct Frame {
+    std::size_t node;
+    std::size_t child_index;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (disc[root] != 0) continue;
+    std::vector<Frame> frames{{root, 0}};
+    while (!frames.empty()) {
+      const std::size_t node = frames.back().node;
+      if (frames.back().child_index == 0) {
+        disc[node] = low[node] = timer++;
+        stack.push_back(node);
+        on_stack[node] = true;
+      }
+      const auto customers = result_.graph.customers(ases[node]);
+      if (frames.back().child_index < customers.size()) {
+        const std::size_t next = index.at(customers[frames.back().child_index]);
+        ++frames.back().child_index;
+        if (disc[next] == 0) {
+          frames.push_back({next, 0});  // frames.back() invalidated; loop re-reads
+        } else if (on_stack[next]) {
+          low[node] = std::min(low[node], disc[next]);
+        }
+        continue;
+      }
+      if (low[node] == disc[node]) {
+        ++scc_count;
+        while (true) {
+          const std::size_t top = stack.back();
+          stack.pop_back();
+          on_stack[top] = false;
+          scc_id[top] = scc_count;
+          if (top == node) break;
+        }
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().node] = std::min(low[frames.back().node], low[node]);
+      }
+    }
+  }
+
+  const Degrees& degrees = result_.degrees;
+  for (const Link& link : result_.graph.links()) {
+    if (link.type != LinkType::kP2C) continue;
+    const std::size_t ia = index.at(link.a), ib = index.at(link.b);
+    if (scc_id[ia] != scc_id[ib]) continue;
+    // Intra-SCC edge: orient toward the ranking.
+    const bool a_higher = degrees.rank_of(link.a) < degrees.rank_of(link.b) ||
+                          (degrees.rank_of(link.a) == degrees.rank_of(link.b) &&
+                           link.a < link.b);
+    if (!a_higher) {
+      result_.graph.add_p2c(link.b, link.a);
+      ++result_.audit.cycle_edges_reoriented;
+    }
+  }
+}
+
+}  // namespace
+
+InferenceResult AsRankInference::run(const paths::PathCorpus& raw) const {
+  Pipeline pipeline(config_, raw);
+  return pipeline.take();
+}
+
+}  // namespace asrank::core

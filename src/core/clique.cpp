@@ -1,0 +1,243 @@
+#include "core/clique.h"
+
+#include <algorithm>
+
+namespace asrank::core {
+
+AdjacencySet build_adjacency(const paths::PathCorpus& corpus) {
+  AdjacencySet adjacency;
+  for (const paths::PathRecord& record : corpus.records()) {
+    const auto hops = record.path.hops();
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      if (hops[i] == hops[i + 1]) continue;
+      adjacency[hops[i]].insert(hops[i + 1]);
+      adjacency[hops[i + 1]].insert(hops[i]);
+    }
+  }
+  return adjacency;
+}
+
+namespace {
+
+bool adjacent(const AdjacencySet& adjacency, Asn a, Asn b) {
+  const auto it = adjacency.find(a);
+  return it != adjacency.end() && it->second.contains(b);
+}
+
+/// Bron–Kerbosch with pivoting over index sets.
+void bron_kerbosch(const std::vector<Asn>& vertices,
+                   const std::vector<std::vector<bool>>& adj, std::vector<std::size_t>& r,
+                   std::vector<std::size_t> p, std::vector<std::size_t> x,
+                   std::vector<std::vector<Asn>>& out) {
+  if (p.empty() && x.empty()) {
+    std::vector<Asn> clique;
+    clique.reserve(r.size());
+    for (const std::size_t i : r) clique.push_back(vertices[i]);
+    std::sort(clique.begin(), clique.end());
+    out.push_back(std::move(clique));
+    return;
+  }
+  // Pivot: vertex of P ∪ X with most neighbours in P.
+  std::size_t pivot = 0;
+  std::size_t best = 0;
+  bool have_pivot = false;
+  for (const auto& set : {p, x}) {
+    for (const std::size_t u : set) {
+      std::size_t count = 0;
+      for (const std::size_t v : p) {
+        if (adj[u][v]) ++count;
+      }
+      if (!have_pivot || count > best) {
+        pivot = u;
+        best = count;
+        have_pivot = true;
+      }
+    }
+  }
+  std::vector<std::size_t> candidates;
+  for (const std::size_t v : p) {
+    if (!adj[pivot][v]) candidates.push_back(v);
+  }
+  for (const std::size_t v : candidates) {
+    r.push_back(v);
+    std::vector<std::size_t> p_next, x_next;
+    for (const std::size_t u : p) {
+      if (adj[v][u]) p_next.push_back(u);
+    }
+    for (const std::size_t u : x) {
+      if (adj[v][u]) x_next.push_back(u);
+    }
+    bron_kerbosch(vertices, adj, r, std::move(p_next), std::move(x_next), out);
+    r.pop_back();
+    p.erase(std::remove(p.begin(), p.end(), v), p.end());
+    x.push_back(v);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<Asn>> maximal_cliques(const AdjacencySet& adjacency,
+                                              const std::vector<Asn>& vertices) {
+  const std::size_t n = vertices.size();
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (adjacent(adjacency, vertices[i], vertices[j])) {
+        adj[i][j] = adj[j][i] = true;
+      }
+    }
+  }
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  std::vector<std::size_t> r;
+  std::vector<std::vector<Asn>> out;
+  bron_kerbosch(vertices, adj, r, std::move(p), {}, out);
+  return out;
+}
+
+namespace {
+
+/// Customer evidence relative to a candidate member set: an AS observed
+/// directly after two consecutive members (either path direction) must buy
+/// transit from a member — the member-member link is p2p, so the next link
+/// can only be p2c.  An AS *sandwiched between* two members must buy from at
+/// least one (two consecutive p2p links would violate valley-freeness);
+/// this also neutralizes path poisoning that inserts a victim between two
+/// tier-1s.  The sandwich rule applies to members themselves: a "member"
+/// seen between two genuine members is a customer that slipped in.
+/// Flagged AS -> distinct origin ASes that witnessed the evidence.
+using EvidenceMap = std::unordered_map<Asn, std::unordered_set<Asn>>;
+
+EvidenceMap customer_evidence(const paths::PathCorpus& corpus,
+                              const std::unordered_set<Asn>& members) {
+  // Evidence is recorded per distinct origin AS: a single origin poisoning
+  // its announcements (inserting a real tier-1 ASN) taints every path toward
+  // itself but no path toward anyone else, so the caller can demand
+  // independent witnesses where robustness matters.
+  EvidenceMap witnesses;
+  for (const paths::PathRecord& record : corpus.records()) {
+    const auto hops = record.path.hops();
+    if (hops.size() < 3) continue;
+    const Asn origin = hops.back();
+    for (std::size_t i = 0; i + 2 < hops.size(); ++i) {
+      const bool first_in = members.contains(hops[i]);
+      const bool mid_in = members.contains(hops[i + 1]);
+      const bool last_in = members.contains(hops[i + 2]);
+      if (first_in && mid_in && !last_in) witnesses[hops[i + 2]].insert(origin);
+      if (mid_in && last_in && !first_in) witnesses[hops[i]].insert(origin);
+      if (first_in && last_in) witnesses[hops[i + 1]].insert(origin);  // sandwich
+    }
+  }
+  return witnesses;
+}
+
+bool flagged_by(const EvidenceMap& evidence, Asn as, std::size_t min_origins) {
+  const auto it = evidence.find(as);
+  return it != evidence.end() && it->second.size() >= min_origins;
+}
+
+}  // namespace
+
+std::vector<Asn> infer_clique(const paths::PathCorpus& corpus, const Degrees& degrees,
+                              const CliqueConfig& config) {
+  const auto& ranked = degrees.ranked();
+  if (ranked.empty()) return {};
+  const AdjacencySet adjacency = build_adjacency(corpus);
+
+  const std::size_t seed_size = std::min(config.seed_size, ranked.size());
+
+  // Iterated Bron–Kerbosch: observed adjacency alone cannot distinguish a
+  // tier-1 peer from a large customer of two tier-1s, so after each clique
+  // candidate we test every member against the valley-free customer
+  // evidence and eject the ones proven to buy transit from the rest,
+  // removing them from the seed and retrying.
+  std::unordered_set<Asn> banned;
+  std::vector<Asn> best;
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    std::vector<Asn> seed;
+    for (std::size_t i = 0; i < ranked.size() && seed.size() < seed_size; ++i) {
+      if (!banned.contains(ranked[i])) seed.push_back(ranked[i]);
+    }
+    if (seed.empty()) break;
+
+    // Largest maximal clique within the seed; ties broken toward the
+    // lexicographically smallest member set for determinism.  Anchoring on
+    // the single top-ranked AS (as a literal reading of the paper suggests)
+    // is fragile when a non-tier-1 AS tops the transit-degree ranking under
+    // sparse vantage-point coverage; the customer-evidence iteration below
+    // ejects intruders either way.
+    best.clear();
+    for (auto& clique : maximal_cliques(adjacency, seed)) {
+      if (clique.size() > best.size() || (clique.size() == best.size() && clique < best)) {
+        best = std::move(clique);
+      }
+    }
+    if (best.empty()) best = {seed.front()};
+    if (!config.reject_customer_evidence) break;
+
+    // Ejecting an established member requires independent witnesses (a lone
+    // poisoning origin must not be able to evict true tier-1s).
+    const auto evidence =
+        customer_evidence(corpus, std::unordered_set<Asn>(best.begin(), best.end()));
+    std::size_t ejected = 0;
+    for (const Asn member : best) {
+      if (flagged_by(evidence, member, config.customer_evidence_min_origins)) {
+        banned.insert(member);
+        ++ejected;
+      }
+    }
+    if (ejected == 0) break;
+  }
+
+  // Admission of *new* candidates is cheap to deny, so any single witness
+  // suffices to reject — which also keeps a poisoning origin's inserted ASN
+  // out of the clique.
+  std::unordered_set<Asn> below = banned;
+  if (config.reject_customer_evidence) {
+    const auto evidence =
+        customer_evidence(corpus, std::unordered_set<Asn>(best.begin(), best.end()));
+    for (const auto& [as, origins] : evidence) {
+      if (!origins.empty()) below.insert(as);
+    }
+  }
+
+  // Expansion: candidates are ASes adjacent to (almost) all current members
+  // — found through the members' own adjacency, NOT a transit-degree window,
+  // because a true tier-1 with a small customer base ranks arbitrarily low.
+  // Candidates are evaluated in rank order so earlier admissions constrain
+  // later ones; customer evidence disqualifies outright.
+  std::unordered_map<Asn, std::size_t> member_adjacency;
+  for (const Asn member : best) {
+    const auto it = adjacency.find(member);
+    if (it == adjacency.end()) continue;
+    for (const Asn neighbor : it->second) ++member_adjacency[neighbor];
+  }
+  std::vector<Asn> candidates;
+  for (const auto& [as, count] : member_adjacency) {
+    if (count + config.max_missing_links < best.size()) continue;
+    if (std::binary_search(best.begin(), best.end(), as)) continue;
+    if (below.contains(as)) continue;
+    candidates.push_back(as);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](Asn a, Asn b) { return degrees.rank_of(a) < degrees.rank_of(b); });
+  if (candidates.size() > config.expansion_candidates) {
+    candidates.resize(config.expansion_candidates);
+  }
+  for (const Asn candidate : candidates) {
+    std::size_t missing = 0;
+    for (const Asn member : best) {
+      if (!adjacent(adjacency, candidate, member)) ++missing;
+    }
+    // The tolerance is capped at a third of the current clique: tolerating a
+    // missing link in a 2-3 member clique would admit anything adjacent to a
+    // single member.
+    const std::size_t tolerance = std::min(config.max_missing_links, best.size() / 3);
+    if (missing <= tolerance) {
+      best.insert(std::upper_bound(best.begin(), best.end(), candidate), candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace asrank::core

@@ -1,0 +1,172 @@
+#include "core/cones.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace asrank::core {
+
+namespace {
+
+/// Fixed-width bitset over AS indices for fast cone unions.
+class Bits {
+ public:
+  explicit Bits(std::size_t n) : blocks_((n + 63) / 64, 0) {}
+  void set(std::size_t i) noexcept { blocks_[i >> 6] |= (1ULL << (i & 63)); }
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (blocks_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void merge(const Bits& other) noexcept {
+    for (std::size_t b = 0; b < blocks_.size(); ++b) blocks_[b] |= other.blocks_[b];
+  }
+
+ private:
+  std::vector<std::uint64_t> blocks_;
+};
+
+/// Memoized post-order closure over an arbitrary p2c sub-relation given as
+/// index adjacency (provider index -> customer indices).
+ConeMap closure(const std::vector<Asn>& ases,
+                const std::vector<std::vector<std::size_t>>& customers) {
+  const std::size_t n = ases.size();
+  std::vector<Bits> cones(n, Bits(n));
+  std::vector<std::uint8_t> state(n, 0);  // 0 = new, 1 = visiting, 2 = done
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (state[root] == 2) continue;
+    // Iterative DFS post-order.
+    std::vector<std::pair<std::size_t, std::size_t>> frames{{root, 0}};
+    while (!frames.empty()) {
+      const std::size_t node = frames.back().first;
+      std::size_t& child = frames.back().second;
+      if (child == 0) {
+        if (state[node] == 2) {
+          frames.pop_back();
+          continue;
+        }
+        state[node] = 1;
+        cones[node].set(node);
+      }
+      if (child < customers[node].size()) {
+        const std::size_t next = customers[node][child];
+        ++child;
+        if (state[next] == 1) {
+          throw std::invalid_argument("customer cones: provider graph has a cycle");
+        }
+        if (state[next] != 2) frames.push_back({next, 0});
+        continue;
+      }
+      for (const std::size_t c : customers[node]) cones[node].merge(cones[c]);
+      state[node] = 2;
+      frames.pop_back();
+    }
+  }
+
+  ConeMap out;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Asn> members;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (cones[i].test(j)) members.push_back(ases[j]);
+    }
+    out.emplace(ases[i], std::move(members));
+  }
+  return out;
+}
+
+std::unordered_map<Asn, std::size_t> index_of(const std::vector<Asn>& ases) {
+  std::unordered_map<Asn, std::size_t> index;
+  index.reserve(ases.size());
+  for (std::size_t i = 0; i < ases.size(); ++i) index.emplace(ases[i], i);
+  return index;
+}
+
+bool is_p2c(const AsGraph& graph, Asn left, Asn right) {
+  const auto view = graph.view(left, right);
+  return view && *view == RelView::kCustomer;  // right is left's customer
+}
+
+}  // namespace
+
+ConeMap recursive_cone(const AsGraph& graph) {
+  const std::vector<Asn> ases = graph.ases();
+  const auto index = index_of(ases);
+  std::vector<std::vector<std::size_t>> customers(ases.size());
+  for (std::size_t i = 0; i < ases.size(); ++i) {
+    for (const Asn customer : graph.customers(ases[i])) {
+      customers[i].push_back(index.at(customer));
+    }
+  }
+  return closure(ases, customers);
+}
+
+ConeMap bgp_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus) {
+  std::unordered_map<Asn, std::unordered_set<Asn>> cones;
+  for (const Asn as : graph.ases()) cones[as].insert(as);
+
+  for (const paths::PathRecord& record : corpus.records()) {
+    const auto hops = record.path.hops();
+    if (hops.size() < 2) continue;
+    // reach_end[i]: last index of the contiguous p2c descent starting at i.
+    // Computed right-to-left in one pass.
+    std::vector<std::size_t> reach_end(hops.size());
+    reach_end[hops.size() - 1] = hops.size() - 1;
+    for (std::size_t i = hops.size() - 1; i-- > 0;) {
+      reach_end[i] = is_p2c(graph, hops[i], hops[i + 1]) ? reach_end[i + 1] : i;
+    }
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      auto& cone = cones[hops[i]];
+      for (std::size_t j = i + 1; j <= reach_end[i]; ++j) cone.insert(hops[j]);
+    }
+  }
+
+  ConeMap out;
+  for (auto& [as, members] : cones) {
+    std::vector<Asn> sorted(members.begin(), members.end());
+    std::sort(sorted.begin(), sorted.end());
+    out.emplace(as, std::move(sorted));
+  }
+  return out;
+}
+
+ConeMap provider_peer_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus) {
+  // Collect p2c links observed while descending from above: the provider
+  // hop was itself preceded by one of its providers or peers.
+  const std::vector<Asn> ases = graph.ases();
+  const auto index = index_of(ases);
+  std::vector<std::unordered_set<std::size_t>> filtered(ases.size());
+
+  for (const paths::PathRecord& record : corpus.records()) {
+    const auto hops = record.path.hops();
+    for (std::size_t i = 1; i + 1 < hops.size(); ++i) {
+      const auto preceding = graph.view(hops[i], hops[i - 1]);
+      const bool from_above = preceding && (*preceding == RelView::kProvider ||
+                                            *preceding == RelView::kPeer);
+      if (!from_above) continue;
+      // Every contiguous p2c link after i is proven to carry traffic downward.
+      for (std::size_t j = i; j + 1 < hops.size(); ++j) {
+        if (!is_p2c(graph, hops[j], hops[j + 1])) break;
+        filtered[index.at(hops[j])].insert(index.at(hops[j + 1]));
+      }
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> customers(ases.size());
+  for (std::size_t i = 0; i < ases.size(); ++i) {
+    customers[i].assign(filtered[i].begin(), filtered[i].end());
+    std::sort(customers[i].begin(), customers[i].end());
+  }
+  return closure(ases, customers);
+}
+
+ConeMap compute_cone(ConeMethod method, const AsGraph& graph,
+                     const paths::PathCorpus& corpus) {
+  switch (method) {
+    case ConeMethod::kRecursive: return recursive_cone(graph);
+    case ConeMethod::kBgpObserved: return bgp_observed_cone(graph, corpus);
+    case ConeMethod::kProviderPeerObserved: return provider_peer_observed_cone(graph, corpus);
+  }
+  throw std::invalid_argument("compute_cone: unknown method");
+}
+
+}  // namespace asrank::core

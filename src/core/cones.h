@@ -1,0 +1,57 @@
+// Customer cones (paper §5): the set of ASes reachable from an AS by
+// descending only customer links.  Cone size is the paper's measure of an
+// AS's influence, and the basis of the AS Rank.  Three computations, from
+// most to least inclusive:
+//
+//   * Recursive: full transitive closure over every inferred p2c link.
+//     Overestimates when providers don't actually route to all indirect
+//     customers (multihomed customers filter announcements).
+//   * Provider/peer observed (the canonical "ppdc" CAIDA publishes): closure
+//     restricted to p2c links that were observed in a path while descending —
+//     i.e. links whose provider was itself reached through one of its
+//     providers or peers.  This keeps only customer links proven to carry
+//     traffic downward from above.
+//   * BGP observed: only ASes seen in an actual contiguous customer-link
+//     chain after the AS in some path; no closure.  The most conservative.
+//
+// Invariant (tested): recursive ⊇ provider/peer observed and
+// recursive ⊇ BGP observed, for every AS.  Every cone contains its own AS.
+#pragma once
+
+#include <string_view>
+
+#include "paths/corpus.h"
+#include "topology/as_graph.h"
+#include "topology/serialization.h"
+
+namespace asrank::core {
+
+enum class ConeMethod { kRecursive, kBgpObserved, kProviderPeerObserved };
+
+[[nodiscard]] constexpr std::string_view to_string(ConeMethod method) noexcept {
+  switch (method) {
+    case ConeMethod::kRecursive: return "recursive";
+    case ConeMethod::kBgpObserved: return "bgp-observed";
+    case ConeMethod::kProviderPeerObserved: return "provider-peer-observed";
+  }
+  return "?";
+}
+
+/// Full transitive closure over p2c links.  Requires an acyclic provider
+/// graph (throws std::invalid_argument otherwise — assumption A3).
+[[nodiscard]] ConeMap recursive_cone(const AsGraph& graph);
+
+/// Direct observation: contiguous descending chains after each AS in paths,
+/// using `graph` to classify links as p2c.
+[[nodiscard]] ConeMap bgp_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus);
+
+/// Closure over p2c links observed in descending path positions where the
+/// provider was reached via one of its providers or peers.
+[[nodiscard]] ConeMap provider_peer_observed_cone(const AsGraph& graph,
+                                                  const paths::PathCorpus& corpus);
+
+/// Dispatch by method.  kRecursive ignores `corpus`.
+[[nodiscard]] ConeMap compute_cone(ConeMethod method, const AsGraph& graph,
+                                   const paths::PathCorpus& corpus);
+
+}  // namespace asrank::core

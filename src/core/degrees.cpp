@@ -1,0 +1,69 @@
+#include "core/degrees.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace asrank::core {
+
+Degrees Degrees::compute(const paths::PathCorpus& corpus) {
+  Degrees degrees;
+  std::unordered_map<Asn, std::unordered_set<Asn>> transit_neighbors;
+  std::unordered_map<Asn, std::unordered_set<Asn>> all_neighbors;
+
+  for (const paths::PathRecord& record : corpus.records()) {
+    // Degrees are defined over prepending-free paths; compress defensively
+    // in case the corpus was not sanitized.
+    const AsPath compressed =
+        record.path.has_prepending() ? record.path.compress_prepending() : record.path;
+    const auto hops = compressed.hops();
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      if (i > 0) {
+        all_neighbors[hops[i]].insert(hops[i - 1]);
+        all_neighbors[hops[i - 1]].insert(hops[i]);
+      }
+      if (i > 0 && i + 1 < hops.size()) {
+        transit_neighbors[hops[i]].insert(hops[i - 1]);
+        transit_neighbors[hops[i]].insert(hops[i + 1]);
+      }
+    }
+  }
+
+  for (const auto& [as, neighbors] : all_neighbors) {
+    degrees.node_.emplace(as, neighbors.size());
+  }
+  for (const auto& [as, neighbors] : transit_neighbors) {
+    degrees.transit_.emplace(as, neighbors.size());
+  }
+
+  degrees.ranked_.reserve(all_neighbors.size());
+  for (const auto& [as, neighbors] : all_neighbors) degrees.ranked_.push_back(as);
+  std::sort(degrees.ranked_.begin(), degrees.ranked_.end(), [&](Asn a, Asn b) {
+    const std::size_t ta = degrees.transit_degree(a), tb = degrees.transit_degree(b);
+    if (ta != tb) return ta > tb;
+    const std::size_t na = degrees.node_degree(a), nb = degrees.node_degree(b);
+    if (na != nb) return na > nb;
+    return a < b;
+  });
+  degrees.rank_.reserve(degrees.ranked_.size());
+  for (std::size_t i = 0; i < degrees.ranked_.size(); ++i) {
+    degrees.rank_.emplace(degrees.ranked_[i], i);
+  }
+  return degrees;
+}
+
+std::size_t Degrees::transit_degree(Asn as) const noexcept {
+  const auto it = transit_.find(as);
+  return it == transit_.end() ? 0 : it->second;
+}
+
+std::size_t Degrees::node_degree(Asn as) const noexcept {
+  const auto it = node_.find(as);
+  return it == node_.end() ? 0 : it->second;
+}
+
+std::size_t Degrees::rank_of(Asn as) const noexcept {
+  const auto it = rank_.find(as);
+  return it == rank_.end() ? ranked_.size() : it->second;
+}
+
+}  // namespace asrank::core

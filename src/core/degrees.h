@@ -1,0 +1,41 @@
+// Degree metrics over a path corpus (paper §4.3 step 2).
+//
+// The ranking that drives top-down inference uses *transit degree*: the
+// number of distinct neighbours an AS has in paths where it appears between
+// two other ASes (i.e. where it actually transits traffic).  Node degree
+// (distinct neighbours anywhere) breaks ties, and lower ASN breaks the rest,
+// making the ranking a deterministic total order.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.h"
+#include "paths/corpus.h"
+
+namespace asrank::core {
+
+class Degrees {
+ public:
+  /// Compute degrees from sanitized paths.
+  [[nodiscard]] static Degrees compute(const paths::PathCorpus& corpus);
+
+  [[nodiscard]] std::size_t transit_degree(Asn as) const noexcept;
+  [[nodiscard]] std::size_t node_degree(Asn as) const noexcept;
+
+  /// All ASes in rank order: transit degree desc, node degree desc, ASN asc.
+  [[nodiscard]] const std::vector<Asn>& ranked() const noexcept { return ranked_; }
+
+  /// Position in the ranking (0 = highest).  ASes absent from the corpus
+  /// rank below every present AS.
+  [[nodiscard]] std::size_t rank_of(Asn as) const noexcept;
+
+ private:
+  std::unordered_map<Asn, std::size_t> transit_;
+  std::unordered_map<Asn, std::size_t> node_;
+  std::unordered_map<Asn, std::size_t> rank_;
+  std::vector<Asn> ranked_;
+};
+
+}  // namespace asrank::core

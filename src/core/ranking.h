@@ -1,0 +1,30 @@
+// AS Rank (paper §5.4): order ASes by customer cone size.  This is the
+// ranking CAIDA publishes at as-rank.caida.org; transit degree and ASN break
+// ties so the order is total and deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "asn/asn.h"
+#include "core/degrees.h"
+#include "topology/serialization.h"
+
+namespace asrank::core {
+
+struct RankEntry {
+  std::size_t rank = 0;       ///< 1-based; unique (the ordering is total)
+  Asn as;
+  std::size_t cone_size = 0;  ///< including the AS itself
+  std::size_t transit_degree = 0;
+};
+
+/// Rank every AS in `cones` by cone size desc, transit degree desc, ASN asc.
+[[nodiscard]] std::vector<RankEntry> rank_by_cone(const ConeMap& cones,
+                                                  const Degrees& degrees);
+
+/// Convenience: the top `n` entries.
+[[nodiscard]] std::vector<RankEntry> top_n(const ConeMap& cones, const Degrees& degrees,
+                                           std::size_t n);
+
+}  // namespace asrank::core

@@ -1,0 +1,44 @@
+#include "core/visibility.h"
+
+#include <unordered_set>
+
+namespace asrank::core {
+
+std::unordered_map<std::uint64_t, LinkVisibility> link_visibility(
+    const paths::PathCorpus& corpus) {
+  std::unordered_map<std::uint64_t, LinkVisibility> out;
+  std::unordered_map<std::uint64_t, std::unordered_set<Asn>> vps;
+  for (const paths::PathRecord& record : corpus.records()) {
+    const auto hops = record.path.hops();
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      if (hops[i] == hops[i + 1]) continue;
+      const std::uint64_t key = paths::PathCorpus::key(hops[i], hops[i + 1]);
+      LinkVisibility& link = out[key];
+      ++link.observations;
+      if (i > 0 && i + 2 < hops.size()) {
+        ++link.transit_positions;
+      } else {
+        ++link.edge_positions;
+      }
+      vps[key].insert(record.vp);
+    }
+  }
+  for (auto& [key, link] : out) link.vp_count = vps.at(key).size();
+  return out;
+}
+
+VisibilityCcdf visibility_ccdf(
+    const std::unordered_map<std::uint64_t, LinkVisibility>& visibility,
+    std::vector<std::size_t> thresholds) {
+  VisibilityCcdf out;
+  out.thresholds = std::move(thresholds);
+  out.links_at_least.assign(out.thresholds.size(), 0);
+  for (const auto& [key, link] : visibility) {
+    for (std::size_t i = 0; i < out.thresholds.size(); ++i) {
+      if (link.vp_count >= out.thresholds[i]) ++out.links_at_least[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace asrank::core

@@ -1,0 +1,136 @@
+#include "mrt/bgp4mp.h"
+
+#include <istream>
+#include <ostream>
+
+namespace asrank::mrt {
+
+namespace {
+
+/// No legitimate MRT record approaches this size; a larger declared length
+/// indicates corruption and would otherwise drive a huge allocation.
+constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+
+constexpr std::uint16_t kTypeBgp4mp = 16;
+constexpr std::uint16_t kSubMessageAs4 = 4;
+constexpr std::uint16_t kAfiIpv4 = 1;
+constexpr std::uint8_t kBgpMsgUpdate = 2;
+
+void put_ipv4_prefix(ByteWriter& w, const Prefix& prefix) {
+  w.put_u8(prefix.length());
+  const auto addr = static_cast<std::uint32_t>(prefix.bits());
+  const unsigned bytes = (prefix.length() + 7) / 8;
+  for (unsigned i = 0; i < bytes; ++i) {
+    w.put_u8(static_cast<std::uint8_t>(addr >> (24 - 8 * i)));
+  }
+}
+
+Prefix get_ipv4_prefix(ByteReader& r) {
+  const std::uint8_t length = r.get_u8();
+  if (length > 32) throw DecodeError("IPv4 prefix length > 32");
+  const unsigned bytes = (length + 7) / 8;
+  std::uint32_t addr = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    addr |= static_cast<std::uint32_t>(r.get_u8()) << (24 - 8 * i);
+  }
+  return Prefix::v4(addr, length);
+}
+
+std::vector<std::uint8_t> encode_bgp_update(const UpdateMessage& update) {
+  ByteWriter routes;
+  for (const Prefix& p : update.withdrawn) put_ipv4_prefix(routes, p);
+  const std::size_t withdrawn_len = routes.size();
+
+  std::vector<std::uint8_t> attrs;
+  if (!update.announced.empty()) attrs = encode_attributes(update.attrs);
+
+  ByteWriter msg;
+  for (int i = 0; i < 16; ++i) msg.put_u8(0xff);  // BGP marker
+  const std::size_t len_slot = msg.size();
+  msg.put_u16(0);  // patched below
+  msg.put_u8(kBgpMsgUpdate);
+  msg.put_u16(static_cast<std::uint16_t>(withdrawn_len));
+  msg.put_bytes(routes.bytes());
+  msg.put_u16(static_cast<std::uint16_t>(attrs.size()));
+  msg.put_bytes(attrs);
+  for (const Prefix& p : update.announced) put_ipv4_prefix(msg, p);
+  if (msg.size() > 4096) throw std::invalid_argument("BGP UPDATE exceeds 4096 bytes");
+  msg.patch_u16(len_slot, static_cast<std::uint16_t>(msg.size()));
+  return msg.take();
+}
+
+}  // namespace
+
+void write_update(const UpdateMessage& update, std::ostream& os) {
+  ByteWriter body;
+  body.put_u32(update.peer_as.value());
+  body.put_u32(update.local_as.value());
+  body.put_u16(0);  // interface index
+  body.put_u16(kAfiIpv4);
+  body.put_u32(update.peer_ip);
+  body.put_u32(update.local_ip);
+  const auto msg = encode_bgp_update(update);
+  body.put_bytes(msg);
+
+  ByteWriter header;
+  header.put_u32(update.timestamp);
+  header.put_u16(kTypeBgp4mp);
+  header.put_u16(kSubMessageAs4);
+  header.put_u32(static_cast<std::uint32_t>(body.size()));
+  os.write(reinterpret_cast<const char*>(header.bytes().data()),
+           static_cast<std::streamsize>(header.size()));
+  os.write(reinterpret_cast<const char*>(body.bytes().data()),
+           static_cast<std::streamsize>(body.size()));
+}
+
+std::vector<UpdateMessage> read_updates(std::istream& is) {
+  std::vector<UpdateMessage> out;
+  std::vector<std::uint8_t> header_buf(12);
+  while (is.read(reinterpret_cast<char*>(header_buf.data()), 12)) {
+    ByteReader header(header_buf);
+    const std::uint32_t timestamp = header.get_u32();
+    const std::uint16_t type = header.get_u16();
+    const std::uint16_t subtype = header.get_u16();
+    const std::uint32_t length = header.get_u32();
+    if (length > kMaxRecordBytes) {
+      throw DecodeError("MRT record length " + std::to_string(length) +
+                        " exceeds sanity cap");
+    }
+    std::vector<std::uint8_t> body(length);
+    if (!is.read(reinterpret_cast<char*>(body.data()), static_cast<std::streamsize>(length))) {
+      throw DecodeError("truncated MRT record body");
+    }
+    if (type != kTypeBgp4mp || subtype != kSubMessageAs4) continue;
+
+    ByteReader r(body);
+    UpdateMessage update;
+    update.timestamp = timestamp;
+    update.peer_as = Asn(r.get_u32());
+    update.local_as = Asn(r.get_u32());
+    r.get_u16();  // interface index
+    const std::uint16_t afi = r.get_u16();
+    if (afi != kAfiIpv4) continue;  // IPv6 sessions: not in our corpora
+    update.peer_ip = r.get_u32();
+    update.local_ip = r.get_u32();
+
+    r.get_bytes(16);  // BGP marker
+    const std::uint16_t msg_len = r.get_u16();
+    if (msg_len < 19) throw DecodeError("BGP message length < 19");
+    const std::uint8_t msg_type = r.get_u8();
+    if (msg_type != kBgpMsgUpdate) continue;  // KEEPALIVE/OPEN: skip
+
+    const std::uint16_t withdrawn_len = r.get_u16();
+    ByteReader withdrawn = r.sub(withdrawn_len);
+    while (!withdrawn.done()) update.withdrawn.push_back(get_ipv4_prefix(withdrawn));
+
+    const std::uint16_t attrs_len = r.get_u16();
+    ByteReader attrs = r.sub(attrs_len);
+    if (attrs_len > 0) update.attrs = decode_attributes(attrs);
+
+    while (!r.done()) update.announced.push_back(get_ipv4_prefix(r));
+    out.push_back(std::move(update));
+  }
+  return out;
+}
+
+}  // namespace asrank::mrt

@@ -1,0 +1,39 @@
+// MRT BGP4MP codec (RFC 6396 §4.4): per-message update streams, the format
+// collectors use for live BGP feeds ("updates" files).  We support
+// BGP4MP_MESSAGE_AS4 carrying BGP UPDATE messages with IPv4 NLRI, which is
+// what a relationship-inference pipeline replays to track topology changes
+// between RIB snapshots.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "asn/asn.h"
+#include "asn/prefix.h"
+#include "mrt/bgp_attrs.h"
+
+namespace asrank::mrt {
+
+/// One BGP UPDATE observed at a collector from `peer_as`.
+struct UpdateMessage {
+  std::uint32_t timestamp = 0;
+  Asn peer_as;
+  Asn local_as;
+  std::uint32_t peer_ip = 0;   ///< IPv4
+  std::uint32_t local_ip = 0;  ///< IPv4
+  std::vector<Prefix> withdrawn;
+  std::vector<Prefix> announced;
+  BgpAttributes attrs;  ///< meaningful only when `announced` is non-empty
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) = default;
+};
+
+/// Append one BGP4MP_MESSAGE_AS4 record to the stream.
+void write_update(const UpdateMessage& update, std::ostream& os);
+
+/// Read every BGP4MP_MESSAGE_AS4 record from the stream; other MRT types are
+/// skipped.  Throws DecodeError on malformed records.
+[[nodiscard]] std::vector<UpdateMessage> read_updates(std::istream& is);
+
+}  // namespace asrank::mrt

@@ -1,0 +1,39 @@
+// Legacy MRT TABLE_DUMP codec (RFC 6396 §4.2, type 12): one record per
+// (prefix, peer) with 2-byte ASNs — the format of RouteViews archives from
+// the era of Gao's 2001 study.  Supporting it lets the pipeline replay
+// historical corpora alongside modern TABLE_DUMP_V2 snapshots.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "asn/asn.h"
+#include "asn/prefix.h"
+#include "mrt/bgp_attrs.h"
+
+namespace asrank::mrt {
+
+/// One TABLE_DUMP record: a single route from a single peer.
+struct TableDumpV1Entry {
+  std::uint32_t timestamp = 0;
+  Prefix prefix;
+  std::uint32_t originated_time = 0;
+  std::uint32_t peer_ip = 0;
+  Asn peer_as;  ///< 16-bit on the wire; larger values are rejected on encode
+  BgpAttributes attrs;
+
+  friend bool operator==(const TableDumpV1Entry&, const TableDumpV1Entry&) = default;
+};
+
+/// Append one TABLE_DUMP record.  Throws std::invalid_argument if the peer
+/// AS or any AS-path hop does not fit in 16 bits (the v1 format predates
+/// RFC 4893 four-octet ASNs).
+void write_table_dump_v1(const TableDumpV1Entry& entry, std::ostream& os,
+                         std::uint16_t view = 0, std::uint16_t sequence = 0);
+
+/// Read every TABLE_DUMP/AFI_IPv4 record from a stream; other MRT types are
+/// skipped.  Throws DecodeError on malformed records.
+[[nodiscard]] std::vector<TableDumpV1Entry> read_table_dump_v1(std::istream& is);
+
+}  // namespace asrank::mrt

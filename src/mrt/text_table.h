@@ -1,0 +1,48 @@
+// Text-format route table parsing: the "show ip bgp"-style dump some
+// pipelines consume when MRT is unavailable, plus a minimal pipe-separated
+// "prefix|as-path" exchange format for interoperability with scripted
+// toolchains.
+//
+// The Cisco-style format parsed here is the one RouteViews historically
+// published (oix-route-views):
+//
+//      Network          Next Hop            Metric LocPrf Weight Path
+//   *> 1.0.0.0/24       203.0.113.1              0             0 701 174 13335 i
+//   *  1.0.0.0/24       198.51.100.7             0             0 3356 13335 i
+//
+// Only best-path marker, network, and the AS path matter for inference; the
+// rest is ignored but must parse positionally.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "asn/as_path.h"
+#include "asn/prefix.h"
+
+namespace asrank::mrt {
+
+struct TextRoute {
+  Prefix prefix;
+  AsPath path;
+  bool best = false;
+
+  friend bool operator==(const TextRoute&, const TextRoute&) = default;
+};
+
+/// Parse a Cisco-style table.  Header/separator lines are skipped; a route
+/// line with an unparseable network or path raises std::runtime_error with
+/// the line number.  Continuation lines (network omitted, as Cisco prints
+/// for repeated prefixes) inherit the previous network.  Route lines are
+/// expected to carry the three numeric columns (metric, local-pref, weight)
+/// between next hop and path, as write_show_ip_bgp emits.
+[[nodiscard]] std::vector<TextRoute> parse_show_ip_bgp(std::istream& is);
+
+/// Render routes in the Cisco-style format parse_show_ip_bgp consumes.
+void write_show_ip_bgp(const std::vector<TextRoute>& routes, std::ostream& os);
+
+/// Write/parse the minimal "prefix|hop hop hop" exchange format.
+void write_pipe_table(const std::vector<TextRoute>& routes, std::ostream& os);
+[[nodiscard]] std::vector<TextRoute> parse_pipe_table(std::istream& is);
+
+}  // namespace asrank::mrt

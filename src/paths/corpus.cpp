@@ -1,0 +1,49 @@
+#include "paths/corpus.h"
+
+#include <algorithm>
+
+namespace asrank::paths {
+
+std::uint64_t PathCorpus::key(Asn a, Asn b) noexcept {
+  const std::uint32_t lo = std::min(a.value(), b.value());
+  const std::uint32_t hi = std::max(a.value(), b.value());
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+std::vector<Asn> PathCorpus::vantage_points() const {
+  std::unordered_set<Asn> seen;
+  for (const PathRecord& record : records_) seen.insert(record.vp);
+  std::vector<Asn> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Asn> PathCorpus::ases() const {
+  std::unordered_set<Asn> seen;
+  for (const PathRecord& record : records_) {
+    for (const Asn hop : record.path.hops()) seen.insert(hop);
+  }
+  std::vector<Asn> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t PathCorpus::prefix_count() const {
+  std::unordered_set<Prefix> seen;
+  for (const PathRecord& record : records_) seen.insert(record.prefix);
+  return seen.size();
+}
+
+std::unordered_map<std::uint64_t, std::size_t> PathCorpus::link_observations() const {
+  std::unordered_map<std::uint64_t, std::size_t> out;
+  for (const PathRecord& record : records_) {
+    const auto hops = record.path.hops();
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      if (hops[i] == hops[i + 1]) continue;  // prepending is not a link
+      ++out[key(hops[i], hops[i + 1])];
+    }
+  }
+  return out;
+}
+
+}  // namespace asrank::paths

@@ -1,0 +1,316 @@
+#include "topogen/topogen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace asrank::topogen {
+
+namespace {
+
+/// Allocate the next usable ASN, skipping IANA-reserved values.
+Asn next_asn(std::uint32_t& cursor) {
+  do {
+    ++cursor;
+  } while (Asn(cursor).reserved());
+  return Asn(cursor);
+}
+
+/// Sample a provider from `pool`.  Non-clique pools use preferential
+/// attachment (probability proportional to 1 + current customer count),
+/// which yields the heavy-tailed customer-cone distribution the paper
+/// observes.  The clique pool is sampled uniformly: every real tier-1 has a
+/// large customer base, and concentrating the clique's customers on one or
+/// two members would let tier-2 ASes out-rank tier-1s in transit degree —
+/// a structure the Internet does not exhibit.
+Asn pick_provider(const AsGraph& graph, const std::vector<Asn>& pool, util::Rng& rng,
+                  bool uniform = false) {
+  if (uniform) return pool[rng.uniform(pool.size())];
+  std::vector<double> weights;
+  weights.reserve(pool.size());
+  for (const Asn candidate : pool) {
+    weights.push_back(1.0 + static_cast<double>(graph.customers(candidate).size()));
+  }
+  return pool[rng.weighted_pick(weights)];
+}
+
+std::size_t provider_count(const GenParams& p, util::Rng& rng) {
+  const double weights[] = {p.one_provider, p.two_providers, p.three_providers};
+  return rng.weighted_pick(weights) + 1;
+}
+
+/// Add `target_mean` p2p links per member on average, partners drawn
+/// uniformly from `candidates`; skips pairs that already share a link.
+/// Newly created links are reported through `on_link` when provided.
+void sprinkle_peering(AsGraph& graph, const std::vector<Asn>& members,
+                      const std::vector<Asn>& candidates, double target_mean,
+                      util::Rng& rng,
+                      const std::function<void(Asn, Asn)>& on_link = {}) {
+  if (candidates.size() < 2 || target_mean <= 0.0) return;
+  for (const Asn member : members) {
+    const auto attempts = static_cast<std::size_t>(
+        rng.geometric(1.0 / (1.0 + target_mean)));
+    for (std::size_t i = 0; i < attempts; ++i) {
+      const Asn partner = candidates[rng.uniform(candidates.size())];
+      if (partner == member || graph.has_link(member, partner)) continue;
+      graph.add_p2p(member, partner);
+      if (on_link) on_link(member, partner);
+    }
+  }
+}
+
+Prefix allocate_prefix(std::uint32_t& prefix_cursor) {
+  // Sequential /24s across the synthetic address space; index 0 is skipped
+  // so no prefix is 0.0.0.0/24.
+  ++prefix_cursor;
+  return Prefix::v4(prefix_cursor << 8, 24);
+}
+
+}  // namespace
+
+std::size_t GroundTruth::prefix_count() const {
+  std::size_t total = 0;
+  for (const auto& [as, prefixes] : originated) total += prefixes.size();
+  return total;
+}
+
+GenParams GenParams::preset(const std::string& name) {
+  GenParams p;
+  if (name == "tiny") {
+    p.total_ases = 60;
+    p.clique_size = 4;
+    p.ixp_count = 1;
+  } else if (name == "small") {
+    p.total_ases = 300;
+    p.clique_size = 6;
+    p.ixp_count = 2;
+  } else if (name == "medium") {
+    p.total_ases = 2000;
+    p.clique_size = 10;
+    p.ixp_count = 3;
+  } else if (name == "large") {
+    p.total_ases = 10000;
+    p.clique_size = 14;
+    p.ixp_count = 5;
+  } else {
+    throw std::invalid_argument("GenParams::preset: unknown preset '" + name + "'");
+  }
+  return p;
+}
+
+GroundTruth generate(const GenParams& params) {
+  if (params.clique_size < 2) {
+    throw std::invalid_argument("topogen: clique_size must be >= 2");
+  }
+  if (params.total_ases < params.clique_size + 2) {
+    throw std::invalid_argument("topogen: total_ases too small for the clique");
+  }
+  util::Rng rng(params.seed);
+  GroundTruth truth;
+
+  // --- Tier assignment in creation order ---------------------------------
+  std::uint32_t asn_cursor = 0;
+  std::vector<Asn> order;
+  order.reserve(params.total_ases);
+  for (std::size_t i = 0; i < params.total_ases; ++i) order.push_back(next_asn(asn_cursor));
+
+  const std::size_t non_clique = params.total_ases - params.clique_size;
+  const auto transit_count =
+      static_cast<std::size_t>(std::ceil(params.transit_fraction * static_cast<double>(non_clique)));
+  const auto regional_count =
+      static_cast<std::size_t>(std::ceil(params.regional_fraction * static_cast<double>(non_clique)));
+
+  std::vector<Asn> tier2, tier3, stubs;
+  for (std::size_t i = 0; i < params.total_ases; ++i) {
+    const Asn as = order[i];
+    truth.graph.add_as(as);
+    Tier tier;
+    if (i < params.clique_size) {
+      tier = Tier::kClique;
+      truth.clique.push_back(as);
+    } else if (i < params.clique_size + transit_count) {
+      tier = Tier::kTransit;
+      tier2.push_back(as);
+    } else if (i < params.clique_size + transit_count + regional_count) {
+      tier = Tier::kRegional;
+      tier3.push_back(as);
+    } else {
+      tier = Tier::kStub;
+      stubs.push_back(as);
+    }
+    truth.tiers.emplace(as, tier);
+  }
+  std::sort(truth.clique.begin(), truth.clique.end());
+
+  // --- Clique: full p2p mesh (assumption A1) ------------------------------
+  for (std::size_t i = 0; i < truth.clique.size(); ++i) {
+    for (std::size_t j = i + 1; j < truth.clique.size(); ++j) {
+      truth.graph.add_p2p(truth.clique[i], truth.clique[j]);
+    }
+  }
+
+  // --- Transit attachment (assumption A2; acyclic by tier ordering, A3) ---
+  std::vector<Asn> clique_pool = truth.clique;
+  auto attach = [&](Asn as, const std::vector<std::vector<Asn>*>& pools,
+                    const std::vector<double>& pool_weights) {
+    const std::size_t want = provider_count(params, rng);
+    for (std::size_t i = 0; i < want; ++i) {
+      const auto& pool = *pools[rng.weighted_pick(pool_weights)];
+      if (pool.empty()) continue;
+      const Asn provider =
+          pick_provider(truth.graph, pool, rng, /*uniform=*/&pool == &clique_pool);
+      if (provider == as || truth.graph.has_link(provider, as)) continue;
+      truth.graph.add_p2c(provider, as);
+    }
+    // Guarantee global reachability: every non-clique AS has >= 1 provider.
+    if (truth.graph.providers(as).empty()) {
+      const auto& fallback = *pools.front();
+      Asn provider = pick_provider(truth.graph, fallback, rng);
+      if (provider == as) provider = fallback.front() == as ? fallback.back() : fallback.front();
+      truth.graph.add_p2c(provider, as);
+    }
+  };
+
+  for (const Asn as : tier2) attach(as, {&clique_pool}, {1.0});
+  for (const Asn as : tier3) attach(as, {&tier2, &clique_pool}, {0.8, 0.2});
+  for (const Asn as : stubs) attach(as, {&tier3, &tier2, &clique_pool}, {0.55, 0.3, 0.15});
+
+  // --- Peering -------------------------------------------------------------
+  sprinkle_peering(truth.graph, tier2, tier2, params.tier2_peer_degree, rng);
+
+  std::vector<Asn> ixp_eligible = tier2;
+  ixp_eligible.insert(ixp_eligible.end(), tier3.begin(), tier3.end());
+  for (std::size_t i = 0; i < params.ixp_count; ++i) {
+    Ixp ixp;
+    ixp.route_server = next_asn(asn_cursor);
+    truth.ixp_asns.insert(ixp.route_server);
+    for (const Asn as : ixp_eligible) {
+      if (rng.bernoulli(params.ixp_join_prob)) ixp.members.push_back(as);
+    }
+    sprinkle_peering(truth.graph, ixp.members, ixp.members, params.ixp_peer_degree, rng,
+                     [&truth, &ixp](Asn a, Asn b) {
+                       truth.ixp_links.emplace(AsGraph::link_key(a, b), ixp.route_server);
+                     });
+    truth.ixps.push_back(std::move(ixp));
+  }
+
+  for (const Asn as : stubs) {
+    if (!rng.bernoulli(params.content_stub_fraction)) continue;
+    truth.content_stubs.insert(as);
+    sprinkle_peering(truth.graph, {as}, tier2, params.content_peer_degree, rng);
+  }
+
+  // --- Sibling groups ------------------------------------------------------
+  {
+    std::vector<Asn> candidates;
+    candidates.insert(candidates.end(), tier3.begin(), tier3.end());
+    candidates.insert(candidates.end(), stubs.begin(), stubs.end());
+    rng.shuffle(candidates);
+    const auto group_member_target =
+        static_cast<std::size_t>(params.sibling_fraction * static_cast<double>(candidates.size()));
+    std::size_t used = 0;
+    while (used + 2 <= group_member_target) {
+      const std::size_t size = std::min<std::size_t>(2 + rng.uniform(2), group_member_target - used);
+      if (size < 2) break;
+      std::vector<Asn> group(candidates.begin() + static_cast<long>(used),
+                             candidates.begin() + static_cast<long>(used + size));
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        for (std::size_t j = i + 1; j < group.size(); ++j) {
+          if (!truth.graph.has_link(group[i], group[j])) {
+            truth.graph.add_s2s(group[i], group[j]);
+          }
+        }
+      }
+      truth.sibling_groups.push_back(std::move(group));
+      used += size;
+    }
+  }
+
+  // --- Prefix origination --------------------------------------------------
+  std::uint32_t prefix_cursor = 0;
+  for (const Asn as : order) {
+    std::size_t count = 1;
+    if (params.max_extra_prefixes > 0) {
+      count += rng.zipf(params.max_extra_prefixes, params.prefix_zipf_exponent) - 1;
+    }
+    auto& prefixes = truth.originated[as];
+    prefixes.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) prefixes.push_back(allocate_prefix(prefix_cursor));
+  }
+
+  return truth;
+}
+
+void evolve(GroundTruth& truth, util::Rng& rng, const EvolveParams& params) {
+  // Recover tier pools and the highest allocated ASN.
+  std::vector<Asn> tier2, tier3, stubs;
+  std::uint32_t asn_cursor = 0;
+  std::uint32_t prefix_cursor = 0;
+  for (const auto& [as, prefixes] : truth.originated) {
+    for (const Prefix& p : prefixes) {
+      prefix_cursor = std::max(prefix_cursor, static_cast<std::uint32_t>(p.bits() >> 8));
+    }
+  }
+  for (const auto& [as, tier] : truth.tiers) {
+    asn_cursor = std::max(asn_cursor, as.value());
+    switch (tier) {
+      case Tier::kTransit: tier2.push_back(as); break;
+      case Tier::kRegional: tier3.push_back(as); break;
+      case Tier::kStub: stubs.push_back(as); break;
+      case Tier::kClique: break;
+    }
+  }
+  for (const Asn rs : truth.ixp_asns) asn_cursor = std::max(asn_cursor, rs.value());
+  std::sort(tier2.begin(), tier2.end());
+  std::sort(tier3.begin(), tier3.end());
+  std::sort(stubs.begin(), stubs.end());
+
+  // New stub ASes attach to existing transit providers.
+  for (std::size_t i = 0; i < params.new_stubs; ++i) {
+    const Asn as = next_asn(asn_cursor);
+    truth.graph.add_as(as);
+    truth.tiers.emplace(as, Tier::kStub);
+    const auto& pool = (rng.bernoulli(0.6) && !tier3.empty()) ? tier3 : tier2;
+    truth.graph.add_p2c(pick_provider(truth.graph, pool, rng), as);
+    if (rng.bernoulli(0.3)) {  // multihome
+      const Asn second = pick_provider(truth.graph, tier2.empty() ? pool : tier2, rng);
+      if (second != as && !truth.graph.has_link(second, as)) truth.graph.add_p2c(second, as);
+    }
+    truth.originated[as].push_back(Prefix::v4(++prefix_cursor << 8, 24));
+    stubs.push_back(as);
+  }
+
+  // Flattening: extra p2p links among transit/regional ASes.
+  std::vector<Asn> peer_pool = tier2;
+  peer_pool.insert(peer_pool.end(), tier3.begin(), tier3.end());
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < params.new_peerings && attempts < params.new_peerings * 20 &&
+         peer_pool.size() >= 2) {
+    ++attempts;
+    const Asn a = peer_pool[rng.uniform(peer_pool.size())];
+    const Asn b = peer_pool[rng.uniform(peer_pool.size())];
+    if (a == b || truth.graph.has_link(a, b)) continue;
+    truth.graph.add_p2p(a, b);
+    ++added;
+  }
+
+  // Re-homing: some stubs change one provider.
+  const auto rehome_count =
+      static_cast<std::size_t>(params.rehome_fraction * static_cast<double>(stubs.size()));
+  for (std::size_t i = 0; i < rehome_count && !stubs.empty(); ++i) {
+    const Asn as = stubs[rng.uniform(stubs.size())];
+    const auto providers = truth.graph.providers(as);
+    if (providers.empty()) continue;
+    const Asn old_provider = providers[rng.uniform(providers.size())];
+    const auto& pool = tier3.empty() ? tier2 : tier3;
+    if (pool.empty()) continue;
+    const Asn new_provider = pick_provider(truth.graph, pool, rng);
+    if (new_provider == as || truth.graph.has_link(new_provider, as)) continue;
+    truth.graph.remove_link(old_provider, as);
+    truth.graph.add_p2c(new_provider, as);
+  }
+}
+
+}  // namespace asrank::topogen

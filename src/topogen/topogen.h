@@ -1,0 +1,119 @@
+// Synthetic Internet topology generator with ground truth.
+//
+// The real paper ingests RouteViews/RIS data for the ~43k-AS Internet of
+// 2012.  Offline, we substitute a hierarchical generator whose output has the
+// structural properties the inference algorithm's assumptions rest on:
+//
+//   * a fully-meshed clique of tier-1 transit providers (assumption A1);
+//   * every non-clique AS buys transit from at least one provider in a
+//     strictly higher tier or earlier creation order, so the p2c digraph is
+//     acyclic by construction (assumptions A2/A3);
+//   * heavy-tailed customer counts via preferential attachment;
+//   * peering concentrated near the top of the hierarchy plus dense IXP-based
+//     peering lower down (the "flattening" Internet), including IXP
+//     route-server ASNs that can leak into observed paths;
+//   * sibling groups and multi-homed stubs;
+//   * per-AS originated prefixes with a heavy-tailed count distribution.
+//
+// Because the generator returns the ground-truth annotated graph, every
+// inference experiment can compute exact accuracy — something the paper could
+// approximate only through its validation corpus.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "asn/asn.h"
+#include "asn/prefix.h"
+#include "topology/as_graph.h"
+#include "util/rng.h"
+
+namespace asrank::topogen {
+
+/// Tier of an AS in the generated hierarchy.
+enum class Tier : std::uint8_t {
+  kClique = 0,   ///< tier-1: provider-free, fully meshed p2p
+  kTransit = 1,  ///< tier-2: large transit providers
+  kRegional = 2, ///< tier-3: regional ISPs
+  kStub = 3,     ///< edge networks (enterprises, content, access)
+};
+
+struct GenParams {
+  std::uint64_t seed = 42;
+  std::size_t total_ases = 1000;
+  std::size_t clique_size = 10;
+  double transit_fraction = 0.10;   ///< tier-2 share of non-clique ASes
+  double regional_fraction = 0.25;  ///< tier-3 share of non-clique ASes
+
+  /// Multihoming: probability weights for 1, 2, 3 providers.
+  double one_provider = 0.55;
+  double two_providers = 0.35;
+  double three_providers = 0.10;
+
+  /// Peering: target mean number of p2p links per tier-2 AS with other
+  /// tier-2 ASes (kept as a degree target, not a per-pair probability, so
+  /// link counts scale linearly with topology size as on the real Internet).
+  double tier2_peer_degree = 5.0;
+
+  /// IXPs: count, membership, and per-member peering degree at each IXP.
+  std::size_t ixp_count = 3;
+  double ixp_join_prob = 0.30;      ///< per (tier>=2 AS, IXP) membership
+  double ixp_peer_degree = 4.0;     ///< mean peers per member at each IXP
+
+  /// Fraction of stub ASes that are "content" networks which peer broadly.
+  double content_stub_fraction = 0.05;
+  double content_peer_degree = 6.0;  ///< mean p2p links per content stub
+
+  /// Sibling groups.
+  double sibling_fraction = 0.04;    ///< fraction of ASes placed in groups of 2-3
+
+  /// Prefix origination: each AS announces 1 + zipf(max_extra, s) prefixes.
+  std::size_t max_extra_prefixes = 8;
+  double prefix_zipf_exponent = 1.5;
+
+  /// Named presets: "tiny" (60), "small" (300), "medium" (2000),
+  /// "large" (10000).  Throws std::invalid_argument for unknown names.
+  [[nodiscard]] static GenParams preset(const std::string& name);
+};
+
+/// One Internet exchange point: a route-server ASN plus member ASes.
+struct Ixp {
+  Asn route_server;
+  std::vector<Asn> members;
+};
+
+/// A generated topology with full ground truth.
+struct GroundTruth {
+  AsGraph graph;
+  std::vector<Asn> clique;                       ///< sorted tier-1 members
+  std::unordered_map<Asn, Tier> tiers;
+  std::vector<Ixp> ixps;
+  std::unordered_set<Asn> ixp_asns;              ///< route-server ASNs (not in graph)
+  /// p2p links established at an IXP: AsGraph::link_key -> route-server ASN.
+  std::unordered_map<std::uint64_t, Asn> ixp_links;
+  std::vector<std::vector<Asn>> sibling_groups;
+  std::unordered_map<Asn, std::vector<Prefix>> originated;  ///< AS -> prefixes
+  std::unordered_set<Asn> content_stubs;
+
+  [[nodiscard]] Tier tier_of(Asn as) const { return tiers.at(as); }
+  [[nodiscard]] std::size_t prefix_count() const;
+};
+
+/// Generate a topology.  Deterministic given params.seed.
+[[nodiscard]] GroundTruth generate(const GenParams& params);
+
+/// Parameters for one evolution step (used by the time-series experiments).
+struct EvolveParams {
+  std::size_t new_stubs = 20;         ///< stub ASes attached per step
+  std::size_t new_peerings = 15;      ///< extra p2p links per step (flattening)
+  double rehome_fraction = 0.02;      ///< fraction of stubs that switch provider
+};
+
+/// Mutate `truth` in place by one evolution step; preserves all invariants
+/// (clique membership is stable; p2c stays acyclic).
+void evolve(GroundTruth& truth, util::Rng& rng, const EvolveParams& params);
+
+}  // namespace asrank::topogen

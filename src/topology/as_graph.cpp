@@ -1,0 +1,255 @@
+#include "topology/as_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace asrank {
+
+namespace {
+
+void erase_value(std::vector<Asn>& list, Asn value) {
+  list.erase(std::remove(list.begin(), list.end(), value), list.end());
+}
+
+constexpr std::span<const Asn> empty_span() noexcept { return {}; }
+
+}  // namespace
+
+std::uint64_t AsGraph::key(Asn a, Asn b) noexcept {
+  const std::uint32_t lo = std::min(a.value(), b.value());
+  const std::uint32_t hi = std::max(a.value(), b.value());
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+void AsGraph::add_as(Asn as) {
+  if (!as.valid()) throw std::invalid_argument("AsGraph::add_as: invalid ASN");
+  nodes_.try_emplace(as);
+}
+
+void AsGraph::detach(Asn a, Asn b, Stored stored) {
+  const Asn lo = a.value() < b.value() ? a : b;
+  const Asn hi = a.value() < b.value() ? b : a;
+  Node& nlo = nodes_.at(lo);
+  Node& nhi = nodes_.at(hi);
+  switch (stored) {
+    case Stored::kP2cLoHi:
+      erase_value(nlo.customers, hi);
+      erase_value(nhi.providers, lo);
+      break;
+    case Stored::kP2cHiLo:
+      erase_value(nhi.customers, lo);
+      erase_value(nlo.providers, hi);
+      break;
+    case Stored::kP2P:
+      erase_value(nlo.peers, hi);
+      erase_value(nhi.peers, lo);
+      break;
+    case Stored::kS2S:
+      erase_value(nlo.siblings, hi);
+      erase_value(nhi.siblings, lo);
+      break;
+  }
+}
+
+void AsGraph::set_relationship(Asn first, Asn second, LinkType type) {
+  if (!first.valid() || !second.valid()) {
+    throw std::invalid_argument("AsGraph::set_relationship: invalid ASN");
+  }
+  if (first == second) {
+    throw std::invalid_argument("AsGraph::set_relationship: self-link");
+  }
+  add_as(first);
+  add_as(second);
+  const std::uint64_t k = key(first, second);
+  if (const auto it = links_.find(k); it != links_.end()) {
+    detach(first, second, it->second);
+    links_.erase(it);
+  }
+  const bool first_is_lo = first.value() < second.value();
+  Stored stored{};
+  switch (type) {
+    case LinkType::kP2C:
+      stored = first_is_lo ? Stored::kP2cLoHi : Stored::kP2cHiLo;
+      nodes_.at(first).customers.push_back(second);
+      nodes_.at(second).providers.push_back(first);
+      break;
+    case LinkType::kP2P:
+      stored = Stored::kP2P;
+      nodes_.at(first).peers.push_back(second);
+      nodes_.at(second).peers.push_back(first);
+      break;
+    case LinkType::kS2S:
+      stored = Stored::kS2S;
+      nodes_.at(first).siblings.push_back(second);
+      nodes_.at(second).siblings.push_back(first);
+      break;
+  }
+  links_.emplace(k, stored);
+}
+
+bool AsGraph::remove_link(Asn a, Asn b) {
+  const auto it = links_.find(key(a, b));
+  if (it == links_.end()) return false;
+  detach(a, b, it->second);
+  links_.erase(it);
+  return true;
+}
+
+bool AsGraph::has_link(Asn a, Asn b) const noexcept {
+  return links_.contains(key(a, b));
+}
+
+std::optional<RelView> AsGraph::view(Asn as, Asn neighbor) const noexcept {
+  const auto it = links_.find(key(as, neighbor));
+  if (it == links_.end()) return std::nullopt;
+  const bool as_is_lo = as.value() < neighbor.value();
+  switch (it->second) {
+    case Stored::kP2cLoHi:
+      return as_is_lo ? RelView::kCustomer : RelView::kProvider;
+    case Stored::kP2cHiLo:
+      return as_is_lo ? RelView::kProvider : RelView::kCustomer;
+    case Stored::kP2P:
+      return RelView::kPeer;
+    case Stored::kS2S:
+      return RelView::kSibling;
+  }
+  return std::nullopt;
+}
+
+std::optional<Link> AsGraph::link(Asn a, Asn b) const noexcept {
+  const auto it = links_.find(key(a, b));
+  if (it == links_.end()) return std::nullopt;
+  const Asn lo = a.value() < b.value() ? a : b;
+  const Asn hi = a.value() < b.value() ? b : a;
+  switch (it->second) {
+    case Stored::kP2cLoHi: return Link{lo, hi, LinkType::kP2C};
+    case Stored::kP2cHiLo: return Link{hi, lo, LinkType::kP2C};
+    case Stored::kP2P: return Link{lo, hi, LinkType::kP2P};
+    case Stored::kS2S: return Link{lo, hi, LinkType::kS2S};
+  }
+  return std::nullopt;
+}
+
+std::vector<Asn> AsGraph::ases() const {
+  std::vector<Asn> out;
+  out.reserve(nodes_.size());
+  for (const auto& [as, node] : nodes_) out.push_back(as);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::span<const Asn> AsGraph::providers(Asn as) const noexcept {
+  const auto it = nodes_.find(as);
+  return it == nodes_.end() ? empty_span() : std::span<const Asn>(it->second.providers);
+}
+
+std::span<const Asn> AsGraph::customers(Asn as) const noexcept {
+  const auto it = nodes_.find(as);
+  return it == nodes_.end() ? empty_span() : std::span<const Asn>(it->second.customers);
+}
+
+std::span<const Asn> AsGraph::peers(Asn as) const noexcept {
+  const auto it = nodes_.find(as);
+  return it == nodes_.end() ? empty_span() : std::span<const Asn>(it->second.peers);
+}
+
+std::span<const Asn> AsGraph::siblings(Asn as) const noexcept {
+  const auto it = nodes_.find(as);
+  return it == nodes_.end() ? empty_span() : std::span<const Asn>(it->second.siblings);
+}
+
+std::vector<Asn> AsGraph::neighbors(Asn as) const {
+  std::vector<Asn> out;
+  const auto it = nodes_.find(as);
+  if (it == nodes_.end()) return out;
+  const Node& n = it->second;
+  out.reserve(n.providers.size() + n.customers.size() + n.peers.size() + n.siblings.size());
+  out.insert(out.end(), n.providers.begin(), n.providers.end());
+  out.insert(out.end(), n.customers.begin(), n.customers.end());
+  out.insert(out.end(), n.peers.begin(), n.peers.end());
+  out.insert(out.end(), n.siblings.begin(), n.siblings.end());
+  return out;
+}
+
+std::size_t AsGraph::degree(Asn as) const noexcept {
+  const auto it = nodes_.find(as);
+  if (it == nodes_.end()) return 0;
+  const Node& n = it->second;
+  return n.providers.size() + n.customers.size() + n.peers.size() + n.siblings.size();
+}
+
+AsGraph::LinkCounts AsGraph::link_counts() const noexcept {
+  LinkCounts counts;
+  for (const auto& [k, stored] : links_) {
+    switch (stored) {
+      case Stored::kP2cLoHi:
+      case Stored::kP2cHiLo: ++counts.p2c; break;
+      case Stored::kP2P: ++counts.p2p; break;
+      case Stored::kS2S: ++counts.s2s; break;
+    }
+  }
+  return counts;
+}
+
+std::vector<Link> AsGraph::links() const {
+  std::vector<Link> out;
+  out.reserve(links_.size());
+  for (const auto& [k, stored] : links_) {
+    const Asn lo(static_cast<std::uint32_t>(k >> 32));
+    const Asn hi(static_cast<std::uint32_t>(k));
+    switch (stored) {
+      case Stored::kP2cLoHi: out.push_back({lo, hi, LinkType::kP2C}); break;
+      case Stored::kP2cHiLo: out.push_back({hi, lo, LinkType::kP2C}); break;
+      case Stored::kP2P: out.push_back({lo, hi, LinkType::kP2P}); break;
+      case Stored::kS2S: out.push_back({lo, hi, LinkType::kS2S}); break;
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Link& x, const Link& y) {
+    const auto xa = std::min(x.a, x.b), xb = std::max(x.a, x.b);
+    const auto ya = std::min(y.a, y.b), yb = std::max(y.a, y.b);
+    if (xa != ya) return xa < ya;
+    return xb < yb;
+  });
+  return out;
+}
+
+bool AsGraph::p2c_acyclic() const {
+  // Kahn's algorithm over the provider->customer digraph.
+  std::unordered_map<Asn, std::size_t> indegree;
+  for (const auto& [as, node] : nodes_) indegree.emplace(as, node.providers.size());
+  std::vector<Asn> queue;
+  for (const auto& [as, deg] : indegree) {
+    if (deg == 0) queue.push_back(as);
+  }
+  std::size_t visited = 0;
+  while (!queue.empty()) {
+    const Asn as = queue.back();
+    queue.pop_back();
+    ++visited;
+    for (const Asn customer : customers(as)) {
+      if (--indegree.at(customer) == 0) queue.push_back(customer);
+    }
+  }
+  return visited == nodes_.size();
+}
+
+std::vector<Asn> AsGraph::provider_free_ases() const {
+  std::vector<Asn> out;
+  for (const auto& [as, node] : nodes_) {
+    if (node.providers.empty() && !node.customers.empty()) out.push_back(as);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Asn> AsGraph::stub_ases() const {
+  std::vector<Asn> out;
+  for (const auto& [as, node] : nodes_) {
+    if (node.customers.empty()) out.push_back(as);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace asrank

@@ -1,0 +1,117 @@
+// Relationship-annotated AS-level graph.
+//
+// AsGraph is the central data structure of the library: the topology
+// generator emits one as ground truth, the BGP simulator propagates routes
+// over one, and every inference algorithm produces one as its output.  Links
+// are undirected with a typed annotation; for p2c links the stored
+// orientation identifies the provider.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.h"
+#include "topology/relationship.h"
+
+namespace asrank {
+
+/// One annotated link.  For kP2C, `a` is the provider and `b` the customer;
+/// for kP2P/kS2S the order is normalized (a < b).
+struct Link {
+  Asn a;
+  Asn b;
+  LinkType type = LinkType::kP2P;
+
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+class AsGraph {
+ public:
+  AsGraph() = default;
+
+  /// Ensure an AS exists as an isolated node.
+  void add_as(Asn as);
+
+  /// Annotate (or re-annotate) the link between two distinct ASes.
+  /// For kP2C, `first` is the provider.  Throws std::invalid_argument on
+  /// self-links or invalid ASNs.
+  void set_relationship(Asn first, Asn second, LinkType type);
+
+  void add_p2c(Asn provider, Asn customer) { set_relationship(provider, customer, LinkType::kP2C); }
+  void add_p2p(Asn a, Asn b) { set_relationship(a, b, LinkType::kP2P); }
+  void add_s2s(Asn a, Asn b) { set_relationship(a, b, LinkType::kS2S); }
+
+  /// Remove the link if present; returns true if removed.
+  bool remove_link(Asn a, Asn b);
+
+  [[nodiscard]] bool has_as(Asn as) const noexcept { return nodes_.contains(as); }
+  [[nodiscard]] bool has_link(Asn a, Asn b) const noexcept;
+
+  /// Relationship of `neighbor` from `as`'s perspective, if the link exists.
+  [[nodiscard]] std::optional<RelView> view(Asn as, Asn neighbor) const noexcept;
+
+  /// The raw link annotation (orientation normalized as stored).
+  [[nodiscard]] std::optional<Link> link(Asn a, Asn b) const noexcept;
+
+  [[nodiscard]] std::vector<Asn> ases() const;
+  [[nodiscard]] std::span<const Asn> providers(Asn as) const noexcept;
+  [[nodiscard]] std::span<const Asn> customers(Asn as) const noexcept;
+  [[nodiscard]] std::span<const Asn> peers(Asn as) const noexcept;
+  [[nodiscard]] std::span<const Asn> siblings(Asn as) const noexcept;
+
+  /// All neighbours regardless of relationship.
+  [[nodiscard]] std::vector<Asn> neighbors(Asn as) const;
+
+  [[nodiscard]] std::size_t as_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] std::size_t degree(Asn as) const noexcept;
+
+  /// Count of links per type.
+  struct LinkCounts {
+    std::size_t p2c = 0;
+    std::size_t p2p = 0;
+    std::size_t s2s = 0;
+  };
+  [[nodiscard]] LinkCounts link_counts() const noexcept;
+
+  /// Enumerate all links (stable order: sorted by normalized endpoints).
+  [[nodiscard]] std::vector<Link> links() const;
+
+  /// True iff the provider->customer digraph has no directed cycle
+  /// (assumption A3 of the paper; also a generator invariant).
+  [[nodiscard]] bool p2c_acyclic() const;
+
+  /// ASes with no providers and at least one customer (transit roots).
+  [[nodiscard]] std::vector<Asn> provider_free_ases() const;
+
+  /// Stub ASes: no customers (degree counted over c2p/p2p links).
+  [[nodiscard]] std::vector<Asn> stub_ases() const;
+
+  /// Order-independent 64-bit key for an AS pair; exposed so callers can
+  /// maintain side tables keyed by link (e.g. which links formed at an IXP).
+  [[nodiscard]] static std::uint64_t link_key(Asn a, Asn b) noexcept { return key(a, b); }
+
+ private:
+  struct Node {
+    std::vector<Asn> providers;
+    std::vector<Asn> customers;
+    std::vector<Asn> peers;
+    std::vector<Asn> siblings;
+  };
+
+  /// Stored relationship for a normalized (lo < hi) pair.
+  enum class Stored : std::uint8_t { kP2cLoHi, kP2cHiLo, kP2P, kS2S };
+
+  static std::uint64_t key(Asn a, Asn b) noexcept;
+  void detach(Asn a, Asn b, Stored stored);
+
+  std::unordered_map<Asn, Node> nodes_;
+  std::unordered_map<std::uint64_t, Stored> links_;
+};
+
+}  // namespace asrank

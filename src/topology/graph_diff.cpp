@@ -1,0 +1,24 @@
+#include "topology/graph_diff.h"
+
+namespace asrank {
+
+GraphDiff diff_graphs(const AsGraph& before, const AsGraph& after) {
+  GraphDiff diff;
+  for (const Link& link : before.links()) {
+    const auto counterpart = after.link(link.a, link.b);
+    if (!counterpart) {
+      diff.removed.push_back(link);
+    } else if (counterpart->type != link.type ||
+               (link.type == LinkType::kP2C && counterpart->a != link.a)) {
+      diff.changed.push_back({link, *counterpart});
+    } else {
+      ++diff.unchanged;
+    }
+  }
+  for (const Link& link : after.links()) {
+    if (!before.link(link.a, link.b)) diff.added.push_back(link);
+  }
+  return diff;
+}
+
+}  // namespace asrank

@@ -1,0 +1,45 @@
+// Relationship-graph diff: the longitudinal comparison CAIDA's consumers
+// run between monthly .as-rel snapshots — which links appeared, which
+// vanished, and which changed relationship (peering upgrades/downgrades,
+// provider flips).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/as_graph.h"
+
+namespace asrank {
+
+struct LinkChange {
+  Link before;
+  Link after;
+
+  friend bool operator==(const LinkChange&, const LinkChange&) = default;
+};
+
+struct GraphDiff {
+  std::vector<Link> added;          ///< in `after` only
+  std::vector<Link> removed;        ///< in `before` only
+  std::vector<LinkChange> changed;  ///< different type or p2c orientation
+  std::size_t unchanged = 0;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return added.empty() && removed.empty() && changed.empty();
+  }
+
+  /// Links present in both snapshots.
+  [[nodiscard]] std::size_t common() const noexcept { return unchanged + changed.size(); }
+
+  /// Fraction of common links whose annotation is stable.
+  [[nodiscard]] double stability() const noexcept {
+    const std::size_t base = common();
+    return base == 0 ? 1.0 : static_cast<double>(unchanged) / static_cast<double>(base);
+  }
+};
+
+/// Compare two graphs link-by-link.  Output vectors are in deterministic
+/// (normalized endpoint) order.
+[[nodiscard]] GraphDiff diff_graphs(const AsGraph& before, const AsGraph& after);
+
+}  // namespace asrank

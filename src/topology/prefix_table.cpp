@@ -1,0 +1,115 @@
+#include "topology/prefix_table.h"
+
+#include <algorithm>
+
+namespace asrank {
+
+bool PrefixTable::bit_at(const Prefix& prefix, unsigned index) noexcept {
+  const unsigned width = prefix.max_length();
+  return (prefix.bits() >> (width - 1 - index)) & 1;
+}
+
+PrefixTable::Node& PrefixTable::mutable_root(Prefix::Family family) {
+  auto& root = family == Prefix::Family::kIpv4 ? v4_root_ : v6_root_;
+  if (!root) root = std::make_unique<Node>();
+  return *root;
+}
+
+bool PrefixTable::insert(const Prefix& prefix, Asn origin) {
+  Node* node = &mutable_root(prefix.family());
+  for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+    auto& child = node->child[bit_at(prefix, depth)];
+    if (!child) child = std::make_unique<Node>();
+    node = child.get();
+  }
+  const bool inserted = !node->origin.has_value();
+  node->origin = origin;
+  if (inserted) ++size_;
+  return inserted;
+}
+
+bool PrefixTable::erase(const Prefix& prefix) {
+  // Walk down recording the path, clear the terminal origin, then prune
+  // childless non-terminal nodes on the way back up.
+  auto& root = prefix.family() == Prefix::Family::kIpv4 ? v4_root_ : v6_root_;
+  if (!root) return false;
+  std::vector<Node*> path{root.get()};
+  for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+    Node* next = path.back()->child[bit_at(prefix, depth)].get();
+    if (!next) return false;
+    path.push_back(next);
+  }
+  if (!path.back()->origin) return false;
+  path.back()->origin.reset();
+  --size_;
+  for (unsigned depth = prefix.length(); depth > 0; --depth) {
+    Node* node = path[depth];
+    if (node->origin || node->child[0] || node->child[1]) break;
+    path[depth - 1]->child[bit_at(prefix, depth - 1)].reset();
+  }
+  return true;
+}
+
+std::optional<Asn> PrefixTable::exact(const Prefix& prefix) const {
+  const Node* node = root_for(prefix.family());
+  for (unsigned depth = 0; node != nullptr && depth < prefix.length(); ++depth) {
+    node = node->child[bit_at(prefix, depth)].get();
+  }
+  if (node == nullptr) return std::nullopt;
+  return node->origin;
+}
+
+std::optional<PrefixTable::Match> PrefixTable::lookup(const Prefix& prefix) const {
+  const Node* node = root_for(prefix.family());
+  std::optional<Match> best;
+  unsigned depth = 0;
+  while (node != nullptr) {
+    if (node->origin) {
+      // The Prefix constructor canonicalizes (masks host bits below `depth`).
+      best = Match{Prefix(prefix.family(), prefix.bits(), static_cast<std::uint8_t>(depth)),
+                   *node->origin};
+    }
+    if (depth >= prefix.length()) break;
+    node = node->child[bit_at(prefix, depth)].get();
+    ++depth;
+  }
+  return best;
+}
+
+std::vector<PrefixTable::Match> PrefixTable::entries() const {
+  std::vector<Match> out;
+  struct Frame {
+    const Node* node;
+    unsigned __int128 bits;
+    unsigned depth;
+  };
+  auto walk = [&out](const Node* root, Prefix::Family family, unsigned width) {
+    if (root == nullptr) return;
+    std::vector<Frame> stack{{root, 0, 0}};
+    while (!stack.empty()) {
+      const Frame frame = stack.back();
+      stack.pop_back();
+      if (frame.node->origin) {
+        out.push_back({Prefix(family, frame.bits << (width - frame.depth),
+                              static_cast<std::uint8_t>(frame.depth)),
+                       *frame.node->origin});
+      }
+      // Push right child first so the left (0) branch pops first.
+      if (frame.node->child[1]) {
+        stack.push_back({frame.node->child[1].get(), (frame.bits << 1) | 1, frame.depth + 1});
+      }
+      if (frame.node->child[0]) {
+        stack.push_back({frame.node->child[0].get(), frame.bits << 1, frame.depth + 1});
+      }
+    }
+  };
+  walk(v4_root_.get(), Prefix::Family::kIpv4, 32);
+  walk(v6_root_.get(), Prefix::Family::kIpv6, 128);
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    return std::tuple(a.prefix.family(), a.prefix.bits(), a.prefix.length()) <
+           std::tuple(b.prefix.family(), b.prefix.bits(), b.prefix.length());
+  });
+  return out;
+}
+
+}  // namespace asrank

@@ -1,0 +1,81 @@
+// Longest-prefix-match table mapping prefixes to origin ASes.
+//
+// Every pipeline around the AS-relationship ecosystem needs IP-to-AS
+// mapping: traceroute-based validation maps hop addresses to ASes, and
+// collectors map NLRI to origins.  This is a binary radix (Patricia-style)
+// trie over the canonical Prefix representation, supporting exact insert,
+// longest-prefix lookup of more-specific prefixes, and enumeration.
+// IPv4 and IPv6 coexist in one table (disjoint key spaces).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "asn/asn.h"
+#include "asn/prefix.h"
+
+namespace asrank {
+
+class PrefixTable {
+ public:
+  PrefixTable() = default;
+
+  // Deep trie; default special members would either copy node-by-node
+  // (wrong implicitly) or leak semantics — keep it move-only.
+  PrefixTable(const PrefixTable&) = delete;
+  PrefixTable& operator=(const PrefixTable&) = delete;
+  PrefixTable(PrefixTable&&) noexcept = default;
+  PrefixTable& operator=(PrefixTable&&) noexcept = default;
+
+  /// Insert or replace the origin for an exact prefix.  Returns true if the
+  /// prefix was new.
+  bool insert(const Prefix& prefix, Asn origin);
+
+  /// Remove an exact prefix.  Returns true if it was present.
+  bool erase(const Prefix& prefix);
+
+  /// Origin of the exact prefix, if present.
+  [[nodiscard]] std::optional<Asn> exact(const Prefix& prefix) const;
+
+  /// Longest-prefix match: the most specific stored prefix containing
+  /// `prefix` (which may be a host route, e.g. a /32).  Returns the matched
+  /// prefix and its origin.
+  struct Match {
+    Prefix prefix;
+    Asn origin;
+  };
+  [[nodiscard]] std::optional<Match> lookup(const Prefix& prefix) const;
+
+  /// Convenience: longest-prefix match for an IPv4 address.
+  [[nodiscard]] std::optional<Match> lookup_v4(std::uint32_t address) const {
+    return lookup(Prefix::v4(address, 32));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// All entries in canonical (family, bits, length) order.
+  [[nodiscard]] std::vector<Match> entries() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    std::optional<Asn> origin;  ///< set iff a prefix terminates here
+  };
+
+  /// Separate roots per family keep key spaces disjoint.
+  [[nodiscard]] const Node* root_for(Prefix::Family family) const noexcept {
+    return family == Prefix::Family::kIpv4 ? v4_root_.get() : v6_root_.get();
+  }
+  [[nodiscard]] Node& mutable_root(Prefix::Family family);
+
+  static bool bit_at(const Prefix& prefix, unsigned index) noexcept;
+
+  std::unique_ptr<Node> v4_root_;
+  std::unique_ptr<Node> v6_root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace asrank

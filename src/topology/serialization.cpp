@@ -1,0 +1,85 @@
+#include "topology/serialization.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "util/strings.h"
+
+namespace asrank {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("line " + std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+void write_as_rel(const AsGraph& graph, std::ostream& os) {
+  os << "# " << graph.as_count() << " ASes, " << graph.link_count() << " links\n";
+  os << "# format: <provider|peer>|<customer|peer>|<-1 p2c, 0 p2p, 2 s2s>\n";
+  for (const Link& link : graph.links()) {
+    os << link.a.value() << '|' << link.b.value() << '|' << as_rel_code(link.type) << '\n';
+  }
+}
+
+AsGraph read_as_rel(std::istream& is) {
+  AsGraph graph;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto text = util::trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    const auto fields = util::split(text, '|', /*keep_empty=*/true);
+    if (fields.size() != 3) fail(line_no, "expected 3 '|'-separated fields");
+    const auto a = Asn::parse(fields[0]);
+    const auto b = Asn::parse(fields[1]);
+    const auto code = util::parse_unsigned<std::uint32_t>(
+        fields[2].starts_with('-') ? fields[2].substr(1) : fields[2]);
+    if (!a || !b || !code) fail(line_no, "malformed field");
+    const int rel_code = fields[2].starts_with('-') ? -static_cast<int>(*code)
+                                                    : static_cast<int>(*code);
+    const auto type = link_type_from_code(rel_code);
+    if (!type) fail(line_no, "unknown relationship code " + std::to_string(rel_code));
+    graph.set_relationship(*a, *b, *type);
+  }
+  return graph;
+}
+
+void write_ppdc(const ConeMap& cones, std::ostream& os) {
+  os << "# format: <as> <cone member> ...\n";
+  for (const auto& [as, members] : cones) {
+    os << as.value();
+    for (const Asn member : members) os << ' ' << member.value();
+    os << '\n';
+  }
+}
+
+ConeMap read_ppdc(std::istream& is) {
+  ConeMap cones;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto text = util::trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    const auto tokens = util::split_ws(text);
+    if (tokens.empty()) continue;
+    const auto as = Asn::parse(tokens[0]);
+    if (!as) fail(line_no, "malformed AS");
+    std::vector<Asn> members;
+    members.reserve(tokens.size() - 1);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const auto member = Asn::parse(tokens[i]);
+      if (!member) fail(line_no, "malformed cone member");
+      members.push_back(*member);
+    }
+    cones.emplace(*as, std::move(members));
+  }
+  return cones;
+}
+
+}  // namespace asrank

@@ -1,0 +1,36 @@
+// Text serialization in CAIDA's published dataset formats, so this library's
+// outputs are drop-in compatible with tooling built around the AS Rank data:
+//
+//   .as-rel:    "<provider>|<customer>|-1", "<peer>|<peer>|0" (s2s = 2),
+//               '#'-prefixed comment lines.
+//   .ppdc-ases: "<as> <cone-member> <cone-member> ..." one AS per line,
+//               the AS itself included as the first member.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "asn/asn.h"
+#include "topology/as_graph.h"
+
+namespace asrank {
+
+/// Write the graph in .as-rel format (deterministic link order).
+void write_as_rel(const AsGraph& graph, std::ostream& os);
+
+/// Parse .as-rel text.  Throws std::runtime_error with a line number on
+/// malformed input.  Unknown relationship codes are rejected.
+[[nodiscard]] AsGraph read_as_rel(std::istream& is);
+
+/// Customer cones keyed by AS, each cone sorted ascending and containing the
+/// AS itself (CAIDA convention).
+using ConeMap = std::map<Asn, std::vector<Asn>>;
+
+/// Write cones in .ppdc-ases format.
+void write_ppdc(const ConeMap& cones, std::ostream& os);
+
+/// Parse .ppdc-ases text.  Throws std::runtime_error on malformed input.
+[[nodiscard]] ConeMap read_ppdc(std::istream& is);
+
+}  // namespace asrank

@@ -1,0 +1,115 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace asrank::util {
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  s.median = quantile(sorted, 0.5);
+  s.p90 = quantile(sorted, 0.9);
+  s.p99 = quantile(sorted, 0.99);
+  return s;
+}
+
+std::vector<CcdfPoint> ccdf(std::span<const double> values) {
+  std::vector<CcdfPoint> out;
+  if (values.empty()) return out;
+  std::map<double, std::size_t> counts;
+  for (double v : values) ++counts[v];
+  const auto n = static_cast<double>(values.size());
+  std::size_t at_or_above = values.size();
+  out.reserve(counts.size());
+  for (const auto& [value, count] : counts) {
+    out.push_back({value, static_cast<double>(at_or_above) / n});
+    at_or_above -= count;
+  }
+  return out;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double num = 0, dx = 0, dy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    dx += (x[i] - mx) * (x[i] - mx);
+    dy += (y[i] - my) * (y[i] - my);
+  }
+  if (dx <= 0.0 || dy <= 0.0) return 0.0;
+  return num / std::sqrt(dx * dy);
+}
+
+double kendall_tau(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  long long concordant = 0, discordant = 0, ties_x = 0, ties_y = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = i + 1; j < x.size(); ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) continue;
+      if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if ((dx > 0) == (dy > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double denom = std::sqrt(static_cast<double>(concordant + discordant + ties_x)) *
+                       std::sqrt(static_cast<double>(concordant + discordant + ties_y));
+  if (denom == 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+std::vector<std::size_t> histogram(std::span<const double> values, double lo, double hi,
+                                   std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("histogram: bins must be > 0");
+  if (hi <= lo) throw std::invalid_argument("histogram: hi must exceed lo");
+  std::vector<std::size_t> out(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : values) {
+    auto idx = static_cast<long long>((v - lo) / width);
+    idx = std::clamp<long long>(idx, 0, static_cast<long long>(bins) - 1);
+    ++out[static_cast<std::size_t>(idx)];
+  }
+  return out;
+}
+
+}  // namespace asrank::util

@@ -1,0 +1,53 @@
+// Small statistics toolkit used by the evaluation harness: summary moments,
+// quantiles, empirical CCDFs, and rank correlations for comparing AS rankings.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace asrank::util {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Compute summary statistics; returns a zeroed Summary for empty input.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Linear-interpolated quantile, q in [0,1].  Throws on empty input or
+/// out-of-range q.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// One point of an empirical complementary CDF.
+struct CcdfPoint {
+  double value = 0.0;     ///< x: sample value
+  double fraction = 0.0;  ///< y: fraction of samples >= value
+};
+
+/// Empirical CCDF over distinct sample values, sorted ascending by value.
+/// This is the form used for the customer-cone size distributions (paper §5).
+[[nodiscard]] std::vector<CcdfPoint> ccdf(std::span<const double> values);
+
+/// Pearson correlation coefficient; returns 0 for degenerate inputs.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Kendall's tau-b rank correlation (O(n^2), fine for ranking tables).
+/// Used to compare inferred AS ranks against ground-truth cone ranks.
+[[nodiscard]] double kendall_tau(std::span<const double> x, std::span<const double> y);
+
+/// Histogram with fixed-width bins over [lo, hi); values outside are clamped
+/// into the edge bins.  Throws if bins == 0 or hi <= lo.
+[[nodiscard]] std::vector<std::size_t> histogram(std::span<const double> values,
+                                                 double lo, double hi, std::size_t bins);
+
+}  // namespace asrank::util

@@ -1,0 +1,50 @@
+// String helpers shared by the text-format parsers (.as-rel files, RPSL,
+// "show ip bgp" tables).  All functions are allocation-conscious: splitting
+// returns string_views into the caller's buffer.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asrank::util {
+
+/// Split `text` on `delim`, optionally keeping empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text, char delim,
+                                                  bool keep_empty = false);
+
+/// Split on any run of whitespace (space/tab); never yields empty fields.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view text);
+
+/// Strip leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Parse an unsigned integer; rejects trailing junk, signs, and overflow.
+template <typename T>
+[[nodiscard]] std::optional<T> parse_unsigned(std::string_view text) noexcept {
+  static_assert(std::is_unsigned_v<T>);
+  if (text.empty()) return std::nullopt;
+  T value{};
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+/// Parse a double; rejects trailing junk.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text) noexcept;
+
+/// ASCII case-insensitive equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Lowercase an ASCII string.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// Join items with a separator using `to_string`-able or string-like elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace asrank::util

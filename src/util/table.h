@@ -1,0 +1,50 @@
+// Plain-text table rendering for the benchmark harness.  Every experiment
+// binary prints its table/figure series through TableWriter so the output is
+// uniform and diff-able run to run (given fixed seeds).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace asrank::util {
+
+/// Column-aligned text table with an optional caption, rendered to a stream.
+/// Numeric formatting is the caller's responsibility (pass pre-formatted
+/// cells); helpers below cover the common cases.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header.  Throws
+  /// std::invalid_argument otherwise.
+  void add_row(std::vector<std::string> cells);
+
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with box-drawing-free ASCII alignment, suitable for logs.
+  void render(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180 quoting for commas/quotes/newlines).
+  void render_csv(std::ostream& os) const;
+
+ private:
+  std::string caption_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+/// Format a ratio as a percentage string, e.g. 0.9957 -> "99.57%".
+[[nodiscard]] std::string fmt_pct(double ratio, int precision = 2);
+
+/// Thousands-separated integer, e.g. 465944 -> "465,944".
+[[nodiscard]] std::string fmt_count(std::uint64_t value);
+
+}  // namespace asrank::util

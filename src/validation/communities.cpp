@@ -1,0 +1,43 @@
+#include "validation/communities.h"
+
+namespace asrank::validation {
+
+std::vector<Assertion> assertions_from_communities(const std::vector<TaggedRoute>& routes,
+                                                   const ConventionMap& conventions) {
+  std::vector<Assertion> out;
+  for (const TaggedRoute& route : routes) {
+    for (const mrt::Community community : route.communities) {
+      const Asn tagger(community.high);
+      const auto convention_it = conventions.find(tagger);
+      if (convention_it == conventions.end()) continue;
+      const CommunityConvention& convention = convention_it->second;
+
+      const auto position = route.path.index_of(tagger);
+      if (!position || *position + 1 >= route.path.size()) continue;
+      const Asn neighbor = route.path.at(*position + 1);
+      if (neighbor == tagger) continue;
+
+      Assertion assertion;
+      assertion.source = Source::kCommunities;
+      if (community.low == convention.from_customer) {
+        assertion.a = tagger;  // neighbour is the tagger's customer
+        assertion.b = neighbor;
+        assertion.type = LinkType::kP2C;
+      } else if (community.low == convention.from_provider) {
+        assertion.a = neighbor;  // neighbour provides to the tagger
+        assertion.b = tagger;
+        assertion.type = LinkType::kP2C;
+      } else if (community.low == convention.from_peer) {
+        assertion.a = tagger;
+        assertion.b = neighbor;
+        assertion.type = LinkType::kP2P;
+      } else {
+        continue;  // unrelated community value
+      }
+      out.push_back(assertion);
+    }
+  }
+  return out;
+}
+
+}  // namespace asrank::validation

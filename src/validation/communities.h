@@ -1,0 +1,46 @@
+// BGP community decoding (paper §3.2.3).
+//
+// Many networks tag routes with informational communities that encode where
+// the route was learned: e.g. 3356:100 = "learned from customer".  Given the
+// published conventions of participating ASes, each tagged route asserts the
+// relationship between the tagging AS and the neighbour the route came from.
+// The paper mined exactly this to build the largest slice of its validation
+// data.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.h"
+#include "asn/as_path.h"
+#include "mrt/bgp_attrs.h"
+#include "validation/corpus.h"
+
+namespace asrank::validation {
+
+/// One AS's published community convention for route provenance.
+struct CommunityConvention {
+  std::uint16_t from_customer = 100;
+  std::uint16_t from_peer = 200;
+  std::uint16_t from_provider = 300;
+};
+
+/// Registry of ASes whose conventions are known.
+using ConventionMap = std::unordered_map<Asn, CommunityConvention>;
+
+/// A route as needed for community mining: the AS path plus its communities.
+struct TaggedRoute {
+  AsPath path;  ///< VP-first orientation; the tagger is the first hop
+  std::vector<mrt::Community> communities;
+};
+
+/// Decode assertions from tagged routes.  A community asn:value where `asn`
+/// has a known convention and `value` matches one of its provenance tags
+/// asserts the relationship between `asn` and the hop following it in the
+/// path.  Routes whose first hop is not the tagging AS are searched for the
+/// tagging AS anywhere in the path (communities survive propagation).
+[[nodiscard]] std::vector<Assertion> assertions_from_communities(
+    const std::vector<TaggedRoute>& routes, const ConventionMap& conventions);
+
+}  // namespace asrank::validation

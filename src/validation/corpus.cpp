@@ -1,0 +1,55 @@
+#include "validation/corpus.h"
+
+#include <algorithm>
+
+namespace asrank::validation {
+
+std::uint64_t ValidationCorpus::key(Asn a, Asn b) noexcept {
+  const std::uint32_t lo = std::min(a.value(), b.value());
+  const std::uint32_t hi = std::max(a.value(), b.value());
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+namespace {
+
+/// Lower value = more trusted.
+constexpr int trust(Source s) noexcept { return static_cast<int>(s); }
+
+bool same_claim(const Assertion& x, const Assertion& y) noexcept {
+  if (x.type != y.type) return false;
+  if (x.type == LinkType::kP2C) return x.a == y.a && x.b == y.b;
+  return true;  // undirected types match regardless of order
+}
+
+}  // namespace
+
+void ValidationCorpus::add(const Assertion& assertion) {
+  const auto [it, inserted] = by_link_.try_emplace(key(assertion.a, assertion.b), assertion);
+  if (inserted) return;
+  if (!same_claim(it->second, assertion)) ++conflicts_;
+  if (trust(assertion.source) < trust(it->second.source)) it->second = assertion;
+}
+
+std::optional<Assertion> ValidationCorpus::lookup(Asn a, Asn b) const {
+  const auto it = by_link_.find(key(a, b));
+  if (it == by_link_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Assertion> ValidationCorpus::assertions() const {
+  std::vector<std::pair<std::uint64_t, Assertion>> items(by_link_.begin(), by_link_.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  std::vector<Assertion> out;
+  out.reserve(items.size());
+  for (auto& [k, assertion] : items) out.push_back(assertion);
+  return out;
+}
+
+std::unordered_map<Source, std::size_t> ValidationCorpus::source_counts() const {
+  std::unordered_map<Source, std::size_t> out;
+  for (const auto& [k, assertion] : by_link_) ++out[assertion.source];
+  return out;
+}
+
+}  // namespace asrank::validation

@@ -1,0 +1,148 @@
+#include "validation/rpsl.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace asrank::validation {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("rpsl line " + std::to_string(line_no) + ": " + what);
+}
+
+/// Parse "from AS64500 accept ANY" / "to AS64500 announce AS-SET-FOO".
+/// Returns (neighbor, filter-is-ANY).
+std::pair<Asn, bool> parse_policy_line(std::string_view rest, std::string_view lead_word,
+                                       std::string_view filter_word, std::size_t line_no) {
+  const auto tokens = util::split_ws(rest);
+  if (tokens.size() < 3 || !util::iequals(tokens[0], lead_word)) {
+    fail(line_no, "expected '" + std::string(lead_word) + " <AS> " +
+                      std::string(filter_word) + " <filter>'");
+  }
+  const auto neighbor = Asn::parse(tokens[1]);
+  if (!neighbor) fail(line_no, "malformed neighbour ASN");
+  // Find the filter keyword; everything after it is the filter expression.
+  std::size_t filter_at = tokens.size();
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    if (util::iequals(tokens[i], filter_word)) {
+      filter_at = i;
+      break;
+    }
+  }
+  if (filter_at + 1 > tokens.size() || filter_at == tokens.size()) {
+    fail(line_no, "missing '" + std::string(filter_word) + "' clause");
+  }
+  const bool any = filter_at + 1 < tokens.size() && util::iequals(tokens[filter_at + 1], "ANY");
+  return {*neighbor, any};
+}
+
+}  // namespace
+
+std::vector<AutNum> parse_rpsl(std::istream& is) {
+  std::vector<AutNum> objects;
+  AutNum current;
+  bool in_object = false;
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto flush = [&] {
+    if (in_object) objects.push_back(std::move(current));
+    current = AutNum{};
+    in_object = false;
+  };
+
+  auto policy_for = [&](Asn neighbor) -> RpslPolicy& {
+    for (RpslPolicy& policy : current.policies) {
+      if (policy.neighbor == neighbor) return policy;
+    }
+    current.policies.push_back(RpslPolicy{neighbor, false, false, false, false});
+    return current.policies.back();
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto text = util::trim(line);
+    if (text.empty()) {
+      flush();
+      continue;
+    }
+    if (text.front() == '%' || text.front() == '#') continue;  // comments
+    const auto colon = text.find(':');
+    if (colon == std::string_view::npos) continue;  // continuation lines: ignored
+    const auto attr = util::to_lower(util::trim(text.substr(0, colon)));
+    const auto rest = util::trim(text.substr(colon + 1));
+    if (attr == "aut-num") {
+      flush();
+      const auto as = Asn::parse(rest);
+      if (!as) fail(line_no, "malformed aut-num value");
+      current.as = *as;
+      in_object = true;
+    } else if (attr == "import" && in_object) {
+      const auto [neighbor, any] = parse_policy_line(rest, "from", "accept", line_no);
+      RpslPolicy& policy = policy_for(neighbor);
+      policy.has_import = true;
+      policy.import_any = policy.import_any || any;
+    } else if (attr == "export" && in_object) {
+      const auto [neighbor, any] = parse_policy_line(rest, "to", "announce", line_no);
+      RpslPolicy& policy = policy_for(neighbor);
+      policy.has_export = true;
+      policy.export_any = policy.export_any || any;
+    }
+    // Other attributes (as-name, descr, mnt-by, ...) are ignored.
+  }
+  flush();
+  return objects;
+}
+
+std::vector<Assertion> assertions_from_rpsl(const std::vector<AutNum>& objects) {
+  std::vector<Assertion> out;
+  for (const AutNum& object : objects) {
+    for (const RpslPolicy& policy : object.policies) {
+      if (!policy.has_import || !policy.has_export) continue;  // one-sided: skip
+      Assertion assertion;
+      assertion.source = Source::kRpsl;
+      if (policy.import_any && policy.export_any) {
+        continue;  // mutual transit: ambiguous, paper discards these
+      }
+      if (policy.import_any) {
+        assertion.a = policy.neighbor;  // provider
+        assertion.b = object.as;
+        assertion.type = LinkType::kP2C;
+      } else if (policy.export_any) {
+        assertion.a = object.as;  // provider
+        assertion.b = policy.neighbor;
+        assertion.type = LinkType::kP2C;
+      } else {
+        assertion.a = object.as;
+        assertion.b = policy.neighbor;
+        assertion.type = LinkType::kP2P;
+      }
+      out.push_back(assertion);
+    }
+  }
+  return out;
+}
+
+void write_rpsl(const std::vector<AutNum>& objects, std::ostream& os) {
+  for (const AutNum& object : objects) {
+    os << "aut-num: AS" << object.as.value() << '\n';
+    os << "as-name: UNSPECIFIED\n";
+    for (const RpslPolicy& policy : object.policies) {
+      if (policy.has_import) {
+        os << "import: from AS" << policy.neighbor.value() << " accept "
+           << (policy.import_any ? "ANY" : ("AS" + policy.neighbor.str())) << '\n';
+      }
+      if (policy.has_export) {
+        os << "export: to AS" << policy.neighbor.value() << " announce "
+           << (policy.export_any ? "ANY" : ("AS" + object.as.str())) << '\n';
+      }
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace asrank::validation

@@ -1,0 +1,188 @@
+#include "validation/synthesize.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace asrank::validation {
+
+namespace {
+
+using topogen::GroundTruth;
+
+/// Direct operator reports: a biased-but-mostly-correct sample of links.
+std::size_t synthesize_direct(const GroundTruth& truth, const SynthesisParams& params,
+                              util::Rng& rng, ValidationCorpus& corpus) {
+  std::size_t count = 0;
+  for (const Link& link : truth.graph.links()) {
+    if (!rng.bernoulli(params.direct_link_fraction)) continue;
+    Assertion assertion;
+    assertion.source = Source::kDirectReport;
+    assertion.a = link.a;
+    assertion.b = link.b;
+    assertion.type = link.type;
+    if (rng.bernoulli(params.direct_error)) {
+      // A wrong report: flip the relationship type (the realistic failure
+      // mode: paid peering reported as plain peering and vice versa).
+      if (assertion.type == LinkType::kP2C) {
+        assertion.type = LinkType::kP2P;
+      } else {
+        assertion.type = LinkType::kP2C;  // orientation a->b arbitrary but fixed
+      }
+    }
+    corpus.add(assertion);
+    ++count;
+  }
+  return count;
+}
+
+/// RPSL: render registered policies to text, then parse them back through
+/// the production parser.
+std::size_t synthesize_rpsl(const GroundTruth& truth, const SynthesisParams& params,
+                            util::Rng& rng, SynthesizedValidation& out) {
+  const std::vector<Asn> ases = truth.graph.ases();
+  for (const Asn as : ases) {
+    if (!rng.bernoulli(params.rpsl_as_fraction)) continue;
+    AutNum object;
+    object.as = as;
+    auto add_policy = [&](Asn neighbor, bool import_any, bool export_any) {
+      object.policies.push_back(
+          RpslPolicy{neighbor, import_any, export_any, /*has_import=*/true,
+                     /*has_export=*/true});
+    };
+    for (const Asn provider : truth.graph.providers(as)) {
+      add_policy(provider, /*import_any=*/true, /*export_any=*/false);
+    }
+    for (const Asn customer : truth.graph.customers(as)) {
+      add_policy(customer, /*import_any=*/false, /*export_any=*/true);
+    }
+    for (const Asn peer : truth.graph.peers(as)) {
+      add_policy(peer, /*import_any=*/false, /*export_any=*/false);
+    }
+    // Stale registration: a policy for a neighbour the AS no longer has,
+    // claiming an old provider.  Produces a wrong-or-unmatchable assertion.
+    if (rng.bernoulli(params.rpsl_stale_prob) && !ases.empty()) {
+      const Asn ghost = ases[rng.uniform(ases.size())];
+      if (ghost != as && !truth.graph.has_link(ghost, as)) {
+        add_policy(ghost, /*import_any=*/true, /*export_any=*/false);
+      }
+    }
+    if (!object.policies.empty()) out.rpsl_objects.push_back(std::move(object));
+  }
+
+  // Round-trip through text: write, re-parse, derive assertions.
+  std::stringstream text;
+  write_rpsl(out.rpsl_objects, text);
+  const auto parsed = parse_rpsl(text);
+  const auto assertions = assertions_from_rpsl(parsed);
+  for (const Assertion& assertion : assertions) out.corpus.add(assertion);
+  return assertions.size();
+}
+
+/// Communities: tag observed routes according to the VP's ground-truth
+/// relationship with the next hop, then decode with the production decoder.
+std::size_t synthesize_communities(const GroundTruth& truth,
+                                   const bgpsim::Observation& observation,
+                                   const SynthesisParams& params, util::Rng& rng,
+                                   SynthesizedValidation& out) {
+  // Which VPs publish a convention?  Only 16-bit ASNs can tag (RFC 1997).
+  for (const bgpsim::VantagePoint& vp : observation.vps) {
+    if (vp.as.value() > 0xffff) continue;
+    if (rng.bernoulli(params.community_vp_fraction)) {
+      out.conventions.emplace(vp.as, CommunityConvention{});
+    }
+  }
+
+  std::vector<TaggedRoute> tagged;
+  for (const bgpsim::ObservedRoute& route : observation.routes) {
+    const auto convention_it = out.conventions.find(route.vp);
+    if (convention_it == out.conventions.end()) continue;
+    if (route.path.size() < 2) continue;
+    if (!rng.bernoulli(params.community_tag_prob)) continue;
+
+    const Asn next = route.path.at(1);
+    const auto view = truth.graph.view(route.vp, next);
+    if (!view) continue;  // pathology-injected hop: the router tags nothing
+    const CommunityConvention& convention = convention_it->second;
+    std::uint16_t value = 0;
+    switch (*view) {
+      case RelView::kCustomer: value = convention.from_customer; break;
+      case RelView::kPeer: value = convention.from_peer; break;
+      case RelView::kProvider: value = convention.from_provider; break;
+      case RelView::kSibling: continue;  // no sibling tag in the convention
+    }
+    if (rng.bernoulli(params.community_error)) {
+      value = value == convention.from_peer ? convention.from_customer
+                                            : convention.from_peer;
+    }
+    TaggedRoute tagged_route;
+    tagged_route.path = route.path;
+    tagged_route.communities.push_back(
+        mrt::Community{static_cast<std::uint16_t>(route.vp.value()), value});
+    tagged.push_back(std::move(tagged_route));
+  }
+
+  const auto assertions = assertions_from_communities(tagged, out.conventions);
+  for (const Assertion& assertion : assertions) out.corpus.add(assertion);
+  return assertions.size();
+}
+
+}  // namespace
+
+SynthesizedValidation synthesize_validation(const GroundTruth& truth,
+                                            const bgpsim::Observation& observation,
+                                            const SynthesisParams& params) {
+  util::Rng rng(params.seed);
+  SynthesizedValidation out;
+  out.direct_assertions = synthesize_direct(truth, params, rng, out.corpus);
+  out.rpsl_assertions = synthesize_rpsl(truth, params, rng, out);
+  out.community_assertions = synthesize_communities(truth, observation, params, rng, out);
+  return out;
+}
+
+std::string customer_set_name(Asn as) {
+  return "AS" + as.str() + ":AS-CUSTOMERS";
+}
+
+IrrDatabase synthesize_irr(const GroundTruth& truth, const IrrSynthesisParams& params) {
+  util::Rng rng(params.seed);
+  IrrDatabase database;
+
+  // Route objects: the registered origin of each covered prefix, with an
+  // occasional stale record pointing at a previous holder.
+  const std::vector<Asn> all_ases = truth.graph.ases();
+  for (const Asn as : all_ases) {
+    const auto it = truth.originated.find(as);
+    if (it == truth.originated.end()) continue;
+    for (const Prefix& prefix : it->second) {
+      if (!rng.bernoulli(params.route_object_fraction)) continue;
+      Asn origin = as;
+      if (rng.bernoulli(params.stale_origin_prob)) {
+        origin = all_ases[rng.uniform(all_ases.size())];
+      }
+      database.routes.push_back({prefix, origin});
+    }
+  }
+
+  // Customer sets: transit ASes registering their direct customers, the
+  // common convention behind "announce AS64500:AS-CUSTOMERS" export lines.
+  for (const Asn as : all_ases) {
+    const auto customers = truth.graph.customers(as);
+    if (customers.empty()) continue;
+    if (!rng.bernoulli(params.customer_set_fraction)) continue;
+    AsSet set;
+    set.name = customer_set_name(as);
+    set.asn_members.assign(customers.begin(), customers.end());
+    std::sort(set.asn_members.begin(), set.asn_members.end());
+    // Nested sets: customers that registered their own set are referenced
+    // by name (so expansion exercises recursion).
+    for (const Asn customer : customers) {
+      if (database.as_sets.contains(customer_set_name(customer))) {
+        set.set_members.push_back(customer_set_name(customer));
+      }
+    }
+    database.as_sets.emplace(set.name, std::move(set));
+  }
+  return database;
+}
+
+}  // namespace asrank::validation

@@ -1,0 +1,79 @@
+// Validation-corpus synthesizer: the offline substitute for the paper's
+// operator survey, IRR mining, and community mining.
+//
+// Ground truth is leaked through the three channels with realistic coverage
+// bias and noise, and — crucially — through the *real parsers*: RPSL
+// assertions are produced by rendering aut-num objects to text and parsing
+// them back; community assertions are produced by tagging observed routes
+// and decoding them.  The resulting corpus therefore behaves like the
+// paper's: partial, source-skewed, and slightly wrong.
+#pragma once
+
+#include <cstddef>
+
+#include "bgpsim/observation.h"
+#include "topogen/topogen.h"
+#include "util/rng.h"
+#include "validation/communities.h"
+#include "validation/corpus.h"
+#include "validation/irr.h"
+#include "validation/rpsl.h"
+
+namespace asrank::validation {
+
+struct SynthesisParams {
+  std::uint64_t seed = 11;
+
+  /// Direct operator reports: fraction of ground-truth links reported, and
+  /// the probability a report is wrong (misremembered/ambiguous contract).
+  double direct_link_fraction = 0.06;
+  double direct_error = 0.005;
+
+  /// RPSL: fraction of ASes that register an aut-num object; probability a
+  /// registered policy is stale (survives a re-homing that removed the link).
+  double rpsl_as_fraction = 0.20;
+  double rpsl_stale_prob = 0.02;
+
+  /// Communities: fraction of VPs that publish a tagging convention, and
+  /// per-route tagging coverage/noise.
+  double community_vp_fraction = 0.5;
+  double community_tag_prob = 0.9;
+  double community_error = 0.002;
+};
+
+struct SynthesizedValidation {
+  ValidationCorpus corpus;
+  std::vector<AutNum> rpsl_objects;  ///< what was "registered" (pre-parse)
+  ConventionMap conventions;
+  std::size_t direct_assertions = 0;
+  std::size_t rpsl_assertions = 0;
+  std::size_t community_assertions = 0;
+};
+
+/// Build a validation corpus from ground truth and the observation whose
+/// routes carry the community tags.  Deterministic given params.seed.
+[[nodiscard]] SynthesizedValidation synthesize_validation(
+    const topogen::GroundTruth& truth, const bgpsim::Observation& observation,
+    const SynthesisParams& params);
+
+/// IRR registration behaviour for route objects and customer as-sets.
+struct IrrSynthesisParams {
+  std::uint64_t seed = 13;
+  /// Fraction of originated prefixes with a registered route object.
+  double route_object_fraction = 0.5;
+  /// Probability a registered route object names a wrong (stale) origin.
+  double stale_origin_prob = 0.01;
+  /// Fraction of transit ASes that register an AS-<asn>:AS-CUSTOMERS set
+  /// listing their direct customers (the common IRR convention).
+  double customer_set_fraction = 0.4;
+};
+
+/// Leak prefix originations and customer sets into an IRR database, again
+/// with realistic coverage and staleness.  Deterministic given params.seed.
+[[nodiscard]] IrrDatabase synthesize_irr(const topogen::GroundTruth& truth,
+                                         const IrrSynthesisParams& params);
+
+/// The conventional name of an AS's customer set ("AS64500:AS-CUSTOMERS").
+[[nodiscard]] std::string customer_set_name(Asn as);
+
+}  // namespace asrank::validation

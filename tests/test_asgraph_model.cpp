@@ -1,0 +1,106 @@
+// Randomized model check: AsGraph against a naive reference implementation
+// under thousands of mixed mutations.  Guards the adjacency-list/link-map
+// consistency that every other module depends on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "topology/as_graph.h"
+#include "util/rng.h"
+
+namespace asrank {
+namespace {
+
+/// Naive reference: a map from normalized pair to oriented link.
+class ReferenceGraph {
+ public:
+  void set(Asn first, Asn second, LinkType type) {
+    links_[key(first, second)] = Link{first, second, type};
+  }
+  bool remove(Asn a, Asn b) { return links_.erase(key(a, b)) > 0; }
+
+  [[nodiscard]] std::optional<Link> link(Asn a, Asn b) const {
+    const auto it = links_.find(key(a, b));
+    if (it == links_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::size_t size() const { return links_.size(); }
+
+  [[nodiscard]] std::vector<Asn> providers(Asn as) const {
+    std::vector<Asn> out;
+    for (const auto& [k, l] : links_) {
+      if (l.type == LinkType::kP2C && l.b == as) out.push_back(l.a);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  [[nodiscard]] std::vector<Asn> peers(Asn as) const {
+    std::vector<Asn> out;
+    for (const auto& [k, l] : links_) {
+      if (l.type != LinkType::kP2P) continue;
+      if (l.a == as) out.push_back(l.b);
+      if (l.b == as) out.push_back(l.a);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  static std::pair<std::uint32_t, std::uint32_t> key(Asn a, Asn b) {
+    return {std::min(a.value(), b.value()), std::max(a.value(), b.value())};
+  }
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Link> links_;
+};
+
+class AsGraphModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AsGraphModel, AgreesWithReferenceUnderRandomOps) {
+  util::Rng rng(GetParam());
+  AsGraph graph;
+  ReferenceGraph reference;
+  constexpr std::uint32_t kAses = 20;
+
+  for (int op = 0; op < 3000; ++op) {
+    const Asn a(1 + static_cast<std::uint32_t>(rng.uniform(kAses)));
+    Asn b(1 + static_cast<std::uint32_t>(rng.uniform(kAses)));
+    if (a == b) b = Asn(a.value() % kAses + 1);
+    const auto action = rng.uniform(5);
+    if (action <= 2) {
+      const LinkType type = action == 0   ? LinkType::kP2C
+                            : action == 1 ? LinkType::kP2P
+                                          : LinkType::kS2S;
+      graph.set_relationship(a, b, type);
+      reference.set(a, b, type);
+    } else if (action == 3) {
+      EXPECT_EQ(graph.remove_link(a, b), reference.remove(a, b));
+    } else {
+      const auto got = graph.link(a, b);
+      const auto want = reference.link(a, b);
+      ASSERT_EQ(got.has_value(), want.has_value());
+      if (got) {
+        EXPECT_EQ(got->type, want->type);
+        if (got->type == LinkType::kP2C) {
+          EXPECT_EQ(got->a, want->a);
+          EXPECT_EQ(got->b, want->b);
+        }
+      }
+    }
+  }
+
+  // Final deep comparison.
+  EXPECT_EQ(graph.link_count(), reference.size());
+  for (std::uint32_t v = 1; v <= kAses; ++v) {
+    const Asn as(v);
+    std::vector<Asn> got_providers(graph.providers(as).begin(), graph.providers(as).end());
+    std::sort(got_providers.begin(), got_providers.end());
+    EXPECT_EQ(got_providers, reference.providers(as)) << "AS" << v;
+    std::vector<Asn> got_peers(graph.peers(as).begin(), graph.peers(as).end());
+    std::sort(got_peers.begin(), got_peers.end());
+    EXPECT_EQ(got_peers, reference.peers(as)) << "AS" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsGraphModel, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace asrank

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "baselines/asrank_adapter.h"
+#include "baselines/degree_heuristic.h"
+#include "baselines/gao.h"
+#include "baselines/tor_local_search.h"
+#include "bgpsim/observation.h"
+#include "topogen/topogen.h"
+#include "validation/ppv.h"
+
+namespace asrank::baselines {
+namespace {
+
+paths::PathRecord rec(std::uint32_t vp, std::uint32_t prefix_id,
+                      std::initializer_list<std::uint32_t> hops) {
+  return paths::PathRecord{Asn(vp), Prefix::v4(prefix_id << 8, 24), AsPath(hops)};
+}
+
+/// Star provider 10 with customers 1..4; plus 20 serving 5,6; VP paths give
+/// 10 the largest degree.
+paths::PathCorpus star_corpus() {
+  paths::PathCorpus corpus;
+  std::uint32_t prefix = 0;
+  auto add = [&](std::uint32_t vp, std::initializer_list<std::uint32_t> hops) {
+    corpus.add(rec(vp, ++prefix, hops));
+  };
+  add(1, {1, 10, 2});
+  add(1, {1, 10, 3});
+  add(1, {1, 10, 4});
+  add(2, {2, 10, 1});
+  add(5, {5, 20, 10, 1});  // 20 buys from 10
+  add(5, {5, 20, 6});
+  add(1, {1, 10, 20, 6});
+  return corpus;
+}
+
+// ----------------------------------------------------------------- Gao ----
+
+TEST(Gao, InfersTransitAroundTopProvider) {
+  const GaoInference gao;
+  const AsGraph g = gao.infer(star_corpus());
+  EXPECT_EQ(g.view(Asn(1), Asn(10)), RelView::kProvider);
+  EXPECT_EQ(g.view(Asn(2), Asn(10)), RelView::kProvider);
+  EXPECT_EQ(g.view(Asn(20), Asn(10)), RelView::kProvider);
+  EXPECT_EQ(g.view(Asn(6), Asn(20)), RelView::kProvider);
+}
+
+TEST(Gao, SiblingWhenBothDirectionsTransit) {
+  paths::PathCorpus corpus;
+  // 1 and 2 each appear providing for the other repeatedly around top 10.
+  corpus.add(rec(9, 1, {9, 10, 1, 2, 3}));
+  corpus.add(rec(9, 2, {9, 10, 1, 2, 4}));
+  corpus.add(rec(9, 3, {9, 10, 2, 1, 5}));
+  corpus.add(rec(9, 4, {9, 10, 2, 1, 6}));
+  GaoConfig config;
+  config.sibling_threshold = 1;
+  const GaoInference gao(config);
+  const AsGraph g = gao.infer(corpus);
+  EXPECT_EQ(g.view(Asn(1), Asn(2)), RelView::kSibling);
+}
+
+TEST(Gao, PeeringAtTopWithComparableDegrees) {
+  paths::PathCorpus corpus;
+  // Two comparable tops 10 and 20, each with customers; the 10-20 link is
+  // only ever seen at the peak.
+  corpus.add(rec(1, 1, {1, 10, 20, 5}));
+  corpus.add(rec(5, 2, {5, 20, 10, 1}));
+  corpus.add(rec(1, 3, {1, 10, 2}));
+  corpus.add(rec(5, 4, {5, 20, 6}));
+  const GaoInference gao;
+  const AsGraph g = gao.infer(corpus);
+  EXPECT_EQ(g.view(Asn(10), Asn(20)), RelView::kPeer);
+}
+
+TEST(Gao, DegreeRatioBlocksImplausiblePeering) {
+  paths::PathCorpus corpus;
+  // Top 10 has many neighbours; 2 has only one: ratio too large to peer.
+  for (std::uint32_t i = 20; i < 120; ++i) corpus.add(rec(1, i, {1, 10, i}));
+  corpus.add(rec(2, 500, {2, 10, 21}));
+  GaoConfig config;
+  config.peering_degree_ratio = 10.0;
+  const GaoInference gao(config);
+  const AsGraph g = gao.infer(corpus);
+  EXPECT_EQ(g.view(Asn(2), Asn(10)), RelView::kProvider);
+}
+
+TEST(Gao, NameIsStable) { EXPECT_EQ(GaoInference().name(), "gao2001"); }
+
+// ---------------------------------------------------- degree heuristic ----
+
+TEST(DegreeHeuristic, BigDegreeGapMeansProvider) {
+  const DegreeHeuristic heuristic;
+  const AsGraph g = heuristic.infer(star_corpus());
+  EXPECT_EQ(g.view(Asn(1), Asn(10)), RelView::kProvider);
+  EXPECT_EQ(g.view(Asn(6), Asn(20)), RelView::kProvider);
+}
+
+TEST(DegreeHeuristic, ComparableDegreesMeanPeer) {
+  paths::PathCorpus corpus;
+  corpus.add(rec(1, 1, {1, 10, 20, 5}));
+  corpus.add(rec(1, 2, {1, 10, 2}));
+  corpus.add(rec(5, 3, {5, 20, 6}));
+  const DegreeHeuristic heuristic;
+  const AsGraph g = heuristic.infer(corpus);
+  // 10 and 20 both have degree 3: peers under ratio 2.
+  EXPECT_EQ(g.view(Asn(10), Asn(20)), RelView::kPeer);
+}
+
+TEST(DegreeHeuristic, AnnotatesEveryObservedLink) {
+  const auto corpus = star_corpus();
+  const AsGraph g = DegreeHeuristic().infer(corpus);
+  EXPECT_EQ(g.link_count(), corpus.link_observations().size());
+}
+
+// --------------------------------------------------- ToR local search ----
+
+TEST(TorLocalSearch, ReducesViolationsFromInitialLabelling) {
+  const auto corpus = star_corpus();
+  DegreeHeuristicConfig initial;
+  const AsGraph start = DegreeHeuristic(initial).infer(corpus);
+  const AsGraph tuned = TorLocalSearch().infer(corpus);
+  EXPECT_LE(TorLocalSearch::violations(tuned, corpus),
+            TorLocalSearch::violations(start, corpus));
+}
+
+TEST(TorLocalSearch, ConvergesToValleyFreeOnCleanStar) {
+  const auto corpus = star_corpus();
+  const AsGraph tuned = TorLocalSearch().infer(corpus);
+  EXPECT_EQ(TorLocalSearch::violations(tuned, corpus), 0u);
+  // Transit skeleton correct where the objective constrains it.
+  EXPECT_EQ(tuned.view(Asn(1), Asn(10)), RelView::kProvider);
+  // The 10-20 link is valley-free both as p2c and as p2p — the documented
+  // degeneracy of pure valley-free maximization.  It must at least not be
+  // inverted (20 providing 10 would create valleys).
+  const auto view = tuned.view(Asn(20), Asn(10));
+  ASSERT_TRUE(view);
+  EXPECT_NE(*view, RelView::kCustomer);
+}
+
+TEST(TorLocalSearch, ViolationCountsKnownCases) {
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));  // 1 provides 2
+  g.add_p2c(Asn(3), Asn(2));  // 3 provides 2
+  paths::PathCorpus corpus;
+  corpus.add(rec(9, 1, {1, 2, 3}));  // down then up: a valley
+  EXPECT_EQ(TorLocalSearch::violations(g, corpus), 1u);
+  corpus.add(rec(9, 2, {2, 1}));  // pure ascent: fine
+  EXPECT_EQ(TorLocalSearch::violations(g, corpus), 1u);
+}
+
+TEST(TorLocalSearch, AnnotatesEveryObservedLink) {
+  const auto corpus = star_corpus();
+  const AsGraph tuned = TorLocalSearch().infer(corpus);
+  EXPECT_EQ(tuned.link_count(), corpus.link_observations().size());
+}
+
+// ---------------------------------------------------------- comparison ----
+
+TEST(Comparison, AsRankBeatsBaselinesOnSyntheticTruth) {
+  const auto truth = topogen::generate(topogen::GenParams::preset("small"));
+  bgpsim::ObservationParams params;
+  params.full_vps = 15;
+  params.partial_vps = 5;
+  const auto observation = bgpsim::observe(truth, params);
+  const auto corpus = paths::PathCorpus::from_records(observation.routes);
+
+  core::InferenceConfig config;
+  config.sanitizer.ixp_asns.insert(truth.ixp_asns.begin(), truth.ixp_asns.end());
+  const AsRankAlgorithm asrank(config);
+  const GaoInference gao;
+  const DegreeHeuristic degree;
+  const TorLocalSearch tor;
+
+  auto accuracy = [&](const InferenceAlgorithm& algorithm) {
+    const auto inferred = algorithm.infer(corpus);
+    return validation::evaluate_against_truth(inferred, truth.graph).accuracy();
+  };
+  const double a = accuracy(asrank);
+  const double g = accuracy(gao);
+  const double d = accuracy(degree);
+  const double t = accuracy(tor);
+  EXPECT_GT(a, g);
+  EXPECT_GT(a, d);
+  EXPECT_GT(a, t);
+  EXPECT_GT(a, 0.85);
+}
+
+}  // namespace
+}  // namespace asrank::baselines

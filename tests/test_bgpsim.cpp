@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgpsim/observation.h"
+#include "bgpsim/route_sim.h"
+#include "topogen/topogen.h"
+
+namespace asrank::bgpsim {
+namespace {
+
+/// A small hand-built topology with unambiguous routing (p2c arrows point
+/// provider -> customer):
+///   1-2 p2p;  1->3, 1->4, 2->5;  4-5 p2p;  3->6, 4->7, 5->8.
+AsGraph hand_graph() {
+  AsGraph g;
+  g.add_p2p(Asn(1), Asn(2));
+  g.add_p2c(Asn(1), Asn(3));
+  g.add_p2c(Asn(1), Asn(4));
+  g.add_p2c(Asn(2), Asn(5));
+  g.add_p2p(Asn(4), Asn(5));
+  g.add_p2c(Asn(3), Asn(6));
+  g.add_p2c(Asn(4), Asn(7));
+  g.add_p2c(Asn(5), Asn(8));
+  return g;
+}
+
+TEST(RouteSim, OriginSelectsItself) {
+  const AsGraph g = hand_graph();
+  const RouteSimulator sim(g);
+  const auto table = sim.routes_to(Asn(6));
+  const auto origin = table.route(Asn(6));
+  EXPECT_EQ(origin.route_class, RouteClass::kCustomer);
+  EXPECT_EQ(origin.length, 0u);
+  EXPECT_EQ(table.path_from(Asn(6)), (AsPath{6}));
+}
+
+TEST(RouteSim, CustomerRouteClimbsProviders) {
+  const AsGraph g = hand_graph();
+  const RouteSimulator sim(g);
+  const auto table = sim.routes_to(Asn(6));
+  // 3 and 1 hold customer routes to 6.
+  EXPECT_EQ(table.route(Asn(3)).route_class, RouteClass::kCustomer);
+  EXPECT_EQ(table.route(Asn(1)).route_class, RouteClass::kCustomer);
+  EXPECT_EQ(table.path_from(Asn(1)), (AsPath{1, 3, 6}));
+}
+
+TEST(RouteSim, PeerRouteOneHop) {
+  const AsGraph g = hand_graph();
+  const RouteSimulator sim(g);
+  const auto table = sim.routes_to(Asn(6));
+  // 2 learns 6 via its peer 1 (peer route), not via a customer.
+  const auto at2 = table.route(Asn(2));
+  EXPECT_EQ(at2.route_class, RouteClass::kPeer);
+  EXPECT_EQ(table.path_from(Asn(2)), (AsPath{2, 1, 3, 6}));
+}
+
+TEST(RouteSim, ProviderRouteDescends) {
+  const AsGraph g = hand_graph();
+  const RouteSimulator sim(g);
+  const auto table = sim.routes_to(Asn(6));
+  // 8 must go up to 5, which peers with 4 or uses provider 2: but 5's
+  // route to 6 comes via peer 4 (4's customer cone does not contain 6!) —
+  // no: 4 has no customer route to 6; 5's options are provider 2 only.
+  const auto at8 = table.route(Asn(8));
+  EXPECT_EQ(at8.route_class, RouteClass::kProvider);
+  const auto path8 = table.path_from(Asn(8));
+  EXPECT_EQ(path8.first(), Asn(8));
+  EXPECT_EQ(path8.last(), Asn(6));
+}
+
+TEST(RouteSim, CustomerPreferredOverPeerAndProvider) {
+  // 1 reaches 4's customer 7 via its own customer 4 even though 2 could
+  // also reach it; and 5 prefers its peer 4's route over provider 2.
+  const AsGraph g = hand_graph();
+  const RouteSimulator sim(g);
+  const auto table = sim.routes_to(Asn(7));
+  EXPECT_EQ(table.route(Asn(1)).route_class, RouteClass::kCustomer);
+  EXPECT_EQ(table.path_from(Asn(1)), (AsPath{1, 4, 7}));
+  const auto at5 = table.route(Asn(5));
+  EXPECT_EQ(at5.route_class, RouteClass::kPeer);
+  EXPECT_EQ(table.path_from(Asn(5)), (AsPath{5, 4, 7}));
+}
+
+TEST(RouteSim, PeerRoutesNotReExported) {
+  // 8 (customer of 5) CAN use 5's peer route to 7 (peer routes are exported
+  // to customers), but 2 must NOT hear 4-7 via its customer 5's peer 4...
+  // it does: 5 exports peer-learned routes to its provider? NO — routes
+  // learned from peers are exported to customers only.  2 reaches 7 via its
+  // peer 1 instead.
+  const AsGraph g = hand_graph();
+  const RouteSimulator sim(g);
+  const auto table = sim.routes_to(Asn(7));
+  const auto path2 = table.path_from(Asn(2));
+  EXPECT_EQ(path2, (AsPath{2, 1, 4, 7}));
+  const auto path8 = table.path_from(Asn(8));
+  EXPECT_EQ(path8, (AsPath{8, 5, 4, 7}));
+}
+
+TEST(RouteSim, UnknownDestinationThrows) {
+  const AsGraph g = hand_graph();
+  const RouteSimulator sim(g);
+  EXPECT_THROW((void)sim.routes_to(Asn(999)), std::invalid_argument);
+}
+
+TEST(RouteSim, DisconnectedAsUnreachable) {
+  AsGraph g = hand_graph();
+  g.add_as(Asn(99));  // isolated
+  const RouteSimulator sim(g);
+  const auto table = sim.routes_to(Asn(6));
+  EXPECT_EQ(table.route(Asn(99)).route_class, RouteClass::kNone);
+  EXPECT_TRUE(table.path_from(Asn(99)).empty());
+}
+
+TEST(RouteSim, SiblingsExchangeAllRoutes) {
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));
+  g.add_s2s(Asn(2), Asn(3));  // 3 is 2's sibling
+  g.add_p2c(Asn(3), Asn(4));
+  const RouteSimulator sim(g);
+  // 4 is reachable from 1 through the sibling bridge 2~3.
+  const auto table = sim.routes_to(Asn(4));
+  const auto path1 = table.path_from(Asn(1));
+  EXPECT_EQ(path1, (AsPath{1, 2, 3, 4}));
+}
+
+/// Valley-free property over generated topologies: along every simulated
+/// path the relationship sequence must match uphill* peak? downhill*.
+bool valley_free(const AsGraph& truth, const AsPath& path) {
+  // States: 0 = ascending, 1 = after peak.
+  int state = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto view = truth.view(path.at(i - 1), path.at(i));
+    if (!view) return false;  // path uses a non-link
+    switch (*view) {
+      case RelView::kProvider:  // moving up
+        if (state != 0) return false;
+        break;
+      case RelView::kPeer:
+        if (state != 0) return false;
+        state = 1;
+        break;
+      case RelView::kCustomer:  // moving down
+        state = 1;
+        break;
+      case RelView::kSibling:
+        break;  // neutral
+    }
+  }
+  return true;
+}
+
+class ValleyFreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValleyFreeProperty, AllSimulatedPathsAreValleyFree) {
+  auto params = topogen::GenParams::preset("tiny");
+  params.seed = GetParam();
+  const auto truth = topogen::generate(params);
+  const RouteSimulator sim(truth.graph);
+  for (const Asn dest : sim.ases()) {
+    const auto table = sim.routes_to(dest);
+    for (const Asn as : sim.ases()) {
+      const auto path = table.path_from(as);
+      if (path.empty()) continue;
+      EXPECT_TRUE(valley_free(truth.graph, path))
+          << "dest " << dest.value() << " path " << path.str();
+      EXPECT_FALSE(path.has_loop()) << path.str();
+      EXPECT_EQ(path.last(), dest);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValleyFreeProperty, ::testing::Values(1, 7, 42, 99, 1234));
+
+TEST(RouteSim, PathLengthMatchesSelectedLength) {
+  const auto truth = topogen::generate(topogen::GenParams::preset("tiny"));
+  const RouteSimulator sim(truth.graph);
+  for (const Asn dest : sim.ases()) {
+    const auto table = sim.routes_to(dest);
+    for (const Asn as : sim.ases()) {
+      const auto route = table.route(as);
+      if (route.route_class == RouteClass::kNone) continue;
+      EXPECT_EQ(table.path_from(as).size(), route.length + 1);
+    }
+  }
+}
+
+// --------------------------------------------------------- observation ----
+
+TEST(Observation, DeterministicForSeed) {
+  const auto truth = topogen::generate(topogen::GenParams::preset("tiny"));
+  ObservationParams params;
+  params.full_vps = 4;
+  params.partial_vps = 2;
+  const auto a = observe(truth, params);
+  const auto b = observe(truth, params);
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (std::size_t i = 0; i < a.routes.size(); ++i) {
+    EXPECT_EQ(a.routes[i].path, b.routes[i].path);
+  }
+}
+
+TEST(Observation, PartialVpsExportOnlyCustomerRoutes) {
+  const auto truth = topogen::generate(topogen::GenParams::preset("small"));
+  ObservationParams params;
+  params.full_vps = 3;
+  params.partial_vps = 5;
+  params.prepend_prob = 0;
+  params.poison_prob = 0;
+  params.ixp_leak_prob = 0;
+  params.private_leak_prob = 0;
+  const auto obs = observe(truth, params);
+  const RouteSimulator sim(truth.graph);
+  std::unordered_map<Asn, bool> is_full;
+  for (const auto& vp : obs.vps) is_full[vp.as] = vp.full_feed;
+  // Partial VP paths must descend from the VP: every hop is a customer (or
+  // sibling) step in ground truth.
+  for (const auto& route : obs.routes) {
+    if (is_full.at(route.vp)) continue;
+    for (std::size_t i = 1; i < route.path.size(); ++i) {
+      const auto view = truth.graph.view(route.path.at(i - 1), route.path.at(i));
+      ASSERT_TRUE(view);
+      EXPECT_TRUE(*view == RelView::kCustomer || *view == RelView::kSibling)
+          << route.path.str();
+    }
+  }
+}
+
+TEST(Observation, PathologiesAreInjectedAndAudited) {
+  const auto truth = topogen::generate(topogen::GenParams::preset("small"));
+  ObservationParams params;
+  params.prepend_prob = 0.2;
+  params.poison_prob = 0.05;
+  params.private_leak_prob = 0.05;
+  params.ixp_leak_prob = 0.5;
+  const auto obs = observe(truth, params);
+  EXPECT_GT(obs.audit.prepended, 0u);
+  EXPECT_GT(obs.audit.poisoned(), 0u);
+  EXPECT_GT(obs.audit.private_leaked, 0u);
+  EXPECT_GT(obs.audit.ixp_leaked, 0u);
+  // Audit counts must be witnessed by the routes themselves.
+  std::size_t prepended = 0, looped = 0, privates = 0, ixp = 0;
+  for (const auto& route : obs.routes) {
+    if (route.path.has_prepending()) ++prepended;
+    if (route.path.has_loop()) ++looped;
+    for (const Asn hop : route.path.hops()) {
+      if (hop.private_use()) ++privates;
+      if (truth.ixp_asns.contains(hop)) ++ixp;
+    }
+  }
+  EXPECT_GT(prepended, 0u);
+  EXPECT_GT(looped, 0u);
+  EXPECT_GT(privates, 0u);
+  EXPECT_GT(ixp, 0u);
+}
+
+TEST(Observation, CleanParamsInjectNothing) {
+  const auto truth = topogen::generate(topogen::GenParams::preset("tiny"));
+  ObservationParams params;
+  params.prepend_prob = 0;
+  params.poison_prob = 0;
+  params.ixp_leak_prob = 0;
+  params.private_leak_prob = 0;
+  const auto obs = observe(truth, params);
+  EXPECT_EQ(obs.audit.prepended, 0u);
+  EXPECT_EQ(obs.audit.poisoned(), 0u);
+  EXPECT_EQ(obs.audit.ixp_leaked, 0u);
+  EXPECT_EQ(obs.audit.private_leaked, 0u);
+  for (const auto& route : obs.routes) {
+    EXPECT_FALSE(route.path.has_loop());
+    EXPECT_FALSE(route.path.has_reserved_asn());
+  }
+}
+
+TEST(Observation, ExpandPrefixesMultipliesRows) {
+  const auto truth = topogen::generate(topogen::GenParams::preset("tiny"));
+  ObservationParams params;
+  params.expand_prefixes = true;
+  const auto expanded = observe(truth, params);
+  params.expand_prefixes = false;
+  const auto collapsed = observe(truth, params);
+  EXPECT_GT(expanded.routes.size(), collapsed.routes.size());
+}
+
+TEST(Observation, DestinationSamplingReducesRows) {
+  const auto truth = topogen::generate(topogen::GenParams::preset("small"));
+  ObservationParams params;
+  const auto full = observe(truth, params);
+  params.destination_sample = 0.3;
+  const auto sampled = observe(truth, params);
+  EXPECT_LT(sampled.routes.size(), full.routes.size());
+  EXPECT_GT(sampled.routes.size(), 0u);
+}
+
+TEST(Observation, ThreadCountDoesNotChangeResults) {
+  const auto truth = topogen::generate(topogen::GenParams::preset("small"));
+  ObservationParams serial;
+  serial.full_vps = 8;
+  serial.partial_vps = 3;
+  serial.threads = 1;
+  auto parallel = serial;
+  parallel.threads = 4;
+  const auto a = observe(truth, serial);
+  const auto b = observe(truth, parallel);
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (std::size_t i = 0; i < a.routes.size(); ++i) {
+    EXPECT_EQ(a.routes[i].vp, b.routes[i].vp);
+    EXPECT_EQ(a.routes[i].prefix, b.routes[i].prefix);
+    EXPECT_EQ(a.routes[i].path, b.routes[i].path);
+  }
+  EXPECT_EQ(a.audit.prepended, b.audit.prepended);
+  EXPECT_EQ(a.audit.poisoned(), b.audit.poisoned());
+  EXPECT_EQ(a.audit.ixp_leaked, b.audit.ixp_leaked);
+}
+
+TEST(Observation, RibDumpRoundTrip) {
+  const auto truth = topogen::generate(topogen::GenParams::preset("tiny"));
+  const auto obs = observe(truth, ObservationParams{});
+  const auto dump = to_rib_dump(obs);
+  EXPECT_EQ(dump.peers.size(), obs.vps.size());
+
+  std::stringstream stream;
+  mrt::write_table_dump_v2(dump, stream);
+  const auto parsed = mrt::read_table_dump_v2(stream);
+  const auto recovered = from_rib_dump(parsed);
+
+  // Same multiset of (vp, prefix, path) rows.
+  ASSERT_EQ(recovered.size(), obs.routes.size());
+  auto key = [](const ObservedRoute& r) {
+    return r.prefix.str() + "|" + std::to_string(r.vp.value()) + "|" + r.path.str();
+  };
+  std::vector<std::string> a, b;
+  for (const auto& r : obs.routes) a.push_back(key(r));
+  for (const auto& r : recovered) b.push_back(key(r));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Observation, BadPeerIndexThrows) {
+  mrt::RibDump dump;
+  dump.peers.push_back(mrt::PeerEntry{1, 1, Asn(1)});
+  mrt::RibEntry entry;
+  entry.prefix = *Prefix::parse("192.0.2.0/24");
+  mrt::RibRoute route;
+  route.peer_index = 7;  // out of range
+  route.attrs.as_path = AsPath{1};
+  entry.routes.push_back(route);
+  dump.rib.push_back(entry);
+  EXPECT_THROW((void)from_rib_dump(dump), mrt::DecodeError);
+}
+
+}  // namespace
+}  // namespace asrank::bgpsim

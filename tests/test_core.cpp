@@ -1,0 +1,474 @@
+#include <gtest/gtest.h>
+
+#include "core/asrank.h"
+#include "core/clique.h"
+#include "core/cones.h"
+#include "core/degrees.h"
+#include "core/ranking.h"
+
+namespace asrank::core {
+namespace {
+
+paths::PathRecord rec(std::uint32_t vp, std::uint32_t prefix_id,
+                      std::initializer_list<std::uint32_t> hops) {
+  return paths::PathRecord{Asn(vp), Prefix::v4(prefix_id << 8, 24), AsPath(hops)};
+}
+
+// ------------------------------------------------------------- degrees ----
+
+TEST(Degrees, TransitVsNodeDegree) {
+  paths::PathCorpus corpus;
+  corpus.add(rec(1, 1, {1, 2, 3}));
+  corpus.add(rec(1, 2, {1, 2, 4}));
+  const auto degrees = Degrees::compute(corpus);
+  // 2 transits between 1 and {3,4}: transit neighbours {1,3,4}.
+  EXPECT_EQ(degrees.transit_degree(Asn(2)), 3u);
+  EXPECT_EQ(degrees.node_degree(Asn(2)), 3u);
+  // 1, 3, 4 never transit.
+  EXPECT_EQ(degrees.transit_degree(Asn(1)), 0u);
+  EXPECT_EQ(degrees.transit_degree(Asn(3)), 0u);
+  EXPECT_EQ(degrees.node_degree(Asn(3)), 1u);
+}
+
+TEST(Degrees, PrependingDoesNotInflate) {
+  paths::PathCorpus corpus;
+  corpus.add(rec(1, 1, {1, 2, 2, 3}));
+  const auto degrees = Degrees::compute(corpus);
+  EXPECT_EQ(degrees.node_degree(Asn(2)), 2u);
+  EXPECT_EQ(degrees.transit_degree(Asn(2)), 2u);
+}
+
+TEST(Degrees, RankingOrderAndTies) {
+  paths::PathCorpus corpus;
+  corpus.add(rec(1, 1, {1, 10, 3}));
+  corpus.add(rec(1, 2, {1, 10, 4}));
+  corpus.add(rec(1, 3, {1, 20, 5}));
+  const auto degrees = Degrees::compute(corpus);
+  // 10 has transit degree 3; 20 has 2; leaf ties broken by ASN.
+  EXPECT_EQ(degrees.ranked().front(), Asn(10));
+  EXPECT_EQ(degrees.rank_of(Asn(10)), 0u);
+  EXPECT_LT(degrees.rank_of(Asn(20)), degrees.rank_of(Asn(3)));
+  EXPECT_LT(degrees.rank_of(Asn(3)), degrees.rank_of(Asn(4)));  // ASN tiebreak
+  // Unknown AS ranks past the end.
+  EXPECT_EQ(degrees.rank_of(Asn(999)), degrees.ranked().size());
+}
+
+// -------------------------------------------------------------- clique ----
+
+TEST(Clique, BronKerboschFindsAllMaximalCliques) {
+  // Graph: triangle {1,2,3} plus edge 3-4.
+  AdjacencySet adjacency;
+  auto connect = [&](std::uint32_t a, std::uint32_t b) {
+    adjacency[Asn(a)].insert(Asn(b));
+    adjacency[Asn(b)].insert(Asn(a));
+  };
+  connect(1, 2);
+  connect(1, 3);
+  connect(2, 3);
+  connect(3, 4);
+  auto cliques = maximal_cliques(adjacency, {Asn(1), Asn(2), Asn(3), Asn(4)});
+  std::sort(cliques.begin(), cliques.end());
+  ASSERT_EQ(cliques.size(), 2u);
+  EXPECT_EQ(cliques[0], (std::vector<Asn>{Asn(1), Asn(2), Asn(3)}));
+  EXPECT_EQ(cliques[1], (std::vector<Asn>{Asn(3), Asn(4)}));
+}
+
+TEST(Clique, SingletonWhenNoEdges) {
+  AdjacencySet adjacency;
+  const auto cliques = maximal_cliques(adjacency, {Asn(1), Asn(2)});
+  EXPECT_EQ(cliques.size(), 2u);  // two singletons
+}
+
+TEST(Clique, InferRecoversMeshedTop) {
+  // Three meshed top ASes (10,20,30) each serving customers; the mesh is
+  // visible because paths cross it.
+  paths::PathCorpus corpus;
+  corpus.add(rec(100, 1, {100, 10, 20, 200}));
+  corpus.add(rec(100, 2, {100, 10, 30, 300}));
+  corpus.add(rec(200, 3, {200, 20, 10, 100}));
+  corpus.add(rec(200, 4, {200, 20, 30, 300}));
+  corpus.add(rec(300, 5, {300, 30, 10, 100}));
+  corpus.add(rec(300, 6, {300, 30, 20, 200}));
+  const auto degrees = Degrees::compute(corpus);
+  const auto clique = infer_clique(corpus, degrees, CliqueConfig{});
+  EXPECT_EQ(clique, (std::vector<Asn>{Asn(10), Asn(20), Asn(30)}));
+}
+
+TEST(Clique, CustomerEvidenceBlocksBigCustomer) {
+  // 40 is a large transit customer: it is adjacent to clique members and
+  // has plenty of transit degree of its own, but appears after the
+  // consecutive pair (10,20) in a path, which proves it buys transit.
+  paths::PathCorpus corpus;
+  // Make 10 and 20 clearly the top by transit degree.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    corpus.add(rec(100, 10 + i, {100, 10, 500 + i}));
+    corpus.add(rec(200, 30 + i, {200, 20, 600 + i}));
+  }
+  corpus.add(rec(100, 1, {100, 10, 20, 200}));
+  corpus.add(rec(200, 2, {200, 20, 10, 100}));
+  corpus.add(rec(100, 3, {100, 10, 20, 40, 400}));
+  corpus.add(rec(300, 4, {300, 40, 401}));
+  corpus.add(rec(300, 5, {300, 40, 402}));
+  corpus.add(rec(300, 6, {300, 40, 403}));
+  const auto degrees = Degrees::compute(corpus);
+  ASSERT_LT(degrees.rank_of(Asn(10)), degrees.rank_of(Asn(40)));
+  CliqueConfig config;
+  config.max_missing_links = 3;  // adjacency tolerance alone could admit 40
+  const auto clique = infer_clique(corpus, degrees, config);
+  EXPECT_EQ(std::count(clique.begin(), clique.end(), Asn(40)), 0);
+}
+
+TEST(Clique, EmptyCorpusYieldsEmptyClique) {
+  const paths::PathCorpus corpus;
+  const auto degrees = Degrees::compute(corpus);
+  EXPECT_TRUE(infer_clique(corpus, degrees, CliqueConfig{}).empty());
+}
+
+// ------------------------------------------------------------ pipeline ----
+
+/// Corpus over the hand topology used in test_bgpsim:
+///   1-2 p2p (clique);  1->3, 1->4, 2->5 p2c;  4-5 p2p;  3->6, 4->7, 5->8.
+/// Paths are written as a collector behind VPs 3 and 5 would see them.
+paths::PathCorpus hand_corpus() {
+  paths::PathCorpus corpus;
+  std::uint32_t prefix = 0;
+  auto add = [&](std::uint32_t vp, std::initializer_list<std::uint32_t> hops) {
+    corpus.add(rec(vp, ++prefix, hops));
+  };
+  add(3, {3, 6});            // own customer
+  add(3, {3, 1, 4, 7});      // via provider, descend to 7
+  add(3, {3, 1, 2, 5, 8});   // cross the clique
+  add(3, {3, 1, 2, 5});      //
+  add(3, {3, 1, 4});         //
+  add(3, {3, 1, 2});         //
+  add(5, {5, 8});            //
+  add(5, {5, 4, 7});         // peer route
+  add(5, {5, 2, 1, 3, 6});   // cross the clique
+  add(5, {5, 2, 1, 4});      // via provider
+  add(5, {5, 2, 1, 3});      //
+  add(4, {4, 7});            //
+  add(4, {4, 1, 3, 6});      //
+  add(4, {4, 5, 8});         // peer route from 4's side
+  add(4, {4, 1, 2, 5});      //
+  return corpus;
+}
+
+// The hand topology is tiny, so the Bron-Kerbosch seed must be wide enough
+// to reach AS2, whose transit degree trails the tier-2 ASes.
+InferenceConfig hand_config() {
+  InferenceConfig config;
+  config.clique.seed_size = 4;
+  return config;
+}
+
+InferenceResult run_hand(InferenceConfig config = hand_config()) {
+  return AsRankInference(config).run(hand_corpus());
+}
+
+TEST(Pipeline, InfersCliqueOnHandTopology) {
+  const auto result = run_hand();
+  EXPECT_EQ(result.clique, (std::vector<Asn>{Asn(1), Asn(2)}));
+  EXPECT_EQ(result.graph.view(Asn(1), Asn(2)), RelView::kPeer);
+}
+
+TEST(Pipeline, InfersTransitChains) {
+  const auto result = run_hand();
+  EXPECT_EQ(result.graph.view(Asn(3), Asn(1)), RelView::kProvider);
+  EXPECT_EQ(result.graph.view(Asn(4), Asn(1)), RelView::kProvider);
+  EXPECT_EQ(result.graph.view(Asn(5), Asn(2)), RelView::kProvider);
+  EXPECT_EQ(result.graph.view(Asn(6), Asn(3)), RelView::kProvider);
+  EXPECT_EQ(result.graph.view(Asn(7), Asn(4)), RelView::kProvider);
+  EXPECT_EQ(result.graph.view(Asn(8), Asn(5)), RelView::kProvider);
+}
+
+TEST(Pipeline, InfersMidLevelPeering) {
+  const auto result = run_hand();
+  EXPECT_EQ(result.graph.view(Asn(4), Asn(5)), RelView::kPeer);
+}
+
+TEST(Pipeline, ResultIsAcyclicAndComplete) {
+  const auto result = run_hand();
+  EXPECT_TRUE(result.audit.p2c_acyclic);
+  // Every observed link is annotated.
+  EXPECT_EQ(result.graph.link_count(), hand_corpus().link_observations().size());
+}
+
+TEST(Pipeline, SanitizesBeforeInference) {
+  auto corpus = hand_corpus();
+  corpus.add(rec(3, 900, {3, 1, 64512, 2, 5}));  // leaked private ASN
+  corpus.add(rec(3, 901, {3, 1, 2, 1, 5}));      // loop
+  InferenceConfig config;
+  config.clique.seed_size = 4;
+  const auto result = AsRankInference(config).run(corpus);
+  EXPECT_EQ(result.audit.sanitize.reserved_discarded, 1u);
+  EXPECT_EQ(result.audit.sanitize.loops_discarded, 1u);
+  EXPECT_FALSE(result.graph.has_as(Asn(64512)));
+}
+
+TEST(Pipeline, DiscardsPoisonedPaths) {
+  auto corpus = hand_corpus();
+  // Paths with clique members separated by a non-clique AS.  Two distinct
+  // origins witness AS9 between the tier-1s, so the clique's
+  // customer-evidence rule (min 2 origins) refuses to admit it, and the
+  // paths are then non-contiguous in clique hops -> poisoned.
+  corpus.add(rec(3, 902, {3, 1, 9, 2, 5}));
+  corpus.add(rec(5, 903, {5, 2, 9, 1, 3}));
+  InferenceConfig config;
+  config.clique.seed_size = 4;
+  const auto result = AsRankInference(config).run(corpus);
+  EXPECT_EQ(result.audit.poisoned_discarded, 2u);
+  EXPECT_FALSE(result.graph.has_as(Asn(9)));
+}
+
+TEST(Pipeline, PoisonDiscardCanBeDisabled) {
+  auto corpus = hand_corpus();
+  corpus.add(rec(3, 902, {3, 1, 9, 2, 5}));
+  corpus.add(rec(5, 903, {5, 2, 9, 1, 3}));
+  InferenceConfig config;
+  config.clique.seed_size = 4;
+  config.discard_poisoned = false;
+  const auto result = AsRankInference(config).run(corpus);
+  EXPECT_EQ(result.audit.poisoned_discarded, 0u);
+  EXPECT_TRUE(result.graph.has_as(Asn(9)));
+}
+
+TEST(Pipeline, SingleOriginCannotPoisonClique) {
+  // One poisoning origin alone must not eject true members or smuggle its
+  // inserted AS into the clique.
+  auto corpus = hand_corpus();
+  corpus.add(rec(3, 904, {3, 1, 9, 2, 5}));  // only origin 5 witnesses
+  InferenceConfig config;
+  config.clique.seed_size = 4;
+  const auto result = AsRankInference(config).run(corpus);
+  EXPECT_EQ(result.clique.size(), 2u);
+  EXPECT_TRUE(std::binary_search(result.clique.begin(), result.clique.end(), Asn(1)));
+  EXPECT_TRUE(std::binary_search(result.clique.begin(), result.clique.end(), Asn(2)));
+}
+
+TEST(Pipeline, PartialVpPathsDescend) {
+  // VP 50 is partial: tiny table, all customer routes.
+  paths::PathCorpus corpus = hand_corpus();
+  corpus.add(rec(50, 910, {50, 51}));
+  corpus.add(rec(50, 911, {50, 51, 52}));
+  InferenceConfig config;
+  config.clique.seed_size = 4;
+  config.partial_vp_threshold = 0.5;
+  const auto result = AsRankInference(config).run(corpus);
+  EXPECT_GE(result.audit.partial_vps, 1u);
+  EXPECT_EQ(result.graph.view(Asn(51), Asn(50)), RelView::kProvider);
+  EXPECT_EQ(result.graph.view(Asn(52), Asn(51)), RelView::kProvider);
+}
+
+TEST(Pipeline, StubCliqueHeuristic) {
+  auto corpus = hand_corpus();
+  // Stub 60 hangs directly off clique member 1 and is seen nowhere else.
+  corpus.add(rec(3, 920, {3, 1, 60}));
+  InferenceConfig config;
+  config.clique.seed_size = 4;
+  const auto result = AsRankInference(config).run(corpus);
+  EXPECT_EQ(result.graph.view(Asn(60), Asn(1)), RelView::kProvider);
+}
+
+TEST(Pipeline, EmptyCorpus) {
+  const auto result = AsRankInference().run(paths::PathCorpus{});
+  EXPECT_EQ(result.graph.link_count(), 0u);
+  EXPECT_TRUE(result.clique.empty());
+  EXPECT_TRUE(result.audit.p2c_acyclic);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto a = run_hand();
+  const auto b = run_hand();
+  EXPECT_EQ(a.graph.links(), b.graph.links());
+  EXPECT_EQ(a.clique, b.clique);
+}
+
+TEST(Pipeline, EnforcesTransitFreeClique) {
+  // Overwhelm the voting with paths that make clique member 2 look like a
+  // customer of tier-2 AS 5 (e.g. systematic apex misidentification); the
+  // A1-enforcement stage must re-orient the link.
+  auto corpus = hand_corpus();
+  const auto result = run_hand();
+  ASSERT_TRUE(result.audit.p2c_acyclic);
+  for (const Asn member : result.clique) {
+    // No neighbour may be the member's provider: tier-1s are transit-free.
+    EXPECT_TRUE(result.graph.providers(member).empty())
+        << "clique member AS" << member.value() << " buys transit";
+  }
+}
+
+TEST(Pipeline, InfersSiblingsFromBidirectionalTransit) {
+  // 21 and 22 are siblings under 1: each appears providing for the other
+  // (routes flow 1 -> 21 -> 22 -> leaf and 1 -> 22 -> 21 -> leaf).
+  auto corpus = hand_corpus();
+  std::uint32_t prefix = 5000;
+  auto add = [&](std::uint32_t vp, std::initializer_list<std::uint32_t> hops) {
+    corpus.add(paths::PathRecord{Asn(vp), Prefix::v4(++prefix << 8, 24), AsPath(hops)});
+  };
+  for (int i = 0; i < 4; ++i) {
+    add(3, {3, 1, 21, 22, 31});
+    add(4, {4, 1, 22, 21, 32});
+    add(5, {5, 2, 1, 21, 22, 31});
+    add(5, {5, 2, 1, 22, 21, 32});
+  }
+  auto config = hand_config();
+  const auto result = AsRankInference(config).run(corpus);
+  EXPECT_EQ(result.graph.view(Asn(21), Asn(22)), RelView::kSibling);
+  EXPECT_GE(result.audit.siblings_inferred, 1u);
+  // The links above/below the sibling pair stay transit.
+  EXPECT_EQ(result.graph.view(Asn(21), Asn(1)), RelView::kProvider);
+  EXPECT_EQ(result.graph.view(Asn(31), Asn(22)), RelView::kProvider);
+}
+
+TEST(Pipeline, SiblingDetectionCanBeDisabled) {
+  auto corpus = hand_corpus();
+  std::uint32_t prefix = 5000;
+  auto add = [&](std::uint32_t vp, std::initializer_list<std::uint32_t> hops) {
+    corpus.add(paths::PathRecord{Asn(vp), Prefix::v4(++prefix << 8, 24), AsPath(hops)});
+  };
+  for (int i = 0; i < 4; ++i) {
+    add(3, {3, 1, 21, 22, 31});
+    add(4, {4, 1, 22, 21, 32});
+  }
+  auto config = hand_config();
+  config.sibling_conflict_ratio = 0.0;
+  const auto result = AsRankInference(config).run(corpus);
+  EXPECT_EQ(result.audit.siblings_inferred, 0u);
+  const auto view = result.graph.view(Asn(21), Asn(22));
+  ASSERT_TRUE(view);
+  EXPECT_NE(*view, RelView::kSibling);
+}
+
+TEST(Pipeline, OneSidedEvidenceIsNotASibling) {
+  // A plain transit chain must never be labelled s2s however often seen.
+  auto corpus = hand_corpus();
+  std::uint32_t prefix = 6000;
+  for (int i = 0; i < 10; ++i) {
+    corpus.add(paths::PathRecord{Asn(3), Prefix::v4(++prefix << 8, 24),
+                                 AsPath({3, 1, 4, 7})});
+  }
+  const auto result = AsRankInference(hand_config()).run(corpus);
+  EXPECT_EQ(result.graph.view(Asn(7), Asn(4)), RelView::kProvider);
+  EXPECT_EQ(result.audit.siblings_inferred, 0u);
+}
+
+// --------------------------------------------------------------- cones ----
+
+/// Hand DAG:  1 -> 2 -> 4;  1 -> 3;  2 -> 5;  3 -> 5  (5 multihomed).
+AsGraph cone_graph() {
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));
+  g.add_p2c(Asn(1), Asn(3));
+  g.add_p2c(Asn(2), Asn(4));
+  g.add_p2c(Asn(2), Asn(5));
+  g.add_p2c(Asn(3), Asn(5));
+  return g;
+}
+
+TEST(Cones, RecursiveClosure) {
+  const auto cones = recursive_cone(cone_graph());
+  EXPECT_EQ(cones.at(Asn(1)),
+            (std::vector<Asn>{Asn(1), Asn(2), Asn(3), Asn(4), Asn(5)}));
+  EXPECT_EQ(cones.at(Asn(2)), (std::vector<Asn>{Asn(2), Asn(4), Asn(5)}));
+  EXPECT_EQ(cones.at(Asn(3)), (std::vector<Asn>{Asn(3), Asn(5)}));
+  EXPECT_EQ(cones.at(Asn(4)), (std::vector<Asn>{Asn(4)}));
+}
+
+TEST(Cones, RecursiveRejectsCycles) {
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));
+  g.add_p2c(Asn(2), Asn(3));
+  g.add_p2c(Asn(3), Asn(1));
+  EXPECT_THROW((void)recursive_cone(g), std::invalid_argument);
+}
+
+TEST(Cones, BgpObservedNeedsActualPaths) {
+  const AsGraph g = cone_graph();
+  paths::PathCorpus corpus;
+  corpus.add(rec(9, 1, {1, 2, 4}));  // descent 1->2->4 observed
+  const auto cones = bgp_observed_cone(g, corpus);
+  EXPECT_EQ(cones.at(Asn(1)), (std::vector<Asn>{Asn(1), Asn(2), Asn(4)}));
+  // 5 was never observed below anyone.
+  EXPECT_EQ(cones.at(Asn(3)), (std::vector<Asn>{Asn(3)}));
+}
+
+TEST(Cones, BgpObservedStopsAtNonP2cLink) {
+  AsGraph g = cone_graph();
+  g.add_p2p(Asn(4), Asn(6));
+  paths::PathCorpus corpus;
+  corpus.add(rec(9, 1, {1, 2, 4, 6}));  // 4-6 is peering: descent ends at 4
+  const auto cones = bgp_observed_cone(g, corpus);
+  EXPECT_EQ(cones.at(Asn(1)), (std::vector<Asn>{Asn(1), Asn(2), Asn(4)}));
+}
+
+TEST(Cones, ProviderPeerObservedRequiresDescentFromAbove) {
+  const AsGraph g = cone_graph();
+  paths::PathCorpus corpus;
+  // 2 is reached via its provider 1, then descends to 5: the 2->5 link is
+  // proven.  The 1->2 link itself has nobody above 1, so cone(1) via this
+  // method includes only what the closure over proven links gives it.
+  corpus.add(rec(9, 1, {1, 2, 5}));
+  const auto cones = provider_peer_observed_cone(g, corpus);
+  EXPECT_EQ(cones.at(Asn(2)), (std::vector<Asn>{Asn(2), Asn(5)}));
+  EXPECT_EQ(cones.at(Asn(1)), (std::vector<Asn>{Asn(1)}));  // no proven 1->x link
+}
+
+TEST(Cones, ProviderPeerUsesPeerPrecedingToo) {
+  AsGraph g = cone_graph();
+  g.add_p2p(Asn(1), Asn(7));
+  paths::PathCorpus corpus;
+  corpus.add(rec(9, 1, {7, 1, 2, 5}));  // 1 reached via peer 7: 1->2, 2->5 proven
+  const auto cones = provider_peer_observed_cone(g, corpus);
+  EXPECT_EQ(cones.at(Asn(1)), (std::vector<Asn>{Asn(1), Asn(2), Asn(5)}));
+}
+
+TEST(Cones, EveryConeContainsSelf) {
+  const AsGraph g = cone_graph();
+  for (const auto method : {ConeMethod::kRecursive, ConeMethod::kBgpObserved,
+                            ConeMethod::kProviderPeerObserved}) {
+    const auto cones = compute_cone(method, g, paths::PathCorpus{});
+    for (const auto& [as, members] : cones) {
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(), as))
+          << to_string(method);
+    }
+  }
+}
+
+TEST(Cones, ContainmentInvariant) {
+  // recursive >= ppdc and recursive >= bgp-observed, member-wise.
+  const auto result = run_hand();
+  const auto recursive = recursive_cone(result.graph);
+  const auto ppdc = provider_peer_observed_cone(result.graph, result.sanitized);
+  const auto observed = bgp_observed_cone(result.graph, result.sanitized);
+  for (const auto& [as, members] : recursive) {
+    const auto& p = ppdc.at(as);
+    const auto& o = observed.at(as);
+    EXPECT_TRUE(std::includes(members.begin(), members.end(), p.begin(), p.end()));
+    EXPECT_TRUE(std::includes(members.begin(), members.end(), o.begin(), o.end()));
+  }
+}
+
+// ------------------------------------------------------------- ranking ----
+
+TEST(Ranking, OrdersByConeSizeThenTransitDegree) {
+  const auto result = run_hand();
+  const auto cones = recursive_cone(result.graph);
+  const auto entries = rank_by_cone(cones, result.degrees);
+  ASSERT_FALSE(entries.empty());
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1].cone_size, entries[i].cone_size);
+    EXPECT_EQ(entries[i].rank, i + 1);
+  }
+  // Clique members 1 and 2 have the two largest cones.
+  EXPECT_TRUE(entries[0].as == Asn(1) || entries[0].as == Asn(2));
+}
+
+TEST(Ranking, TopNTruncates) {
+  const auto result = run_hand();
+  const auto cones = recursive_cone(result.graph);
+  EXPECT_EQ(top_n(cones, result.degrees, 3).size(), 3u);
+  EXPECT_EQ(top_n(cones, result.degrees, 1000).size(), cones.size());
+}
+
+}  // namespace
+}  // namespace asrank::core

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "topology/graph_diff.h"
+
+namespace asrank {
+namespace {
+
+TEST(GraphDiff, IdenticalGraphsAreStable) {
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));
+  g.add_p2p(Asn(2), Asn(3));
+  const auto diff = diff_graphs(g, g);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.unchanged, 2u);
+  EXPECT_DOUBLE_EQ(diff.stability(), 1.0);
+}
+
+TEST(GraphDiff, DetectsAdditionsAndRemovals) {
+  AsGraph before, after;
+  before.add_p2c(Asn(1), Asn(2));
+  before.add_p2p(Asn(2), Asn(3));
+  after.add_p2c(Asn(1), Asn(2));
+  after.add_p2c(Asn(4), Asn(5));
+  const auto diff = diff_graphs(before, after);
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0].type, LinkType::kP2P);
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0].a, Asn(4));
+  EXPECT_EQ(diff.unchanged, 1u);
+}
+
+TEST(GraphDiff, DetectsTypeChange) {
+  AsGraph before, after;
+  before.add_p2c(Asn(1), Asn(2));  // paid transit...
+  after.add_p2p(Asn(1), Asn(2));   // ...upgraded to settlement-free peering
+  const auto diff = diff_graphs(before, after);
+  ASSERT_EQ(diff.changed.size(), 1u);
+  EXPECT_EQ(diff.changed[0].before.type, LinkType::kP2C);
+  EXPECT_EQ(diff.changed[0].after.type, LinkType::kP2P);
+  EXPECT_DOUBLE_EQ(diff.stability(), 0.0);
+}
+
+TEST(GraphDiff, DetectsProviderFlip) {
+  AsGraph before, after;
+  before.add_p2c(Asn(1), Asn(2));
+  after.add_p2c(Asn(2), Asn(1));  // orientation inverted
+  const auto diff = diff_graphs(before, after);
+  ASSERT_EQ(diff.changed.size(), 1u);
+  EXPECT_EQ(diff.changed[0].before.a, Asn(1));
+  EXPECT_EQ(diff.changed[0].after.a, Asn(2));
+}
+
+TEST(GraphDiff, EmptyGraphs) {
+  const auto diff = diff_graphs(AsGraph{}, AsGraph{});
+  EXPECT_TRUE(diff.empty());
+  EXPECT_DOUBLE_EQ(diff.stability(), 1.0);
+}
+
+TEST(GraphDiff, SiblingCountedLikeAnyAnnotation) {
+  AsGraph before, after;
+  before.add_s2s(Asn(1), Asn(2));
+  after.add_p2p(Asn(1), Asn(2));
+  const auto diff = diff_graphs(before, after);
+  EXPECT_EQ(diff.changed.size(), 1u);
+}
+
+}  // namespace
+}  // namespace asrank

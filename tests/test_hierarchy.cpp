@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/hierarchy.h"
+
+namespace asrank::core {
+namespace {
+
+/// 1-2 clique; 1->3->5, 2->4; 6 has customers but no providers; 3 multihomed
+/// to 1 and 2.
+AsGraph hand_graph() {
+  AsGraph g;
+  g.add_p2p(Asn(1), Asn(2));
+  g.add_p2c(Asn(1), Asn(3));
+  g.add_p2c(Asn(2), Asn(3));
+  g.add_p2c(Asn(2), Asn(4));
+  g.add_p2c(Asn(3), Asn(5));
+  g.add_p2c(Asn(6), Asn(7));
+  return g;
+}
+
+TEST(Hierarchy, TierClassification) {
+  const auto summary = analyze_hierarchy(hand_graph(), {Asn(1), Asn(2)});
+  EXPECT_EQ(summary.tiers.at(Asn(1)), HierarchyTier::kClique);
+  EXPECT_EQ(summary.tiers.at(Asn(2)), HierarchyTier::kClique);
+  EXPECT_EQ(summary.tiers.at(Asn(3)), HierarchyTier::kTransit);
+  EXPECT_EQ(summary.tiers.at(Asn(4)), HierarchyTier::kStub);
+  EXPECT_EQ(summary.tiers.at(Asn(5)), HierarchyTier::kStub);
+  EXPECT_EQ(summary.tiers.at(Asn(6)), HierarchyTier::kLeafProvider);
+  EXPECT_EQ(summary.clique, 2u);
+  EXPECT_EQ(summary.transit, 1u);
+  EXPECT_EQ(summary.leaf_providers, 1u);
+  EXPECT_EQ(summary.stubs, 3u);
+}
+
+TEST(Hierarchy, MeanProvidersCountsMultihoming) {
+  const auto summary = analyze_hierarchy(hand_graph(), {Asn(1), Asn(2)});
+  // Provider counts: 3 has 2; 4,5,7 have 1 each -> mean 5/4.
+  EXPECT_DOUBLE_EQ(summary.mean_providers, 5.0 / 4.0);
+}
+
+TEST(Hierarchy, P2pShare) {
+  const auto summary = analyze_hierarchy(hand_graph(), {Asn(1), Asn(2)});
+  EXPECT_DOUBLE_EQ(summary.p2p_share, 1.0 / 6.0);
+}
+
+TEST(Hierarchy, Depths) {
+  const auto depths = hierarchy_depths(hand_graph());
+  EXPECT_EQ(depths.at(Asn(1)), 0u);
+  EXPECT_EQ(depths.at(Asn(2)), 0u);
+  EXPECT_EQ(depths.at(Asn(6)), 0u);
+  EXPECT_EQ(depths.at(Asn(3)), 1u);
+  EXPECT_EQ(depths.at(Asn(5)), 2u);
+  EXPECT_EQ(depths.at(Asn(7)), 1u);
+}
+
+TEST(Hierarchy, ConeJaccard) {
+  const std::vector<Asn> a{Asn(1), Asn(2), Asn(3)};
+  const std::vector<Asn> b{Asn(2), Asn(3), Asn(4)};
+  EXPECT_DOUBLE_EQ(cone_jaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(cone_jaccard(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(cone_jaccard(a, {}), 0.0);
+  EXPECT_DOUBLE_EQ(cone_jaccard({}, {}), 1.0);
+}
+
+TEST(Hierarchy, MeanRankChange) {
+  const std::vector<Asn> before{Asn(1), Asn(2), Asn(3), Asn(4)};
+  const std::vector<Asn> same = before;
+  EXPECT_DOUBLE_EQ(mean_rank_change(before, same, 4), 0.0);
+  const std::vector<Asn> swapped{Asn(2), Asn(1), Asn(3), Asn(4)};
+  EXPECT_DOUBLE_EQ(mean_rank_change(before, swapped, 2), 1.0);
+  // ASes missing from `after` are skipped.
+  const std::vector<Asn> shrunk{Asn(1)};
+  EXPECT_DOUBLE_EQ(mean_rank_change(before, shrunk, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace asrank::core

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "validation/irr.h"
+
+namespace asrank::validation {
+namespace {
+
+TEST(Irr, ParsesRouteObjects) {
+  std::stringstream text(
+      "route: 192.0.2.0/24\n"
+      "origin: AS64500\n"
+      "descr: example\n"
+      "\n"
+      "route: 10.0.0.0/8\n"
+      "origin: AS64501\n");
+  const auto database = parse_irr(text);
+  ASSERT_EQ(database.routes.size(), 2u);
+  EXPECT_EQ(database.routes[0].prefix.str(), "192.0.2.0/24");
+  EXPECT_EQ(database.routes[0].origin, Asn(64500));
+}
+
+TEST(Irr, ParsesAsSets) {
+  std::stringstream text(
+      "as-set: AS-EXAMPLE\n"
+      "members: AS64500, AS64501, AS-NESTED\n"
+      "\n"
+      "as-set: as-nested\n"
+      "members: AS64502\n");
+  const auto database = parse_irr(text);
+  ASSERT_EQ(database.as_sets.size(), 2u);
+  const auto& example = database.as_sets.at("AS-EXAMPLE");
+  EXPECT_EQ(example.asn_members.size(), 2u);
+  EXPECT_EQ(example.set_members, (std::vector<std::string>{"AS-NESTED"}));
+  EXPECT_TRUE(database.as_sets.contains("AS-NESTED"));  // name upper-cased
+}
+
+TEST(Irr, MalformedLinesThrow) {
+  std::stringstream bad_route("route: banana/24\n");
+  EXPECT_THROW((void)parse_irr(bad_route), std::runtime_error);
+  std::stringstream bad_origin(
+      "route: 10.0.0.0/8\n"
+      "origin: banana\n");
+  EXPECT_THROW((void)parse_irr(bad_origin), std::runtime_error);
+  std::stringstream no_origin("route: 10.0.0.0/8\n\n");
+  EXPECT_THROW((void)parse_irr(no_origin), std::runtime_error);
+}
+
+TEST(Irr, WriteParseRoundTrip) {
+  IrrDatabase database;
+  database.routes.push_back({*Prefix::parse("192.0.2.0/24"), Asn(64500)});
+  database.routes.push_back({*Prefix::parse("10.0.0.0/8"), Asn(64501)});
+  AsSet set;
+  set.name = "AS-EXAMPLE";
+  set.asn_members = {Asn(1), Asn(2)};
+  set.set_members = {"AS-OTHER"};
+  database.as_sets.emplace(set.name, set);
+
+  std::stringstream text;
+  write_irr(database, text);
+  const auto parsed = parse_irr(text);
+  EXPECT_EQ(parsed.routes, database.routes);
+  ASSERT_TRUE(parsed.as_sets.contains("AS-EXAMPLE"));
+  EXPECT_EQ(parsed.as_sets.at("AS-EXAMPLE").asn_members, set.asn_members);
+  EXPECT_EQ(parsed.as_sets.at("AS-EXAMPLE").set_members, set.set_members);
+}
+
+TEST(Irr, OriginTableLongestMatch) {
+  IrrDatabase database;
+  database.routes.push_back({*Prefix::parse("10.0.0.0/8"), Asn(8)});
+  database.routes.push_back({*Prefix::parse("10.1.0.0/16"), Asn(16)});
+  const auto table = origin_table(database);
+  EXPECT_EQ(table.lookup_v4(0x0a010101)->origin, Asn(16));
+  EXPECT_EQ(table.lookup_v4(0x0aff0000)->origin, Asn(8));
+}
+
+TEST(Irr, OriginTableConflictsResolveToLowestAsn) {
+  IrrDatabase database;
+  database.routes.push_back({*Prefix::parse("10.0.0.0/8"), Asn(900)});
+  database.routes.push_back({*Prefix::parse("10.0.0.0/8"), Asn(100)});
+  database.routes.push_back({*Prefix::parse("10.0.0.0/8"), Asn(500)});
+  const auto table = origin_table(database);
+  EXPECT_EQ(table.exact(*Prefix::parse("10.0.0.0/8")), Asn(100));
+}
+
+TEST(Irr, ExpandAsSetRecursively) {
+  std::stringstream text(
+      "as-set: AS-TOP\n"
+      "members: AS1, AS-MID\n"
+      "\n"
+      "as-set: AS-MID\n"
+      "members: AS2, AS-TOP, AS-UNKNOWN\n");  // cycle + unknown member
+  const auto database = parse_irr(text);
+  const auto members = expand_as_set(database, "as-top");  // case-insensitive
+  EXPECT_EQ(members, (std::vector<Asn>{Asn(1), Asn(2)}));
+  EXPECT_TRUE(expand_as_set(database, "AS-NOPE").empty());
+}
+
+TEST(Irr, ValidateOrigins) {
+  IrrDatabase database;
+  database.routes.push_back({*Prefix::parse("10.0.0.0/8"), Asn(8)});
+  database.routes.push_back({*Prefix::parse("192.0.2.0/24"), Asn(24)});
+  const auto table = origin_table(database);
+
+  const std::vector<std::pair<Prefix, Asn>> observed{
+      {*Prefix::parse("10.1.0.0/16"), Asn(8)},    // covered, matches
+      {*Prefix::parse("192.0.2.0/24"), Asn(99)},  // covered, mismatch
+      {*Prefix::parse("172.16.0.0/12"), Asn(5)},  // uncovered
+  };
+  const auto result = validate_origins(table, observed);
+  EXPECT_EQ(result.checked, 2u);
+  EXPECT_EQ(result.matched, 1u);
+  EXPECT_EQ(result.uncovered, 1u);
+  EXPECT_DOUBLE_EQ(result.match_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace asrank::validation

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "paths/corpus.h"
+#include "paths/sanitizer.h"
+
+namespace asrank::paths {
+namespace {
+
+PathRecord rec(std::uint32_t vp, const char* prefix, std::initializer_list<std::uint32_t> hops) {
+  return PathRecord{Asn(vp), *Prefix::parse(prefix), AsPath(hops)};
+}
+
+// -------------------------------------------------------------- corpus ----
+
+TEST(Corpus, BasicAccounting) {
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 3}));
+  corpus.add(rec(1, "10.0.1.0/24", {1, 2, 4}));
+  corpus.add(rec(5, "10.0.0.0/24", {5, 2, 3}));
+  EXPECT_EQ(corpus.size(), 3u);
+  EXPECT_EQ(corpus.vantage_points(), (std::vector<Asn>{Asn(1), Asn(5)}));
+  EXPECT_EQ(corpus.prefix_count(), 2u);
+  EXPECT_EQ(corpus.ases(), (std::vector<Asn>{Asn(1), Asn(2), Asn(3), Asn(4), Asn(5)}));
+}
+
+TEST(Corpus, LinkObservationsCountAdjacencies) {
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 3}));
+  corpus.add(rec(1, "10.0.1.0/24", {1, 2, 2, 4}));  // prepending not a link
+  const auto links = corpus.link_observations();
+  EXPECT_EQ(links.at(PathCorpus::key(Asn(1), Asn(2))), 2u);
+  EXPECT_EQ(links.at(PathCorpus::key(Asn(2), Asn(3))), 1u);
+  EXPECT_EQ(links.at(PathCorpus::key(Asn(2), Asn(4))), 1u);
+  EXPECT_EQ(links.size(), 3u);
+}
+
+TEST(Corpus, KeyMatchesAsGraphKey) {
+  EXPECT_EQ(PathCorpus::key(Asn(7), Asn(3)), PathCorpus::key(Asn(3), Asn(7)));
+}
+
+TEST(Corpus, FromRecordsBridgesAnyType) {
+  struct Foreign {
+    Asn vp;
+    Prefix prefix;
+    AsPath path;
+  };
+  std::vector<Foreign> rows{{Asn(1), *Prefix::parse("10.0.0.0/24"), AsPath{1, 2}}};
+  const auto corpus = PathCorpus::from_records(rows);
+  EXPECT_EQ(corpus.size(), 1u);
+}
+
+// ----------------------------------------------------------- sanitizer ----
+
+TEST(Sanitizer, CompressesPrepending) {
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 2, 2, 3}));
+  SanitizerConfig config;
+  const auto result = sanitize(corpus, config);
+  ASSERT_EQ(result.corpus.size(), 1u);
+  EXPECT_EQ(result.corpus.records()[0].path, (AsPath{1, 2, 3}));
+  EXPECT_EQ(result.stats.prepended_compressed, 1u);
+}
+
+TEST(Sanitizer, DiscardsLoops) {
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 3, 2}));  // poisoned
+  corpus.add(rec(1, "10.0.1.0/24", {1, 2, 3}));
+  const auto result = sanitize(corpus, SanitizerConfig{});
+  EXPECT_EQ(result.corpus.size(), 1u);
+  EXPECT_EQ(result.stats.loops_discarded, 1u);
+}
+
+TEST(Sanitizer, DiscardsReservedByDefault) {
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {1, 64512, 3}));
+  const auto result = sanitize(corpus, SanitizerConfig{});
+  EXPECT_EQ(result.corpus.size(), 0u);
+  EXPECT_EQ(result.stats.reserved_discarded, 1u);
+}
+
+TEST(Sanitizer, StripReservedKeepsPath) {
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {1, 64512, 3}));
+  SanitizerConfig config;
+  config.strip_reserved_asns = true;
+  const auto result = sanitize(corpus, config);
+  ASSERT_EQ(result.corpus.size(), 1u);
+  EXPECT_EQ(result.corpus.records()[0].path, (AsPath{1, 3}));
+  EXPECT_EQ(result.stats.reserved_hops_stripped, 1u);
+  EXPECT_EQ(result.stats.reserved_discarded, 0u);
+}
+
+TEST(Sanitizer, StripsIxpAsns) {
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 900, 3}));  // 900 = route server
+  SanitizerConfig config;
+  config.ixp_asns.insert(Asn(900));
+  const auto result = sanitize(corpus, config);
+  ASSERT_EQ(result.corpus.size(), 1u);
+  EXPECT_EQ(result.corpus.records()[0].path, (AsPath{1, 2, 3}));
+  EXPECT_EQ(result.stats.ixp_hops_stripped, 1u);
+}
+
+TEST(Sanitizer, IxpStripCanRestoreLoopFreePath) {
+  // The route server splits a prepending run; stripping merges it back.
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 900, 2, 3}));
+  SanitizerConfig config;
+  config.ixp_asns.insert(Asn(900));
+  const auto result = sanitize(corpus, config);
+  ASSERT_EQ(result.corpus.size(), 1u);
+  EXPECT_EQ(result.corpus.records()[0].path, (AsPath{1, 2, 3}));
+  EXPECT_EQ(result.stats.loops_discarded, 0u);
+}
+
+TEST(Sanitizer, Deduplicates) {
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 3}));
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 3}));
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 2, 3}));  // same after compression
+  const auto result = sanitize(corpus, SanitizerConfig{});
+  EXPECT_EQ(result.corpus.size(), 1u);
+  EXPECT_EQ(result.stats.duplicates_removed, 2u);
+}
+
+TEST(Sanitizer, DedupKeepsDistinctPrefixesAndVps) {
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 3}));
+  corpus.add(rec(1, "10.0.1.0/24", {1, 2, 3}));
+  corpus.add(rec(4, "10.0.0.0/24", {4, 2, 3}));
+  const auto result = sanitize(corpus, SanitizerConfig{});
+  EXPECT_EQ(result.corpus.size(), 3u);
+}
+
+TEST(Sanitizer, StagesCanBeDisabled) {
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 2, 3}));
+  SanitizerConfig config;
+  config.compress_prepending = false;
+  config.dedup = false;
+  const auto result = sanitize(corpus, config);
+  ASSERT_EQ(result.corpus.size(), 1u);
+  EXPECT_TRUE(result.corpus.records()[0].path.has_prepending());
+}
+
+TEST(Sanitizer, EmptyPathsDropped) {
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {900}));  // only an IXP hop
+  SanitizerConfig config;
+  config.ixp_asns.insert(Asn(900));
+  const auto result = sanitize(corpus, config);
+  EXPECT_EQ(result.corpus.size(), 0u);
+}
+
+TEST(Sanitizer, IsIdempotent) {
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 2, 3}));
+  corpus.add(rec(1, "10.0.1.0/24", {1, 2, 3, 2}));
+  corpus.add(rec(4, "10.0.2.0/24", {4, 5}));
+  SanitizerConfig config;
+  const auto once = sanitize(corpus, config);
+  const auto twice = sanitize(once.corpus, config);
+  EXPECT_EQ(twice.corpus.size(), once.corpus.size());
+  EXPECT_EQ(twice.stats.prepended_compressed, 0u);
+  EXPECT_EQ(twice.stats.loops_discarded, 0u);
+  EXPECT_EQ(twice.stats.duplicates_removed, 0u);
+}
+
+TEST(Sanitizer, StatsAddUp) {
+  PathCorpus corpus;
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 3}));    // clean
+  corpus.add(rec(1, "10.0.1.0/24", {1, 2, 3, 2})); // loop
+  corpus.add(rec(1, "10.0.2.0/24", {1, 64512}));   // reserved
+  corpus.add(rec(1, "10.0.0.0/24", {1, 2, 3}));    // duplicate
+  const auto result = sanitize(corpus, SanitizerConfig{});
+  const auto& s = result.stats;
+  EXPECT_EQ(s.input_records, 4u);
+  EXPECT_EQ(s.output_records,
+            s.input_records - s.loops_discarded - s.reserved_discarded - s.duplicates_removed);
+}
+
+}  // namespace
+}  // namespace asrank::paths

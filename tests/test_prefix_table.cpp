@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "topology/prefix_table.h"
+#include "util/rng.h"
+
+namespace asrank {
+namespace {
+
+Prefix p(const char* text) { return *Prefix::parse(text); }
+
+TEST(PrefixTable, InsertAndExact) {
+  PrefixTable table;
+  EXPECT_TRUE(table.insert(p("10.0.0.0/8"), Asn(100)));
+  EXPECT_FALSE(table.insert(p("10.0.0.0/8"), Asn(200)));  // replace, not new
+  EXPECT_EQ(table.exact(p("10.0.0.0/8")), Asn(200));
+  EXPECT_FALSE(table.exact(p("10.0.0.0/9")));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PrefixTable, LongestPrefixMatch) {
+  PrefixTable table;
+  table.insert(p("10.0.0.0/8"), Asn(8));
+  table.insert(p("10.1.0.0/16"), Asn(16));
+  table.insert(p("10.1.2.0/24"), Asn(24));
+
+  const auto host = table.lookup_v4(0x0a010203);  // 10.1.2.3
+  ASSERT_TRUE(host);
+  EXPECT_EQ(host->origin, Asn(24));
+  EXPECT_EQ(host->prefix, p("10.1.2.0/24"));
+
+  const auto mid = table.lookup_v4(0x0a01ff01);  // 10.1.255.1
+  ASSERT_TRUE(mid);
+  EXPECT_EQ(mid->origin, Asn(16));
+
+  const auto top = table.lookup_v4(0x0aff0000);  // 10.255.0.0
+  ASSERT_TRUE(top);
+  EXPECT_EQ(top->origin, Asn(8));
+
+  EXPECT_FALSE(table.lookup_v4(0x0b000000));  // 11.0.0.0: no match
+}
+
+TEST(PrefixTable, LookupOfCoveringPrefixFindsOnlyShorter) {
+  PrefixTable table;
+  table.insert(p("10.1.0.0/16"), Asn(16));
+  // Looking up the /8 must NOT match the /16 inside it.
+  EXPECT_FALSE(table.lookup(p("10.0.0.0/8")));
+  table.insert(p("10.0.0.0/8"), Asn(8));
+  const auto match = table.lookup(p("10.1.0.0/12"));
+  ASSERT_TRUE(match);
+  EXPECT_EQ(match->origin, Asn(8));
+}
+
+TEST(PrefixTable, DefaultRouteMatchesEverything) {
+  PrefixTable table;
+  table.insert(p("0.0.0.0/0"), Asn(1));
+  const auto match = table.lookup_v4(0xdeadbeef);
+  ASSERT_TRUE(match);
+  EXPECT_EQ(match->origin, Asn(1));
+  EXPECT_EQ(match->prefix.length(), 0);
+}
+
+TEST(PrefixTable, EraseAndPrune) {
+  PrefixTable table;
+  table.insert(p("10.0.0.0/8"), Asn(8));
+  table.insert(p("10.1.0.0/16"), Asn(16));
+  EXPECT_TRUE(table.erase(p("10.1.0.0/16")));
+  EXPECT_FALSE(table.erase(p("10.1.0.0/16")));
+  EXPECT_FALSE(table.erase(p("10.2.0.0/16")));  // never present
+  EXPECT_EQ(table.size(), 1u);
+  const auto match = table.lookup_v4(0x0a010000);
+  ASSERT_TRUE(match);
+  EXPECT_EQ(match->origin, Asn(8));  // falls back to the /8
+}
+
+TEST(PrefixTable, ErasePreservesDescendants) {
+  PrefixTable table;
+  table.insert(p("10.0.0.0/8"), Asn(8));
+  table.insert(p("10.1.0.0/16"), Asn(16));
+  EXPECT_TRUE(table.erase(p("10.0.0.0/8")));
+  EXPECT_EQ(table.exact(p("10.1.0.0/16")), Asn(16));
+  EXPECT_FALSE(table.lookup_v4(0x0aff0000));  // /8 gone
+}
+
+TEST(PrefixTable, Ipv6Coexists) {
+  PrefixTable table;
+  table.insert(p("10.0.0.0/8"), Asn(4));
+  table.insert(p("2001:db8::/32"), Asn(6));
+  table.insert(p("2001:db8:1::/48"), Asn(48));
+  const auto match = table.lookup(p("2001:db8:1:2::/64"));
+  ASSERT_TRUE(match);
+  EXPECT_EQ(match->origin, Asn(48));
+  const auto broad = table.lookup(p("2001:db8:ffff::/48"));
+  ASSERT_TRUE(broad);
+  EXPECT_EQ(broad->origin, Asn(6));
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(PrefixTable, EntriesSortedAndComplete) {
+  PrefixTable table;
+  table.insert(p("192.0.2.0/24"), Asn(3));
+  table.insert(p("10.0.0.0/8"), Asn(1));
+  table.insert(p("10.0.0.0/24"), Asn(2));
+  table.insert(p("2001:db8::/32"), Asn(4));
+  const auto entries = table.entries();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].prefix, p("10.0.0.0/8"));
+  EXPECT_EQ(entries[1].prefix, p("10.0.0.0/24"));
+  EXPECT_EQ(entries[2].prefix, p("192.0.2.0/24"));
+  EXPECT_EQ(entries[3].prefix, p("2001:db8::/32"));
+}
+
+/// Property: trie lookups agree with a naive linear scan across random
+/// tables and random queries.
+class PrefixTableProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixTableProperty, AgreesWithLinearScan) {
+  util::Rng rng(GetParam());
+  PrefixTable table;
+  std::map<Prefix, Asn> reference;
+  for (int i = 0; i < 300; ++i) {
+    const auto length = static_cast<std::uint8_t>(8 + rng.uniform(17));  // 8..24
+    const auto addr = static_cast<std::uint32_t>(rng());
+    const Prefix prefix = Prefix::v4(addr, length);
+    const Asn origin(static_cast<std::uint32_t>(1 + rng.uniform(1000)));
+    table.insert(prefix, origin);
+    reference[prefix] = origin;
+  }
+  EXPECT_EQ(table.size(), reference.size());
+
+  for (int q = 0; q < 500; ++q) {
+    const auto addr = static_cast<std::uint32_t>(rng());
+    const Prefix host = Prefix::v4(addr, 32);
+    // Naive longest-prefix scan.
+    std::optional<std::pair<Prefix, Asn>> want;
+    for (const auto& [prefix, origin] : reference) {
+      if (prefix.contains(host) && (!want || prefix.length() > want->first.length())) {
+        want = {prefix, origin};
+      }
+    }
+    const auto got = table.lookup(host);
+    ASSERT_EQ(got.has_value(), want.has_value()) << host.str();
+    if (got) {
+      EXPECT_EQ(got->prefix, want->first) << host.str();
+      EXPECT_EQ(got->origin, want->second) << host.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTableProperty, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(PrefixTable, MoveSemantics) {
+  PrefixTable table;
+  table.insert(p("10.0.0.0/8"), Asn(1));
+  PrefixTable moved = std::move(table);
+  EXPECT_EQ(moved.exact(p("10.0.0.0/8")), Asn(1));
+  EXPECT_EQ(moved.size(), 1u);
+}
+
+}  // namespace
+}  // namespace asrank

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mrt/table_dump_v1.h"
+#include "mrt/table_dump_v2.h"
+
+namespace asrank::mrt {
+namespace {
+
+TableDumpV1Entry sample_entry() {
+  TableDumpV1Entry entry;
+  entry.timestamp = 978307200;  // 2001, Gao-era
+  entry.prefix = *Prefix::parse("192.0.2.0/24");
+  entry.originated_time = 978300000;
+  entry.peer_ip = 0xc0000201;
+  entry.peer_as = Asn(701);
+  entry.attrs.origin = Origin::kIgp;
+  entry.attrs.as_path = AsPath{701, 1239, 3356};
+  entry.attrs.next_hop = 0xc0000202;
+  return entry;
+}
+
+TEST(TableDumpV1, RoundTrip) {
+  const auto entry = sample_entry();
+  std::stringstream stream;
+  write_table_dump_v1(entry, stream);
+  const auto parsed = read_table_dump_v1(stream);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], entry);
+}
+
+TEST(TableDumpV1, MultipleRecords) {
+  std::stringstream stream;
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    auto entry = sample_entry();
+    entry.prefix = Prefix::v4(i << 16, 16);
+    entry.attrs.as_path = AsPath{701, i};
+    write_table_dump_v1(entry, stream, /*view=*/0, /*sequence=*/static_cast<std::uint16_t>(i));
+  }
+  const auto parsed = read_table_dump_v1(stream);
+  ASSERT_EQ(parsed.size(), 10u);
+  EXPECT_EQ(parsed[9].attrs.as_path.last(), Asn(10));
+}
+
+TEST(TableDumpV1, Rejects32BitAsns) {
+  auto entry = sample_entry();
+  entry.peer_as = Asn(100000);
+  std::stringstream stream;
+  EXPECT_THROW(write_table_dump_v1(entry, stream), std::invalid_argument);
+
+  entry = sample_entry();
+  entry.attrs.as_path = AsPath{701, 100000};
+  EXPECT_THROW(write_table_dump_v1(entry, stream), std::invalid_argument);
+}
+
+TEST(TableDumpV1, RejectsIpv6) {
+  auto entry = sample_entry();
+  entry.prefix = *Prefix::parse("2001:db8::/32");
+  std::stringstream stream;
+  EXPECT_THROW(write_table_dump_v1(entry, stream), std::invalid_argument);
+}
+
+TEST(TableDumpV1, SkipsForeignRecordTypes) {
+  std::stringstream stream;
+  RibDump v2;
+  v2.peers.push_back(PeerEntry{1, 1, Asn(1)});
+  write_table_dump_v2(v2, stream);
+  write_table_dump_v1(sample_entry(), stream);
+  const auto parsed = read_table_dump_v1(stream);
+  EXPECT_EQ(parsed.size(), 1u);
+}
+
+TEST(TableDumpV1, TruncationThrows) {
+  std::stringstream stream;
+  write_table_dump_v1(sample_entry(), stream);
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() - 3);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW((void)read_table_dump_v1(truncated), DecodeError);
+}
+
+TEST(TableDumpV1, NoNextHopRoundTrips) {
+  auto entry = sample_entry();
+  entry.attrs.next_hop.reset();
+  std::stringstream stream;
+  write_table_dump_v1(entry, stream);
+  const auto parsed = read_table_dump_v1(stream);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_FALSE(parsed[0].attrs.next_hop);
+}
+
+}  // namespace
+}  // namespace asrank::mrt

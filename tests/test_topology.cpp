@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topology/as_graph.h"
+#include "topology/relationship.h"
+#include "topology/serialization.h"
+
+namespace asrank {
+namespace {
+
+// -------------------------------------------------------- relationship ----
+
+TEST(Relationship, AsRelCodesRoundTrip) {
+  for (const LinkType t : {LinkType::kP2C, LinkType::kP2P, LinkType::kS2S}) {
+    EXPECT_EQ(link_type_from_code(as_rel_code(t)), t);
+  }
+  EXPECT_FALSE(link_type_from_code(1));
+  EXPECT_FALSE(link_type_from_code(-2));
+}
+
+TEST(Relationship, Names) {
+  EXPECT_EQ(to_string(LinkType::kP2C), "p2c");
+  EXPECT_EQ(to_string(RelView::kProvider), "provider");
+}
+
+// ------------------------------------------------------------- AsGraph ----
+
+TEST(AsGraph, AddAndViewP2c) {
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));  // 1 provides 2
+  EXPECT_EQ(g.view(Asn(2), Asn(1)), RelView::kProvider);
+  EXPECT_EQ(g.view(Asn(1), Asn(2)), RelView::kCustomer);
+  EXPECT_FALSE(g.view(Asn(1), Asn(3)));
+}
+
+TEST(AsGraph, P2cOrientationSurvivesAsnOrder) {
+  AsGraph g;
+  g.add_p2c(Asn(9), Asn(3));  // provider has the larger ASN
+  const auto link = g.link(Asn(3), Asn(9));
+  ASSERT_TRUE(link);
+  EXPECT_EQ(link->a, Asn(9));
+  EXPECT_EQ(link->b, Asn(3));
+  EXPECT_EQ(link->type, LinkType::kP2C);
+}
+
+TEST(AsGraph, PeerAndSiblingSymmetric) {
+  AsGraph g;
+  g.add_p2p(Asn(1), Asn(2));
+  g.add_s2s(Asn(3), Asn(4));
+  EXPECT_EQ(g.view(Asn(1), Asn(2)), RelView::kPeer);
+  EXPECT_EQ(g.view(Asn(2), Asn(1)), RelView::kPeer);
+  EXPECT_EQ(g.view(Asn(3), Asn(4)), RelView::kSibling);
+}
+
+TEST(AsGraph, SetRelationshipReplaces) {
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));
+  g.add_p2p(Asn(1), Asn(2));  // re-annotate
+  EXPECT_EQ(g.view(Asn(1), Asn(2)), RelView::kPeer);
+  EXPECT_TRUE(g.customers(Asn(1)).empty());
+  EXPECT_TRUE(g.providers(Asn(2)).empty());
+  EXPECT_EQ(g.link_count(), 1u);
+}
+
+TEST(AsGraph, ReorientP2c) {
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));
+  g.add_p2c(Asn(2), Asn(1));  // flip provider
+  EXPECT_EQ(g.view(Asn(1), Asn(2)), RelView::kProvider);
+  EXPECT_EQ(g.customers(Asn(2)).size(), 1u);
+  EXPECT_EQ(g.customers(Asn(1)).size(), 0u);
+}
+
+TEST(AsGraph, RemoveLink) {
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));
+  EXPECT_TRUE(g.remove_link(Asn(2), Asn(1)));  // order-independent
+  EXPECT_FALSE(g.has_link(Asn(1), Asn(2)));
+  EXPECT_TRUE(g.providers(Asn(2)).empty());
+  EXPECT_FALSE(g.remove_link(Asn(1), Asn(2)));  // already gone
+  EXPECT_EQ(g.as_count(), 2u);                  // nodes remain
+}
+
+TEST(AsGraph, RejectsInvalid) {
+  AsGraph g;
+  EXPECT_THROW(g.add_p2c(Asn(1), Asn(1)), std::invalid_argument);
+  EXPECT_THROW(g.add_p2p(Asn(0), Asn(1)), std::invalid_argument);
+  EXPECT_THROW(g.add_as(Asn(0)), std::invalid_argument);
+}
+
+TEST(AsGraph, DegreeAndCounts) {
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));
+  g.add_p2c(Asn(1), Asn(3));
+  g.add_p2p(Asn(2), Asn(3));
+  g.add_s2s(Asn(3), Asn(4));
+  EXPECT_EQ(g.degree(Asn(3)), 3u);
+  EXPECT_EQ(g.degree(Asn(99)), 0u);
+  const auto counts = g.link_counts();
+  EXPECT_EQ(counts.p2c, 2u);
+  EXPECT_EQ(counts.p2p, 1u);
+  EXPECT_EQ(counts.s2s, 1u);
+  EXPECT_EQ(g.link_count(), 4u);
+}
+
+TEST(AsGraph, NeighborsUnion) {
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));
+  g.add_p2p(Asn(2), Asn(3));
+  auto n = g.neighbors(Asn(2));
+  std::sort(n.begin(), n.end());
+  EXPECT_EQ(n, (std::vector<Asn>{Asn(1), Asn(3)}));
+}
+
+TEST(AsGraph, LinksDeterministicOrder) {
+  AsGraph g;
+  g.add_p2p(Asn(5), Asn(2));
+  g.add_p2c(Asn(3), Asn(1));
+  const auto links = g.links();
+  ASSERT_EQ(links.size(), 2u);
+  // Sorted by normalized endpoints: (1,3) then (2,5).
+  EXPECT_EQ(std::min(links[0].a, links[0].b), Asn(1));
+  EXPECT_EQ(std::min(links[1].a, links[1].b), Asn(2));
+}
+
+TEST(AsGraph, AcyclicityDetection) {
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));
+  g.add_p2c(Asn(2), Asn(3));
+  EXPECT_TRUE(g.p2c_acyclic());
+  g.add_p2c(Asn(3), Asn(1));  // cycle 1->2->3->1
+  EXPECT_FALSE(g.p2c_acyclic());
+}
+
+TEST(AsGraph, PeeringDoesNotAffectAcyclicity) {
+  AsGraph g;
+  g.add_p2p(Asn(1), Asn(2));
+  g.add_p2p(Asn(2), Asn(3));
+  g.add_p2p(Asn(3), Asn(1));
+  EXPECT_TRUE(g.p2c_acyclic());
+}
+
+TEST(AsGraph, ProviderFreeAndStubs) {
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));
+  g.add_p2c(Asn(2), Asn(3));
+  g.add_p2p(Asn(1), Asn(4));
+  EXPECT_EQ(g.provider_free_ases(), (std::vector<Asn>{Asn(1)}));
+  EXPECT_EQ(g.stub_ases(), (std::vector<Asn>{Asn(3), Asn(4)}));
+}
+
+TEST(AsGraph, LinkKeyIsOrderIndependent) {
+  EXPECT_EQ(AsGraph::link_key(Asn(1), Asn(2)), AsGraph::link_key(Asn(2), Asn(1)));
+  EXPECT_NE(AsGraph::link_key(Asn(1), Asn(2)), AsGraph::link_key(Asn(1), Asn(3)));
+}
+
+// ------------------------------------------------------- serialization ----
+
+TEST(Serialization, AsRelRoundTrip) {
+  AsGraph g;
+  g.add_p2c(Asn(3356), Asn(64500));
+  g.add_p2p(Asn(3356), Asn(1299));
+  g.add_s2s(Asn(64500), Asn(64501));
+  std::stringstream text;
+  write_as_rel(g, text);
+  const AsGraph parsed = read_as_rel(text);
+  EXPECT_EQ(parsed.as_count(), g.as_count());
+  EXPECT_EQ(parsed.view(Asn(64500), Asn(3356)), RelView::kProvider);
+  EXPECT_EQ(parsed.view(Asn(1299), Asn(3356)), RelView::kPeer);
+  EXPECT_EQ(parsed.view(Asn(64501), Asn(64500)), RelView::kSibling);
+}
+
+TEST(Serialization, AsRelParsesCaidaFormat) {
+  std::stringstream text(
+      "# inferred by asrank\n"
+      "1|2|-1\n"
+      "2|3|0\n");
+  const AsGraph g = read_as_rel(text);
+  EXPECT_EQ(g.view(Asn(2), Asn(1)), RelView::kProvider);
+  EXPECT_EQ(g.view(Asn(2), Asn(3)), RelView::kPeer);
+}
+
+TEST(Serialization, AsRelRejectsMalformed) {
+  std::stringstream missing_field("1|2\n");
+  EXPECT_THROW((void)read_as_rel(missing_field), std::runtime_error);
+  std::stringstream bad_code("1|2|7\n");
+  EXPECT_THROW((void)read_as_rel(bad_code), std::runtime_error);
+  std::stringstream bad_asn("x|2|0\n");
+  EXPECT_THROW((void)read_as_rel(bad_asn), std::runtime_error);
+}
+
+TEST(Serialization, PpdcRoundTrip) {
+  ConeMap cones;
+  cones[Asn(1)] = {Asn(1), Asn(2), Asn(3)};
+  cones[Asn(2)] = {Asn(2)};
+  std::stringstream text;
+  write_ppdc(cones, text);
+  const ConeMap parsed = read_ppdc(text);
+  EXPECT_EQ(parsed, cones);
+}
+
+TEST(Serialization, PpdcRejectsMalformed) {
+  std::stringstream bad("1 2 x\n");
+  EXPECT_THROW((void)read_ppdc(bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace asrank

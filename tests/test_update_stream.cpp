@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgpsim/update_stream.h"
+#include "topogen/topogen.h"
+
+namespace asrank::bgpsim {
+namespace {
+
+Observation make_obs(std::vector<ObservedRoute> routes, std::vector<VantagePoint> vps) {
+  Observation obs;
+  obs.routes = std::move(routes);
+  obs.vps = std::move(vps);
+  return obs;
+}
+
+ObservedRoute route(std::uint32_t vp, const char* prefix,
+                    std::initializer_list<std::uint32_t> hops) {
+  return {Asn(vp), *Prefix::parse(prefix), AsPath(hops)};
+}
+
+TEST(UpdateStream, EmptyDiffForIdenticalObservations) {
+  const auto obs = make_obs({route(1, "10.0.0.0/24", {1, 2})}, {{Asn(1), true}});
+  EXPECT_TRUE(diff_observations(obs, obs, 100).empty());
+}
+
+TEST(UpdateStream, NewRouteBecomesAnnouncement) {
+  const auto before = make_obs({}, {{Asn(1), true}});
+  const auto after = make_obs({route(1, "10.0.0.0/24", {1, 2, 3})}, {{Asn(1), true}});
+  const auto updates = diff_observations(before, after, 7);
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].peer_as, Asn(1));
+  EXPECT_EQ(updates[0].timestamp, 7u);
+  ASSERT_EQ(updates[0].announced.size(), 1u);
+  EXPECT_EQ(updates[0].attrs.as_path, (AsPath{1, 2, 3}));
+  EXPECT_TRUE(updates[0].withdrawn.empty());
+}
+
+TEST(UpdateStream, LostRouteBecomesWithdrawal) {
+  const auto before = make_obs({route(1, "10.0.0.0/24", {1, 2})}, {{Asn(1), true}});
+  const auto after = make_obs({}, {{Asn(1), true}});
+  const auto updates = diff_observations(before, after, 7);
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].withdrawn.size(), 1u);
+  EXPECT_TRUE(updates[0].announced.empty());
+}
+
+TEST(UpdateStream, ChangedPathIsImplicitWithdraw) {
+  const auto before = make_obs({route(1, "10.0.0.0/24", {1, 2, 3})}, {{Asn(1), true}});
+  const auto after = make_obs({route(1, "10.0.0.0/24", {1, 4, 3})}, {{Asn(1), true}});
+  const auto updates = diff_observations(before, after, 7);
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_TRUE(updates[0].withdrawn.empty());  // implicit withdraw
+  EXPECT_EQ(updates[0].attrs.as_path, (AsPath{1, 4, 3}));
+}
+
+TEST(UpdateStream, SharedPathsBatchIntoOneMessage) {
+  const auto before = make_obs({}, {{Asn(1), true}});
+  const auto after = make_obs({route(1, "10.0.0.0/24", {1, 2, 3}),
+                               route(1, "10.0.1.0/24", {1, 2, 3}),
+                               route(1, "10.0.2.0/24", {1, 9, 3})},
+                              {{Asn(1), true}});
+  const auto updates = diff_observations(before, after, 7);
+  ASSERT_EQ(updates.size(), 2u);  // one per distinct path
+  std::size_t total_nlri = 0;
+  for (const auto& update : updates) total_nlri += update.announced.size();
+  EXPECT_EQ(total_nlri, 3u);
+}
+
+TEST(UpdateStream, ApplyRoundTripsDiff) {
+  // Random-ish evolution: diff(base, target) applied to base == target.
+  const auto truth = topogen::generate(topogen::GenParams::preset("tiny"));
+  ObservationParams params;
+  params.full_vps = 4;
+  params.partial_vps = 1;
+  const auto base = observe(truth, params);
+
+  auto evolved_truth = truth;
+  util::Rng rng(77);
+  topogen::evolve(evolved_truth, rng, topogen::EvolveParams{});
+  auto evolved_params = params;  // same VPs (same seed & pools ordering)
+  const auto target = observe(evolved_truth, evolved_params);
+
+  const auto updates = diff_observations(base, target, 1000);
+  const auto replayed = apply_updates(base, updates);
+
+  auto key = [](const ObservedRoute& r) {
+    return std::to_string(r.vp.value()) + "|" + r.prefix.str() + "|" + r.path.str();
+  };
+  std::vector<std::string> want, got;
+  for (const auto& r : target.routes) want.push_back(key(r));
+  for (const auto& r : replayed) got.push_back(key(r));
+  std::sort(want.begin(), want.end());
+  std::sort(got.begin(), got.end());
+  // VP sets can differ slightly after evolve (new pools); restrict to shared VPs.
+  EXPECT_EQ(got, want);
+}
+
+TEST(UpdateStream, ApplyIgnoresUnknownVps) {
+  const auto base = make_obs({route(1, "10.0.0.0/24", {1, 2})}, {{Asn(1), true}});
+  mrt::UpdateMessage rogue;
+  rogue.peer_as = Asn(99);
+  rogue.announced = {*Prefix::parse("10.0.9.0/24")};
+  rogue.attrs.as_path = AsPath{99, 2};
+  const auto replayed = apply_updates(base, {rogue});
+  EXPECT_EQ(replayed.size(), 1u);  // unchanged
+}
+
+TEST(UpdateStream, WireRoundTripThroughBgp4mp) {
+  const auto before = make_obs({route(1, "10.0.0.0/24", {1, 2, 3})}, {{Asn(1), true}});
+  const auto after = make_obs({route(1, "10.0.0.0/24", {1, 4, 3}),
+                               route(1, "10.0.1.0/24", {1, 4, 5})},
+                              {{Asn(1), true}});
+  const auto updates = diff_observations(before, after, 555);
+  std::stringstream stream;
+  for (const auto& update : updates) mrt::write_update(update, stream);
+  const auto parsed = mrt::read_updates(stream);
+  ASSERT_EQ(parsed.size(), updates.size());
+  const auto replayed = apply_updates(before, parsed);
+  EXPECT_EQ(replayed.size(), 2u);
+}
+
+}  // namespace
+}  // namespace asrank::bgpsim

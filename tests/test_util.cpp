@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace asrank::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng -----
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng rng(7);
+  const auto first = rng();
+  rng.reseed(7);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(42);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformZeroBoundThrows) {
+  Rng rng;
+  EXPECT_THROW((void)rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformCoversAllResidues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW((void)rng.uniform_range(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ZipfStaysInRange) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.zipf(10, 1.5);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(Rng, ZipfIsHeavyHeaded) {
+  Rng rng(23);
+  std::size_t ones = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) ones += rng.zipf(100, 1.5) == 1;
+  // Rank 1 should dominate under a power law.
+  EXPECT_GT(ones, static_cast<std::size_t>(n) / 4);
+}
+
+TEST(Rng, ZipfRejectsBadArgs) {
+  Rng rng;
+  EXPECT_THROW((void)rng.zipf(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.zipf(10, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(29);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(0.25));
+  EXPECT_NEAR(sum / n, 3.0, 0.2);  // mean failures = (1-p)/p = 3
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Rng rng;
+  EXPECT_EQ(rng.geometric(1.0), 0u);
+  EXPECT_THROW((void)rng.geometric(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.geometric(1.5), std::invalid_argument);
+}
+
+TEST(Rng, WeightedPickHonoursWeights) {
+  Rng rng(31);
+  const double weights[] = {0.0, 9.0, 1.0};
+  std::size_t counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_pick(weights)];
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(Rng, WeightedPickRejectsDegenerate) {
+  Rng rng;
+  const double zeros[] = {0.0, 0.0};
+  const double negative[] = {1.0, -0.5};
+  EXPECT_THROW((void)rng.weighted_pick(zeros), std::invalid_argument);
+  EXPECT_THROW((void)rng.weighted_pick(negative), std::invalid_argument);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(37);
+  const auto sample = rng.sample_indices(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto i : sample) EXPECT_LT(i, 100u);
+  EXPECT_THROW((void)rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, SampleIndicesFullPopulation) {
+  Rng rng(41);
+  const auto sample = rng.sample_indices(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+// -------------------------------------------------------------- stats -----
+
+TEST(Stats, QuantileEdges) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+}
+
+TEST(Stats, QuantileRejectsBadInput) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+}
+
+TEST(Stats, SummarizeEmptyIsZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, CcdfMonotoneAndNormalized) {
+  const std::vector<double> v{1, 1, 2, 3, 3, 3};
+  const auto points = ccdf(v);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].fraction, 1.0);  // all >= min
+  EXPECT_DOUBLE_EQ(points[1].value, 2.0);
+  EXPECT_NEAR(points[1].fraction, 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(points[2].fraction, 3.0 / 6.0, 1e-12);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i].fraction, points[i - 1].fraction);
+  }
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  const std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Stats, KendallTauOrderings) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> same{10, 20, 30, 40, 50};
+  const std::vector<double> reversed{5, 4, 3, 2, 1};
+  EXPECT_NEAR(kendall_tau(x, same), 1.0, 1e-12);
+  EXPECT_NEAR(kendall_tau(x, reversed), -1.0, 1e-12);
+}
+
+TEST(Stats, KendallTauHandlesTies) {
+  const std::vector<double> x{1, 2, 2, 3};
+  const std::vector<double> y{1, 2, 3, 4};
+  const double tau = kendall_tau(x, y);
+  EXPECT_GT(tau, 0.7);
+  EXPECT_LE(tau, 1.0);
+}
+
+TEST(Stats, HistogramClampsAndCounts) {
+  const std::vector<double> v{-1, 0, 0.5, 1.5, 10};
+  const auto h = histogram(v, 0.0, 2.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 3u);  // -1 (clamped), 0, 0.5
+  EXPECT_EQ(h[1], 2u);  // 1.5, 10 (clamped)
+  EXPECT_THROW((void)histogram(v, 0.0, 2.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)histogram(v, 2.0, 1.0, 2), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ strings -----
+
+TEST(Strings, SplitBasics) {
+  const auto parts = split("a|b||c", '|');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  const auto kept = split("a|b||c", '|', /*keep_empty=*/true);
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept[2], "");
+}
+
+TEST(Strings, SplitWsCollapsesRuns) {
+  const auto parts = split_ws("  a \t b  c ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(Strings, ParseUnsignedStrict) {
+  EXPECT_EQ(parse_unsigned<std::uint32_t>("123"), 123u);
+  EXPECT_FALSE(parse_unsigned<std::uint32_t>("12x"));
+  EXPECT_FALSE(parse_unsigned<std::uint32_t>("-1"));
+  EXPECT_FALSE(parse_unsigned<std::uint32_t>(""));
+  EXPECT_FALSE(parse_unsigned<std::uint8_t>("256"));  // overflow
+  EXPECT_EQ(parse_unsigned<std::uint8_t>("255"), 255u);
+}
+
+TEST(Strings, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*parse_double("2.5"), 2.5);
+  EXPECT_FALSE(parse_double("2.5x"));
+  EXPECT_FALSE(parse_double(""));
+}
+
+TEST(Strings, IequalsAndLower) {
+  EXPECT_TRUE(iequals("AbC", "aBc"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+// -------------------------------------------------------------- table -----
+
+TEST(Table, RendersAligned) {
+  TableWriter t({"col", "n"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.render(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("| col    | n  |"), std::string::npos);
+  EXPECT_NE(text.find("| longer | 22 |"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TableWriter({}), std::invalid_argument);
+}
+
+TEST(Table, CsvQuoting) {
+  TableWriter t({"a"});
+  t.add_row({"plain"});
+  t.add_row({"com,ma"});
+  t.add_row({"qu\"ote"});
+  std::ostringstream os;
+  t.render_csv(os);
+  EXPECT_NE(os.str().find("\"com,ma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"qu\"\"ote\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(0.9957, 2), "99.57%");
+  EXPECT_EQ(fmt_count(465944), "465,944");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(0), "0");
+}
+
+}  // namespace
+}  // namespace asrank::util

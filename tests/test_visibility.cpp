@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "core/visibility.h"
+
+namespace asrank::core {
+namespace {
+
+paths::PathRecord rec(std::uint32_t vp, std::uint32_t prefix_id,
+                      std::initializer_list<std::uint32_t> hops) {
+  return paths::PathRecord{Asn(vp), Prefix::v4(prefix_id << 8, 24), AsPath(hops)};
+}
+
+TEST(Visibility, CountsVpsAndObservations) {
+  paths::PathCorpus corpus;
+  corpus.add(rec(1, 1, {1, 2, 3}));
+  corpus.add(rec(1, 2, {1, 2, 4}));
+  corpus.add(rec(5, 3, {5, 2, 3}));
+  const auto visibility = link_visibility(corpus);
+  const auto& link12 = visibility.at(paths::PathCorpus::key(Asn(1), Asn(2)));
+  EXPECT_EQ(link12.vp_count, 1u);
+  EXPECT_EQ(link12.observations, 2u);
+  const auto& link23 = visibility.at(paths::PathCorpus::key(Asn(2), Asn(3)));
+  EXPECT_EQ(link23.vp_count, 2u);
+  EXPECT_EQ(link23.observations, 2u);
+}
+
+TEST(Visibility, PositionClassification) {
+  paths::PathCorpus corpus;
+  corpus.add(rec(1, 1, {1, 2, 3, 4}));
+  const auto visibility = link_visibility(corpus);
+  // (1,2) and (3,4) touch the path edges; (2,3) is interior.
+  EXPECT_FALSE(visibility.at(paths::PathCorpus::key(Asn(1), Asn(2))).interior());
+  EXPECT_TRUE(visibility.at(paths::PathCorpus::key(Asn(2), Asn(3))).interior());
+  EXPECT_FALSE(visibility.at(paths::PathCorpus::key(Asn(3), Asn(4))).interior());
+}
+
+TEST(Visibility, PrependingIsNotALink) {
+  paths::PathCorpus corpus;
+  corpus.add(rec(1, 1, {1, 2, 2, 3}));
+  const auto visibility = link_visibility(corpus);
+  EXPECT_EQ(visibility.size(), 2u);
+  EXPECT_FALSE(visibility.contains(paths::PathCorpus::key(Asn(2), Asn(2))));
+}
+
+TEST(Visibility, CcdfThresholds) {
+  paths::PathCorpus corpus;
+  corpus.add(rec(1, 1, {1, 2}));
+  corpus.add(rec(3, 2, {3, 2}));
+  corpus.add(rec(4, 3, {4, 2}));
+  corpus.add(rec(3, 4, {3, 2, 1}));  // (1,2) now seen by vp 3 too
+  const auto visibility = link_visibility(corpus);
+  const auto ccdf = visibility_ccdf(visibility, {1, 2, 3});
+  ASSERT_EQ(ccdf.links_at_least.size(), 3u);
+  EXPECT_EQ(ccdf.links_at_least[0], 3u);  // all links seen at least once
+  EXPECT_EQ(ccdf.links_at_least[1], 1u);  // only (1,2) seen from two VPs
+  EXPECT_EQ(ccdf.links_at_least[2], 0u);
+}
+
+TEST(Visibility, EmptyCorpus) {
+  EXPECT_TRUE(link_visibility(paths::PathCorpus{}).empty());
+}
+
+}  // namespace
+}  // namespace asrank::core
