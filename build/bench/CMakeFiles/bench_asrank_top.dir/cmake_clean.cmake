@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asrank_top.dir/bench_asrank_top.cpp.o"
+  "CMakeFiles/bench_asrank_top.dir/bench_asrank_top.cpp.o.d"
+  "bench_asrank_top"
+  "bench_asrank_top.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asrank_top.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clique_evolution.dir/bench_clique_evolution.cpp.o"
+  "CMakeFiles/bench_clique_evolution.dir/bench_clique_evolution.cpp.o.d"
+  "bench_clique_evolution"
+  "bench_clique_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clique_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cone_ccdf.dir/bench_cone_ccdf.cpp.o"
+  "CMakeFiles/bench_cone_ccdf.dir/bench_cone_ccdf.cpp.o.d"
+  "bench_cone_ccdf"
+  "bench_cone_ccdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cone_ccdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

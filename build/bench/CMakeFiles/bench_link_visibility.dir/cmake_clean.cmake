@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_link_visibility.dir/bench_link_visibility.cpp.o"
+  "CMakeFiles/bench_link_visibility.dir/bench_link_visibility.cpp.o.d"
+  "bench_link_visibility"
+  "bench_link_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_link_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ppv.dir/bench_ppv.cpp.o"
+  "CMakeFiles/bench_ppv.dir/bench_ppv.cpp.o.d"
+  "bench_ppv"
+  "bench_ppv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ppv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_corpus.dir/bench_validation_corpus.cpp.o"
+  "CMakeFiles/bench_validation_corpus.dir/bench_validation_corpus.cpp.o.d"
+  "bench_validation_corpus"
+  "bench_validation_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vp_sensitivity.dir/bench_vp_sensitivity.cpp.o"
+  "CMakeFiles/bench_vp_sensitivity.dir/bench_vp_sensitivity.cpp.o.d"
+  "bench_vp_sensitivity"
+  "bench_vp_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vp_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

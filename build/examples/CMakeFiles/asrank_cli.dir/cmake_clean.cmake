@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrank_cli.dir/asrank_cli.cpp.o"
+  "CMakeFiles/asrank_cli.dir/asrank_cli.cpp.o.d"
+  "asrank_cli"
+  "asrank_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrank_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrank_asn.dir/as_path.cpp.o"
+  "CMakeFiles/asrank_asn.dir/as_path.cpp.o.d"
+  "CMakeFiles/asrank_asn.dir/asn.cpp.o"
+  "CMakeFiles/asrank_asn.dir/asn.cpp.o.d"
+  "CMakeFiles/asrank_asn.dir/prefix.cpp.o"
+  "CMakeFiles/asrank_asn.dir/prefix.cpp.o.d"
+  "libasrank_asn.a"
+  "libasrank_asn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrank_asn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/degree_heuristic.cpp" "src/baselines/CMakeFiles/asrank_baselines.dir/degree_heuristic.cpp.o" "gcc" "src/baselines/CMakeFiles/asrank_baselines.dir/degree_heuristic.cpp.o.d"
+  "/root/repo/src/baselines/gao.cpp" "src/baselines/CMakeFiles/asrank_baselines.dir/gao.cpp.o" "gcc" "src/baselines/CMakeFiles/asrank_baselines.dir/gao.cpp.o.d"
+  "/root/repo/src/baselines/tor_local_search.cpp" "src/baselines/CMakeFiles/asrank_baselines.dir/tor_local_search.cpp.o" "gcc" "src/baselines/CMakeFiles/asrank_baselines.dir/tor_local_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/asrank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/asrank_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/asrank_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/asrank_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrank_baselines.dir/degree_heuristic.cpp.o"
+  "CMakeFiles/asrank_baselines.dir/degree_heuristic.cpp.o.d"
+  "CMakeFiles/asrank_baselines.dir/gao.cpp.o"
+  "CMakeFiles/asrank_baselines.dir/gao.cpp.o.d"
+  "CMakeFiles/asrank_baselines.dir/tor_local_search.cpp.o"
+  "CMakeFiles/asrank_baselines.dir/tor_local_search.cpp.o.d"
+  "libasrank_baselines.a"
+  "libasrank_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrank_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

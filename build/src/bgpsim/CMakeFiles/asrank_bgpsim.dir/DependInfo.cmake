@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgpsim/collector.cpp" "src/bgpsim/CMakeFiles/asrank_bgpsim.dir/collector.cpp.o" "gcc" "src/bgpsim/CMakeFiles/asrank_bgpsim.dir/collector.cpp.o.d"
+  "/root/repo/src/bgpsim/observation.cpp" "src/bgpsim/CMakeFiles/asrank_bgpsim.dir/observation.cpp.o" "gcc" "src/bgpsim/CMakeFiles/asrank_bgpsim.dir/observation.cpp.o.d"
+  "/root/repo/src/bgpsim/route_sim.cpp" "src/bgpsim/CMakeFiles/asrank_bgpsim.dir/route_sim.cpp.o" "gcc" "src/bgpsim/CMakeFiles/asrank_bgpsim.dir/route_sim.cpp.o.d"
+  "/root/repo/src/bgpsim/update_stream.cpp" "src/bgpsim/CMakeFiles/asrank_bgpsim.dir/update_stream.cpp.o" "gcc" "src/bgpsim/CMakeFiles/asrank_bgpsim.dir/update_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/asrank_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/topogen/CMakeFiles/asrank_topogen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/asrank_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/asrank_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrank_bgpsim.dir/collector.cpp.o"
+  "CMakeFiles/asrank_bgpsim.dir/collector.cpp.o.d"
+  "CMakeFiles/asrank_bgpsim.dir/observation.cpp.o"
+  "CMakeFiles/asrank_bgpsim.dir/observation.cpp.o.d"
+  "CMakeFiles/asrank_bgpsim.dir/route_sim.cpp.o"
+  "CMakeFiles/asrank_bgpsim.dir/route_sim.cpp.o.d"
+  "CMakeFiles/asrank_bgpsim.dir/update_stream.cpp.o"
+  "CMakeFiles/asrank_bgpsim.dir/update_stream.cpp.o.d"
+  "libasrank_bgpsim.a"
+  "libasrank_bgpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrank_bgpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/asrank.cpp" "src/core/CMakeFiles/asrank_core.dir/asrank.cpp.o" "gcc" "src/core/CMakeFiles/asrank_core.dir/asrank.cpp.o.d"
+  "/root/repo/src/core/clique.cpp" "src/core/CMakeFiles/asrank_core.dir/clique.cpp.o" "gcc" "src/core/CMakeFiles/asrank_core.dir/clique.cpp.o.d"
+  "/root/repo/src/core/cones.cpp" "src/core/CMakeFiles/asrank_core.dir/cones.cpp.o" "gcc" "src/core/CMakeFiles/asrank_core.dir/cones.cpp.o.d"
+  "/root/repo/src/core/degrees.cpp" "src/core/CMakeFiles/asrank_core.dir/degrees.cpp.o" "gcc" "src/core/CMakeFiles/asrank_core.dir/degrees.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/core/CMakeFiles/asrank_core.dir/hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/asrank_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/core/ranking.cpp" "src/core/CMakeFiles/asrank_core.dir/ranking.cpp.o" "gcc" "src/core/CMakeFiles/asrank_core.dir/ranking.cpp.o.d"
+  "/root/repo/src/core/visibility.cpp" "src/core/CMakeFiles/asrank_core.dir/visibility.cpp.o" "gcc" "src/core/CMakeFiles/asrank_core.dir/visibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/paths/CMakeFiles/asrank_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/asrank_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/asrank_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrank_core.dir/asrank.cpp.o"
+  "CMakeFiles/asrank_core.dir/asrank.cpp.o.d"
+  "CMakeFiles/asrank_core.dir/clique.cpp.o"
+  "CMakeFiles/asrank_core.dir/clique.cpp.o.d"
+  "CMakeFiles/asrank_core.dir/cones.cpp.o"
+  "CMakeFiles/asrank_core.dir/cones.cpp.o.d"
+  "CMakeFiles/asrank_core.dir/degrees.cpp.o"
+  "CMakeFiles/asrank_core.dir/degrees.cpp.o.d"
+  "CMakeFiles/asrank_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/asrank_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/asrank_core.dir/ranking.cpp.o"
+  "CMakeFiles/asrank_core.dir/ranking.cpp.o.d"
+  "CMakeFiles/asrank_core.dir/visibility.cpp.o"
+  "CMakeFiles/asrank_core.dir/visibility.cpp.o.d"
+  "libasrank_core.a"
+  "libasrank_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrank_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrt/bgp4mp.cpp" "src/mrt/CMakeFiles/asrank_mrt.dir/bgp4mp.cpp.o" "gcc" "src/mrt/CMakeFiles/asrank_mrt.dir/bgp4mp.cpp.o.d"
+  "/root/repo/src/mrt/bgp_attrs.cpp" "src/mrt/CMakeFiles/asrank_mrt.dir/bgp_attrs.cpp.o" "gcc" "src/mrt/CMakeFiles/asrank_mrt.dir/bgp_attrs.cpp.o.d"
+  "/root/repo/src/mrt/bytes.cpp" "src/mrt/CMakeFiles/asrank_mrt.dir/bytes.cpp.o" "gcc" "src/mrt/CMakeFiles/asrank_mrt.dir/bytes.cpp.o.d"
+  "/root/repo/src/mrt/table_dump_v1.cpp" "src/mrt/CMakeFiles/asrank_mrt.dir/table_dump_v1.cpp.o" "gcc" "src/mrt/CMakeFiles/asrank_mrt.dir/table_dump_v1.cpp.o.d"
+  "/root/repo/src/mrt/table_dump_v2.cpp" "src/mrt/CMakeFiles/asrank_mrt.dir/table_dump_v2.cpp.o" "gcc" "src/mrt/CMakeFiles/asrank_mrt.dir/table_dump_v2.cpp.o.d"
+  "/root/repo/src/mrt/text_table.cpp" "src/mrt/CMakeFiles/asrank_mrt.dir/text_table.cpp.o" "gcc" "src/mrt/CMakeFiles/asrank_mrt.dir/text_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asn/CMakeFiles/asrank_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrank_mrt.dir/bgp4mp.cpp.o"
+  "CMakeFiles/asrank_mrt.dir/bgp4mp.cpp.o.d"
+  "CMakeFiles/asrank_mrt.dir/bgp_attrs.cpp.o"
+  "CMakeFiles/asrank_mrt.dir/bgp_attrs.cpp.o.d"
+  "CMakeFiles/asrank_mrt.dir/bytes.cpp.o"
+  "CMakeFiles/asrank_mrt.dir/bytes.cpp.o.d"
+  "CMakeFiles/asrank_mrt.dir/table_dump_v1.cpp.o"
+  "CMakeFiles/asrank_mrt.dir/table_dump_v1.cpp.o.d"
+  "CMakeFiles/asrank_mrt.dir/table_dump_v2.cpp.o"
+  "CMakeFiles/asrank_mrt.dir/table_dump_v2.cpp.o.d"
+  "CMakeFiles/asrank_mrt.dir/text_table.cpp.o"
+  "CMakeFiles/asrank_mrt.dir/text_table.cpp.o.d"
+  "libasrank_mrt.a"
+  "libasrank_mrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrank_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

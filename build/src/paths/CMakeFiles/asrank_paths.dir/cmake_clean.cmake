@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrank_paths.dir/corpus.cpp.o"
+  "CMakeFiles/asrank_paths.dir/corpus.cpp.o.d"
+  "CMakeFiles/asrank_paths.dir/sanitizer.cpp.o"
+  "CMakeFiles/asrank_paths.dir/sanitizer.cpp.o.d"
+  "libasrank_paths.a"
+  "libasrank_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrank_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

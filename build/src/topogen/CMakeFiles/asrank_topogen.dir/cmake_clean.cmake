@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrank_topogen.dir/topogen.cpp.o"
+  "CMakeFiles/asrank_topogen.dir/topogen.cpp.o.d"
+  "libasrank_topogen.a"
+  "libasrank_topogen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrank_topogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for asrank_topogen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/as_graph.cpp" "src/topology/CMakeFiles/asrank_topology.dir/as_graph.cpp.o" "gcc" "src/topology/CMakeFiles/asrank_topology.dir/as_graph.cpp.o.d"
+  "/root/repo/src/topology/graph_diff.cpp" "src/topology/CMakeFiles/asrank_topology.dir/graph_diff.cpp.o" "gcc" "src/topology/CMakeFiles/asrank_topology.dir/graph_diff.cpp.o.d"
+  "/root/repo/src/topology/prefix_table.cpp" "src/topology/CMakeFiles/asrank_topology.dir/prefix_table.cpp.o" "gcc" "src/topology/CMakeFiles/asrank_topology.dir/prefix_table.cpp.o.d"
+  "/root/repo/src/topology/serialization.cpp" "src/topology/CMakeFiles/asrank_topology.dir/serialization.cpp.o" "gcc" "src/topology/CMakeFiles/asrank_topology.dir/serialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asn/CMakeFiles/asrank_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

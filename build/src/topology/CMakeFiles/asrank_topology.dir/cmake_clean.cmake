@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrank_topology.dir/as_graph.cpp.o"
+  "CMakeFiles/asrank_topology.dir/as_graph.cpp.o.d"
+  "CMakeFiles/asrank_topology.dir/graph_diff.cpp.o"
+  "CMakeFiles/asrank_topology.dir/graph_diff.cpp.o.d"
+  "CMakeFiles/asrank_topology.dir/prefix_table.cpp.o"
+  "CMakeFiles/asrank_topology.dir/prefix_table.cpp.o.d"
+  "CMakeFiles/asrank_topology.dir/serialization.cpp.o"
+  "CMakeFiles/asrank_topology.dir/serialization.cpp.o.d"
+  "libasrank_topology.a"
+  "libasrank_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrank_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrank_util.dir/rng.cpp.o"
+  "CMakeFiles/asrank_util.dir/rng.cpp.o.d"
+  "CMakeFiles/asrank_util.dir/stats.cpp.o"
+  "CMakeFiles/asrank_util.dir/stats.cpp.o.d"
+  "CMakeFiles/asrank_util.dir/strings.cpp.o"
+  "CMakeFiles/asrank_util.dir/strings.cpp.o.d"
+  "CMakeFiles/asrank_util.dir/table.cpp.o"
+  "CMakeFiles/asrank_util.dir/table.cpp.o.d"
+  "libasrank_util.a"
+  "libasrank_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrank_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasrank_util.a"
+)

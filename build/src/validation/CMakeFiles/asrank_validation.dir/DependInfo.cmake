@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/validation/communities.cpp" "src/validation/CMakeFiles/asrank_validation.dir/communities.cpp.o" "gcc" "src/validation/CMakeFiles/asrank_validation.dir/communities.cpp.o.d"
+  "/root/repo/src/validation/corpus.cpp" "src/validation/CMakeFiles/asrank_validation.dir/corpus.cpp.o" "gcc" "src/validation/CMakeFiles/asrank_validation.dir/corpus.cpp.o.d"
+  "/root/repo/src/validation/irr.cpp" "src/validation/CMakeFiles/asrank_validation.dir/irr.cpp.o" "gcc" "src/validation/CMakeFiles/asrank_validation.dir/irr.cpp.o.d"
+  "/root/repo/src/validation/ppv.cpp" "src/validation/CMakeFiles/asrank_validation.dir/ppv.cpp.o" "gcc" "src/validation/CMakeFiles/asrank_validation.dir/ppv.cpp.o.d"
+  "/root/repo/src/validation/rpsl.cpp" "src/validation/CMakeFiles/asrank_validation.dir/rpsl.cpp.o" "gcc" "src/validation/CMakeFiles/asrank_validation.dir/rpsl.cpp.o.d"
+  "/root/repo/src/validation/synthesize.cpp" "src/validation/CMakeFiles/asrank_validation.dir/synthesize.cpp.o" "gcc" "src/validation/CMakeFiles/asrank_validation.dir/synthesize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgpsim/CMakeFiles/asrank_bgpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topogen/CMakeFiles/asrank_topogen.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/asrank_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/asrank_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/asrank_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrank_validation.dir/communities.cpp.o"
+  "CMakeFiles/asrank_validation.dir/communities.cpp.o.d"
+  "CMakeFiles/asrank_validation.dir/corpus.cpp.o"
+  "CMakeFiles/asrank_validation.dir/corpus.cpp.o.d"
+  "CMakeFiles/asrank_validation.dir/irr.cpp.o"
+  "CMakeFiles/asrank_validation.dir/irr.cpp.o.d"
+  "CMakeFiles/asrank_validation.dir/ppv.cpp.o"
+  "CMakeFiles/asrank_validation.dir/ppv.cpp.o.d"
+  "CMakeFiles/asrank_validation.dir/rpsl.cpp.o"
+  "CMakeFiles/asrank_validation.dir/rpsl.cpp.o.d"
+  "CMakeFiles/asrank_validation.dir/synthesize.cpp.o"
+  "CMakeFiles/asrank_validation.dir/synthesize.cpp.o.d"
+  "libasrank_validation.a"
+  "libasrank_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrank_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

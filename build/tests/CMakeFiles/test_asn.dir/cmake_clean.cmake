@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asn.dir/test_asn.cpp.o"
+  "CMakeFiles/test_asn.dir/test_asn.cpp.o.d"
+  "test_asn"
+  "test_asn.pdb"
+  "test_asn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgpsim.dir/test_bgpsim.cpp.o"
+  "CMakeFiles/test_bgpsim.dir/test_bgpsim.cpp.o.d"
+  "test_bgpsim"
+  "test_bgpsim.pdb"
+  "test_bgpsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_diff.dir/test_graph_diff.cpp.o"
+  "CMakeFiles/test_graph_diff.dir/test_graph_diff.cpp.o.d"
+  "test_graph_diff"
+  "test_graph_diff.pdb"
+  "test_graph_diff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irr.dir/test_irr.cpp.o"
+  "CMakeFiles/test_irr.dir/test_irr.cpp.o.d"
+  "test_irr"
+  "test_irr.pdb"
+  "test_irr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

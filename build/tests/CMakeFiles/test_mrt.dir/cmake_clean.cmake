@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrt.dir/test_mrt.cpp.o"
+  "CMakeFiles/test_mrt.dir/test_mrt.cpp.o.d"
+  "test_mrt"
+  "test_mrt.pdb"
+  "test_mrt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mrt_robustness.cpp" "tests/CMakeFiles/test_mrt_robustness.dir/test_mrt_robustness.cpp.o" "gcc" "tests/CMakeFiles/test_mrt_robustness.dir/test_mrt_robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/validation/CMakeFiles/asrank_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/asrank_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asrank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/asrank_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpsim/CMakeFiles/asrank_bgpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/asrank_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/topogen/CMakeFiles/asrank_topogen.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/asrank_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/asrank_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

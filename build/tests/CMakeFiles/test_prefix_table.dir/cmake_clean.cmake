@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefix_table.dir/test_prefix_table.cpp.o"
+  "CMakeFiles/test_prefix_table.dir/test_prefix_table.cpp.o.d"
+  "test_prefix_table"
+  "test_prefix_table.pdb"
+  "test_prefix_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefix_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

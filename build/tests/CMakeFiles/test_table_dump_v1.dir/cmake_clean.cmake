@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_dump_v1.dir/test_table_dump_v1.cpp.o"
+  "CMakeFiles/test_table_dump_v1.dir/test_table_dump_v1.cpp.o.d"
+  "test_table_dump_v1"
+  "test_table_dump_v1.pdb"
+  "test_table_dump_v1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_dump_v1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

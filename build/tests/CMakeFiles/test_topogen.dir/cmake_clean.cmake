@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topogen.dir/test_topogen.cpp.o"
+  "CMakeFiles/test_topogen.dir/test_topogen.cpp.o.d"
+  "test_topogen"
+  "test_topogen.pdb"
+  "test_topogen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

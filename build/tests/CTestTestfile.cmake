@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_asn[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_topogen[1]_include.cmake")
+include("/root/repo/build/tests/test_mrt[1]_include.cmake")
+include("/root/repo/build/tests/test_bgpsim[1]_include.cmake")
+include("/root/repo/build/tests/test_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_validation[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_update_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_prefix_table[1]_include.cmake")
+include("/root/repo/build/tests/test_collector[1]_include.cmake")
+include("/root/repo/build/tests/test_irr[1]_include.cmake")
+include("/root/repo/build/tests/test_table_dump_v1[1]_include.cmake")
+include("/root/repo/build/tests/test_mrt_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_visibility[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_diff[1]_include.cmake")
+include("/root/repo/build/tests/test_asgraph_model[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_sweep[1]_include.cmake")
