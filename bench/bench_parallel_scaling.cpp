@@ -1,0 +1,179 @@
+// Parallel scaling of the deterministic thread pool across the pipeline's
+// hot stages: cone closure, degree tally, link visibility, and the full
+// inference run.  Not a paper artefact — this is the engineering harness for
+// the util::ThreadPool engine: it measures wall-clock speedup at 1/2/4/8
+// workers on a topogen graph (default 50k ASes), verifies that every stage's
+// output is identical to the single-threaded run, and emits machine-readable
+// JSON so the BENCH_*.json trajectory tracks scaling across PRs.
+//
+//     bench_parallel_scaling [total_ases] [seed] [json_out]
+//
+// Defaults: 50000 42 BENCH_parallel_scaling.json
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/asrank.h"
+#include "core/cones.h"
+#include "core/degrees.h"
+#include "core/visibility.h"
+#include "paths/corpus.h"
+#include "topogen/topogen.h"
+
+namespace {
+
+using namespace asrank;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kReps = 2;  // min-of-reps damps scheduler noise
+
+/// Synthetic observation corpus that exercises the tally stages without a
+/// full route simulation (O(n^2) at 50k ASes): every AS contributes its
+/// provider-ascent chain as an observed path, which yields transit-position
+/// hops for degrees/visibility and realistic vote sweeps for inference.
+paths::PathCorpus ascent_corpus(const topogen::GroundTruth& truth) {
+  paths::PathCorpus corpus;
+  for (const Asn as : truth.graph.ases()) {
+    std::vector<Asn> hops{as};
+    Asn cursor = as;
+    while (hops.size() < 6) {
+      const auto providers = truth.graph.providers(cursor);
+      if (providers.empty()) break;
+      cursor = providers.front();
+      hops.push_back(cursor);
+    }
+    if (hops.size() < 2) continue;
+    const Prefix prefix = Prefix::v4(hops.back().value() << 8, 24);
+    corpus.add(as, prefix, AsPath(std::move(hops)));
+  }
+  return corpus;
+}
+
+double time_ms(const std::function<void()>& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+    if (rep == 0 || elapsed.count() < best) best = elapsed.count();
+  }
+  return best;
+}
+
+void write_json(std::ostream& os, std::size_t ases, std::uint64_t seed,
+                const std::map<std::string, std::map<std::size_t, double>>& timings,
+                bool identical) {
+  os << "{\n  \"bench\": \"parallel_scaling\",\n";
+  os << "  \"total_ases\": " << ases << ",\n  \"seed\": " << seed << ",\n";
+  os << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "  \"outputs_identical\": " << (identical ? "true" : "false") << ",\n";
+  os << "  \"stages\": {\n";
+  bool first_stage = true;
+  for (const auto& [stage, by_threads] : timings) {
+    if (!first_stage) os << ",\n";
+    first_stage = false;
+    os << "    \"" << stage << "\": {\"ms\": {";
+    bool first = true;
+    for (const auto& [threads, ms] : by_threads) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << threads << "\": " << ms;
+    }
+    os << "}, \"speedup\": {";
+    const double base = by_threads.at(1);
+    first = true;
+    for (const auto& [threads, ms] : by_threads) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << threads << "\": " << (ms > 0.0 ? base / ms : 0.0);
+    }
+    os << "}}";
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t total_ases = 50000;
+  std::uint64_t seed = 42;
+  std::string json_out = "BENCH_parallel_scaling.json";
+  if (argc > 1) total_ases = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) seed = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) json_out = argv[3];
+
+  std::cout << "== parallel scaling (" << total_ases << " ASes, seed " << seed
+            << ", " << std::thread::hardware_concurrency() << " hardware threads) ==\n";
+
+  auto params = topogen::GenParams::preset("large");
+  params.total_ases = total_ases;
+  params.seed = seed;
+  const auto truth = topogen::generate(params);
+  const auto corpus = ascent_corpus(truth);
+  std::cout << "graph: " << truth.graph.as_count() << " ASes, "
+            << truth.graph.link_count() << " links; corpus: " << corpus.size()
+            << " paths\n";
+
+  core::InferenceConfig base_config;
+  std::map<std::string, std::map<std::size_t, double>> timings;
+  bool identical = true;
+
+  // Single-threaded reference outputs for the identity check.
+  const auto ref_cones = core::recursive_cone(truth.graph, 1);
+  const auto ref_degrees = core::Degrees::compute(corpus, 1);
+  const auto ref_visibility = core::link_visibility(corpus, 1);
+
+  for (const std::size_t threads : kThreadCounts) {
+    timings["cone_closure"][threads] =
+        time_ms([&] { (void)core::recursive_cone(truth.graph, threads); });
+    timings["degrees"][threads] =
+        time_ms([&] { (void)core::Degrees::compute(corpus, threads); });
+    timings["visibility"][threads] =
+        time_ms([&] { (void)core::link_visibility(corpus, threads); });
+    timings["inference"][threads] = time_ms([&] {
+      auto config = base_config;
+      config.threads = threads;
+      (void)core::AsRankInference(config).run(corpus);
+    });
+
+    if (threads != 1) {
+      identical = identical && core::recursive_cone(truth.graph, threads) == ref_cones &&
+                  core::Degrees::compute(corpus, threads).ranked() == ref_degrees.ranked();
+      const auto visibility = core::link_visibility(corpus, threads);
+      identical = identical && visibility.size() == ref_visibility.size();
+      for (const auto& [key, link] : ref_visibility) {
+        const auto it = visibility.find(key);
+        identical = identical && it != visibility.end() &&
+                    it->second.vp_count == link.vp_count &&
+                    it->second.observations == link.observations;
+      }
+    }
+
+    std::cout << threads << " thread(s): cone "
+              << timings["cone_closure"][threads] << " ms, degrees "
+              << timings["degrees"][threads] << " ms, visibility "
+              << timings["visibility"][threads] << " ms, inference "
+              << timings["inference"][threads] << " ms\n";
+  }
+
+  const double cone_speedup_4t =
+      timings["cone_closure"][1] / std::max(timings["cone_closure"][4], 1e-9);
+  std::cout << "cone-closure speedup at 4 threads: " << cone_speedup_4t << "x\n";
+  std::cout << "outputs identical across thread counts: "
+            << (identical ? "yes" : "NO — BUG") << "\n";
+
+  write_json(std::cout, total_ases, seed, timings, identical);
+  std::ofstream file(json_out);
+  write_json(file, total_ases, seed, timings, identical);
+  std::cout << "wrote " << json_out << "\n";
+
+  return identical ? 0 : 1;
+}

@@ -160,6 +160,7 @@ int cmd_observe(const Args& args) {
 int cmd_infer(const Args& args) {
   const auto corpus = load_corpus(args);
   core::InferenceConfig config;
+  config.threads = args.get_u64("threads", 0);  // 0 = all hardware threads
   if (const auto ixps = args.get("ixp")) {
     for (const auto token : util::split(*ixps, ',')) {
       if (const auto asn = Asn::parse(token)) config.sanitizer.ixp_asns.insert(*asn);
@@ -183,13 +184,15 @@ int cmd_cones(const Args& args) {
   auto graph_in = open_in(args.require("as-rel"));
   const AsGraph graph = read_as_rel(graph_in);
   const std::string method = args.get_or("method", "ppdc");
+  const std::size_t threads = args.get_u64("threads", 0);  // 0 = all hardware threads
   ConeMap cones;
   if (method == "recursive") {
-    cones = core::recursive_cone(graph);
+    cones = core::recursive_cone(graph, threads);
   } else {
     const auto corpus = load_corpus(args);
-    cones = method == "observed" ? core::bgp_observed_cone(graph, corpus)
-                                 : core::provider_peer_observed_cone(graph, corpus);
+    cones = method == "observed"
+                ? core::bgp_observed_cone(graph, corpus, threads)
+                : core::provider_peer_observed_cone(graph, corpus, threads);
   }
   auto out = open_out(args.require("out"));
   write_ppdc(cones, out);
@@ -201,8 +204,9 @@ int cmd_rank(const Args& args) {
   auto graph_in = open_in(args.require("as-rel"));
   const AsGraph graph = read_as_rel(graph_in);
   const auto corpus = load_corpus(args);
-  const auto degrees = core::Degrees::compute(corpus);
-  const auto cones = core::provider_peer_observed_cone(graph, corpus);
+  const std::size_t threads = args.get_u64("threads", 0);  // 0 = all hardware threads
+  const auto degrees = core::Degrees::compute(corpus, threads);
+  const auto cones = core::provider_peer_observed_cone(graph, corpus, threads);
   const auto hierarchy = core::analyze_hierarchy(graph, graph.provider_free_ases());
 
   util::TableWriter table({"rank", "AS", "cone", "transit degree", "class"});

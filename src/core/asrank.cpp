@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/thread_pool.h"
+
 namespace asrank::core {
 
 namespace {
@@ -29,7 +31,8 @@ struct LinkState {
 
 class Pipeline {
  public:
-  Pipeline(const InferenceConfig& config, const PathCorpus& raw) : config_(config) {
+  Pipeline(const InferenceConfig& config, const PathCorpus& raw)
+      : config_(config), pool_(config.threads) {
     run(raw);
   }
 
@@ -53,6 +56,7 @@ class Pipeline {
   [[nodiscard]] LinkState::Kind kind_of(Asn a, Asn b) const;
 
   const InferenceConfig& config_;
+  util::ThreadPool pool_;
   InferenceResult result_;
   std::unordered_set<Asn> clique_set_;
   std::unordered_set<Asn> partial_vps_;
@@ -118,10 +122,13 @@ void Pipeline::run(const PathCorpus& raw) {
 }
 
 void Pipeline::discard_poisoned(const PathCorpus& corpus) {
-  for (const PathRecord& record : corpus.records()) {
-    bool poisoned = false;
-    if (config_.discard_poisoned && !clique_set_.empty()) {
-      const auto hops = record.path.hops();
+  const auto records = corpus.records();
+  // Per-path classification is independent, so it parallelizes; the ordered
+  // append below keeps the surviving corpus in the original record order.
+  std::vector<std::uint8_t> poisoned(records.size(), 0);
+  if (config_.discard_poisoned && !clique_set_.empty()) {
+    pool_.for_each_index(records.size(), [&](std::size_t r) {
+      const auto hops = records[r].path.hops();
       std::size_t first = hops.size(), last = 0, count = 0;
       for (std::size_t i = 0; i < hops.size(); ++i) {
         if (in_clique(hops[i])) {
@@ -132,12 +139,14 @@ void Pipeline::discard_poisoned(const PathCorpus& corpus) {
       }
       // Clique hops must form one contiguous segment; a gap means a
       // non-clique AS sits between two tier-1s, the poisoning signature.
-      poisoned = count > 0 && (last - first + 1) != count;
-    }
-    if (poisoned) {
+      poisoned[r] = count > 0 && (last - first + 1) != count;
+    });
+  }
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    if (poisoned[r]) {
       ++result_.audit.poisoned_discarded;
     } else {
-      result_.sanitized.add(record);
+      result_.sanitized.add(records[r]);
     }
   }
 }
@@ -159,20 +168,34 @@ void Pipeline::detect_partial_vps() {
 
 void Pipeline::vote_on_paths() {
   const Degrees& degrees = result_.degrees;
-  auto vote = [&](Asn provider, Asn customer) {
-    auto& state = links_[PathCorpus::key(provider, customer)];
-    if (state.kind == LinkState::Kind::kP2pFixed) return;
-    if (provider.value() < customer.value()) {
-      ++state.votes_lo_prov;
-    } else {
-      ++state.votes_hi_prov;
-    }
-    ++result_.audit.c2p_votes;
+
+  // Votes are per-link sums and the audit counters are totals, so per-path
+  // work is independent: each chunk accumulates a local tally against the
+  // (read-only) link table and tallies merge by addition — commutative, so
+  // the result is identical at any thread count.
+  struct VoteTally {
+    std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>>
+        votes;  ///< key -> (lo-provides, hi-provides)
+    std::size_t cast = 0;
+    std::size_t deferred = 0;
   };
 
-  for (const PathRecord& record : result_.sanitized.records()) {
+  auto tally_record = [&](const PathRecord& record, VoteTally& tally) {
+    auto vote = [&](Asn provider, Asn customer) {
+      const std::uint64_t key = PathCorpus::key(provider, customer);
+      const auto it = links_.find(key);
+      if (it != links_.end() && it->second.kind == LinkState::Kind::kP2pFixed) return;
+      auto& [lo_prov, hi_prov] = tally.votes[key];
+      if (provider.value() < customer.value()) {
+        ++lo_prov;
+      } else {
+        ++hi_prov;
+      }
+      ++tally.cast;
+    };
+
     const auto hops = record.path.hops();
-    if (hops.size() < 2) continue;
+    if (hops.size() < 2) return;
 
     // A path is valley-free around a single peak.  We vote c2p only for
     // positions that are certainly on the up or down slope; the (at most
@@ -235,7 +258,7 @@ void Pipeline::vote_on_paths() {
             continue;
           }
         }
-        ++result_.audit.apex_links_deferred;
+        ++tally.deferred;
         continue;
       }
       if (j > peak_first && j <= peak_last) continue;  // clique-internal: fixed p2p
@@ -245,7 +268,33 @@ void Pipeline::vote_on_paths() {
         vote(left, right);  // descending from the peak
       }
     }
+  };
+
+  const auto records = result_.sanitized.records();
+  const VoteTally total = pool_.map_reduce<VoteTally>(
+      records.size(), VoteTally{},
+      [&](std::size_t begin, std::size_t end) {
+        VoteTally local;
+        for (std::size_t r = begin; r < end; ++r) tally_record(records[r], local);
+        return local;
+      },
+      [](VoteTally& acc, VoteTally&& part) {
+        for (const auto& [key, votes] : part.votes) {
+          auto& [lo_prov, hi_prov] = acc.votes[key];
+          lo_prov += votes.first;
+          hi_prov += votes.second;
+        }
+        acc.cast += part.cast;
+        acc.deferred += part.deferred;
+      });
+
+  for (const auto& [key, votes] : total.votes) {
+    auto& state = links_[key];
+    state.votes_lo_prov += votes.first;
+    state.votes_hi_prov += votes.second;
   }
+  result_.audit.c2p_votes += total.cast;
+  result_.audit.apex_links_deferred += total.deferred;
 }
 
 void Pipeline::commit_votes() {
@@ -283,6 +332,11 @@ void Pipeline::commit_votes() {
 }
 
 void Pipeline::triplet_fixpoint() {
+  // Order-sensitive: a commit made while sweeping one path feeds the
+  // propagation along the next within the same iteration, so this stage runs
+  // sequentially at every thread count by design (parallelizing it would
+  // change which of several admissible fixpoint schedules is taken).
+  //
   // Valley-free propagation in both directions:
   //   forward:  after a path crosses a known p2p link or a known descent,
   //             every later link must descend (left side provides);

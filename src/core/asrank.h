@@ -56,6 +56,14 @@ struct InferenceConfig {
   paths::SanitizerConfig sanitizer;
   CliqueConfig clique;
 
+  /// Worker threads for the data-parallel stages (poisoned-path scan,
+  /// positional voting).  0 = std::thread::hardware_concurrency(); 1 runs
+  /// the exact sequential legacy path.  Results are bit-identical at any
+  /// count: parallel stages use static chunking with ordered reductions
+  /// (util::ThreadPool), and order-sensitive stages (the valley-free
+  /// fixpoint, repairs) always run sequentially.
+  std::size_t threads = 0;
+
   /// Step 4: drop paths whose clique hops are non-contiguous.
   bool discard_poisoned = true;
 

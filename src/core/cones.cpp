@@ -1,9 +1,13 @@
 #include "core/cones.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace asrank::core {
 
@@ -20,57 +24,122 @@ class Bits {
   void merge(const Bits& other) noexcept {
     for (std::size_t b = 0; b < blocks_.size(); ++b) blocks_[b] |= other.blocks_[b];
   }
+  [[nodiscard]] const std::vector<std::uint64_t>& blocks() const noexcept { return blocks_; }
 
  private:
   std::vector<std::uint64_t> blocks_;
 };
 
-/// Memoized post-order closure over an arbitrary p2c sub-relation given as
-/// index adjacency (provider index -> customer indices).
-ConeMap closure(const std::vector<Asn>& ases,
-                const std::vector<std::vector<std::size_t>>& customers) {
-  const std::size_t n = ases.size();
-  std::vector<Bits> cones(n, Bits(n));
-  std::vector<std::uint8_t> state(n, 0);  // 0 = new, 1 = visiting, 2 = done
+/// Set-bit extraction in index order, skipping zero words.
+std::vector<Asn> members_of(const Bits& bits, const std::vector<Asn>& ases) {
+  std::vector<Asn> members;
+  const auto& blocks = bits.blocks();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    std::uint64_t word = blocks[b];
+    while (word != 0) {
+      members.push_back(ases[(b << 6) + static_cast<std::size_t>(std::countr_zero(word))]);
+      word &= word - 1;
+    }
+  }
+  return members;
+}
 
-  for (std::size_t root = 0; root < n; ++root) {
-    if (state[root] == 2) continue;
-    // Iterative DFS post-order.
-    std::vector<std::pair<std::size_t, std::size_t>> frames{{root, 0}};
-    while (!frames.empty()) {
-      const std::size_t node = frames.back().first;
-      std::size_t& child = frames.back().second;
-      if (child == 0) {
-        if (state[node] == 2) {
-          frames.pop_back();
+/// Reverse-topological levels of the customer DAG: level 0 holds childless
+/// nodes, and every node sits strictly above all of its customers.  Within a
+/// level no node depends on another, which is what makes the level-parallel
+/// closure race-free.  Throws on cycles (assumption A3), like the DFS path.
+std::vector<std::vector<std::size_t>> reverse_topo_levels(
+    const std::vector<std::vector<std::size_t>>& customers) {
+  const std::size_t n = customers.size();
+  std::vector<std::size_t> pending(n, 0);
+  std::vector<std::vector<std::size_t>> parents(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pending[i] = customers[i].size();
+    for (const std::size_t c : customers[i]) parents[c].push_back(i);
+  }
+
+  std::vector<std::vector<std::size_t>> levels;
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pending[i] == 0) frontier.push_back(i);
+  }
+  std::size_t finalized = 0;
+  while (!frontier.empty()) {
+    finalized += frontier.size();
+    std::vector<std::size_t> next;
+    for (const std::size_t node : frontier) {
+      for (const std::size_t p : parents[node]) {
+        if (--pending[p] == 0) next.push_back(p);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    levels.push_back(std::move(frontier));
+    frontier = std::move(next);
+  }
+  if (finalized != n) {
+    throw std::invalid_argument("customer cones: provider graph has a cycle");
+  }
+  return levels;
+}
+
+/// Memoized post-order closure over an arbitrary p2c sub-relation given as
+/// index adjacency (provider index -> customer indices).  threads == 1 runs
+/// the legacy sequential DFS; more workers merge each reverse-topological
+/// level in parallel — every node writes only its own cone and reads only
+/// cones from strictly lower levels, so the bitsets (and therefore the
+/// output) are identical at any worker count.
+ConeMap closure(const std::vector<Asn>& ases,
+                const std::vector<std::vector<std::size_t>>& customers,
+                std::size_t threads) {
+  const std::size_t n = ases.size();
+  util::ThreadPool pool(threads);
+  std::vector<Bits> cones(n, Bits(n));
+
+  if (pool.worker_count() <= 1) {
+    std::vector<std::uint8_t> state(n, 0);  // 0 = new, 1 = visiting, 2 = done
+    for (std::size_t root = 0; root < n; ++root) {
+      if (state[root] == 2) continue;
+      // Iterative DFS post-order.
+      std::vector<std::pair<std::size_t, std::size_t>> frames{{root, 0}};
+      while (!frames.empty()) {
+        const std::size_t node = frames.back().first;
+        std::size_t& child = frames.back().second;
+        if (child == 0) {
+          if (state[node] == 2) {
+            frames.pop_back();
+            continue;
+          }
+          state[node] = 1;
+          cones[node].set(node);
+        }
+        if (child < customers[node].size()) {
+          const std::size_t next = customers[node][child];
+          ++child;
+          if (state[next] == 1) {
+            throw std::invalid_argument("customer cones: provider graph has a cycle");
+          }
+          if (state[next] != 2) frames.push_back({next, 0});
           continue;
         }
-        state[node] = 1;
+        for (const std::size_t c : customers[node]) cones[node].merge(cones[c]);
+        state[node] = 2;
+        frames.pop_back();
+      }
+    }
+  } else {
+    for (const std::vector<std::size_t>& level : reverse_topo_levels(customers)) {
+      pool.for_each_index(level.size(), [&](std::size_t k) {
+        const std::size_t node = level[k];
         cones[node].set(node);
-      }
-      if (child < customers[node].size()) {
-        const std::size_t next = customers[node][child];
-        ++child;
-        if (state[next] == 1) {
-          throw std::invalid_argument("customer cones: provider graph has a cycle");
-        }
-        if (state[next] != 2) frames.push_back({next, 0});
-        continue;
-      }
-      for (const std::size_t c : customers[node]) cones[node].merge(cones[c]);
-      state[node] = 2;
-      frames.pop_back();
+        for (const std::size_t c : customers[node]) cones[node].merge(cones[c]);
+      });
     }
   }
 
+  std::vector<std::vector<Asn>> members(n);
+  pool.for_each_index(n, [&](std::size_t i) { members[i] = members_of(cones[i], ases); });
   ConeMap out;
-  for (std::size_t i = 0; i < n; ++i) {
-    std::vector<Asn> members;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (cones[i].test(j)) members.push_back(ases[j]);
-    }
-    out.emplace(ases[i], std::move(members));
-  }
+  for (std::size_t i = 0; i < n; ++i) out.emplace(ases[i], std::move(members[i]));
   return out;
 }
 
@@ -88,7 +157,7 @@ bool is_p2c(const AsGraph& graph, Asn left, Asn right) {
 
 }  // namespace
 
-ConeMap recursive_cone(const AsGraph& graph) {
+ConeMap recursive_cone(const AsGraph& graph, std::size_t threads) {
   const std::vector<Asn> ases = graph.ases();
   const auto index = index_of(ases);
   std::vector<std::vector<std::size_t>> customers(ases.size());
@@ -97,28 +166,44 @@ ConeMap recursive_cone(const AsGraph& graph) {
       customers[i].push_back(index.at(customer));
     }
   }
-  return closure(ases, customers);
+  return closure(ases, customers, threads);
 }
 
-ConeMap bgp_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus) {
-  std::unordered_map<Asn, std::unordered_set<Asn>> cones;
-  for (const Asn as : graph.ases()) cones[as].insert(as);
+ConeMap bgp_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus,
+                          std::size_t threads) {
+  using SetMap = std::unordered_map<Asn, std::unordered_set<Asn>>;
+  util::ThreadPool pool(threads);
+  const auto records = corpus.records();
 
-  for (const paths::PathRecord& record : corpus.records()) {
-    const auto hops = record.path.hops();
-    if (hops.size() < 2) continue;
-    // reach_end[i]: last index of the contiguous p2c descent starting at i.
-    // Computed right-to-left in one pass.
-    std::vector<std::size_t> reach_end(hops.size());
-    reach_end[hops.size() - 1] = hops.size() - 1;
-    for (std::size_t i = hops.size() - 1; i-- > 0;) {
-      reach_end[i] = is_p2c(graph, hops[i], hops[i + 1]) ? reach_end[i + 1] : i;
-    }
-    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
-      auto& cone = cones[hops[i]];
-      for (std::size_t j = i + 1; j <= reach_end[i]; ++j) cone.insert(hops[j]);
-    }
-  }
+  // Per-chunk membership sets merged by set union: commutative, so the
+  // ordered reduction yields the sequential result at any worker count.
+  SetMap cones = pool.map_reduce<SetMap>(
+      records.size(), SetMap{},
+      [&](std::size_t begin, std::size_t end) {
+        SetMap local;
+        for (std::size_t r = begin; r < end; ++r) {
+          const auto hops = records[r].path.hops();
+          if (hops.size() < 2) continue;
+          // reach_end[i]: last index of the contiguous p2c descent starting
+          // at i.  Computed right-to-left in one pass.
+          std::vector<std::size_t> reach_end(hops.size());
+          reach_end[hops.size() - 1] = hops.size() - 1;
+          for (std::size_t i = hops.size() - 1; i-- > 0;) {
+            reach_end[i] = is_p2c(graph, hops[i], hops[i + 1]) ? reach_end[i + 1] : i;
+          }
+          for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+            auto& cone = local[hops[i]];
+            for (std::size_t j = i + 1; j <= reach_end[i]; ++j) cone.insert(hops[j]);
+          }
+        }
+        return local;
+      },
+      [](SetMap& acc, SetMap&& part) {
+        for (auto& [as, members] : part) {
+          acc[as].insert(members.begin(), members.end());
+        }
+      });
+  for (const Asn as : graph.ases()) cones[as].insert(as);
 
   ConeMap out;
   for (auto& [as, members] : cones) {
@@ -129,42 +214,58 @@ ConeMap bgp_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus)
   return out;
 }
 
-ConeMap provider_peer_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus) {
+ConeMap provider_peer_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus,
+                                    std::size_t threads) {
   // Collect p2c links observed while descending from above: the provider
   // hop was itself preceded by one of its providers or peers.
   const std::vector<Asn> ases = graph.ases();
   const auto index = index_of(ases);
-  std::vector<std::unordered_set<std::size_t>> filtered(ases.size());
+  using LinkSets = std::vector<std::unordered_set<std::size_t>>;
+  util::ThreadPool pool(threads);
+  const auto records = corpus.records();
 
-  for (const paths::PathRecord& record : corpus.records()) {
-    const auto hops = record.path.hops();
-    for (std::size_t i = 1; i + 1 < hops.size(); ++i) {
-      const auto preceding = graph.view(hops[i], hops[i - 1]);
-      const bool from_above = preceding && (*preceding == RelView::kProvider ||
-                                            *preceding == RelView::kPeer);
-      if (!from_above) continue;
-      // Every contiguous p2c link after i is proven to carry traffic downward.
-      for (std::size_t j = i; j + 1 < hops.size(); ++j) {
-        if (!is_p2c(graph, hops[j], hops[j + 1])) break;
-        filtered[index.at(hops[j])].insert(index.at(hops[j + 1]));
-      }
-    }
-  }
+  LinkSets filtered = pool.map_reduce<LinkSets>(
+      records.size(), LinkSets(ases.size()),
+      [&](std::size_t begin, std::size_t end) {
+        LinkSets local(ases.size());
+        for (std::size_t r = begin; r < end; ++r) {
+          const auto hops = records[r].path.hops();
+          for (std::size_t i = 1; i + 1 < hops.size(); ++i) {
+            const auto preceding = graph.view(hops[i], hops[i - 1]);
+            const bool from_above = preceding && (*preceding == RelView::kProvider ||
+                                                  *preceding == RelView::kPeer);
+            if (!from_above) continue;
+            // Every contiguous p2c link after i is proven to carry traffic
+            // downward.
+            for (std::size_t j = i; j + 1 < hops.size(); ++j) {
+              if (!is_p2c(graph, hops[j], hops[j + 1])) break;
+              local[index.at(hops[j])].insert(index.at(hops[j + 1]));
+            }
+          }
+        }
+        return local;
+      },
+      [](LinkSets& acc, LinkSets&& part) {
+        for (std::size_t i = 0; i < acc.size(); ++i) {
+          acc[i].insert(part[i].begin(), part[i].end());
+        }
+      });
 
   std::vector<std::vector<std::size_t>> customers(ases.size());
   for (std::size_t i = 0; i < ases.size(); ++i) {
     customers[i].assign(filtered[i].begin(), filtered[i].end());
     std::sort(customers[i].begin(), customers[i].end());
   }
-  return closure(ases, customers);
+  return closure(ases, customers, threads);
 }
 
 ConeMap compute_cone(ConeMethod method, const AsGraph& graph,
-                     const paths::PathCorpus& corpus) {
+                     const paths::PathCorpus& corpus, std::size_t threads) {
   switch (method) {
-    case ConeMethod::kRecursive: return recursive_cone(graph);
-    case ConeMethod::kBgpObserved: return bgp_observed_cone(graph, corpus);
-    case ConeMethod::kProviderPeerObserved: return provider_peer_observed_cone(graph, corpus);
+    case ConeMethod::kRecursive: return recursive_cone(graph, threads);
+    case ConeMethod::kBgpObserved: return bgp_observed_cone(graph, corpus, threads);
+    case ConeMethod::kProviderPeerObserved:
+      return provider_peer_observed_cone(graph, corpus, threads);
   }
   throw std::invalid_argument("compute_cone: unknown method");
 }

@@ -18,6 +18,7 @@
 // recursive ⊇ BGP observed, for every AS.  Every cone contains its own AS.
 #pragma once
 
+#include <cstddef>
 #include <string_view>
 
 #include "paths/corpus.h"
@@ -37,21 +38,30 @@ enum class ConeMethod { kRecursive, kBgpObserved, kProviderPeerObserved };
   return "?";
 }
 
+// Every computation below takes a worker-thread count: 1 (the default) is
+// the exact sequential legacy path, 0 means all hardware threads, and the
+// result is bit-identical at any count (see util/thread_pool.h — the closure
+// parallelizes over reverse-topological levels of the p2c DAG, the observed
+// cones over path-corpus chunks with commutative set-union merges).
+
 /// Full transitive closure over p2c links.  Requires an acyclic provider
 /// graph (throws std::invalid_argument otherwise — assumption A3).
-[[nodiscard]] ConeMap recursive_cone(const AsGraph& graph);
+[[nodiscard]] ConeMap recursive_cone(const AsGraph& graph, std::size_t threads = 1);
 
 /// Direct observation: contiguous descending chains after each AS in paths,
 /// using `graph` to classify links as p2c.
-[[nodiscard]] ConeMap bgp_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus);
+[[nodiscard]] ConeMap bgp_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus,
+                                        std::size_t threads = 1);
 
 /// Closure over p2c links observed in descending path positions where the
 /// provider was reached via one of its providers or peers.
 [[nodiscard]] ConeMap provider_peer_observed_cone(const AsGraph& graph,
-                                                  const paths::PathCorpus& corpus);
+                                                  const paths::PathCorpus& corpus,
+                                                  std::size_t threads = 1);
 
 /// Dispatch by method.  kRecursive ignores `corpus`.
 [[nodiscard]] ConeMap compute_cone(ConeMethod method, const AsGraph& graph,
-                                   const paths::PathCorpus& corpus);
+                                   const paths::PathCorpus& corpus,
+                                   std::size_t threads = 1);
 
 }  // namespace asrank::core

@@ -2,41 +2,71 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace asrank::core {
 
-Degrees Degrees::compute(const paths::PathCorpus& corpus) {
+namespace {
+
+/// Per-chunk tally for the parallel pass.  Merged by set union, which is
+/// commutative, so the ordered reduction is thread-count invariant.
+struct NeighborSets {
+  std::unordered_map<Asn, std::unordered_set<Asn>> transit;
+  std::unordered_map<Asn, std::unordered_set<Asn>> all;
+};
+
+}  // namespace
+
+Degrees Degrees::compute(const paths::PathCorpus& corpus, std::size_t threads) {
   Degrees degrees;
-  std::unordered_map<Asn, std::unordered_set<Asn>> transit_neighbors;
-  std::unordered_map<Asn, std::unordered_set<Asn>> all_neighbors;
+  util::ThreadPool pool(threads);
+  const auto records = corpus.records();
 
-  for (const paths::PathRecord& record : corpus.records()) {
-    // Degrees are defined over prepending-free paths; compress defensively
-    // in case the corpus was not sanitized.
-    const AsPath compressed =
-        record.path.has_prepending() ? record.path.compress_prepending() : record.path;
-    const auto hops = compressed.hops();
-    for (std::size_t i = 0; i < hops.size(); ++i) {
-      if (i > 0) {
-        all_neighbors[hops[i]].insert(hops[i - 1]);
-        all_neighbors[hops[i - 1]].insert(hops[i]);
-      }
-      if (i > 0 && i + 1 < hops.size()) {
-        transit_neighbors[hops[i]].insert(hops[i - 1]);
-        transit_neighbors[hops[i]].insert(hops[i + 1]);
-      }
-    }
-  }
+  NeighborSets sets = pool.map_reduce<NeighborSets>(
+      records.size(), NeighborSets{},
+      [&](std::size_t begin, std::size_t end) {
+        NeighborSets local;
+        for (std::size_t r = begin; r < end; ++r) {
+          // Degrees are defined over prepending-free paths; compress
+          // defensively in case the corpus was not sanitized.
+          const paths::PathRecord& record = records[r];
+          const AsPath compressed = record.path.has_prepending()
+                                        ? record.path.compress_prepending()
+                                        : record.path;
+          const auto hops = compressed.hops();
+          for (std::size_t i = 0; i < hops.size(); ++i) {
+            if (i > 0) {
+              local.all[hops[i]].insert(hops[i - 1]);
+              local.all[hops[i - 1]].insert(hops[i]);
+            }
+            if (i > 0 && i + 1 < hops.size()) {
+              local.transit[hops[i]].insert(hops[i - 1]);
+              local.transit[hops[i]].insert(hops[i + 1]);
+            }
+          }
+        }
+        return local;
+      },
+      [](NeighborSets& acc, NeighborSets&& part) {
+        for (auto& [as, neighbors] : part.all) {
+          acc.all[as].insert(neighbors.begin(), neighbors.end());
+        }
+        for (auto& [as, neighbors] : part.transit) {
+          acc.transit[as].insert(neighbors.begin(), neighbors.end());
+        }
+      });
 
-  for (const auto& [as, neighbors] : all_neighbors) {
+  for (const auto& [as, neighbors] : sets.all) {
     degrees.node_.emplace(as, neighbors.size());
   }
-  for (const auto& [as, neighbors] : transit_neighbors) {
+  for (const auto& [as, neighbors] : sets.transit) {
     degrees.transit_.emplace(as, neighbors.size());
   }
 
-  degrees.ranked_.reserve(all_neighbors.size());
-  for (const auto& [as, neighbors] : all_neighbors) degrees.ranked_.push_back(as);
+  degrees.ranked_.reserve(sets.all.size());
+  for (const auto& [as, neighbors] : sets.all) degrees.ranked_.push_back(as);
   std::sort(degrees.ranked_.begin(), degrees.ranked_.end(), [&](Asn a, Asn b) {
     const std::size_t ta = degrees.transit_degree(a), tb = degrees.transit_degree(b);
     if (ta != tb) return ta > tb;

@@ -18,8 +18,11 @@ namespace asrank::core {
 
 class Degrees {
  public:
-  /// Compute degrees from sanitized paths.
-  [[nodiscard]] static Degrees compute(const paths::PathCorpus& corpus);
+  /// Compute degrees from sanitized paths.  `threads`: 1 = sequential legacy
+  /// path (default), 0 = all hardware threads; the tally is a set union over
+  /// corpus chunks, so results are identical at any worker count.
+  [[nodiscard]] static Degrees compute(const paths::PathCorpus& corpus,
+                                       std::size_t threads = 1);
 
   [[nodiscard]] std::size_t transit_degree(Asn as) const noexcept;
   [[nodiscard]] std::size_t node_degree(Asn as) const noexcept;

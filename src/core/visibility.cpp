@@ -1,30 +1,64 @@
 #include "core/visibility.h"
 
 #include <unordered_set>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace asrank::core {
 
-std::unordered_map<std::uint64_t, LinkVisibility> link_visibility(
-    const paths::PathCorpus& corpus) {
-  std::unordered_map<std::uint64_t, LinkVisibility> out;
+namespace {
+
+/// Per-chunk tally.  Counters add and VP sets union — both commutative — so
+/// the ordered chunk reduction is thread-count invariant.
+struct VisibilityTally {
+  std::unordered_map<std::uint64_t, LinkVisibility> links;
   std::unordered_map<std::uint64_t, std::unordered_set<Asn>> vps;
-  for (const paths::PathRecord& record : corpus.records()) {
-    const auto hops = record.path.hops();
-    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
-      if (hops[i] == hops[i + 1]) continue;
-      const std::uint64_t key = paths::PathCorpus::key(hops[i], hops[i + 1]);
-      LinkVisibility& link = out[key];
-      ++link.observations;
-      if (i > 0 && i + 2 < hops.size()) {
-        ++link.transit_positions;
-      } else {
-        ++link.edge_positions;
-      }
-      vps[key].insert(record.vp);
-    }
-  }
-  for (auto& [key, link] : out) link.vp_count = vps.at(key).size();
-  return out;
+};
+
+}  // namespace
+
+std::unordered_map<std::uint64_t, LinkVisibility> link_visibility(
+    const paths::PathCorpus& corpus, std::size_t threads) {
+  util::ThreadPool pool(threads);
+  const auto records = corpus.records();
+
+  VisibilityTally tally = pool.map_reduce<VisibilityTally>(
+      records.size(), VisibilityTally{},
+      [&](std::size_t begin, std::size_t end) {
+        VisibilityTally local;
+        for (std::size_t r = begin; r < end; ++r) {
+          const paths::PathRecord& record = records[r];
+          const auto hops = record.path.hops();
+          for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+            if (hops[i] == hops[i + 1]) continue;
+            const std::uint64_t key = paths::PathCorpus::key(hops[i], hops[i + 1]);
+            LinkVisibility& link = local.links[key];
+            ++link.observations;
+            if (i > 0 && i + 2 < hops.size()) {
+              ++link.transit_positions;
+            } else {
+              ++link.edge_positions;
+            }
+            local.vps[key].insert(record.vp);
+          }
+        }
+        return local;
+      },
+      [](VisibilityTally& acc, VisibilityTally&& part) {
+        for (auto& [key, link] : part.links) {
+          LinkVisibility& merged = acc.links[key];
+          merged.observations += link.observations;
+          merged.transit_positions += link.transit_positions;
+          merged.edge_positions += link.edge_positions;
+        }
+        for (auto& [key, vps] : part.vps) {
+          acc.vps[key].insert(vps.begin(), vps.end());
+        }
+      });
+
+  for (auto& [key, link] : tally.links) link.vp_count = tally.vps.at(key).size();
+  return tally.links;
 }
 
 VisibilityCcdf visibility_ccdf(

@@ -7,6 +7,7 @@
 // VPs an inference needs.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -27,9 +28,11 @@ struct LinkVisibility {
   [[nodiscard]] bool interior() const noexcept { return transit_positions > 0; }
 };
 
-/// Per-link visibility, keyed by PathCorpus::key.
+/// Per-link visibility, keyed by PathCorpus::key.  `threads`: 1 = sequential
+/// legacy path (default), 0 = all hardware threads; per-chunk tallies merge
+/// by addition and VP-set union, so results are thread-count invariant.
 [[nodiscard]] std::unordered_map<std::uint64_t, LinkVisibility> link_visibility(
-    const paths::PathCorpus& corpus);
+    const paths::PathCorpus& corpus, std::size_t threads = 1);
 
 /// Distribution summary: how many links are seen by >= k VPs.
 struct VisibilityCcdf {

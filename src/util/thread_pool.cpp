@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include <cstdint>
+
+namespace asrank::util {
+
+ThreadPool::ThreadPool(std::size_t workers) : workers_(resolve_threads(workers)) {
+  errors_.resize(workers_);
+  helpers_.reserve(workers_ > 0 ? workers_ - 1 : 0);
+  for (std::size_t w = 1; w < workers_; ++w) {
+    helpers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& helper : helpers_) helper.join();
+}
+
+std::vector<std::size_t> ThreadPool::chunk_bounds(std::size_t n) const {
+  std::vector<std::size_t> bounds(workers_ + 1, 0);
+  const std::size_t base = n / workers_;
+  const std::size_t extra = n % workers_;
+  for (std::size_t c = 0; c < workers_; ++c) {
+    bounds[c + 1] = bounds[c] + base + (c < extra ? 1 : 0);
+  }
+  return bounds;
+}
+
+void ThreadPool::run_chunk(std::size_t chunk_index) {
+  const std::size_t begin = bounds_[chunk_index];
+  const std::size_t end = bounds_[chunk_index + 1];
+  if (begin >= end) return;
+  try {
+    (*task_)(chunk_index, begin, end);
+  } catch (...) {
+    errors_[chunk_index] = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_chunk(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --remaining_;
+    }
+    work_done_.notify_one();
+  }
+}
+
+void ThreadPool::for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_ == 1) {
+    // Exact sequential path: one chunk, caller's thread, no synchronization.
+    fn(0, 0, n);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &fn;
+    bounds_ = chunk_bounds(n);
+    for (std::exception_ptr& error : errors_) error = nullptr;
+    remaining_ = workers_ - 1;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  run_chunk(0);  // chunk 0 always runs on the calling thread
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] { return remaining_ == 0; });
+    task_ = nullptr;
+  }
+  // Lowest chunk index wins so the surfaced error is deterministic.
+  for (const std::exception_ptr& error : errors_) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  for_chunks(n, [&fn](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace asrank::util

@@ -1,0 +1,110 @@
+// Deterministic fixed-size thread pool for data-parallel pipeline stages.
+//
+// Design constraints, in priority order:
+//
+//   1. *Bit-identical results at any worker count.*  There is no work
+//      stealing and no dynamic scheduling: a range [0, n) is split into
+//      worker_count() contiguous chunks with statically computed bounds
+//      (chunk_bounds), chunk c always runs the same indices, and reductions
+//      fold chunk results in ascending chunk order.  Any function whose
+//      per-chunk contributions combine associatively therefore produces the
+//      same value at 1, 2, or 64 workers.
+//   2. *Exact sequential fallback.*  With one worker nothing is spawned: the
+//      single chunk executes inline on the calling thread, so `workers = 1`
+//      is the legacy single-threaded code path, not an emulation of it.
+//   3. *Exceptions propagate.*  A throw inside any chunk is captured and
+//      rethrown on the calling thread after the barrier; when several chunks
+//      throw, the lowest chunk index wins so the surfaced error is also
+//      deterministic.
+//
+// The pool is reusable across calls (workers persist, parked on a condition
+// variable between dispatches) but calls are not reentrant: do not dispatch
+// from inside a chunk function.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace asrank::util {
+
+/// Resolve a user-facing thread-count knob: 0 means "all hardware threads",
+/// anything else is taken literally (minimum 1).
+[[nodiscard]] inline std::size_t resolve_threads(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+class ThreadPool {
+ public:
+  /// `workers = 0` resolves to std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_; }
+
+  /// Static chunk boundaries for `n` items: worker_count() + 1 offsets with
+  /// chunk c covering [bounds[c], bounds[c+1]).  Sizes differ by at most one
+  /// and depend only on (n, worker_count()).
+  [[nodiscard]] std::vector<std::size_t> chunk_bounds(std::size_t n) const;
+
+  /// Run fn(chunk_index, begin, end) for every non-empty chunk of [0, n) and
+  /// block until all complete.  Empty ranges (n == 0) and short ranges
+  /// (n < worker_count(), leaving some chunks empty) are handled; fn is only
+  /// invoked for begin < end.
+  void for_chunks(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// Per-index convenience over for_chunks: fn(i) for i in [0, n).
+  void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Ordered map-reduce: `map(begin, end) -> T` runs per chunk in parallel,
+  /// then `reduce(acc, part)` folds the parts into `init` in ascending chunk
+  /// order on the calling thread.  Deterministic for any reduce function,
+  /// even non-commutative ones (e.g. ordered concatenation).
+  template <typename T, typename MapFn, typename ReduceFn>
+  [[nodiscard]] T map_reduce(std::size_t n, T init, MapFn&& map, ReduceFn&& reduce) {
+    std::vector<std::optional<T>> parts(workers_);
+    for_chunks(n, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+      parts[chunk].emplace(map(begin, end));
+    });
+    T acc = std::move(init);
+    for (std::optional<T>& part : parts) {
+      if (part.has_value()) reduce(acc, std::move(*part));
+    }
+    return acc;
+  }
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  void run_chunk(std::size_t chunk_index);
+
+  std::size_t workers_;
+
+  // Dispatch state, guarded by mutex_.  `task_` and `bounds_` are set by the
+  // caller before bumping `generation_`; helpers re-check generation to find
+  // new work.  `remaining_` counts unfinished helper chunks for the barrier.
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* task_ = nullptr;
+  std::vector<std::size_t> bounds_;
+  std::vector<std::exception_ptr> errors_;
+  std::uint64_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> helpers_;  ///< workers 1..workers_-1; chunk 0 runs inline
+};
+
+}  // namespace asrank::util

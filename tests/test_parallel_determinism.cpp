@@ -1,0 +1,256 @@
+// Differential determinism tests for the parallel inference engine: the
+// whole pipeline must produce bit-identical results at 1, 2, and 8 worker
+// threads (util::ThreadPool uses static chunking with ordered reductions, so
+// no output may depend on scheduling).  Also unit-tests the thread pool
+// itself: chunk geometry, empty and short ranges, exception propagation, and
+// ordered (non-commutative) reduction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bgpsim/observation.h"
+#include "core/asrank.h"
+#include "core/cones.h"
+#include "core/degrees.h"
+#include "core/ranking.h"
+#include "core/visibility.h"
+#include "topogen/topogen.h"
+#include "util/thread_pool.h"
+
+namespace asrank {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool unit tests
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, ResolvesWorkerCount) {
+  EXPECT_GE(util::ThreadPool(0).worker_count(), 1u);
+  EXPECT_EQ(util::ThreadPool(1).worker_count(), 1u);
+  EXPECT_EQ(util::ThreadPool(3).worker_count(), 3u);
+  EXPECT_GE(util::resolve_threads(0), 1u);
+  EXPECT_EQ(util::resolve_threads(5), 5u);
+}
+
+TEST(ThreadPool, ChunkBoundsPartitionTheRange) {
+  util::ThreadPool pool(4);
+  const auto bounds = pool.chunk_bounds(10);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 10u);
+  // Static chunking: sizes differ by at most one and are non-increasing.
+  for (std::size_t c = 0; c + 1 < bounds.size() - 1; ++c) {
+    const std::size_t size = bounds[c + 1] - bounds[c];
+    const std::size_t next = bounds[c + 2] - bounds[c + 1];
+    EXPECT_GE(size, next);
+    EXPECT_LE(size - next, 1u);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeInvokesNothing) {
+  for (const std::size_t workers : {1u, 4u}) {
+    util::ThreadPool pool(workers);
+    std::atomic<int> calls{0};
+    pool.for_chunks(0, [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+    pool.for_each_index(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+  }
+}
+
+TEST(ThreadPool, ShortRangeCoversEveryIndexOnce) {
+  // n < workers leaves some chunks empty; every index still runs exactly once.
+  util::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.for_each_index(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  for (const std::size_t workers : {1u, 4u}) {
+    util::ThreadPool pool(workers);
+    EXPECT_THROW(
+        pool.for_each_index(100,
+                            [&](std::size_t i) {
+                              if (i == 57) throw std::runtime_error("boom");
+                            }),
+        std::runtime_error);
+    // The pool survives a throwing dispatch and stays usable.
+    std::atomic<int> sum{0};
+    pool.for_each_index(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(ThreadPool, LowestChunkExceptionWins) {
+  util::ThreadPool pool(4);
+  try {
+    pool.for_chunks(4, [&](std::size_t chunk, std::size_t, std::size_t) {
+      throw std::runtime_error("chunk " + std::to_string(chunk));
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "chunk 0");
+  }
+}
+
+TEST(ThreadPool, OrderedReductionIsDeterministic) {
+  // Non-commutative reduction (string concatenation): the result must match
+  // the sequential order at every worker count.
+  std::string expected;
+  for (int i = 0; i < 100; ++i) expected += std::to_string(i) + ",";
+  for (const std::size_t workers : {1u, 2u, 3u, 8u, 16u}) {
+    util::ThreadPool pool(workers);
+    const std::string joined = pool.map_reduce<std::string>(
+        100, std::string{},
+        [](std::size_t begin, std::size_t end) {
+          std::string part;
+          for (std::size_t i = begin; i < end; ++i) part += std::to_string(i) + ",";
+          return part;
+        },
+        [](std::string& acc, std::string&& part) { acc += part; });
+    EXPECT_EQ(joined, expected) << workers << " workers";
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossDispatches) {
+  util::ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    const long sum = pool.map_reduce<long>(
+        1000, 0L,
+        [](std::size_t begin, std::size_t end) {
+          long part = 0;
+          for (std::size_t i = begin; i < end; ++i) part += static_cast<long>(i);
+          return part;
+        },
+        [](long& acc, long&& part) { acc += part; });
+    EXPECT_EQ(sum, 499500L);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-pipeline differential tests
+// ---------------------------------------------------------------------------
+
+struct PipelineOutput {
+  core::InferenceResult result;
+  ConeMap recursive;
+  ConeMap ppdc;
+  std::vector<core::RankEntry> ranking;
+};
+
+const paths::PathCorpus& shared_corpus() {
+  static const paths::PathCorpus corpus = [] {
+    auto gen = topogen::GenParams::preset("small");
+    gen.seed = 424242;
+    const auto truth = topogen::generate(gen);
+    bgpsim::ObservationParams obs;
+    obs.seed = 424243;
+    obs.full_vps = 25;
+    obs.partial_vps = 8;
+    return paths::PathCorpus::from_records(bgpsim::observe(truth, obs).routes);
+  }();
+  return corpus;
+}
+
+PipelineOutput run_pipeline(std::size_t threads) {
+  core::InferenceConfig config;
+  config.threads = threads;
+  PipelineOutput out{core::AsRankInference(config).run(shared_corpus()), {}, {}, {}};
+  out.recursive = core::recursive_cone(out.result.graph, threads);
+  out.ppdc =
+      core::provider_peer_observed_cone(out.result.graph, out.result.sanitized, threads);
+  out.ranking = core::rank_by_cone(out.ppdc, out.result.degrees);
+  return out;
+}
+
+TEST(ParallelDeterminism, PipelineIsBitIdenticalAcrossThreadCounts) {
+  const PipelineOutput reference = run_pipeline(1);
+  ASSERT_FALSE(reference.result.graph.links().empty());
+
+  for (const std::size_t threads : {2u, 8u}) {
+    const PipelineOutput parallel = run_pipeline(threads);
+
+    // Relationship labels: every link, same annotation, same orientation.
+    EXPECT_EQ(parallel.result.graph.links(), reference.result.graph.links())
+        << threads << " threads";
+    EXPECT_EQ(parallel.result.clique, reference.result.clique);
+
+    // Cones: identical membership for every AS.
+    EXPECT_EQ(parallel.recursive, reference.recursive);
+    EXPECT_EQ(parallel.ppdc, reference.ppdc);
+
+    // Rank order: same ASes in the same positions with the same cone sizes.
+    ASSERT_EQ(parallel.ranking.size(), reference.ranking.size());
+    for (std::size_t i = 0; i < reference.ranking.size(); ++i) {
+      EXPECT_EQ(parallel.ranking[i].as, reference.ranking[i].as) << "rank " << i;
+      EXPECT_EQ(parallel.ranking[i].cone_size, reference.ranking[i].cone_size);
+      EXPECT_EQ(parallel.ranking[i].rank, reference.ranking[i].rank);
+    }
+
+    // Stage audit: the counters describe the same computation.
+    EXPECT_EQ(parallel.result.audit.c2p_votes, reference.result.audit.c2p_votes);
+    EXPECT_EQ(parallel.result.audit.links_committed_c2p,
+              reference.result.audit.links_committed_c2p);
+    EXPECT_EQ(parallel.result.audit.poisoned_discarded,
+              reference.result.audit.poisoned_discarded);
+    EXPECT_EQ(parallel.result.audit.apex_links_deferred,
+              reference.result.audit.apex_links_deferred);
+    EXPECT_EQ(parallel.result.audit.siblings_inferred,
+              reference.result.audit.siblings_inferred);
+  }
+}
+
+TEST(ParallelDeterminism, TallyStagesMatchSequential) {
+  const auto& corpus = shared_corpus();
+  const auto degrees1 = core::Degrees::compute(corpus, 1);
+  const auto visibility1 = core::link_visibility(corpus, 1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto degreesN = core::Degrees::compute(corpus, threads);
+    EXPECT_EQ(degreesN.ranked(), degrees1.ranked());
+    for (const Asn as : degrees1.ranked()) {
+      EXPECT_EQ(degreesN.transit_degree(as), degrees1.transit_degree(as));
+      EXPECT_EQ(degreesN.node_degree(as), degrees1.node_degree(as));
+      EXPECT_EQ(degreesN.rank_of(as), degrees1.rank_of(as));
+    }
+
+    const auto visibilityN = core::link_visibility(corpus, threads);
+    ASSERT_EQ(visibilityN.size(), visibility1.size());
+    for (const auto& [key, link] : visibility1) {
+      const auto it = visibilityN.find(key);
+      ASSERT_NE(it, visibilityN.end());
+      EXPECT_EQ(it->second.vp_count, link.vp_count);
+      EXPECT_EQ(it->second.observations, link.observations);
+      EXPECT_EQ(it->second.transit_positions, link.transit_positions);
+      EXPECT_EQ(it->second.edge_positions, link.edge_positions);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ConeClosureMatchesSequentialOnGroundTruth) {
+  // The level-parallel closure path (threads > 1) against the DFS path.
+  auto gen = topogen::GenParams::preset("small");
+  gen.seed = 99;
+  const auto truth = topogen::generate(gen);
+  const auto sequential = core::recursive_cone(truth.graph, 1);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(core::recursive_cone(truth.graph, threads), sequential);
+  }
+}
+
+TEST(ParallelDeterminism, ParallelClosureDetectsCycles) {
+  // The Kahn-level path must reject cyclic provider graphs exactly like the
+  // DFS path (assumption A3).
+  AsGraph graph;
+  graph.add_p2c(Asn(1), Asn(2));
+  graph.add_p2c(Asn(2), Asn(3));
+  graph.add_p2c(Asn(3), Asn(1));
+  EXPECT_THROW(core::recursive_cone(graph, 1), std::invalid_argument);
+  EXPECT_THROW(core::recursive_cone(graph, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asrank

@@ -1,0 +1,189 @@
+// Property-based invariant suite (Dimitropoulos et al. 2007 §"validation"
+// line of work): instead of fixed expectations, these tests assert the
+// structural invariants of relationship inference and customer cones over
+// randomized topogen topologies with seeded RNG, so every run covers several
+// distinct random Internets while staying reproducible.
+//
+// Invariants checked for every (preset, seed) sample:
+//   * the inferred c2p hierarchy is acyclic (assumption A3 is restored by
+//     the pipeline even when measurement artifacts violate it);
+//   * every customer cone contains the AS itself;
+//   * cone nesting: a provider's recursive cone is a superset of each of its
+//     customers' cones;
+//   * inferred clique members are pairwise non-c2p (assumption A1);
+//   * the recursive and BGP-observed cone definitions agree on
+//     full-visibility inputs (a corpus containing every maximal p2c descent
+//     chain).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bgpsim/observation.h"
+#include "core/asrank.h"
+#include "core/cones.h"
+#include "topogen/topogen.h"
+
+namespace asrank {
+namespace {
+
+struct Sample {
+  topogen::GroundTruth truth;
+  core::InferenceResult result;
+};
+
+Sample make_sample(const std::string& preset, std::uint64_t seed) {
+  auto gen = topogen::GenParams::preset(preset);
+  gen.seed = seed;
+  Sample sample{topogen::generate(gen), {}};
+  bgpsim::ObservationParams obs;
+  obs.seed = seed + 1;
+  obs.full_vps = 20;
+  obs.partial_vps = 5;
+  const auto observation = bgpsim::observe(sample.truth, obs);
+  core::InferenceConfig config;
+  config.sanitizer.ixp_asns.insert(sample.truth.ixp_asns.begin(),
+                                   sample.truth.ixp_asns.end());
+  sample.result = core::AsRankInference(config).run(
+      paths::PathCorpus::from_records(observation.routes));
+  return sample;
+}
+
+/// The randomized sample set: two sizes, several seeds each.  Samples are
+/// built once and shared across tests (inference dominates the cost).
+const std::vector<Sample>& samples() {
+  static const std::vector<Sample> all = [] {
+    std::vector<Sample> built;
+    for (const std::uint64_t seed : {7ULL, 1009ULL, 52625ULL}) {
+      built.push_back(make_sample("tiny", seed));
+      built.push_back(make_sample("small", seed));
+    }
+    return built;
+  }();
+  return all;
+}
+
+/// True iff sorted `inner` is a subset of sorted `outer`.
+bool subset_of(const std::vector<Asn>& inner, const std::vector<Asn>& outer) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(), inner.end());
+}
+
+TEST(Properties, InferredHierarchyIsAcyclic) {
+  for (const Sample& sample : samples()) {
+    EXPECT_TRUE(sample.result.graph.p2c_acyclic());
+    EXPECT_TRUE(sample.result.audit.p2c_acyclic);
+  }
+}
+
+TEST(Properties, EveryConeContainsItsOwnAs) {
+  for (const Sample& sample : samples()) {
+    const auto cones = core::recursive_cone(sample.result.graph);
+    EXPECT_EQ(cones.size(), sample.result.graph.ases().size());
+    for (const auto& [as, members] : cones) {
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(), as))
+          << "cone of AS" << as.value() << " is missing the AS itself";
+    }
+  }
+}
+
+TEST(Properties, ProviderConeContainsEachCustomerCone) {
+  for (const Sample& sample : samples()) {
+    // Check nesting on both the inferred graph and the ground truth graph —
+    // the invariant is definitional for any acyclic p2c relation.
+    for (const AsGraph* graph : {&sample.result.graph, &sample.truth.graph}) {
+      const auto cones = core::recursive_cone(*graph);
+      for (const Asn provider : graph->ases()) {
+        const auto& provider_cone = cones.at(provider);
+        for (const Asn customer : graph->customers(provider)) {
+          EXPECT_TRUE(subset_of(cones.at(customer), provider_cone))
+              << "cone of provider AS" << provider.value()
+              << " does not contain cone of customer AS" << customer.value();
+        }
+      }
+    }
+  }
+}
+
+TEST(Properties, CliqueMembersArePairwiseNonC2p) {
+  for (const Sample& sample : samples()) {
+    const auto& clique = sample.result.clique;
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      for (std::size_t j = i + 1; j < clique.size(); ++j) {
+        const auto view = sample.result.graph.view(clique[i], clique[j]);
+        if (!view) continue;  // members need not be adjacent in observed paths
+        EXPECT_NE(*view, RelView::kCustomer)
+            << "clique AS" << clique[j].value() << " inferred as customer of AS"
+            << clique[i].value();
+        EXPECT_NE(*view, RelView::kProvider)
+            << "clique AS" << clique[i].value() << " inferred as customer of AS"
+            << clique[j].value();
+      }
+    }
+  }
+}
+
+/// Enumerate every maximal p2c descent chain starting from `root` and append
+/// each as an observed path.  Together these give the BGP-observed cone
+/// computation full visibility of the customer DAG.
+void append_descent_chains(const AsGraph& graph, Asn root, paths::PathCorpus& corpus) {
+  std::vector<Asn> chain{root};
+  // Explicit DFS over customer links; emits a record at every leaf.
+  struct Frame {
+    Asn node;
+    std::size_t next_child = 0;
+  };
+  std::vector<Frame> stack{{root, 0}};
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const auto customers = graph.customers(top.node);
+    if (top.next_child < customers.size()) {
+      const Asn child = customers[top.next_child++];
+      chain.push_back(child);
+      stack.push_back({child, 0});
+      continue;
+    }
+    if (customers.empty() && chain.size() >= 2) {
+      corpus.add(root, Prefix::v4(chain.back().value() << 8, 24), AsPath(chain));
+    }
+    chain.pop_back();
+    stack.pop_back();
+  }
+}
+
+TEST(Properties, RecursiveAndBgpObservedConesAgreeUnderFullVisibility) {
+  // Full visibility makes the direct observation converge to the closure:
+  // every p2c-reachable AS appears on some contiguous descent chain.  Run on
+  // the ground-truth graphs (acyclic by construction); tiny preset only —
+  // chain enumeration is exponential in principle.
+  for (const std::uint64_t seed : {7ULL, 1009ULL, 52625ULL}) {
+    auto gen = topogen::GenParams::preset("tiny");
+    gen.seed = seed;
+    const auto truth = topogen::generate(gen);
+    paths::PathCorpus corpus;
+    for (const Asn as : truth.graph.ases()) {
+      append_descent_chains(truth.graph, as, corpus);
+    }
+    const auto recursive = core::recursive_cone(truth.graph);
+    const auto observed = core::bgp_observed_cone(truth.graph, corpus);
+    EXPECT_EQ(recursive, observed) << "seed " << seed;
+  }
+}
+
+TEST(Properties, RecursiveConeDominatesObservedCones) {
+  // The documented inclusion chain: recursive ⊇ provider/peer-observed and
+  // recursive ⊇ BGP-observed, per AS, on the inferred graph with the real
+  // (partial-visibility) corpus.
+  for (const Sample& sample : samples()) {
+    const auto& corpus = sample.result.sanitized;
+    const auto recursive = core::recursive_cone(sample.result.graph);
+    const auto ppdc = core::provider_peer_observed_cone(sample.result.graph, corpus);
+    const auto observed = core::bgp_observed_cone(sample.result.graph, corpus);
+    for (const auto& [as, members] : recursive) {
+      EXPECT_TRUE(subset_of(ppdc.at(as), members));
+      EXPECT_TRUE(subset_of(observed.at(as), members));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asrank
