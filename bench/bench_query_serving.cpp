@@ -1,0 +1,213 @@
+// Serving-layer throughput: lookups/sec per query type against a frozen
+// snapshot, with the derived (LRU-cached) queries measured cold vs warm.
+// Not a paper artefact — this is the engineering harness for src/snapshot +
+// src/serve: it freezes a topogen graph into an ASRK1 snapshot, drives a
+// QueryEngine with a deterministic query mix, verifies a sample of answers
+// against the direct graph computation, and emits machine-readable JSON so
+// the BENCH_*.json trajectory tracks serving performance across PRs.
+//
+//     bench_query_serving [total_ases] [seed] [json_out]
+//
+// Defaults: 20000 42 BENCH_query_serving.json
+// Exits non-zero if the LRU-warm derived queries are not at least 10x
+// faster than cold (the serving layer's headline contract).
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <utility>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cones.h"
+#include "serve/query_engine.h"
+#include "snapshot/snapshot.h"
+#include "topogen/topogen.h"
+
+namespace {
+
+using namespace asrank;
+
+struct Throughput {
+  std::size_t ops = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double per_sec() const { return seconds > 0.0 ? ops / seconds : 0.0; }
+};
+
+Throughput measure(std::size_t ops, const std::function<void(std::size_t)>& op) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) op(i);
+  const auto elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+  return {ops, elapsed.count()};
+}
+
+void emit(std::ostream& os, const std::string& name, const Throughput& t,
+          bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "    \"" << name << "\": {\"ops\": " << t.ops
+     << ", \"lookups_per_sec\": " << static_cast<std::uint64_t>(t.per_sec()) << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t total_ases = 20000;
+  std::uint64_t seed = 42;
+  std::string json_out = "BENCH_query_serving.json";
+  if (argc > 1) total_ases = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) seed = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) json_out = argv[3];
+
+  auto params = topogen::GenParams::preset("large");
+  params.total_ases = total_ases;
+  params.seed = seed;
+  const auto truth = topogen::generate(params);
+  const auto& graph = truth.graph;
+
+  std::unordered_map<Asn, std::size_t> tdeg;
+  for (const Asn as : graph.ases()) tdeg[as] = graph.customers(as).size();
+  const auto cones = core::recursive_cone(graph);
+  const auto clique = graph.provider_free_ases();
+
+  // Freeze, serialize, and reload — timing the snapshot lifecycle too.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto built = snapshot::build_snapshot(graph, tdeg, cones, clique);
+  const auto t1 = std::chrono::steady_clock::now();
+  std::stringstream bytes(std::ios::in | std::ios::out | std::ios::binary);
+  snapshot::write_snapshot(built, bytes);
+  const auto t2 = std::chrono::steady_clock::now();
+  const std::size_t snapshot_bytes = bytes.str().size();
+  auto index = snapshot::read_snapshot(bytes);
+  const auto t3 = std::chrono::steady_clock::now();
+  const auto ms = [](auto a, auto b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+
+  std::cout << "== query serving (" << graph.as_count() << " ASes, "
+            << graph.link_count() << " links, seed " << seed << ") ==\n";
+  std::cout << "snapshot: build " << ms(t0, t1) << " ms, write " << ms(t1, t2)
+            << " ms (" << snapshot_bytes << " bytes), load+validate "
+            << ms(t2, t3) << " ms\n";
+
+  // Deterministic query mix: uniform ASes plus link endpoints for the
+  // relationship lookups, heavy (large-cone) ASes for the derived queries.
+  std::mt19937_64 rng(seed);
+  const std::vector<Asn> all(index.ases().begin(), index.ases().end());
+  const auto links = graph.links();
+  std::vector<Asn> heavy;
+  for (const auto& entry : index.top(64)) heavy.push_back(entry.as);
+
+  // Spot-check correctness before trusting the numbers.
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const auto& link = links[rng() % links.size()];
+    if (index.relationship(link.a, link.b) != graph.view(link.a, link.b)) {
+      std::cerr << "FAIL: snapshot disagrees with graph on " << link.a.str()
+                << "|" << link.b.str() << "\n";
+      return 1;
+    }
+  }
+
+  serve::QueryEngine engine(std::move(index), /*cache_capacity=*/4096);
+  const std::size_t n_direct = 200000;
+
+  std::map<std::string, Throughput> direct;
+  direct["relationship"] = measure(n_direct, [&](std::size_t i) {
+    const auto& link = links[(i * 2654435761u) % links.size()];
+    (void)engine.relationship(link.a, link.b);
+  });
+  direct["rank"] = measure(n_direct, [&](std::size_t i) {
+    (void)engine.rank(all[(i * 2654435761u) % all.size()]);
+  });
+  direct["cone_size"] = measure(n_direct, [&](std::size_t i) {
+    (void)engine.cone_size(all[(i * 2654435761u) % all.size()]);
+  });
+  direct["in_cone"] = measure(n_direct, [&](std::size_t i) {
+    (void)engine.in_cone(heavy[i % heavy.size()], all[(i * 40503u) % all.size()]);
+  });
+  direct["neighbor_set"] = measure(n_direct / 4, [&](std::size_t i) {
+    (void)engine.providers(all[(i * 2654435761u) % all.size()]);
+  });
+
+  // Derived queries: cold = always-new operands (every call computes),
+  // warm = a small hot set that stays resident in the LRU.  Operands are the
+  // expensive, representative cases — intersections of large cones and
+  // clique paths from multihomed ASes (the queries worth caching at all).
+  const std::size_t n_derived = 2000;
+  std::vector<std::pair<Asn, Asn>> heavy_pairs;
+  for (std::size_t i = 0; i < heavy.size() && heavy_pairs.size() < n_derived; ++i) {
+    for (std::size_t j = i + 1; j < heavy.size() && heavy_pairs.size() < n_derived; ++j) {
+      heavy_pairs.emplace_back(heavy[i], heavy[j]);
+    }
+  }
+  std::vector<Asn> multihomed(all);
+  std::sort(multihomed.begin(), multihomed.end(), [&](Asn a, Asn b) {
+    const auto pa = graph.providers(a).size(), pb = graph.providers(b).size();
+    return pa != pb ? pa > pb : a < b;
+  });
+  multihomed.resize(std::min<std::size_t>(n_derived, multihomed.size()));
+
+  const auto cold_intersect = measure(heavy_pairs.size(), [&](std::size_t i) {
+    (void)engine.cone_intersection(heavy_pairs[i].first, heavy_pairs[i].second);
+  });
+  const auto warm_intersect = measure(n_derived, [&](std::size_t i) {
+    (void)engine.cone_intersection(heavy_pairs[i % 8].first, heavy_pairs[i % 8].second);
+  });
+  const auto cold_path = measure(multihomed.size(), [&](std::size_t i) {
+    (void)engine.path_to_clique(multihomed[i]);
+  });
+  const auto warm_path = measure(n_derived, [&](std::size_t i) {
+    (void)engine.path_to_clique(multihomed[i % 8]);
+  });
+
+  const double intersect_speedup =
+      cold_intersect.per_sec() > 0 ? warm_intersect.per_sec() / cold_intersect.per_sec() : 0;
+  const double path_speedup =
+      cold_path.per_sec() > 0 ? warm_path.per_sec() / cold_path.per_sec() : 0;
+  const bool warm_ok = intersect_speedup >= 10.0 && path_speedup >= 10.0;
+
+  for (const auto& [name, t] : direct) {
+    std::cout << "  " << name << ": " << static_cast<std::uint64_t>(t.per_sec())
+              << " lookups/sec\n";
+  }
+  std::cout << "  cone_intersect: cold "
+            << static_cast<std::uint64_t>(cold_intersect.per_sec()) << "/s, warm "
+            << static_cast<std::uint64_t>(warm_intersect.per_sec()) << "/s ("
+            << intersect_speedup << "x)\n";
+  std::cout << "  path_to_clique: cold "
+            << static_cast<std::uint64_t>(cold_path.per_sec()) << "/s, warm "
+            << static_cast<std::uint64_t>(warm_path.per_sec()) << "/s ("
+            << path_speedup << "x)\n";
+  std::cout << "LRU-warm >= 10x cold: " << (warm_ok ? "yes" : "NO") << "\n";
+
+  std::ofstream json(json_out);
+  json << "{\n  \"bench\": \"query_serving\",\n";
+  json << "  \"total_ases\": " << graph.as_count() << ",\n";
+  json << "  \"links\": " << graph.link_count() << ",\n";
+  json << "  \"seed\": " << seed << ",\n";
+  json << "  \"snapshot\": {\"bytes\": " << snapshot_bytes
+       << ", \"build_ms\": " << ms(t0, t1) << ", \"write_ms\": " << ms(t1, t2)
+       << ", \"load_ms\": " << ms(t2, t3) << "},\n";
+  json << "  \"query_types\": {\n";
+  bool first = true;
+  for (const auto& [name, t] : direct) emit(json, name, t, first);
+  json << ",\n    \"cone_intersect\": {\"cold_per_sec\": "
+       << static_cast<std::uint64_t>(cold_intersect.per_sec())
+       << ", \"warm_per_sec\": " << static_cast<std::uint64_t>(warm_intersect.per_sec())
+       << ", \"warm_speedup\": " << intersect_speedup << "}";
+  json << ",\n    \"path_to_clique\": {\"cold_per_sec\": "
+       << static_cast<std::uint64_t>(cold_path.per_sec())
+       << ", \"warm_per_sec\": " << static_cast<std::uint64_t>(warm_path.per_sec())
+       << ", \"warm_speedup\": " << path_speedup << "}";
+  json << "\n  },\n  \"warm_speedup_ok\": " << (warm_ok ? "true" : "false")
+       << "\n}\n";
+  std::cout << "wrote " << json_out << "\n";
+
+  return warm_ok ? 0 : 1;
+}

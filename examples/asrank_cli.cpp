@@ -8,15 +8,19 @@
 //   asrank_cli cones    --as-rel inferred.as-rel --mrt rib.mrt --method ppdc --out cones.ppdc
 //   asrank_cli rank     --as-rel inferred.as-rel --mrt rib.mrt --top 15
 //   asrank_cli validate --inferred inferred.as-rel --truth truth.as-rel
+//   asrank_cli snapshot --as-rel inferred.as-rel --mrt rib.mrt --out run.asrk
+//   asrank_cli serve    --snapshot run.asrk --port 7464
+//   asrank_cli query    --port 7464 --op rank --a 3356
 //
 // Every artifact is a documented interchange format: .as-rel and .ppdc-ases
-// (CAIDA text formats), MRT TABLE_DUMP_V2 (binary RIB), or "prefix|path"
-// pipe tables.
+// (CAIDA text formats), MRT TABLE_DUMP_V2 (binary RIB), "prefix|path" pipe
+// tables, or ASRK1 binary snapshots (docs/FORMATS.md).
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "bgpsim/collector.h"
 #include "bgpsim/observation.h"
@@ -28,6 +32,10 @@
 #include "mrt/bgp4mp.h"
 #include "mrt/table_dump_v2.h"
 #include "mrt/text_table.h"
+#include "serve/client.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
+#include "snapshot/snapshot.h"
 #include "topogen/topogen.h"
 #include "topology/graph_diff.h"
 #include "topology/serialization.h"
@@ -327,8 +335,141 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
-void usage() {
-  std::cerr <<
+// Build an ASRK1 snapshot from text/MRT artifacts.  With a path corpus the
+// pipeline's transit degrees and observed cones are frozen; without one the
+// snapshot falls back to recursive cones and graph-derived degrees (customer
+// count), which is exact for generated ground truth.
+int cmd_snapshot(const Args& args) {
+  auto graph_in = open_in(args.require("as-rel"));
+  const AsGraph graph = read_as_rel(graph_in);
+  const std::size_t threads = args.get_u64("threads", 0);  // 0 = all hardware threads
+
+  std::optional<paths::PathCorpus> corpus;
+  if (args.get("mrt") || args.get("pipe")) corpus = load_corpus(args);
+
+  ConeMap cones;
+  std::string method = args.get_or("method", corpus ? "ppdc" : "recursive");
+  if (const auto ppdc_path = args.get("ppdc")) {
+    auto ppdc_in = open_in(*ppdc_path);
+    cones = read_ppdc(ppdc_in);
+    method = "ppdc-file";
+  } else if (method == "recursive") {
+    cones = core::recursive_cone(graph, threads);
+  } else if (corpus) {
+    cones = method == "observed"
+                ? core::bgp_observed_cone(graph, *corpus, threads)
+                : core::provider_peer_observed_cone(graph, *corpus, threads);
+  } else {
+    throw std::runtime_error("--method " + method + " needs --mrt or --pipe input");
+  }
+
+  std::unordered_map<Asn, std::size_t> transit;
+  if (corpus) {
+    const auto degrees = core::Degrees::compute(*corpus, threads);
+    for (const Asn as : graph.ases()) transit[as] = degrees.transit_degree(as);
+  } else {
+    for (const Asn as : graph.ases()) transit[as] = graph.customers(as).size();
+  }
+
+  std::vector<Asn> clique;
+  if (const auto members = args.get("clique")) {
+    for (const auto token : util::split(*members, ',')) {
+      if (const auto asn = Asn::parse(token)) clique.push_back(*asn);
+    }
+  } else {
+    clique = graph.provider_free_ases();
+  }
+
+  const auto index = snapshot::build_snapshot(graph, transit, cones, clique);
+  snapshot::write_snapshot_file(index, args.require("out"));
+  std::cerr << "froze " << index.as_count() << " ASes, " << index.link_count()
+            << " links, " << cones.size() << " cones (" << method << "), clique "
+            << index.clique().size() << " -> " << args.require("out") << "\n";
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  auto index = snapshot::read_snapshot_file(args.require("snapshot"));
+  std::cerr << "loaded snapshot: " << index.as_count() << " ASes, "
+            << index.link_count() << " links, clique " << index.clique().size()
+            << "\n";
+
+  serve::QueryEngine engine(std::move(index), args.get_u64("cache", 4096));
+  serve::ServerConfig config;
+  config.host = args.get_or("host", "127.0.0.1");
+  config.port = static_cast<std::uint16_t>(args.get_u64("port", 7464));
+  config.threads = args.get_u64("threads", 4);
+  serve::Server server(engine, config);
+  server.install_signal_handlers();
+  std::cerr << "asrankd " << ASRANK_VERSION << " listening on " << config.host << ":"
+            << server.port() << " (" << config.threads << " workers)\n";
+  server.run();
+  std::cerr << "asrankd: clean shutdown after " << server.connections_served()
+            << " connections\n" << engine.render_stats();
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  serve::Client client(args.get_or("host", "127.0.0.1"),
+                       static_cast<std::uint16_t>(args.get_u64("port", 7464)));
+  const std::string op = args.require("op");
+  const auto as_arg = [&args](const char* key) {
+    const auto asn = Asn::parse(args.require(key));
+    if (!asn) throw std::runtime_error(std::string("malformed ASN in --") + key);
+    return *asn;
+  };
+  const auto print_list = [](const std::vector<Asn>& list) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      std::cout << (i == 0 ? "" : " ") << list[i].value();
+    }
+    std::cout << "\n";
+  };
+
+  if (op == "ping") {
+    client.ping();
+    std::cout << "pong\n";
+  } else if (op == "rel") {
+    const auto view = client.relationship(as_arg("a"), as_arg("b"));
+    std::cout << (view ? to_string(*view) : "none") << "\n";
+  } else if (op == "rank") {
+    const auto rank = client.rank(as_arg("a"));
+    std::cout << (rank ? std::to_string(*rank) : "unranked") << "\n";
+  } else if (op == "conesize") {
+    std::cout << client.cone_size(as_arg("a")) << "\n";
+  } else if (op == "cone") {
+    print_list(client.cone(as_arg("a")));
+  } else if (op == "incone") {
+    std::cout << (client.in_cone(as_arg("a"), as_arg("b")) ? "yes" : "no") << "\n";
+  } else if (op == "providers") {
+    print_list(client.providers(as_arg("a")));
+  } else if (op == "customers") {
+    print_list(client.customers(as_arg("a")));
+  } else if (op == "peers") {
+    print_list(client.peers(as_arg("a")));
+  } else if (op == "top") {
+    util::TableWriter table({"rank", "AS", "cone", "transit degree"});
+    for (const auto& entry : client.top(static_cast<std::uint32_t>(args.get_u64("n", 15)))) {
+      table.add_row({std::to_string(entry.rank), "AS" + entry.as.str(),
+                     util::fmt_count(entry.cone_size),
+                     util::fmt_count(entry.transit_degree)});
+    }
+    table.render(std::cout);
+  } else if (op == "intersect") {
+    print_list(client.cone_intersection(as_arg("a"), as_arg("b")));
+  } else if (op == "cliquepath") {
+    print_list(client.path_to_clique(as_arg("a")));
+  } else if (op == "clique") {
+    print_list(client.clique());
+  } else if (op == "stats") {
+    std::cout << client.stats_text();
+  } else {
+    throw std::runtime_error("unknown --op '" + op + "'");
+  }
+  return 0;
+}
+
+void usage(std::ostream& os) {
+  os <<
       "usage: asrank_cli <command> [--flag value ...]\n"
       "commands:\n"
       "  generate --out F.as-rel [--ppdc F.ppdc] [--preset P] [--seed N]\n"
@@ -340,17 +481,34 @@ void usage() {
       "  hierarchy --as-rel F [--clique a,b,c]\n"
       "  diff     --before F.as-rel --after F.as-rel\n"
       "  updates  --out F.updates [--rib F.mrt] [--preset P] [--seed N]\n"
-      "  replay   --rib F.mrt --updates F.updates --out F2.mrt\n";
+      "  replay   --rib F.mrt --updates F.updates --out F2.mrt\n"
+      "  snapshot --as-rel F --out F.asrk [--ppdc F | --mrt F | --pipe F]\n"
+      "           [--method recursive|ppdc|observed] [--clique a,b,c]\n"
+      "  serve    --snapshot F.asrk [--host H] [--port N] [--threads N] [--cache N]\n"
+      "  query    --op OP [--host H] [--port N] [--a ASN] [--b ASN] [--n N]\n"
+      "           OP: ping rel rank conesize cone incone providers customers\n"
+      "               peers top intersect cliquepath clique stats\n"
+      "  help     print this usage\n"
+      "flags:\n"
+      "  --version print the version and exit\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage();
+    usage(std::cerr);
     return 2;
   }
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    usage(std::cout);
+    return 0;
+  }
+  if (command == "--version" || command == "version") {
+    std::cout << "asrank_cli " << ASRANK_VERSION << "\n";
+    return 0;
+  }
   try {
     const Args args(argc, argv, 2);
     if (command == "generate") return cmd_generate(args);
@@ -363,7 +521,11 @@ int main(int argc, char** argv) {
     if (command == "diff") return cmd_diff(args);
     if (command == "updates") return cmd_updates(args);
     if (command == "replay") return cmd_replay(args);
-    usage();
+    if (command == "snapshot") return cmd_snapshot(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "query") return cmd_query(args);
+    std::cerr << "asrank_cli: unknown command '" << command
+              << "' (try 'asrank_cli help')\n";
     return 2;
   } catch (const std::exception& error) {
     std::cerr << "asrank_cli " << command << ": " << error.what() << "\n";

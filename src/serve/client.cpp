@@ -1,0 +1,209 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace asrank::serve {
+
+namespace {
+
+WireWriter request(Op op) {
+  WireWriter writer;
+  writer.u8(static_cast<std::uint8_t>(op));
+  return writer;
+}
+
+std::vector<Asn> read_list(WireReader& reader) {
+  const std::uint32_t count = reader.u32();
+  std::vector<Asn> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.emplace_back(reader.u32());
+  return out;
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw ProtocolError(std::string("socket: ") + std::strerror(errno));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw ProtocolError("bad server address: " + host);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw ProtocolError("connect " + host + ":" + std::to_string(port) + ": " + what);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+std::vector<std::uint8_t> Client::exchange(const std::vector<std::uint8_t>& req) {
+  if (fd_ < 0) throw ProtocolError("client is disconnected");
+  write_frame(fd_, req);
+  std::uint8_t marker = 0;
+  if (!read_exact(fd_, &marker, 1)) throw ProtocolError("server closed connection");
+  if (marker != kBinaryMarker) throw ProtocolError("unexpected response framing");
+  auto payload = read_frame_body(fd_);
+  WireReader reader(payload);
+  const auto status = static_cast<Status>(reader.u8());
+  if (status != Status::kOk) {
+    throw ProtocolError("server error: " + reader.rest_as_text());
+  }
+  // Strip the status byte so callers decode the body only.
+  return {payload.begin() + 1, payload.end()};
+}
+
+std::optional<RelView> Client::relationship(Asn a, Asn b) {
+  auto req = request(Op::kRelationship);
+  req.u32(a.value());
+  req.u32(b.value());
+  const auto body = exchange(req.take());
+  WireReader reader(body);
+  const std::uint8_t code = reader.u8();
+  if (code == kRelNone) return std::nullopt;
+  const auto view = rel_from_code(code);
+  if (!view) throw ProtocolError("bad relationship code in response");
+  return view;
+}
+
+std::optional<std::uint32_t> Client::rank(Asn as) {
+  auto req = request(Op::kRank);
+  req.u32(as.value());
+  const auto body = exchange(req.take());
+  WireReader reader(body);
+  const std::uint32_t rank = reader.u32();
+  if (rank == 0) return std::nullopt;
+  return rank;
+}
+
+std::uint64_t Client::cone_size(Asn as) {
+  auto req = request(Op::kConeSize);
+  req.u32(as.value());
+  const auto body = exchange(req.take());
+  WireReader reader(body);
+  return reader.u64();
+}
+
+std::vector<Asn> Client::cone(Asn as) {
+  auto req = request(Op::kCone);
+  req.u32(as.value());
+  const auto body = exchange(req.take());
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+bool Client::in_cone(Asn as, Asn member) {
+  auto req = request(Op::kInCone);
+  req.u32(as.value());
+  req.u32(member.value());
+  const auto body = exchange(req.take());
+  WireReader reader(body);
+  return reader.u8() != 0;
+}
+
+std::vector<Asn> Client::providers(Asn as) {
+  auto req = request(Op::kProviders);
+  req.u32(as.value());
+  const auto body = exchange(req.take());
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+std::vector<Asn> Client::customers(Asn as) {
+  auto req = request(Op::kCustomers);
+  req.u32(as.value());
+  const auto body = exchange(req.take());
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+std::vector<Asn> Client::peers(Asn as) {
+  auto req = request(Op::kPeers);
+  req.u32(as.value());
+  const auto body = exchange(req.take());
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+std::vector<snapshot::TopEntry> Client::top(std::uint32_t n) {
+  auto req = request(Op::kTop);
+  req.u32(n);
+  const auto body = exchange(req.take());
+  WireReader reader(body);
+  const std::uint32_t count = reader.u32();
+  std::vector<snapshot::TopEntry> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    snapshot::TopEntry entry;
+    entry.rank = reader.u32();
+    entry.as = Asn(reader.u32());
+    entry.cone_size = reader.u64();
+    entry.transit_degree = reader.u32();
+    out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<Asn> Client::cone_intersection(Asn a, Asn b) {
+  auto req = request(Op::kConeIntersect);
+  req.u32(a.value());
+  req.u32(b.value());
+  const auto body = exchange(req.take());
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+std::vector<Asn> Client::path_to_clique(Asn as) {
+  auto req = request(Op::kPathToClique);
+  req.u32(as.value());
+  const auto body = exchange(req.take());
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+std::vector<Asn> Client::clique() {
+  const auto body = exchange(request(Op::kClique).take());
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+std::string Client::stats_text() {
+  const auto body = exchange(request(Op::kStats).take());
+  WireReader reader(body);
+  return reader.rest_as_text();
+}
+
+void Client::ping() { (void)exchange(request(Op::kPing).take()); }
+
+}  // namespace asrank::serve

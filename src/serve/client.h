@@ -1,0 +1,51 @@
+// Blocking client for the asrankd binary protocol, used by `asrank_cli
+// query`, the serving tests, and the CI smoke script.  One connection per
+// Client; every method is one request/response exchange and throws
+// ProtocolError on transport failures or server-reported errors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asn/asn.h"
+#include "snapshot/snapshot.h"
+#include "topology/relationship.h"
+
+namespace asrank::serve {
+
+class Client {
+ public:
+  /// Connect to an asrankd instance; throws ProtocolError on failure.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  [[nodiscard]] std::optional<RelView> relationship(Asn a, Asn b);
+  [[nodiscard]] std::optional<std::uint32_t> rank(Asn as);  ///< nullopt = unranked
+  [[nodiscard]] std::uint64_t cone_size(Asn as);
+  [[nodiscard]] std::vector<Asn> cone(Asn as);
+  [[nodiscard]] bool in_cone(Asn as, Asn member);
+  [[nodiscard]] std::vector<Asn> providers(Asn as);
+  [[nodiscard]] std::vector<Asn> customers(Asn as);
+  [[nodiscard]] std::vector<Asn> peers(Asn as);
+  [[nodiscard]] std::vector<snapshot::TopEntry> top(std::uint32_t n);
+  [[nodiscard]] std::vector<Asn> cone_intersection(Asn a, Asn b);
+  [[nodiscard]] std::vector<Asn> path_to_clique(Asn as);
+  [[nodiscard]] std::vector<Asn> clique();
+  [[nodiscard]] std::string stats_text();
+  void ping();
+
+ private:
+  [[nodiscard]] std::vector<std::uint8_t> exchange(
+      const std::vector<std::uint8_t>& request);
+
+  int fd_ = -1;
+};
+
+}  // namespace asrank::serve

@@ -1,0 +1,133 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+namespace asrank::serve {
+
+std::optional<RelView> rel_from_code(std::uint8_t code) noexcept {
+  if (code > static_cast<std::uint8_t>(RelView::kSibling)) return std::nullopt;
+  return static_cast<RelView>(code);
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void WireWriter::bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void WireWriter::text(std::string_view s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireReader::need(std::size_t n) const {
+  if (remaining() < n) {
+    throw ProtocolError("truncated payload: need " + std::to_string(n) +
+                        " bytes, have " + std::to_string(remaining()));
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  const std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                          static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+                          static_cast<std::uint32_t>(data_[pos_ + 2]) << 16 |
+                          static_cast<std::uint32_t>(data_[pos_ + 3]) << 24;
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  const std::uint64_t lo = u32();
+  return lo | static_cast<std::uint64_t>(u32()) << 32;
+}
+
+std::string WireReader::rest_as_text() {
+  std::string out(reinterpret_cast<const char*>(data_.data()) + pos_, remaining());
+  pos_ = data_.size();
+  return out;
+}
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* out = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r == 0) {
+      if (got == 0) return false;
+      throw ProtocolError("connection closed mid-message");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("read: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void write_all(int fd, const void* buf, std::size_t n) {
+  const auto* data = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::write(fd, data + sent, n - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("write: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+void write_frame(int fd, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxPayload) throw ProtocolError("payload too large");
+  // One coalesced write per frame: a separate small head write would
+  // interact with Nagle + delayed ACK and cost ~40ms per request.
+  std::vector<std::uint8_t> frame;
+  frame.reserve(5 + payload.size());
+  frame.push_back(kBinaryMarker);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  frame.push_back(static_cast<std::uint8_t>(len));
+  frame.push_back(static_cast<std::uint8_t>(len >> 8));
+  frame.push_back(static_cast<std::uint8_t>(len >> 16));
+  frame.push_back(static_cast<std::uint8_t>(len >> 24));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  write_all(fd, frame.data(), frame.size());
+}
+
+std::vector<std::uint8_t> read_frame_body(int fd) {
+  std::uint8_t lenbuf[4];
+  if (!read_exact(fd, lenbuf, sizeof lenbuf)) {
+    throw ProtocolError("connection closed before frame length");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(lenbuf[0]) |
+                            static_cast<std::uint32_t>(lenbuf[1]) << 8 |
+                            static_cast<std::uint32_t>(lenbuf[2]) << 16 |
+                            static_cast<std::uint32_t>(lenbuf[3]) << 24;
+  if (len > kMaxPayload) {
+    throw ProtocolError("frame length " + std::to_string(len) + " exceeds limit");
+  }
+  std::vector<std::uint8_t> payload(len);
+  if (len > 0 && !read_exact(fd, payload.data(), len)) {
+    throw ProtocolError("connection closed mid-frame");
+  }
+  return payload;
+}
+
+}  // namespace asrank::serve

@@ -1,0 +1,246 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <sstream>
+
+namespace asrank::serve {
+
+namespace {
+
+std::uint64_t pair_key(Asn a, Asn b) noexcept {
+  return static_cast<std::uint64_t>(a.value()) << 32 | b.value();
+}
+
+}  // namespace
+
+std::string_view to_string(QueryType type) noexcept {
+  switch (type) {
+    case QueryType::kRelationship: return "relationship";
+    case QueryType::kRank: return "rank";
+    case QueryType::kConeSize: return "cone_size";
+    case QueryType::kCone: return "cone";
+    case QueryType::kInCone: return "in_cone";
+    case QueryType::kNeighborSet: return "neighbor_set";
+    case QueryType::kTop: return "top";
+    case QueryType::kConeIntersect: return "cone_intersect";
+    case QueryType::kPathToClique: return "path_to_clique";
+    case QueryType::kClique: return "clique";
+    case QueryType::kStats: return "stats";
+    case QueryType::kPing: return "ping";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------------ LRU --
+
+std::optional<AsnList> QueryEngine::LruCache::get(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  order_.splice(order_.begin(), order_, it->second);
+  return it->second->second;
+}
+
+void QueryEngine::LruCache::put(std::uint64_t key, AsnList value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = std::move(value);
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.emplace_front(key, std::move(value));
+  map_.emplace(key, order_.begin());
+  if (map_.size() > capacity_) {
+    map_.erase(order_.back().first);
+    order_.pop_back();
+  }
+}
+
+// ---------------------------------------------------------------- timer --
+
+class QueryEngine::Timer {
+ public:
+  Timer(QueryEngine& engine, QueryType type) noexcept
+      : engine_(engine), type_(type), start_(std::chrono::steady_clock::now()) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() {
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    engine_.record(type_, static_cast<std::uint64_t>(micros), hit_);
+  }
+
+  void mark_cache_hit() noexcept { hit_ = true; }
+
+ private:
+  QueryEngine& engine_;
+  QueryType type_;
+  std::chrono::steady_clock::time_point start_;
+  bool hit_ = false;
+};
+
+void QueryEngine::record(QueryType type, std::uint64_t micros, bool cache_hit) {
+  auto& slot = stats_[static_cast<std::size_t>(type)];
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.total_micros.fetch_add(micros, std::memory_order_relaxed);
+  if (cache_hit) slot.cache_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- engine --
+
+QueryEngine::QueryEngine(snapshot::SnapshotIndex index, std::size_t cache_capacity)
+    : index_(std::move(index)),
+      cache_capacity_(cache_capacity),
+      intersect_cache_(cache_capacity),
+      path_cache_(cache_capacity) {}
+
+std::optional<RelView> QueryEngine::relationship(Asn a, Asn b) {
+  Timer timer(*this, QueryType::kRelationship);
+  return index_.relationship(a, b);
+}
+
+std::optional<std::uint32_t> QueryEngine::rank(Asn as) {
+  Timer timer(*this, QueryType::kRank);
+  return index_.rank(as);
+}
+
+std::size_t QueryEngine::cone_size(Asn as) {
+  Timer timer(*this, QueryType::kConeSize);
+  return index_.cone_size(as);
+}
+
+std::span<const Asn> QueryEngine::cone(Asn as) {
+  Timer timer(*this, QueryType::kCone);
+  return index_.cone(as);
+}
+
+bool QueryEngine::in_cone(Asn as, Asn member) {
+  Timer timer(*this, QueryType::kInCone);
+  return index_.in_cone(as, member);
+}
+
+std::vector<Asn> QueryEngine::providers(Asn as) {
+  Timer timer(*this, QueryType::kNeighborSet);
+  return index_.providers(as);
+}
+
+std::vector<Asn> QueryEngine::customers(Asn as) {
+  Timer timer(*this, QueryType::kNeighborSet);
+  return index_.customers(as);
+}
+
+std::vector<Asn> QueryEngine::peers(Asn as) {
+  Timer timer(*this, QueryType::kNeighborSet);
+  return index_.peers(as);
+}
+
+std::vector<snapshot::TopEntry> QueryEngine::top(std::size_t n) {
+  Timer timer(*this, QueryType::kTop);
+  return index_.top(n);
+}
+
+std::span<const Asn> QueryEngine::clique() {
+  Timer timer(*this, QueryType::kClique);
+  return index_.clique();
+}
+
+void QueryEngine::ping() { Timer timer(*this, QueryType::kPing); }
+
+AsnList QueryEngine::cone_intersection(Asn a, Asn b) {
+  Timer timer(*this, QueryType::kConeIntersect);
+  // Normalize so (a, b) and (b, a) share one cache entry.
+  if (b < a) std::swap(a, b);
+  const std::uint64_t key = pair_key(a, b);
+  if (auto cached = intersect_cache_.get(key)) {
+    timer.mark_cache_hit();
+    return *cached;
+  }
+  const auto cone_a = index_.cone(a);
+  const auto cone_b = index_.cone(b);
+  auto result = std::make_shared<std::vector<Asn>>();
+  std::set_intersection(cone_a.begin(), cone_a.end(), cone_b.begin(), cone_b.end(),
+                        std::back_inserter(*result));
+  AsnList shared = std::move(result);
+  intersect_cache_.put(key, shared);
+  return shared;
+}
+
+AsnList QueryEngine::path_to_clique(Asn as) {
+  Timer timer(*this, QueryType::kPathToClique);
+  const std::uint64_t key = pair_key(as, Asn());
+  if (auto cached = path_cache_.get(key)) {
+    timer.mark_cache_hit();
+    return *cached;
+  }
+
+  auto result = std::make_shared<std::vector<Asn>>();
+  if (index_.has_as(as)) {
+    const auto clique = index_.clique();
+    const auto in_clique = [&clique](Asn candidate) {
+      return std::binary_search(clique.begin(), clique.end(), candidate);
+    };
+    // BFS over provider links.  Frontier order is deterministic: providers()
+    // yields ascending ASNs and the queue preserves insertion order, so the
+    // first clique member found — and the parent chain behind it — is the
+    // same on every run.
+    std::unordered_map<Asn, Asn> parent;
+    std::deque<Asn> queue;
+    parent.emplace(as, Asn());
+    queue.push_back(as);
+    Asn found;
+    while (!queue.empty() && !found.valid()) {
+      const Asn current = queue.front();
+      queue.pop_front();
+      if (in_clique(current)) {
+        found = current;
+        break;
+      }
+      for (const Asn provider : index_.providers(current)) {
+        if (parent.emplace(provider, current).second) queue.push_back(provider);
+      }
+    }
+    if (found.valid()) {
+      for (Asn hop = found; hop.valid(); hop = parent.at(hop)) {
+        result->push_back(hop);
+      }
+      std::reverse(result->begin(), result->end());
+    }
+  }
+  AsnList shared = std::move(result);
+  path_cache_.put(key, shared);
+  return shared;
+}
+
+std::array<QueryStats, kQueryTypeCount> QueryEngine::stats() const {
+  std::array<QueryStats, kQueryTypeCount> out;
+  for (std::size_t i = 0; i < kQueryTypeCount; ++i) {
+    out[i].count = stats_[i].count.load(std::memory_order_relaxed);
+    out[i].cache_hits = stats_[i].cache_hits.load(std::memory_order_relaxed);
+    out[i].total_micros = stats_[i].total_micros.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void QueryEngine::record_stats_query() { record(QueryType::kStats, 0, false); }
+
+std::string QueryEngine::render_stats() const {
+  const auto snapshot = stats();
+  std::ostringstream os;
+  os << "query_type count cache_hits avg_micros\n";
+  for (std::size_t i = 0; i < kQueryTypeCount; ++i) {
+    const auto& s = snapshot[i];
+    const double avg = s.count == 0 ? 0.0
+                                    : static_cast<double>(s.total_micros) /
+                                          static_cast<double>(s.count);
+    os << to_string(static_cast<QueryType>(i)) << ' ' << s.count << ' '
+       << s.cache_hits << ' ' << avg << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace asrank::serve

@@ -1,0 +1,129 @@
+// Embeddable query layer over a frozen SnapshotIndex.
+//
+// The engine mirrors the index's accessors but adds the two things a
+// serving process needs: per-query-type latency/hit counters (exposed via
+// the STATS opcode and the serving bench) and an LRU cache for the derived
+// queries whose cost is data-dependent — cone intersection (O(|cone a| +
+// |cone b|)) and provider-path-to-clique (BFS).  All entry points are
+// thread-safe: the underlying index is immutable, counters are atomics, and
+// the caches take a short-critical-section mutex.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "snapshot/snapshot.h"
+
+namespace asrank::serve {
+
+/// Shared, immutable query result (cached values are handed out without
+/// copying the member vectors).
+using AsnList = std::shared_ptr<const std::vector<Asn>>;
+
+enum class QueryType : std::uint8_t {
+  kRelationship = 0,
+  kRank,
+  kConeSize,
+  kCone,
+  kInCone,
+  kNeighborSet,   ///< providers/customers/peers
+  kTop,
+  kConeIntersect,
+  kPathToClique,
+  kClique,
+  kStats,
+  kPing,
+};
+inline constexpr std::size_t kQueryTypeCount = 12;
+
+[[nodiscard]] std::string_view to_string(QueryType type) noexcept;
+
+struct QueryStats {
+  std::uint64_t count = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t total_micros = 0;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(snapshot::SnapshotIndex index, std::size_t cache_capacity = 4096);
+
+  [[nodiscard]] const snapshot::SnapshotIndex& index() const noexcept { return index_; }
+
+  // Direct lookups (O(1)/O(log n) against the index).
+  [[nodiscard]] std::optional<RelView> relationship(Asn a, Asn b);
+  [[nodiscard]] std::optional<std::uint32_t> rank(Asn as);
+  [[nodiscard]] std::size_t cone_size(Asn as);
+  [[nodiscard]] std::span<const Asn> cone(Asn as);
+  [[nodiscard]] bool in_cone(Asn as, Asn member);
+  [[nodiscard]] std::vector<Asn> providers(Asn as);
+  [[nodiscard]] std::vector<Asn> customers(Asn as);
+  [[nodiscard]] std::vector<Asn> peers(Asn as);
+  [[nodiscard]] std::vector<snapshot::TopEntry> top(std::size_t n);
+  [[nodiscard]] std::span<const Asn> clique();
+  void ping();
+
+  // Derived queries, LRU-cached.
+  /// Sorted intersection of two customer cones.
+  [[nodiscard]] AsnList cone_intersection(Asn a, Asn b);
+  /// Shortest provider-chain from `as` to any clique member (BFS over
+  /// provider links; ties broken toward lower ASNs, so the result is
+  /// deterministic).  First hop is `as`, last is the clique member; empty
+  /// when `as` is unknown or no provider path reaches the clique.
+  [[nodiscard]] AsnList path_to_clique(Asn as);
+
+  /// Counter snapshot, indexed by QueryType.
+  [[nodiscard]] std::array<QueryStats, kQueryTypeCount> stats() const;
+  void record_stats_query();  ///< count a kStats serve (rendering is external)
+
+  /// Human-readable stats table (also the STATS opcode's response body).
+  [[nodiscard]] std::string render_stats() const;
+
+  [[nodiscard]] std::size_t cache_capacity() const noexcept { return cache_capacity_; }
+
+ private:
+  /// One mutex-guarded LRU map from a packed (a, b) key to a shared list.
+  class LruCache {
+   public:
+    explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+    [[nodiscard]] std::optional<AsnList> get(std::uint64_t key);
+    void put(std::uint64_t key, AsnList value);
+
+   private:
+    std::size_t capacity_;
+    std::mutex mutex_;
+    std::list<std::pair<std::uint64_t, AsnList>> order_;  ///< front = most recent
+    std::unordered_map<std::uint64_t,
+                       std::list<std::pair<std::uint64_t, AsnList>>::iterator>
+        map_;
+  };
+
+  class Timer;  ///< RAII counter update (defined in the .cpp)
+
+  void record(QueryType type, std::uint64_t micros, bool cache_hit);
+
+  snapshot::SnapshotIndex index_;
+  std::size_t cache_capacity_;
+  LruCache intersect_cache_;
+  LruCache path_cache_;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> total_micros{0};
+  };
+  std::array<AtomicStats, kQueryTypeCount> stats_;
+};
+
+}  // namespace asrank::serve

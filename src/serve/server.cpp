@@ -1,0 +1,400 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "serve/protocol.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace asrank::serve {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw ProtocolError(what + ": " + std::strerror(errno));
+}
+
+void encode_list(WireWriter& writer, std::span<const Asn> list) {
+  writer.u32(static_cast<std::uint32_t>(list.size()));
+  for (const Asn as : list) writer.u32(as.value());
+}
+
+std::vector<std::uint8_t> error_response(const std::string& message) {
+  WireWriter writer;
+  writer.u8(static_cast<std::uint8_t>(Status::kError));
+  writer.text(message);
+  return writer.take();
+}
+
+std::string join_asns(std::span<const Asn> list) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << list[i].value();
+  }
+  return os.str();
+}
+
+/// The self-pipe write end for the signal handler (one server per process).
+std::atomic<int> g_signal_fd{-1};
+
+void on_signal(int) {
+  const int fd = g_signal_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 's';
+    // Best-effort: if the pipe is full a stop byte is already pending.
+    [[maybe_unused]] const auto n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------ request handlers --
+
+std::vector<std::uint8_t> handle_binary_request(QueryEngine& engine,
+                                                std::span<const std::uint8_t> payload) {
+  try {
+    WireReader reader(payload);
+    const auto op = static_cast<Op>(reader.u8());
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(Status::kOk));
+    switch (op) {
+      case Op::kRelationship: {
+        const Asn a(reader.u32()), b(reader.u32());
+        const auto view = engine.relationship(a, b);
+        writer.u8(view ? static_cast<std::uint8_t>(*view) : kRelNone);
+        break;
+      }
+      case Op::kRank: {
+        const Asn as(reader.u32());
+        writer.u32(engine.rank(as).value_or(0));
+        break;
+      }
+      case Op::kConeSize: {
+        const Asn as(reader.u32());
+        writer.u64(engine.cone_size(as));
+        break;
+      }
+      case Op::kCone: {
+        const Asn as(reader.u32());
+        encode_list(writer, engine.cone(as));
+        break;
+      }
+      case Op::kInCone: {
+        const Asn as(reader.u32()), member(reader.u32());
+        writer.u8(engine.in_cone(as, member) ? 1 : 0);
+        break;
+      }
+      case Op::kProviders: {
+        const Asn as(reader.u32());
+        encode_list(writer, engine.providers(as));
+        break;
+      }
+      case Op::kCustomers: {
+        const Asn as(reader.u32());
+        encode_list(writer, engine.customers(as));
+        break;
+      }
+      case Op::kPeers: {
+        const Asn as(reader.u32());
+        encode_list(writer, engine.peers(as));
+        break;
+      }
+      case Op::kTop: {
+        const std::uint32_t n = reader.u32();
+        const auto entries = engine.top(n);
+        writer.u32(static_cast<std::uint32_t>(entries.size()));
+        for (const auto& entry : entries) {
+          writer.u32(entry.rank);
+          writer.u32(entry.as.value());
+          writer.u64(entry.cone_size);
+          writer.u32(static_cast<std::uint32_t>(entry.transit_degree));
+        }
+        break;
+      }
+      case Op::kConeIntersect: {
+        const Asn a(reader.u32()), b(reader.u32());
+        encode_list(writer, *engine.cone_intersection(a, b));
+        break;
+      }
+      case Op::kPathToClique: {
+        const Asn as(reader.u32());
+        encode_list(writer, *engine.path_to_clique(as));
+        break;
+      }
+      case Op::kClique: {
+        encode_list(writer, engine.clique());
+        break;
+      }
+      case Op::kStats: {
+        engine.record_stats_query();
+        writer.text(engine.render_stats());
+        break;
+      }
+      case Op::kPing: {
+        engine.ping();
+        break;
+      }
+      default:
+        return error_response("unknown opcode " +
+                              std::to_string(static_cast<unsigned>(op)));
+    }
+    if (!reader.done()) return error_response("trailing bytes after request operands");
+    return writer.take();
+  } catch (const std::exception& error) {
+    return error_response(error.what());
+  }
+}
+
+std::string handle_text_request(QueryEngine& engine, std::string_view line) {
+  const auto tokens = util::split_ws(util::trim(line));
+  if (tokens.empty()) return "ERR empty command";
+  const auto cmd = util::to_lower(tokens[0]);
+
+  const auto arg_as = [&tokens](std::size_t i) -> std::optional<Asn> {
+    if (i >= tokens.size()) return std::nullopt;
+    return Asn::parse(tokens[i]);
+  };
+  const auto want_args = [&tokens](std::size_t n) { return tokens.size() == n + 1; };
+
+  try {
+    if (cmd == "ping") return "OK pong";
+    if (cmd == "help") {
+      return "OK commands: PING REL RANK CONESIZE CONE INCONE PROVIDERS "
+             "CUSTOMERS PEERS TOP INTERSECT CLIQUEPATH CLIQUE STATS HELP QUIT";
+    }
+    if (cmd == "rel") {
+      const auto a = arg_as(1), b = arg_as(2);
+      if (!want_args(2) || !a || !b) return "ERR usage: REL <asn> <asn>";
+      const auto view = engine.relationship(*a, *b);
+      return std::string("OK ") + (view ? std::string(to_string(*view)) : "none");
+    }
+    if (cmd == "rank") {
+      const auto as = arg_as(1);
+      if (!want_args(1) || !as) return "ERR usage: RANK <asn>";
+      return "OK " + std::to_string(engine.rank(*as).value_or(0));
+    }
+    if (cmd == "conesize") {
+      const auto as = arg_as(1);
+      if (!want_args(1) || !as) return "ERR usage: CONESIZE <asn>";
+      return "OK " + std::to_string(engine.cone_size(*as));
+    }
+    if (cmd == "cone") {
+      const auto as = arg_as(1);
+      if (!want_args(1) || !as) return "ERR usage: CONE <asn>";
+      return "OK " + join_asns(engine.cone(*as));
+    }
+    if (cmd == "incone") {
+      const auto a = arg_as(1), b = arg_as(2);
+      if (!want_args(2) || !a || !b) return "ERR usage: INCONE <asn> <member>";
+      return engine.in_cone(*a, *b) ? "OK yes" : "OK no";
+    }
+    if (cmd == "providers" || cmd == "customers" || cmd == "peers") {
+      const auto as = arg_as(1);
+      if (!want_args(1) || !as) return "ERR usage: " + util::to_lower(cmd) + " <asn>";
+      const auto list = cmd == "providers" ? engine.providers(*as)
+                        : cmd == "customers" ? engine.customers(*as)
+                                             : engine.peers(*as);
+      return "OK " + join_asns(list);
+    }
+    if (cmd == "top") {
+      if (!want_args(1)) return "ERR usage: TOP <n>";
+      const auto n = util::parse_unsigned<std::uint32_t>(tokens[1]);
+      if (!n) return "ERR usage: TOP <n>";
+      std::ostringstream os;
+      os << "OK";
+      for (const auto& entry : engine.top(*n)) {
+        os << ' ' << entry.rank << ':' << entry.as.value() << ':' << entry.cone_size
+           << ':' << entry.transit_degree;
+      }
+      return os.str();
+    }
+    if (cmd == "intersect") {
+      const auto a = arg_as(1), b = arg_as(2);
+      if (!want_args(2) || !a || !b) return "ERR usage: INTERSECT <asn> <asn>";
+      return "OK " + join_asns(*engine.cone_intersection(*a, *b));
+    }
+    if (cmd == "cliquepath") {
+      const auto as = arg_as(1);
+      if (!want_args(1) || !as) return "ERR usage: CLIQUEPATH <asn>";
+      return "OK " + join_asns(*engine.path_to_clique(*as));
+    }
+    if (cmd == "clique") return "OK " + join_asns(engine.clique());
+    if (cmd == "stats") {
+      engine.record_stats_query();
+      std::string out = "OK\n" + engine.render_stats() + ".";
+      return out;
+    }
+    return "ERR unknown command '" + std::string(tokens[0]) + "' (try HELP)";
+  } catch (const std::exception& error) {
+    return std::string("ERR ") + error.what();
+  }
+}
+
+// ---------------------------------------------------------------- server --
+
+Server::Server(QueryEngine& engine, ServerConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  config_.threads = std::max<std::size_t>(1, config_.threads);
+
+  if (::pipe(stop_pipe_) != 0) sys_fail("pipe");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) sys_fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw ProtocolError("bad listen address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    sys_fail("bind " + config_.host + ":" + std::to_string(config_.port));
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) sys_fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    sys_fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (const int fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+  if (g_signal_fd.load(std::memory_order_relaxed) == stop_pipe_[1]) {
+    g_signal_fd.store(-1, std::memory_order_relaxed);
+  }
+}
+
+void Server::install_signal_handlers() {
+  g_signal_fd.store(stop_pipe_[1], std::memory_order_relaxed);
+  struct sigaction action{};
+  action.sa_handler = on_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+void Server::stop() noexcept {
+  const char byte = 's';
+  [[maybe_unused]] const auto n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+void Server::run() {
+  running_.store(true, std::memory_order_release);
+  // Chunk 0 of the pool runs inline on this thread, which becomes the
+  // accept loop; chunks 1..threads are the connection workers.
+  util::ThreadPool pool(config_.threads + 1);
+  pool.for_chunks(config_.threads + 1, [this](std::size_t chunk, std::size_t, std::size_t) {
+    if (chunk == 0) {
+      accept_loop();
+    } else {
+      connection_worker();
+    }
+  });
+}
+
+void Server::accept_loop() {
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // stop requested
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (client < 0) continue;
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      connections_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      pending_.push_back(client);
+      queue_cv_.notify_one();
+    }
+  }
+
+  running_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (std::size_t i = 0; i < config_.threads; ++i) pending_.push_back(-1);
+  }
+  queue_cv_.notify_all();
+}
+
+void Server::connection_worker() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return !pending_.empty(); });
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    if (fd < 0) return;
+    try {
+      handle_connection(fd);
+    } catch (const std::exception&) {
+      // Per-connection failures (malformed framing, resets) must not take
+      // the worker down; the socket is simply closed.
+    }
+    ::close(fd);
+  }
+}
+
+void Server::handle_connection(int fd) {
+  while (true) {
+    // Interruptible first-byte wait so idle keep-alive connections do not
+    // pin workers past shutdown.
+    std::uint8_t first = 0;
+    while (true) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 200);
+      if (!running_.load(std::memory_order_acquire)) return;
+      if (ready < 0 && errno != EINTR) return;
+      if (ready > 0) break;
+    }
+    if (!read_exact(fd, &first, 1)) return;  // clean EOF between requests
+
+    if (first == kBinaryMarker) {
+      const auto request = read_frame_body(fd);
+      const auto response = handle_binary_request(engine_, request);
+      write_frame(fd, response);
+      continue;
+    }
+
+    // Text mode: `first` begins a newline-terminated command.
+    std::string line(1, static_cast<char>(first));
+    char c = 0;
+    while (read_exact(fd, &c, 1) && c != '\n') {
+      line.push_back(c);
+      if (line.size() > 4096) throw ProtocolError("text command too long");
+    }
+    const auto trimmed = util::trim(line);
+    if (util::iequals(trimmed, "quit") || util::iequals(trimmed, "exit")) return;
+    const std::string response = handle_text_request(engine_, line) + "\n";
+    write_all(fd, response.data(), response.size());
+  }
+}
+
+}  // namespace asrank::serve

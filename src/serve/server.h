@@ -1,0 +1,95 @@
+// asrankd — a small blocking-TCP daemon serving snapshot queries.
+//
+// Architecture: the listening socket is bound in the constructor (so
+// ephemeral port 0 works for tests), and run() drives one accept loop plus
+// `threads` connection workers on a util::ThreadPool — the accept loop runs
+// inline as chunk 0, accepted sockets flow to workers through a small
+// blocking queue, and each worker serves one connection at a time
+// (length-prefixed binary frames and/or newline text commands, see
+// protocol.h).  Shutdown is cooperative and signal-safe: stop() — or the
+// SIGINT/SIGTERM handler installed by install_signal_handlers() — writes to
+// a self-pipe, the accept loop drains, sentinels wake every worker, and
+// run() returns after all in-flight requests complete.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/query_engine.h"
+
+namespace asrank::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7464;     ///< 0 = kernel-assigned (see Server::port())
+  std::size_t threads = 4;       ///< connection workers (>= 1)
+  int backlog = 64;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately; throws ProtocolError on failure.  The
+  /// engine must outlive the server.
+  Server(QueryEngine& engine, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The actually-bound port (resolves config.port == 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Serve until stop() (or a handled signal) is observed.  Blocking.
+  void run();
+
+  /// Request shutdown.  Thread-safe, idempotent, and safe to call before or
+  /// during run().
+  void stop() noexcept;
+
+  /// Route SIGINT/SIGTERM to this server's stop() via a self-pipe write
+  /// (async-signal-safe).  Only one server per process may install.
+  void install_signal_handlers();
+
+  /// Connections accepted so far (for tests and the daemon's exit log).
+  [[nodiscard]] std::uint64_t connections_served() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void connection_worker();
+  void handle_connection(int fd);
+
+  QueryEngine& engine_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> connections_{0};
+
+  // Accepted sockets awaiting a worker; -1 is the shutdown sentinel.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+};
+
+/// Decode and execute one binary request payload; always returns a response
+/// payload (status byte first), never throws for malformed requests.
+[[nodiscard]] std::vector<std::uint8_t> handle_binary_request(
+    QueryEngine& engine, std::span<const std::uint8_t> payload);
+
+/// Execute one text-mode command line; returns the full response text
+/// (possibly multi-line for STATS, "."-terminated), without trailing
+/// newline.  QUIT is the caller's business (it closes the connection).
+[[nodiscard]] std::string handle_text_request(QueryEngine& engine,
+                                              std::string_view line);
+
+}  // namespace asrank::serve

@@ -1,0 +1,60 @@
+// ASRK1 on-disk layout constants (see docs/FORMATS.md for the normative
+// description).  A snapshot file is:
+//
+//   [ magic (8) | version u16 | section_count u16 | flags u32 | file_size u64 ]
+//   [ section table: section_count * 32-byte entries ]
+//   [ header_crc u32 ]
+//   [ sections, each 8-byte aligned, zero padding between ]
+//
+// All integers are little-endian and fixed-width.  Every section carries its
+// own CRC-32 in the table entry, and the header (magic through section
+// table) is covered by header_crc, so truncation or bit damage anywhere in
+// the file is detected before any value is trusted.  The trailing "\r\n" in
+// the magic catches text-mode transfer mangling (the PNG trick).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace asrank::snapshot {
+
+/// Raised for any malformed, truncated, or checksum-failing snapshot.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error("snapshot: " + what) {}
+};
+
+inline constexpr std::array<std::uint8_t, 8> kMagic = {'A', 'S', 'R', 'K',
+                                                       '1', 0, '\r', '\n'};
+inline constexpr std::uint16_t kFormatVersion = 1;
+
+/// Fixed header prefix: magic + version + section_count + flags + file_size.
+inline constexpr std::size_t kHeaderPrefixSize = 8 + 2 + 2 + 4 + 8;
+/// One section-table entry: id u32, reserved u32, offset u64, length u64,
+/// crc u32, pad u32.
+inline constexpr std::size_t kSectionEntrySize = 32;
+/// Sections start on 8-byte boundaries.
+inline constexpr std::size_t kSectionAlign = 8;
+
+/// Section identifiers.  Readers reject files missing a required section
+/// and ignore unknown ids (forward compatibility for additive sections).
+enum class SectionId : std::uint32_t {
+  kAsns = 1,            ///< n * u32 ASN, sorted ascending, unique
+  kAdjOffsets = 2,      ///< (n+1) * u64 offsets into the adjacency arrays
+  kAdjNeighbors = 3,    ///< per-AS neighbour ASNs, sorted ascending in-row
+  kAdjRels = 4,         ///< per-neighbour RelView code (u8, values 0..3)
+  kConeOffsets = 5,     ///< (n+1) * u64 offsets into cone members
+  kConeMembers = 6,     ///< cone member ASNs, sorted ascending in-row
+  kRanks = 7,           ///< n * u32 1-based rank (0 = unranked)
+  kTransitDegrees = 8,  ///< n * u32
+  kClique = 9,          ///< clique member ASNs, sorted ascending
+};
+
+/// Number of sections a version-1 writer emits (readers accept more).
+inline constexpr std::size_t kSectionCount = 9;
+
+}  // namespace asrank::snapshot

@@ -1,0 +1,538 @@
+#include "snapshot/snapshot.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <iterator>
+#include <ostream>
+
+#include "util/crc32.h"
+
+namespace asrank::snapshot {
+
+namespace {
+
+// ----------------------------------------------------------- LE encoding --
+// The format is explicitly little-endian regardless of host byte order, so
+// all widths go through these helpers rather than memcpy of host integers.
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v));
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Bounds-checked little-endian cursor; underruns throw SnapshotError.
+class Cursor {
+ public:
+  Cursor(std::span<const std::uint8_t> data, std::string context)
+      : data_(data), context_(std::move(context)) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                            static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    return lo | static_cast<std::uint32_t>(u16()) << 16;
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | static_cast<std::uint64_t>(u32()) << 32;
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) {
+      throw SnapshotError("truncated " + context_ + ": need " + std::to_string(n) +
+                          " bytes, have " + std::to_string(remaining()));
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::string context_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::uint8_t> encode_u32s(std::span<const std::uint32_t> values) {
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size() * 4);
+  for (const std::uint32_t v : values) put_u32(out, v);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_asns(std::span<const Asn> values) {
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size() * 4);
+  for (const Asn v : values) put_u32(out, v.value());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_u64s(std::span<const std::uint64_t> values) {
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size() * 8);
+  for (const std::uint64_t v : values) put_u64(out, v);
+  return out;
+}
+
+std::vector<std::uint32_t> decode_u32s(std::span<const std::uint8_t> bytes,
+                                       const char* what) {
+  if (bytes.size() % 4 != 0) {
+    throw SnapshotError(std::string(what) + ": length not a multiple of 4");
+  }
+  Cursor cursor(bytes, what);
+  std::vector<std::uint32_t> out(bytes.size() / 4);
+  for (auto& v : out) v = cursor.u32();
+  return out;
+}
+
+std::vector<Asn> decode_asns(std::span<const std::uint8_t> bytes, const char* what) {
+  const auto raw = decode_u32s(bytes, what);
+  std::vector<Asn> out;
+  out.reserve(raw.size());
+  for (const std::uint32_t v : raw) out.emplace_back(v);
+  return out;
+}
+
+std::vector<std::uint64_t> decode_u64s(std::span<const std::uint8_t> bytes,
+                                       const char* what) {
+  if (bytes.size() % 8 != 0) {
+    throw SnapshotError(std::string(what) + ": length not a multiple of 8");
+  }
+  Cursor cursor(bytes, what);
+  std::vector<std::uint64_t> out(bytes.size() / 8);
+  for (auto& v : out) v = cursor.u64();
+  return out;
+}
+
+constexpr RelView inverse(RelView view) noexcept {
+  switch (view) {
+    case RelView::kProvider: return RelView::kCustomer;
+    case RelView::kCustomer: return RelView::kProvider;
+    case RelView::kPeer: return RelView::kPeer;
+    case RelView::kSibling: return RelView::kSibling;
+  }
+  return RelView::kPeer;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- accessors --
+
+std::optional<std::uint32_t> SnapshotIndex::id_of(Asn as) const noexcept {
+  const auto it = std::lower_bound(asns_.begin(), asns_.end(), as);
+  if (it == asns_.end() || *it != as) return std::nullopt;
+  return static_cast<std::uint32_t>(it - asns_.begin());
+}
+
+std::optional<RelView> SnapshotIndex::relationship(Asn as, Asn neighbor) const noexcept {
+  const auto id = id_of(as);
+  if (!id) return std::nullopt;
+  const auto begin = adj_nbr_.begin() + static_cast<std::ptrdiff_t>(adj_off_[*id]);
+  const auto end = adj_nbr_.begin() + static_cast<std::ptrdiff_t>(adj_off_[*id + 1]);
+  const auto it = std::lower_bound(begin, end, neighbor);
+  if (it == end || *it != neighbor) return std::nullopt;
+  return static_cast<RelView>(adj_rel_[static_cast<std::size_t>(it - adj_nbr_.begin())]);
+}
+
+std::span<const Asn> SnapshotIndex::neighbors(Asn as) const noexcept {
+  const auto id = id_of(as);
+  if (!id) return {};
+  return std::span<const Asn>(adj_nbr_).subspan(adj_off_[*id],
+                                                adj_off_[*id + 1] - adj_off_[*id]);
+}
+
+std::vector<Asn> SnapshotIndex::filter(Asn as, RelView want) const {
+  std::vector<Asn> out;
+  const auto id = id_of(as);
+  if (!id) return out;
+  for (std::uint64_t i = adj_off_[*id]; i < adj_off_[*id + 1]; ++i) {
+    if (static_cast<RelView>(adj_rel_[i]) == want) out.push_back(adj_nbr_[i]);
+  }
+  return out;
+}
+
+std::optional<std::uint32_t> SnapshotIndex::rank(Asn as) const noexcept {
+  const auto id = id_of(as);
+  if (!id || rank_[*id] == 0) return std::nullopt;
+  return rank_[*id];
+}
+
+std::optional<Asn> SnapshotIndex::as_at_rank(std::uint32_t rank) const noexcept {
+  if (rank == 0 || rank > by_rank_.size()) return std::nullopt;
+  return asns_[by_rank_[rank - 1]];
+}
+
+std::vector<TopEntry> SnapshotIndex::top(std::size_t n) const {
+  std::vector<TopEntry> out;
+  out.reserve(std::min(n, by_rank_.size()));
+  for (std::size_t r = 0; r < by_rank_.size() && r < n; ++r) {
+    const std::uint32_t id = by_rank_[r];
+    out.push_back({static_cast<std::uint32_t>(r + 1), asns_[id],
+                   static_cast<std::size_t>(cone_off_[id + 1] - cone_off_[id]),
+                   tdeg_[id]});
+  }
+  return out;
+}
+
+std::span<const Asn> SnapshotIndex::cone(Asn as) const noexcept {
+  const auto id = id_of(as);
+  if (!id) return {};
+  return std::span<const Asn>(cone_mem_).subspan(cone_off_[*id],
+                                                 cone_off_[*id + 1] - cone_off_[*id]);
+}
+
+bool SnapshotIndex::in_cone(Asn as, Asn member) const noexcept {
+  const auto members = cone(as);
+  return std::binary_search(members.begin(), members.end(), member);
+}
+
+std::uint32_t SnapshotIndex::transit_degree(Asn as) const noexcept {
+  const auto id = id_of(as);
+  return id ? tdeg_[*id] : 0;
+}
+
+// ------------------------------------------------------------ validation --
+
+void SnapshotIndex::finalize_and_validate() {
+  const std::size_t n = asns_.size();
+  const auto fail = [](const std::string& what) -> void { throw SnapshotError(what); };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!asns_[i].valid()) fail("invalid AS0 in AS table");
+    if (i > 0 && !(asns_[i - 1] < asns_[i])) fail("AS table not strictly ascending");
+  }
+  if (adj_off_.size() != n + 1 || cone_off_.size() != n + 1) {
+    fail("offset table size does not match AS count");
+  }
+  if (rank_.size() != n || tdeg_.size() != n) {
+    fail("rank/degree table size does not match AS count");
+  }
+  if (adj_nbr_.size() != adj_rel_.size()) fail("adjacency arrays disagree in length");
+  if (!adj_off_.empty() && adj_off_.front() != 0) fail("adjacency offsets must start at 0");
+  if (!cone_off_.empty() && cone_off_.front() != 0) fail("cone offsets must start at 0");
+  if (n == 0) {
+    if (!adj_nbr_.empty() || !cone_mem_.empty() || !clique_.empty()) {
+      fail("payload without AS table");
+    }
+  } else {
+    if (adj_off_.back() != adj_nbr_.size()) fail("adjacency offsets do not cover array");
+    if (cone_off_.back() != cone_mem_.size()) fail("cone offsets do not cover array");
+  }
+  if (adj_nbr_.size() % 2 != 0) fail("odd adjacency entry count (links are symmetric)");
+  link_count_ = adj_nbr_.size() / 2;
+
+  // Offsets must be fully in-bounds before any row is dereferenced: the
+  // symmetry check below binary-searches *other* rows.
+  for (std::size_t id = 0; id < n; ++id) {
+    if (adj_off_[id] > adj_off_[id + 1]) fail("adjacency offsets not monotone");
+    if (cone_off_[id] > cone_off_[id + 1]) fail("cone offsets not monotone");
+  }
+
+  for (std::size_t id = 0; id < n; ++id) {
+    for (std::uint64_t i = adj_off_[id]; i < adj_off_[id + 1]; ++i) {
+      if (adj_rel_[i] > static_cast<std::uint8_t>(RelView::kSibling)) {
+        fail("unknown relationship code in adjacency");
+      }
+      if (adj_nbr_[i] == asns_[id]) fail("self-link in adjacency");
+      if (i > adj_off_[id] && !(adj_nbr_[i - 1] < adj_nbr_[i])) {
+        fail("adjacency row not strictly ascending");
+      }
+      // Symmetry: the neighbour must list us back with the inverse view.
+      const auto back = relationship(adj_nbr_[i], asns_[id]);
+      if (!back || *back != inverse(static_cast<RelView>(adj_rel_[i]))) {
+        fail("asymmetric adjacency entry");
+      }
+    }
+    const std::uint64_t cone_begin = cone_off_[id];
+    const std::uint64_t cone_end = cone_off_[id + 1];
+    bool has_self = cone_end == cone_begin;  // empty cone = AS not covered
+    for (std::uint64_t i = cone_begin; i < cone_end; ++i) {
+      if (!id_of(cone_mem_[i])) fail("cone member is not a known AS");
+      if (i > cone_begin && !(cone_mem_[i - 1] < cone_mem_[i])) {
+        fail("cone row not strictly ascending");
+      }
+      has_self = has_self || cone_mem_[i] == asns_[id];
+    }
+    if (!has_self) fail("cone does not contain its own AS");
+  }
+
+  // Ranks must be unique and contiguous from 1 (0 marks unranked ASes).
+  by_rank_.clear();
+  std::size_t ranked = 0;
+  for (std::size_t id = 0; id < n; ++id) {
+    if (rank_[id] != 0) ++ranked;
+  }
+  by_rank_.assign(ranked, 0);
+  std::vector<bool> seen(ranked, false);
+  for (std::size_t id = 0; id < n; ++id) {
+    const std::uint32_t r = rank_[id];
+    if (r == 0) continue;
+    if (r > ranked || seen[r - 1]) fail("rank values not unique and contiguous");
+    seen[r - 1] = true;
+    by_rank_[r - 1] = static_cast<std::uint32_t>(id);
+  }
+
+  for (std::size_t i = 0; i < clique_.size(); ++i) {
+    if (!id_of(clique_[i])) fail("clique member is not a known AS");
+    if (i > 0 && !(clique_[i - 1] < clique_[i])) fail("clique not strictly ascending");
+  }
+}
+
+// --------------------------------------------------------------- builder --
+
+SnapshotIndex build_snapshot(const AsGraph& graph,
+                             const std::unordered_map<Asn, std::size_t>& transit_degrees,
+                             const ConeMap& cones, const std::vector<Asn>& clique) {
+  SnapshotIndex index;
+  index.asns_ = graph.ases();
+  std::sort(index.asns_.begin(), index.asns_.end());
+  const std::size_t n = index.asns_.size();
+
+  index.adj_off_.assign(n + 1, 0);
+  index.cone_off_.assign(n + 1, 0);
+  index.rank_.assign(n, 0);
+  index.tdeg_.assign(n, 0);
+
+  struct Neighbor {
+    Asn as;
+    RelView view;
+  };
+  std::vector<Neighbor> row;
+  for (std::size_t id = 0; id < n; ++id) {
+    const Asn as = index.asns_[id];
+    row.clear();
+    for (const Asn p : graph.providers(as)) row.push_back({p, RelView::kProvider});
+    for (const Asn c : graph.customers(as)) row.push_back({c, RelView::kCustomer});
+    for (const Asn p : graph.peers(as)) row.push_back({p, RelView::kPeer});
+    for (const Asn s : graph.siblings(as)) row.push_back({s, RelView::kSibling});
+    std::sort(row.begin(), row.end(),
+              [](const Neighbor& a, const Neighbor& b) { return a.as < b.as; });
+    for (const Neighbor& neighbor : row) {
+      index.adj_nbr_.push_back(neighbor.as);
+      index.adj_rel_.push_back(static_cast<std::uint8_t>(neighbor.view));
+    }
+    index.adj_off_[id + 1] = index.adj_nbr_.size();
+
+    const auto cone_it = cones.find(as);
+    if (cone_it != cones.end()) {
+      std::vector<Asn> members = cone_it->second;
+      std::sort(members.begin(), members.end());
+      members.erase(std::unique(members.begin(), members.end()), members.end());
+      index.cone_mem_.insert(index.cone_mem_.end(), members.begin(), members.end());
+    }
+    index.cone_off_[id + 1] = index.cone_mem_.size();
+
+    const auto deg_it = transit_degrees.find(as);
+    if (deg_it != transit_degrees.end()) {
+      index.tdeg_[id] = static_cast<std::uint32_t>(deg_it->second);
+    }
+  }
+
+  for (const auto& [as, members] : cones) {
+    if (!graph.has_as(as)) {
+      throw SnapshotError("cone key AS" + as.str() + " is not in the graph");
+    }
+    (void)members;
+  }
+
+  // Freeze the ranking with the pipeline's exact order: cone size desc,
+  // transit degree desc, ASN asc (core::rank_by_cone).  Only cone-covered
+  // ASes are ranked; the rest keep rank 0.
+  std::vector<std::uint32_t> ranked_ids;
+  for (std::uint32_t id = 0; id < n; ++id) {
+    if (cones.contains(index.asns_[id])) ranked_ids.push_back(id);
+  }
+  std::sort(ranked_ids.begin(), ranked_ids.end(),
+            [&index](std::uint32_t a, std::uint32_t b) {
+              const auto cone_a = index.cone_off_[a + 1] - index.cone_off_[a];
+              const auto cone_b = index.cone_off_[b + 1] - index.cone_off_[b];
+              if (cone_a != cone_b) return cone_a > cone_b;
+              if (index.tdeg_[a] != index.tdeg_[b]) return index.tdeg_[a] > index.tdeg_[b];
+              return index.asns_[a] < index.asns_[b];
+            });
+  for (std::size_t r = 0; r < ranked_ids.size(); ++r) {
+    index.rank_[ranked_ids[r]] = static_cast<std::uint32_t>(r + 1);
+  }
+
+  index.clique_ = clique;
+  std::sort(index.clique_.begin(), index.clique_.end());
+  index.clique_.erase(std::unique(index.clique_.begin(), index.clique_.end()),
+                      index.clique_.end());
+
+  index.finalize_and_validate();
+  return index;
+}
+
+SnapshotIndex build_snapshot(const AsGraph& graph, const core::Degrees& degrees,
+                             const ConeMap& cones, const std::vector<Asn>& clique) {
+  std::unordered_map<Asn, std::size_t> transit;
+  for (const Asn as : graph.ases()) transit[as] = degrees.transit_degree(as);
+  return build_snapshot(graph, transit, cones, clique);
+}
+
+// -------------------------------------------------------------------- IO --
+
+void write_snapshot(const SnapshotIndex& index, std::ostream& os) {
+  struct Section {
+    SectionId id;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<Section> sections;
+  sections.push_back({SectionId::kAsns, encode_asns(index.asns_)});
+  sections.push_back({SectionId::kAdjOffsets, encode_u64s(index.adj_off_)});
+  sections.push_back({SectionId::kAdjNeighbors, encode_asns(index.adj_nbr_)});
+  sections.push_back({SectionId::kAdjRels, index.adj_rel_});
+  sections.push_back({SectionId::kConeOffsets, encode_u64s(index.cone_off_)});
+  sections.push_back({SectionId::kConeMembers, encode_asns(index.cone_mem_)});
+  sections.push_back({SectionId::kRanks, encode_u32s(index.rank_)});
+  sections.push_back({SectionId::kTransitDegrees, encode_u32s(index.tdeg_)});
+  sections.push_back({SectionId::kClique, encode_asns(index.clique_)});
+
+  const std::size_t header_size =
+      kHeaderPrefixSize + sections.size() * kSectionEntrySize + 4;
+
+  // Lay out sections after the header, 8-byte aligned.
+  std::vector<std::uint64_t> offsets(sections.size());
+  std::uint64_t cursor = header_size;
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    cursor = (cursor + (kSectionAlign - 1)) & ~static_cast<std::uint64_t>(kSectionAlign - 1);
+    offsets[i] = cursor;
+    cursor += sections[i].payload.size();
+  }
+  const std::uint64_t file_size = cursor;
+
+  std::vector<std::uint8_t> header;
+  header.reserve(header_size);
+  header.insert(header.end(), kMagic.begin(), kMagic.end());
+  put_u16(header, kFormatVersion);
+  put_u16(header, static_cast<std::uint16_t>(sections.size()));
+  put_u32(header, 0);  // flags
+  put_u64(header, file_size);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    put_u32(header, static_cast<std::uint32_t>(sections[i].id));
+    put_u32(header, 0);  // reserved
+    put_u64(header, offsets[i]);
+    put_u64(header, sections[i].payload.size());
+    put_u32(header, util::crc32(sections[i].payload));
+    put_u32(header, 0);  // pad
+  }
+  put_u32(header, util::crc32(header));
+
+  std::vector<std::uint8_t> file(file_size, 0);
+  std::copy(header.begin(), header.end(), file.begin());
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    std::copy(sections[i].payload.begin(), sections[i].payload.end(),
+              file.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+  }
+  os.write(reinterpret_cast<const char*>(file.data()),
+           static_cast<std::streamsize>(file.size()));
+  if (!os) throw SnapshotError("write failed");
+}
+
+SnapshotIndex read_snapshot(std::istream& is) {
+  std::vector<std::uint8_t> data{std::istreambuf_iterator<char>(is),
+                                 std::istreambuf_iterator<char>()};
+
+  if (data.size() < kHeaderPrefixSize) throw SnapshotError("file shorter than header");
+  if (!std::equal(kMagic.begin(), kMagic.end(), data.begin())) {
+    throw SnapshotError("bad magic (not an ASRK snapshot, or text-mode mangled)");
+  }
+  Cursor prefix{std::span(data).subspan(8, kHeaderPrefixSize - 8), "header"};
+  const std::uint16_t version = prefix.u16();
+  if (version != kFormatVersion) {
+    throw SnapshotError("unsupported format version " + std::to_string(version));
+  }
+  const std::uint16_t section_count = prefix.u16();
+  (void)prefix.u32();  // flags
+  const std::uint64_t file_size = prefix.u64();
+  if (file_size != data.size()) {
+    throw SnapshotError("file size mismatch: header says " + std::to_string(file_size) +
+                        ", have " + std::to_string(data.size()) + " bytes (truncated?)");
+  }
+  const std::size_t header_size =
+      kHeaderPrefixSize + static_cast<std::size_t>(section_count) * kSectionEntrySize + 4;
+  if (data.size() < header_size) throw SnapshotError("truncated section table");
+
+  const auto header_span = std::span(data).first(header_size - 4);
+  Cursor crc_cursor{std::span(data).subspan(header_size - 4, 4), "header crc"};
+  if (crc_cursor.u32() != util::crc32(header_span)) {
+    throw SnapshotError("header CRC mismatch");
+  }
+
+  std::unordered_map<std::uint32_t, std::span<const std::uint8_t>> section_bytes;
+  Cursor table{std::span(data).subspan(kHeaderPrefixSize,
+                                      static_cast<std::size_t>(section_count) *
+                                          kSectionEntrySize),
+               "section table"};
+  for (std::uint16_t i = 0; i < section_count; ++i) {
+    const std::uint32_t id = table.u32();
+    (void)table.u32();  // reserved
+    const std::uint64_t offset = table.u64();
+    const std::uint64_t length = table.u64();
+    const std::uint32_t crc = table.u32();
+    (void)table.u32();  // pad
+    if (offset < header_size || offset > data.size() || length > data.size() - offset) {
+      throw SnapshotError("section " + std::to_string(id) + " out of bounds");
+    }
+    const auto payload = std::span(data).subspan(offset, length);
+    if (util::crc32(payload) != crc) {
+      throw SnapshotError("section " + std::to_string(id) + " CRC mismatch");
+    }
+    if (!section_bytes.emplace(id, payload).second) {
+      throw SnapshotError("duplicate section " + std::to_string(id));
+    }
+  }
+
+  const auto require = [&](SectionId id) -> std::span<const std::uint8_t> {
+    const auto it = section_bytes.find(static_cast<std::uint32_t>(id));
+    if (it == section_bytes.end()) {
+      throw SnapshotError("missing section " +
+                          std::to_string(static_cast<std::uint32_t>(id)));
+    }
+    return it->second;
+  };
+
+  SnapshotIndex index;
+  index.asns_ = decode_asns(require(SectionId::kAsns), "AS table");
+  index.adj_off_ = decode_u64s(require(SectionId::kAdjOffsets), "adjacency offsets");
+  index.adj_nbr_ = decode_asns(require(SectionId::kAdjNeighbors), "adjacency neighbours");
+  const auto rels = require(SectionId::kAdjRels);
+  index.adj_rel_.assign(rels.begin(), rels.end());
+  index.cone_off_ = decode_u64s(require(SectionId::kConeOffsets), "cone offsets");
+  index.cone_mem_ = decode_asns(require(SectionId::kConeMembers), "cone members");
+  index.rank_ = decode_u32s(require(SectionId::kRanks), "ranks");
+  index.tdeg_ = decode_u32s(require(SectionId::kTransitDegrees), "transit degrees");
+  index.clique_ = decode_asns(require(SectionId::kClique), "clique");
+
+  index.finalize_and_validate();
+  return index;
+}
+
+void write_snapshot_file(const SnapshotIndex& index, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw SnapshotError("cannot open for writing: " + path);
+  write_snapshot(index, out);
+}
+
+SnapshotIndex read_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError("cannot open for reading: " + path);
+  return read_snapshot(in);
+}
+
+}  // namespace asrank::snapshot

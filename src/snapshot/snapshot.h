@@ -1,0 +1,149 @@
+// Versioned, checksummed binary snapshot of one inference run.
+//
+// A snapshot freezes the batch pipeline's outputs — annotated links, transit
+// degrees, AS ranks, the clique, and flattened customer cones — into a
+// single read-optimized artifact ("ASRK1", see format.h) that loads in one
+// pass and answers lookups at interactive latency.  This is the substrate
+// the serving layer (src/serve) and every future scaling direction
+// (sharding, replication, multi-snapshot evolution queries) builds on.
+//
+// Design:
+//   * CSR-style adjacency: one offsets array plus flat neighbour/relation
+//     arrays, neighbours sorted per row, so a relationship lookup is a
+//     binary search and neighbour-set queries are contiguous scans.
+//   * Cones flattened the same way: offset+span into one sorted member
+//     array; membership tests are O(log |cone|).
+//   * Byte-for-byte deterministic: identical inputs produce identical files
+//     (no timestamps, no pointers, fixed little-endian widths).
+//   * Fail-loud: every section is CRC-checked and every structural
+//     invariant re-validated on read, so corrupt or truncated files raise
+//     SnapshotError instead of serving wrong answers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.h"
+#include "core/degrees.h"
+#include "snapshot/format.h"
+#include "topology/as_graph.h"
+#include "topology/serialization.h"
+
+namespace asrank::snapshot {
+
+/// One row of the frozen ranking (mirrors core::RankEntry).
+struct TopEntry {
+  std::uint32_t rank = 0;  ///< 1-based
+  Asn as;
+  std::size_t cone_size = 0;
+  std::size_t transit_degree = 0;
+
+  friend bool operator==(const TopEntry&, const TopEntry&) = default;
+};
+
+/// Immutable read-optimized view over one frozen inference run.  All
+/// accessors are const and safe to call concurrently.
+class SnapshotIndex {
+ public:
+  [[nodiscard]] std::size_t as_count() const noexcept { return asns_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return link_count_; }
+  [[nodiscard]] bool has_as(Asn as) const noexcept { return id_of(as).has_value(); }
+
+  /// All ASes, sorted ascending.
+  [[nodiscard]] std::span<const Asn> ases() const noexcept { return asns_; }
+
+  /// Relationship of `neighbor` from `as`'s perspective (O(log degree)).
+  [[nodiscard]] std::optional<RelView> relationship(Asn as, Asn neighbor) const noexcept;
+
+  /// All neighbours of `as`, sorted ascending (empty span if unknown).
+  [[nodiscard]] std::span<const Asn> neighbors(Asn as) const noexcept;
+
+  [[nodiscard]] std::vector<Asn> providers(Asn as) const { return filter(as, RelView::kProvider); }
+  [[nodiscard]] std::vector<Asn> customers(Asn as) const { return filter(as, RelView::kCustomer); }
+  [[nodiscard]] std::vector<Asn> peers(Asn as) const { return filter(as, RelView::kPeer); }
+  [[nodiscard]] std::vector<Asn> siblings(Asn as) const { return filter(as, RelView::kSibling); }
+
+  /// 1-based rank, or nullopt for ASes the ranking did not cover.
+  [[nodiscard]] std::optional<std::uint32_t> rank(Asn as) const noexcept;
+
+  /// The AS holding 1-based rank `rank`, if any.
+  [[nodiscard]] std::optional<Asn> as_at_rank(std::uint32_t rank) const noexcept;
+
+  /// Top `n` entries in rank order.
+  [[nodiscard]] std::vector<TopEntry> top(std::size_t n) const;
+
+  /// Customer cone members (sorted ascending; empty if unknown/uncovered).
+  [[nodiscard]] std::span<const Asn> cone(Asn as) const noexcept;
+  [[nodiscard]] std::size_t cone_size(Asn as) const noexcept { return cone(as).size(); }
+
+  /// O(log |cone|) membership test.
+  [[nodiscard]] bool in_cone(Asn as, Asn member) const noexcept;
+
+  [[nodiscard]] std::uint32_t transit_degree(Asn as) const noexcept;
+
+  /// Clique members, sorted ascending.
+  [[nodiscard]] std::span<const Asn> clique() const noexcept { return clique_; }
+
+ private:
+  friend SnapshotIndex build_snapshot(const AsGraph&,
+                                      const std::unordered_map<Asn, std::size_t>&,
+                                      const ConeMap&, const std::vector<Asn>&);
+  friend SnapshotIndex read_snapshot(std::istream&);
+  friend void write_snapshot(const SnapshotIndex&, std::ostream&);
+
+  [[nodiscard]] std::optional<std::uint32_t> id_of(Asn as) const noexcept;
+  [[nodiscard]] std::vector<Asn> filter(Asn as, RelView want) const;
+
+  /// Re-derive by_rank_/link_count_ and check every structural invariant;
+  /// throws SnapshotError naming the violated invariant.  Shared by the
+  /// builder and the reader so corrupt-but-CRC-valid data also fails loudly.
+  void finalize_and_validate();
+
+  std::vector<Asn> asns_;                 ///< sorted ascending; index = id
+  std::vector<std::uint64_t> adj_off_;    ///< n+1
+  std::vector<Asn> adj_nbr_;              ///< sorted ascending per row
+  std::vector<std::uint8_t> adj_rel_;     ///< RelView codes, parallel to adj_nbr_
+  std::vector<std::uint64_t> cone_off_;   ///< n+1
+  std::vector<Asn> cone_mem_;             ///< sorted ascending per row
+  std::vector<std::uint32_t> rank_;       ///< 1-based; 0 = unranked
+  std::vector<std::uint32_t> tdeg_;
+  std::vector<Asn> clique_;               ///< sorted ascending
+
+  // Derived (not serialized).
+  std::vector<std::uint32_t> by_rank_;    ///< by_rank_[r-1] = id with rank r
+  std::size_t link_count_ = 0;
+};
+
+/// Freeze one inference run.  `transit_degrees` may omit ASes (treated as
+/// 0); every cone key and clique member must be an AS of `graph`, and every
+/// cone must contain its own AS — violations throw SnapshotError.
+[[nodiscard]] SnapshotIndex build_snapshot(
+    const AsGraph& graph, const std::unordered_map<Asn, std::size_t>& transit_degrees,
+    const ConeMap& cones, const std::vector<Asn>& clique);
+
+/// Convenience overload over the pipeline's Degrees ranking.
+[[nodiscard]] SnapshotIndex build_snapshot(const AsGraph& graph,
+                                           const core::Degrees& degrees,
+                                           const ConeMap& cones,
+                                           const std::vector<Asn>& clique);
+
+/// Serialize in ASRK1 format.  Deterministic: equal indexes produce
+/// byte-identical output.
+void write_snapshot(const SnapshotIndex& index, std::ostream& os);
+
+/// Parse and fully validate an ASRK1 stream.  Throws SnapshotError on bad
+/// magic, unsupported version, truncation, CRC mismatch, or any structural
+/// inconsistency; never returns a partially-initialized index.
+[[nodiscard]] SnapshotIndex read_snapshot(std::istream& is);
+
+/// File-path conveniences (binary mode; read slurps the whole file).
+void write_snapshot_file(const SnapshotIndex& index, const std::string& path);
+[[nodiscard]] SnapshotIndex read_snapshot_file(const std::string& path);
+
+}  // namespace asrank::snapshot

@@ -15,6 +15,15 @@ namespace {
   throw std::runtime_error("line " + std::to_string(line_no) + ": " + what);
 }
 
+/// Strict dataset-file ASN: plain decimal only.  The lenient Asn::parse
+/// (which also takes "AS64500" and asdot "1.2") is for human input; in
+/// .as-rel/.ppdc files those spellings are junk and must be rejected.
+std::optional<Asn> parse_field_asn(std::string_view field) {
+  const auto value = util::parse_unsigned<std::uint32_t>(field);
+  if (!value || *value == 0) return std::nullopt;
+  return Asn(*value);
+}
+
 }  // namespace
 
 void write_as_rel(const AsGraph& graph, std::ostream& os) {
@@ -35,16 +44,24 @@ AsGraph read_as_rel(std::istream& is) {
     if (text.empty() || text.front() == '#') continue;
     const auto fields = util::split(text, '|', /*keep_empty=*/true);
     if (fields.size() != 3) fail(line_no, "expected 3 '|'-separated fields");
-    const auto a = Asn::parse(fields[0]);
-    const auto b = Asn::parse(fields[1]);
+    const auto a = parse_field_asn(fields[0]);
+    const auto b = parse_field_asn(fields[1]);
+    if (!a || !b) fail(line_no, "malformed ASN field");
     const auto code = util::parse_unsigned<std::uint32_t>(
         fields[2].starts_with('-') ? fields[2].substr(1) : fields[2]);
-    if (!a || !b || !code) fail(line_no, "malformed field");
+    if (!code) fail(line_no, "malformed relationship code");
     const int rel_code = fields[2].starts_with('-') ? -static_cast<int>(*code)
                                                     : static_cast<int>(*code);
     const auto type = link_type_from_code(rel_code);
     if (!type) fail(line_no, "unknown relationship code " + std::to_string(rel_code));
-    graph.set_relationship(*a, *b, *type);
+    if (graph.has_link(*a, *b)) {
+      fail(line_no, "duplicate link " + a->str() + "|" + b->str());
+    }
+    try {
+      graph.set_relationship(*a, *b, *type);
+    } catch (const std::exception& error) {
+      fail(line_no, error.what());
+    }
   }
   return graph;
 }
@@ -67,17 +84,24 @@ ConeMap read_ppdc(std::istream& is) {
     const auto text = util::trim(line);
     if (text.empty() || text.front() == '#') continue;
     const auto tokens = util::split_ws(text);
-    if (tokens.empty()) continue;
-    const auto as = Asn::parse(tokens[0]);
+    const auto as = parse_field_asn(tokens[0]);
     if (!as) fail(line_no, "malformed AS");
     std::vector<Asn> members;
     members.reserve(tokens.size() - 1);
+    bool has_self = false;
     for (std::size_t i = 1; i < tokens.size(); ++i) {
-      const auto member = Asn::parse(tokens[i]);
-      if (!member) fail(line_no, "malformed cone member");
+      const auto member = parse_field_asn(tokens[i]);
+      if (!member) fail(line_no, "malformed cone member '" + std::string(tokens[i]) + "'");
+      if (!members.empty() && !(members.back() < *member)) {
+        fail(line_no, "cone members not strictly ascending");
+      }
+      has_self = has_self || *member == *as;
       members.push_back(*member);
     }
-    cones.emplace(*as, std::move(members));
+    if (!has_self) fail(line_no, "cone does not contain its own AS");
+    if (!cones.emplace(*as, std::move(members)).second) {
+      fail(line_no, "duplicate cone for AS" + as->str());
+    }
   }
   return cones;
 }

@@ -19,8 +19,10 @@ namespace asrank {
 /// Write the graph in .as-rel format (deterministic link order).
 void write_as_rel(const AsGraph& graph, std::ostream& os);
 
-/// Parse .as-rel text.  Throws std::runtime_error with a line number on
-/// malformed input.  Unknown relationship codes are rejected.
+/// Parse .as-rel text.  Strict: ASNs are plain decimal (no "AS" prefix or
+/// asdot), relationship codes must be known, and duplicate links, self
+/// links, and AS0 are rejected.  Every failure throws std::runtime_error
+/// with the offending line number.
 [[nodiscard]] AsGraph read_as_rel(std::istream& is);
 
 /// Customer cones keyed by AS, each cone sorted ascending and containing the
@@ -30,7 +32,9 @@ using ConeMap = std::map<Asn, std::vector<Asn>>;
 /// Write cones in .ppdc-ases format.
 void write_ppdc(const ConeMap& cones, std::ostream& os);
 
-/// Parse .ppdc-ases text.  Throws std::runtime_error on malformed input.
+/// Parse .ppdc-ases text.  Strict: plain decimal ASNs, members strictly
+/// ascending and containing the AS itself, one line per AS.  Throws
+/// std::runtime_error with the offending line number.
 [[nodiscard]] ConeMap read_ppdc(std::istream& is);
 
 }  // namespace asrank

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum used
+// by the ASRK1 snapshot format's per-section integrity check.  Table-driven,
+// incremental-friendly: feed chunks by passing the running value back in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace asrank::util {
+
+/// CRC-32 of `data`, continuing from `seed` (pass the previous return value
+/// to checksum a stream in pieces; the default starts a fresh checksum).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace asrank::util

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cones.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
+#include "snapshot/snapshot.h"
+
+namespace asrank::serve {
+namespace {
+
+// Same fixture as test_snapshot: clique {1,2}, 3 multihomed, chain to 4,
+// peering 4-5, siblings 6-7.
+AsGraph make_graph() {
+  AsGraph graph;
+  graph.add_p2p(Asn(1), Asn(2));
+  graph.add_p2c(Asn(1), Asn(3));
+  graph.add_p2c(Asn(2), Asn(3));
+  graph.add_p2c(Asn(3), Asn(4));
+  graph.add_p2c(Asn(1), Asn(5));
+  graph.add_p2p(Asn(4), Asn(5));
+  graph.add_p2c(Asn(2), Asn(6));
+  graph.add_s2s(Asn(6), Asn(7));
+  return graph;
+}
+
+snapshot::SnapshotIndex make_index() {
+  const auto graph = make_graph();
+  const std::unordered_map<Asn, std::size_t> tdeg = {
+      {Asn(1), 3}, {Asn(2), 3}, {Asn(3), 2}};
+  return snapshot::build_snapshot(graph, tdeg, core::recursive_cone(graph),
+                                  {Asn(1), Asn(2)});
+}
+
+std::vector<Asn> asns(std::initializer_list<std::uint32_t> values) {
+  std::vector<Asn> out;
+  for (const auto v : values) out.emplace_back(v);
+  return out;
+}
+
+std::uint64_t stat_count(const QueryEngine& engine, QueryType type) {
+  return engine.stats()[static_cast<std::size_t>(type)].count;
+}
+
+std::uint64_t stat_hits(const QueryEngine& engine, QueryType type) {
+  return engine.stats()[static_cast<std::size_t>(type)].cache_hits;
+}
+
+// --------------------------------------------------------- query engine --
+
+TEST(QueryEngine, DirectQueriesMatchIndex) {
+  QueryEngine engine(make_index());
+  EXPECT_EQ(engine.relationship(Asn(1), Asn(3)), RelView::kCustomer);
+  EXPECT_EQ(engine.rank(Asn(1)), 1u);
+  EXPECT_EQ(engine.rank(Asn(99)), std::nullopt);
+  EXPECT_EQ(engine.cone_size(Asn(1)), 4u);
+  EXPECT_TRUE(engine.in_cone(Asn(1), Asn(4)));
+  EXPECT_FALSE(engine.in_cone(Asn(1), Asn(6)));
+  EXPECT_EQ(engine.providers(Asn(3)), asns({1, 2}));
+  EXPECT_EQ(engine.customers(Asn(1)), asns({3, 5}));
+  EXPECT_EQ(engine.peers(Asn(4)), asns({5}));
+  const auto top = engine.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].as, Asn(1));
+  EXPECT_EQ(top[1].as, Asn(2));
+  EXPECT_EQ(stat_count(engine, QueryType::kRank), 2u);
+  EXPECT_EQ(stat_count(engine, QueryType::kNeighborSet), 3u);
+}
+
+TEST(QueryEngine, ConeIntersectionIsCachedAndOrderInsensitive) {
+  QueryEngine engine(make_index());
+  const auto first = engine.cone_intersection(Asn(1), Asn(2));
+  EXPECT_EQ(*first, asns({3, 4}));
+  EXPECT_EQ(stat_hits(engine, QueryType::kConeIntersect), 0u);
+  // Same pair again, both orders: served from cache.
+  EXPECT_EQ(*engine.cone_intersection(Asn(1), Asn(2)), asns({3, 4}));
+  EXPECT_EQ(*engine.cone_intersection(Asn(2), Asn(1)), asns({3, 4}));
+  EXPECT_EQ(stat_hits(engine, QueryType::kConeIntersect), 2u);
+  EXPECT_EQ(stat_count(engine, QueryType::kConeIntersect), 3u);
+  // Disjoint cones intersect to nothing.
+  EXPECT_TRUE(engine.cone_intersection(Asn(5), Asn(6))->empty());
+}
+
+TEST(QueryEngine, PathToCliqueIsDeterministicBfs) {
+  QueryEngine engine(make_index());
+  // 4's only provider chain is 4 -> 3 -> {1,2}; lowest-ASN tiebreak picks 1.
+  EXPECT_EQ(*engine.path_to_clique(Asn(4)), asns({4, 3, 1}));
+  // A clique member is its own path.
+  EXPECT_EQ(*engine.path_to_clique(Asn(1)), asns({1}));
+  // 7 has no providers at all (sibling link only).
+  EXPECT_TRUE(engine.path_to_clique(Asn(7))->empty());
+  // Unknown AS: empty, not a throw.
+  EXPECT_TRUE(engine.path_to_clique(Asn(99))->empty());
+  // Second identical query hits the cache.
+  EXPECT_EQ(*engine.path_to_clique(Asn(4)), asns({4, 3, 1}));
+  EXPECT_EQ(stat_hits(engine, QueryType::kPathToClique), 1u);
+}
+
+TEST(QueryEngine, LruEvictsLeastRecentlyUsed) {
+  QueryEngine engine(make_index(), /*cache_capacity=*/1);
+  (void)engine.cone_intersection(Asn(1), Asn(2));
+  (void)engine.cone_intersection(Asn(1), Asn(3));  // evicts (1,2)
+  (void)engine.cone_intersection(Asn(1), Asn(2));  // recomputed
+  EXPECT_EQ(stat_hits(engine, QueryType::kConeIntersect), 0u);
+  (void)engine.cone_intersection(Asn(1), Asn(2));  // now cached again
+  EXPECT_EQ(stat_hits(engine, QueryType::kConeIntersect), 1u);
+}
+
+TEST(QueryEngine, RenderStatsListsEveryQueryType) {
+  QueryEngine engine(make_index());
+  (void)engine.rank(Asn(1));
+  const auto text = engine.render_stats();
+  EXPECT_NE(text.find("rank"), std::string::npos);
+  EXPECT_NE(text.find("cone_intersect"), std::string::npos);
+}
+
+// ------------------------------------------------- sans-socket handlers --
+
+TEST(Handlers, TextCommands) {
+  QueryEngine engine(make_index());
+  EXPECT_EQ(handle_text_request(engine, "PING"), "OK pong");
+  EXPECT_EQ(handle_text_request(engine, "rel 1 3"), "OK customer");
+  EXPECT_EQ(handle_text_request(engine, "rel 3 1"), "OK provider");
+  EXPECT_EQ(handle_text_request(engine, "rel 1 4"), "OK none");
+  EXPECT_EQ(handle_text_request(engine, "rank 1"), "OK 1");
+  EXPECT_EQ(handle_text_request(engine, "conesize 1"), "OK 4");
+  EXPECT_EQ(handle_text_request(engine, "cone 3"), "OK 3 4");
+  EXPECT_EQ(handle_text_request(engine, "incone 1 4"), "OK yes");
+  EXPECT_EQ(handle_text_request(engine, "incone 1 6"), "OK no");
+  EXPECT_EQ(handle_text_request(engine, "providers 3"), "OK 1 2");
+  EXPECT_EQ(handle_text_request(engine, "intersect 1 2"), "OK 3 4");
+  EXPECT_EQ(handle_text_request(engine, "cliquepath 4"), "OK 4 3 1");
+  EXPECT_EQ(handle_text_request(engine, "clique"), "OK 1 2");
+  EXPECT_TRUE(handle_text_request(engine, "stats").starts_with("OK\n"));
+  EXPECT_TRUE(handle_text_request(engine, "stats").ends_with("."));
+}
+
+TEST(Handlers, TextErrorsNameTheProblem) {
+  QueryEngine engine(make_index());
+  EXPECT_EQ(handle_text_request(engine, "rel 1"), "ERR usage: REL <asn> <asn>");
+  EXPECT_EQ(handle_text_request(engine, "rank notanasn"),
+            "ERR usage: RANK <asn>");
+  const auto unknown = handle_text_request(engine, "frobnicate 1");
+  EXPECT_TRUE(unknown.starts_with("ERR unknown command 'frobnicate'")) << unknown;
+  EXPECT_TRUE(handle_text_request(engine, "   ").starts_with("ERR"));
+}
+
+TEST(Handlers, BinaryRejectsMalformedRequests) {
+  QueryEngine engine(make_index());
+  // Unknown opcode.
+  auto response = handle_binary_request(engine, std::vector<std::uint8_t>{0x7F});
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kError));
+  // Truncated operand (kRank wants a u32).
+  response = handle_binary_request(
+      engine, std::vector<std::uint8_t>{static_cast<std::uint8_t>(Op::kRank), 1});
+  EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kError));
+  // Trailing junk after a complete request.
+  response = handle_binary_request(
+      engine, std::vector<std::uint8_t>{static_cast<std::uint8_t>(Op::kPing), 0});
+  EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kError));
+  // Empty payload.
+  response = handle_binary_request(engine, std::vector<std::uint8_t>{});
+  EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kError));
+}
+
+// --------------------------------------------------------- socket serve --
+
+class ServeFixture : public testing::Test {
+ protected:
+  ServeFixture() : engine_(make_index()), server_(engine_, config()) {
+    thread_ = std::thread([this] { server_.run(); });
+  }
+
+  ~ServeFixture() override {
+    server_.stop();
+    thread_.join();
+  }
+
+  static ServerConfig config() {
+    ServerConfig config;
+    config.port = 0;  // ephemeral
+    config.threads = 2;
+    return config;
+  }
+
+  QueryEngine engine_;
+  Server server_;
+  std::thread thread_;
+};
+
+TEST_F(ServeFixture, SocketAnswersMatchBatchComputation) {
+  Client client("127.0.0.1", server_.port());
+  const auto graph = make_graph();
+  const auto cones = core::recursive_cone(graph);
+
+  client.ping();
+  for (const Asn as : graph.ases()) {
+    EXPECT_EQ(client.cone(as), cones.at(as));
+    EXPECT_EQ(client.cone_size(as), cones.at(as).size());
+    std::vector<Asn> providers(graph.providers(as).begin(),
+                               graph.providers(as).end());
+    std::sort(providers.begin(), providers.end());
+    EXPECT_EQ(client.providers(as), providers);
+    for (const Asn other : graph.ases()) {
+      EXPECT_EQ(client.relationship(as, other), graph.view(as, other));
+    }
+  }
+  EXPECT_EQ(client.clique(), asns({1, 2}));
+  EXPECT_EQ(client.rank(Asn(1)), 1u);
+  EXPECT_EQ(client.rank(Asn(99)), std::nullopt);
+  EXPECT_EQ(client.cone_intersection(Asn(1), Asn(2)), asns({3, 4}));
+  EXPECT_EQ(client.path_to_clique(Asn(4)), asns({4, 3, 1}));
+  EXPECT_TRUE(client.in_cone(Asn(1), Asn(4)));
+
+  const auto top = client.top(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].as, Asn(1));
+  EXPECT_EQ(top[0].cone_size, 4u);
+
+  const auto stats = client.stats_text();
+  EXPECT_NE(stats.find("relationship"), std::string::npos);
+}
+
+TEST_F(ServeFixture, ConcurrentClientsAreServed) {
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([this, &failures] {
+      try {
+        Client client("127.0.0.1", server_.port());
+        for (int i = 0; i < 25; ++i) {
+          if (client.cone_size(Asn(1)) != 4) ++failures;
+          if (client.rank(Asn(2)) != 2u) ++failures;
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server_.connections_served(), 4u);
+}
+
+TEST_F(ServeFixture, TextModeOverSocket) {
+  // Raw socket speaking the nc-style text protocol.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+
+  const std::string request = "rank 1\nquit\n";
+  write_all(fd, request.data(), request.size());
+  std::string response;
+  char c = 0;
+  while (read_exact(fd, &c, 1)) response.push_back(c);  // until server closes
+  ::close(fd);
+  EXPECT_EQ(response, "OK 1\n");
+}
+
+TEST(Server, StopBeforeRunReturnsImmediately) {
+  QueryEngine engine(make_index());
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 1;
+  Server server(engine, config);
+  server.stop();
+  server.run();  // must observe the queued stop and return
+  EXPECT_EQ(server.connections_served(), 0u);
+}
+
+TEST(Server, GracefulShutdownWithIdleClientConnected) {
+  QueryEngine engine(make_index());
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 1;
+  Server server(engine, config);
+  std::thread thread([&server] { server.run(); });
+  {
+    // An idle keep-alive connection must not wedge shutdown.
+    Client idle("127.0.0.1", server.port());
+    idle.ping();
+    server.stop();
+    thread.join();
+  }
+  EXPECT_EQ(server.connections_served(), 1u);
+}
+
+TEST(Server, RejectsBadListenAddress) {
+  QueryEngine engine(make_index());
+  ServerConfig config;
+  config.host = "not-an-address";
+  EXPECT_THROW((Server{engine, config}), ProtocolError);
+}
+
+}  // namespace
+}  // namespace asrank::serve

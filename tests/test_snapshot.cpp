@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cones.h"
+#include "paths/corpus.h"
+#include "core/degrees.h"
+#include "core/ranking.h"
+#include "snapshot/format.h"
+#include "snapshot/snapshot.h"
+#include "topology/serialization.h"
+
+namespace asrank::snapshot {
+namespace {
+
+// Fixture topology: clique {1,2} at the top, 3 multihomed below both, a
+// chain to 4, a side peering 4-5, and a sibling pair 6-7 under 2.
+AsGraph make_graph() {
+  AsGraph graph;
+  graph.add_p2p(Asn(1), Asn(2));
+  graph.add_p2c(Asn(1), Asn(3));
+  graph.add_p2c(Asn(2), Asn(3));
+  graph.add_p2c(Asn(3), Asn(4));
+  graph.add_p2c(Asn(1), Asn(5));
+  graph.add_p2p(Asn(4), Asn(5));
+  graph.add_p2c(Asn(2), Asn(6));
+  graph.add_s2s(Asn(6), Asn(7));
+  return graph;
+}
+
+std::unordered_map<Asn, std::size_t> make_tdeg() {
+  return {{Asn(1), 3}, {Asn(2), 3}, {Asn(3), 2}};
+}
+
+std::vector<Asn> make_clique() { return {Asn(1), Asn(2)}; }
+
+SnapshotIndex make_index() {
+  const auto graph = make_graph();
+  return build_snapshot(graph, make_tdeg(), core::recursive_cone(graph),
+                        make_clique());
+}
+
+std::vector<std::uint8_t> serialized_bytes(const SnapshotIndex& index) {
+  std::ostringstream os(std::ios::binary);
+  write_snapshot(index, os);
+  const std::string raw = os.str();
+  return {raw.begin(), raw.end()};
+}
+
+SnapshotIndex read_bytes(const std::vector<std::uint8_t>& bytes) {
+  std::istringstream is(std::string(bytes.begin(), bytes.end()), std::ios::binary);
+  return read_snapshot(is);
+}
+
+std::vector<Asn> to_vec(std::span<const Asn> span) {
+  return {span.begin(), span.end()};
+}
+
+void expect_equivalent(const SnapshotIndex& index, const AsGraph& graph,
+                       const ConeMap& cones) {
+  EXPECT_EQ(index.as_count(), graph.as_count());
+  EXPECT_EQ(index.link_count(), graph.link_count());
+  for (const Asn as : graph.ases()) {
+    ASSERT_TRUE(index.has_as(as));
+    EXPECT_EQ(to_vec(index.cone(as)), cones.at(as));
+    EXPECT_EQ(index.cone_size(as), cones.at(as).size());
+    for (const Asn member : cones.at(as)) EXPECT_TRUE(index.in_cone(as, member));
+    for (const Asn other : graph.ases()) {
+      EXPECT_EQ(index.relationship(as, other), graph.view(as, other))
+          << as.str() << " -> " << other.str();
+    }
+    std::vector<Asn> providers = to_vec(graph.providers(as));
+    std::sort(providers.begin(), providers.end());
+    EXPECT_EQ(index.providers(as), providers);
+    std::vector<Asn> customers = to_vec(graph.customers(as));
+    std::sort(customers.begin(), customers.end());
+    EXPECT_EQ(index.customers(as), customers);
+  }
+}
+
+// ----------------------------------------------------------- build/query --
+
+TEST(Snapshot, BuildAnswersMatchInputs) {
+  const auto graph = make_graph();
+  const auto cones = core::recursive_cone(graph);
+  const auto index = build_snapshot(graph, make_tdeg(), cones, make_clique());
+  expect_equivalent(index, graph, cones);
+
+  EXPECT_EQ(index.relationship(Asn(1), Asn(3)), RelView::kCustomer);
+  EXPECT_EQ(index.relationship(Asn(3), Asn(1)), RelView::kProvider);
+  EXPECT_EQ(index.relationship(Asn(4), Asn(5)), RelView::kPeer);
+  EXPECT_EQ(index.relationship(Asn(6), Asn(7)), RelView::kSibling);
+  EXPECT_EQ(index.relationship(Asn(1), Asn(4)), std::nullopt);  // not adjacent
+  EXPECT_EQ(index.relationship(Asn(99), Asn(1)), std::nullopt);
+
+  EXPECT_EQ(index.transit_degree(Asn(1)), 3u);
+  EXPECT_EQ(index.transit_degree(Asn(4)), 0u);  // omitted from the map
+  EXPECT_EQ(to_vec(index.clique()), make_clique());
+  EXPECT_FALSE(index.has_as(Asn(99)));
+  EXPECT_TRUE(index.cone(Asn(99)).empty());
+  EXPECT_FALSE(index.in_cone(Asn(99), Asn(1)));
+}
+
+TEST(Snapshot, RankingMatchesBatchPipeline) {
+  // Build via the core::Degrees overload and require the frozen ranking to
+  // be exactly core::rank_by_cone's output, entry by entry.
+  paths::PathCorpus corpus;
+  corpus.add({Asn(1), Prefix::v4(1 << 8, 24), AsPath({1, 3, 4})});
+  corpus.add({Asn(1), Prefix::v4(2 << 8, 24), AsPath({2, 3, 4})});
+  const auto degrees = core::Degrees::compute(corpus);
+  const auto graph = make_graph();
+  const auto cones = core::recursive_cone(graph);
+  const auto index = build_snapshot(graph, degrees, cones, make_clique());
+
+  const auto expected = core::rank_by_cone(cones, degrees);
+  const auto got = index.top(expected.size() + 10);  // over-ask: clamps
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i].rank, expected[i].rank);
+    EXPECT_EQ(got[i].as, expected[i].as);
+    EXPECT_EQ(got[i].cone_size, expected[i].cone_size);
+    EXPECT_EQ(got[i].transit_degree, expected[i].transit_degree);
+    EXPECT_EQ(index.rank(expected[i].as), expected[i].rank);
+    EXPECT_EQ(index.as_at_rank(expected[i].rank), expected[i].as);
+  }
+  EXPECT_EQ(index.rank(Asn(99)), std::nullopt);
+  EXPECT_EQ(index.as_at_rank(0), std::nullopt);
+  EXPECT_EQ(index.as_at_rank(expected.size() + 1), std::nullopt);
+}
+
+TEST(Snapshot, TextFormatsToSnapshotEquivalence) {
+  // The satellite round trip: .as-rel/.ppdc text -> parse -> snapshot ->
+  // stream -> index, answers identical to direct computation on the parse.
+  const auto graph = make_graph();
+  const auto cones = core::recursive_cone(graph);
+  std::stringstream rel_text, ppdc_text;
+  write_as_rel(graph, rel_text);
+  write_ppdc(cones, ppdc_text);
+
+  const auto reparsed_graph = read_as_rel(rel_text);
+  const auto reparsed_cones = read_ppdc(ppdc_text);
+  const auto index = read_bytes(serialized_bytes(
+      build_snapshot(reparsed_graph, make_tdeg(), reparsed_cones, make_clique())));
+  expect_equivalent(index, graph, cones);
+}
+
+TEST(Snapshot, BuildRejectsInconsistentInputs) {
+  const auto graph = make_graph();
+  const auto cones = core::recursive_cone(graph);
+
+  auto bad_cone_key = cones;
+  bad_cone_key[Asn(99)] = {Asn(99)};
+  EXPECT_THROW((void)build_snapshot(graph, make_tdeg(), bad_cone_key, make_clique()),
+               SnapshotError);
+
+  auto no_self = cones;
+  no_self[Asn(4)] = {Asn(5)};
+  EXPECT_THROW((void)build_snapshot(graph, make_tdeg(), no_self, make_clique()),
+               SnapshotError);
+
+  EXPECT_THROW((void)build_snapshot(graph, make_tdeg(), cones, {Asn(99)}),
+               SnapshotError);
+}
+
+// ------------------------------------------------------------- round trip --
+
+TEST(Snapshot, StreamRoundTrip) {
+  const auto graph = make_graph();
+  const auto cones = core::recursive_cone(graph);
+  const auto index = build_snapshot(graph, make_tdeg(), cones, make_clique());
+  const auto reread = read_bytes(serialized_bytes(index));
+  expect_equivalent(reread, graph, cones);
+  EXPECT_EQ(to_vec(reread.clique()), make_clique());
+  EXPECT_EQ(reread.top(100).size(), index.top(100).size());
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "asrk1_roundtrip.snapshot";
+  const auto index = make_index();
+  write_snapshot_file(index, path);
+  const auto reread = read_snapshot_file(path);
+  EXPECT_EQ(serialized_bytes(reread), serialized_bytes(index));
+  std::remove(path.c_str());
+  EXPECT_THROW((void)read_snapshot_file(path), SnapshotError);
+}
+
+TEST(Snapshot, WriteIsByteForByteDeterministic) {
+  const auto first = serialized_bytes(make_index());
+  const auto second = serialized_bytes(make_index());
+  EXPECT_EQ(first, second);
+  // And a decode/encode cycle reproduces the same bytes.
+  EXPECT_EQ(serialized_bytes(read_bytes(first)), first);
+}
+
+// ------------------------------------------------------------ corruption --
+
+TEST(Snapshot, RejectsWrongMagic) {
+  auto bytes = serialized_bytes(make_index());
+  bytes[0] = 'X';
+  try {
+    (void)read_bytes(bytes);
+    FAIL() << "wrong magic accepted";
+  } catch (const SnapshotError& error) {
+    EXPECT_NE(std::string(error.what()).find("magic"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, RejectsUnsupportedVersion) {
+  auto bytes = serialized_bytes(make_index());
+  bytes[kMagic.size()] = 0xFF;  // format version is LE u16 right after magic
+  try {
+    (void)read_bytes(bytes);
+    FAIL() << "bad version accepted";
+  } catch (const SnapshotError& error) {
+    EXPECT_NE(std::string(error.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, RejectsEveryTruncation) {
+  const auto bytes = serialized_bytes(make_index());
+  ASSERT_GT(bytes.size(), 0u);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW(
+        (void)read_bytes(std::vector<std::uint8_t>(bytes.begin(),
+                                                   bytes.begin() + cut)),
+        SnapshotError)
+        << "prefix of " << cut << " bytes accepted";
+  }
+}
+
+TEST(Snapshot, RejectsFlippedSectionCrc) {
+  // Byte 16 of a section table entry is its CRC field; flipping it must
+  // surface as a header checksum failure (the table is header-covered).
+  auto bytes = serialized_bytes(make_index());
+  bytes[kHeaderPrefixSize + 16] ^= 0xFF;
+  EXPECT_THROW((void)read_bytes(bytes), SnapshotError);
+}
+
+TEST(Snapshot, DetectsAnyMeaningfulByteFlip) {
+  // Flip every byte in turn.  Each flip must either be rejected outright or
+  // (only possible for alignment padding, which no checksum covers) leave
+  // every answer identical to the pristine snapshot.
+  const auto pristine_bytes = serialized_bytes(make_index());
+  const auto pristine = serialized_bytes(read_bytes(pristine_bytes));
+  std::size_t undetected = 0;
+  for (std::size_t i = 0; i < pristine_bytes.size(); ++i) {
+    auto bytes = pristine_bytes;
+    bytes[i] ^= 0xFF;
+    try {
+      const auto index = read_bytes(bytes);
+      ++undetected;
+      EXPECT_EQ(serialized_bytes(index), pristine)
+          << "flip at offset " << i << " silently changed answers";
+    } catch (const SnapshotError&) {
+      // Rejected: the desired outcome for any covered byte.
+    }
+  }
+  // Padding is at most 7 bytes per boundary; anything more means a coverage
+  // hole in the checksums.
+  EXPECT_LT(undetected, 8 * (kSectionCount + 1));
+}
+
+TEST(Snapshot, RejectsGarbageStream) {
+  std::istringstream text("this is not a snapshot file at all, honest\n");
+  EXPECT_THROW((void)read_snapshot(text), SnapshotError);
+  std::istringstream empty("");
+  EXPECT_THROW((void)read_snapshot(empty), SnapshotError);
+}
+
+}  // namespace
+}  // namespace asrank::snapshot

@@ -205,5 +205,67 @@ TEST(Serialization, PpdcRejectsMalformed) {
   EXPECT_THROW((void)read_ppdc(bad), std::runtime_error);
 }
 
+// Parser strictness (dataset files reject spellings human input accepts)
+// and line-number diagnostics.
+
+std::string thrown_message(const std::string& text, bool ppdc = false) {
+  std::stringstream is(text);
+  try {
+    if (ppdc) {
+      (void)read_ppdc(is);
+    } else {
+      (void)read_as_rel(is);
+    }
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  return "";
+}
+
+TEST(Serialization, AsRelRejectsTrailingJunkInFields) {
+  EXPECT_NE(thrown_message("AS1|2|-1\n"), "");     // "AS" prefix is human input
+  EXPECT_NE(thrown_message("1.2|3|0\n"), "");      // asdot likewise
+  EXPECT_NE(thrown_message("1|2|-1x\n"), "");      // junk after the code
+  EXPECT_NE(thrown_message("1|2x|0\n"), "");       // junk after an ASN
+  EXPECT_NE(thrown_message("1|2|0|extra\n"), "");  // extra field
+}
+
+TEST(Serialization, AsRelErrorsCarryLineNumbers) {
+  const auto message = thrown_message("1|2|-1\n2|3|0\nbogus|4|0\n");
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("malformed ASN"), std::string::npos) << message;
+}
+
+TEST(Serialization, AsRelRejectsDuplicateLinks) {
+  const auto message = thrown_message("1|2|-1\n2|1|0\n");
+  EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("duplicate link"), std::string::npos) << message;
+}
+
+TEST(Serialization, AsRelRejectsSelfLinksAndAs0WithLineNumbers) {
+  EXPECT_NE(thrown_message("5|5|-1\n").find("line 1"), std::string::npos);
+  const auto as0 = thrown_message("#comment\n0|2|-1\n");
+  EXPECT_NE(as0.find("line 2"), std::string::npos) << as0;
+}
+
+TEST(Serialization, PpdcRejectsStructuralErrorsWithLineNumbers) {
+  // Members out of order.
+  auto message = thrown_message("1 1 3 2\n", /*ppdc=*/true);
+  EXPECT_NE(message.find("line 1"), std::string::npos) << message;
+  EXPECT_NE(message.find("ascending"), std::string::npos) << message;
+  // Duplicate member (not strictly ascending either).
+  EXPECT_NE(thrown_message("1 1 2 2\n", true), "");
+  // Cone missing its own AS.
+  message = thrown_message("1 2 3\n", /*ppdc=*/true);
+  EXPECT_NE(message.find("does not contain its own AS"), std::string::npos)
+      << message;
+  // Duplicate cone line.
+  message = thrown_message("1 1\n2 2\n1 1\n", /*ppdc=*/true);
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("duplicate cone"), std::string::npos) << message;
+  // Human ASN spellings are junk here too.
+  EXPECT_NE(thrown_message("AS1 AS1\n", true), "");
+}
+
 }  // namespace
 }  // namespace asrank
