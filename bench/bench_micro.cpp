@@ -3,8 +3,15 @@
 // to collector-sized corpora (RouteViews rv2 held ~466k prefixes in 2013).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
+#include "baselines/tor_local_search.h"
 #include "bgpsim/observation.h"
 #include "core/asrank.h"
 #include "core/cones.h"
@@ -12,6 +19,8 @@
 #include "mrt/table_dump_v2.h"
 #include "paths/sanitizer.h"
 #include "topogen/topogen.h"
+#include "topology/interner.h"
+#include "topology/topology_view.h"
 
 namespace {
 
@@ -166,6 +175,224 @@ void BM_MrtDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_MrtDecode);
 
+// ---------------------------------------------------------------------------
+// Dense-representation microbenches (TopologyView substrate)
+// ---------------------------------------------------------------------------
+
+const std::vector<Asn>& corpus_hops() {
+  static const auto hops = [] {
+    std::vector<Asn> all;
+    for (const auto& record : clean_corpus().records()) {
+      const auto path = record.path.hops();
+      all.insert(all.end(), path.begin(), path.end());
+    }
+    return all;
+  }();
+  return hops;
+}
+
+void BM_InternerBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    auto interner = topology::AsnInterner::from_asns(corpus_hops());
+    benchmark::DoNotOptimize(interner.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus_hops().size()));
+}
+BENCHMARK(BM_InternerBuild);
+
+void BM_TopologyFreeze(benchmark::State& state) {
+  for (auto _ : state) {
+    auto view = inference_result().graph.freeze(inference_result().clique);
+    benchmark::DoNotOptimize(view.link_count());
+  }
+}
+BENCHMARK(BM_TopologyFreeze);
+
+void BM_RecursiveConeDense(benchmark::State& state) {
+  const auto view = inference_result().graph.freeze();
+  for (auto _ : state) {
+    auto cones = core::recursive_cone(view, 1);
+    benchmark::DoNotOptimize(cones.size());
+  }
+}
+BENCHMARK(BM_RecursiveConeDense);
+
+// ----------------------------------------------- BENCH_topology_view.json --
+// Before/after comparison of the dense CSR kernels against the hash-map
+// implementations they replaced, written as a side artifact so the
+// BENCH_*.json trajectory tracks the representation change across PRs.
+
+/// The pre-refactor cone closure: memoized post-order DFS merging
+/// unordered_sets keyed by ASN.
+std::size_t hash_cone_closure(const AsGraph& graph) {
+  std::unordered_map<Asn, std::unordered_set<Asn>> cones;
+  cones.reserve(graph.ases().size());
+  std::size_t total = 0;
+  struct Frame {
+    Asn node;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  for (const Asn root : graph.ases()) {
+    if (cones.contains(root)) {
+      total += cones.at(root).size();
+      continue;
+    }
+    stack.push_back({root});
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      const auto customers = graph.customers(top.node);
+      if (top.next < customers.size()) {
+        const Asn child = customers[top.next++];
+        if (!cones.contains(child)) stack.push_back({child});
+        continue;
+      }
+      std::unordered_set<Asn> cone{top.node};
+      for (const Asn child : customers) {
+        const auto& sub = cones.at(child);
+        cone.insert(sub.begin(), sub.end());
+      }
+      cones.emplace(top.node, std::move(cone));
+      stack.pop_back();
+    }
+    total += cones.at(root).size();
+  }
+  return total;
+}
+
+/// Valley-free sweep on flat translated hop arrays with precomputed per-hop
+/// RelView codes — the dense counterpart of the per-hop hash lookups in
+/// TorLocalSearch::violations.
+std::size_t dense_valley_sweep(std::span<const std::uint8_t> codes,
+                               std::span<const std::size_t> offsets) {
+  constexpr std::uint8_t kNoRel = 0xff;
+  std::size_t violations = 0;
+  for (std::size_t p = 0; p + 1 < offsets.size(); ++p) {
+    int state = 0;
+    bool ok = true;
+    for (std::size_t i = offsets[p]; ok && i < offsets[p + 1]; ++i) {
+      switch (codes[i]) {
+        case static_cast<std::uint8_t>(RelView::kProvider):
+          ok = state == 0;
+          break;
+        case static_cast<std::uint8_t>(RelView::kPeer):
+          ok = state == 0;
+          state = 1;
+          break;
+        case static_cast<std::uint8_t>(RelView::kCustomer):
+          state = 1;
+          break;
+        case static_cast<std::uint8_t>(RelView::kSibling):
+          break;
+        case kNoRel:
+        default:
+          ok = false;
+          break;
+      }
+    }
+    if (!ok) ++violations;
+  }
+  return violations;
+}
+
+template <typename Fn>
+double min_time_ms(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double elapsed = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    if (rep == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+void write_topology_view_json(const std::string& path) {
+  constexpr int kReps = 3;
+  constexpr int kSweeps = 8;  // fixpoint-style repeated evaluation
+  constexpr std::uint8_t kNoRel = 0xff;
+
+  const AsGraph& graph = inference_result().graph;
+  const paths::PathCorpus& corpus = inference_result().sanitized;
+  const auto view = graph.freeze();
+
+  const double interner_ms = min_time_ms(kReps, [] {
+    auto interner = topology::AsnInterner::from_asns(corpus_hops());
+    benchmark::DoNotOptimize(interner.size());
+  });
+  const double freeze_ms = min_time_ms(kReps, [&graph] {
+    auto frozen = graph.freeze();
+    benchmark::DoNotOptimize(frozen.link_count());
+  });
+
+  const double cone_dense_ms = min_time_ms(kReps, [&view] {
+    auto cones = core::recursive_cone(view, 1);
+    benchmark::DoNotOptimize(cones.size());
+  });
+  const double cone_hash_ms = min_time_ms(kReps, [&graph] {
+    benchmark::DoNotOptimize(hash_cone_closure(graph));
+  });
+
+  // Valley-free fixpoint shape: the hash path re-resolves every hop per
+  // sweep; the dense path translates once, then sweeps flat arrays.
+  const double valley_hash_ms = min_time_ms(kReps, [&] {
+    std::size_t total = 0;
+    for (int sweep = 0; sweep < kSweeps; ++sweep) {
+      total += baselines::TorLocalSearch::violations(graph, corpus);
+    }
+    benchmark::DoNotOptimize(total);
+  });
+  const double valley_dense_ms = min_time_ms(kReps, [&] {
+    std::vector<std::uint8_t> codes;
+    std::vector<std::size_t> offsets{0};
+    std::vector<topology::NodeId> ids;
+    for (const auto& record : corpus.records()) {
+      view.interner().translate(record.path.hops(), ids);
+      for (std::size_t i = 1; i < ids.size(); ++i) {
+        std::uint8_t code = kNoRel;
+        if (ids[i - 1] != topology::kNoNode && ids[i] != topology::kNoNode) {
+          if (const auto rel = view.relationship(ids[i - 1], ids[i])) {
+            code = static_cast<std::uint8_t>(*rel);
+          }
+        }
+        codes.push_back(code);
+      }
+      offsets.push_back(codes.size());
+    }
+    std::size_t total = 0;
+    for (int sweep = 0; sweep < kSweeps; ++sweep) {
+      total += dense_valley_sweep(codes, offsets);
+    }
+    benchmark::DoNotOptimize(total);
+  });
+
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"topology_view\",\n";
+  os << "  \"ases\": " << view.node_count() << ",\n";
+  os << "  \"links\": " << view.link_count() << ",\n";
+  os << "  \"corpus_paths\": " << corpus.size() << ",\n";
+  os << "  \"interner_build_ms\": " << interner_ms << ",\n";
+  os << "  \"csr_freeze_ms\": " << freeze_ms << ",\n";
+  os << "  \"cone_closure\": {\"dense_ms\": " << cone_dense_ms
+     << ", \"hash_ms\": " << cone_hash_ms << ", \"speedup\": "
+     << (cone_dense_ms > 0.0 ? cone_hash_ms / cone_dense_ms : 0.0) << "},\n";
+  os << "  \"valley_free_fixpoint\": {\"dense_ms\": " << valley_dense_ms
+     << ", \"hash_ms\": " << valley_hash_ms << ", \"speedup\": "
+     << (valley_dense_ms > 0.0 ? valley_hash_ms / valley_dense_ms : 0.0)
+     << "}\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_topology_view_json("BENCH_topology_view.json");
+  return 0;
+}

@@ -170,10 +170,24 @@ int main(int argc, char** argv) {
   std::cout << "outputs identical across thread counts: "
             << (identical ? "yes" : "NO — BUG") << "\n";
 
+  // Speedup assertion, gated on real parallel hardware: on a single-core
+  // runner every multi-threaded run legitimately loses to the sequential
+  // path, so only the determinism check is meaningful there.
+  bool speedup_ok = true;
+  if (std::thread::hardware_concurrency() >= 2) {
+    const double inference_speedup_2t =
+        timings["inference"][1] / std::max(timings["inference"][2], 1e-9);
+    speedup_ok = inference_speedup_2t > 1.05;
+    std::cout << "inference speedup at 2 threads: " << inference_speedup_2t
+              << "x (assert > 1.05x: " << (speedup_ok ? "pass" : "FAIL") << ")\n";
+  } else {
+    std::cout << "single hardware thread: speedup assertion skipped\n";
+  }
+
   write_json(std::cout, total_ases, seed, timings, identical);
   std::ofstream file(json_out);
   write_json(file, total_ases, seed, timings, identical);
   std::cout << "wrote " << json_out << "\n";
 
-  return identical ? 0 : 1;
+  return identical && speedup_ok ? 0 : 1;
 }

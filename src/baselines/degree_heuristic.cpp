@@ -1,32 +1,40 @@
 #include "baselines/degree_heuristic.h"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
+
+#include "core/clique.h"
+#include "topology/interner.h"
 
 namespace asrank::baselines {
 
 AsGraph DegreeHeuristic::infer(const paths::PathCorpus& corpus) const {
-  std::unordered_map<Asn, std::unordered_set<Asn>> neighbors;
+  using topology::NodeId;
+
+  // Dense id space over the corpus; observed adjacency as CSR rows, so node
+  // degree is a row length and the pair sweep is an ascending-id walk.
+  std::vector<Asn> asns;
   for (const paths::PathRecord& record : corpus.records()) {
     const auto hops = record.path.hops();
-    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
-      if (hops[i] == hops[i + 1]) continue;
-      neighbors[hops[i]].insert(hops[i + 1]);
-      neighbors[hops[i + 1]].insert(hops[i]);
-    }
+    asns.insert(asns.end(), hops.begin(), hops.end());
   }
+  const topology::AsnInterner interner = topology::AsnInterner::from_asns(std::move(asns));
+  const core::ObservedAdjacency adjacency = core::ObservedAdjacency::build(interner, corpus);
+
   AsGraph graph;
-  for (const auto& [as, adj] : neighbors) {
-    for (const Asn other : adj) {
-      if (other.value() <= as.value()) continue;  // visit each pair once
-      const auto da = static_cast<double>(adj.size());
-      const auto db = static_cast<double>(neighbors.at(other).size());
+  for (NodeId node = 0; node < interner.size(); ++node) {
+    const auto row = adjacency.neighbors(node);
+    for (const NodeId other : row) {
+      if (other <= node) continue;  // visit each pair once
+      const auto da = static_cast<double>(row.size());
+      const auto db = static_cast<double>(adjacency.neighbors(other).size());
       const double big = da > db ? da : db;
       const double small = da > db ? db : da;
+      const Asn a = interner.asn_of(node);
+      const Asn b = interner.asn_of(other);
       if (small <= 0.0 || big / small > config_.provider_ratio) {
-        graph.add_p2c(da >= db ? as : other, da >= db ? other : as);
+        graph.add_p2c(da >= db ? a : b, da >= db ? b : a);
       } else {
-        graph.add_p2p(as, other);
+        graph.add_p2p(a, b);
       }
     }
   }

@@ -1,8 +1,10 @@
 #include "baselines/gao.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
+
+#include "core/clique.h"
+#include "topology/interner.h"
 
 namespace asrank::baselines {
 
@@ -10,102 +12,127 @@ namespace {
 
 using paths::PathCorpus;
 using paths::PathRecord;
+using topology::AsnInterner;
+using topology::NodeId;
 
-/// Directed transit evidence: key = normalized pair, counts per direction.
-struct TransitCounts {
-  std::uint32_t lo_provides = 0;  ///< lower-ASN side observed providing
-  std::uint32_t hi_provides = 0;
-};
+constexpr std::uint32_t kNoLink = 0xffffffffu;
+
+constexpr std::uint64_t pack(NodeId a, NodeId b) noexcept {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  return static_cast<std::uint64_t>(lo) << 32 | hi;
+}
 
 }  // namespace
 
 AsGraph GaoInference::infer(const PathCorpus& corpus) const {
-  // Phase 1: node degrees.
-  std::unordered_map<Asn, std::unordered_set<Asn>> neighbors;
+  // Phase 1: node degrees, as CSR row lengths over a dense id space.
+  std::vector<Asn> asns;
   for (const PathRecord& record : corpus.records()) {
     const auto hops = record.path.hops();
-    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
-      if (hops[i] == hops[i + 1]) continue;
-      neighbors[hops[i]].insert(hops[i + 1]);
-      neighbors[hops[i + 1]].insert(hops[i]);
+    asns.insert(asns.end(), hops.begin(), hops.end());
+  }
+  const AsnInterner interner = AsnInterner::from_asns(std::move(asns));
+  const core::ObservedAdjacency adjacency = core::ObservedAdjacency::build(interner, corpus);
+  const auto degree = [&](NodeId id) { return adjacency.neighbors(id).size(); };
+
+  // The directed-transit table: sorted packed (lo, hi) id pairs with
+  // per-direction counts alongside.  Pair set == adjacency pair set, so it
+  // can be gathered in one corpus pass.
+  std::vector<std::uint64_t> link_keys;
+  std::vector<NodeId> ids;
+  for (const PathRecord& record : corpus.records()) {
+    interner.translate(record.path.hops(), ids);
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+      if (ids[i] == ids[i + 1]) continue;
+      link_keys.push_back(pack(ids[i], ids[i + 1]));
     }
   }
-  auto degree = [&](Asn as) -> std::size_t {
-    const auto it = neighbors.find(as);
-    return it == neighbors.end() ? 0 : it->second.size();
+  std::sort(link_keys.begin(), link_keys.end());
+  link_keys.erase(std::unique(link_keys.begin(), link_keys.end()), link_keys.end());
+  const auto link_index = [&](NodeId a, NodeId b) -> std::uint32_t {
+    const std::uint64_t key = pack(a, b);
+    const auto it = std::lower_bound(link_keys.begin(), link_keys.end(), key);
+    if (it == link_keys.end() || *it != key) return kNoLink;
+    return static_cast<std::uint32_t>(it - link_keys.begin());
   };
+  std::vector<std::uint32_t> lo_provides(link_keys.size(), 0);
+  std::vector<std::uint32_t> hi_provides(link_keys.size(), 0);
 
   // Phase 2: uphill/downhill transit counts around each path's top provider.
-  std::unordered_map<std::uint64_t, TransitCounts> transit;
-  auto count_transit = [&](Asn provider, Asn customer) {
-    auto& counts = transit[PathCorpus::key(provider, customer)];
-    if (provider.value() < customer.value()) {
-      ++counts.lo_provides;
+  const auto count_transit = [&](NodeId provider, NodeId customer) {
+    const std::uint32_t link = link_index(provider, customer);
+    if (provider < customer) {
+      ++lo_provides[link];
     } else {
-      ++counts.hi_provides;
+      ++hi_provides[link];
     }
   };
   for (const PathRecord& record : corpus.records()) {
-    const auto hops = record.path.hops();
-    if (hops.size() < 2) continue;
+    interner.translate(record.path.hops(), ids);
+    if (ids.size() < 2) continue;
     std::size_t top = 0;
-    for (std::size_t i = 1; i < hops.size(); ++i) {
-      if (degree(hops[i]) > degree(hops[top])) top = i;
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      if (degree(ids[i]) > degree(ids[top])) top = i;
     }
-    for (std::size_t j = 1; j < hops.size(); ++j) {
-      if (hops[j - 1] == hops[j]) continue;
+    for (std::size_t j = 1; j < ids.size(); ++j) {
+      if (ids[j - 1] == ids[j]) continue;
       if (j <= top) {
-        count_transit(hops[j], hops[j - 1]);  // uphill: right provides
+        count_transit(ids[j], ids[j - 1]);  // uphill: right provides
       } else {
-        count_transit(hops[j - 1], hops[j]);  // downhill: left provides
+        count_transit(ids[j - 1], ids[j]);  // downhill: left provides
       }
     }
   }
 
   // Phase 3: transit / sibling assignment.
   AsGraph graph;
-  for (const auto& [key, counts] : transit) {
-    const Asn lo(static_cast<std::uint32_t>(key >> 32));
-    const Asn hi(static_cast<std::uint32_t>(key));
-    const bool lo_transits = counts.lo_provides > config_.sibling_threshold;
-    const bool hi_transits = counts.hi_provides > config_.sibling_threshold;
+  for (std::size_t i = 0; i < link_keys.size(); ++i) {
+    const NodeId lo_id = static_cast<NodeId>(link_keys[i] >> 32);
+    const NodeId hi_id = static_cast<NodeId>(link_keys[i]);
+    const Asn lo = interner.asn_of(lo_id);
+    const Asn hi = interner.asn_of(hi_id);
+    const bool lo_transits = lo_provides[i] > config_.sibling_threshold;
+    const bool hi_transits = hi_provides[i] > config_.sibling_threshold;
     if (lo_transits && hi_transits) {
       graph.add_s2s(lo, hi);
-    } else if (counts.lo_provides > counts.hi_provides) {
+    } else if (lo_provides[i] > hi_provides[i]) {
       graph.add_p2c(lo, hi);
-    } else if (counts.hi_provides > counts.lo_provides) {
+    } else if (hi_provides[i] > lo_provides[i]) {
       graph.add_p2c(hi, lo);
     } else {
       // Equal small evidence both ways: higher degree provides.
-      graph.add_p2c(degree(lo) >= degree(hi) ? lo : hi,
-                    degree(lo) >= degree(hi) ? hi : lo);
+      graph.add_p2c(degree(lo_id) >= degree(hi_id) ? lo : hi,
+                    degree(lo_id) >= degree(hi_id) ? hi : lo);
     }
   }
 
   // Phase 4: peering around path tops.
   for (const PathRecord& record : corpus.records()) {
-    const auto hops = record.path.hops();
-    if (hops.size() < 2) continue;
+    interner.translate(record.path.hops(), ids);
+    if (ids.size() < 2) continue;
     std::size_t top = 0;
-    for (std::size_t i = 1; i < hops.size(); ++i) {
-      if (degree(hops[i]) > degree(hops[top])) top = i;
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      if (degree(ids[i]) > degree(ids[top])) top = i;
     }
-    auto consider = [&](Asn a, Asn b) {
+    const auto consider = [&](NodeId a, NodeId b) {
       if (a == b) return;
-      const auto it = transit.find(PathCorpus::key(a, b));
-      if (it == transit.end()) return;
+      const std::uint32_t link = link_index(a, b);
+      if (link == kNoLink) return;
       // Not peering if either direction shows repeated transit evidence.
-      if (it->second.lo_provides > config_.sibling_threshold ||
-          it->second.hi_provides > config_.sibling_threshold) {
+      if (lo_provides[link] > config_.sibling_threshold ||
+          hi_provides[link] > config_.sibling_threshold) {
         return;
       }
       const double da = static_cast<double>(std::max<std::size_t>(degree(a), 1));
       const double db = static_cast<double>(std::max<std::size_t>(degree(b), 1));
       const double ratio = da > db ? da / db : db / da;
-      if (ratio <= config_.peering_degree_ratio) graph.add_p2p(a, b);
+      if (ratio <= config_.peering_degree_ratio) {
+        graph.add_p2p(interner.asn_of(a), interner.asn_of(b));
+      }
     };
-    if (top > 0) consider(hops[top - 1], hops[top]);
-    if (top + 1 < hops.size()) consider(hops[top], hops[top + 1]);
+    if (top > 0) consider(ids[top - 1], ids[top]);
+    if (top + 1 < ids.size()) consider(ids[top], ids[top + 1]);
   }
 
   return graph;

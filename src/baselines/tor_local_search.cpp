@@ -1,10 +1,11 @@
 #include "baselines/tor_local_search.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "baselines/degree_heuristic.h"
+#include "topology/interner.h"
 
 namespace asrank::baselines {
 
@@ -12,6 +13,20 @@ namespace {
 
 using paths::PathCorpus;
 using paths::PathRecord;
+using topology::AsnInterner;
+using topology::NodeId;
+
+constexpr std::uint32_t kNoLink = 0xffffffffu;
+
+constexpr std::uint64_t pack(NodeId a, NodeId b) noexcept {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  return static_cast<std::uint64_t>(lo) << 32 | hi;
+}
+
+/// Link labelling during the search.  kLoProv/kHiProv name the providing
+/// side of the normalized (lo, hi) pair.
+enum class Label : std::uint8_t { kLoProv, kHiProv, kPeer };
 
 /// Is the hop sequence valley-free under the labelling in `graph`?
 /// Grammar: c2p* p2p? p2c* (sibling links are transparent).
@@ -53,70 +68,169 @@ AsGraph TorLocalSearch::infer(const PathCorpus& corpus) const {
   // Initial labelling: plain degree comparison.
   DegreeHeuristicConfig initial_config;
   initial_config.provider_ratio = config_.initial_provider_ratio;
-  AsGraph graph = DegreeHeuristic(initial_config).infer(corpus);
+  const AsGraph initial = DegreeHeuristic(initial_config).infer(corpus);
 
-  // Deduplicate paths (identical rows add identical objective terms) and
-  // index them by the links they cross.
-  std::vector<std::vector<Asn>> unique_paths;
+  // The search state is dense: hop sequences are translated to NodeIds once,
+  // each path stores the link-table index of every hop pair, and the
+  // objective evaluation walks flat arrays against a per-link Label byte —
+  // re-labelling a link during the climb is a single store.
+  std::vector<Asn> asns;
+  for (const PathRecord& record : corpus.records()) {
+    const auto hops = record.path.hops();
+    asns.insert(asns.end(), hops.begin(), hops.end());
+  }
+  const AsnInterner interner = AsnInterner::from_asns(std::move(asns));
+
+  // Deduplicate paths (identical rows add identical objective terms).
+  std::vector<NodeId> path_flat;
+  std::vector<std::size_t> path_off{0};
   {
     std::unordered_set<std::string> seen;
+    std::vector<NodeId> ids;
     for (const PathRecord& record : corpus.records()) {
-      const auto key = record.path.str();
-      if (seen.insert(key).second) {
-        const auto hops = record.path.hops();
-        unique_paths.emplace_back(hops.begin(), hops.end());
-      }
+      if (!seen.insert(record.path.str()).second) continue;
+      interner.translate(record.path.hops(), ids);
+      path_flat.insert(path_flat.end(), ids.begin(), ids.end());
+      path_off.push_back(path_flat.size());
     }
   }
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> paths_by_link;
-  for (std::size_t p = 0; p < unique_paths.size(); ++p) {
-    std::unordered_set<std::uint64_t> links;
-    for (std::size_t i = 1; i < unique_paths[p].size(); ++i) {
-      if (unique_paths[p][i - 1] == unique_paths[p][i]) continue;
-      links.insert(PathCorpus::key(unique_paths[p][i - 1], unique_paths[p][i]));
+  const std::size_t path_count = path_off.size() - 1;
+  const auto hops_of = [&](std::size_t p) {
+    return std::span<const NodeId>(path_flat).subspan(path_off[p],
+                                                      path_off[p + 1] - path_off[p]);
+  };
+
+  // Link table over all distinct adjacent pairs (== the initial graph's
+  // links), sorted packed ids.
+  std::vector<std::uint64_t> link_keys;
+  for (std::size_t p = 0; p < path_count; ++p) {
+    const auto hops = hops_of(p);
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      if (hops[i - 1] == hops[i]) continue;
+      link_keys.push_back(pack(hops[i - 1], hops[i]));
     }
-    for (const std::uint64_t link : links) paths_by_link[link].push_back(p);
+  }
+  std::sort(link_keys.begin(), link_keys.end());
+  link_keys.erase(std::unique(link_keys.begin(), link_keys.end()), link_keys.end());
+  const auto link_index = [&](NodeId a, NodeId b) -> std::uint32_t {
+    const std::uint64_t key = pack(a, b);
+    const auto it = std::lower_bound(link_keys.begin(), link_keys.end(), key);
+    return static_cast<std::uint32_t>(it - link_keys.begin());
+  };
+
+  std::vector<Label> labels(link_keys.size());
+  for (std::size_t i = 0; i < link_keys.size(); ++i) {
+    const Asn lo = interner.asn_of(static_cast<NodeId>(link_keys[i] >> 32));
+    const Asn hi = interner.asn_of(static_cast<NodeId>(link_keys[i]));
+    const auto link = initial.link(lo, hi);
+    if (link->type == LinkType::kP2P) {
+      labels[i] = Label::kPeer;
+    } else {
+      labels[i] = link->a == lo ? Label::kLoProv : Label::kHiProv;
+    }
   }
 
-  auto local_violations = [&](const std::vector<std::size_t>& path_ids) {
+  // Per-hop link indices (kNoLink for a prepending repeat, which no
+  // labelling can satisfy) and the link -> covering-paths index.
+  std::vector<std::uint32_t> link_of_hop(path_flat.size(), kNoLink);
+  std::vector<std::uint64_t> cover_pairs;  // (link, path) packed
+  for (std::size_t p = 0; p < path_count; ++p) {
+    const auto hops = hops_of(p);
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      if (hops[i - 1] == hops[i]) continue;
+      const std::uint32_t link = link_index(hops[i - 1], hops[i]);
+      link_of_hop[path_off[p] + i] = link;
+      cover_pairs.push_back(static_cast<std::uint64_t>(link) << 32 | p);
+    }
+  }
+  std::sort(cover_pairs.begin(), cover_pairs.end());
+  cover_pairs.erase(std::unique(cover_pairs.begin(), cover_pairs.end()),
+                    cover_pairs.end());
+  std::vector<std::uint64_t> cover_off(link_keys.size() + 1, 0);
+  for (const std::uint64_t pair : cover_pairs) ++cover_off[(pair >> 32) + 1];
+  for (std::size_t i = 0; i < link_keys.size(); ++i) cover_off[i + 1] += cover_off[i];
+
+  const auto path_valley_free = [&](std::size_t p) {
+    const auto hops = hops_of(p);
+    int state = 0;  // 0 = ascending, 1 = peaked/descending
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      const std::uint32_t link = link_of_hop[path_off[p] + i];
+      if (link == kNoLink) return false;
+      const Label label = labels[link];
+      if (label == Label::kPeer) {
+        if (state != 0) return false;
+        state = 1;
+        continue;
+      }
+      const bool left_is_lo = hops[i - 1] < hops[i];
+      const bool descending = (label == Label::kLoProv) == left_is_lo;
+      if (descending) {
+        state = 1;
+      } else if (state != 0) {  // ascending after the peak
+        return false;
+      }
+    }
+    return true;
+  };
+  const auto local_violations = [&](std::size_t link) {
     std::size_t count = 0;
-    for (const std::size_t p : path_ids) {
-      if (!valley_free(graph, unique_paths[p])) ++count;
+    for (std::uint64_t k = cover_off[link]; k < cover_off[link + 1]; ++k) {
+      if (!path_valley_free(static_cast<std::size_t>(
+              static_cast<std::uint32_t>(cover_pairs[k])))) {
+        ++count;
+      }
     }
     return count;
   };
 
   // Hill-climb: for each link, try the three labellings, keep the best
-  // (ties keep the current labelling so passes terminate).
-  const auto links = graph.links();
+  // (ties keep the current labelling so passes terminate).  Links ascend in
+  // packed-key order — the same order the legacy sweep derived from the
+  // sorted AsGraph::links() snapshot.
   for (std::size_t pass = 0; pass < config_.max_passes; ++pass) {
     bool improved = false;
-    for (const Link& original : links) {
-      const auto it = paths_by_link.find(PathCorpus::key(original.a, original.b));
-      if (it == paths_by_link.end()) continue;
-      const auto current = graph.link(original.a, original.b);
-      if (!current) continue;
+    for (std::size_t link = 0; link < link_keys.size(); ++link) {
+      if (cover_off[link] == cover_off[link + 1]) continue;
+      const Label current = labels[link];
 
-      std::size_t best_violations = local_violations(it->second);
-      Link best = *current;
-      const Link candidates[] = {
-          {current->a, current->b, LinkType::kP2C},
-          {current->b, current->a, LinkType::kP2C},
-          {current->a, current->b, LinkType::kP2P},
-      };
-      for (const Link& candidate : candidates) {
-        if (candidate.type == current->type && candidate.a == current->a) continue;
-        graph.set_relationship(candidate.a, candidate.b, candidate.type);
-        const std::size_t with_candidate = local_violations(it->second);
+      std::size_t best_violations = local_violations(link);
+      Label best = current;
+      // Candidate order mirrors the legacy sweep: both c2p orientations
+      // first (relative to the current orientation), then p2p.
+      Label candidates[2];
+      if (current == Label::kLoProv) {
+        candidates[0] = Label::kHiProv;
+        candidates[1] = Label::kPeer;
+      } else if (current == Label::kHiProv) {
+        candidates[0] = Label::kLoProv;
+        candidates[1] = Label::kPeer;
+      } else {
+        candidates[0] = Label::kLoProv;
+        candidates[1] = Label::kHiProv;
+      }
+      for (const Label candidate : candidates) {
+        labels[link] = candidate;
+        const std::size_t with_candidate = local_violations(link);
         if (with_candidate < best_violations) {
           best_violations = with_candidate;
           best = candidate;
           improved = true;
         }
       }
-      graph.set_relationship(best.a, best.b, best.type);
+      labels[link] = best;
     }
     if (!improved) break;
+  }
+
+  AsGraph graph;
+  for (std::size_t i = 0; i < link_keys.size(); ++i) {
+    const Asn lo = interner.asn_of(static_cast<NodeId>(link_keys[i] >> 32));
+    const Asn hi = interner.asn_of(static_cast<NodeId>(link_keys[i]));
+    switch (labels[i]) {
+      case Label::kLoProv: graph.add_p2c(lo, hi); break;
+      case Label::kHiProv: graph.add_p2c(hi, lo); break;
+      case Label::kPeer: graph.add_p2p(lo, hi); break;
+    }
   }
   return graph;
 }

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "topology/interner.h"
+#include "topology/topology_view.h"
 #include "util/thread_pool.h"
 
 namespace asrank::core {
@@ -12,23 +14,39 @@ namespace {
 
 using paths::PathCorpus;
 using paths::PathRecord;
+using topology::AsnInterner;
+using topology::kNoNode;
+using topology::NodeId;
 
-constexpr Asn lo_of(std::uint64_t key) noexcept {
-  return Asn(static_cast<std::uint32_t>(key >> 32));
+constexpr std::uint32_t kNoLink = 0xffffffffu;
+
+constexpr std::uint64_t pack(NodeId a, NodeId b) noexcept {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  return static_cast<std::uint64_t>(lo) << 32 | hi;
 }
-constexpr Asn hi_of(std::uint64_t key) noexcept {
-  return Asn(static_cast<std::uint32_t>(key));
+
+constexpr NodeId lo_of(std::uint64_t key) noexcept {
+  return static_cast<NodeId>(key >> 32);
 }
+constexpr NodeId hi_of(std::uint64_t key) noexcept { return static_cast<NodeId>(key); }
 
 /// Working state for one observed link during inference.
 struct LinkState {
   enum class Kind : std::uint8_t { kUnknown, kC2pLoProv, kC2pHiProv, kP2pFixed, kS2S };
   Kind kind = Kind::kUnknown;
-  std::uint32_t votes_lo_prov = 0;  ///< votes that the lower-ASN side provides
+  std::uint32_t votes_lo_prov = 0;  ///< votes that the lower-id side provides
   std::uint32_t votes_hi_prov = 0;
   std::uint32_t observations = 0;   ///< times the link appeared in paths
 };
 
+/// The pipeline's working state is entirely dense: one AsnInterner built over
+/// the sanitized corpus maps every observed AS onto [0, n); the link table is
+/// a sorted vector of packed (lo, hi) id pairs with a parallel LinkState
+/// array; paths are translated once into a flat id array with per-hop link
+/// indices precomputed, so the vote and fixpoint inner loops never hash and
+/// never binary-search.  Interner ids ascend with ASN, so id comparisons and
+/// tie-breaks reproduce the legacy ASN-based ones exactly.
 class Pipeline {
  public:
   Pipeline(const InferenceConfig& config, const PathCorpus& raw)
@@ -41,6 +59,7 @@ class Pipeline {
  private:
   void run(const PathCorpus& raw);
   void discard_poisoned(const PathCorpus& corpus);
+  void index_paths_and_links();
   void detect_partial_vps();
   void vote_on_paths();
   void commit_votes();
@@ -51,60 +70,89 @@ class Pipeline {
   void finalize_graph();
   void repair_cycles();
 
-  [[nodiscard]] bool in_clique(Asn as) const { return clique_set_.contains(as); }
-  void set_c2p(Asn provider, Asn customer);
-  [[nodiscard]] LinkState::Kind kind_of(Asn a, Asn b) const;
+  [[nodiscard]] bool in_clique(NodeId id) const noexcept {
+    return id != kNoNode && clique_bits_[id];
+  }
+  [[nodiscard]] std::uint32_t link_index(NodeId a, NodeId b) const noexcept {
+    const std::uint64_t key = pack(a, b);
+    const auto it = std::lower_bound(link_keys_.begin(), link_keys_.end(), key);
+    if (it == link_keys_.end() || *it != key) return kNoLink;
+    return static_cast<std::uint32_t>(it - link_keys_.begin());
+  }
+  void set_c2p(std::uint32_t link, NodeId provider, NodeId customer) noexcept {
+    link_state_[link].kind = provider < customer ? LinkState::Kind::kC2pLoProv
+                                                 : LinkState::Kind::kC2pHiProv;
+  }
+
+  /// Flat hop-id window of record r.
+  [[nodiscard]] std::span<const NodeId> hops_of(std::size_t r) const noexcept {
+    return std::span<const NodeId>(hops_flat_)
+        .subspan(rec_off_[r], rec_off_[r + 1] - rec_off_[r]);
+  }
+  /// Link indices aligned with hops_of(r): entry j (j >= 1) is the link
+  /// between hops j-1 and j; entry 0 is kNoLink.
+  [[nodiscard]] std::span<const std::uint32_t> links_of(std::size_t r) const noexcept {
+    return std::span<const std::uint32_t>(link_of_hop_)
+        .subspan(rec_off_[r], rec_off_[r + 1] - rec_off_[r]);
+  }
 
   const InferenceConfig& config_;
   util::ThreadPool pool_;
   InferenceResult result_;
-  std::unordered_set<Asn> clique_set_;
-  std::unordered_set<Asn> partial_vps_;
-  std::unordered_map<std::uint64_t, LinkState> links_;
-  std::unordered_set<Asn> transit_ases_;  ///< seen between two other ASes
+
+  AsnInterner interner_;               ///< id space: every sanitized-corpus AS
+  std::vector<bool> clique_bits_;      ///< by NodeId
+  std::vector<bool> transit_bits_;     ///< seen between two other ASes
+  std::vector<std::uint8_t> rec_partial_;  ///< record from a partial-view VP
+
+  std::vector<std::uint64_t> link_keys_;   ///< sorted packed (lo, hi) id pairs
+  std::vector<LinkState> link_state_;      ///< parallel to link_keys_
+
+  std::vector<NodeId> hops_flat_;          ///< all surviving paths, translated
+  std::vector<std::uint32_t> link_of_hop_; ///< parallel to hops_flat_
+  std::vector<std::size_t> rec_off_;       ///< record r = flat [off[r], off[r+1])
 };
-
-LinkState::Kind Pipeline::kind_of(Asn a, Asn b) const {
-  const auto it = links_.find(PathCorpus::key(a, b));
-  return it == links_.end() ? LinkState::Kind::kUnknown : it->second.kind;
-}
-
-void Pipeline::set_c2p(Asn provider, Asn customer) {
-  auto& state = links_[PathCorpus::key(provider, customer)];
-  state.kind = provider.value() < customer.value() ? LinkState::Kind::kC2pLoProv
-                                                   : LinkState::Kind::kC2pHiProv;
-}
 
 void Pipeline::run(const PathCorpus& raw) {
   // Step 1: sanitize.
   auto sanitized = paths::sanitize(raw, config_.sanitizer);
   result_.audit.sanitize = sanitized.stats;
 
+  // The id space for every later stage: all ASes of the sanitized corpus
+  // (poisoned-path discard only removes whole paths, never introduces ASes,
+  // so this interner covers the surviving corpus too).
+  {
+    std::vector<Asn> asns;
+    for (const PathRecord& record : sanitized.corpus.records()) {
+      const auto hops = record.path.hops();
+      asns.insert(asns.end(), hops.begin(), hops.end());
+    }
+    interner_ = AsnInterner::from_asns(std::move(asns));
+  }
+
   // Step 2: rank.
-  result_.degrees = Degrees::compute(sanitized.corpus);
+  result_.degrees = Degrees::compute(interner_, sanitized.corpus, config_.threads);
   result_.audit.ranked_ases = result_.degrees.ranked().size();
 
   // Step 3: clique.
   result_.clique = infer_clique(sanitized.corpus, result_.degrees, config_.clique);
-  clique_set_.insert(result_.clique.begin(), result_.clique.end());
+  clique_bits_.assign(interner_.size(), false);
+  for (const Asn member : result_.clique) clique_bits_[interner_.id_of(member)] = true;
   result_.audit.clique_size = result_.clique.size();
 
   // Step 4: discard poisoned paths.
   discard_poisoned(sanitized.corpus);
 
-  // Register every observed link and transit AS.
-  for (const PathRecord& record : result_.sanitized.records()) {
-    const auto hops = record.path.hops();
-    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
-      ++links_[PathCorpus::key(hops[i], hops[i + 1])].observations;
-      if (i > 0) transit_ases_.insert(hops[i]);
-    }
-  }
+  // Translate the surviving corpus and register every observed link and
+  // transit AS.
+  index_paths_and_links();
+
   // Clique-internal links are p2p by assumption A1.
   for (std::size_t i = 0; i < result_.clique.size(); ++i) {
     for (std::size_t j = i + 1; j < result_.clique.size(); ++j) {
-      const auto it = links_.find(PathCorpus::key(result_.clique[i], result_.clique[j]));
-      if (it != links_.end()) it->second.kind = LinkState::Kind::kP2pFixed;
+      const std::uint32_t link = link_index(interner_.id_of(result_.clique[i]),
+                                            interner_.id_of(result_.clique[j]));
+      if (link != kNoLink) link_state_[link].kind = LinkState::Kind::kP2pFixed;
     }
   }
 
@@ -126,12 +174,12 @@ void Pipeline::discard_poisoned(const PathCorpus& corpus) {
   // Per-path classification is independent, so it parallelizes; the ordered
   // append below keeps the surviving corpus in the original record order.
   std::vector<std::uint8_t> poisoned(records.size(), 0);
-  if (config_.discard_poisoned && !clique_set_.empty()) {
+  if (config_.discard_poisoned && !result_.clique.empty()) {
     pool_.for_each_index(records.size(), [&](std::size_t r) {
       const auto hops = records[r].path.hops();
       std::size_t first = hops.size(), last = 0, count = 0;
       for (std::size_t i = 0; i < hops.size(); ++i) {
-        if (in_clique(hops[i])) {
+        if (in_clique(interner_.id_of(hops[i]))) {
           first = std::min(first, i);
           last = std::max(last, i);
           ++count;
@@ -151,51 +199,95 @@ void Pipeline::discard_poisoned(const PathCorpus& corpus) {
   }
 }
 
+void Pipeline::index_paths_and_links() {
+  const auto records = result_.sanitized.records();
+
+  rec_off_.reserve(records.size() + 1);
+  rec_off_.push_back(0);
+  std::vector<NodeId> ids;
+  for (const PathRecord& record : records) {
+    interner_.translate(record.path.hops(), ids);
+    hops_flat_.insert(hops_flat_.end(), ids.begin(), ids.end());
+    rec_off_.push_back(hops_flat_.size());
+  }
+
+  // Link table: sorted unique packed pairs over all adjacent hops.
+  transit_bits_.assign(interner_.size(), false);
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const auto hops = hops_of(r);
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      link_keys_.push_back(pack(hops[i], hops[i + 1]));
+      if (i > 0) transit_bits_[hops[i]] = true;
+    }
+  }
+  std::sort(link_keys_.begin(), link_keys_.end());
+  link_keys_.erase(std::unique(link_keys_.begin(), link_keys_.end()), link_keys_.end());
+  link_state_.assign(link_keys_.size(), LinkState{});
+
+  // Per-hop link indices: the vote and fixpoint loops walk these flat
+  // arrays with zero lookups.
+  link_of_hop_.assign(hops_flat_.size(), kNoLink);
+  pool_.for_each_index(records.size(), [&](std::size_t r) {
+    const auto hops = hops_of(r);
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      link_of_hop_[rec_off_[r] + i] = link_index(hops[i - 1], hops[i]);
+    }
+  });
+  for (const std::uint32_t link : link_of_hop_) {
+    if (link != kNoLink) ++link_state_[link].observations;
+  }
+}
+
 void Pipeline::detect_partial_vps() {
+  const auto records = result_.sanitized.records();
+  rec_partial_.assign(records.size(), 0);
   if (config_.partial_vp_threshold <= 0.0) return;
   std::unordered_map<Asn, std::size_t> table_sizes;
-  for (const PathRecord& record : result_.sanitized.records()) ++table_sizes[record.vp];
+  for (const PathRecord& record : records) ++table_sizes[record.vp];
   std::size_t max_size = 0;
   for (const auto& [vp, size] : table_sizes) max_size = std::max(max_size, size);
+  std::unordered_set<Asn> partial;
   for (const auto& [vp, size] : table_sizes) {
     if (static_cast<double>(size) <
         config_.partial_vp_threshold * static_cast<double>(max_size)) {
-      partial_vps_.insert(vp);
+      partial.insert(vp);
     }
   }
-  result_.audit.partial_vps = partial_vps_.size();
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    rec_partial_[r] = partial.contains(records[r].vp);
+  }
+  result_.audit.partial_vps = partial.size();
 }
 
 void Pipeline::vote_on_paths() {
   const Degrees& degrees = result_.degrees;
 
   // Votes are per-link sums and the audit counters are totals, so per-path
-  // work is independent: each chunk accumulates a local tally against the
-  // (read-only) link table and tallies merge by addition — commutative, so
-  // the result is identical at any thread count.
+  // work is independent: each chunk accumulates a dense local tally against
+  // the (read-only) link table and tallies merge by element-wise addition —
+  // commutative, so the result is identical at any thread count.
   struct VoteTally {
-    std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>>
-        votes;  ///< key -> (lo-provides, hi-provides)
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> votes;  // (lo, hi) provides
     std::size_t cast = 0;
     std::size_t deferred = 0;
   };
 
-  auto tally_record = [&](const PathRecord& record, VoteTally& tally) {
-    auto vote = [&](Asn provider, Asn customer) {
-      const std::uint64_t key = PathCorpus::key(provider, customer);
-      const auto it = links_.find(key);
-      if (it != links_.end() && it->second.kind == LinkState::Kind::kP2pFixed) return;
-      auto& [lo_prov, hi_prov] = tally.votes[key];
-      if (provider.value() < customer.value()) {
+  auto tally_record = [&](std::size_t r, VoteTally& tally) {
+    const auto hops = hops_of(r);
+    const auto links = links_of(r);
+    if (hops.size() < 2) return;
+
+    auto vote = [&](std::size_t j, NodeId provider, NodeId customer) {
+      const std::uint32_t link = links[j];
+      if (link_state_[link].kind == LinkState::Kind::kP2pFixed) return;
+      auto& [lo_prov, hi_prov] = tally.votes[link];
+      if (provider < customer) {
         ++lo_prov;
       } else {
         ++hi_prov;
       }
       ++tally.cast;
     };
-
-    const auto hops = record.path.hops();
-    if (hops.size() < 2) return;
 
     // A path is valley-free around a single peak.  We vote c2p only for
     // positions that are certainly on the up or down slope; the (at most
@@ -213,7 +305,7 @@ void Pipeline::vote_on_paths() {
     std::size_t defer_lo = hops.size(), defer_hi = hops.size();  // j-indices to skip
     std::size_t peak_first = 0, peak_last = 0;                   // hop index range of peak
 
-    if (partial_vps_.contains(record.vp)) {
+    if (rec_partial_[r]) {
       // (a): peak is the VP itself; nothing deferred, everything descends.
     } else {
       std::size_t first_clique = hops.size(), last_clique = hops.size();
@@ -242,19 +334,19 @@ void Pipeline::vote_on_paths() {
     }
 
     for (std::size_t j = 1; j < hops.size(); ++j) {
-      const Asn left = hops[j - 1];
-      const Asn right = hops[j];
+      const NodeId left = hops[j - 1];
+      const NodeId right = hops[j];
       if (j == defer_lo || j == defer_hi) {
         // Optional ablation knob: vote c2p at a deferred peak link anyway
         // when the transit-degree gap makes peering look implausible.  Off
         // by default — bench_ablation shows it trades c2p PPV for coverage.
         if (config_.apex_degree_gap > 0.0) {
-          const Asn peak_side = (j == defer_lo) ? right : left;
-          const Asn other = (j == defer_lo) ? left : right;
+          const NodeId peak_side = (j == defer_lo) ? right : left;
+          const NodeId other = (j == defer_lo) ? left : right;
           const auto td_peak = static_cast<double>(degrees.transit_degree(peak_side));
           const auto td_other = static_cast<double>(degrees.transit_degree(other));
           if (td_peak >= config_.apex_degree_gap * std::max(td_other, 1.0)) {
-            vote(peak_side, other);
+            vote(j, peak_side, other);
             continue;
           }
         }
@@ -263,35 +355,36 @@ void Pipeline::vote_on_paths() {
       }
       if (j > peak_first && j <= peak_last) continue;  // clique-internal: fixed p2p
       if (j <= peak_first) {
-        vote(right, left);  // ascending toward the peak
+        vote(j, right, left);  // ascending toward the peak
       } else {
-        vote(left, right);  // descending from the peak
+        vote(j, left, right);  // descending from the peak
       }
     }
   };
 
-  const auto records = result_.sanitized.records();
+  const std::size_t record_count = rec_off_.size() - 1;
   const VoteTally total = pool_.map_reduce<VoteTally>(
-      records.size(), VoteTally{},
+      record_count,
+      VoteTally{std::vector<std::pair<std::uint32_t, std::uint32_t>>(link_keys_.size()),
+                0, 0},
       [&](std::size_t begin, std::size_t end) {
-        VoteTally local;
-        for (std::size_t r = begin; r < end; ++r) tally_record(records[r], local);
+        VoteTally local{
+            std::vector<std::pair<std::uint32_t, std::uint32_t>>(link_keys_.size()), 0, 0};
+        for (std::size_t r = begin; r < end; ++r) tally_record(r, local);
         return local;
       },
       [](VoteTally& acc, VoteTally&& part) {
-        for (const auto& [key, votes] : part.votes) {
-          auto& [lo_prov, hi_prov] = acc.votes[key];
-          lo_prov += votes.first;
-          hi_prov += votes.second;
+        for (std::size_t i = 0; i < acc.votes.size(); ++i) {
+          acc.votes[i].first += part.votes[i].first;
+          acc.votes[i].second += part.votes[i].second;
         }
         acc.cast += part.cast;
         acc.deferred += part.deferred;
       });
 
-  for (const auto& [key, votes] : total.votes) {
-    auto& state = links_[key];
-    state.votes_lo_prov += votes.first;
-    state.votes_hi_prov += votes.second;
+  for (std::size_t i = 0; i < link_keys_.size(); ++i) {
+    link_state_[i].votes_lo_prov += total.votes[i].first;
+    link_state_[i].votes_hi_prov += total.votes[i].second;
   }
   result_.audit.c2p_votes += total.cast;
   result_.audit.apex_links_deferred += total.deferred;
@@ -299,7 +392,8 @@ void Pipeline::vote_on_paths() {
 
 void Pipeline::commit_votes() {
   const Degrees& degrees = result_.degrees;
-  for (auto& [key, state] : links_) {
+  for (std::size_t i = 0; i < link_keys_.size(); ++i) {
+    LinkState& state = link_state_[i];
     if (state.kind != LinkState::Kind::kUnknown) continue;
     if (state.votes_lo_prov == 0 && state.votes_hi_prov == 0) continue;
     if (state.votes_lo_prov > 0 && state.votes_hi_prov > 0) {
@@ -323,7 +417,7 @@ void Pipeline::commit_votes() {
       state.kind = LinkState::Kind::kC2pHiProv;
     } else {
       // Tie: the higher-ranked side is the provider.
-      state.kind = degrees.rank_of(lo_of(key)) < degrees.rank_of(hi_of(key))
+      state.kind = degrees.rank_of(lo_of(link_keys_[i])) < degrees.rank_of(hi_of(link_keys_[i]))
                        ? LinkState::Kind::kC2pLoProv
                        : LinkState::Kind::kC2pHiProv;
     }
@@ -342,26 +436,26 @@ void Pipeline::triplet_fixpoint() {
   //             every later link must descend (left side provides);
   //   backward: before a known p2p link or a known ascent, every earlier
   //             link must ascend (right side provides).
+  const std::size_t record_count = rec_off_.size() - 1;
   bool changed = true;
   std::size_t iterations = 0;
   while (changed && iterations < 16) {
     changed = false;
     ++iterations;
-    for (const PathRecord& record : result_.sanitized.records()) {
-      const auto hops = record.path.hops();
+    for (std::size_t r = 0; r < record_count; ++r) {
+      const auto hops = hops_of(r);
+      const auto links = links_of(r);
       if (hops.size() < 2) continue;
 
       auto classify = [&](std::size_t j) {
         // Link between hops[j-1] and hops[j].
-        const Asn left = hops[j - 1];
-        const Asn right = hops[j];
-        const LinkState::Kind kind = kind_of(left, right);
+        const LinkState::Kind kind = link_state_[links[j]].kind;
         struct Info {
           LinkState::Kind kind;
           bool descending;  // known p2c, left provides
           bool ascending;   // known c2p, right provides
         };
-        const bool left_is_lo = left.value() < right.value();
+        const bool left_is_lo = hops[j - 1] < hops[j];
         const bool desc = (kind == LinkState::Kind::kC2pLoProv && left_is_lo) ||
                           (kind == LinkState::Kind::kC2pHiProv && !left_is_lo);
         const bool asc = kind != LinkState::Kind::kUnknown &&
@@ -370,12 +464,12 @@ void Pipeline::triplet_fixpoint() {
         return Info{kind, desc, asc};
       };
 
-      bool descending = partial_vps_.contains(record.vp);
+      bool descending = rec_partial_[r] != 0;
       for (std::size_t j = 1; j < hops.size(); ++j) {
         const auto info = classify(j);
         if (descending) {
           if (info.kind == LinkState::Kind::kUnknown) {
-            set_c2p(hops[j - 1], hops[j]);
+            set_c2p(links[j], hops[j - 1], hops[j]);
             ++result_.audit.triplet_inferred;
             changed = true;
           } else if (info.ascending || info.kind == LinkState::Kind::kP2pFixed) {
@@ -394,7 +488,7 @@ void Pipeline::triplet_fixpoint() {
         const auto info = classify(j);
         if (ascending) {
           if (info.kind == LinkState::Kind::kUnknown) {
-            set_c2p(hops[j], hops[j - 1]);  // right side provides
+            set_c2p(links[j], hops[j], hops[j - 1]);  // right side provides
             ++result_.audit.triplet_inferred;
             changed = true;
           } else if (info.descending || info.kind == LinkState::Kind::kP2pFixed) {
@@ -411,54 +505,59 @@ void Pipeline::triplet_fixpoint() {
 
 void Pipeline::repair_provider_less() {
   const Degrees& degrees = result_.degrees;
+  const std::size_t n = interner_.size();
   // Collect current provider existence and per-AS unknown-link neighbours.
-  std::unordered_set<Asn> has_provider;
-  std::unordered_map<Asn, std::vector<std::pair<Asn, std::uint32_t>>> unknown_neighbors;
-  for (const auto& [key, state] : links_) {
-    const Asn lo = lo_of(key), hi = hi_of(key);
-    switch (state.kind) {
-      case LinkState::Kind::kC2pLoProv: has_provider.insert(hi); break;
-      case LinkState::Kind::kC2pHiProv: has_provider.insert(lo); break;
+  std::vector<bool> has_provider(n, false);
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> unknown_neighbors(n);
+  for (std::size_t i = 0; i < link_keys_.size(); ++i) {
+    const NodeId lo = lo_of(link_keys_[i]), hi = hi_of(link_keys_[i]);
+    switch (link_state_[i].kind) {
+      case LinkState::Kind::kC2pLoProv: has_provider[hi] = true; break;
+      case LinkState::Kind::kC2pHiProv: has_provider[lo] = true; break;
       case LinkState::Kind::kUnknown:
-        unknown_neighbors[lo].emplace_back(hi, state.observations);
-        unknown_neighbors[hi].emplace_back(lo, state.observations);
+        unknown_neighbors[lo].emplace_back(hi, link_state_[i].observations);
+        unknown_neighbors[hi].emplace_back(lo, link_state_[i].observations);
         break;
       case LinkState::Kind::kP2pFixed:
       case LinkState::Kind::kS2S:
         break;
     }
   }
-  for (const Asn as : transit_ases_) {
-    if (in_clique(as) || has_provider.contains(as)) continue;
-    const auto it = unknown_neighbors.find(as);
-    if (it == unknown_neighbors.end()) continue;
+  // Order-independent (a rank comparison gates every adoption, and ranks
+  // form a strict total order), so the ascending-id sweep reproduces the
+  // legacy hash-order sweep exactly.
+  for (NodeId as = 0; as < n; ++as) {
+    if (!transit_bits_[as] || in_clique(as) || has_provider[as]) continue;
+    if (unknown_neighbors[as].empty()) continue;
     // Most-observed higher-ranked neighbour becomes the provider.
-    Asn best;
+    NodeId best = kNoNode;
     std::uint32_t best_obs = 0;
-    for (const auto& [neighbor, observations] : it->second) {
+    for (const auto& [neighbor, observations] : unknown_neighbors[as]) {
       if (degrees.rank_of(neighbor) >= degrees.rank_of(as)) continue;
       if (observations > best_obs || (observations == best_obs && neighbor < best)) {
         best = neighbor;
         best_obs = observations;
       }
     }
-    if (best.valid() && kind_of(best, as) == LinkState::Kind::kUnknown) {
-      set_c2p(best, as);
+    if (best == kNoNode) continue;
+    const std::uint32_t link = link_index(best, as);
+    if (link_state_[link].kind == LinkState::Kind::kUnknown) {
+      set_c2p(link, best, as);
       ++result_.audit.providerless_repaired;
     }
   }
 }
 
 void Pipeline::stub_clique_pass() {
-  for (auto& [key, state] : links_) {
-    if (state.kind != LinkState::Kind::kUnknown) continue;
-    const Asn lo = lo_of(key), hi = hi_of(key);
+  for (std::size_t i = 0; i < link_keys_.size(); ++i) {
+    if (link_state_[i].kind != LinkState::Kind::kUnknown) continue;
+    const NodeId lo = lo_of(link_keys_[i]), hi = hi_of(link_keys_[i]);
     const bool lo_clique = in_clique(lo), hi_clique = in_clique(hi);
     if (lo_clique == hi_clique) continue;
-    const Asn member = lo_clique ? lo : hi;
-    const Asn other = lo_clique ? hi : lo;
-    if (!transit_ases_.contains(other)) {  // a stub never transits
-      set_c2p(member, other);
+    const NodeId member = lo_clique ? lo : hi;
+    const NodeId other = lo_clique ? hi : lo;
+    if (!transit_bits_[other]) {  // a stub never transits
+      set_c2p(static_cast<std::uint32_t>(i), member, other);
       ++result_.audit.stub_clique_links;
     }
   }
@@ -471,29 +570,30 @@ void Pipeline::enforce_transit_free_clique() {
   // for links seen from few VPs), and it is catastrophic if left standing:
   // the false "provider" captures the member's entire customer cone and
   // rockets up the ranking.  Re-orient such links toward the member.
-  for (auto& [key, state] : links_) {
-    const Asn lo = lo_of(key), hi = hi_of(key);
-    Asn provider, customer;
-    if (state.kind == LinkState::Kind::kC2pLoProv) {
+  for (std::size_t i = 0; i < link_keys_.size(); ++i) {
+    const NodeId lo = lo_of(link_keys_[i]), hi = hi_of(link_keys_[i]);
+    NodeId provider = kNoNode, customer = kNoNode;
+    if (link_state_[i].kind == LinkState::Kind::kC2pLoProv) {
       provider = lo;
       customer = hi;
-    } else if (state.kind == LinkState::Kind::kC2pHiProv) {
+    } else if (link_state_[i].kind == LinkState::Kind::kC2pHiProv) {
       provider = hi;
       customer = lo;
     } else {
       continue;
     }
     if (in_clique(customer) && !in_clique(provider)) {
-      set_c2p(customer, provider);
+      set_c2p(static_cast<std::uint32_t>(i), customer, provider);
       ++result_.audit.clique_direction_fixes;
     }
   }
 }
 
 void Pipeline::finalize_graph() {
-  for (const auto& [key, state] : links_) {
-    const Asn lo = lo_of(key), hi = hi_of(key);
-    switch (state.kind) {
+  for (std::size_t i = 0; i < link_keys_.size(); ++i) {
+    const Asn lo = interner_.asn_of(lo_of(link_keys_[i]));
+    const Asn hi = interner_.asn_of(hi_of(link_keys_[i]));
+    switch (link_state_[i].kind) {
       case LinkState::Kind::kC2pLoProv:
         result_.graph.add_p2c(lo, hi);
         break;
@@ -516,14 +616,12 @@ void Pipeline::finalize_graph() {
 
 void Pipeline::repair_cycles() {
   if (result_.graph.p2c_acyclic()) return;
-  // Tarjan SCC over the provider->customer digraph; inside each non-trivial
-  // SCC, re-orient c2p edges so the higher-ranked endpoint provides, which
-  // imposes a strict total order and breaks all cycles without discarding
-  // transit evidence.
-  const std::vector<Asn> ases = result_.graph.ases();
-  std::unordered_map<Asn, std::size_t> index;
-  for (std::size_t i = 0; i < ases.size(); ++i) index.emplace(ases[i], i);
-  const std::size_t n = ases.size();
+  // Tarjan SCC over the provider->customer digraph of a frozen CSR view;
+  // inside each non-trivial SCC, re-orient c2p edges so the higher-ranked
+  // endpoint provides, which imposes a strict total order and breaks all
+  // cycles without discarding transit evidence.
+  const topology::TopologyView view = result_.graph.freeze();
+  const std::size_t n = view.node_count();
 
   std::vector<std::size_t> low(n, 0), disc(n, 0), scc_id(n, 0);
   std::vector<bool> on_stack(n, false);
@@ -545,9 +643,9 @@ void Pipeline::repair_cycles() {
         stack.push_back(node);
         on_stack[node] = true;
       }
-      const auto customers = result_.graph.customers(ases[node]);
+      const auto customers = view.customers(static_cast<NodeId>(node));
       if (frames.back().child_index < customers.size()) {
-        const std::size_t next = index.at(customers[frames.back().child_index]);
+        const std::size_t next = customers[frames.back().child_index];
         ++frames.back().child_index;
         if (disc[next] == 0) {
           frames.push_back({next, 0});  // frames.back() invalidated; loop re-reads
@@ -574,9 +672,10 @@ void Pipeline::repair_cycles() {
   }
 
   const Degrees& degrees = result_.degrees;
+  const AsnInterner& graph_ids = view.interner();
   for (const Link& link : result_.graph.links()) {
     if (link.type != LinkType::kP2C) continue;
-    const std::size_t ia = index.at(link.a), ib = index.at(link.b);
+    const NodeId ia = graph_ids.id_of(link.a), ib = graph_ids.id_of(link.b);
     if (scc_id[ia] != scc_id[ib]) continue;
     // Intra-SCC edge: orient toward the ranking.
     const bool a_higher = degrees.rank_of(link.a) < degrees.rank_of(link.b) ||

@@ -4,6 +4,51 @@
 
 namespace asrank::core {
 
+namespace {
+
+using topology::AsnInterner;
+using topology::kNoNode;
+using topology::NodeId;
+
+constexpr std::uint64_t pack(NodeId a, NodeId b) noexcept {
+  return static_cast<std::uint64_t>(a) << 32 | b;
+}
+
+}  // namespace
+
+ObservedAdjacency ObservedAdjacency::build(const AsnInterner& interner,
+                                           const paths::PathCorpus& corpus) {
+  std::vector<std::uint64_t> pairs;
+  std::vector<NodeId> ids;
+  for (const paths::PathRecord& record : corpus.records()) {
+    interner.translate(record.path.hops(), ids);
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+      if (ids[i] == ids[i + 1]) continue;  // prepending repeat
+      if (ids[i] == kNoNode || ids[i + 1] == kNoNode) continue;
+      pairs.push_back(pack(ids[i], ids[i + 1]));
+      pairs.push_back(pack(ids[i + 1], ids[i]));
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  ObservedAdjacency adjacency;
+  const std::size_t n = interner.size();
+  adjacency.offsets_.assign(n + 1, 0);
+  adjacency.neighbors_.resize(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    ++adjacency.offsets_[(pairs[i] >> 32) + 1];
+    adjacency.neighbors_[i] = static_cast<NodeId>(pairs[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) adjacency.offsets_[i + 1] += adjacency.offsets_[i];
+  return adjacency;
+}
+
+bool ObservedAdjacency::adjacent(NodeId a, NodeId b) const noexcept {
+  const auto row = neighbors(a);
+  return std::binary_search(row.begin(), row.end(), b);
+}
+
 AdjacencySet build_adjacency(const paths::PathCorpus& corpus) {
   AdjacencySet adjacency;
   for (const paths::PathRecord& record : corpus.records()) {
@@ -19,20 +64,13 @@ AdjacencySet build_adjacency(const paths::PathCorpus& corpus) {
 
 namespace {
 
-bool adjacent(const AdjacencySet& adjacency, Asn a, Asn b) {
-  const auto it = adjacency.find(a);
-  return it != adjacency.end() && it->second.contains(b);
-}
-
-/// Bron–Kerbosch with pivoting over index sets.
-void bron_kerbosch(const std::vector<Asn>& vertices,
-                   const std::vector<std::vector<bool>>& adj, std::vector<std::size_t>& r,
+/// Bron–Kerbosch with pivoting over a dense index adjacency matrix.  Emits
+/// each maximal clique as a sorted list of vertex indices.
+void bron_kerbosch(const std::vector<std::vector<bool>>& adj, std::vector<std::size_t>& r,
                    std::vector<std::size_t> p, std::vector<std::size_t> x,
-                   std::vector<std::vector<Asn>>& out) {
+                   std::vector<std::vector<std::size_t>>& out) {
   if (p.empty() && x.empty()) {
-    std::vector<Asn> clique;
-    clique.reserve(r.size());
-    for (const std::size_t i : r) clique.push_back(vertices[i]);
+    std::vector<std::size_t> clique = r;
     std::sort(clique.begin(), clique.end());
     out.push_back(std::move(clique));
     return;
@@ -67,35 +105,44 @@ void bron_kerbosch(const std::vector<Asn>& vertices,
     for (const std::size_t u : x) {
       if (adj[v][u]) x_next.push_back(u);
     }
-    bron_kerbosch(vertices, adj, r, std::move(p_next), std::move(x_next), out);
+    bron_kerbosch(adj, r, std::move(p_next), std::move(x_next), out);
     r.pop_back();
     p.erase(std::remove(p.begin(), p.end(), v), p.end());
     x.push_back(v);
   }
 }
 
-}  // namespace
-
-std::vector<std::vector<Asn>> maximal_cliques(const AdjacencySet& adjacency,
-                                              const std::vector<Asn>& vertices) {
-  const std::size_t n = vertices.size();
-  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (adjacent(adjacency, vertices[i], vertices[j])) {
-        adj[i][j] = adj[j][i] = true;
-      }
-    }
-  }
-  std::vector<std::size_t> p(n);
-  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+std::vector<std::vector<std::size_t>> index_cliques(const std::vector<std::vector<bool>>& adj) {
+  std::vector<std::size_t> p(adj.size());
+  for (std::size_t i = 0; i < adj.size(); ++i) p[i] = i;
   std::vector<std::size_t> r;
-  std::vector<std::vector<Asn>> out;
-  bron_kerbosch(vertices, adj, r, std::move(p), {}, out);
+  std::vector<std::vector<std::size_t>> out;
+  bron_kerbosch(adj, r, std::move(p), {}, out);
   return out;
 }
 
-namespace {
+/// Maximal cliques of the sub-graph induced by `seed`, as sorted NodeId
+/// lists.  Sorted ids translate to sorted ASNs (interner order-preservation),
+/// so clique comparison below matches the legacy ASN-lexicographic order.
+std::vector<std::vector<NodeId>> seed_cliques(const ObservedAdjacency& adjacency,
+                                              const std::vector<NodeId>& seed) {
+  const std::size_t n = seed.size();
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (adjacency.adjacent(seed[i], seed[j])) adj[i][j] = adj[j][i] = true;
+    }
+  }
+  std::vector<std::vector<NodeId>> out;
+  for (const auto& indices : index_cliques(adj)) {
+    std::vector<NodeId> clique;
+    clique.reserve(indices.size());
+    for (const std::size_t i : indices) clique.push_back(seed[i]);
+    std::sort(clique.begin(), clique.end());
+    out.push_back(std::move(clique));
+  }
+  return out;
+}
 
 /// Customer evidence relative to a candidate member set: an AS observed
 /// directly after two consecutive members (either path direction) must buy
@@ -105,58 +152,103 @@ namespace {
 /// this also neutralizes path poisoning that inserts a victim between two
 /// tier-1s.  The sandwich rule applies to members themselves: a "member"
 /// seen between two genuine members is a customer that slipped in.
-/// Flagged AS -> distinct origin ASes that witnessed the evidence.
-using EvidenceMap = std::unordered_map<Asn, std::unordered_set<Asn>>;
+///
+/// Returns per-node distinct-witness counts: evidence is recorded per
+/// distinct origin AS — a single origin poisoning its announcements
+/// (inserting a real tier-1 ASN) taints every path toward itself but no path
+/// toward anyone else, so callers can demand independent witnesses where
+/// robustness matters.  Counting runs over sorted (flagged, origin) id pairs;
+/// origins outside the interner share the kNoNode id (still one distinct
+/// witness, as in the legacy hash-set tally).
+std::vector<std::uint32_t> customer_evidence(const paths::PathCorpus& corpus,
+                                             const AsnInterner& interner,
+                                             const std::vector<NodeId>& members) {
+  std::vector<bool> member(interner.size(), false);
+  for (const NodeId m : members) member[m] = true;
+  const auto in = [&](NodeId id) { return id != kNoNode && member[id]; };
 
-EvidenceMap customer_evidence(const paths::PathCorpus& corpus,
-                              const std::unordered_set<Asn>& members) {
-  // Evidence is recorded per distinct origin AS: a single origin poisoning
-  // its announcements (inserting a real tier-1 ASN) taints every path toward
-  // itself but no path toward anyone else, so the caller can demand
-  // independent witnesses where robustness matters.
-  EvidenceMap witnesses;
+  std::vector<std::uint64_t> pairs;
+  std::vector<NodeId> ids;
   for (const paths::PathRecord& record : corpus.records()) {
     const auto hops = record.path.hops();
     if (hops.size() < 3) continue;
-    const Asn origin = hops.back();
-    for (std::size_t i = 0; i + 2 < hops.size(); ++i) {
-      const bool first_in = members.contains(hops[i]);
-      const bool mid_in = members.contains(hops[i + 1]);
-      const bool last_in = members.contains(hops[i + 2]);
-      if (first_in && mid_in && !last_in) witnesses[hops[i + 2]].insert(origin);
-      if (mid_in && last_in && !first_in) witnesses[hops[i]].insert(origin);
-      if (first_in && last_in) witnesses[hops[i + 1]].insert(origin);  // sandwich
+    interner.translate(hops, ids);
+    const NodeId origin = ids.back();
+    for (std::size_t i = 0; i + 2 < ids.size(); ++i) {
+      const bool first_in = in(ids[i]);
+      const bool mid_in = in(ids[i + 1]);
+      const bool last_in = in(ids[i + 2]);
+      if (first_in && mid_in && !last_in && ids[i + 2] != kNoNode) {
+        pairs.push_back(pack(ids[i + 2], origin));
+      }
+      if (mid_in && last_in && !first_in && ids[i] != kNoNode) {
+        pairs.push_back(pack(ids[i], origin));
+      }
+      if (first_in && last_in && ids[i + 1] != kNoNode) {
+        pairs.push_back(pack(ids[i + 1], origin));  // sandwich
+      }
     }
   }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  std::vector<std::uint32_t> witnesses(interner.size(), 0);
+  for (const std::uint64_t p : pairs) ++witnesses[p >> 32];
   return witnesses;
 }
 
-bool flagged_by(const EvidenceMap& evidence, Asn as, std::size_t min_origins) {
-  const auto it = evidence.find(as);
-  return it != evidence.end() && it->second.size() >= min_origins;
-}
-
 }  // namespace
+
+std::vector<std::vector<Asn>> maximal_cliques(const AdjacencySet& adjacency,
+                                              const std::vector<Asn>& vertices) {
+  const std::size_t n = vertices.size();
+  const auto adjacent = [&](Asn a, Asn b) {
+    const auto it = adjacency.find(a);
+    return it != adjacency.end() && it->second.contains(b);
+  };
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (adjacent(vertices[i], vertices[j])) adj[i][j] = adj[j][i] = true;
+    }
+  }
+  std::vector<std::vector<Asn>> out;
+  for (const auto& indices : index_cliques(adj)) {
+    std::vector<Asn> clique;
+    clique.reserve(indices.size());
+    for (const std::size_t i : indices) clique.push_back(vertices[i]);
+    std::sort(clique.begin(), clique.end());
+    out.push_back(std::move(clique));
+  }
+  return out;
+}
 
 std::vector<Asn> infer_clique(const paths::PathCorpus& corpus, const Degrees& degrees,
                               const CliqueConfig& config) {
   const auto& ranked = degrees.ranked();
   if (ranked.empty()) return {};
-  const AdjacencySet adjacency = build_adjacency(corpus);
+  const AsnInterner& interner = degrees.interner();
+  const std::size_t n = interner.size();
+  const ObservedAdjacency adjacency = ObservedAdjacency::build(interner, corpus);
 
-  const std::size_t seed_size = std::min(config.seed_size, ranked.size());
+  // Ranked ASes all carry node degree > 0, so they are always interned.
+  std::vector<NodeId> ranked_ids;
+  ranked_ids.reserve(ranked.size());
+  for (const Asn as : ranked) ranked_ids.push_back(interner.id_of(as));
+
+  const std::size_t seed_size = std::min(config.seed_size, ranked_ids.size());
 
   // Iterated Bron–Kerbosch: observed adjacency alone cannot distinguish a
   // tier-1 peer from a large customer of two tier-1s, so after each clique
   // candidate we test every member against the valley-free customer
   // evidence and eject the ones proven to buy transit from the rest,
   // removing them from the seed and retrying.
-  std::unordered_set<Asn> banned;
-  std::vector<Asn> best;
+  std::vector<bool> banned(n, false);
+  std::vector<NodeId> best;
   for (int iteration = 0; iteration < 8; ++iteration) {
-    std::vector<Asn> seed;
-    for (std::size_t i = 0; i < ranked.size() && seed.size() < seed_size; ++i) {
-      if (!banned.contains(ranked[i])) seed.push_back(ranked[i]);
+    std::vector<NodeId> seed;
+    for (std::size_t i = 0; i < ranked_ids.size() && seed.size() < seed_size; ++i) {
+      if (!banned[ranked_ids[i]]) seed.push_back(ranked_ids[i]);
     }
     if (seed.empty()) break;
 
@@ -167,7 +259,7 @@ std::vector<Asn> infer_clique(const paths::PathCorpus& corpus, const Degrees& de
     // sparse vantage-point coverage; the customer-evidence iteration below
     // ejects intruders either way.
     best.clear();
-    for (auto& clique : maximal_cliques(adjacency, seed)) {
+    for (auto& clique : seed_cliques(adjacency, seed)) {
       if (clique.size() > best.size() || (clique.size() == best.size() && clique < best)) {
         best = std::move(clique);
       }
@@ -177,12 +269,11 @@ std::vector<Asn> infer_clique(const paths::PathCorpus& corpus, const Degrees& de
 
     // Ejecting an established member requires independent witnesses (a lone
     // poisoning origin must not be able to evict true tier-1s).
-    const auto evidence =
-        customer_evidence(corpus, std::unordered_set<Asn>(best.begin(), best.end()));
+    const auto evidence = customer_evidence(corpus, interner, best);
     std::size_t ejected = 0;
-    for (const Asn member : best) {
-      if (flagged_by(evidence, member, config.customer_evidence_min_origins)) {
-        banned.insert(member);
+    for (const NodeId member : best) {
+      if (evidence[member] >= config.customer_evidence_min_origins) {
+        banned[member] = true;
         ++ejected;
       }
     }
@@ -192,12 +283,11 @@ std::vector<Asn> infer_clique(const paths::PathCorpus& corpus, const Degrees& de
   // Admission of *new* candidates is cheap to deny, so any single witness
   // suffices to reject — which also keeps a poisoning origin's inserted ASN
   // out of the clique.
-  std::unordered_set<Asn> below = banned;
+  std::vector<bool> below = banned;
   if (config.reject_customer_evidence) {
-    const auto evidence =
-        customer_evidence(corpus, std::unordered_set<Asn>(best.begin(), best.end()));
-    for (const auto& [as, origins] : evidence) {
-      if (!origins.empty()) below.insert(as);
+    const auto evidence = customer_evidence(corpus, interner, best);
+    for (NodeId id = 0; id < n; ++id) {
+      if (evidence[id] > 0) below[id] = true;
     }
   }
 
@@ -206,28 +296,27 @@ std::vector<Asn> infer_clique(const paths::PathCorpus& corpus, const Degrees& de
   // because a true tier-1 with a small customer base ranks arbitrarily low.
   // Candidates are evaluated in rank order so earlier admissions constrain
   // later ones; customer evidence disqualifies outright.
-  std::unordered_map<Asn, std::size_t> member_adjacency;
-  for (const Asn member : best) {
-    const auto it = adjacency.find(member);
-    if (it == adjacency.end()) continue;
-    for (const Asn neighbor : it->second) ++member_adjacency[neighbor];
+  std::vector<std::uint32_t> member_adjacency(n, 0);
+  for (const NodeId member : best) {
+    for (const NodeId neighbor : adjacency.neighbors(member)) ++member_adjacency[neighbor];
   }
-  std::vector<Asn> candidates;
-  for (const auto& [as, count] : member_adjacency) {
-    if (count + config.max_missing_links < best.size()) continue;
-    if (std::binary_search(best.begin(), best.end(), as)) continue;
-    if (below.contains(as)) continue;
-    candidates.push_back(as);
+  std::vector<NodeId> candidates;
+  for (NodeId id = 0; id < n; ++id) {
+    if (member_adjacency[id] == 0) continue;
+    if (member_adjacency[id] + config.max_missing_links < best.size()) continue;
+    if (std::binary_search(best.begin(), best.end(), id)) continue;
+    if (below[id]) continue;
+    candidates.push_back(id);
   }
   std::sort(candidates.begin(), candidates.end(),
-            [&](Asn a, Asn b) { return degrees.rank_of(a) < degrees.rank_of(b); });
+            [&](NodeId a, NodeId b) { return degrees.rank_of(a) < degrees.rank_of(b); });
   if (candidates.size() > config.expansion_candidates) {
     candidates.resize(config.expansion_candidates);
   }
-  for (const Asn candidate : candidates) {
+  for (const NodeId candidate : candidates) {
     std::size_t missing = 0;
-    for (const Asn member : best) {
-      if (!adjacent(adjacency, candidate, member)) ++missing;
+    for (const NodeId member : best) {
+      if (!adjacency.adjacent(candidate, member)) ++missing;
     }
     // The tolerance is capped at a third of the current clique: tolerating a
     // missing link in a 2-3 member clique would admit anything adjacent to a
@@ -237,7 +326,11 @@ std::vector<Asn> infer_clique(const paths::PathCorpus& corpus, const Degrees& de
       best.insert(std::upper_bound(best.begin(), best.end(), candidate), candidate);
     }
   }
-  return best;
+
+  std::vector<Asn> out;
+  out.reserve(best.size());
+  for (const NodeId id : best) out.push_back(interner.asn_of(id));
+  return out;
 }
 
 }  // namespace asrank::core

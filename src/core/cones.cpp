@@ -13,7 +13,12 @@ namespace asrank::core {
 
 namespace {
 
-/// Fixed-width bitset over AS indices for fast cone unions.
+using topology::AsnInterner;
+using topology::kNoNode;
+using topology::NodeId;
+using topology::TopologyView;
+
+/// Fixed-width bitset over node ids for fast cone unions.
 class Bits {
  public:
   explicit Bits(std::size_t n) : blocks_((n + 63) / 64, 0) {}
@@ -30,14 +35,15 @@ class Bits {
   std::vector<std::uint64_t> blocks_;
 };
 
-/// Set-bit extraction in index order, skipping zero words.
-std::vector<Asn> members_of(const Bits& bits, const std::vector<Asn>& ases) {
+/// Set-bit extraction in id order (== ascending ASN), skipping zero words.
+std::vector<Asn> members_of(const Bits& bits, const AsnInterner& interner) {
   std::vector<Asn> members;
   const auto& blocks = bits.blocks();
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     std::uint64_t word = blocks[b];
     while (word != 0) {
-      members.push_back(ases[(b << 6) + static_cast<std::size_t>(std::countr_zero(word))]);
+      members.push_back(interner.asn_of(
+          static_cast<NodeId>((b << 6) + static_cast<std::size_t>(std::countr_zero(word)))));
       word &= word - 1;
     }
   }
@@ -48,27 +54,28 @@ std::vector<Asn> members_of(const Bits& bits, const std::vector<Asn>& ases) {
 /// nodes, and every node sits strictly above all of its customers.  Within a
 /// level no node depends on another, which is what makes the level-parallel
 /// closure race-free.  Throws on cycles (assumption A3), like the DFS path.
-std::vector<std::vector<std::size_t>> reverse_topo_levels(
-    const std::vector<std::vector<std::size_t>>& customers) {
-  const std::size_t n = customers.size();
+template <typename CustomersFn>
+std::vector<std::vector<NodeId>> reverse_topo_levels(std::size_t n,
+                                                     const CustomersFn& customers) {
   std::vector<std::size_t> pending(n, 0);
-  std::vector<std::vector<std::size_t>> parents(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    pending[i] = customers[i].size();
-    for (const std::size_t c : customers[i]) parents[c].push_back(i);
+  std::vector<std::vector<NodeId>> parents(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const auto row = customers(i);
+    pending[i] = row.size();
+    for (const NodeId c : row) parents[c].push_back(i);
   }
 
-  std::vector<std::vector<std::size_t>> levels;
-  std::vector<std::size_t> frontier;
-  for (std::size_t i = 0; i < n; ++i) {
+  std::vector<std::vector<NodeId>> levels;
+  std::vector<NodeId> frontier;
+  for (NodeId i = 0; i < n; ++i) {
     if (pending[i] == 0) frontier.push_back(i);
   }
   std::size_t finalized = 0;
   while (!frontier.empty()) {
     finalized += frontier.size();
-    std::vector<std::size_t> next;
-    for (const std::size_t node : frontier) {
-      for (const std::size_t p : parents[node]) {
+    std::vector<NodeId> next;
+    for (const NodeId node : frontier) {
+      for (const NodeId p : parents[node]) {
         if (--pending[p] == 0) next.push_back(p);
       }
     }
@@ -82,28 +89,30 @@ std::vector<std::vector<std::size_t>> reverse_topo_levels(
   return levels;
 }
 
-/// Memoized post-order closure over an arbitrary p2c sub-relation given as
-/// index adjacency (provider index -> customer indices).  threads == 1 runs
-/// the legacy sequential DFS; more workers merge each reverse-topological
-/// level in parallel — every node writes only its own cone and reads only
-/// cones from strictly lower levels, so the bitsets (and therefore the
-/// output) are identical at any worker count.
-ConeMap closure(const std::vector<Asn>& ases,
-                const std::vector<std::vector<std::size_t>>& customers,
+/// Memoized post-order closure over an arbitrary p2c sub-relation given as a
+/// per-node customer-row accessor (NodeId -> span<const NodeId>).  The loop
+/// body is pure array traversal plus bitset unions — no hashing anywhere.
+/// threads == 1 runs the legacy sequential DFS; more workers merge each
+/// reverse-topological level in parallel — every node writes only its own
+/// cone and reads only cones from strictly lower levels, so the bitsets (and
+/// therefore the output) are identical at any worker count.
+template <typename CustomersFn>
+ConeMap closure(const AsnInterner& interner, const CustomersFn& customers,
                 std::size_t threads) {
-  const std::size_t n = ases.size();
+  const std::size_t n = interner.size();
   util::ThreadPool pool(threads);
   std::vector<Bits> cones(n, Bits(n));
 
   if (pool.worker_count() <= 1) {
     std::vector<std::uint8_t> state(n, 0);  // 0 = new, 1 = visiting, 2 = done
-    for (std::size_t root = 0; root < n; ++root) {
+    for (NodeId root = 0; root < n; ++root) {
       if (state[root] == 2) continue;
       // Iterative DFS post-order.
-      std::vector<std::pair<std::size_t, std::size_t>> frames{{root, 0}};
+      std::vector<std::pair<NodeId, std::size_t>> frames{{root, 0}};
       while (!frames.empty()) {
-        const std::size_t node = frames.back().first;
+        const NodeId node = frames.back().first;
         std::size_t& child = frames.back().second;
+        const auto row = customers(node);
         if (child == 0) {
           if (state[node] == 2) {
             frames.pop_back();
@@ -112,8 +121,8 @@ ConeMap closure(const std::vector<Asn>& ases,
           state[node] = 1;
           cones[node].set(node);
         }
-        if (child < customers[node].size()) {
-          const std::size_t next = customers[node][child];
+        if (child < row.size()) {
+          const NodeId next = row[child];
           ++child;
           if (state[next] == 1) {
             throw std::invalid_argument("customer cones: provider graph has a cycle");
@@ -121,75 +130,73 @@ ConeMap closure(const std::vector<Asn>& ases,
           if (state[next] != 2) frames.push_back({next, 0});
           continue;
         }
-        for (const std::size_t c : customers[node]) cones[node].merge(cones[c]);
+        for (const NodeId c : row) cones[node].merge(cones[c]);
         state[node] = 2;
         frames.pop_back();
       }
     }
   } else {
-    for (const std::vector<std::size_t>& level : reverse_topo_levels(customers)) {
+    for (const std::vector<NodeId>& level : reverse_topo_levels(n, customers)) {
       pool.for_each_index(level.size(), [&](std::size_t k) {
-        const std::size_t node = level[k];
+        const NodeId node = level[k];
         cones[node].set(node);
-        for (const std::size_t c : customers[node]) cones[node].merge(cones[c]);
+        for (const NodeId c : customers(node)) cones[node].merge(cones[c]);
       });
     }
   }
 
   std::vector<std::vector<Asn>> members(n);
-  pool.for_each_index(n, [&](std::size_t i) { members[i] = members_of(cones[i], ases); });
+  pool.for_each_index(n, [&](std::size_t i) { members[i] = members_of(cones[i], interner); });
   ConeMap out;
-  for (std::size_t i = 0; i < n; ++i) out.emplace(ases[i], std::move(members[i]));
+  for (NodeId i = 0; i < n; ++i) out.emplace(interner.asn_of(i), std::move(members[i]));
   return out;
 }
 
-std::unordered_map<Asn, std::size_t> index_of(const std::vector<Asn>& ases) {
-  std::unordered_map<Asn, std::size_t> index;
-  index.reserve(ases.size());
-  for (std::size_t i = 0; i < ases.size(); ++i) index.emplace(ases[i], i);
-  return index;
-}
-
-bool is_p2c(const AsGraph& graph, Asn left, Asn right) {
-  const auto view = graph.view(left, right);
-  return view && *view == RelView::kCustomer;  // right is left's customer
+/// Is the link a -> b a known p2c (b is a's customer)?  kNoNode-safe.
+bool is_p2c(const TopologyView& view, NodeId a, NodeId b) {
+  if (a == kNoNode || b == kNoNode) return false;
+  const auto rel = view.relationship(a, b);
+  return rel && *rel == RelView::kCustomer;
 }
 
 }  // namespace
 
-ConeMap recursive_cone(const AsGraph& graph, std::size_t threads) {
-  const std::vector<Asn> ases = graph.ases();
-  const auto index = index_of(ases);
-  std::vector<std::vector<std::size_t>> customers(ases.size());
-  for (std::size_t i = 0; i < ases.size(); ++i) {
-    for (const Asn customer : graph.customers(ases[i])) {
-      customers[i].push_back(index.at(customer));
-    }
-  }
-  return closure(ases, customers, threads);
+ConeMap recursive_cone(const TopologyView& view, std::size_t threads) {
+  return closure(view.interner(), [&](NodeId node) { return view.customers(node); },
+                 threads);
 }
 
-ConeMap bgp_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus,
+ConeMap recursive_cone(const AsGraph& graph, std::size_t threads) {
+  return recursive_cone(graph.freeze(), threads);
+}
+
+ConeMap bgp_observed_cone(const TopologyView& view, const paths::PathCorpus& corpus,
                           std::size_t threads) {
   using SetMap = std::unordered_map<Asn, std::unordered_set<Asn>>;
   util::ThreadPool pool(threads);
   const auto records = corpus.records();
+  const AsnInterner& interner = view.interner();
 
-  // Per-chunk membership sets merged by set union: commutative, so the
-  // ordered reduction yields the sequential result at any worker count.
+  // Cone keys/members stay ASN-typed: observed paths may cross ASes the
+  // annotated graph has never seen, which have no NodeId.  Only the p2c
+  // classification runs on the dense view.  Per-chunk membership sets merge
+  // by set union — commutative, so the ordered reduction yields the
+  // sequential result at any worker count.
   SetMap cones = pool.map_reduce<SetMap>(
       records.size(), SetMap{},
       [&](std::size_t begin, std::size_t end) {
         SetMap local;
+        std::vector<NodeId> ids;
         for (std::size_t r = begin; r < end; ++r) {
           const auto hops = records[r].path.hops();
           if (hops.size() < 2) continue;
+          interner.translate(hops, ids);
           // reach_end[i]: last index of the contiguous p2c descent starting
           // at i.  Computed right-to-left in one pass.
           std::vector<std::size_t> reach_end(hops.size());
           reach_end[hops.size() - 1] = hops.size() - 1;
           for (std::size_t i = hops.size() - 1; i-- > 0;) {
-            reach_end[i] = is_p2c(graph, hops[i], hops[i + 1]) ? reach_end[i + 1] : i;
+            reach_end[i] = is_p2c(view, ids[i], ids[i + 1]) ? reach_end[i + 1] : i;
           }
           for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
             auto& cone = local[hops[i]];
@@ -203,7 +210,7 @@ ConeMap bgp_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus,
           acc[as].insert(members.begin(), members.end());
         }
       });
-  for (const Asn as : graph.ases()) cones[as].insert(as);
+  for (const Asn as : interner.asns()) cones[as].insert(as);
 
   ConeMap out;
   for (auto& [as, members] : cones) {
@@ -214,60 +221,91 @@ ConeMap bgp_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus,
   return out;
 }
 
-ConeMap provider_peer_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus,
-                                    std::size_t threads) {
+ConeMap bgp_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus,
+                          std::size_t threads) {
+  return bgp_observed_cone(graph.freeze(), corpus, threads);
+}
+
+ConeMap provider_peer_observed_cone(const TopologyView& view,
+                                    const paths::PathCorpus& corpus, std::size_t threads) {
   // Collect p2c links observed while descending from above: the provider
-  // hop was itself preceded by one of its providers or peers.
-  const std::vector<Asn> ases = graph.ases();
-  const auto index = index_of(ases);
-  using LinkSets = std::vector<std::unordered_set<std::size_t>>;
+  // hop was itself preceded by one of its providers or peers.  Each chunk
+  // emits packed (provider, customer) id pairs; the final sort+unique makes
+  // the result independent of chunk order, so concatenation merging is safe.
+  const AsnInterner& interner = view.interner();
   util::ThreadPool pool(threads);
   const auto records = corpus.records();
 
-  LinkSets filtered = pool.map_reduce<LinkSets>(
-      records.size(), LinkSets(ases.size()),
+  using PairList = std::vector<std::uint64_t>;
+  PairList pairs = pool.map_reduce<PairList>(
+      records.size(), PairList{},
       [&](std::size_t begin, std::size_t end) {
-        LinkSets local(ases.size());
+        PairList local;
+        std::vector<NodeId> ids;
         for (std::size_t r = begin; r < end; ++r) {
           const auto hops = records[r].path.hops();
+          interner.translate(hops, ids);
           for (std::size_t i = 1; i + 1 < hops.size(); ++i) {
-            const auto preceding = graph.view(hops[i], hops[i - 1]);
+            if (ids[i] == kNoNode || ids[i - 1] == kNoNode) continue;
+            const auto preceding = view.relationship(ids[i], ids[i - 1]);
             const bool from_above = preceding && (*preceding == RelView::kProvider ||
                                                   *preceding == RelView::kPeer);
             if (!from_above) continue;
             // Every contiguous p2c link after i is proven to carry traffic
             // downward.
             for (std::size_t j = i; j + 1 < hops.size(); ++j) {
-              if (!is_p2c(graph, hops[j], hops[j + 1])) break;
-              local[index.at(hops[j])].insert(index.at(hops[j + 1]));
+              if (!is_p2c(view, ids[j], ids[j + 1])) break;
+              local.push_back(static_cast<std::uint64_t>(ids[j]) << 32 | ids[j + 1]);
             }
           }
         }
         return local;
       },
-      [](LinkSets& acc, LinkSets&& part) {
-        for (std::size_t i = 0; i < acc.size(); ++i) {
-          acc[i].insert(part[i].begin(), part[i].end());
-        }
+      [](PairList& acc, PairList&& part) {
+        acc.insert(acc.end(), part.begin(), part.end());
       });
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
 
-  std::vector<std::vector<std::size_t>> customers(ases.size());
-  for (std::size_t i = 0; i < ases.size(); ++i) {
-    customers[i].assign(filtered[i].begin(), filtered[i].end());
-    std::sort(customers[i].begin(), customers[i].end());
+  // CSR over the filtered sub-relation: pairs are sorted by (provider,
+  // customer), so each row comes out sorted.
+  const std::size_t n = interner.size();
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  std::vector<NodeId> customers(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    ++offsets[(pairs[i] >> 32) + 1];
+    customers[i] = static_cast<NodeId>(pairs[i]);
   }
-  return closure(ases, customers, threads);
+  for (std::size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+
+  return closure(
+      interner,
+      [&](NodeId node) {
+        return std::span<const NodeId>(customers).subspan(
+            offsets[node], offsets[node + 1] - offsets[node]);
+      },
+      threads);
+}
+
+ConeMap provider_peer_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus,
+                                    std::size_t threads) {
+  return provider_peer_observed_cone(graph.freeze(), corpus, threads);
+}
+
+ConeMap compute_cone(ConeMethod method, const TopologyView& view,
+                     const paths::PathCorpus& corpus, std::size_t threads) {
+  switch (method) {
+    case ConeMethod::kRecursive: return recursive_cone(view, threads);
+    case ConeMethod::kBgpObserved: return bgp_observed_cone(view, corpus, threads);
+    case ConeMethod::kProviderPeerObserved:
+      return provider_peer_observed_cone(view, corpus, threads);
+  }
+  throw std::invalid_argument("compute_cone: unknown method");
 }
 
 ConeMap compute_cone(ConeMethod method, const AsGraph& graph,
                      const paths::PathCorpus& corpus, std::size_t threads) {
-  switch (method) {
-    case ConeMethod::kRecursive: return recursive_cone(graph, threads);
-    case ConeMethod::kBgpObserved: return bgp_observed_cone(graph, corpus, threads);
-    case ConeMethod::kProviderPeerObserved:
-      return provider_peer_observed_cone(graph, corpus, threads);
-  }
-  throw std::invalid_argument("compute_cone: unknown method");
+  return compute_cone(method, graph.freeze(), corpus, threads);
 }
 
 }  // namespace asrank::core

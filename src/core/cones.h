@@ -16,6 +16,13 @@
 //
 // Invariant (tested): recursive ⊇ provider/peer observed and
 // recursive ⊇ BGP observed, for every AS.  Every cone contains its own AS.
+//
+// All computations run on the dense-id CSR substrate (topology::TopologyView):
+// the closure walks flat customer rows indexed by NodeId and unions fixed-
+// width bitsets, so the hot loop is cache-linear with no hashing.  The
+// AsGraph overloads freeze the graph first; callers that already hold a view
+// (the CLI, the snapshot builder) should pass it directly and pay the freeze
+// cost once.
 #pragma once
 
 #include <cstddef>
@@ -24,6 +31,7 @@
 #include "paths/corpus.h"
 #include "topology/as_graph.h"
 #include "topology/serialization.h"
+#include "topology/topology_view.h"
 
 namespace asrank::core {
 
@@ -42,25 +50,36 @@ enum class ConeMethod { kRecursive, kBgpObserved, kProviderPeerObserved };
 // the exact sequential legacy path, 0 means all hardware threads, and the
 // result is bit-identical at any count (see util/thread_pool.h — the closure
 // parallelizes over reverse-topological levels of the p2c DAG, the observed
-// cones over path-corpus chunks with commutative set-union merges).
+// cones over path-corpus chunks with commutative merges).
 
 /// Full transitive closure over p2c links.  Requires an acyclic provider
 /// graph (throws std::invalid_argument otherwise — assumption A3).
+[[nodiscard]] ConeMap recursive_cone(const topology::TopologyView& view,
+                                     std::size_t threads = 1);
 [[nodiscard]] ConeMap recursive_cone(const AsGraph& graph, std::size_t threads = 1);
 
 /// Direct observation: contiguous descending chains after each AS in paths,
-/// using `graph` to classify links as p2c.
+/// using the view to classify links as p2c.
+[[nodiscard]] ConeMap bgp_observed_cone(const topology::TopologyView& view,
+                                        const paths::PathCorpus& corpus,
+                                        std::size_t threads = 1);
 [[nodiscard]] ConeMap bgp_observed_cone(const AsGraph& graph, const paths::PathCorpus& corpus,
                                         std::size_t threads = 1);
 
 /// Closure over p2c links observed in descending path positions where the
 /// provider was reached via one of its providers or peers.
+[[nodiscard]] ConeMap provider_peer_observed_cone(const topology::TopologyView& view,
+                                                  const paths::PathCorpus& corpus,
+                                                  std::size_t threads = 1);
 [[nodiscard]] ConeMap provider_peer_observed_cone(const AsGraph& graph,
                                                   const paths::PathCorpus& corpus,
                                                   std::size_t threads = 1);
 
 /// Dispatch by method.  kRecursive ignores `corpus`.
 [[nodiscard]] ConeMap compute_cone(ConeMethod method, const AsGraph& graph,
+                                   const paths::PathCorpus& corpus,
+                                   std::size_t threads = 1);
+[[nodiscard]] ConeMap compute_cone(ConeMethod method, const topology::TopologyView& view,
                                    const paths::PathCorpus& corpus,
                                    std::size_t threads = 1);
 

@@ -1,7 +1,6 @@
 #include "core/degrees.h"
 
 #include <algorithm>
-#include <unordered_set>
 #include <utility>
 
 #include "util/thread_pool.h"
@@ -10,24 +9,51 @@ namespace asrank::core {
 
 namespace {
 
-/// Per-chunk tally for the parallel pass.  Merged by set union, which is
-/// commutative, so the ordered reduction is thread-count invariant.
-struct NeighborSets {
-  std::unordered_map<Asn, std::unordered_set<Asn>> transit;
-  std::unordered_map<Asn, std::unordered_set<Asn>> all;
+using topology::AsnInterner;
+using topology::kNoNode;
+using topology::NodeId;
+
+constexpr std::uint64_t pack(NodeId node, NodeId neighbor) noexcept {
+  return static_cast<std::uint64_t>(node) << 32 | neighbor;
+}
+
+/// Per-chunk packed (node, neighbour) id pairs.  Chunks merge by
+/// concatenation; the final global sort+unique erases chunk order, so the
+/// distinct-neighbour counts are thread-count invariant.
+struct PairLists {
+  std::vector<std::uint64_t> all;
+  std::vector<std::uint64_t> transit;
 };
+
+void count_rows(std::vector<std::uint64_t>& pairs, std::vector<std::uint32_t>& deg) {
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  for (const std::uint64_t p : pairs) ++deg[p >> 32];
+}
 
 }  // namespace
 
 Degrees Degrees::compute(const paths::PathCorpus& corpus, std::size_t threads) {
+  std::vector<Asn> asns;
+  for (const paths::PathRecord& record : corpus.records()) {
+    const auto hops = record.path.hops();
+    asns.insert(asns.end(), hops.begin(), hops.end());
+  }
+  return compute(AsnInterner::from_asns(std::move(asns)), corpus, threads);
+}
+
+Degrees Degrees::compute(topology::AsnInterner interner, const paths::PathCorpus& corpus,
+                         std::size_t threads) {
   Degrees degrees;
   util::ThreadPool pool(threads);
   const auto records = corpus.records();
+  const std::size_t n = interner.size();
 
-  NeighborSets sets = pool.map_reduce<NeighborSets>(
-      records.size(), NeighborSets{},
+  PairLists pairs = pool.map_reduce<PairLists>(
+      records.size(), PairLists{},
       [&](std::size_t begin, std::size_t end) {
-        NeighborSets local;
+        PairLists local;
+        std::vector<NodeId> ids;
         for (std::size_t r = begin; r < end; ++r) {
           // Degrees are defined over prepending-free paths; compress
           // defensively in case the corpus was not sanitized.
@@ -35,65 +61,70 @@ Degrees Degrees::compute(const paths::PathCorpus& corpus, std::size_t threads) {
           const AsPath compressed = record.path.has_prepending()
                                         ? record.path.compress_prepending()
                                         : record.path;
-          const auto hops = compressed.hops();
-          for (std::size_t i = 0; i < hops.size(); ++i) {
-            if (i > 0) {
-              local.all[hops[i]].insert(hops[i - 1]);
-              local.all[hops[i - 1]].insert(hops[i]);
+          interner.translate(compressed.hops(), ids);
+          for (std::size_t i = 0; i < ids.size(); ++i) {
+            if (ids[i] == kNoNode) continue;
+            if (i > 0 && ids[i - 1] != kNoNode) {
+              local.all.push_back(pack(ids[i], ids[i - 1]));
+              local.all.push_back(pack(ids[i - 1], ids[i]));
             }
-            if (i > 0 && i + 1 < hops.size()) {
-              local.transit[hops[i]].insert(hops[i - 1]);
-              local.transit[hops[i]].insert(hops[i + 1]);
+            if (i > 0 && i + 1 < ids.size()) {
+              if (ids[i - 1] != kNoNode) local.transit.push_back(pack(ids[i], ids[i - 1]));
+              if (ids[i + 1] != kNoNode) local.transit.push_back(pack(ids[i], ids[i + 1]));
             }
           }
         }
         return local;
       },
-      [](NeighborSets& acc, NeighborSets&& part) {
-        for (auto& [as, neighbors] : part.all) {
-          acc.all[as].insert(neighbors.begin(), neighbors.end());
-        }
-        for (auto& [as, neighbors] : part.transit) {
-          acc.transit[as].insert(neighbors.begin(), neighbors.end());
-        }
+      [](PairLists& acc, PairLists&& part) {
+        acc.all.insert(acc.all.end(), part.all.begin(), part.all.end());
+        acc.transit.insert(acc.transit.end(), part.transit.begin(), part.transit.end());
       });
 
-  for (const auto& [as, neighbors] : sets.all) {
-    degrees.node_.emplace(as, neighbors.size());
-  }
-  for (const auto& [as, neighbors] : sets.transit) {
-    degrees.transit_.emplace(as, neighbors.size());
-  }
+  degrees.node_deg_.assign(n, 0);
+  degrees.transit_deg_.assign(n, 0);
+  count_rows(pairs.all, degrees.node_deg_);
+  count_rows(pairs.transit, degrees.transit_deg_);
 
-  degrees.ranked_.reserve(sets.all.size());
-  for (const auto& [as, neighbors] : sets.all) degrees.ranked_.push_back(as);
-  std::sort(degrees.ranked_.begin(), degrees.ranked_.end(), [&](Asn a, Asn b) {
-    const std::size_t ta = degrees.transit_degree(a), tb = degrees.transit_degree(b);
-    if (ta != tb) return ta > tb;
-    const std::size_t na = degrees.node_degree(a), nb = degrees.node_degree(b);
-    if (na != nb) return na > nb;
+  // Rank every AS observed next to another (node degree > 0); ids ascend in
+  // ASN order, so the id tie-break below *is* the lower-ASN tie-break.
+  std::vector<NodeId> order;
+  for (NodeId id = 0; id < n; ++id) {
+    if (degrees.node_deg_[id] > 0) order.push_back(id);
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (degrees.transit_deg_[a] != degrees.transit_deg_[b]) {
+      return degrees.transit_deg_[a] > degrees.transit_deg_[b];
+    }
+    if (degrees.node_deg_[a] != degrees.node_deg_[b]) {
+      return degrees.node_deg_[a] > degrees.node_deg_[b];
+    }
     return a < b;
   });
-  degrees.rank_.reserve(degrees.ranked_.size());
-  for (std::size_t i = 0; i < degrees.ranked_.size(); ++i) {
-    degrees.rank_.emplace(degrees.ranked_[i], i);
+
+  degrees.rank_.assign(n, order.size());
+  degrees.ranked_.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    degrees.rank_[order[i]] = i;
+    degrees.ranked_.push_back(interner.asn_of(order[i]));
   }
+  degrees.interner_ = std::move(interner);
   return degrees;
 }
 
 std::size_t Degrees::transit_degree(Asn as) const noexcept {
-  const auto it = transit_.find(as);
-  return it == transit_.end() ? 0 : it->second;
+  const NodeId id = interner_.id_of(as);
+  return id == kNoNode ? 0 : transit_deg_[id];
 }
 
 std::size_t Degrees::node_degree(Asn as) const noexcept {
-  const auto it = node_.find(as);
-  return it == node_.end() ? 0 : it->second;
+  const NodeId id = interner_.id_of(as);
+  return id == kNoNode ? 0 : node_deg_[id];
 }
 
 std::size_t Degrees::rank_of(Asn as) const noexcept {
-  const auto it = rank_.find(as);
-  return it == rank_.end() ? ranked_.size() : it->second;
+  const NodeId id = interner_.id_of(as);
+  return id == kNoNode ? ranked_.size() : rank_[id];
 }
 
 }  // namespace asrank::core

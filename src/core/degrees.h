@@ -5,27 +5,53 @@
 // two other ASes (i.e. where it actually transits traffic).  Node degree
 // (distinct neighbours anywhere) breaks ties, and lower ASN breaks the rest,
 // making the ranking a deterministic total order.
+//
+// Internally the tally runs on the dense NodeId space of a
+// topology::AsnInterner built over the corpus: distinct-neighbour counting is
+// a sort+unique over packed (node, neighbour) id pairs and per-AS lookups are
+// array reads, with no hashing on the hot path.
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "asn/asn.h"
 #include "paths/corpus.h"
+#include "topology/interner.h"
 
 namespace asrank::core {
 
 class Degrees {
  public:
   /// Compute degrees from sanitized paths.  `threads`: 1 = sequential legacy
-  /// path (default), 0 = all hardware threads; the tally is a set union over
-  /// corpus chunks, so results are identical at any worker count.
+  /// path (default), 0 = all hardware threads; the per-chunk pair lists are
+  /// merged and globally sorted, so results are identical at any worker
+  /// count.  Builds its own interner over the corpus hops.
   [[nodiscard]] static Degrees compute(const paths::PathCorpus& corpus,
+                                       std::size_t threads = 1);
+
+  /// Same, on a caller-supplied interner that must cover every corpus hop
+  /// (the pipeline shares one interner across all stages).
+  [[nodiscard]] static Degrees compute(topology::AsnInterner interner,
+                                       const paths::PathCorpus& corpus,
                                        std::size_t threads = 1);
 
   [[nodiscard]] std::size_t transit_degree(Asn as) const noexcept;
   [[nodiscard]] std::size_t node_degree(Asn as) const noexcept;
+
+  /// Dense-id accessors (id must be < interner().size()).
+  [[nodiscard]] std::size_t transit_degree(topology::NodeId id) const noexcept {
+    return transit_deg_[id];
+  }
+  [[nodiscard]] std::size_t node_degree(topology::NodeId id) const noexcept {
+    return node_deg_[id];
+  }
+  [[nodiscard]] std::size_t rank_of(topology::NodeId id) const noexcept {
+    return rank_[id];
+  }
+
+  /// The id space the tallies are indexed by (every corpus AS).
+  [[nodiscard]] const topology::AsnInterner& interner() const noexcept { return interner_; }
 
   /// All ASes in rank order: transit degree desc, node degree desc, ASN asc.
   [[nodiscard]] const std::vector<Asn>& ranked() const noexcept { return ranked_; }
@@ -35,9 +61,10 @@ class Degrees {
   [[nodiscard]] std::size_t rank_of(Asn as) const noexcept;
 
  private:
-  std::unordered_map<Asn, std::size_t> transit_;
-  std::unordered_map<Asn, std::size_t> node_;
-  std::unordered_map<Asn, std::size_t> rank_;
+  topology::AsnInterner interner_;
+  std::vector<std::uint32_t> transit_deg_;  // by NodeId
+  std::vector<std::uint32_t> node_deg_;     // by NodeId
+  std::vector<std::size_t> rank_;           // by NodeId; ranked_.size() if unranked
   std::vector<Asn> ranked_;
 };
 

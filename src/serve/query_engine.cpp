@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <deque>
 #include <sstream>
+#include <vector>
 
 namespace asrank::serve {
 
@@ -12,6 +12,21 @@ namespace {
 std::uint64_t pair_key(Asn a, Asn b) noexcept {
   return static_cast<std::uint64_t>(a.value()) << 32 | b.value();
 }
+
+/// Reusable BFS state, keyed by dense node id.  Visited-tracking is an
+/// epoch stamp rather than a per-query clear or hash map: a node is visited
+/// in the current query iff stamp[id] == epoch, so each query costs one
+/// counter bump instead of an O(n) reset or per-hop hashing.  thread_local
+/// makes concurrent queries allocation-free and race-free; the arrays grow
+/// to the largest index served on this thread and are reused across engines.
+struct BfsScratch {
+  std::vector<std::uint32_t> parent;
+  std::vector<std::uint32_t> stamp;
+  std::vector<std::uint32_t> queue;
+  std::uint32_t epoch = 0;
+};
+
+constexpr std::uint32_t kNoParent = 0xffffffffu;
 
 }  // namespace
 
@@ -179,34 +194,47 @@ AsnList QueryEngine::path_to_clique(Asn as) {
   }
 
   auto result = std::make_shared<std::vector<Asn>>();
-  if (index_.has_as(as)) {
-    const auto clique = index_.clique();
-    const auto in_clique = [&clique](Asn candidate) {
-      return std::binary_search(clique.begin(), clique.end(), candidate);
-    };
-    // BFS over provider links.  Frontier order is deterministic: providers()
-    // yields ascending ASNs and the queue preserves insertion order, so the
-    // first clique member found — and the parent chain behind it — is the
-    // same on every run.
-    std::unordered_map<Asn, Asn> parent;
-    std::deque<Asn> queue;
-    parent.emplace(as, Asn());
-    queue.push_back(as);
-    Asn found;
-    while (!queue.empty() && !found.valid()) {
-      const Asn current = queue.front();
-      queue.pop_front();
-      if (in_clique(current)) {
+  if (const auto root = index_.node_id(as)) {
+    // BFS over provider links on dense node ids.  Frontier order is
+    // deterministic: neighbor rows ascend by id (≡ ascending ASN) and the
+    // flat queue preserves insertion order, so the first clique member found
+    // — and the parent chain behind it — is the same on every run.
+    thread_local BfsScratch scratch;
+    const std::size_t n = index_.as_count();
+    if (scratch.stamp.size() < n) {
+      scratch.stamp.resize(n, 0);
+      scratch.parent.resize(n);
+    }
+    if (++scratch.epoch == 0) {  // wrapped: stamps from 2^32 queries ago linger
+      std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0);
+      scratch.epoch = 1;
+    }
+    const std::uint32_t epoch = scratch.epoch;
+    scratch.queue.clear();
+    scratch.stamp[*root] = epoch;
+    scratch.parent[*root] = kNoParent;
+    scratch.queue.push_back(*root);
+    std::uint32_t found = kNoParent;
+    for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
+      const std::uint32_t current = scratch.queue[head];
+      if (index_.id_in_clique(current)) {
         found = current;
         break;
       }
-      for (const Asn provider : index_.providers(current)) {
-        if (parent.emplace(provider, current).second) queue.push_back(provider);
+      const auto neighbors = index_.neighbor_ids(current);
+      const auto rels = index_.relationship_codes(current);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        if (static_cast<RelView>(rels[i]) != RelView::kProvider) continue;
+        const std::uint32_t provider = neighbors[i];
+        if (scratch.stamp[provider] == epoch) continue;
+        scratch.stamp[provider] = epoch;
+        scratch.parent[provider] = current;
+        scratch.queue.push_back(provider);
       }
     }
-    if (found.valid()) {
-      for (Asn hop = found; hop.valid(); hop = parent.at(hop)) {
-        result->push_back(hop);
+    if (found != kNoParent) {
+      for (std::uint32_t hop = found; hop != kNoParent; hop = scratch.parent[hop]) {
+        result->push_back(index_.asn_at(hop));
       }
       std::reverse(result->begin(), result->end());
     }

@@ -206,6 +206,17 @@ std::uint32_t SnapshotIndex::transit_degree(Asn as) const noexcept {
   return id ? tdeg_[*id] : 0;
 }
 
+std::span<const std::uint32_t> SnapshotIndex::neighbor_ids(std::uint32_t id) const noexcept {
+  return std::span<const std::uint32_t>(adj_nbr_id_)
+      .subspan(adj_off_[id], adj_off_[id + 1] - adj_off_[id]);
+}
+
+std::span<const std::uint8_t> SnapshotIndex::relationship_codes(
+    std::uint32_t id) const noexcept {
+  return std::span<const std::uint8_t>(adj_rel_)
+      .subspan(adj_off_[id], adj_off_[id + 1] - adj_off_[id]);
+}
+
 // ------------------------------------------------------------ validation --
 
 void SnapshotIndex::finalize_and_validate() {
@@ -291,43 +302,49 @@ void SnapshotIndex::finalize_and_validate() {
     if (!id_of(clique_[i])) fail("clique member is not a known AS");
     if (i > 0 && !(clique_[i - 1] < clique_[i])) fail("clique not strictly ascending");
   }
+
+  // Derive the dense-id mirrors last: validation above guarantees every
+  // adjacency neighbour and clique member resolves to an id.
+  adj_nbr_id_.resize(adj_nbr_.size());
+  for (std::size_t i = 0; i < adj_nbr_.size(); ++i) {
+    adj_nbr_id_[i] = *id_of(adj_nbr_[i]);
+  }
+  clique_bits_.assign((n + 63) / 64, 0);
+  for (const Asn member : clique_) {
+    const std::uint32_t id = *id_of(member);
+    clique_bits_[id >> 6] |= 1ULL << (id & 63);
+  }
 }
 
 // --------------------------------------------------------------- builder --
 
-SnapshotIndex build_snapshot(const AsGraph& graph,
+SnapshotIndex build_snapshot(const topology::TopologyView& view,
                              const std::unordered_map<Asn, std::size_t>& transit_degrees,
-                             const ConeMap& cones, const std::vector<Asn>& clique) {
+                             const ConeMap& cones, std::span<const Asn> clique) {
+  const topology::AsnInterner& interner = view.interner();
   SnapshotIndex index;
-  index.asns_ = graph.ases();
-  std::sort(index.asns_.begin(), index.asns_.end());
+  index.asns_.assign(interner.asns().begin(), interner.asns().end());
   const std::size_t n = index.asns_.size();
 
-  index.adj_off_.assign(n + 1, 0);
+  // The view's CSR rows are id-ascending, and the interner is
+  // order-preserving, so the adjacency sections are bulk copies plus one
+  // id→ASN translation of the neighbour array — no re-sorting, no hashing.
+  const auto adj_off = view.adjacency_offsets();
+  index.adj_off_.assign(adj_off.begin(), adj_off.end());
+  const auto adj_nbr = view.adjacency_neighbors();
+  index.adj_nbr_.reserve(adj_nbr.size());
+  for (const topology::NodeId id : adj_nbr) {
+    index.adj_nbr_.push_back(interner.asn_of(id));
+  }
+  const auto adj_rel = view.adjacency_rels();
+  index.adj_rel_.assign(adj_rel.begin(), adj_rel.end());
+
   index.cone_off_.assign(n + 1, 0);
   index.rank_.assign(n, 0);
   index.tdeg_.assign(n, 0);
 
-  struct Neighbor {
-    Asn as;
-    RelView view;
-  };
-  std::vector<Neighbor> row;
   for (std::size_t id = 0; id < n; ++id) {
     const Asn as = index.asns_[id];
-    row.clear();
-    for (const Asn p : graph.providers(as)) row.push_back({p, RelView::kProvider});
-    for (const Asn c : graph.customers(as)) row.push_back({c, RelView::kCustomer});
-    for (const Asn p : graph.peers(as)) row.push_back({p, RelView::kPeer});
-    for (const Asn s : graph.siblings(as)) row.push_back({s, RelView::kSibling});
-    std::sort(row.begin(), row.end(),
-              [](const Neighbor& a, const Neighbor& b) { return a.as < b.as; });
-    for (const Neighbor& neighbor : row) {
-      index.adj_nbr_.push_back(neighbor.as);
-      index.adj_rel_.push_back(static_cast<std::uint8_t>(neighbor.view));
-    }
-    index.adj_off_[id + 1] = index.adj_nbr_.size();
-
     const auto cone_it = cones.find(as);
     if (cone_it != cones.end()) {
       std::vector<Asn> members = cone_it->second;
@@ -344,7 +361,7 @@ SnapshotIndex build_snapshot(const AsGraph& graph,
   }
 
   for (const auto& [as, members] : cones) {
-    if (!graph.has_as(as)) {
+    if (!interner.contains(as)) {
       throw SnapshotError("cone key AS" + as.str() + " is not in the graph");
     }
     (void)members;
@@ -369,13 +386,19 @@ SnapshotIndex build_snapshot(const AsGraph& graph,
     index.rank_[ranked_ids[r]] = static_cast<std::uint32_t>(r + 1);
   }
 
-  index.clique_ = clique;
+  index.clique_.assign(clique.begin(), clique.end());
   std::sort(index.clique_.begin(), index.clique_.end());
   index.clique_.erase(std::unique(index.clique_.begin(), index.clique_.end()),
                       index.clique_.end());
 
   index.finalize_and_validate();
   return index;
+}
+
+SnapshotIndex build_snapshot(const AsGraph& graph,
+                             const std::unordered_map<Asn, std::size_t>& transit_degrees,
+                             const ConeMap& cones, const std::vector<Asn>& clique) {
+  return build_snapshot(graph.freeze(), transit_degrees, cones, clique);
 }
 
 SnapshotIndex build_snapshot(const AsGraph& graph, const core::Degrees& degrees,

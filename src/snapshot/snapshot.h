@@ -34,6 +34,7 @@
 #include "snapshot/format.h"
 #include "topology/as_graph.h"
 #include "topology/serialization.h"
+#include "topology/topology_view.h"
 
 namespace asrank::snapshot {
 
@@ -90,10 +91,31 @@ class SnapshotIndex {
   /// Clique members, sorted ascending.
   [[nodiscard]] std::span<const Asn> clique() const noexcept { return clique_; }
 
+  // Dense-id accessors.  The node id space is the row index of the sorted AS
+  // table — identical to the topology::AsnInterner id space of the view the
+  // snapshot was built from.  The id-keyed adjacency and clique structures
+  // are derived on load (never serialized), so hot read paths (serve-layer
+  // BFS) can run on flat arrays without per-query hashing.
+
+  /// Dense id of `as` (row in the sorted AS table), or nullopt if unknown.
+  [[nodiscard]] std::optional<std::uint32_t> node_id(Asn as) const noexcept {
+    return id_of(as);
+  }
+  /// ASN at dense id `id` (must be < as_count()).
+  [[nodiscard]] Asn asn_at(std::uint32_t id) const noexcept { return asns_[id]; }
+  /// Neighbor ids of `id`, ascending (≡ ascending ASN).
+  [[nodiscard]] std::span<const std::uint32_t> neighbor_ids(std::uint32_t id) const noexcept;
+  /// RelView codes parallel to neighbor_ids(id).
+  [[nodiscard]] std::span<const std::uint8_t> relationship_codes(std::uint32_t id) const noexcept;
+  /// O(1) bitmap test; `id` must be < as_count().
+  [[nodiscard]] bool id_in_clique(std::uint32_t id) const noexcept {
+    return (clique_bits_[id >> 6] >> (id & 63)) & 1ULL;
+  }
+
  private:
-  friend SnapshotIndex build_snapshot(const AsGraph&,
+  friend SnapshotIndex build_snapshot(const topology::TopologyView&,
                                       const std::unordered_map<Asn, std::size_t>&,
-                                      const ConeMap&, const std::vector<Asn>&);
+                                      const ConeMap&, std::span<const Asn>);
   friend SnapshotIndex read_snapshot(std::istream&);
   friend void write_snapshot(const SnapshotIndex&, std::ostream&);
 
@@ -117,12 +139,24 @@ class SnapshotIndex {
 
   // Derived (not serialized).
   std::vector<std::uint32_t> by_rank_;    ///< by_rank_[r-1] = id with rank r
+  std::vector<std::uint32_t> adj_nbr_id_; ///< dense ids parallel to adj_nbr_
+  std::vector<std::uint64_t> clique_bits_; ///< ceil(n/64) membership words
   std::size_t link_count_ = 0;
 };
 
-/// Freeze one inference run.  `transit_degrees` may omit ASes (treated as
-/// 0); every cone key and clique member must be an AS of `graph`, and every
-/// cone must contain its own AS — violations throw SnapshotError.
+/// Freeze one inference run from an already-frozen TopologyView.  The
+/// view's CSR layout coincides with the ASRK1 section layout (sorted AS
+/// table, id-ascending rows ≡ ASN-ascending rows, RelView codes), so the
+/// adjacency sections are bulk copies plus one id→ASN translation pass.
+/// `transit_degrees` may omit ASes (treated as 0); every cone key and
+/// clique member must be a node of `view`, and every cone must contain its
+/// own AS — violations throw SnapshotError.
+[[nodiscard]] SnapshotIndex build_snapshot(
+    const topology::TopologyView& view,
+    const std::unordered_map<Asn, std::size_t>& transit_degrees,
+    const ConeMap& cones, std::span<const Asn> clique);
+
+/// Convenience overload that freezes `graph` first.
 [[nodiscard]] SnapshotIndex build_snapshot(
     const AsGraph& graph, const std::unordered_map<Asn, std::size_t>& transit_degrees,
     const ConeMap& cones, const std::vector<Asn>& clique);

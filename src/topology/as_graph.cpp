@@ -4,7 +4,13 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "topology/topology_view.h"
+
 namespace asrank {
+
+topology::TopologyView AsGraph::freeze(std::span<const Asn> clique) const {
+  return topology::TopologyView::freeze(*this, clique);
+}
 
 namespace {
 

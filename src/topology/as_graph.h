@@ -20,6 +20,10 @@
 
 namespace asrank {
 
+namespace topology {
+class TopologyView;
+}
+
 /// One annotated link.  For kP2C, `a` is the provider and `b` the customer;
 /// for kP2P/kS2S the order is normalized (a < b).
 struct Link {
@@ -95,6 +99,11 @@ class AsGraph {
   /// Order-independent 64-bit key for an AS pair; exposed so callers can
   /// maintain side tables keyed by link (e.g. which links formed at an IXP).
   [[nodiscard]] static std::uint64_t link_key(Asn a, Asn b) noexcept { return key(a, b); }
+
+  /// Freeze into an immutable CSR view (dense NodeId space, flat adjacency,
+  /// clique bitmap) — the representation the read-dominated layers compute
+  /// on.  See topology/topology_view.h.
+  [[nodiscard]] topology::TopologyView freeze(std::span<const Asn> clique = {}) const;
 
  private:
   struct Node {

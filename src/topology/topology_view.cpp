@@ -1,0 +1,80 @@
+#include "topology/topology_view.h"
+
+#include <algorithm>
+
+namespace asrank::topology {
+
+TopologyView TopologyView::freeze(const AsGraph& graph, std::span<const Asn> clique) {
+  TopologyView view;
+  view.interner_ = AsnInterner::from_sorted_unique(graph.ases());
+  const std::size_t n = view.interner_.size();
+
+  view.adj_off_.assign(n + 1, 0);
+  view.prov_off_.assign(n + 1, 0);
+  view.cust_off_.assign(n + 1, 0);
+  view.clique_bits_.assign((n + 63) / 64, 0);
+
+  // One reusable row buffer: (neighbor id, RelView code), sorted by id.  The
+  // interner is order-preserving, so sorting by id is sorting by ASN, and
+  // every AsGraph neighbor is itself a graph node — id_of never misses.
+  struct Entry {
+    NodeId id;
+    std::uint8_t rel;
+  };
+  std::vector<Entry> entries;
+  for (NodeId node = 0; node < n; ++node) {
+    const Asn as = view.interner_.asn_of(node);
+    entries.clear();
+    for (const Asn p : graph.providers(as)) {
+      entries.push_back({view.interner_.id_of(p),
+                         static_cast<std::uint8_t>(RelView::kProvider)});
+    }
+    for (const Asn c : graph.customers(as)) {
+      entries.push_back({view.interner_.id_of(c),
+                         static_cast<std::uint8_t>(RelView::kCustomer)});
+    }
+    for (const Asn p : graph.peers(as)) {
+      entries.push_back({view.interner_.id_of(p),
+                         static_cast<std::uint8_t>(RelView::kPeer)});
+    }
+    for (const Asn s : graph.siblings(as)) {
+      entries.push_back({view.interner_.id_of(s),
+                         static_cast<std::uint8_t>(RelView::kSibling)});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.id < b.id; });
+    for (const Entry& entry : entries) {
+      view.adj_nbr_.push_back(entry.id);
+      view.adj_rel_.push_back(entry.rel);
+      // Rows are id-ascending, so the per-class sub-rows inherit sortedness.
+      if (entry.rel == static_cast<std::uint8_t>(RelView::kProvider)) {
+        view.prov_nbr_.push_back(entry.id);
+      } else if (entry.rel == static_cast<std::uint8_t>(RelView::kCustomer)) {
+        view.cust_nbr_.push_back(entry.id);
+      }
+    }
+    view.adj_off_[node + 1] = view.adj_nbr_.size();
+    view.prov_off_[node + 1] = view.prov_nbr_.size();
+    view.cust_off_[node + 1] = view.cust_nbr_.size();
+  }
+
+  for (const Asn member : clique) {
+    const NodeId id = view.interner_.id_of(member);
+    if (id == kNoNode) continue;
+    if (!view.in_clique(id)) view.clique_.push_back(id);
+    view.clique_bits_[id >> 6] |= 1ULL << (id & 63);
+  }
+  std::sort(view.clique_.begin(), view.clique_.end());
+
+  return view;
+}
+
+std::optional<RelView> TopologyView::relationship(NodeId node, NodeId neighbor) const {
+  const auto nbrs = neighbors(node);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), neighbor);
+  if (it == nbrs.end() || *it != neighbor) return std::nullopt;
+  return static_cast<RelView>(
+      adj_rel_[adj_off_[node] + static_cast<std::size_t>(it - nbrs.begin())]);
+}
+
+}  // namespace asrank::topology

@@ -10,6 +10,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "bgpsim/observation.h"
@@ -19,6 +20,7 @@
 #include "core/ranking.h"
 #include "core/visibility.h"
 #include "topogen/topogen.h"
+#include "topology/topology_view.h"
 #include "util/thread_pool.h"
 
 namespace asrank {
@@ -238,6 +240,50 @@ TEST(ParallelDeterminism, ConeClosureMatchesSequentialOnGroundTruth) {
   const auto sequential = core::recursive_cone(truth.graph, 1);
   for (const std::size_t threads : {2u, 4u, 8u}) {
     EXPECT_EQ(core::recursive_cone(truth.graph, threads), sequential);
+  }
+}
+
+TEST(ParallelDeterminism, FrozenViewIsIdenticalAcrossThreadCounts) {
+  // freeze() is a pure function of the graph, and the graph is bit-identical
+  // at every worker count — so the CSR arrays (the substrate every dense
+  // stage computes on) must be identical too.
+  const auto freeze_of = [](std::size_t threads) {
+    core::InferenceConfig config;
+    config.threads = threads;
+    const auto result = core::AsRankInference(config).run(shared_corpus());
+    return result.graph.freeze(result.clique);
+  };
+  const auto to_vec = [](auto span) {
+    return std::vector<std::decay_t<decltype(span[0])>>(span.begin(), span.end());
+  };
+  const auto reference = freeze_of(1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto view = freeze_of(threads);
+    EXPECT_EQ(view.interner(), reference.interner()) << threads << " threads";
+    EXPECT_EQ(to_vec(view.adjacency_offsets()), to_vec(reference.adjacency_offsets()));
+    EXPECT_EQ(to_vec(view.adjacency_neighbors()), to_vec(reference.adjacency_neighbors()));
+    EXPECT_EQ(to_vec(view.adjacency_rels()), to_vec(reference.adjacency_rels()));
+    EXPECT_EQ(to_vec(view.clique()), to_vec(reference.clique()));
+  }
+}
+
+TEST(ParallelDeterminism, ViewConeOverloadsMatchGraphOverloads) {
+  // The TopologyView overloads are the primary path; the AsGraph overloads
+  // freeze and delegate.  Both must agree at every worker count.
+  core::InferenceConfig config;
+  config.threads = 1;
+  const auto result = core::AsRankInference(config).run(shared_corpus());
+  const auto view = result.graph.freeze();
+  const auto recursive = core::recursive_cone(result.graph, 1);
+  const auto ppdc =
+      core::provider_peer_observed_cone(result.graph, result.sanitized, 1);
+  const auto observed = core::bgp_observed_cone(result.graph, result.sanitized, 1);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    EXPECT_EQ(core::recursive_cone(view, threads), recursive) << threads;
+    EXPECT_EQ(core::provider_peer_observed_cone(view, result.sanitized, threads), ppdc)
+        << threads;
+    EXPECT_EQ(core::bgp_observed_cone(view, result.sanitized, threads), observed)
+        << threads;
   }
 }
 

@@ -23,6 +23,8 @@
 #include "core/asrank.h"
 #include "core/cones.h"
 #include "topogen/topogen.h"
+#include "topology/interner.h"
+#include "topology/topology_view.h"
 
 namespace asrank {
 namespace {
@@ -182,6 +184,109 @@ TEST(Properties, RecursiveConeDominatesObservedCones) {
       EXPECT_TRUE(subset_of(ppdc.at(as), members));
       EXPECT_TRUE(subset_of(observed.at(as), members));
     }
+  }
+}
+
+TEST(Properties, InternerRoundTripsAndPreservesOrder) {
+  using topology::AsnInterner;
+  using topology::NodeId;
+  for (const Sample& sample : samples()) {
+    // Build from the (unsorted, duplicated) corpus hop stream, as the
+    // pipeline does.
+    std::vector<Asn> hops;
+    for (const auto& record : sample.result.sanitized.records()) {
+      const auto path = record.path.hops();
+      hops.insert(hops.end(), path.begin(), path.end());
+    }
+    const AsnInterner interner = AsnInterner::from_asns(hops);
+
+    // The table is strictly ascending and ids round-trip: id ordering is ASN
+    // ordering (the order-preservation every dense tie-break relies on).
+    ASSERT_FALSE(interner.empty());
+    const auto asns = interner.asns();
+    for (NodeId id = 0; id < interner.size(); ++id) {
+      if (id > 0) {
+        EXPECT_LT(asns[id - 1], asns[id]);
+      }
+      EXPECT_EQ(interner.asn_of(id), asns[id]);
+      EXPECT_EQ(interner.id_of(asns[id]), id);
+      EXPECT_TRUE(interner.contains(asns[id]));
+    }
+    EXPECT_EQ(interner.id_of(Asn(asns.back().value() + 1)), topology::kNoNode);
+
+    // translate() is asn_of's inverse on every corpus path.
+    std::vector<NodeId> ids;
+    for (const auto& record : sample.result.sanitized.records()) {
+      interner.translate(record.path.hops(), ids);
+      ASSERT_EQ(ids.size(), record.path.hops().size());
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        ASSERT_NE(ids[i], topology::kNoNode);
+        EXPECT_EQ(interner.asn_of(ids[i]), record.path.hops()[i]);
+      }
+    }
+  }
+}
+
+TEST(Properties, FrozenViewMatchesGraphAdjacency) {
+  using topology::NodeId;
+  for (const Sample& sample : samples()) {
+    const AsGraph& graph = sample.result.graph;
+    const auto view = graph.freeze(sample.result.clique);
+
+    EXPECT_EQ(view.node_count(), graph.ases().size());
+    EXPECT_EQ(view.link_count(), graph.links().size());
+
+    for (const Asn as : graph.ases()) {
+      const NodeId node = view.interner().id_of(as);
+      ASSERT_NE(node, topology::kNoNode);
+
+      // The CSR row is the sorted union of the per-class neighbor sets, and
+      // every row entry carries the same RelView the mutable graph reports.
+      std::vector<Asn> expected;
+      for (const Asn p : graph.providers(as)) expected.push_back(p);
+      for (const Asn c : graph.customers(as)) expected.push_back(c);
+      for (const Asn p : graph.peers(as)) expected.push_back(p);
+      for (const Asn s : graph.siblings(as)) expected.push_back(s);
+      std::sort(expected.begin(), expected.end());
+
+      const auto row = view.neighbors(node);
+      ASSERT_EQ(row.size(), expected.size());
+      ASSERT_EQ(view.degree(node), expected.size());
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        const Asn neighbor = view.interner().asn_of(row[i]);
+        EXPECT_EQ(neighbor, expected[i]);
+        const auto dense = view.relationship(node, row[i]);
+        const auto legacy = graph.view(as, neighbor);
+        ASSERT_TRUE(dense.has_value());
+        ASSERT_TRUE(legacy.has_value());
+        EXPECT_EQ(*dense, *legacy);
+        EXPECT_EQ(static_cast<RelView>(view.rels(node)[i]), *legacy);
+      }
+
+      // Directed sub-rows agree with the per-class sets.
+      const auto translate = [&view](std::span<const NodeId> ids) {
+        std::vector<Asn> out;
+        for (const NodeId id : ids) out.push_back(view.interner().asn_of(id));
+        return out;
+      };
+      const auto row_of = [](std::span<const Asn> asns) {
+        std::vector<Asn> out(asns.begin(), asns.end());
+        std::sort(out.begin(), out.end());
+        return out;
+      };
+      EXPECT_EQ(translate(view.providers(node)), row_of(graph.providers(as)));
+      EXPECT_EQ(translate(view.customers(node)), row_of(graph.customers(as)));
+
+      EXPECT_EQ(view.in_clique(node),
+                std::find(sample.result.clique.begin(), sample.result.clique.end(),
+                          as) != sample.result.clique.end());
+    }
+
+    // Clique list and bitmap agree.
+    for (const NodeId member : view.clique()) {
+      EXPECT_TRUE(view.in_clique(member));
+    }
+    EXPECT_EQ(view.clique().size(), sample.result.clique.size());
   }
 }
 
