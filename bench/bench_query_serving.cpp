@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/cones.h"
+#include "obs/metrics.h"
 #include "serve/query_engine.h"
 #include "snapshot/snapshot.h"
 #include "topogen/topogen.h"
@@ -114,7 +115,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  serve::QueryEngine engine(std::move(index), /*cache_capacity=*/4096);
+  // A bench-local registry keeps the measured engine's metric series out of
+  // the process-global registry (and vice versa).
+  obs::Registry registry;
+  serve::QueryEngine engine(std::move(index), /*cache_capacity=*/4096, &registry);
   const std::size_t n_direct = 200000;
 
   std::map<std::string, Throughput> direct;

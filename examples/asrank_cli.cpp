@@ -15,12 +15,14 @@
 // Every artifact is a documented interchange format: .as-rel and .ppdc-ases
 // (CAIDA text formats), MRT TABLE_DUMP_V2 (binary RIB), "prefix|path" pipe
 // tables, or ASRK1 binary snapshots (docs/FORMATS.md).
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "bgpsim/collector.h"
 #include "bgpsim/observation.h"
@@ -30,6 +32,7 @@
 #include "core/hierarchy.h"
 #include "core/ranking.h"
 #include "mrt/bgp4mp.h"
+#include "obs/log.h"
 #include "mrt/table_dump_v2.h"
 #include "mrt/text_table.h"
 #include "serve/client.h"
@@ -47,19 +50,34 @@ namespace {
 
 using namespace asrank;
 
-/// Minimal --flag value argument parser.
+/// Bad invocation (unknown command/flag, missing value): exit code 2, as
+/// opposed to runtime failures (unreadable file, refused connection): 1.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Minimal --flag value argument parser.  Flags in kBooleanFlags take no
+/// value ("--log-json"); everything else is --flag value.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
-        throw std::runtime_error("expected --flag, got '" + key + "'");
+        throw UsageError("expected --flag, got '" + key + "'");
       }
       key = key.substr(2);
-      if (i + 1 >= argc) throw std::runtime_error("missing value for --" + key);
+      if (is_boolean(key)) {
+        values_[key] = "true";
+        continue;
+      }
+      if (i + 1 >= argc) throw UsageError("missing value for --" + key);
       values_[key] = argv[++i];
     }
+  }
+
+  [[nodiscard]] static bool is_boolean(const std::string& key) {
+    return key == "log-json";
   }
 
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
@@ -462,9 +480,36 @@ int cmd_query(const Args& args) {
     print_list(client.clique());
   } else if (op == "stats") {
     std::cout << client.stats_text();
+  } else if (op == "metrics") {
+    std::cout << client.metrics_text();
   } else {
-    throw std::runtime_error("unknown --op '" + op + "'");
+    throw UsageError("unknown --op '" + op + "'");
   }
+  return 0;
+}
+
+/// Split "host:port" (":port" optional, default 7464).
+std::pair<std::string, std::uint16_t> parse_target(const std::string& target) {
+  const auto colon = target.rfind(':');
+  if (colon == std::string::npos) return {target, 7464};
+  const std::string host = target.substr(0, colon);
+  const auto port = std::strtoul(target.c_str() + colon + 1, nullptr, 10);
+  if (host.empty() || port == 0 || port > 65535) {
+    throw UsageError("malformed <host:port> '" + target + "'");
+  }
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+// Scrape a running asrankd's Prometheus exposition, like
+// `curl host:port/metrics` would against an HTTP daemon.
+int cmd_metrics(const std::optional<std::string>& target, const Args& args) {
+  const auto [host, port] =
+      target ? parse_target(*target)
+             : std::pair<std::string, std::uint16_t>{
+                   args.get_or("host", "127.0.0.1"),
+                   static_cast<std::uint16_t>(args.get_u64("port", 7464))};
+  serve::Client client(host, port);
+  std::cout << client.metrics_text();
   return 0;
 }
 
@@ -487,10 +532,15 @@ void usage(std::ostream& os) {
       "  serve    --snapshot F.asrk [--host H] [--port N] [--threads N] [--cache N]\n"
       "  query    --op OP [--host H] [--port N] [--a ASN] [--b ASN] [--n N]\n"
       "           OP: ping rel rank conesize cone incone providers customers\n"
-      "               peers top intersect cliquepath clique stats\n"
+      "               peers top intersect cliquepath clique stats metrics\n"
+      "  metrics  [host:port] (default 127.0.0.1:7464; or --host H --port N)\n"
+      "           print a running asrankd's Prometheus metrics\n"
       "  help     print this usage\n"
-      "flags:\n"
-      "  --version print the version and exit\n";
+      "global flags (every command):\n"
+      "  --log-level trace|debug|info|warn|error|off   (default info)\n"
+      "  --log-json                                    JSON-lines log output\n"
+      "  --version                                     print version and exit\n"
+      "exit codes: 0 success, 1 runtime error, 2 usage error\n";
 }
 
 }  // namespace
@@ -510,7 +560,22 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
-    const Args args(argc, argv, 2);
+    // `metrics` accepts one optional positional <host:port> before flags.
+    std::optional<std::string> target;
+    int first_flag = 2;
+    if (command == "metrics" && argc > 2 && std::string(argv[2]).rfind("--", 0) != 0) {
+      target = argv[2];
+      first_flag = 3;
+    }
+    const Args args(argc, argv, first_flag);
+    // Logging flags apply before any command body and override the
+    // ASRANK_LOG / ASRANK_LOG_JSON environment.
+    if (const auto level_text = args.get("log-level")) {
+      const auto level = obs::parse_log_level(*level_text);
+      if (!level) throw UsageError("bad --log-level '" + *level_text + "'");
+      obs::Logger::global().set_level(*level);
+    }
+    if (args.get("log-json")) obs::Logger::global().set_json(true);
     if (command == "generate") return cmd_generate(args);
     if (command == "observe") return cmd_observe(args);
     if (command == "infer") return cmd_infer(args);
@@ -524,8 +589,13 @@ int main(int argc, char** argv) {
     if (command == "snapshot") return cmd_snapshot(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "query") return cmd_query(args);
+    if (command == "metrics") return cmd_metrics(target, args);
     std::cerr << "asrank_cli: unknown command '" << command
               << "' (try 'asrank_cli help')\n";
+    return 2;
+  } catch (const UsageError& error) {
+    std::cerr << "asrank_cli " << command << ": " << error.what()
+              << " (try 'asrank_cli help')\n";
     return 2;
   } catch (const std::exception& error) {
     std::cerr << "asrank_cli " << command << ": " << error.what() << "\n";

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/log.h"
+#include "obs/timer.h"
 #include "topology/interner.h"
 #include "topology/topology_view.h"
 #include "util/thread_pool.h"
@@ -115,7 +117,12 @@ class Pipeline {
 
 void Pipeline::run(const PathCorpus& raw) {
   // Step 1: sanitize.
-  auto sanitized = paths::sanitize(raw, config_.sanitizer);
+  obs::log_debug("inference start", {{"records", raw.records().size()},
+                                     {"threads", config_.threads}});
+  auto sanitized = [&] {
+    obs::StageTimer timer("sanitize");
+    return paths::sanitize(raw, config_.sanitizer);
+  }();
   result_.audit.sanitize = sanitized.stats;
 
   // The id space for every later stage: all ASes of the sanitized corpus
@@ -131,17 +138,26 @@ void Pipeline::run(const PathCorpus& raw) {
   }
 
   // Step 2: rank.
-  result_.degrees = Degrees::compute(interner_, sanitized.corpus, config_.threads);
+  {
+    obs::StageTimer timer("degree_tally");
+    result_.degrees = Degrees::compute(interner_, sanitized.corpus, config_.threads);
+  }
   result_.audit.ranked_ases = result_.degrees.ranked().size();
 
   // Step 3: clique.
-  result_.clique = infer_clique(sanitized.corpus, result_.degrees, config_.clique);
+  {
+    obs::StageTimer timer("clique");
+    result_.clique = infer_clique(sanitized.corpus, result_.degrees, config_.clique);
+  }
   clique_bits_.assign(interner_.size(), false);
   for (const Asn member : result_.clique) clique_bits_[interner_.id_of(member)] = true;
   result_.audit.clique_size = result_.clique.size();
 
   // Step 4: discard poisoned paths.
-  discard_poisoned(sanitized.corpus);
+  {
+    obs::StageTimer timer("poisoned_scan");
+    discard_poisoned(sanitized.corpus);
+  }
 
   // Translate the surviving corpus and register every observed link and
   // transit AS.
@@ -158,15 +174,28 @@ void Pipeline::run(const PathCorpus& raw) {
 
   // Steps 5-11.
   detect_partial_vps();
-  vote_on_paths();
-  commit_votes();
-  if (config_.triplet_fixpoint) triplet_fixpoint();
+  {
+    obs::StageTimer timer("voting");
+    vote_on_paths();
+    commit_votes();
+  }
+  if (config_.triplet_fixpoint) {
+    obs::StageTimer timer("valley_fixpoint");
+    triplet_fixpoint();
+  }
   if (config_.provider_less_repair) repair_provider_less();
   if (config_.stub_clique_pass) stub_clique_pass();
   enforce_transit_free_clique();
-  finalize_graph();
-  repair_cycles();
+  {
+    obs::StageTimer timer("finalize");
+    finalize_graph();
+    repair_cycles();
+  }
   result_.audit.p2c_acyclic = result_.graph.p2c_acyclic();
+  obs::log_debug("inference complete",
+                 {{"clique_size", result_.audit.clique_size},
+                  {"ranked_ases", result_.audit.ranked_ases},
+                  {"p2c_acyclic", result_.audit.p2c_acyclic}});
 }
 
 void Pipeline::discard_poisoned(const PathCorpus& corpus) {

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/timer.h"
 #include "util/thread_pool.h"
 
 namespace asrank::core {
@@ -99,6 +100,7 @@ std::vector<std::vector<NodeId>> reverse_topo_levels(std::size_t n,
 template <typename CustomersFn>
 ConeMap closure(const AsnInterner& interner, const CustomersFn& customers,
                 std::size_t threads) {
+  obs::StageTimer stage_timer("cone_closure");
   const std::size_t n = interner.size();
   util::ThreadPool pool(threads);
   std::vector<Bits> cones(n, Bits(n));

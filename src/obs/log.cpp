@@ -1,0 +1,169 @@
+#include "obs/log.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace asrank::obs {
+
+namespace {
+
+std::string utc_timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const auto secs = std::chrono::time_point_cast<std::chrono::seconds>(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(now - secs);
+  const std::time_t t = std::chrono::system_clock::to_time_t(secs);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
+                tm.tm_sec, static_cast<int>(millis.count()));
+  return buf;
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Text-mode values with spaces/quotes get quoted so lines stay splittable.
+void append_text_value(std::string& out, const LogField& field) {
+  const bool needs_quotes =
+      field.quoted && (field.value.find(' ') != std::string::npos ||
+                       field.value.find('"') != std::string::npos ||
+                       field.value.empty());
+  if (needs_quotes) {
+    append_json_string(out, field.value);
+  } else {
+    out += field.value;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view text) noexcept {
+  const std::string lower = util::to_lower(util::trim(text));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+LogField::LogField(std::string_view key, double value) : key(key), quoted(false) {
+  std::ostringstream os;
+  os << value;
+  this->value = os.str();
+}
+
+Logger& Logger::global() {
+  static Logger* instance = [] {
+    auto* logger = new Logger();
+    logger->configure_from_env();
+    return logger;
+  }();
+  return *instance;
+}
+
+void Logger::configure_from_env() {
+  if (const char* level = std::getenv("ASRANK_LOG")) {
+    if (const auto parsed = parse_log_level(level)) set_level(*parsed);
+  }
+  if (const char* json = std::getenv("ASRANK_LOG_JSON")) {
+    const std::string_view v = json;
+    set_json(!v.empty() && v != "0" && v != "false");
+  }
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = sink;
+}
+
+void Logger::log(LogLevel level, std::string_view msg,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(level)) return;
+
+  std::string line;
+  line.reserve(96);
+  const std::string ts = utc_timestamp();
+  if (json()) {
+    line += "{\"ts\":";
+    append_json_string(line, ts);
+    line += ",\"level\":";
+    append_json_string(line, to_string(level));
+    line += ",\"msg\":";
+    append_json_string(line, msg);
+    for (const LogField& field : fields) {
+      line.push_back(',');
+      append_json_string(line, field.key);
+      line.push_back(':');
+      if (field.quoted) {
+        append_json_string(line, field.value);
+      } else {
+        line += field.value;
+      }
+    }
+    line.push_back('}');
+  } else {
+    line += ts;
+    line.push_back(' ');
+    std::string upper(to_string(level));
+    for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    line += upper;
+    line.push_back(' ');
+    line += msg;
+    for (const LogField& field : fields) {
+      line.push_back(' ');
+      line += field.key;
+      line.push_back('=');
+      append_text_value(line, field);
+    }
+  }
+  line.push_back('\n');
+
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  std::ostream& out = sink_ ? *sink_ : std::cerr;
+  out << line;
+  out.flush();
+}
+
+}  // namespace asrank::obs

@@ -1,0 +1,111 @@
+// Leveled structured logging: one line per event, text or JSON-lines.
+//
+//   obs::log_info("snapshot loaded", {{"ases", n}, {"path", path}});
+//     text:  2026-08-06T12:00:00.123Z INFO snapshot loaded ases=42 path=run.asrk
+//     json:  {"ts":"2026-08-06T12:00:00.123Z","level":"info",
+//             "msg":"snapshot loaded","ases":42,"path":"run.asrk"}
+//
+// Configuration sources, later wins: defaults (info, text, stderr) →
+// ASRANK_LOG / ASRANK_LOG_JSON environment → --log-level / --log-json CLI
+// flags.  The enabled() check is one relaxed atomic load, so disabled-level
+// call sites cost nothing beyond evaluating their field expressions; sink
+// writes serialize under a mutex (whole lines, never interleaved).
+//
+// Logging is for humans and log pipelines; counters and latencies belong in
+// obs::Registry (metrics.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace asrank::obs {
+
+enum class LogLevel : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+/// Case-insensitive: "trace" "debug" "info" "warn" "warning" "error" "off".
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view text) noexcept;
+
+/// One key/value pair.  Numeric and boolean values render unquoted in JSON;
+/// strings are quoted and escaped.
+struct LogField {
+  LogField(std::string_view key, std::string_view value)
+      : key(key), value(value), quoted(true) {}
+  LogField(std::string_view key, const char* value)
+      : key(key), value(value), quoted(true) {}
+  LogField(std::string_view key, const std::string& value)
+      : key(key), value(value), quoted(true) {}
+  LogField(std::string_view key, bool value)
+      : key(key), value(value ? "true" : "false"), quoted(false) {}
+  LogField(std::string_view key, double value);
+  template <typename T>
+    requires std::is_integral_v<T>
+  LogField(std::string_view key, T value)
+      : key(key), value(std::to_string(value)), quoted(false) {}
+
+  std::string_view key;
+  std::string value;
+  bool quoted;
+};
+
+class Logger {
+ public:
+  /// The process logger; first use applies ASRANK_LOG / ASRANK_LOG_JSON.
+  [[nodiscard]] static Logger& global();
+
+  void set_level(LogLevel level) noexcept {
+    level_.store(static_cast<std::uint8_t>(level), std::memory_order_relaxed);
+  }
+  void set_json(bool json) noexcept { json_.store(json, std::memory_order_relaxed); }
+  /// Redirect output (tests); nullptr restores stderr.
+  void set_sink(std::ostream* sink);
+
+  [[nodiscard]] LogLevel level() const noexcept {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool json() const noexcept {
+    return json_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled(LogLevel l) const noexcept {
+    return static_cast<std::uint8_t>(l) >= level_.load(std::memory_order_relaxed);
+  }
+
+  void log(LogLevel level, std::string_view msg,
+           std::initializer_list<LogField> fields = {});
+
+  /// Re-read ASRANK_LOG / ASRANK_LOG_JSON (global() does this once).
+  void configure_from_env();
+
+ private:
+  Logger() = default;
+
+  std::atomic<std::uint8_t> level_{static_cast<std::uint8_t>(LogLevel::kInfo)};
+  std::atomic<bool> json_{false};
+  std::mutex sink_mutex_;
+  std::ostream* sink_ = nullptr;  ///< nullptr = stderr
+};
+
+inline void log_debug(std::string_view msg, std::initializer_list<LogField> fields = {}) {
+  Logger& logger = Logger::global();
+  if (logger.enabled(LogLevel::kDebug)) logger.log(LogLevel::kDebug, msg, fields);
+}
+inline void log_info(std::string_view msg, std::initializer_list<LogField> fields = {}) {
+  Logger& logger = Logger::global();
+  if (logger.enabled(LogLevel::kInfo)) logger.log(LogLevel::kInfo, msg, fields);
+}
+inline void log_warn(std::string_view msg, std::initializer_list<LogField> fields = {}) {
+  Logger& logger = Logger::global();
+  if (logger.enabled(LogLevel::kWarn)) logger.log(LogLevel::kWarn, msg, fields);
+}
+inline void log_error(std::string_view msg, std::initializer_list<LogField> fields = {}) {
+  Logger& logger = Logger::global();
+  if (logger.enabled(LogLevel::kError)) logger.log(LogLevel::kError, msg, fields);
+}
+
+}  // namespace asrank::obs

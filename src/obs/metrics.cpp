@@ -1,0 +1,153 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace asrank::obs {
+
+// ------------------------------------------------------------- histogram --
+
+Histogram::Histogram(std::span<const std::uint64_t> bounds)
+    : bounds_(bounds.begin(), bounds.end()), buckets_(bounds.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i - 1] >= bounds_[i]) {
+      throw std::logic_error("histogram bounds must be strictly ascending");
+    }
+  }
+}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  // First bucket whose inclusive upper bound holds the value; +Inf otherwise.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- registry --
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+namespace {
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += labels[i].first;
+    out += "=\"";
+    out += escape_label_value(labels[i].second);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+Registry::Family& Registry::family_for(std::string_view name, std::string_view help,
+                                       Type type) {
+  const auto it = families_.find(name);
+  if (it != families_.end()) {
+    if (it->second.type != type) {
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' re-registered with a different type");
+    }
+    return it->second;
+  }
+  Family family;
+  family.type = type;
+  family.help = std::string(help);
+  return families_.emplace(std::string(name), std::move(family)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = family_for(name, help, Type::kCounter);
+  Series& series = family.series[render_labels(labels)];
+  if (!series.counter) series.counter = std::make_unique<Counter>();
+  return *series.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = family_for(name, help, Type::kGauge);
+  Series& series = family.series[render_labels(labels)];
+  if (!series.gauge) series.gauge = std::make_unique<Gauge>();
+  return *series.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::span<const std::uint64_t> bounds,
+                               const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = family_for(name, help, Type::kHistogram);
+  Series& series = family.series[render_labels(labels)];
+  if (!series.histogram) series.histogram = std::make_unique<Histogram>(bounds);
+  return *series.histogram;
+}
+
+std::string Registry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) os << "# HELP " << name << ' ' << family.help << '\n';
+    os << "# TYPE " << name << ' '
+       << (family.type == Type::kCounter
+               ? "counter"
+               : family.type == Type::kGauge ? "gauge" : "histogram")
+       << '\n';
+    for (const auto& [label_str, series] : family.series) {
+      switch (family.type) {
+        case Type::kCounter:
+          os << name << label_str << ' ' << series.counter->value() << '\n';
+          break;
+        case Type::kGauge:
+          os << name << label_str << ' ' << series.gauge->value() << '\n';
+          break;
+        case Type::kHistogram: {
+          const Histogram& hist = *series.histogram;
+          // `le` merges into the series labels: {a="x",le="10"}.
+          const std::string prefix =
+              label_str.empty() ? "{le=\"" : label_str.substr(0, label_str.size() - 1) + ",le=\"";
+          const auto bounds = hist.bounds();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < bounds.size(); ++i) {
+            cumulative += hist.bucket_count(i);
+            os << name << "_bucket" << prefix << bounds[i] << "\"} " << cumulative
+               << '\n';
+          }
+          os << name << "_bucket" << prefix << "+Inf\"} " << hist.count() << '\n';
+          os << name << "_sum" << label_str << ' ' << hist.sum() << '\n';
+          os << name << "_count" << label_str << ' ' << hist.count() << '\n';
+          break;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace asrank::obs

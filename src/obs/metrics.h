@@ -1,0 +1,154 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket histograms
+// with lock-free hot paths.
+//
+// Design contract (what makes this safe to wire into inference kernels):
+//   * Registration is rare and takes a mutex; the returned Counter& /
+//     Gauge& / Histogram& references are stable for the registry's lifetime
+//     (series are heap-allocated and never moved).
+//   * Observation is hot and lock-free: a counter bump is one relaxed
+//     fetch_add; a histogram observe is one branchless-ish bounds scan plus
+//     three relaxed fetch_adds (bucket, count, sum).  No allocation, no
+//     locking, no syscalls — safe inside the cone-closure and valley-free
+//     loops without perturbing results or benchmarks.
+//   * Rendering (Prometheus text exposition, /metrics style) walks every
+//     series under the registry mutex with relaxed loads; totals are exact
+//     for quiesced writers and monotone snapshots otherwise.
+//
+// There is one process-global Registry (Registry::global()) used by the
+// pipeline stages and asrankd; tests pass their own Registry instance for
+// isolated counts.  Naming scheme (docs/OBSERVABILITY.md): library metrics
+// are `asrank_*`, daemon metrics are `asrankd_*`, durations are `*_micros`,
+// monotone counters end in `_total`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace asrank::obs {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Settable signed gauge (queue depths, loaded-snapshot sizes).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` (inclusive upper bound)
+/// semantics.  Bounds are strictly ascending; an implicit +Inf bucket
+/// catches the overflow.  Sum and count are exact u64 tallies, so
+/// sum()/count() reproduces a plain total_micros/count average bit-for-bit.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const std::uint64_t> bounds);
+
+  void observe(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::span<const std::uint64_t> bounds() const noexcept { return bounds_; }
+  /// Non-cumulative count of bucket `i`; `i == bounds().size()` is +Inf.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Default latency bucket bounds, in microseconds: sub-microsecond lookups
+/// through second-long batch stages.
+inline constexpr std::uint64_t kLatencyBucketsMicros[] = {
+    1,    2,    5,     10,    20,    50,     100,    200,    500,
+    1000, 2000, 5000,  10000, 20000, 50000,  100000, 200000, 500000,
+    1000000};
+
+/// Label set, rendered in the given order: {{"type", "rank"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-global registry (pipeline stages, asrankd).
+  [[nodiscard]] static Registry& global();
+
+  /// Get-or-create.  Re-registration with the same name+labels returns the
+  /// same series; registering a name with a different metric type throws
+  /// std::logic_error (a naming bug, not a runtime condition).  `help` is
+  /// kept from the first registration.
+  [[nodiscard]] Counter& counter(std::string_view name, std::string_view help = {},
+                                 const Labels& labels = {});
+  [[nodiscard]] Gauge& gauge(std::string_view name, std::string_view help = {},
+                             const Labels& labels = {});
+  [[nodiscard]] Histogram& histogram(
+      std::string_view name, std::string_view help = {},
+      std::span<const std::uint64_t> bounds = kLatencyBucketsMicros,
+      const Labels& labels = {});
+
+  /// Prometheus text exposition format, version 0.0.4: families sorted by
+  /// name, series sorted by label string — fully deterministic for a given
+  /// set of registrations.
+  [[nodiscard]] std::string render_prometheus() const;
+
+ private:
+  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Type type = Type::kCounter;
+    std::string help;
+    std::map<std::string, Series> series;  ///< key = rendered label string
+  };
+
+  Family& family_for(std::string_view name, std::string_view help, Type type);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+/// Rendered label string: `{a="x",b="y"}`, empty for no labels.  Values are
+/// escaped per the exposition format (backslash, quote, newline).
+[[nodiscard]] std::string render_labels(const Labels& labels);
+
+}  // namespace asrank::obs

@@ -1,0 +1,78 @@
+// RAII wall-clock timers feeding the metrics registry.
+//
+//   void Pipeline::vote_on_paths() {
+//     obs::StageTimer timer("voting");
+//     ...
+//   }
+//
+// records one observation into asrank_stage_duration_micros{stage="voting"}
+// in the global registry (plus a trace-level log line) when the scope ends.
+// Timers observe and log only — they never touch the data being computed,
+// so enabling observability cannot perturb inference output.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace asrank::obs {
+
+/// Observes elapsed microseconds into `histogram` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) noexcept
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->observe(elapsed_micros());
+  }
+
+  [[nodiscard]] std::uint64_t elapsed_micros() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The per-stage duration histogram in `registry` (metric
+/// asrank_stage_duration_micros, one series per stage label).
+[[nodiscard]] inline Histogram& stage_histogram(
+    std::string_view stage, Registry& registry = Registry::global()) {
+  return registry.histogram("asrank_stage_duration_micros",
+                            "Wall-clock duration of one pipeline stage run",
+                            kLatencyBucketsMicros,
+                            {{"stage", std::string(stage)}});
+}
+
+/// Times one named pipeline stage into the global registry and emits a
+/// trace-level log line on completion.  The registry lookup is one mutexed
+/// map find per stage run — noise against any real stage body.
+class StageTimer {
+ public:
+  explicit StageTimer(std::string_view stage)
+      : stage_(stage), timer_(&stage_histogram(stage)) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() {
+    Logger& logger = Logger::global();
+    if (logger.enabled(LogLevel::kTrace)) {
+      logger.log(LogLevel::kTrace, "stage complete",
+                 {{"stage", stage_}, {"micros", timer_.elapsed_micros()}});
+    }
+  }
+
+ private:
+  std::string_view stage_;
+  ScopedTimer timer_;
+};
+
+}  // namespace asrank::obs

@@ -22,11 +22,19 @@ WireWriter request(Op op) {
   return writer;
 }
 
+/// The client's error surface is ProtocolError, so decode failures cross
+/// back from the Result rail here.
+template <typename T>
+T unwrap(Result<T> result) {
+  if (!result.ok()) throw ProtocolError(result.error().context);
+  return std::move(result).value();
+}
+
 std::vector<Asn> read_list(WireReader& reader) {
-  const std::uint32_t count = reader.u32();
+  const std::uint32_t count = unwrap(reader.u32());
   std::vector<Asn> out;
   out.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) out.emplace_back(reader.u32());
+  for (std::uint32_t i = 0; i < count; ++i) out.emplace_back(unwrap(reader.u32()));
   return out;
 }
 
@@ -76,7 +84,7 @@ std::vector<std::uint8_t> Client::exchange(const std::vector<std::uint8_t>& req)
   if (marker != kBinaryMarker) throw ProtocolError("unexpected response framing");
   auto payload = read_frame_body(fd_);
   WireReader reader(payload);
-  const auto status = static_cast<Status>(reader.u8());
+  const auto status = static_cast<Status>(unwrap(reader.u8()));
   if (status != Status::kOk) {
     throw ProtocolError("server error: " + reader.rest_as_text());
   }
@@ -90,7 +98,7 @@ std::optional<RelView> Client::relationship(Asn a, Asn b) {
   req.u32(b.value());
   const auto body = exchange(req.take());
   WireReader reader(body);
-  const std::uint8_t code = reader.u8();
+  const std::uint8_t code = unwrap(reader.u8());
   if (code == kRelNone) return std::nullopt;
   const auto view = rel_from_code(code);
   if (!view) throw ProtocolError("bad relationship code in response");
@@ -102,7 +110,7 @@ std::optional<std::uint32_t> Client::rank(Asn as) {
   req.u32(as.value());
   const auto body = exchange(req.take());
   WireReader reader(body);
-  const std::uint32_t rank = reader.u32();
+  const std::uint32_t rank = unwrap(reader.u32());
   if (rank == 0) return std::nullopt;
   return rank;
 }
@@ -112,7 +120,7 @@ std::uint64_t Client::cone_size(Asn as) {
   req.u32(as.value());
   const auto body = exchange(req.take());
   WireReader reader(body);
-  return reader.u64();
+  return unwrap(reader.u64());
 }
 
 std::vector<Asn> Client::cone(Asn as) {
@@ -129,7 +137,7 @@ bool Client::in_cone(Asn as, Asn member) {
   req.u32(member.value());
   const auto body = exchange(req.take());
   WireReader reader(body);
-  return reader.u8() != 0;
+  return unwrap(reader.u8()) != 0;
 }
 
 std::vector<Asn> Client::providers(Asn as) {
@@ -161,15 +169,15 @@ std::vector<snapshot::TopEntry> Client::top(std::uint32_t n) {
   req.u32(n);
   const auto body = exchange(req.take());
   WireReader reader(body);
-  const std::uint32_t count = reader.u32();
+  const std::uint32_t count = unwrap(reader.u32());
   std::vector<snapshot::TopEntry> out;
   out.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     snapshot::TopEntry entry;
-    entry.rank = reader.u32();
-    entry.as = Asn(reader.u32());
-    entry.cone_size = reader.u64();
-    entry.transit_degree = reader.u32();
+    entry.rank = unwrap(reader.u32());
+    entry.as = Asn(unwrap(reader.u32()));
+    entry.cone_size = unwrap(reader.u64());
+    entry.transit_degree = unwrap(reader.u32());
     out.push_back(entry);
   }
   return out;
@@ -200,6 +208,12 @@ std::vector<Asn> Client::clique() {
 
 std::string Client::stats_text() {
   const auto body = exchange(request(Op::kStats).take());
+  WireReader reader(body);
+  return reader.rest_as_text();
+}
+
+std::string Client::metrics_text() {
+  const auto body = exchange(request(Op::kMetrics).take());
   WireReader reader(body);
   return reader.rest_as_text();
 }

@@ -39,6 +39,8 @@ class Client {
   [[nodiscard]] std::vector<Asn> path_to_clique(Asn as);
   [[nodiscard]] std::vector<Asn> clique();
   [[nodiscard]] std::string stats_text();
+  /// Prometheus text exposition scraped via the METRICS opcode.
+  [[nodiscard]] std::string metrics_text();
   void ping();
 
  private:

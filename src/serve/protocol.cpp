@@ -31,20 +31,22 @@ void WireWriter::text(std::string_view s) {
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
-void WireReader::need(std::size_t n) const {
+Result<void> WireReader::need(std::size_t n) const {
   if (remaining() < n) {
-    throw ProtocolError("truncated payload: need " + std::to_string(n) +
-                        " bytes, have " + std::to_string(remaining()));
+    return make_error(ErrorCode::kTruncated,
+                      "truncated payload: need " + std::to_string(n) +
+                          " bytes, have " + std::to_string(remaining()));
   }
+  return {};
 }
 
-std::uint8_t WireReader::u8() {
-  need(1);
+Result<std::uint8_t> WireReader::u8() {
+  ASRANK_TRY_VOID(need(1));
   return data_[pos_++];
 }
 
-std::uint32_t WireReader::u32() {
-  need(4);
+Result<std::uint32_t> WireReader::u32() {
+  ASRANK_TRY_VOID(need(4));
   const std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
                           static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
                           static_cast<std::uint32_t>(data_[pos_ + 2]) << 16 |
@@ -53,9 +55,10 @@ std::uint32_t WireReader::u32() {
   return v;
 }
 
-std::uint64_t WireReader::u64() {
-  const std::uint64_t lo = u32();
-  return lo | static_cast<std::uint64_t>(u32()) << 32;
+Result<std::uint64_t> WireReader::u64() {
+  ASRANK_TRY(lo, u32());
+  ASRANK_TRY(hi, u32());
+  return static_cast<std::uint64_t>(lo) | static_cast<std::uint64_t>(hi) << 32;
 }
 
 std::string WireReader::rest_as_text() {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "topology/relationship.h"
+#include "util/result.h"
 
 namespace asrank::serve {
 
@@ -55,6 +56,7 @@ enum class Op : std::uint8_t {
   kClique = 12,        ///< -> asn list
   kStats = 13,         ///< -> UTF-8 stats text
   kPing = 14,          ///< -> empty
+  kMetrics = 15,       ///< -> Prometheus text exposition (UTF-8)
 };
 
 enum class Status : std::uint8_t { kOk = 0, kError = 1 };
@@ -82,7 +84,10 @@ class WireWriter {
   std::vector<std::uint8_t> buf_;
 };
 
-/// Little-endian payload cursor; underruns throw ProtocolError.
+/// Little-endian payload cursor; underruns yield ErrorCode::kTruncated (the
+/// server turns the Error into an error response, the client into a
+/// ProtocolError — neither side treats a short payload as an exception
+/// internally).
 class WireReader {
  public:
   explicit WireReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
@@ -90,14 +95,14 @@ class WireReader {
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
   [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
 
-  std::uint8_t u8();
-  std::uint32_t u32();
-  std::uint64_t u64();
+  Result<std::uint8_t> u8();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
   /// The rest of the payload as UTF-8 text.
   [[nodiscard]] std::string rest_as_text();
 
  private:
-  void need(std::size_t n) const;
+  [[nodiscard]] Result<void> need(std::size_t n) const;
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;

@@ -100,68 +100,88 @@ class QueryEngine::Timer {
 };
 
 void QueryEngine::record(QueryType type, std::uint64_t micros, bool cache_hit) {
-  auto& slot = stats_[static_cast<std::size_t>(type)];
-  slot.count.fetch_add(1, std::memory_order_relaxed);
-  slot.total_micros.fetch_add(micros, std::memory_order_relaxed);
-  if (cache_hit) slot.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  auto& slot = metrics_[static_cast<std::size_t>(type)];
+  slot.latency->observe(micros);
+  if (cache_hit) slot.cache_hits->inc();
+  queries_total_->inc();
 }
 
 // --------------------------------------------------------------- engine --
 
-QueryEngine::QueryEngine(snapshot::SnapshotIndex index, std::size_t cache_capacity)
+QueryEngine::QueryEngine(std::shared_ptr<const snapshot::SnapshotIndex> index,
+                         std::size_t cache_capacity, obs::Registry* registry)
     : index_(std::move(index)),
+      registry_(registry),
       cache_capacity_(cache_capacity),
       intersect_cache_(cache_capacity),
-      path_cache_(cache_capacity) {}
+      path_cache_(cache_capacity) {
+  for (std::size_t i = 0; i < kQueryTypeCount; ++i) {
+    const obs::Labels labels = {
+        {"type", std::string(to_string(static_cast<QueryType>(i)))}};
+    metrics_[i].latency = &registry_->histogram(
+        "asrankd_query_latency_micros", "Latency of one served query",
+        obs::kLatencyBucketsMicros, labels);
+    metrics_[i].cache_hits = &registry_->counter(
+        "asrankd_query_cache_hits_total",
+        "Derived queries answered from the LRU cache", labels);
+  }
+  queries_total_ = &registry_->counter("asrankd_queries_total",
+                                       "Queries served across all types");
+}
+
+QueryEngine::QueryEngine(snapshot::SnapshotIndex index, std::size_t cache_capacity,
+                         obs::Registry* registry)
+    : QueryEngine(std::make_shared<const snapshot::SnapshotIndex>(std::move(index)),
+                  cache_capacity, registry) {}
 
 std::optional<RelView> QueryEngine::relationship(Asn a, Asn b) {
   Timer timer(*this, QueryType::kRelationship);
-  return index_.relationship(a, b);
+  return index_->relationship(a, b);
 }
 
 std::optional<std::uint32_t> QueryEngine::rank(Asn as) {
   Timer timer(*this, QueryType::kRank);
-  return index_.rank(as);
+  return index_->rank(as);
 }
 
 std::size_t QueryEngine::cone_size(Asn as) {
   Timer timer(*this, QueryType::kConeSize);
-  return index_.cone_size(as);
+  return index_->cone_size(as);
 }
 
 std::span<const Asn> QueryEngine::cone(Asn as) {
   Timer timer(*this, QueryType::kCone);
-  return index_.cone(as);
+  return index_->cone(as);
 }
 
 bool QueryEngine::in_cone(Asn as, Asn member) {
   Timer timer(*this, QueryType::kInCone);
-  return index_.in_cone(as, member);
+  return index_->in_cone(as, member);
 }
 
 std::vector<Asn> QueryEngine::providers(Asn as) {
   Timer timer(*this, QueryType::kNeighborSet);
-  return index_.providers(as);
+  return index_->providers(as);
 }
 
 std::vector<Asn> QueryEngine::customers(Asn as) {
   Timer timer(*this, QueryType::kNeighborSet);
-  return index_.customers(as);
+  return index_->customers(as);
 }
 
 std::vector<Asn> QueryEngine::peers(Asn as) {
   Timer timer(*this, QueryType::kNeighborSet);
-  return index_.peers(as);
+  return index_->peers(as);
 }
 
 std::vector<snapshot::TopEntry> QueryEngine::top(std::size_t n) {
   Timer timer(*this, QueryType::kTop);
-  return index_.top(n);
+  return index_->top(n);
 }
 
 std::span<const Asn> QueryEngine::clique() {
   Timer timer(*this, QueryType::kClique);
-  return index_.clique();
+  return index_->clique();
 }
 
 void QueryEngine::ping() { Timer timer(*this, QueryType::kPing); }
@@ -175,8 +195,8 @@ AsnList QueryEngine::cone_intersection(Asn a, Asn b) {
     timer.mark_cache_hit();
     return *cached;
   }
-  const auto cone_a = index_.cone(a);
-  const auto cone_b = index_.cone(b);
+  const auto cone_a = index_->cone(a);
+  const auto cone_b = index_->cone(b);
   auto result = std::make_shared<std::vector<Asn>>();
   std::set_intersection(cone_a.begin(), cone_a.end(), cone_b.begin(), cone_b.end(),
                         std::back_inserter(*result));
@@ -194,13 +214,13 @@ AsnList QueryEngine::path_to_clique(Asn as) {
   }
 
   auto result = std::make_shared<std::vector<Asn>>();
-  if (const auto root = index_.node_id(as)) {
+  if (const auto root = index_->node_id(as)) {
     // BFS over provider links on dense node ids.  Frontier order is
     // deterministic: neighbor rows ascend by id (≡ ascending ASN) and the
     // flat queue preserves insertion order, so the first clique member found
     // — and the parent chain behind it — is the same on every run.
     thread_local BfsScratch scratch;
-    const std::size_t n = index_.as_count();
+    const std::size_t n = index_->as_count();
     if (scratch.stamp.size() < n) {
       scratch.stamp.resize(n, 0);
       scratch.parent.resize(n);
@@ -217,12 +237,12 @@ AsnList QueryEngine::path_to_clique(Asn as) {
     std::uint32_t found = kNoParent;
     for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
       const std::uint32_t current = scratch.queue[head];
-      if (index_.id_in_clique(current)) {
+      if (index_->id_in_clique(current)) {
         found = current;
         break;
       }
-      const auto neighbors = index_.neighbor_ids(current);
-      const auto rels = index_.relationship_codes(current);
+      const auto neighbors = index_->neighbor_ids(current);
+      const auto rels = index_->relationship_codes(current);
       for (std::size_t i = 0; i < neighbors.size(); ++i) {
         if (static_cast<RelView>(rels[i]) != RelView::kProvider) continue;
         const std::uint32_t provider = neighbors[i];
@@ -234,7 +254,7 @@ AsnList QueryEngine::path_to_clique(Asn as) {
     }
     if (found != kNoParent) {
       for (std::uint32_t hop = found; hop != kNoParent; hop = scratch.parent[hop]) {
-        result->push_back(index_.asn_at(hop));
+        result->push_back(index_->asn_at(hop));
       }
       std::reverse(result->begin(), result->end());
     }
@@ -245,11 +265,13 @@ AsnList QueryEngine::path_to_clique(Asn as) {
 }
 
 std::array<QueryStats, kQueryTypeCount> QueryEngine::stats() const {
+  // A thin view over the registry series: histogram count/sum reproduce the
+  // former count/total_micros tallies exactly (both are plain u64 sums).
   std::array<QueryStats, kQueryTypeCount> out;
   for (std::size_t i = 0; i < kQueryTypeCount; ++i) {
-    out[i].count = stats_[i].count.load(std::memory_order_relaxed);
-    out[i].cache_hits = stats_[i].cache_hits.load(std::memory_order_relaxed);
-    out[i].total_micros = stats_[i].total_micros.load(std::memory_order_relaxed);
+    out[i].count = metrics_[i].latency->count();
+    out[i].cache_hits = metrics_[i].cache_hits->value();
+    out[i].total_micros = metrics_[i].latency->sum();
   }
   return out;
 }

@@ -1,16 +1,23 @@
 // Embeddable query layer over a frozen SnapshotIndex.
 //
 // The engine mirrors the index's accessors but adds the two things a
-// serving process needs: per-query-type latency/hit counters (exposed via
-// the STATS opcode and the serving bench) and an LRU cache for the derived
-// queries whose cost is data-dependent — cone intersection (O(|cone a| +
-// |cone b|)) and provider-path-to-clique (BFS).  All entry points are
-// thread-safe: the underlying index is immutable, counters are atomics, and
-// the caches take a short-critical-section mutex.
+// serving process needs: per-query-type latency histograms and cache-hit
+// counters (exposed via the STATS and METRICS opcodes and the serving
+// bench), and an LRU cache for the derived queries whose cost is
+// data-dependent — cone intersection (O(|cone a| + |cone b|)) and
+// provider-path-to-clique (BFS).  All entry points are thread-safe: the
+// index is held by shared_ptr-to-const and immutable, metric observations
+// are lock-free atomics (obs::Registry), and the caches take a
+// short-critical-section mutex.
+//
+// Metrics live in an obs::Registry (asrankd_query_latency_micros{type=...},
+// asrankd_query_cache_hits_total{type=...}, asrankd_queries_total).  By
+// default that is the process-global registry; tests pass their own for
+// isolated counts.  Engines sharing one registry share series — counts are
+// per registry, not per engine.
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -22,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "snapshot/snapshot.h"
 
 namespace asrank::serve {
@@ -56,9 +64,24 @@ struct QueryStats {
 
 class QueryEngine {
  public:
-  explicit QueryEngine(snapshot::SnapshotIndex index, std::size_t cache_capacity = 4096);
+  /// The snapshot is shared, not copied, so several engines (or an engine
+  /// plus background analysis) can serve one loaded index.  `registry`
+  /// receives the engine's query metrics and must outlive it.
+  explicit QueryEngine(std::shared_ptr<const snapshot::SnapshotIndex> index,
+                       std::size_t cache_capacity = 4096,
+                       obs::Registry* registry = &obs::Registry::global());
 
-  [[nodiscard]] const snapshot::SnapshotIndex& index() const noexcept { return index_; }
+  /// Convenience for callers holding the index by value (wraps it in a
+  /// shared_ptr).
+  explicit QueryEngine(snapshot::SnapshotIndex index, std::size_t cache_capacity = 4096,
+                       obs::Registry* registry = &obs::Registry::global());
+
+  [[nodiscard]] const snapshot::SnapshotIndex& index() const noexcept { return *index_; }
+  [[nodiscard]] const std::shared_ptr<const snapshot::SnapshotIndex>& index_ptr()
+      const noexcept {
+    return index_;
+  }
+  [[nodiscard]] obs::Registry& registry() const noexcept { return *registry_; }
 
   // Direct lookups (O(1)/O(log n) against the index).
   [[nodiscard]] std::optional<RelView> relationship(Asn a, Asn b);
@@ -82,7 +105,8 @@ class QueryEngine {
   /// when `as` is unknown or no provider path reaches the clique.
   [[nodiscard]] AsnList path_to_clique(Asn as);
 
-  /// Counter snapshot, indexed by QueryType.
+  /// Counter snapshot, indexed by QueryType (a view over the registry's
+  /// histogram/counter series).
   [[nodiscard]] std::array<QueryStats, kQueryTypeCount> stats() const;
   void record_stats_query();  ///< count a kStats serve (rendering is external)
 
@@ -111,19 +135,23 @@ class QueryEngine {
 
   class Timer;  ///< RAII counter update (defined in the .cpp)
 
+  /// Registry series for one query type, resolved once in the constructor
+  /// so the per-query hot path is pointer-chasing plus relaxed atomics.
+  struct TypeMetrics {
+    obs::Histogram* latency = nullptr;  ///< asrankd_query_latency_micros{type=}
+    obs::Counter* cache_hits = nullptr; ///< asrankd_query_cache_hits_total{type=}
+  };
+
   void record(QueryType type, std::uint64_t micros, bool cache_hit);
 
-  snapshot::SnapshotIndex index_;
+  std::shared_ptr<const snapshot::SnapshotIndex> index_;
+  obs::Registry* registry_;
   std::size_t cache_capacity_;
   LruCache intersect_cache_;
   LruCache path_cache_;
 
-  struct AtomicStats {
-    std::atomic<std::uint64_t> count{0};
-    std::atomic<std::uint64_t> cache_hits{0};
-    std::atomic<std::uint64_t> total_micros{0};
-  };
-  std::array<AtomicStats, kQueryTypeCount> stats_;
+  std::array<TypeMetrics, kQueryTypeCount> metrics_;
+  obs::Counter* queries_total_ = nullptr;  ///< asrankd_queries_total
 };
 
 }  // namespace asrank::serve

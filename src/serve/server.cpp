@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/log.h"
 #include "serve/protocol.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -64,55 +65,62 @@ void on_signal(int) {
 
 std::vector<std::uint8_t> handle_binary_request(QueryEngine& engine,
                                                 std::span<const std::uint8_t> payload) {
-  try {
+  // Request decoding runs on the Result rail; a decode Error (truncated
+  // operand, unknown opcode, trailing bytes) becomes an error response at
+  // this boundary.  The catch-all remains for query execution itself.
+  const auto respond = [&engine,
+                        payload]() -> Result<std::vector<std::uint8_t>> {
     WireReader reader(payload);
-    const auto op = static_cast<Op>(reader.u8());
+    ASRANK_TRY(op_byte, reader.u8());
+    const auto op = static_cast<Op>(op_byte);
     WireWriter writer;
     writer.u8(static_cast<std::uint8_t>(Status::kOk));
     switch (op) {
       case Op::kRelationship: {
-        const Asn a(reader.u32()), b(reader.u32());
-        const auto view = engine.relationship(a, b);
+        ASRANK_TRY(a, reader.u32());
+        ASRANK_TRY(b, reader.u32());
+        const auto view = engine.relationship(Asn(a), Asn(b));
         writer.u8(view ? static_cast<std::uint8_t>(*view) : kRelNone);
         break;
       }
       case Op::kRank: {
-        const Asn as(reader.u32());
-        writer.u32(engine.rank(as).value_or(0));
+        ASRANK_TRY(as, reader.u32());
+        writer.u32(engine.rank(Asn(as)).value_or(0));
         break;
       }
       case Op::kConeSize: {
-        const Asn as(reader.u32());
-        writer.u64(engine.cone_size(as));
+        ASRANK_TRY(as, reader.u32());
+        writer.u64(engine.cone_size(Asn(as)));
         break;
       }
       case Op::kCone: {
-        const Asn as(reader.u32());
-        encode_list(writer, engine.cone(as));
+        ASRANK_TRY(as, reader.u32());
+        encode_list(writer, engine.cone(Asn(as)));
         break;
       }
       case Op::kInCone: {
-        const Asn as(reader.u32()), member(reader.u32());
-        writer.u8(engine.in_cone(as, member) ? 1 : 0);
+        ASRANK_TRY(as, reader.u32());
+        ASRANK_TRY(member, reader.u32());
+        writer.u8(engine.in_cone(Asn(as), Asn(member)) ? 1 : 0);
         break;
       }
       case Op::kProviders: {
-        const Asn as(reader.u32());
-        encode_list(writer, engine.providers(as));
+        ASRANK_TRY(as, reader.u32());
+        encode_list(writer, engine.providers(Asn(as)));
         break;
       }
       case Op::kCustomers: {
-        const Asn as(reader.u32());
-        encode_list(writer, engine.customers(as));
+        ASRANK_TRY(as, reader.u32());
+        encode_list(writer, engine.customers(Asn(as)));
         break;
       }
       case Op::kPeers: {
-        const Asn as(reader.u32());
-        encode_list(writer, engine.peers(as));
+        ASRANK_TRY(as, reader.u32());
+        encode_list(writer, engine.peers(Asn(as)));
         break;
       }
       case Op::kTop: {
-        const std::uint32_t n = reader.u32();
+        ASRANK_TRY(n, reader.u32());
         const auto entries = engine.top(n);
         writer.u32(static_cast<std::uint32_t>(entries.size()));
         for (const auto& entry : entries) {
@@ -124,13 +132,14 @@ std::vector<std::uint8_t> handle_binary_request(QueryEngine& engine,
         break;
       }
       case Op::kConeIntersect: {
-        const Asn a(reader.u32()), b(reader.u32());
-        encode_list(writer, *engine.cone_intersection(a, b));
+        ASRANK_TRY(a, reader.u32());
+        ASRANK_TRY(b, reader.u32());
+        encode_list(writer, *engine.cone_intersection(Asn(a), Asn(b)));
         break;
       }
       case Op::kPathToClique: {
-        const Asn as(reader.u32());
-        encode_list(writer, *engine.path_to_clique(as));
+        ASRANK_TRY(as, reader.u32());
+        encode_list(writer, *engine.path_to_clique(Asn(as)));
         break;
       }
       case Op::kClique: {
@@ -146,12 +155,29 @@ std::vector<std::uint8_t> handle_binary_request(QueryEngine& engine,
         engine.ping();
         break;
       }
+      case Op::kMetrics: {
+        engine.registry()
+            .counter("asrankd_metrics_requests_total",
+                     "METRICS opcode / `metrics` text command serves")
+            .inc();
+        writer.text(engine.registry().render_prometheus());
+        break;
+      }
       default:
-        return error_response("unknown opcode " +
+        return make_error(ErrorCode::kProtocol,
+                          "unknown opcode " +
                               std::to_string(static_cast<unsigned>(op)));
     }
-    if (!reader.done()) return error_response("trailing bytes after request operands");
+    if (!reader.done()) {
+      return make_error(ErrorCode::kProtocol, "trailing bytes after request operands");
+    }
     return writer.take();
+  };
+
+  try {
+    auto response = respond();
+    if (!response.ok()) return error_response(response.error().context);
+    return std::move(response).value();
   } catch (const std::exception& error) {
     return error_response(error.what());
   }
@@ -172,7 +198,8 @@ std::string handle_text_request(QueryEngine& engine, std::string_view line) {
     if (cmd == "ping") return "OK pong";
     if (cmd == "help") {
       return "OK commands: PING REL RANK CONESIZE CONE INCONE PROVIDERS "
-             "CUSTOMERS PEERS TOP INTERSECT CLIQUEPATH CLIQUE STATS HELP QUIT";
+             "CUSTOMERS PEERS TOP INTERSECT CLIQUEPATH CLIQUE STATS METRICS "
+             "HELP QUIT";
     }
     if (cmd == "rel") {
       const auto a = arg_as(1), b = arg_as(2);
@@ -236,6 +263,13 @@ std::string handle_text_request(QueryEngine& engine, std::string_view line) {
       std::string out = "OK\n" + engine.render_stats() + ".";
       return out;
     }
+    if (cmd == "metrics") {
+      engine.registry()
+          .counter("asrankd_metrics_requests_total",
+                   "METRICS opcode / `metrics` text command serves")
+          .inc();
+      return "OK\n" + engine.registry().render_prometheus() + ".";
+    }
     return "ERR unknown command '" + std::string(tokens[0]) + "' (try HELP)";
   } catch (const std::exception& error) {
     return std::string("ERR ") + error.what();
@@ -245,7 +279,17 @@ std::string handle_text_request(QueryEngine& engine, std::string_view line) {
 // ---------------------------------------------------------------- server --
 
 Server::Server(QueryEngine& engine, ServerConfig config)
-    : engine_(engine), config_(std::move(config)) {
+    : engine_(engine),
+      config_(std::move(config)),
+      connections_total_(&engine.registry().counter(
+          "asrankd_connections_total", "TCP connections accepted")),
+      frames_total_(&engine.registry().counter(
+          "asrankd_frames_total", "Binary request frames served")),
+      text_commands_total_(&engine.registry().counter(
+          "asrankd_text_commands_total", "Text-mode command lines served")),
+      protocol_errors_total_(&engine.registry().counter(
+          "asrankd_protocol_errors_total",
+          "Connections dropped on framing or socket errors")) {
   config_.threads = std::max<std::size_t>(1, config_.threads);
 
   if (::pipe(stop_pipe_) != 0) sys_fail("pipe");
@@ -328,6 +372,7 @@ void Server::accept_loop() {
       const int one = 1;
       ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       connections_.fetch_add(1, std::memory_order_relaxed);
+      connections_total_->inc();
       std::lock_guard<std::mutex> lock(queue_mutex_);
       pending_.push_back(client);
       queue_cv_.notify_one();
@@ -354,9 +399,11 @@ void Server::connection_worker() {
     if (fd < 0) return;
     try {
       handle_connection(fd);
-    } catch (const std::exception&) {
+    } catch (const std::exception& error) {
       // Per-connection failures (malformed framing, resets) must not take
       // the worker down; the socket is simply closed.
+      protocol_errors_total_->inc();
+      obs::log_warn("connection dropped", {{"error", error.what()}});
     }
     ::close(fd);
   }
@@ -378,6 +425,7 @@ void Server::handle_connection(int fd) {
 
     if (first == kBinaryMarker) {
       const auto request = read_frame_body(fd);
+      frames_total_->inc();
       const auto response = handle_binary_request(engine_, request);
       write_frame(fd, response);
       continue;
@@ -392,6 +440,7 @@ void Server::handle_connection(int fd) {
     }
     const auto trimmed = util::trim(line);
     if (util::iequals(trimmed, "quit") || util::iequals(trimmed, "exit")) return;
+    text_commands_total_->inc();
     const std::string response = handle_text_request(engine_, line) + "\n";
     write_all(fd, response.data(), response.size());
   }

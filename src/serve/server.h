@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/query_engine.h"
 
 namespace asrank::serve {
@@ -74,6 +75,12 @@ class Server {
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> connections_{0};
+
+  // Daemon counters in the engine's registry (resolved once at bind time).
+  obs::Counter* connections_total_;     ///< asrankd_connections_total
+  obs::Counter* frames_total_;          ///< asrankd_frames_total
+  obs::Counter* text_commands_total_;   ///< asrankd_text_commands_total
+  obs::Counter* protocol_errors_total_; ///< asrankd_protocol_errors_total
 
   // Accepted sockets awaiting a worker; -1 is the shutdown sentinel.
   std::mutex queue_mutex_;

@@ -6,11 +6,27 @@
 #include <iterator>
 #include <ostream>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "util/crc32.h"
 
 namespace asrank::snapshot {
 
 namespace {
+
+obs::Histogram& io_histogram(const char* op) {
+  return obs::Registry::global().histogram(
+      "asrank_snapshot_io_duration_micros",
+      "Wall-clock duration of one snapshot serialization or parse",
+      obs::kLatencyBucketsMicros, {{"op", op}});
+}
+
+obs::Counter& crc_failure_counter() {
+  return obs::Registry::global().counter(
+      "asrank_snapshot_crc_failures_total",
+      "Snapshot loads rejected by a header or section CRC mismatch");
+}
 
 // ----------------------------------------------------------- LE encoding --
 // The format is explicitly little-endian regardless of host byte order, so
@@ -31,7 +47,7 @@ void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   put_u32(out, static_cast<std::uint32_t>(v >> 32));
 }
 
-/// Bounds-checked little-endian cursor; underruns throw SnapshotError.
+/// Bounds-checked little-endian cursor; underruns yield ErrorCode::kTruncated.
 class Cursor {
  public:
   Cursor(std::span<const std::uint8_t> data, std::string context)
@@ -39,28 +55,32 @@ class Cursor {
 
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
 
-  std::uint16_t u16() {
-    need(2);
+  Result<std::uint16_t> u16() {
+    ASRANK_TRY_VOID(need(2));
     const std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
                             static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
     pos_ += 2;
     return v;
   }
-  std::uint32_t u32() {
-    const std::uint32_t lo = u16();
-    return lo | static_cast<std::uint32_t>(u16()) << 16;
+  Result<std::uint32_t> u32() {
+    ASRANK_TRY(lo, u16());
+    ASRANK_TRY(hi, u16());
+    return static_cast<std::uint32_t>(lo) | static_cast<std::uint32_t>(hi) << 16;
   }
-  std::uint64_t u64() {
-    const std::uint64_t lo = u32();
-    return lo | static_cast<std::uint64_t>(u32()) << 32;
+  Result<std::uint64_t> u64() {
+    ASRANK_TRY(lo, u32());
+    ASRANK_TRY(hi, u32());
+    return static_cast<std::uint64_t>(lo) | static_cast<std::uint64_t>(hi) << 32;
   }
 
  private:
-  void need(std::size_t n) const {
+  [[nodiscard]] Result<void> need(std::size_t n) const {
     if (remaining() < n) {
-      throw SnapshotError("truncated " + context_ + ": need " + std::to_string(n) +
-                          " bytes, have " + std::to_string(remaining()));
+      return make_error(ErrorCode::kTruncated,
+                        "truncated " + context_ + ": need " + std::to_string(n) +
+                            " bytes, have " + std::to_string(remaining()));
     }
+    return {};
   }
 
   std::span<const std::uint8_t> data_;
@@ -89,33 +109,42 @@ std::vector<std::uint8_t> encode_u64s(std::span<const std::uint64_t> values) {
   return out;
 }
 
-std::vector<std::uint32_t> decode_u32s(std::span<const std::uint8_t> bytes,
-                                       const char* what) {
+Result<std::vector<std::uint32_t>> decode_u32s(std::span<const std::uint8_t> bytes,
+                                               const char* what) {
   if (bytes.size() % 4 != 0) {
-    throw SnapshotError(std::string(what) + ": length not a multiple of 4");
+    return make_error(ErrorCode::kCorrupt,
+                      std::string(what) + ": length not a multiple of 4");
   }
   Cursor cursor(bytes, what);
   std::vector<std::uint32_t> out(bytes.size() / 4);
-  for (auto& v : out) v = cursor.u32();
+  for (auto& v : out) {
+    ASRANK_TRY(decoded, cursor.u32());
+    v = decoded;
+  }
   return out;
 }
 
-std::vector<Asn> decode_asns(std::span<const std::uint8_t> bytes, const char* what) {
-  const auto raw = decode_u32s(bytes, what);
+Result<std::vector<Asn>> decode_asns(std::span<const std::uint8_t> bytes,
+                                     const char* what) {
+  ASRANK_TRY(raw, decode_u32s(bytes, what));
   std::vector<Asn> out;
   out.reserve(raw.size());
   for (const std::uint32_t v : raw) out.emplace_back(v);
   return out;
 }
 
-std::vector<std::uint64_t> decode_u64s(std::span<const std::uint8_t> bytes,
-                                       const char* what) {
+Result<std::vector<std::uint64_t>> decode_u64s(std::span<const std::uint8_t> bytes,
+                                               const char* what) {
   if (bytes.size() % 8 != 0) {
-    throw SnapshotError(std::string(what) + ": length not a multiple of 8");
+    return make_error(ErrorCode::kCorrupt,
+                      std::string(what) + ": length not a multiple of 8");
   }
   Cursor cursor(bytes, what);
   std::vector<std::uint64_t> out(bytes.size() / 8);
-  for (auto& v : out) v = cursor.u64();
+  for (auto& v : out) {
+    ASRANK_TRY(decoded, cursor.u64());
+    v = decoded;
+  }
   return out;
 }
 
@@ -219,67 +248,83 @@ std::span<const std::uint8_t> SnapshotIndex::relationship_codes(
 
 // ------------------------------------------------------------ validation --
 
-void SnapshotIndex::finalize_and_validate() {
+Result<void> SnapshotIndex::finalize_and_validate() {
   const std::size_t n = asns_.size();
-  const auto fail = [](const std::string& what) -> void { throw SnapshotError(what); };
+  const auto fail = [](std::string what) {
+    return make_error(ErrorCode::kCorrupt, std::move(what));
+  };
 
   for (std::size_t i = 0; i < n; ++i) {
-    if (!asns_[i].valid()) fail("invalid AS0 in AS table");
-    if (i > 0 && !(asns_[i - 1] < asns_[i])) fail("AS table not strictly ascending");
+    if (!asns_[i].valid()) return fail("invalid AS0 in AS table");
+    if (i > 0 && !(asns_[i - 1] < asns_[i])) {
+      return fail("AS table not strictly ascending");
+    }
   }
   if (adj_off_.size() != n + 1 || cone_off_.size() != n + 1) {
-    fail("offset table size does not match AS count");
+    return fail("offset table size does not match AS count");
   }
   if (rank_.size() != n || tdeg_.size() != n) {
-    fail("rank/degree table size does not match AS count");
+    return fail("rank/degree table size does not match AS count");
   }
-  if (adj_nbr_.size() != adj_rel_.size()) fail("adjacency arrays disagree in length");
-  if (!adj_off_.empty() && adj_off_.front() != 0) fail("adjacency offsets must start at 0");
-  if (!cone_off_.empty() && cone_off_.front() != 0) fail("cone offsets must start at 0");
+  if (adj_nbr_.size() != adj_rel_.size()) {
+    return fail("adjacency arrays disagree in length");
+  }
+  if (!adj_off_.empty() && adj_off_.front() != 0) {
+    return fail("adjacency offsets must start at 0");
+  }
+  if (!cone_off_.empty() && cone_off_.front() != 0) {
+    return fail("cone offsets must start at 0");
+  }
   if (n == 0) {
     if (!adj_nbr_.empty() || !cone_mem_.empty() || !clique_.empty()) {
-      fail("payload without AS table");
+      return fail("payload without AS table");
     }
   } else {
-    if (adj_off_.back() != adj_nbr_.size()) fail("adjacency offsets do not cover array");
-    if (cone_off_.back() != cone_mem_.size()) fail("cone offsets do not cover array");
+    if (adj_off_.back() != adj_nbr_.size()) {
+      return fail("adjacency offsets do not cover array");
+    }
+    if (cone_off_.back() != cone_mem_.size()) {
+      return fail("cone offsets do not cover array");
+    }
   }
-  if (adj_nbr_.size() % 2 != 0) fail("odd adjacency entry count (links are symmetric)");
+  if (adj_nbr_.size() % 2 != 0) {
+    return fail("odd adjacency entry count (links are symmetric)");
+  }
   link_count_ = adj_nbr_.size() / 2;
 
   // Offsets must be fully in-bounds before any row is dereferenced: the
   // symmetry check below binary-searches *other* rows.
   for (std::size_t id = 0; id < n; ++id) {
-    if (adj_off_[id] > adj_off_[id + 1]) fail("adjacency offsets not monotone");
-    if (cone_off_[id] > cone_off_[id + 1]) fail("cone offsets not monotone");
+    if (adj_off_[id] > adj_off_[id + 1]) return fail("adjacency offsets not monotone");
+    if (cone_off_[id] > cone_off_[id + 1]) return fail("cone offsets not monotone");
   }
 
   for (std::size_t id = 0; id < n; ++id) {
     for (std::uint64_t i = adj_off_[id]; i < adj_off_[id + 1]; ++i) {
       if (adj_rel_[i] > static_cast<std::uint8_t>(RelView::kSibling)) {
-        fail("unknown relationship code in adjacency");
+        return fail("unknown relationship code in adjacency");
       }
-      if (adj_nbr_[i] == asns_[id]) fail("self-link in adjacency");
+      if (adj_nbr_[i] == asns_[id]) return fail("self-link in adjacency");
       if (i > adj_off_[id] && !(adj_nbr_[i - 1] < adj_nbr_[i])) {
-        fail("adjacency row not strictly ascending");
+        return fail("adjacency row not strictly ascending");
       }
       // Symmetry: the neighbour must list us back with the inverse view.
       const auto back = relationship(adj_nbr_[i], asns_[id]);
       if (!back || *back != inverse(static_cast<RelView>(adj_rel_[i]))) {
-        fail("asymmetric adjacency entry");
+        return fail("asymmetric adjacency entry");
       }
     }
     const std::uint64_t cone_begin = cone_off_[id];
     const std::uint64_t cone_end = cone_off_[id + 1];
     bool has_self = cone_end == cone_begin;  // empty cone = AS not covered
     for (std::uint64_t i = cone_begin; i < cone_end; ++i) {
-      if (!id_of(cone_mem_[i])) fail("cone member is not a known AS");
+      if (!id_of(cone_mem_[i])) return fail("cone member is not a known AS");
       if (i > cone_begin && !(cone_mem_[i - 1] < cone_mem_[i])) {
-        fail("cone row not strictly ascending");
+        return fail("cone row not strictly ascending");
       }
       has_self = has_self || cone_mem_[i] == asns_[id];
     }
-    if (!has_self) fail("cone does not contain its own AS");
+    if (!has_self) return fail("cone does not contain its own AS");
   }
 
   // Ranks must be unique and contiguous from 1 (0 marks unranked ASes).
@@ -293,14 +338,18 @@ void SnapshotIndex::finalize_and_validate() {
   for (std::size_t id = 0; id < n; ++id) {
     const std::uint32_t r = rank_[id];
     if (r == 0) continue;
-    if (r > ranked || seen[r - 1]) fail("rank values not unique and contiguous");
+    if (r > ranked || seen[r - 1]) {
+      return fail("rank values not unique and contiguous");
+    }
     seen[r - 1] = true;
     by_rank_[r - 1] = static_cast<std::uint32_t>(id);
   }
 
   for (std::size_t i = 0; i < clique_.size(); ++i) {
-    if (!id_of(clique_[i])) fail("clique member is not a known AS");
-    if (i > 0 && !(clique_[i - 1] < clique_[i])) fail("clique not strictly ascending");
+    if (!id_of(clique_[i])) return fail("clique member is not a known AS");
+    if (i > 0 && !(clique_[i - 1] < clique_[i])) {
+      return fail("clique not strictly ascending");
+    }
   }
 
   // Derive the dense-id mirrors last: validation above guarantees every
@@ -314,6 +363,7 @@ void SnapshotIndex::finalize_and_validate() {
     const std::uint32_t id = *id_of(member);
     clique_bits_[id >> 6] |= 1ULL << (id & 63);
   }
+  return {};
 }
 
 // --------------------------------------------------------------- builder --
@@ -391,7 +441,12 @@ SnapshotIndex build_snapshot(const topology::TopologyView& view,
   index.clique_.erase(std::unique(index.clique_.begin(), index.clique_.end()),
                       index.clique_.end());
 
-  index.finalize_and_validate();
+  // The builder is a throwing boundary (callers hand it in-memory pipeline
+  // output, not untrusted bytes), so a validation Error becomes the
+  // subsystem's historical exception here.
+  if (auto validated = index.finalize_and_validate(); !validated.ok()) {
+    throw SnapshotError(validated.error().context);
+  }
   return index;
 }
 
@@ -410,7 +465,8 @@ SnapshotIndex build_snapshot(const AsGraph& graph, const core::Degrees& degrees,
 
 // -------------------------------------------------------------------- IO --
 
-void write_snapshot(const SnapshotIndex& index, std::ostream& os) {
+Result<void> try_write_snapshot(const SnapshotIndex& index, std::ostream& os) {
+  obs::ScopedTimer timer(&io_histogram("write"));
   struct Section {
     SectionId id;
     std::vector<std::uint8_t> payload;
@@ -464,37 +520,51 @@ void write_snapshot(const SnapshotIndex& index, std::ostream& os) {
   }
   os.write(reinterpret_cast<const char*>(file.data()),
            static_cast<std::streamsize>(file.size()));
-  if (!os) throw SnapshotError("write failed");
+  if (!os) return make_error(ErrorCode::kIo, "write failed");
+  obs::log_debug("snapshot written",
+                 {{"bytes", file.size()}, {"sections", sections.size()}});
+  return {};
 }
 
-SnapshotIndex read_snapshot(std::istream& is) {
+Result<SnapshotIndex> try_read_snapshot(std::istream& is) {
+  obs::ScopedTimer timer(&io_histogram("read"));
   std::vector<std::uint8_t> data{std::istreambuf_iterator<char>(is),
                                  std::istreambuf_iterator<char>()};
 
-  if (data.size() < kHeaderPrefixSize) throw SnapshotError("file shorter than header");
+  if (data.size() < kHeaderPrefixSize) {
+    return make_error(ErrorCode::kTruncated, "file shorter than header");
+  }
   if (!std::equal(kMagic.begin(), kMagic.end(), data.begin())) {
-    throw SnapshotError("bad magic (not an ASRK snapshot, or text-mode mangled)");
+    return make_error(ErrorCode::kCorrupt,
+                      "bad magic (not an ASRK snapshot, or text-mode mangled)");
   }
   Cursor prefix{std::span(data).subspan(8, kHeaderPrefixSize - 8), "header"};
-  const std::uint16_t version = prefix.u16();
+  ASRANK_TRY(version, prefix.u16());
   if (version != kFormatVersion) {
-    throw SnapshotError("unsupported format version " + std::to_string(version));
+    return make_error(ErrorCode::kUnsupported,
+                      "unsupported format version " + std::to_string(version));
   }
-  const std::uint16_t section_count = prefix.u16();
-  (void)prefix.u32();  // flags
-  const std::uint64_t file_size = prefix.u64();
+  ASRANK_TRY(section_count, prefix.u16());
+  ASRANK_TRY_VOID(prefix.u32());  // flags
+  ASRANK_TRY(file_size, prefix.u64());
   if (file_size != data.size()) {
-    throw SnapshotError("file size mismatch: header says " + std::to_string(file_size) +
-                        ", have " + std::to_string(data.size()) + " bytes (truncated?)");
+    return make_error(ErrorCode::kTruncated,
+                      "file size mismatch: header says " + std::to_string(file_size) +
+                          ", have " + std::to_string(data.size()) +
+                          " bytes (truncated?)");
   }
   const std::size_t header_size =
       kHeaderPrefixSize + static_cast<std::size_t>(section_count) * kSectionEntrySize + 4;
-  if (data.size() < header_size) throw SnapshotError("truncated section table");
+  if (data.size() < header_size) {
+    return make_error(ErrorCode::kTruncated, "truncated section table");
+  }
 
   const auto header_span = std::span(data).first(header_size - 4);
   Cursor crc_cursor{std::span(data).subspan(header_size - 4, 4), "header crc"};
-  if (crc_cursor.u32() != util::crc32(header_span)) {
-    throw SnapshotError("header CRC mismatch");
+  ASRANK_TRY(header_crc, crc_cursor.u32());
+  if (header_crc != util::crc32(header_span)) {
+    crc_failure_counter().inc();
+    return make_error(ErrorCode::kCorrupt, "header CRC mismatch");
   }
 
   std::unordered_map<std::uint32_t, std::span<const std::uint8_t>> section_bytes;
@@ -503,47 +573,101 @@ SnapshotIndex read_snapshot(std::istream& is) {
                                           kSectionEntrySize),
                "section table"};
   for (std::uint16_t i = 0; i < section_count; ++i) {
-    const std::uint32_t id = table.u32();
-    (void)table.u32();  // reserved
-    const std::uint64_t offset = table.u64();
-    const std::uint64_t length = table.u64();
-    const std::uint32_t crc = table.u32();
-    (void)table.u32();  // pad
+    ASRANK_TRY(id, table.u32());
+    ASRANK_TRY_VOID(table.u32());  // reserved
+    ASRANK_TRY(offset, table.u64());
+    ASRANK_TRY(length, table.u64());
+    ASRANK_TRY(crc, table.u32());
+    ASRANK_TRY_VOID(table.u32());  // pad
     if (offset < header_size || offset > data.size() || length > data.size() - offset) {
-      throw SnapshotError("section " + std::to_string(id) + " out of bounds");
+      return make_error(ErrorCode::kCorrupt,
+                        "section " + std::to_string(id) + " out of bounds");
     }
     const auto payload = std::span(data).subspan(offset, length);
     if (util::crc32(payload) != crc) {
-      throw SnapshotError("section " + std::to_string(id) + " CRC mismatch");
+      crc_failure_counter().inc();
+      return make_error(ErrorCode::kCorrupt,
+                        "section " + std::to_string(id) + " CRC mismatch");
     }
     if (!section_bytes.emplace(id, payload).second) {
-      throw SnapshotError("duplicate section " + std::to_string(id));
+      return make_error(ErrorCode::kCorrupt,
+                        "duplicate section " + std::to_string(id));
     }
   }
 
-  const auto require = [&](SectionId id) -> std::span<const std::uint8_t> {
+  const auto require =
+      [&](SectionId id) -> Result<std::span<const std::uint8_t>> {
     const auto it = section_bytes.find(static_cast<std::uint32_t>(id));
     if (it == section_bytes.end()) {
-      throw SnapshotError("missing section " +
-                          std::to_string(static_cast<std::uint32_t>(id)));
+      return make_error(ErrorCode::kNotFound,
+                        "missing section " +
+                            std::to_string(static_cast<std::uint32_t>(id)));
     }
     return it->second;
   };
 
   SnapshotIndex index;
-  index.asns_ = decode_asns(require(SectionId::kAsns), "AS table");
-  index.adj_off_ = decode_u64s(require(SectionId::kAdjOffsets), "adjacency offsets");
-  index.adj_nbr_ = decode_asns(require(SectionId::kAdjNeighbors), "adjacency neighbours");
-  const auto rels = require(SectionId::kAdjRels);
-  index.adj_rel_.assign(rels.begin(), rels.end());
-  index.cone_off_ = decode_u64s(require(SectionId::kConeOffsets), "cone offsets");
-  index.cone_mem_ = decode_asns(require(SectionId::kConeMembers), "cone members");
-  index.rank_ = decode_u32s(require(SectionId::kRanks), "ranks");
-  index.tdeg_ = decode_u32s(require(SectionId::kTransitDegrees), "transit degrees");
-  index.clique_ = decode_asns(require(SectionId::kClique), "clique");
+  {
+    ASRANK_TRY(bytes, require(SectionId::kAsns));
+    ASRANK_TRY(decoded, decode_asns(bytes, "AS table"));
+    index.asns_ = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(bytes, require(SectionId::kAdjOffsets));
+    ASRANK_TRY(decoded, decode_u64s(bytes, "adjacency offsets"));
+    index.adj_off_ = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(bytes, require(SectionId::kAdjNeighbors));
+    ASRANK_TRY(decoded, decode_asns(bytes, "adjacency neighbours"));
+    index.adj_nbr_ = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(rels, require(SectionId::kAdjRels));
+    index.adj_rel_.assign(rels.begin(), rels.end());
+  }
+  {
+    ASRANK_TRY(bytes, require(SectionId::kConeOffsets));
+    ASRANK_TRY(decoded, decode_u64s(bytes, "cone offsets"));
+    index.cone_off_ = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(bytes, require(SectionId::kConeMembers));
+    ASRANK_TRY(decoded, decode_asns(bytes, "cone members"));
+    index.cone_mem_ = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(bytes, require(SectionId::kRanks));
+    ASRANK_TRY(decoded, decode_u32s(bytes, "ranks"));
+    index.rank_ = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(bytes, require(SectionId::kTransitDegrees));
+    ASRANK_TRY(decoded, decode_u32s(bytes, "transit degrees"));
+    index.tdeg_ = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(bytes, require(SectionId::kClique));
+    ASRANK_TRY(decoded, decode_asns(bytes, "clique"));
+    index.clique_ = std::move(decoded);
+  }
 
-  index.finalize_and_validate();
+  ASRANK_TRY_VOID(index.finalize_and_validate());
+  obs::log_debug("snapshot read", {{"ases", index.as_count()},
+                                   {"links", index.link_count()}});
   return index;
+}
+
+void write_snapshot(const SnapshotIndex& index, std::ostream& os) {
+  if (auto written = try_write_snapshot(index, os); !written.ok()) {
+    throw SnapshotError(written.error().context);
+  }
+}
+
+SnapshotIndex read_snapshot(std::istream& is) {
+  auto parsed = try_read_snapshot(is);
+  if (!parsed.ok()) throw SnapshotError(parsed.error().context);
+  return std::move(parsed).value();
 }
 
 void write_snapshot_file(const SnapshotIndex& index, const std::string& path) {

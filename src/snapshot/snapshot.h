@@ -35,6 +35,7 @@
 #include "topology/as_graph.h"
 #include "topology/serialization.h"
 #include "topology/topology_view.h"
+#include "util/result.h"
 
 namespace asrank::snapshot {
 
@@ -116,16 +117,17 @@ class SnapshotIndex {
   friend SnapshotIndex build_snapshot(const topology::TopologyView&,
                                       const std::unordered_map<Asn, std::size_t>&,
                                       const ConeMap&, std::span<const Asn>);
-  friend SnapshotIndex read_snapshot(std::istream&);
-  friend void write_snapshot(const SnapshotIndex&, std::ostream&);
+  friend Result<SnapshotIndex> try_read_snapshot(std::istream&);
+  friend Result<void> try_write_snapshot(const SnapshotIndex&, std::ostream&);
 
   [[nodiscard]] std::optional<std::uint32_t> id_of(Asn as) const noexcept;
   [[nodiscard]] std::vector<Asn> filter(Asn as, RelView want) const;
 
   /// Re-derive by_rank_/link_count_ and check every structural invariant;
-  /// throws SnapshotError naming the violated invariant.  Shared by the
-  /// builder and the reader so corrupt-but-CRC-valid data also fails loudly.
-  void finalize_and_validate();
+  /// the Error names the violated invariant (ErrorCode::kCorrupt).  Shared
+  /// by the builder and the reader so corrupt-but-CRC-valid data also fails
+  /// loudly.
+  [[nodiscard]] Result<void> finalize_and_validate();
 
   std::vector<Asn> asns_;                 ///< sorted ascending; index = id
   std::vector<std::uint64_t> adj_off_;    ///< n+1
@@ -168,12 +170,23 @@ class SnapshotIndex {
                                            const std::vector<Asn>& clique);
 
 /// Serialize in ASRK1 format.  Deterministic: equal indexes produce
-/// byte-identical output.
+/// byte-identical output.  Fails with ErrorCode::kIo when the stream write
+/// fails; never leaves `os` half-written short of that.
+[[nodiscard]] Result<void> try_write_snapshot(const SnapshotIndex& index,
+                                              std::ostream& os);
+
+/// Parse and fully validate an ASRK1 stream.  Fails (kTruncated / kCorrupt /
+/// kUnsupported / kNotFound, context naming the exact defect) on bad magic,
+/// unsupported version, truncation, CRC mismatch, or any structural
+/// inconsistency; never returns a partially-initialized index.
+[[nodiscard]] Result<SnapshotIndex> try_read_snapshot(std::istream& is);
+
+/// Throwing boundary wrapper over try_write_snapshot: Error → SnapshotError
+/// with the identical message.
 void write_snapshot(const SnapshotIndex& index, std::ostream& os);
 
-/// Parse and fully validate an ASRK1 stream.  Throws SnapshotError on bad
-/// magic, unsupported version, truncation, CRC mismatch, or any structural
-/// inconsistency; never returns a partially-initialized index.
+/// Throwing boundary wrapper over try_read_snapshot: Error → SnapshotError
+/// with the identical message.
 [[nodiscard]] SnapshotIndex read_snapshot(std::istream& is);
 
 /// File-path conveniences (binary mode; read slurps the whole file).

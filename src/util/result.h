@@ -1,0 +1,124 @@
+// One error surface for the whole library: a small tl::expected-style
+// Result<T> carrying asrank::Error{code, context}.
+//
+// Subsystem internals (snapshot parsing/validation, wire-protocol decoding)
+// return Result instead of mixing bool / std::optional / exceptions, so a
+// caller can always tell *what class* of failure happened (truncated input
+// vs corrupt data vs I/O) without string-matching.  Exceptions remain only
+// at subsystem boundaries — the public read_snapshot()/write_snapshot()
+// wrappers and the CLI/daemon top level — where they translate the Error
+// into the subsystem's historical exception type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace asrank {
+
+enum class ErrorCode : std::uint8_t {
+  kInvalidArgument = 1,  ///< caller passed something nonsensical
+  kTruncated,            ///< input ended before a complete value
+  kCorrupt,              ///< structurally invalid or checksum-failing data
+  kUnsupported,          ///< recognized but unsupported (e.g. format version)
+  kNotFound,             ///< a required element is absent
+  kIo,                   ///< operating-system level read/write failure
+  kProtocol,             ///< wire-protocol violation
+  kInternal,             ///< invariant breakage inside the library
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid argument";
+    case ErrorCode::kTruncated: return "truncated";
+    case ErrorCode::kCorrupt: return "corrupt";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kNotFound: return "not found";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kProtocol: return "protocol";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+/// A failure: machine-readable code plus human-readable context.  The
+/// context string is the complete message historical exception types carried
+/// (so boundary wrappers stay message-compatible).
+struct [[nodiscard]] Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string context;
+
+  [[nodiscard]] std::string message() const {
+    if (context.empty()) return std::string(to_string(code));
+    return std::string(to_string(code)) + ": " + context;
+  }
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+[[nodiscard]] inline Error make_error(ErrorCode code, std::string context) {
+  return Error{code, std::move(context)};
+}
+
+/// Either a T or an Error.  Implicitly constructible from both, so
+/// `return value;` and `return Error{...};` both work inside a
+/// Result-returning function.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+  Result(Error error) : data_(std::in_place_index<1>, std::move(error)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return data_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() & { return std::get<0>(data_); }
+  [[nodiscard]] const T& value() const& { return std::get<0>(data_); }
+  [[nodiscard]] T&& value() && { return std::get<0>(std::move(data_)); }
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+  [[nodiscard]] const Error& error() const& { return std::get<1>(data_); }
+  [[nodiscard]] Error take_error() { return std::get<1>(std::move(data_)); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void>: success carries nothing.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::in_place_index<1>, std::move(error)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return error_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const Error& error() const& { return std::get<1>(error_); }
+  [[nodiscard]] Error take_error() { return std::get<1>(std::move(error_)); }
+
+ private:
+  std::variant<std::monostate, Error> error_;
+};
+
+}  // namespace asrank
+
+/// Evaluate a Result-returning expression; on failure propagate the Error to
+/// the caller (whose return type must be constructible from Error), on
+/// success bind the value to `var`.
+#define ASRANK_TRY(var, expr)                          \
+  auto var##_try_result = (expr);                      \
+  if (!var##_try_result.ok()) return var##_try_result.take_error(); \
+  auto var = std::move(var##_try_result).value()
+
+/// Like ASRANK_TRY for Result<void> expressions (nothing to bind).
+#define ASRANK_TRY_VOID(expr)                                        \
+  do {                                                               \
+    auto asrank_try_void_result = (expr);                            \
+    if (!asrank_try_void_result.ok())                                \
+      return asrank_try_void_result.take_error();                    \
+  } while (false)

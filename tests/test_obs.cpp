@@ -1,0 +1,285 @@
+// Tests for the observability subsystem (src/obs/): metrics registry,
+// Prometheus rendering, leveled structured logging, and RAII stage timers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
+namespace asrank::obs {
+namespace {
+
+// ------------------------------------------------------------- counters --
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  Registry registry;
+  Counter& c = registry.counter("test_total", "help text");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Registry registry;
+  Gauge& g = registry.gauge("test_gauge");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(Metrics, RegistryReturnsSameSeriesForSameNameAndLabels) {
+  Registry registry;
+  Counter& a = registry.counter("dup_total", "first help");
+  Counter& b = registry.counter("dup_total", "second help (ignored)");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Metrics, LabelsDistinguishSeriesWithinOneFamily) {
+  Registry registry;
+  Counter& rank = registry.counter("q_total", "", {{"type", "rank"}});
+  Counter& cone = registry.counter("q_total", "", {{"type", "cone"}});
+  EXPECT_NE(&rank, &cone);
+  rank.inc(3);
+  EXPECT_EQ(rank.value(), 3u);
+  EXPECT_EQ(cone.value(), 0u);
+}
+
+TEST(Metrics, TypeConflictOnOneNameThrows) {
+  Registry registry;
+  (void)registry.counter("conflict", "");
+  EXPECT_THROW((void)registry.gauge("conflict", ""), std::logic_error);
+  EXPECT_THROW((void)registry.histogram("conflict", ""), std::logic_error);
+}
+
+// ----------------------------------------------------------- histograms --
+
+TEST(Metrics, HistogramRejectsNonAscendingBounds) {
+  const std::uint64_t descending[] = {10, 5};
+  EXPECT_THROW(Histogram{std::span<const std::uint64_t>(descending)},
+               std::logic_error);
+  const std::uint64_t repeated[] = {5, 5};
+  EXPECT_THROW(Histogram{std::span<const std::uint64_t>(repeated)},
+               std::logic_error);
+}
+
+TEST(Metrics, HistogramBucketUpperBoundsAreInclusive) {
+  // Prometheus `le` semantics: observe(10) falls in the le="10" bucket, not
+  // the next one up.
+  const std::uint64_t bounds[] = {1, 10, 100};
+  Histogram h{std::span<const std::uint64_t>(bounds)};
+  h.observe(0);    // le=1
+  h.observe(1);    // le=1 (inclusive)
+  h.observe(2);    // le=10
+  h.observe(10);   // le=10 (inclusive)
+  h.observe(11);   // le=100
+  h.observe(100);  // le=100 (inclusive)
+  h.observe(101);  // +Inf
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf overflow bucket
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 10 + 11 + 100 + 101);
+}
+
+TEST(Metrics, HistogramSumAndCountAreExactIntegers) {
+  // QueryStats reconstructs avg_micros as sum()/count(); both must be plain
+  // u64 tallies with no floating point on the write path.
+  Registry registry;
+  Histogram& h = registry.histogram("exact_micros", "");
+  for (std::uint64_t v = 0; v < 1000; ++v) h.observe(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), 999u * 1000u / 2);
+}
+
+TEST(Metrics, ConcurrentObservationsAreNotLost) {
+  Registry registry;
+  Counter& counter = registry.counter("hammer_total", "");
+  Histogram& histogram = registry.histogram("hammer_micros", "");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter, &histogram] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        histogram.observe(i % 3000);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i <= histogram.bounds().size(); ++i) {
+    bucket_total += histogram.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, histogram.count());
+}
+
+// ------------------------------------------------------------ rendering --
+
+TEST(Metrics, RenderLabelsEscapesSpecialCharacters) {
+  EXPECT_EQ(render_labels({}), "");
+  EXPECT_EQ(render_labels({{"a", "x"}, {"b", "y"}}), "{a=\"x\",b=\"y\"}");
+  EXPECT_EQ(render_labels({{"p", "a\\b\"c\nd"}}), "{p=\"a\\\\b\\\"c\\nd\"}");
+}
+
+TEST(Metrics, PrometheusRenderEmitsHelpTypeAndValues) {
+  Registry registry;
+  registry.counter("beta_total", "counts things").inc(7);
+  registry.gauge("alpha_bytes", "resident bytes").set(123);
+  const std::string text = registry.render_prometheus();
+  // Families sort by name, so the gauge comes first.
+  EXPECT_LT(text.find("# HELP alpha_bytes resident bytes\n"),
+            text.find("# HELP beta_total counts things\n"));
+  EXPECT_NE(text.find("# TYPE alpha_bytes gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("alpha_bytes 123\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE beta_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("beta_total 7\n"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusHistogramBucketsAreCumulativeWithInf) {
+  Registry registry;
+  const std::uint64_t bounds[] = {10, 100};
+  Histogram& h = registry.histogram("lat_micros", "latency",
+                                    std::span<const std::uint64_t>(bounds),
+                                    {{"type", "rank"}});
+  h.observe(5);
+  h.observe(10);
+  h.observe(50);
+  h.observe(5000);
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("# TYPE lat_micros histogram\n"), std::string::npos);
+  // Buckets are cumulative; the label set merges `le` with the series labels.
+  EXPECT_NE(text.find("lat_micros_bucket{type=\"rank\",le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_micros_bucket{type=\"rank\",le=\"100\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_micros_bucket{type=\"rank\",le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_micros_sum{type=\"rank\"} 5065\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_micros_count{type=\"rank\"} 4\n"), std::string::npos);
+}
+
+// --------------------------------------------------------------- timers --
+
+TEST(Timer, ScopedTimerObservesOnceOnDestruction) {
+  Registry registry;
+  Histogram& h = registry.histogram("span_micros", "");
+  {
+    ScopedTimer timer(&h);
+    EXPECT_EQ(h.count(), 0u);
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Timer, StageHistogramResolvesPerStageSeries) {
+  Registry registry;
+  Histogram& voting = stage_histogram("voting", registry);
+  Histogram& clique = stage_histogram("clique", registry);
+  EXPECT_NE(&voting, &clique);
+  EXPECT_EQ(&voting, &stage_histogram("voting", registry));
+  voting.observe(3);
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(
+      text.find("asrank_stage_duration_micros_count{stage=\"voting\"} 1\n"),
+      std::string::npos);
+}
+
+// -------------------------------------------------------------- logging --
+
+TEST(Log, ParseLogLevelAcceptsAliases) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), std::nullopt);
+}
+
+/// Points the global logger at a buffer for one test, restoring stderr,
+/// info level, and text mode on the way out.
+class CapturedLogger {
+ public:
+  CapturedLogger() {
+    Logger::global().set_sink(&buffer_);
+    Logger::global().set_level(LogLevel::kInfo);
+    Logger::global().set_json(false);
+  }
+  ~CapturedLogger() {
+    Logger::global().set_sink(nullptr);
+    Logger::global().set_level(LogLevel::kInfo);
+    Logger::global().set_json(false);
+  }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+};
+
+TEST(Log, TextLineCarriesLevelMessageAndFields) {
+  CapturedLogger capture;
+  log_info("snapshot loaded", {{"ases", 42}, {"path", "run.asrk"}});
+  const std::string line = capture.text();
+  EXPECT_NE(line.find(" INFO snapshot loaded ases=42 path=run.asrk\n"),
+            std::string::npos);
+  // Leads with an ISO-8601 UTC timestamp.
+  EXPECT_NE(line.find("T"), std::string::npos);
+  EXPECT_EQ(line.find("Z "), line.find(' ') - 1);
+}
+
+TEST(Log, LevelsBelowThresholdAreDropped) {
+  CapturedLogger capture;
+  Logger::global().set_level(LogLevel::kWarn);
+  log_debug("invisible");
+  log_info("also invisible");
+  log_warn("visible");
+  const std::string text = capture.text();
+  EXPECT_EQ(text.find("invisible"), std::string::npos);
+  EXPECT_NE(text.find("WARN visible"), std::string::npos);
+}
+
+TEST(Log, JsonLinesParseMinimally) {
+  CapturedLogger capture;
+  Logger::global().set_json(true);
+  log_info("hello \"world\"\n", {{"count", 3}, {"ok", true}, {"who", "a\\b"}});
+  const std::string line = capture.text();
+  ASSERT_FALSE(line.empty());
+  // One complete JSON object per line.
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.substr(line.size() - 2), "}\n");
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+  EXPECT_NE(line.find("\"ts\":\""), std::string::npos);
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos);
+  // Message quotes, newline, and backslash are escaped.
+  EXPECT_NE(line.find("\"msg\":\"hello \\\"world\\\"\\n\""), std::string::npos);
+  EXPECT_NE(line.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"who\":\"a\\\\b\""), std::string::npos);
+}
+
+TEST(Log, DisabledCheckIsVisibleThroughEnabled) {
+  CapturedLogger capture;
+  Logger::global().set_level(LogLevel::kError);
+  EXPECT_FALSE(Logger::global().enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Logger::global().enabled(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace asrank::obs

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/cones.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
@@ -50,6 +51,9 @@ std::vector<Asn> asns(std::initializer_list<std::uint32_t> values) {
   return out;
 }
 
+// Every test engine gets its own obs::Registry: engines sharing a registry
+// share metric series, so isolated registries keep the exact-count
+// assertions below valid regardless of what other tests in this process do.
 std::uint64_t stat_count(const QueryEngine& engine, QueryType type) {
   return engine.stats()[static_cast<std::size_t>(type)].count;
 }
@@ -61,7 +65,8 @@ std::uint64_t stat_hits(const QueryEngine& engine, QueryType type) {
 // --------------------------------------------------------- query engine --
 
 TEST(QueryEngine, DirectQueriesMatchIndex) {
-  QueryEngine engine(make_index());
+  obs::Registry registry;
+  QueryEngine engine(make_index(), 4096, &registry);
   EXPECT_EQ(engine.relationship(Asn(1), Asn(3)), RelView::kCustomer);
   EXPECT_EQ(engine.rank(Asn(1)), 1u);
   EXPECT_EQ(engine.rank(Asn(99)), std::nullopt);
@@ -80,7 +85,8 @@ TEST(QueryEngine, DirectQueriesMatchIndex) {
 }
 
 TEST(QueryEngine, ConeIntersectionIsCachedAndOrderInsensitive) {
-  QueryEngine engine(make_index());
+  obs::Registry registry;
+  QueryEngine engine(make_index(), 4096, &registry);
   const auto first = engine.cone_intersection(Asn(1), Asn(2));
   EXPECT_EQ(*first, asns({3, 4}));
   EXPECT_EQ(stat_hits(engine, QueryType::kConeIntersect), 0u);
@@ -94,7 +100,8 @@ TEST(QueryEngine, ConeIntersectionIsCachedAndOrderInsensitive) {
 }
 
 TEST(QueryEngine, PathToCliqueIsDeterministicBfs) {
-  QueryEngine engine(make_index());
+  obs::Registry registry;
+  QueryEngine engine(make_index(), 4096, &registry);
   // 4's only provider chain is 4 -> 3 -> {1,2}; lowest-ASN tiebreak picks 1.
   EXPECT_EQ(*engine.path_to_clique(Asn(4)), asns({4, 3, 1}));
   // A clique member is its own path.
@@ -109,7 +116,8 @@ TEST(QueryEngine, PathToCliqueIsDeterministicBfs) {
 }
 
 TEST(QueryEngine, LruEvictsLeastRecentlyUsed) {
-  QueryEngine engine(make_index(), /*cache_capacity=*/1);
+  obs::Registry registry;
+  QueryEngine engine(make_index(), /*cache_capacity=*/1, &registry);
   (void)engine.cone_intersection(Asn(1), Asn(2));
   (void)engine.cone_intersection(Asn(1), Asn(3));  // evicts (1,2)
   (void)engine.cone_intersection(Asn(1), Asn(2));  // recomputed
@@ -119,17 +127,71 @@ TEST(QueryEngine, LruEvictsLeastRecentlyUsed) {
 }
 
 TEST(QueryEngine, RenderStatsListsEveryQueryType) {
-  QueryEngine engine(make_index());
+  obs::Registry registry;
+  QueryEngine engine(make_index(), 4096, &registry);
   (void)engine.rank(Asn(1));
   const auto text = engine.render_stats();
   EXPECT_NE(text.find("rank"), std::string::npos);
   EXPECT_NE(text.find("cone_intersect"), std::string::npos);
 }
 
+TEST(QueryEngine, StatsWireFormatIsByteStable) {
+  // The STATS response body is a wire format consumed by existing clients;
+  // the registry-backed stats() must reproduce it byte for byte.
+  obs::Registry registry;
+  QueryEngine engine(make_index(), 4096, &registry);
+  EXPECT_EQ(engine.render_stats(),
+            "query_type count cache_hits avg_micros\n"
+            "relationship 0 0 0\n"
+            "rank 0 0 0\n"
+            "cone_size 0 0 0\n"
+            "cone 0 0 0\n"
+            "in_cone 0 0 0\n"
+            "neighbor_set 0 0 0\n"
+            "top 0 0 0\n"
+            "cone_intersect 0 0 0\n"
+            "path_to_clique 0 0 0\n"
+            "clique 0 0 0\n"
+            "stats 0 0 0\n"
+            "ping 0 0 0\n");
+  (void)engine.rank(Asn(1));
+  (void)engine.rank(Asn(2));
+  const auto text = engine.render_stats();
+  EXPECT_NE(text.find("\nrank 2 0 "), std::string::npos) << text;
+}
+
+TEST(QueryEngine, SnapshotIndexIsSharedNotCopied) {
+  auto index =
+      std::make_shared<const snapshot::SnapshotIndex>(make_index());
+  obs::Registry registry_a;
+  obs::Registry registry_b;
+  QueryEngine a(index, 4096, &registry_a);
+  QueryEngine b(index, 4096, &registry_b);
+  EXPECT_EQ(a.index_ptr().get(), index.get());
+  EXPECT_EQ(a.index_ptr().get(), b.index_ptr().get());
+  EXPECT_EQ(a.rank(Asn(1)), b.rank(Asn(1)));
+  // Metrics are per registry: a's query did not count against b.
+  EXPECT_EQ(stat_count(a, QueryType::kRank), 1u);
+  EXPECT_EQ(stat_count(b, QueryType::kRank), 1u);
+}
+
+TEST(QueryEngine, EnginesSharingARegistryShareSeries) {
+  auto index =
+      std::make_shared<const snapshot::SnapshotIndex>(make_index());
+  obs::Registry registry;
+  QueryEngine a(index, 4096, &registry);
+  QueryEngine b(index, 4096, &registry);
+  (void)a.rank(Asn(1));
+  (void)b.rank(Asn(2));
+  EXPECT_EQ(stat_count(a, QueryType::kRank), 2u);
+  EXPECT_EQ(stat_count(b, QueryType::kRank), 2u);
+}
+
 // ------------------------------------------------- sans-socket handlers --
 
 TEST(Handlers, TextCommands) {
-  QueryEngine engine(make_index());
+  obs::Registry registry;
+  QueryEngine engine(make_index(), 4096, &registry);
   EXPECT_EQ(handle_text_request(engine, "PING"), "OK pong");
   EXPECT_EQ(handle_text_request(engine, "rel 1 3"), "OK customer");
   EXPECT_EQ(handle_text_request(engine, "rel 3 1"), "OK provider");
@@ -147,8 +209,38 @@ TEST(Handlers, TextCommands) {
   EXPECT_TRUE(handle_text_request(engine, "stats").ends_with("."));
 }
 
+TEST(Handlers, MetricsTextCommandServesPrometheus) {
+  obs::Registry registry;
+  QueryEngine engine(make_index(), 4096, &registry);
+  (void)engine.rank(Asn(1));
+  const auto response = handle_text_request(engine, "metrics");
+  EXPECT_TRUE(response.starts_with("OK\n")) << response;
+  EXPECT_TRUE(response.ends_with(".")) << response;
+  EXPECT_NE(response.find("# TYPE asrankd_query_latency_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(response.find("asrankd_queries_total 1\n"), std::string::npos);
+  EXPECT_NE(response.find("asrankd_metrics_requests_total"), std::string::npos);
+}
+
+TEST(Handlers, MetricsOpcodeServesPrometheus) {
+  obs::Registry registry;
+  QueryEngine engine(make_index(), 4096, &registry);
+  (void)engine.rank(Asn(1));
+  const auto response = handle_binary_request(
+      engine, std::vector<std::uint8_t>{static_cast<std::uint8_t>(Op::kMetrics)});
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kOk));
+  const std::string body(response.begin() + 1, response.end());
+  EXPECT_NE(
+      body.find("asrankd_query_latency_micros_count{type=\"rank\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(body.find("asrankd_query_latency_micros_bucket{type=\"rank\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+}
+
 TEST(Handlers, TextErrorsNameTheProblem) {
-  QueryEngine engine(make_index());
+  obs::Registry registry;
+  QueryEngine engine(make_index(), 4096, &registry);
   EXPECT_EQ(handle_text_request(engine, "rel 1"), "ERR usage: REL <asn> <asn>");
   EXPECT_EQ(handle_text_request(engine, "rank notanasn"),
             "ERR usage: RANK <asn>");
@@ -158,7 +250,8 @@ TEST(Handlers, TextErrorsNameTheProblem) {
 }
 
 TEST(Handlers, BinaryRejectsMalformedRequests) {
-  QueryEngine engine(make_index());
+  obs::Registry registry;
+  QueryEngine engine(make_index(), 4096, &registry);
   // Unknown opcode.
   auto response = handle_binary_request(engine, std::vector<std::uint8_t>{0x7F});
   ASSERT_FALSE(response.empty());
@@ -180,7 +273,8 @@ TEST(Handlers, BinaryRejectsMalformedRequests) {
 
 class ServeFixture : public testing::Test {
  protected:
-  ServeFixture() : engine_(make_index()), server_(engine_, config()) {
+  ServeFixture()
+      : engine_(make_index(), 4096, &registry_), server_(engine_, config()) {
     thread_ = std::thread([this] { server_.run(); });
   }
 
@@ -196,6 +290,7 @@ class ServeFixture : public testing::Test {
     return config;
   }
 
+  obs::Registry registry_;  ///< must outlive engine_ (declared first)
   QueryEngine engine_;
   Server server_;
   std::thread thread_;
@@ -274,8 +369,26 @@ TEST_F(ServeFixture, TextModeOverSocket) {
   EXPECT_EQ(response, "OK 1\n");
 }
 
+TEST_F(ServeFixture, MetricsScrapeOverSocket) {
+  Client client("127.0.0.1", server_.port());
+  (void)client.rank(Asn(1));
+  (void)client.rank(Asn(2));
+  const auto text = client.metrics_text();
+  // Valid Prometheus exposition with per-query-type latency histograms and
+  // the daemon's own connection/frame counters.
+  EXPECT_NE(text.find("# TYPE asrankd_query_latency_micros histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("asrankd_query_latency_micros_count{type=\"rank\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("asrankd_queries_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("asrankd_connections_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("asrankd_frames_total"), std::string::npos);
+  EXPECT_NE(text.find("asrankd_metrics_requests_total 1\n"), std::string::npos);
+}
+
 TEST(Server, StopBeforeRunReturnsImmediately) {
-  QueryEngine engine(make_index());
+  obs::Registry registry;
+  QueryEngine engine(make_index(), 4096, &registry);
   ServerConfig config;
   config.port = 0;
   config.threads = 1;
@@ -286,7 +399,8 @@ TEST(Server, StopBeforeRunReturnsImmediately) {
 }
 
 TEST(Server, GracefulShutdownWithIdleClientConnected) {
-  QueryEngine engine(make_index());
+  obs::Registry registry;
+  QueryEngine engine(make_index(), 4096, &registry);
   ServerConfig config;
   config.port = 0;
   config.threads = 1;
@@ -303,7 +417,8 @@ TEST(Server, GracefulShutdownWithIdleClientConnected) {
 }
 
 TEST(Server, RejectsBadListenAddress) {
-  QueryEngine engine(make_index());
+  obs::Registry registry;
+  QueryEngine engine(make_index(), 4096, &registry);
   ServerConfig config;
   config.host = "not-an-address";
   EXPECT_THROW((Server{engine, config}), ProtocolError);

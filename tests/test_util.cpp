@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 #include <sstream>
 
+#include "util/result.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -358,6 +360,68 @@ TEST(Table, Formatters) {
   EXPECT_EQ(fmt_count(999), "999");
   EXPECT_EQ(fmt_count(1000), "1,000");
   EXPECT_EQ(fmt_count(0), "0");
+}
+
+// ------------------------------------------------------------- Result -----
+
+Result<int> parse_positive(int raw) {
+  if (raw <= 0) return make_error(ErrorCode::kInvalidArgument, "not positive");
+  return raw;
+}
+
+Result<int> doubled_via_try(int raw) {
+  ASRANK_TRY(parsed, parse_positive(raw));
+  return parsed * 2;
+}
+
+Result<void> check_via_try_void(int raw) {
+  ASRANK_TRY_VOID(parse_positive(raw));
+  return {};
+}
+
+TEST(Result, CarriesValueOrError) {
+  const Result<int> good = parse_positive(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(static_cast<bool>(good));
+  EXPECT_EQ(good.value(), 7);
+  EXPECT_EQ(good.value_or(-1), 7);
+
+  Result<int> bad = parse_positive(-3);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(bad.error().context, "not positive");
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(bad.take_error(), make_error(ErrorCode::kInvalidArgument, "not positive"));
+}
+
+TEST(Result, TryMacroPropagatesErrorsAndBindsValues) {
+  const auto doubled = doubled_via_try(21);
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 42);
+  // The macro early-returns the callee's Error unchanged.
+  const auto failed = doubled_via_try(0);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().context, "not positive");
+}
+
+TEST(Result, VoidSpecializationAndTryVoid) {
+  EXPECT_TRUE(check_via_try_void(1).ok());
+  const auto failed = check_via_try_void(-1);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(Result, ErrorMessagePrefixesTheCodeName) {
+  EXPECT_EQ(make_error(ErrorCode::kCorrupt, "bad crc").message(), "corrupt: bad crc");
+  EXPECT_EQ((Error{ErrorCode::kTruncated, {}}.message()), "truncated");
+  EXPECT_EQ(to_string(ErrorCode::kIo), "io");
+}
+
+TEST(Result, MoveOnlyValuesMoveOut) {
+  Result<std::unique_ptr<int>> boxed(std::make_unique<int>(5));
+  ASSERT_TRUE(boxed.ok());
+  const std::unique_ptr<int> taken = std::move(boxed).value();
+  EXPECT_EQ(*taken, 5);
 }
 
 }  // namespace
