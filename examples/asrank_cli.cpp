@@ -407,30 +407,56 @@ int cmd_snapshot(const Args& args) {
 }
 
 int cmd_serve(const Args& args) {
-  auto index = snapshot::read_snapshot_file(args.require("snapshot"));
-  std::cerr << "loaded snapshot: " << index.as_count() << " ASes, "
-            << index.link_count() << " links, clique " << index.clique().size()
-            << "\n";
+  const std::string snapshot_path = args.require("snapshot");
 
-  serve::QueryEngine engine(std::move(index), args.get_u64("cache", 4096));
+  serve::SnapshotRegistryConfig registry_config;
+  registry_config.retention = args.get_u64("retention", 4);
+  registry_config.cache_capacity = args.get_u64("cache", 4096);
+  serve::SnapshotRegistry registry(registry_config);
+
+  auto loaded = registry.load_file(snapshot_path, args.get_or("epoch", ""));
+  if (!loaded.ok()) throw std::runtime_error(loaded.error().message());
+  const auto& index = loaded.value()->index();
+  std::cerr << "loaded snapshot epoch '" << registry.current_label() << "': "
+            << index.as_count() << " ASes, " << index.link_count()
+            << " links, clique " << index.clique().size() << "\n";
+
   serve::ServerConfig config;
   config.host = args.get_or("host", "127.0.0.1");
   config.port = static_cast<std::uint16_t>(args.get_u64("port", 7464));
   config.threads = args.get_u64("threads", 4);
-  serve::Server server(engine, config);
+  config.idle_timeout_ms = static_cast<int>(args.get_u64("idle-timeout-ms", 60000));
+  config.query_deadline_ms = static_cast<int>(args.get_u64("deadline-ms", 5000));
+  config.max_connections = args.get_u64("max-conns", 256);
+  // SIGHUP re-reads the serving snapshot path (or --reload-path override).
+  config.reload_path = args.get_or("reload-path", snapshot_path);
+  config.reload_label = args.get_or("epoch", "");
+  serve::Server server(registry, config);
   server.install_signal_handlers();
   std::cerr << "asrankd " << ASRANK_VERSION << " listening on " << config.host << ":"
             << server.port() << " (" << config.threads << " workers)\n";
   server.run();
   std::cerr << "asrankd: clean shutdown after " << server.connections_served()
-            << " connections\n" << engine.render_stats();
+            << " connections\n" << registry.current()->render_stats();
   return 0;
+}
+
+/// Unwrap a client Result at the CLI boundary (exit code 1 on error).
+template <typename T>
+T need(Result<T> result) {
+  if (!result.ok()) throw std::runtime_error(result.error().message());
+  return std::move(result).value();
+}
+
+void need_void(Result<void> result) {
+  if (!result.ok()) throw std::runtime_error(result.error().message());
 }
 
 int cmd_query(const Args& args) {
   serve::Client client(args.get_or("host", "127.0.0.1"),
                        static_cast<std::uint16_t>(args.get_u64("port", 7464)));
   const std::string op = args.require("op");
+  const std::string epoch = args.get_or("epoch", "");
   const auto as_arg = [&args](const char* key) {
     const auto asn = Asn::parse(args.require(key));
     if (!asn) throw std::runtime_error(std::string("malformed ASN in --") + key);
@@ -444,47 +470,73 @@ int cmd_query(const Args& args) {
   };
 
   if (op == "ping") {
-    client.ping();
+    need_void(client.try_ping());
     std::cout << "pong\n";
   } else if (op == "rel") {
-    const auto view = client.relationship(as_arg("a"), as_arg("b"));
+    const auto view = need(client.try_relationship(as_arg("a"), as_arg("b"), epoch));
     std::cout << (view ? to_string(*view) : "none") << "\n";
   } else if (op == "rank") {
-    const auto rank = client.rank(as_arg("a"));
+    const auto rank = need(client.try_rank(as_arg("a"), epoch));
     std::cout << (rank ? std::to_string(*rank) : "unranked") << "\n";
   } else if (op == "conesize") {
-    std::cout << client.cone_size(as_arg("a")) << "\n";
+    std::cout << need(client.try_cone_size(as_arg("a"), epoch)) << "\n";
   } else if (op == "cone") {
-    print_list(client.cone(as_arg("a")));
+    print_list(need(client.try_cone(as_arg("a"), epoch)));
   } else if (op == "incone") {
-    std::cout << (client.in_cone(as_arg("a"), as_arg("b")) ? "yes" : "no") << "\n";
+    std::cout << (need(client.try_in_cone(as_arg("a"), as_arg("b"), epoch)) ? "yes" : "no")
+              << "\n";
   } else if (op == "providers") {
-    print_list(client.providers(as_arg("a")));
+    print_list(need(client.try_providers(as_arg("a"), epoch)));
   } else if (op == "customers") {
-    print_list(client.customers(as_arg("a")));
+    print_list(need(client.try_customers(as_arg("a"), epoch)));
   } else if (op == "peers") {
-    print_list(client.peers(as_arg("a")));
+    print_list(need(client.try_peers(as_arg("a"), epoch)));
   } else if (op == "top") {
     util::TableWriter table({"rank", "AS", "cone", "transit degree"});
-    for (const auto& entry : client.top(static_cast<std::uint32_t>(args.get_u64("n", 15)))) {
+    const auto entries =
+        need(client.try_top(static_cast<std::uint32_t>(args.get_u64("n", 15)), epoch));
+    for (const auto& entry : entries) {
       table.add_row({std::to_string(entry.rank), "AS" + entry.as.str(),
                      util::fmt_count(entry.cone_size),
                      util::fmt_count(entry.transit_degree)});
     }
     table.render(std::cout);
   } else if (op == "intersect") {
-    print_list(client.cone_intersection(as_arg("a"), as_arg("b")));
+    print_list(need(client.try_cone_intersection(as_arg("a"), as_arg("b"), epoch)));
   } else if (op == "cliquepath") {
-    print_list(client.path_to_clique(as_arg("a")));
+    print_list(need(client.try_path_to_clique(as_arg("a"), epoch)));
   } else if (op == "clique") {
-    print_list(client.clique());
+    print_list(need(client.try_clique(epoch)));
   } else if (op == "stats") {
-    std::cout << client.stats_text();
+    std::cout << need(client.try_stats_text(epoch));
   } else if (op == "metrics") {
-    std::cout << client.metrics_text();
+    std::cout << need(client.try_metrics_text());
+  } else if (op == "epochs") {
+    for (const auto& label : need(client.try_epochs())) std::cout << label << "\n";
+  } else if (op == "conediff") {
+    const auto diff = need(client.try_cone_diff(as_arg("a"), args.require("ea"),
+                                                args.require("eb")));
+    for (const Asn as : diff.added) std::cout << "+" << as.value() << "\n";
+    for (const Asn as : diff.removed) std::cout << "-" << as.value() << "\n";
   } else {
     throw UsageError("unknown --op '" + op + "'");
   }
+  return 0;
+}
+
+std::pair<std::string, std::uint16_t> parse_target(const std::string& target);
+
+// Ask a running asrankd (loopback only) to hot-load a snapshot file.
+int cmd_reload(const std::optional<std::string>& target, const Args& args) {
+  const auto [host, port] =
+      target ? parse_target(*target)
+             : std::pair<std::string, std::uint16_t>{
+                   args.get_or("host", "127.0.0.1"),
+                   static_cast<std::uint16_t>(args.get_u64("port", 7464))};
+  serve::Client client(host, port);
+  const auto info =
+      need(client.try_reload(args.require("snapshot"), args.get_or("epoch", "")));
+  std::cout << "reloaded epoch '" << info.label << "' (" << info.ases << " ASes)\n";
   return 0;
 }
 
@@ -530,9 +582,16 @@ void usage(std::ostream& os) {
       "  snapshot --as-rel F --out F.asrk [--ppdc F | --mrt F | --pipe F]\n"
       "           [--method recursive|ppdc|observed] [--clique a,b,c]\n"
       "  serve    --snapshot F.asrk [--host H] [--port N] [--threads N] [--cache N]\n"
+      "           [--epoch LABEL] [--retention N] [--idle-timeout-ms N]\n"
+      "           [--deadline-ms N] [--max-conns N] [--reload-path F]\n"
+      "           (SIGHUP hot-reloads the snapshot; old epochs stay queryable)\n"
       "  query    --op OP [--host H] [--port N] [--a ASN] [--b ASN] [--n N]\n"
+      "           [--epoch LABEL] (answer from a named resident epoch)\n"
       "           OP: ping rel rank conesize cone incone providers customers\n"
       "               peers top intersect cliquepath clique stats metrics\n"
+      "               epochs conediff (--a ASN --ea EPOCH --eb EPOCH)\n"
+      "  reload   [host:port] --snapshot F.asrk [--epoch LABEL]\n"
+      "           hot-load a snapshot into a running asrankd (loopback only)\n"
       "  metrics  [host:port] (default 127.0.0.1:7464; or --host H --port N)\n"
       "           print a running asrankd's Prometheus metrics\n"
       "  help     print this usage\n"
@@ -560,10 +619,12 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
-    // `metrics` accepts one optional positional <host:port> before flags.
+    // `metrics` and `reload` accept one optional positional <host:port>
+    // before flags.
     std::optional<std::string> target;
     int first_flag = 2;
-    if (command == "metrics" && argc > 2 && std::string(argv[2]).rfind("--", 0) != 0) {
+    if ((command == "metrics" || command == "reload") && argc > 2 &&
+        std::string(argv[2]).rfind("--", 0) != 0) {
       target = argv[2];
       first_flag = 3;
     }
@@ -589,6 +650,7 @@ int main(int argc, char** argv) {
     if (command == "snapshot") return cmd_snapshot(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "query") return cmd_query(args);
+    if (command == "reload") return cmd_reload(target, args);
     if (command == "metrics") return cmd_metrics(target, args);
     std::cerr << "asrank_cli: unknown command '" << command
               << "' (try 'asrank_cli help')\n";

@@ -59,31 +59,7 @@ std::vector<std::uint8_t> encode_bgp_update(const UpdateMessage& update) {
   return msg.take();
 }
 
-}  // namespace
-
-void write_update(const UpdateMessage& update, std::ostream& os) {
-  ByteWriter body;
-  body.put_u32(update.peer_as.value());
-  body.put_u32(update.local_as.value());
-  body.put_u16(0);  // interface index
-  body.put_u16(kAfiIpv4);
-  body.put_u32(update.peer_ip);
-  body.put_u32(update.local_ip);
-  const auto msg = encode_bgp_update(update);
-  body.put_bytes(msg);
-
-  ByteWriter header;
-  header.put_u32(update.timestamp);
-  header.put_u16(kTypeBgp4mp);
-  header.put_u16(kSubMessageAs4);
-  header.put_u32(static_cast<std::uint32_t>(body.size()));
-  os.write(reinterpret_cast<const char*>(header.bytes().data()),
-           static_cast<std::streamsize>(header.size()));
-  os.write(reinterpret_cast<const char*>(body.bytes().data()),
-           static_cast<std::streamsize>(body.size()));
-}
-
-std::vector<UpdateMessage> read_updates(std::istream& is) {
+std::vector<UpdateMessage> read_updates_or_throw(std::istream& is) {
   std::vector<UpdateMessage> out;
   std::vector<std::uint8_t> header_buf(12);
   while (is.read(reinterpret_cast<char*>(header_buf.data()), 12)) {
@@ -131,6 +107,53 @@ std::vector<UpdateMessage> read_updates(std::istream& is) {
     out.push_back(std::move(update));
   }
   return out;
+}
+
+}  // namespace
+
+void write_update(const UpdateMessage& update, std::ostream& os) {
+  ByteWriter body;
+  body.put_u32(update.peer_as.value());
+  body.put_u32(update.local_as.value());
+  body.put_u16(0);  // interface index
+  body.put_u16(kAfiIpv4);
+  body.put_u32(update.peer_ip);
+  body.put_u32(update.local_ip);
+  const auto msg = encode_bgp_update(update);
+  body.put_bytes(msg);
+
+  ByteWriter header;
+  header.put_u32(update.timestamp);
+  header.put_u16(kTypeBgp4mp);
+  header.put_u16(kSubMessageAs4);
+  header.put_u32(static_cast<std::uint32_t>(body.size()));
+  os.write(reinterpret_cast<const char*>(header.bytes().data()),
+           static_cast<std::streamsize>(header.size()));
+  os.write(reinterpret_cast<const char*>(body.bytes().data()),
+           static_cast<std::streamsize>(body.size()));
+}
+
+Result<std::vector<UpdateMessage>> try_read_updates(std::istream& is) {
+  // Record framing and attribute decoding share the DecodeError rail
+  // internally; this top-level entry point converts each failure to an Error
+  // whose context is the complete historical "mrt: ..." message.
+  try {
+    return read_updates_or_throw(is);
+  } catch (const DecodeError& error) {
+    const std::string what = error.what();
+    const auto code = what.find("truncated") != std::string::npos
+                          ? ErrorCode::kTruncated
+                          : ErrorCode::kCorrupt;
+    return make_error(code, what);
+  }
+}
+
+std::vector<UpdateMessage> read_updates(std::istream& is) {
+  auto parsed = try_read_updates(is);
+  if (!parsed.ok()) {
+    throw DecodeError(DecodeError::Passthrough{}, parsed.error().context);
+  }
+  return std::move(parsed).value();
 }
 
 }  // namespace asrank::mrt

@@ -12,6 +12,7 @@
 #include "asn/asn.h"
 #include "asn/prefix.h"
 #include "mrt/bgp_attrs.h"
+#include "util/result.h"
 
 namespace asrank::mrt {
 
@@ -33,7 +34,13 @@ struct UpdateMessage {
 void write_update(const UpdateMessage& update, std::ostream& os);
 
 /// Read every BGP4MP_MESSAGE_AS4 record from the stream; other MRT types are
-/// skipped.  Throws DecodeError on malformed records.
+/// skipped.  Truncation yields ErrorCode::kTruncated and any other
+/// malformation yields ErrorCode::kCorrupt, context carrying the historical
+/// "mrt: ..." message.
+[[nodiscard]] Result<std::vector<UpdateMessage>> try_read_updates(std::istream& is);
+
+/// Throwing boundary wrapper over try_read_updates: Error -> DecodeError with
+/// the identical message.
 [[nodiscard]] std::vector<UpdateMessage> read_updates(std::istream& is);
 
 }  // namespace asrank::mrt

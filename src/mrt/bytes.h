@@ -18,6 +18,12 @@ namespace asrank::mrt {
 class DecodeError : public std::runtime_error {
  public:
   explicit DecodeError(const std::string& what) : std::runtime_error("mrt: " + what) {}
+
+  /// Rethrow tag for boundary wrappers: `what` is already a complete
+  /// message (e.g. an Error context captured from a prior DecodeError) and
+  /// must not be prefixed again.
+  struct Passthrough {};
+  DecodeError(Passthrough, const std::string& what) : std::runtime_error(what) {}
 };
 
 class ByteWriter {

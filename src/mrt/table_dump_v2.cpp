@@ -137,38 +137,57 @@ void write_table_dump_v2(const RibDump& dump, std::ostream& os) {
   }
 }
 
-RibDump read_table_dump_v2(std::istream& is) {
-  RibDump dump;
-  bool saw_peer_table = false;
-  std::vector<std::uint8_t> header_buf(12);
-  while (is.read(reinterpret_cast<char*>(header_buf.data()), 12)) {
-    ByteReader header(header_buf);
-    const std::uint32_t timestamp = header.get_u32();
-    const std::uint16_t type = header.get_u16();
-    const std::uint16_t subtype = header.get_u16();
-    const std::uint32_t length = header.get_u32();
-    if (length > kMaxRecordBytes) {
-      throw DecodeError("MRT record length " + std::to_string(length) +
-                        " exceeds sanity cap");
+Result<RibDump> try_read_table_dump_v2(std::istream& is) {
+  // Record-level framing and the per-record decoders share the DecodeError
+  // rail internally; this top-level entry point converts each failure to an
+  // Error whose context is the complete historical "mrt: ..." message.
+  try {
+    RibDump dump;
+    bool saw_peer_table = false;
+    std::vector<std::uint8_t> header_buf(12);
+    while (is.read(reinterpret_cast<char*>(header_buf.data()), 12)) {
+      ByteReader header(header_buf);
+      const std::uint32_t timestamp = header.get_u32();
+      const std::uint16_t type = header.get_u16();
+      const std::uint16_t subtype = header.get_u16();
+      const std::uint32_t length = header.get_u32();
+      if (length > kMaxRecordBytes) {
+        throw DecodeError("MRT record length " + std::to_string(length) +
+                          " exceeds sanity cap");
+      }
+      std::vector<std::uint8_t> body(length);
+      if (!is.read(reinterpret_cast<char*>(body.data()), static_cast<std::streamsize>(length))) {
+        throw DecodeError("truncated MRT record body");
+      }
+      if (type != kTypeTableDumpV2) continue;  // tolerate interleaved other types
+      if (subtype == kSubPeerIndexTable) {
+        decode_peer_index_table(ByteReader(body), dump);
+        dump.timestamp = timestamp;
+        saw_peer_table = true;
+      } else if (subtype == kSubRibIpv4Unicast) {
+        if (!saw_peer_table) throw DecodeError("RIB record before PEER_INDEX_TABLE");
+        dump.rib.push_back(decode_rib_entry(ByteReader(body)));
+      } else {
+        throw DecodeError("unsupported TABLE_DUMP_V2 subtype " + std::to_string(subtype));
+      }
     }
-    std::vector<std::uint8_t> body(length);
-    if (!is.read(reinterpret_cast<char*>(body.data()), static_cast<std::streamsize>(length))) {
-      throw DecodeError("truncated MRT record body");
-    }
-    if (type != kTypeTableDumpV2) continue;  // tolerate interleaved other types
-    if (subtype == kSubPeerIndexTable) {
-      decode_peer_index_table(ByteReader(body), dump);
-      dump.timestamp = timestamp;
-      saw_peer_table = true;
-    } else if (subtype == kSubRibIpv4Unicast) {
-      if (!saw_peer_table) throw DecodeError("RIB record before PEER_INDEX_TABLE");
-      dump.rib.push_back(decode_rib_entry(ByteReader(body)));
-    } else {
-      throw DecodeError("unsupported TABLE_DUMP_V2 subtype " + std::to_string(subtype));
-    }
+    if (!saw_peer_table) throw DecodeError("no PEER_INDEX_TABLE record found");
+    return dump;
+  } catch (const DecodeError& error) {
+    const std::string what = error.what();
+    const auto code = what.find("truncated") != std::string::npos
+                          ? ErrorCode::kTruncated
+                          : ErrorCode::kCorrupt;
+    return make_error(code, what);
   }
-  if (!saw_peer_table) throw DecodeError("no PEER_INDEX_TABLE record found");
-  return dump;
+}
+
+RibDump read_table_dump_v2(std::istream& is) {
+  auto parsed = try_read_table_dump_v2(is);
+  if (!parsed.ok()) {
+    throw DecodeError(DecodeError::Passthrough{}, parsed.error().context);
+  }
+  return std::move(parsed).value();
 }
 
 }  // namespace asrank::mrt

@@ -16,6 +16,7 @@
 #include "asn/asn.h"
 #include "asn/prefix.h"
 #include "mrt/bgp_attrs.h"
+#include "util/result.h"
 
 namespace asrank::mrt {
 
@@ -61,7 +62,14 @@ void write_table_dump_v2(const RibDump& dump, std::ostream& os);
 
 /// Parse an MRT stream produced by write_table_dump_v2 (or any conforming
 /// TABLE_DUMP_V2 stream limited to the supported subtypes).  Unknown MRT
-/// record types are skipped; unknown TABLE_DUMP_V2 subtypes raise DecodeError.
+/// record types are skipped; truncation yields ErrorCode::kTruncated and
+/// any other malformation (unknown subtype, missing PEER_INDEX_TABLE,
+/// oversized record) yields ErrorCode::kCorrupt, context carrying the
+/// historical "mrt: ..." message.
+[[nodiscard]] Result<RibDump> try_read_table_dump_v2(std::istream& is);
+
+/// Throwing boundary wrapper over try_read_table_dump_v2: Error ->
+/// DecodeError with the identical message.
 [[nodiscard]] RibDump read_table_dump_v2(std::istream& is);
 
 }  // namespace asrank::mrt

@@ -3,11 +3,16 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "serve/protocol.h"
@@ -22,202 +27,447 @@ WireWriter request(Op op) {
   return writer;
 }
 
-/// The client's error surface is ProtocolError, so decode failures cross
-/// back from the Result rail here.
+/// Wrap an engine-scoped request in WITH_EPOCH when an epoch is named.
+std::vector<std::uint8_t> with_epoch(std::string_view epoch, WireWriter inner) {
+  if (epoch.empty()) return inner.take();
+  WireWriter outer;
+  outer.u8(static_cast<std::uint8_t>(Op::kWithEpoch));
+  outer.str16(epoch);
+  outer.bytes(inner.payload());
+  return outer.take();
+}
+
+Result<std::vector<Asn>> read_list(WireReader& reader) {
+  ASRANK_TRY(count, reader.u32());
+  std::vector<Asn> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ASRANK_TRY(asn, reader.u32());
+    out.emplace_back(asn);
+  }
+  return out;
+}
+
+/// Server-reported error text -> typed code.  The server's error strings are
+/// part of the wire contract (docs/SERVING.md), so prefix-matching here is a
+/// protocol decode, not a heuristic.
+[[nodiscard]] ErrorCode classify_server_error(std::string_view text) noexcept {
+  if (text.starts_with("unknown epoch")) return ErrorCode::kUnknownEpoch;
+  return ErrorCode::kProtocol;
+}
+
+}  // namespace
+
+int backoff_delay_ms(int attempt, int base_ms, int cap_ms, util::Rng& rng) {
+  base_ms = std::max(1, base_ms);
+  cap_ms = std::max(base_ms, cap_ms);
+  const int shift = std::min(attempt, 20);
+  const std::int64_t exp = static_cast<std::int64_t>(base_ms) << shift;
+  const auto d = static_cast<int>(std::min<std::int64_t>(exp, cap_ms));
+  // Equal jitter: half deterministic, half uniform — retries from many
+  // clients decorrelate without ever collapsing to zero delay.
+  return d / 2 + static_cast<int>(rng.uniform(static_cast<std::uint64_t>(d / 2) + 1));
+}
+
+// ----------------------------------------------------------- lifecycle --
+
+Result<Client> Client::dial(const std::string& host, std::uint16_t port,
+                            ClientConfig config) {
+  Client client;
+  client.host_ = host;
+  client.port_ = port;
+  client.config_ = std::move(config);
+  client.backoff_rng_.reseed(client.config_.backoff_seed);
+  ASRANK_TRY_VOID(client.ensure_connected());
+  return client;
+}
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  auto dialed = dial(host, port);
+  if (!dialed.ok()) throw ProtocolError(dialed.error().context);
+  *this = std::move(dialed).value();
+}
+
+Client::~Client() { disconnect(); }
+
+Client::Client(Client&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      config_(std::move(other.config_)),
+      backoff_rng_(other.backoff_rng_),
+      fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    disconnect();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    config_ = std::move(other.config_);
+    backoff_rng_ = other.backoff_rng_;
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Client::disconnect() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void Client::sleep_for(int ms) {
+  if (ms <= 0) return;
+  if (config_.sleep_ms) {
+    config_.sleep_ms(ms);
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+Result<void> Client::ensure_connected() {
+  if (fd_ >= 0) return {};
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return make_error(ErrorCode::kIo,
+                      std::string("socket: ") + std::strerror(errno));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return make_error(ErrorCode::kInvalidArgument, "bad server address: " + host_);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  // Deadline-aware connect: non-blocking connect, poll for writability,
+  // then read SO_ERROR for the real outcome.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (config_.connect_timeout_ms > 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  const auto fail = [&](ErrorCode code, const std::string& what) -> Result<void> {
+    ::close(fd);
+    return make_error(code, "connect " + host_ + ":" + std::to_string(port_) +
+                                ": " + what);
+  };
+
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno == EINPROGRESS && config_.connect_timeout_ms > 0) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, config_.connect_timeout_ms);
+      if (ready == 0) return fail(ErrorCode::kTimeout, "timed out");
+      if (ready < 0) return fail(ErrorCode::kIo, std::strerror(errno));
+      int soerr = 0;
+      socklen_t len = sizeof soerr;
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      if (soerr != 0) {
+        return fail(soerr == ECONNREFUSED ? ErrorCode::kRefused : ErrorCode::kIo,
+                    std::strerror(soerr));
+      }
+    } else {
+      return fail(errno == ECONNREFUSED ? ErrorCode::kRefused : ErrorCode::kIo,
+                  std::strerror(errno));
+    }
+  }
+  if (config_.connect_timeout_ms > 0) ::fcntl(fd, F_SETFL, flags);
+  fd_ = fd;
+  return {};
+}
+
+// ------------------------------------------------------------ exchange --
+
+Result<std::vector<std::uint8_t>> Client::exchange_once(
+    const std::vector<std::uint8_t>& req) {
+  ASRANK_TRY_VOID(ensure_connected());
+  const int deadline = config_.io_timeout_ms > 0 ? config_.io_timeout_ms : -1;
+  try {
+    write_frame(fd_, req);
+    std::uint8_t marker = 0;
+    if (!read_exact(fd_, &marker, 1, deadline)) {
+      // The server closing right after our write is how a pre-shed or
+      // mid-shutdown connection looks; surface as refused so retry logic
+      // reconnects.
+      disconnect();
+      return make_error(ErrorCode::kRefused, "server closed connection");
+    }
+    if (marker != kBinaryMarker) {
+      // A text line in binary mode is the admission controller's shed
+      // notice ("ERR shedding: ...\n"); anything else is a framing bug.
+      std::string line(1, static_cast<char>(marker));
+      char c = 0;
+      while (line.size() < 256 && read_exact(fd_, &c, 1, deadline) && c != '\n') {
+        line.push_back(c);
+      }
+      disconnect();
+      if (line.starts_with("ERR shedding")) {
+        return make_error(ErrorCode::kShedding, line);
+      }
+      return make_error(ErrorCode::kProtocol, "unexpected response framing");
+    }
+    auto payload = read_frame_body(fd_, deadline);
+    WireReader reader(payload);
+    ASRANK_TRY(status_byte, reader.u8());
+    if (static_cast<Status>(status_byte) != Status::kOk) {
+      const auto text = reader.rest_as_text();
+      return make_error(classify_server_error(text), "server error: " + text);
+    }
+    // Strip the status byte so callers decode the body only.
+    return std::vector<std::uint8_t>(payload.begin() + 1, payload.end());
+  } catch (const TimeoutError& error) {
+    disconnect();
+    return make_error(ErrorCode::kTimeout, error.what());
+  } catch (const ProtocolError& error) {
+    disconnect();
+    return make_error(ErrorCode::kIo, error.what());
+  }
+}
+
+Result<std::vector<std::uint8_t>> Client::try_exchange(
+    const std::vector<std::uint8_t>& req) {
+  int attempt = 0;
+  while (true) {
+    auto response = exchange_once(req);
+    if (response.ok()) return response;
+    const auto code = response.error().code;
+    const bool retryable =
+        code == ErrorCode::kRefused || code == ErrorCode::kShedding;
+    if (!retryable || attempt >= config_.max_retries) return response;
+    sleep_for(backoff_delay_ms(attempt, config_.backoff_base_ms,
+                               config_.backoff_cap_ms, backoff_rng_));
+    ++attempt;
+  }
+}
+
+// ------------------------------------------------------ Result surface --
+
+Result<std::optional<RelView>> Client::try_relationship(Asn a, Asn b,
+                                                        std::string_view epoch) {
+  auto req = request(Op::kRelationship);
+  req.u32(a.value());
+  req.u32(b.value());
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  WireReader reader(body);
+  ASRANK_TRY(code, reader.u8());
+  if (code == kRelNone) return std::optional<RelView>{};
+  const auto view = rel_from_code(code);
+  if (!view) {
+    return make_error(ErrorCode::kProtocol, "bad relationship code in response");
+  }
+  return std::optional<RelView>{*view};
+}
+
+Result<std::optional<std::uint32_t>> Client::try_rank(Asn as,
+                                                      std::string_view epoch) {
+  auto req = request(Op::kRank);
+  req.u32(as.value());
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  WireReader reader(body);
+  ASRANK_TRY(rank, reader.u32());
+  if (rank == 0) return std::optional<std::uint32_t>{};
+  return std::optional<std::uint32_t>{rank};
+}
+
+Result<std::uint64_t> Client::try_cone_size(Asn as, std::string_view epoch) {
+  auto req = request(Op::kConeSize);
+  req.u32(as.value());
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  WireReader reader(body);
+  return reader.u64();
+}
+
+Result<std::vector<Asn>> Client::try_cone(Asn as, std::string_view epoch) {
+  auto req = request(Op::kCone);
+  req.u32(as.value());
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+Result<bool> Client::try_in_cone(Asn as, Asn member, std::string_view epoch) {
+  auto req = request(Op::kInCone);
+  req.u32(as.value());
+  req.u32(member.value());
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  WireReader reader(body);
+  ASRANK_TRY(flag, reader.u8());
+  return flag != 0;
+}
+
+Result<std::vector<Asn>> Client::try_providers(Asn as, std::string_view epoch) {
+  auto req = request(Op::kProviders);
+  req.u32(as.value());
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+Result<std::vector<Asn>> Client::try_customers(Asn as, std::string_view epoch) {
+  auto req = request(Op::kCustomers);
+  req.u32(as.value());
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+Result<std::vector<Asn>> Client::try_peers(Asn as, std::string_view epoch) {
+  auto req = request(Op::kPeers);
+  req.u32(as.value());
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+Result<std::vector<snapshot::TopEntry>> Client::try_top(std::uint32_t n,
+                                                        std::string_view epoch) {
+  auto req = request(Op::kTop);
+  req.u32(n);
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  WireReader reader(body);
+  ASRANK_TRY(count, reader.u32());
+  std::vector<snapshot::TopEntry> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    snapshot::TopEntry entry;
+    ASRANK_TRY(rank, reader.u32());
+    ASRANK_TRY(asn, reader.u32());
+    ASRANK_TRY(cone, reader.u64());
+    ASRANK_TRY(tdeg, reader.u32());
+    entry.rank = rank;
+    entry.as = Asn(asn);
+    entry.cone_size = cone;
+    entry.transit_degree = tdeg;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+Result<std::vector<Asn>> Client::try_cone_intersection(Asn a, Asn b,
+                                                       std::string_view epoch) {
+  auto req = request(Op::kConeIntersect);
+  req.u32(a.value());
+  req.u32(b.value());
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+Result<std::vector<Asn>> Client::try_path_to_clique(Asn as,
+                                                    std::string_view epoch) {
+  auto req = request(Op::kPathToClique);
+  req.u32(as.value());
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+Result<std::vector<Asn>> Client::try_clique(std::string_view epoch) {
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, request(Op::kClique))));
+  WireReader reader(body);
+  return read_list(reader);
+}
+
+Result<std::string> Client::try_stats_text(std::string_view epoch) {
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, request(Op::kStats))));
+  WireReader reader(body);
+  return reader.rest_as_text();
+}
+
+Result<std::string> Client::try_metrics_text() {
+  ASRANK_TRY(body, try_exchange(request(Op::kMetrics).take()));
+  WireReader reader(body);
+  return reader.rest_as_text();
+}
+
+Result<void> Client::try_ping() {
+  ASRANK_TRY(body, try_exchange(request(Op::kPing).take()));
+  (void)body;
+  return {};
+}
+
+Result<std::vector<std::string>> Client::try_epochs() {
+  ASRANK_TRY(body, try_exchange(request(Op::kEpochs).take()));
+  WireReader reader(body);
+  ASRANK_TRY(count, reader.u32());
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ASRANK_TRY(label, reader.str16());
+    out.push_back(std::move(label));
+  }
+  return out;
+}
+
+Result<ConeDiff> Client::try_cone_diff(Asn as, std::string_view epoch_a,
+                                       std::string_view epoch_b) {
+  auto req = request(Op::kConeDiff);
+  req.u32(as.value());
+  req.str16(epoch_a);
+  req.str16(epoch_b);
+  ASRANK_TRY(body, try_exchange(req.take()));
+  WireReader reader(body);
+  ConeDiff diff;
+  ASRANK_TRY(added, read_list(reader));
+  ASRANK_TRY(removed, read_list(reader));
+  diff.added = std::move(added);
+  diff.removed = std::move(removed);
+  return diff;
+}
+
+Result<ReloadInfo> Client::try_reload(const std::string& path,
+                                      const std::string& label) {
+  auto req = request(Op::kReload);
+  req.str16(path);
+  req.str16(label);
+  ASRANK_TRY(body, try_exchange(req.take()));
+  WireReader reader(body);
+  ReloadInfo info;
+  ASRANK_TRY(installed, reader.str16());
+  ASRANK_TRY(ases, reader.u32());
+  info.label = std::move(installed);
+  info.ases = ases;
+  return info;
+}
+
+// ----------------------------------------- legacy throwing forwarders --
+
+namespace {
+
 template <typename T>
 T unwrap(Result<T> result) {
   if (!result.ok()) throw ProtocolError(result.error().context);
   return std::move(result).value();
 }
 
-std::vector<Asn> read_list(WireReader& reader) {
-  const std::uint32_t count = unwrap(reader.u32());
-  std::vector<Asn> out;
-  out.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) out.emplace_back(unwrap(reader.u32()));
-  return out;
+void unwrap_void(Result<void> result) {
+  if (!result.ok()) throw ProtocolError(result.error().context);
 }
 
 }  // namespace
 
-Client::Client(const std::string& host, std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw ProtocolError(std::string("socket: ") + std::strerror(errno));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    throw ProtocolError("bad server address: " + host);
-  }
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    const std::string what = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw ProtocolError("connect " + host + ":" + std::to_string(port) + ": " + what);
-  }
-}
-
-Client::~Client() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
-
-Client& Client::operator=(Client&& other) noexcept {
-  if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = std::exchange(other.fd_, -1);
-  }
-  return *this;
-}
-
-std::vector<std::uint8_t> Client::exchange(const std::vector<std::uint8_t>& req) {
-  if (fd_ < 0) throw ProtocolError("client is disconnected");
-  write_frame(fd_, req);
-  std::uint8_t marker = 0;
-  if (!read_exact(fd_, &marker, 1)) throw ProtocolError("server closed connection");
-  if (marker != kBinaryMarker) throw ProtocolError("unexpected response framing");
-  auto payload = read_frame_body(fd_);
-  WireReader reader(payload);
-  const auto status = static_cast<Status>(unwrap(reader.u8()));
-  if (status != Status::kOk) {
-    throw ProtocolError("server error: " + reader.rest_as_text());
-  }
-  // Strip the status byte so callers decode the body only.
-  return {payload.begin() + 1, payload.end()};
-}
-
 std::optional<RelView> Client::relationship(Asn a, Asn b) {
-  auto req = request(Op::kRelationship);
-  req.u32(a.value());
-  req.u32(b.value());
-  const auto body = exchange(req.take());
-  WireReader reader(body);
-  const std::uint8_t code = unwrap(reader.u8());
-  if (code == kRelNone) return std::nullopt;
-  const auto view = rel_from_code(code);
-  if (!view) throw ProtocolError("bad relationship code in response");
-  return view;
+  return unwrap(try_relationship(a, b));
 }
-
-std::optional<std::uint32_t> Client::rank(Asn as) {
-  auto req = request(Op::kRank);
-  req.u32(as.value());
-  const auto body = exchange(req.take());
-  WireReader reader(body);
-  const std::uint32_t rank = unwrap(reader.u32());
-  if (rank == 0) return std::nullopt;
-  return rank;
-}
-
-std::uint64_t Client::cone_size(Asn as) {
-  auto req = request(Op::kConeSize);
-  req.u32(as.value());
-  const auto body = exchange(req.take());
-  WireReader reader(body);
-  return unwrap(reader.u64());
-}
-
-std::vector<Asn> Client::cone(Asn as) {
-  auto req = request(Op::kCone);
-  req.u32(as.value());
-  const auto body = exchange(req.take());
-  WireReader reader(body);
-  return read_list(reader);
-}
-
-bool Client::in_cone(Asn as, Asn member) {
-  auto req = request(Op::kInCone);
-  req.u32(as.value());
-  req.u32(member.value());
-  const auto body = exchange(req.take());
-  WireReader reader(body);
-  return unwrap(reader.u8()) != 0;
-}
-
-std::vector<Asn> Client::providers(Asn as) {
-  auto req = request(Op::kProviders);
-  req.u32(as.value());
-  const auto body = exchange(req.take());
-  WireReader reader(body);
-  return read_list(reader);
-}
-
-std::vector<Asn> Client::customers(Asn as) {
-  auto req = request(Op::kCustomers);
-  req.u32(as.value());
-  const auto body = exchange(req.take());
-  WireReader reader(body);
-  return read_list(reader);
-}
-
-std::vector<Asn> Client::peers(Asn as) {
-  auto req = request(Op::kPeers);
-  req.u32(as.value());
-  const auto body = exchange(req.take());
-  WireReader reader(body);
-  return read_list(reader);
-}
-
+std::optional<std::uint32_t> Client::rank(Asn as) { return unwrap(try_rank(as)); }
+std::uint64_t Client::cone_size(Asn as) { return unwrap(try_cone_size(as)); }
+std::vector<Asn> Client::cone(Asn as) { return unwrap(try_cone(as)); }
+bool Client::in_cone(Asn as, Asn member) { return unwrap(try_in_cone(as, member)); }
+std::vector<Asn> Client::providers(Asn as) { return unwrap(try_providers(as)); }
+std::vector<Asn> Client::customers(Asn as) { return unwrap(try_customers(as)); }
+std::vector<Asn> Client::peers(Asn as) { return unwrap(try_peers(as)); }
 std::vector<snapshot::TopEntry> Client::top(std::uint32_t n) {
-  auto req = request(Op::kTop);
-  req.u32(n);
-  const auto body = exchange(req.take());
-  WireReader reader(body);
-  const std::uint32_t count = unwrap(reader.u32());
-  std::vector<snapshot::TopEntry> out;
-  out.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    snapshot::TopEntry entry;
-    entry.rank = unwrap(reader.u32());
-    entry.as = Asn(unwrap(reader.u32()));
-    entry.cone_size = unwrap(reader.u64());
-    entry.transit_degree = unwrap(reader.u32());
-    out.push_back(entry);
-  }
-  return out;
+  return unwrap(try_top(n));
 }
-
 std::vector<Asn> Client::cone_intersection(Asn a, Asn b) {
-  auto req = request(Op::kConeIntersect);
-  req.u32(a.value());
-  req.u32(b.value());
-  const auto body = exchange(req.take());
-  WireReader reader(body);
-  return read_list(reader);
+  return unwrap(try_cone_intersection(a, b));
 }
-
 std::vector<Asn> Client::path_to_clique(Asn as) {
-  auto req = request(Op::kPathToClique);
-  req.u32(as.value());
-  const auto body = exchange(req.take());
-  WireReader reader(body);
-  return read_list(reader);
+  return unwrap(try_path_to_clique(as));
 }
-
-std::vector<Asn> Client::clique() {
-  const auto body = exchange(request(Op::kClique).take());
-  WireReader reader(body);
-  return read_list(reader);
-}
-
-std::string Client::stats_text() {
-  const auto body = exchange(request(Op::kStats).take());
-  WireReader reader(body);
-  return reader.rest_as_text();
-}
-
-std::string Client::metrics_text() {
-  const auto body = exchange(request(Op::kMetrics).take());
-  WireReader reader(body);
-  return reader.rest_as_text();
-}
-
-void Client::ping() { (void)exchange(request(Op::kPing).take()); }
+std::vector<Asn> Client::clique() { return unwrap(try_clique()); }
+std::string Client::stats_text() { return unwrap(try_stats_text()); }
+std::string Client::metrics_text() { return unwrap(try_metrics_text()); }
+void Client::ping() { unwrap_void(try_ping()); }
 
 }  // namespace asrank::serve

@@ -1,23 +1,83 @@
 // Blocking client for the asrankd binary protocol, used by `asrank_cli
 // query`, the serving tests, and the CI smoke script.  One connection per
-// Client; every method is one request/response exchange and throws
-// ProtocolError on transport failures or server-reported errors.
+// Client; every method is one request/response exchange.
+//
+// Two API surfaces:
+//
+//   * try_* methods (preferred): return asrank::Result<T> with a typed
+//     ErrorCode — kTimeout (connect/read deadline expired), kRefused
+//     (connection refused), kShedding (server at its admission limit),
+//     kProtocol (bad frame or server-reported error), kUnknownEpoch.
+//     Refused/shed exchanges are retried up to ClientConfig::max_retries
+//     times with capped exponential equal-jitter backoff; the jitter RNG is
+//     seeded (deterministic for tests) and the sleep is injectable.
+//   * Legacy throwing methods (relationship(), rank(), ...): thin forwarders
+//     over try_* that raise ProtocolError with the historical messages.
+//     Deprecated — new callers should use the try_* forms; these forwarders
+//     remain for one release so existing tools keep compiling.
+//
+// Most try_* query methods take an optional trailing `epoch` label; when
+// non-empty the request is wrapped in WITH_EPOCH and answered from that
+// resident epoch instead of the server's current one.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "asn/asn.h"
 #include "snapshot/snapshot.h"
 #include "topology/relationship.h"
+#include "util/result.h"
+#include "util/rng.h"
 
 namespace asrank::serve {
 
+struct ClientConfig {
+  int connect_timeout_ms = 5000;  ///< <= 0 = block indefinitely
+  int io_timeout_ms = 5000;       ///< per-response read budget; <= 0 = block
+  int max_retries = 0;            ///< extra attempts after refused/shed
+  int backoff_base_ms = 50;
+  int backoff_cap_ms = 2000;
+  std::uint64_t backoff_seed = 0x5eed5eed5eed5eedULL;
+  /// Injectable sleep (tests observe/skip the waits); default really sleeps.
+  std::function<void(int)> sleep_ms;
+};
+
+/// CONE_DIFF result: members entering/leaving the cone from epoch A to B.
+struct ConeDiff {
+  std::vector<Asn> added;
+  std::vector<Asn> removed;
+
+  friend bool operator==(const ConeDiff&, const ConeDiff&) = default;
+};
+
+/// RELOAD result: the installed epoch label and its AS count.
+struct ReloadInfo {
+  std::string label;
+  std::uint32_t ases = 0;
+
+  friend bool operator==(const ReloadInfo&, const ReloadInfo&) = default;
+};
+
+/// Capped exponential backoff with equal jitter:
+/// d = min(cap, base << attempt); delay = d/2 + uniform[0, d/2].
+/// Deterministic for a given rng state (seeded from ClientConfig).
+[[nodiscard]] int backoff_delay_ms(int attempt, int base_ms, int cap_ms,
+                                   util::Rng& rng);
+
 class Client {
  public:
-  /// Connect to an asrankd instance; throws ProtocolError on failure.
+  /// Non-throwing constructor path: connect with the config's deadline.
+  /// kRefused when the server refuses, kTimeout when the deadline expires.
+  [[nodiscard]] static Result<Client> dial(const std::string& host,
+                                           std::uint16_t port,
+                                           ClientConfig config = {});
+
+  /// Legacy throwing constructor (forwards to dial; kept for one release).
   Client(const std::string& host, std::uint16_t port);
   ~Client();
 
@@ -25,6 +85,42 @@ class Client {
   Client& operator=(const Client&) = delete;
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
+
+  // ----------------------------------------------------- Result surface --
+
+  Result<std::optional<RelView>> try_relationship(Asn a, Asn b,
+                                                  std::string_view epoch = {});
+  /// nullopt = unranked.
+  Result<std::optional<std::uint32_t>> try_rank(Asn as, std::string_view epoch = {});
+  Result<std::uint64_t> try_cone_size(Asn as, std::string_view epoch = {});
+  Result<std::vector<Asn>> try_cone(Asn as, std::string_view epoch = {});
+  Result<bool> try_in_cone(Asn as, Asn member, std::string_view epoch = {});
+  Result<std::vector<Asn>> try_providers(Asn as, std::string_view epoch = {});
+  Result<std::vector<Asn>> try_customers(Asn as, std::string_view epoch = {});
+  Result<std::vector<Asn>> try_peers(Asn as, std::string_view epoch = {});
+  Result<std::vector<snapshot::TopEntry>> try_top(std::uint32_t n,
+                                                  std::string_view epoch = {});
+  Result<std::vector<Asn>> try_cone_intersection(Asn a, Asn b,
+                                                 std::string_view epoch = {});
+  Result<std::vector<Asn>> try_path_to_clique(Asn as, std::string_view epoch = {});
+  Result<std::vector<Asn>> try_clique(std::string_view epoch = {});
+  Result<std::string> try_stats_text(std::string_view epoch = {});
+  Result<std::string> try_metrics_text();
+  Result<void> try_ping();
+
+  /// Resident epoch labels, current first.
+  Result<std::vector<std::string>> try_epochs();
+  /// Cone membership delta of `as` from `epoch_a` to `epoch_b`.
+  Result<ConeDiff> try_cone_diff(Asn as, std::string_view epoch_a,
+                                 std::string_view epoch_b);
+  /// Ask the server to load a snapshot file (loopback connections only;
+  /// empty label derives one from the path).
+  Result<ReloadInfo> try_reload(const std::string& path,
+                                const std::string& label = {});
+
+  // ------------------------------------- legacy throwing surface (1 rel) --
+  // Deprecated forwarders: identical behavior and messages to the pre-epoch
+  // client; scheduled for removal once in-tree callers migrate to try_*.
 
   [[nodiscard]] std::optional<RelView> relationship(Asn a, Asn b);
   [[nodiscard]] std::optional<std::uint32_t> rank(Asn as);  ///< nullopt = unranked
@@ -44,9 +140,23 @@ class Client {
   void ping();
 
  private:
-  [[nodiscard]] std::vector<std::uint8_t> exchange(
-      const std::vector<std::uint8_t>& request);
+  Client() = default;
 
+  /// One request/response exchange with refused/shed retry + backoff.
+  [[nodiscard]] Result<std::vector<std::uint8_t>> try_exchange(
+      const std::vector<std::uint8_t>& request);
+  /// The exchange body for a single attempt (no retry).
+  [[nodiscard]] Result<std::vector<std::uint8_t>> exchange_once(
+      const std::vector<std::uint8_t>& request);
+  /// (Re)connect if fd_ < 0.
+  [[nodiscard]] Result<void> ensure_connected();
+  void disconnect() noexcept;
+  void sleep_for(int ms);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  ClientConfig config_;
+  util::Rng backoff_rng_;
   int fd_ = -1;
 };
 

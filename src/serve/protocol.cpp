@@ -1,14 +1,35 @@
 #include "serve/protocol.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <poll.h>
 #include <unistd.h>
 
 namespace asrank::serve {
 
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Milliseconds left before `deadline`, clamped to >= 0.
+[[nodiscard]] int remaining_ms(SteadyClock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - SteadyClock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+}  // namespace
+
 std::optional<RelView> rel_from_code(std::uint8_t code) noexcept {
   if (code > static_cast<std::uint8_t>(RelView::kSibling)) return std::nullopt;
   return static_cast<RelView>(code);
+}
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
 }
 
 void WireWriter::u32(std::uint32_t v) {
@@ -31,6 +52,12 @@ void WireWriter::text(std::string_view s) {
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
+void WireWriter::str16(std::string_view s) {
+  if (s.size() > 0xffff) throw ProtocolError("str16 string too long");
+  u16(static_cast<std::uint16_t>(s.size()));
+  text(s);
+}
+
 Result<void> WireReader::need(std::size_t n) const {
   if (remaining() < n) {
     return make_error(ErrorCode::kTruncated,
@@ -43,6 +70,15 @@ Result<void> WireReader::need(std::size_t n) const {
 Result<std::uint8_t> WireReader::u8() {
   ASRANK_TRY_VOID(need(1));
   return data_[pos_++];
+}
+
+Result<std::uint16_t> WireReader::u16() {
+  ASRANK_TRY_VOID(need(2));
+  const auto v = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(data_[pos_]) |
+      static_cast<std::uint16_t>(data_[pos_ + 1]) << 8);
+  pos_ += 2;
+  return v;
 }
 
 Result<std::uint32_t> WireReader::u32() {
@@ -61,6 +97,14 @@ Result<std::uint64_t> WireReader::u64() {
   return static_cast<std::uint64_t>(lo) | static_cast<std::uint64_t>(hi) << 32;
 }
 
+Result<std::string> WireReader::str16() {
+  ASRANK_TRY(len, u16());
+  ASRANK_TRY_VOID(need(len));
+  std::string out(reinterpret_cast<const char*>(data_.data()) + pos_, len);
+  pos_ += len;
+  return out;
+}
+
 std::string WireReader::rest_as_text() {
   std::string out(reinterpret_cast<const char*>(data_.data()) + pos_, remaining());
   pos_ = data_.size();
@@ -71,6 +115,37 @@ bool read_exact(int fd, void* buf, std::size_t n) {
   auto* out = static_cast<std::uint8_t*>(buf);
   std::size_t got = 0;
   while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r == 0) {
+      if (got == 0) return false;
+      throw ProtocolError("connection closed mid-message");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("read: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool read_exact(int fd, void* buf, std::size_t n, int deadline_ms) {
+  if (deadline_ms < 0) return read_exact(fd, buf, n);
+  const auto deadline = SteadyClock::now() + std::chrono::milliseconds(deadline_ms);
+  auto* out = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) {
+      throw TimeoutError("read timed out after " + std::to_string(deadline_ms) +
+                         "ms (" + std::to_string(got) + "/" + std::to_string(n) +
+                         " bytes)");
+    }
     const ssize_t r = ::read(fd, out + got, n - got);
     if (r == 0) {
       if (got == 0) return false;
@@ -114,9 +189,11 @@ void write_frame(int fd, std::span<const std::uint8_t> payload) {
   write_all(fd, frame.data(), frame.size());
 }
 
-std::vector<std::uint8_t> read_frame_body(int fd) {
+std::vector<std::uint8_t> read_frame_body(int fd) { return read_frame_body(fd, -1); }
+
+std::vector<std::uint8_t> read_frame_body(int fd, int deadline_ms) {
   std::uint8_t lenbuf[4];
-  if (!read_exact(fd, lenbuf, sizeof lenbuf)) {
+  if (!read_exact(fd, lenbuf, sizeof lenbuf, deadline_ms)) {
     throw ProtocolError("connection closed before frame length");
   }
   const std::uint32_t len = static_cast<std::uint32_t>(lenbuf[0]) |
@@ -127,7 +204,7 @@ std::vector<std::uint8_t> read_frame_body(int fd) {
     throw ProtocolError("frame length " + std::to_string(len) + " exceeds limit");
   }
   std::vector<std::uint8_t> payload(len);
-  if (len > 0 && !read_exact(fd, payload.data(), len)) {
+  if (len > 0 && !read_exact(fd, payload.data(), len, deadline_ms)) {
     throw ProtocolError("connection closed mid-frame");
   }
   return payload;

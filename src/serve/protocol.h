@@ -36,6 +36,15 @@ class ProtocolError : public std::runtime_error {
       : std::runtime_error("protocol: " + what) {}
 };
 
+/// Raised by the deadline-aware I/O helpers when the deadline expires before
+/// the requested bytes arrive.  A subclass so existing catch(ProtocolError)
+/// sites keep working while deadline-aware callers can count timeouts
+/// separately.
+class TimeoutError : public ProtocolError {
+ public:
+  explicit TimeoutError(const std::string& what) : ProtocolError(what) {}
+};
+
 inline constexpr std::uint8_t kBinaryMarker = 0x01;
 /// Upper bound on any frame payload; larger lengths are treated as corrupt
 /// framing rather than an allocation request.
@@ -57,6 +66,10 @@ enum class Op : std::uint8_t {
   kStats = 13,         ///< -> UTF-8 stats text
   kPing = 14,          ///< -> empty
   kMetrics = 15,       ///< -> Prometheus text exposition (UTF-8)
+  kEpochs = 16,        ///< -> u32 count + {str16 label} list, current first
+  kConeDiff = 17,      ///< asn, str16 epochA, str16 epochB -> added + removed lists
+  kReload = 18,        ///< str16 path, str16 label ("" = derive) -> str16 label + u32 ases
+  kWithEpoch = 19,     ///< str16 label + inner request payload, answered from that epoch
 };
 
 enum class Status : std::uint8_t { kOk = 0, kError = 1 };
@@ -72,10 +85,13 @@ inline constexpr std::uint8_t kRelNone = 0xFF;
 class WireWriter {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
   void bytes(std::span<const std::uint8_t> data);
   void text(std::string_view s);
+  /// u16 length prefix + raw bytes (epoch labels, snapshot paths).
+  void str16(std::string_view s);
 
   [[nodiscard]] const std::vector<std::uint8_t>& payload() const noexcept { return buf_; }
   [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
@@ -96,8 +112,15 @@ class WireReader {
   [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
 
   Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
   Result<std::uint32_t> u32();
   Result<std::uint64_t> u64();
+  /// Inverse of WireWriter::str16.
+  Result<std::string> str16();
+  /// The rest of the payload as raw bytes (for nested-request dispatch).
+  [[nodiscard]] std::span<const std::uint8_t> rest() const noexcept {
+    return data_.subspan(pos_);
+  }
   /// The rest of the payload as UTF-8 text.
   [[nodiscard]] std::string rest_as_text();
 
@@ -121,6 +144,15 @@ void write_frame(int fd, std::span<const std::uint8_t> payload);
 /// Read exactly n bytes; returns false on clean EOF at offset 0, throws on
 /// mid-message EOF or socket error.
 bool read_exact(int fd, void* buf, std::size_t n);
+
+/// Deadline-aware read_exact: poll before every read() so a stalled peer
+/// cannot pin the caller.  `deadline_ms` is a budget for the whole n bytes;
+/// < 0 disables the deadline (plain blocking semantics).  Expiry throws
+/// TimeoutError.
+bool read_exact(int fd, void* buf, std::size_t n, int deadline_ms);
+
+/// Deadline-aware read_frame_body; `deadline_ms` covers length + payload.
+[[nodiscard]] std::vector<std::uint8_t> read_frame_body(int fd, int deadline_ms);
 
 /// Write all n bytes, retrying on partial writes.
 void write_all(int fd, const void* buf, std::size_t n);

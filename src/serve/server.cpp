@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <netinet/in.h>
@@ -47,131 +48,228 @@ std::string join_asns(std::span<const Asn> list) {
   return os.str();
 }
 
+/// Set difference of two sorted cones: members of `b` missing from `a`.
+std::vector<Asn> cone_minus(std::span<const Asn> b, std::span<const Asn> a) {
+  std::vector<Asn> out;
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
 /// The self-pipe write end for the signal handler (one server per process).
 std::atomic<int> g_signal_fd{-1};
 
-void on_signal(int) {
+void on_signal(int sig) {
   const int fd = g_signal_fd.load(std::memory_order_relaxed);
   if (fd >= 0) {
-    const char byte = 's';
-    // Best-effort: if the pipe is full a stop byte is already pending.
+    const char byte = sig == SIGHUP ? 'h' : 's';
+    // Best-effort: if the pipe is full a command byte is already pending.
     [[maybe_unused]] const auto n = ::write(fd, &byte, 1);
   }
+}
+
+/// Engine-scoped opcodes (everything answerable from one epoch).  Registry
+/// ops (EPOCHS/CONE_DIFF/RELOAD/WITH_EPOCH) are handled by the caller and
+/// rejected here so they cannot nest.
+Result<void> dispatch_engine_op(QueryEngine& engine, Op op, WireReader& reader,
+                                WireWriter& writer) {
+  switch (op) {
+    case Op::kRelationship: {
+      ASRANK_TRY(a, reader.u32());
+      ASRANK_TRY(b, reader.u32());
+      const auto view = engine.relationship(Asn(a), Asn(b));
+      writer.u8(view ? static_cast<std::uint8_t>(*view) : kRelNone);
+      break;
+    }
+    case Op::kRank: {
+      ASRANK_TRY(as, reader.u32());
+      writer.u32(engine.rank(Asn(as)).value_or(0));
+      break;
+    }
+    case Op::kConeSize: {
+      ASRANK_TRY(as, reader.u32());
+      writer.u64(engine.cone_size(Asn(as)));
+      break;
+    }
+    case Op::kCone: {
+      ASRANK_TRY(as, reader.u32());
+      encode_list(writer, engine.cone(Asn(as)));
+      break;
+    }
+    case Op::kInCone: {
+      ASRANK_TRY(as, reader.u32());
+      ASRANK_TRY(member, reader.u32());
+      writer.u8(engine.in_cone(Asn(as), Asn(member)) ? 1 : 0);
+      break;
+    }
+    case Op::kProviders: {
+      ASRANK_TRY(as, reader.u32());
+      encode_list(writer, engine.providers(Asn(as)));
+      break;
+    }
+    case Op::kCustomers: {
+      ASRANK_TRY(as, reader.u32());
+      encode_list(writer, engine.customers(Asn(as)));
+      break;
+    }
+    case Op::kPeers: {
+      ASRANK_TRY(as, reader.u32());
+      encode_list(writer, engine.peers(Asn(as)));
+      break;
+    }
+    case Op::kTop: {
+      ASRANK_TRY(n, reader.u32());
+      const auto entries = engine.top(n);
+      writer.u32(static_cast<std::uint32_t>(entries.size()));
+      for (const auto& entry : entries) {
+        writer.u32(entry.rank);
+        writer.u32(entry.as.value());
+        writer.u64(entry.cone_size);
+        writer.u32(static_cast<std::uint32_t>(entry.transit_degree));
+      }
+      break;
+    }
+    case Op::kConeIntersect: {
+      ASRANK_TRY(a, reader.u32());
+      ASRANK_TRY(b, reader.u32());
+      encode_list(writer, *engine.cone_intersection(Asn(a), Asn(b)));
+      break;
+    }
+    case Op::kPathToClique: {
+      ASRANK_TRY(as, reader.u32());
+      encode_list(writer, *engine.path_to_clique(Asn(as)));
+      break;
+    }
+    case Op::kClique: {
+      encode_list(writer, engine.clique());
+      break;
+    }
+    case Op::kStats: {
+      engine.record_stats_query();
+      writer.text(engine.render_stats());
+      break;
+    }
+    case Op::kPing: {
+      engine.ping();
+      break;
+    }
+    case Op::kMetrics: {
+      engine.registry()
+          .counter("asrankd_metrics_requests_total",
+                   "METRICS opcode / `metrics` text command serves")
+          .inc();
+      writer.text(engine.registry().render_prometheus());
+      break;
+    }
+    default:
+      return make_error(ErrorCode::kProtocol,
+                        "unknown opcode " +
+                            std::to_string(static_cast<unsigned>(op)));
+  }
+  if (!reader.done()) {
+    return make_error(ErrorCode::kProtocol, "trailing bytes after request operands");
+  }
+  return {};
+}
+
+/// Current-epoch engine or a kNotFound Error before the first install.
+Result<std::shared_ptr<QueryEngine>> require_current(SnapshotRegistry& registry) {
+  auto engine = registry.current();
+  if (!engine) return make_error(ErrorCode::kNotFound, "no snapshot loaded");
+  return engine;
+}
+
+Result<std::shared_ptr<QueryEngine>> require_epoch(SnapshotRegistry& registry,
+                                                   const std::string& label) {
+  auto engine = registry.epoch(label);
+  if (!engine) {
+    return make_error(ErrorCode::kUnknownEpoch, "unknown epoch '" + label + "'");
+  }
+  registry.registry()
+      .counter("asrankd_epoch_queries_total",
+               "Queries naming an explicit epoch")
+      .inc();
+  return engine;
 }
 
 }  // namespace
 
 // ------------------------------------------------------ request handlers --
 
-std::vector<std::uint8_t> handle_binary_request(QueryEngine& engine,
-                                                std::span<const std::uint8_t> payload) {
+std::vector<std::uint8_t> handle_binary_request(SnapshotRegistry& registry,
+                                                std::span<const std::uint8_t> payload,
+                                                bool local_peer) {
   // Request decoding runs on the Result rail; a decode Error (truncated
   // operand, unknown opcode, trailing bytes) becomes an error response at
   // this boundary.  The catch-all remains for query execution itself.
-  const auto respond = [&engine,
-                        payload]() -> Result<std::vector<std::uint8_t>> {
+  const auto respond = [&registry, payload,
+                        local_peer]() -> Result<std::vector<std::uint8_t>> {
     WireReader reader(payload);
     ASRANK_TRY(op_byte, reader.u8());
     const auto op = static_cast<Op>(op_byte);
     WireWriter writer;
     writer.u8(static_cast<std::uint8_t>(Status::kOk));
     switch (op) {
-      case Op::kRelationship: {
-        ASRANK_TRY(a, reader.u32());
-        ASRANK_TRY(b, reader.u32());
-        const auto view = engine.relationship(Asn(a), Asn(b));
-        writer.u8(view ? static_cast<std::uint8_t>(*view) : kRelNone);
-        break;
-      }
-      case Op::kRank: {
-        ASRANK_TRY(as, reader.u32());
-        writer.u32(engine.rank(Asn(as)).value_or(0));
-        break;
-      }
-      case Op::kConeSize: {
-        ASRANK_TRY(as, reader.u32());
-        writer.u64(engine.cone_size(Asn(as)));
-        break;
-      }
-      case Op::kCone: {
-        ASRANK_TRY(as, reader.u32());
-        encode_list(writer, engine.cone(Asn(as)));
-        break;
-      }
-      case Op::kInCone: {
-        ASRANK_TRY(as, reader.u32());
-        ASRANK_TRY(member, reader.u32());
-        writer.u8(engine.in_cone(Asn(as), Asn(member)) ? 1 : 0);
-        break;
-      }
-      case Op::kProviders: {
-        ASRANK_TRY(as, reader.u32());
-        encode_list(writer, engine.providers(Asn(as)));
-        break;
-      }
-      case Op::kCustomers: {
-        ASRANK_TRY(as, reader.u32());
-        encode_list(writer, engine.customers(Asn(as)));
-        break;
-      }
-      case Op::kPeers: {
-        ASRANK_TRY(as, reader.u32());
-        encode_list(writer, engine.peers(Asn(as)));
-        break;
-      }
-      case Op::kTop: {
-        ASRANK_TRY(n, reader.u32());
-        const auto entries = engine.top(n);
-        writer.u32(static_cast<std::uint32_t>(entries.size()));
-        for (const auto& entry : entries) {
-          writer.u32(entry.rank);
-          writer.u32(entry.as.value());
-          writer.u64(entry.cone_size);
-          writer.u32(static_cast<std::uint32_t>(entry.transit_degree));
+      case Op::kEpochs: {
+        const auto labels = registry.epochs();
+        writer.u32(static_cast<std::uint32_t>(labels.size()));
+        for (const auto& label : labels) writer.str16(label);
+        if (!reader.done()) {
+          return make_error(ErrorCode::kProtocol,
+                            "trailing bytes after request operands");
         }
-        break;
+        return writer.take();
       }
-      case Op::kConeIntersect: {
-        ASRANK_TRY(a, reader.u32());
-        ASRANK_TRY(b, reader.u32());
-        encode_list(writer, *engine.cone_intersection(Asn(a), Asn(b)));
-        break;
-      }
-      case Op::kPathToClique: {
-        ASRANK_TRY(as, reader.u32());
-        encode_list(writer, *engine.path_to_clique(Asn(as)));
-        break;
-      }
-      case Op::kClique: {
-        encode_list(writer, engine.clique());
-        break;
-      }
-      case Op::kStats: {
-        engine.record_stats_query();
-        writer.text(engine.render_stats());
-        break;
-      }
-      case Op::kPing: {
-        engine.ping();
-        break;
-      }
-      case Op::kMetrics: {
-        engine.registry()
-            .counter("asrankd_metrics_requests_total",
-                     "METRICS opcode / `metrics` text command serves")
+      case Op::kConeDiff: {
+        ASRANK_TRY(asn, reader.u32());
+        ASRANK_TRY(label_a, reader.str16());
+        ASRANK_TRY(label_b, reader.str16());
+        if (!reader.done()) {
+          return make_error(ErrorCode::kProtocol,
+                            "trailing bytes after request operands");
+        }
+        ASRANK_TRY(engine_a, require_epoch(registry, label_a));
+        ASRANK_TRY(engine_b, require_epoch(registry, label_b));
+        registry.registry()
+            .counter("asrankd_cone_diffs_total", "CONE_DIFF queries served")
             .inc();
-        writer.text(engine.registry().render_prometheus());
-        break;
+        const auto cone_a = engine_a->cone(Asn(asn));
+        const auto cone_b = engine_b->cone(Asn(asn));
+        encode_list(writer, cone_minus(cone_b, cone_a));  // added in B
+        encode_list(writer, cone_minus(cone_a, cone_b));  // removed in B
+        return writer.take();
       }
-      default:
-        return make_error(ErrorCode::kProtocol,
-                          "unknown opcode " +
-                              std::to_string(static_cast<unsigned>(op)));
+      case Op::kReload: {
+        ASRANK_TRY(path, reader.str16());
+        ASRANK_TRY(label, reader.str16());
+        if (!reader.done()) {
+          return make_error(ErrorCode::kProtocol,
+                            "trailing bytes after request operands");
+        }
+        if (!local_peer) {
+          return make_error(ErrorCode::kInvalidArgument,
+                            "reload denied: not a local peer");
+        }
+        ASRANK_TRY(loaded, registry.load_file(path, label));
+        writer.str16(registry.current_label());
+        writer.u32(static_cast<std::uint32_t>(loaded->index().as_count()));
+        return writer.take();
+      }
+      case Op::kWithEpoch: {
+        ASRANK_TRY(label, reader.str16());
+        ASRANK_TRY(engine, require_epoch(registry, label));
+        WireReader inner(reader.rest());
+        ASRANK_TRY(inner_op, inner.u8());
+        ASRANK_TRY_VOID(
+            dispatch_engine_op(*engine, static_cast<Op>(inner_op), inner, writer));
+        return writer.take();
+      }
+      default: {
+        ASRANK_TRY(engine, require_current(registry));
+        ASRANK_TRY_VOID(dispatch_engine_op(*engine, op, reader, writer));
+        return writer.take();
+      }
     }
-    if (!reader.done()) {
-      return make_error(ErrorCode::kProtocol, "trailing bytes after request operands");
-    }
-    return writer.take();
   };
 
   try {
@@ -183,9 +281,21 @@ std::vector<std::uint8_t> handle_binary_request(QueryEngine& engine,
   }
 }
 
-std::string handle_text_request(QueryEngine& engine, std::string_view line) {
-  const auto tokens = util::split_ws(util::trim(line));
+std::string handle_text_request(SnapshotRegistry& registry, std::string_view line,
+                                bool local_peer) {
+  auto tokens = util::split_ws(util::trim(line));
   if (tokens.empty()) return "ERR empty command";
+
+  // "@<epoch> <cmd> ..." routes the command to a named resident epoch.
+  std::shared_ptr<QueryEngine> engine;
+  if (tokens[0].size() > 1 && tokens[0].front() == '@') {
+    const std::string label(tokens[0].substr(1));
+    auto scoped = require_epoch(registry, label);
+    if (!scoped.ok()) return "ERR " + scoped.error().context;
+    engine = std::move(scoped).value();
+    tokens.erase(tokens.begin());
+    if (tokens.empty()) return "ERR usage: @<epoch> <command>";
+  }
   const auto cmd = util::to_lower(tokens[0]);
 
   const auto arg_as = [&tokens](std::size_t i) -> std::optional<Asn> {
@@ -199,40 +309,84 @@ std::string handle_text_request(QueryEngine& engine, std::string_view line) {
     if (cmd == "help") {
       return "OK commands: PING REL RANK CONESIZE CONE INCONE PROVIDERS "
              "CUSTOMERS PEERS TOP INTERSECT CLIQUEPATH CLIQUE STATS METRICS "
-             "HELP QUIT";
+             "EPOCHS CONEDIFF RELOAD HELP QUIT (prefix @<epoch> targets a "
+             "resident epoch)";
     }
+    if (cmd == "epochs") {
+      std::string out = "OK";
+      for (const auto& label : registry.epochs()) out += " " + label;
+      return out;
+    }
+    if (cmd == "conediff") {
+      const auto as = arg_as(1);
+      if (!want_args(3) || !as) return "ERR usage: CONEDIFF <asn> <epochA> <epochB>";
+      auto a = require_epoch(registry, std::string(tokens[2]));
+      if (!a.ok()) return "ERR " + a.error().context;
+      auto b = require_epoch(registry, std::string(tokens[3]));
+      if (!b.ok()) return "ERR " + b.error().context;
+      registry.registry()
+          .counter("asrankd_cone_diffs_total", "CONE_DIFF queries served")
+          .inc();
+      const auto cone_a = a.value()->cone(*as);
+      const auto cone_b = b.value()->cone(*as);
+      std::ostringstream os;
+      os << "OK";
+      for (const Asn added : cone_minus(cone_b, cone_a)) os << " +" << added.value();
+      for (const Asn removed : cone_minus(cone_a, cone_b)) os << " -" << removed.value();
+      return os.str();
+    }
+    if (cmd == "reload") {
+      if (!local_peer) return "ERR reload denied: not a local peer";
+      if (tokens.size() != 2 && tokens.size() != 3) {
+        return "ERR usage: RELOAD <path> [epoch]";
+      }
+      auto loaded = registry.load_file(
+          std::string(tokens[1]),
+          tokens.size() == 3 ? std::string(tokens[2]) : std::string());
+      if (!loaded.ok()) return "ERR " + loaded.error().context;
+      return "OK " + registry.current_label() + " " +
+             std::to_string(loaded.value()->index().as_count());
+    }
+
+    // Everything below is engine-scoped: default to the current epoch.
+    if (!engine) {
+      auto current = require_current(registry);
+      if (!current.ok()) return "ERR " + current.error().context;
+      engine = std::move(current).value();
+    }
+
     if (cmd == "rel") {
       const auto a = arg_as(1), b = arg_as(2);
       if (!want_args(2) || !a || !b) return "ERR usage: REL <asn> <asn>";
-      const auto view = engine.relationship(*a, *b);
+      const auto view = engine->relationship(*a, *b);
       return std::string("OK ") + (view ? std::string(to_string(*view)) : "none");
     }
     if (cmd == "rank") {
       const auto as = arg_as(1);
       if (!want_args(1) || !as) return "ERR usage: RANK <asn>";
-      return "OK " + std::to_string(engine.rank(*as).value_or(0));
+      return "OK " + std::to_string(engine->rank(*as).value_or(0));
     }
     if (cmd == "conesize") {
       const auto as = arg_as(1);
       if (!want_args(1) || !as) return "ERR usage: CONESIZE <asn>";
-      return "OK " + std::to_string(engine.cone_size(*as));
+      return "OK " + std::to_string(engine->cone_size(*as));
     }
     if (cmd == "cone") {
       const auto as = arg_as(1);
       if (!want_args(1) || !as) return "ERR usage: CONE <asn>";
-      return "OK " + join_asns(engine.cone(*as));
+      return "OK " + join_asns(engine->cone(*as));
     }
     if (cmd == "incone") {
       const auto a = arg_as(1), b = arg_as(2);
       if (!want_args(2) || !a || !b) return "ERR usage: INCONE <asn> <member>";
-      return engine.in_cone(*a, *b) ? "OK yes" : "OK no";
+      return engine->in_cone(*a, *b) ? "OK yes" : "OK no";
     }
     if (cmd == "providers" || cmd == "customers" || cmd == "peers") {
       const auto as = arg_as(1);
       if (!want_args(1) || !as) return "ERR usage: " + util::to_lower(cmd) + " <asn>";
-      const auto list = cmd == "providers" ? engine.providers(*as)
-                        : cmd == "customers" ? engine.customers(*as)
-                                             : engine.peers(*as);
+      const auto list = cmd == "providers" ? engine->providers(*as)
+                        : cmd == "customers" ? engine->customers(*as)
+                                             : engine->peers(*as);
       return "OK " + join_asns(list);
     }
     if (cmd == "top") {
@@ -241,7 +395,7 @@ std::string handle_text_request(QueryEngine& engine, std::string_view line) {
       if (!n) return "ERR usage: TOP <n>";
       std::ostringstream os;
       os << "OK";
-      for (const auto& entry : engine.top(*n)) {
+      for (const auto& entry : engine->top(*n)) {
         os << ' ' << entry.rank << ':' << entry.as.value() << ':' << entry.cone_size
            << ':' << entry.transit_degree;
       }
@@ -250,25 +404,25 @@ std::string handle_text_request(QueryEngine& engine, std::string_view line) {
     if (cmd == "intersect") {
       const auto a = arg_as(1), b = arg_as(2);
       if (!want_args(2) || !a || !b) return "ERR usage: INTERSECT <asn> <asn>";
-      return "OK " + join_asns(*engine.cone_intersection(*a, *b));
+      return "OK " + join_asns(*engine->cone_intersection(*a, *b));
     }
     if (cmd == "cliquepath") {
       const auto as = arg_as(1);
       if (!want_args(1) || !as) return "ERR usage: CLIQUEPATH <asn>";
-      return "OK " + join_asns(*engine.path_to_clique(*as));
+      return "OK " + join_asns(*engine->path_to_clique(*as));
     }
-    if (cmd == "clique") return "OK " + join_asns(engine.clique());
+    if (cmd == "clique") return "OK " + join_asns(engine->clique());
     if (cmd == "stats") {
-      engine.record_stats_query();
-      std::string out = "OK\n" + engine.render_stats() + ".";
+      engine->record_stats_query();
+      std::string out = "OK\n" + engine->render_stats() + ".";
       return out;
     }
     if (cmd == "metrics") {
-      engine.registry()
+      engine->registry()
           .counter("asrankd_metrics_requests_total",
                    "METRICS opcode / `metrics` text command serves")
           .inc();
-      return "OK\n" + engine.registry().render_prometheus() + ".";
+      return "OK\n" + engine->registry().render_prometheus() + ".";
     }
     return "ERR unknown command '" + std::string(tokens[0]) + "' (try HELP)";
   } catch (const std::exception& error) {
@@ -278,21 +432,39 @@ std::string handle_text_request(QueryEngine& engine, std::string_view line) {
 
 // ---------------------------------------------------------------- server --
 
-Server::Server(QueryEngine& engine, ServerConfig config)
-    : engine_(engine),
+Server::Server(SnapshotRegistry& registry, ServerConfig config)
+    : registry_(registry),
       config_(std::move(config)),
-      connections_total_(&engine.registry().counter(
+      connections_total_(&registry.registry().counter(
           "asrankd_connections_total", "TCP connections accepted")),
-      frames_total_(&engine.registry().counter(
+      frames_total_(&registry.registry().counter(
           "asrankd_frames_total", "Binary request frames served")),
-      text_commands_total_(&engine.registry().counter(
+      text_commands_total_(&registry.registry().counter(
           "asrankd_text_commands_total", "Text-mode command lines served")),
-      protocol_errors_total_(&engine.registry().counter(
+      protocol_errors_total_(&registry.registry().counter(
           "asrankd_protocol_errors_total",
-          "Connections dropped on framing or socket errors")) {
+          "Connections dropped on framing or socket errors")),
+      shed_total_(&registry.registry().counter(
+          "asrankd_connections_shed_total",
+          "Connections refused at the admission limit")),
+      idle_timeouts_total_(&registry.registry().counter(
+          "asrankd_idle_timeouts_total",
+          "Connections closed after the idle timeout")),
+      deadline_timeouts_total_(&registry.registry().counter(
+          "asrankd_deadline_timeouts_total",
+          "Connections closed when a request missed its read deadline")) {
   config_.threads = std::max<std::size_t>(1, config_.threads);
+  // The worker poll tick bounds both idle-timeout resolution and the
+  // worst-case lag before a worker notices anything the broadcast pipe does
+  // not already wake it for; derive it from the idle timeout instead of a
+  // fixed 200ms so short timeouts stay accurate.
+  poll_tick_ms_ = 200;
+  if (config_.idle_timeout_ms > 0) {
+    poll_tick_ms_ = std::clamp(config_.idle_timeout_ms / 4, 5, 200);
+  }
 
   if (::pipe(stop_pipe_) != 0) sys_fail("pipe");
+  if (::pipe(shutdown_pipe_) != 0) sys_fail("pipe");
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) sys_fail("socket");
@@ -323,6 +495,9 @@ Server::~Server() {
   for (const int fd : stop_pipe_) {
     if (fd >= 0) ::close(fd);
   }
+  for (const int fd : shutdown_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
   if (g_signal_fd.load(std::memory_order_relaxed) == stop_pipe_[1]) {
     g_signal_fd.store(-1, std::memory_order_relaxed);
   }
@@ -336,6 +511,7 @@ void Server::install_signal_handlers() {
   action.sa_flags = SA_RESTART;
   ::sigaction(SIGINT, &action, nullptr);
   ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGHUP, &action, nullptr);
 }
 
 void Server::stop() noexcept {
@@ -358,90 +534,164 @@ void Server::run() {
 }
 
 void Server::accept_loop() {
-  while (true) {
+  bool stopping = false;
+  while (!stopping) {
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
     const int ready = ::poll(fds, 2, -1);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if (fds[1].revents != 0) break;  // stop requested
+    if (fds[1].revents != 0) {
+      // Drain pending command bytes: 's' = stop, 'h' = SIGHUP reload.
+      char cmds[16];
+      const ssize_t n = ::read(stop_pipe_[0], cmds, sizeof cmds);
+      bool reload = false;
+      for (ssize_t i = 0; i < n; ++i) {
+        if (cmds[i] == 's') stopping = true;
+        if (cmds[i] == 'h') reload = true;
+      }
+      if (reload && !stopping) {
+        if (config_.reload_path.empty()) {
+          obs::log_warn("SIGHUP ignored: no --reload snapshot path configured");
+        } else {
+          // Errors are already counted and logged by the registry; the old
+          // epoch keeps serving either way.
+          (void)registry_.load_file(config_.reload_path, config_.reload_label);
+        }
+      }
+      if (stopping) break;
+    }
     if ((fds[0].revents & POLLIN) != 0) {
-      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      sockaddr_in peer{};
+      socklen_t peer_len = sizeof peer;
+      const int client =
+          ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
       if (client < 0) continue;
+      if (config_.max_connections > 0 &&
+          active_connections_.load(std::memory_order_relaxed) >=
+              config_.max_connections) {
+        // Load shedding: one parseable text line, then close.  Binary
+        // clients recognize the non-0x01 first byte as a shed notice.
+        static constexpr char kShedLine[] =
+            "ERR shedding: connection limit reached, retry later\n";
+        [[maybe_unused]] const auto w =
+            ::write(client, kShedLine, sizeof kShedLine - 1);
+        ::close(client);
+        shed_total_->inc();
+        continue;
+      }
       const int one = 1;
       ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      const bool local =
+          (ntohl(peer.sin_addr.s_addr) >> 24) == 127;  // 127.0.0.0/8
       connections_.fetch_add(1, std::memory_order_relaxed);
+      active_connections_.fetch_add(1, std::memory_order_relaxed);
       connections_total_->inc();
       std::lock_guard<std::mutex> lock(queue_mutex_);
-      pending_.push_back(client);
+      pending_.push_back({client, local});
       queue_cv_.notify_one();
     }
   }
 
   running_.store(false, std::memory_order_release);
+  // Broadcast shutdown: one byte, never drained, so every worker's poll on
+  // the read end turns level-triggered readable at once — workers exit
+  // within one syscall instead of one poll tick.
+  const char byte = 'x';
+  [[maybe_unused]] const auto n = ::write(shutdown_pipe_[1], &byte, 1);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    for (std::size_t i = 0; i < config_.threads; ++i) pending_.push_back(-1);
+    for (std::size_t i = 0; i < config_.threads; ++i) pending_.push_back({-1, false});
   }
   queue_cv_.notify_all();
 }
 
 void Server::connection_worker() {
   while (true) {
-    int fd = -1;
+    Pending next{-1, false};
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] { return !pending_.empty(); });
-      fd = pending_.front();
+      next = pending_.front();
       pending_.pop_front();
     }
-    if (fd < 0) return;
+    if (next.fd < 0) return;
     try {
-      handle_connection(fd);
+      handle_connection(next.fd, next.local);
+    } catch (const TimeoutError&) {
+      // A request that missed its read deadline; already counted.
+      deadline_timeouts_total_->inc();
     } catch (const std::exception& error) {
       // Per-connection failures (malformed framing, resets) must not take
       // the worker down; the socket is simply closed.
       protocol_errors_total_->inc();
       obs::log_warn("connection dropped", {{"error", error.what()}});
     }
-    ::close(fd);
+    ::close(next.fd);
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
-void Server::handle_connection(int fd) {
+void Server::handle_connection(int fd, bool local_peer) {
+  using Clock = std::chrono::steady_clock;
   while (true) {
-    // Interruptible first-byte wait so idle keep-alive connections do not
-    // pin workers past shutdown.
+    // Interruptible first-byte wait: bounded by the idle timeout, woken
+    // instantly by the shutdown broadcast pipe.
     std::uint8_t first = 0;
+    const auto idle_deadline =
+        Clock::now() + std::chrono::milliseconds(
+                           config_.idle_timeout_ms > 0 ? config_.idle_timeout_ms
+                                                       : 0);
     while (true) {
-      pollfd pfd{fd, POLLIN, 0};
-      const int ready = ::poll(&pfd, 1, 200);
+      pollfd pfds[2] = {{fd, POLLIN, 0}, {shutdown_pipe_[0], POLLIN, 0}};
+      const int ready = ::poll(pfds, 2, poll_tick_ms_);
       if (!running_.load(std::memory_order_acquire)) return;
       if (ready < 0 && errno != EINTR) return;
-      if (ready > 0) break;
+      if (ready > 0) {
+        if (pfds[1].revents != 0) return;  // shutdown broadcast
+        if (pfds[0].revents != 0) break;
+      }
+      if (config_.idle_timeout_ms > 0 && Clock::now() >= idle_deadline) {
+        idle_timeouts_total_->inc();
+        return;
+      }
     }
     if (!read_exact(fd, &first, 1)) return;  // clean EOF between requests
 
+    // From the first byte on, the query deadline governs reads.
+    const int deadline_ms = config_.query_deadline_ms > 0 ? config_.query_deadline_ms : -1;
+
     if (first == kBinaryMarker) {
-      const auto request = read_frame_body(fd);
+      const auto request = read_frame_body(fd, deadline_ms);
       frames_total_->inc();
-      const auto response = handle_binary_request(engine_, request);
+      const auto response = handle_binary_request(registry_, request, local_peer);
       write_frame(fd, response);
       continue;
     }
 
-    // Text mode: `first` begins a newline-terminated command.
+    // Text mode: `first` begins a newline-terminated command.  The whole
+    // line shares one deadline budget.
+    const auto query_deadline =
+        Clock::now() + std::chrono::milliseconds(deadline_ms > 0 ? deadline_ms : 0);
     std::string line(1, static_cast<char>(first));
     char c = 0;
-    while (read_exact(fd, &c, 1) && c != '\n') {
+    while (true) {
+      int remaining = -1;
+      if (deadline_ms > 0) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              query_deadline - Clock::now())
+                              .count();
+        remaining = left > 0 ? static_cast<int>(left) : 0;
+      }
+      if (!read_exact(fd, &c, 1, remaining) || c == '\n') break;
       line.push_back(c);
       if (line.size() > 4096) throw ProtocolError("text command too long");
     }
     const auto trimmed = util::trim(line);
     if (util::iequals(trimmed, "quit") || util::iequals(trimmed, "exit")) return;
     text_commands_total_->inc();
-    const std::string response = handle_text_request(engine_, line) + "\n";
+    const std::string response = handle_text_request(registry_, line, local_peer) + "\n";
     write_all(fd, response.data(), response.size());
   }
 }

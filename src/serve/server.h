@@ -8,8 +8,19 @@
 // (length-prefixed binary frames and/or newline text commands, see
 // protocol.h).  Shutdown is cooperative and signal-safe: stop() — or the
 // SIGINT/SIGTERM handler installed by install_signal_handlers() — writes to
-// a self-pipe, the accept loop drains, sentinels wake every worker, and
-// run() returns after all in-flight requests complete.
+// a self-pipe, the accept loop drains, a broadcast pipe plus queue sentinels
+// wake every worker immediately (no poll-tick latency), and run() returns
+// after all in-flight requests complete.
+//
+// The server serves a SnapshotRegistry, not a single engine: queries default
+// to the current epoch, may name any resident epoch, and SIGHUP (or the
+// RELOAD command from a loopback peer) hot-swaps a new snapshot in without
+// dropping in-flight queries (see snapshot_registry.h).
+//
+// Self-defense: per-connection idle timeout, per-query read deadline, and a
+// max-connection admission bound — over-limit connections get one
+// "ERR shedding: ..." line and are closed (clients surface
+// ErrorCode::kShedding and may back off and retry).
 #pragma once
 
 #include <atomic>
@@ -23,7 +34,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
-#include "serve/query_engine.h"
+#include "serve/snapshot_registry.h"
 
 namespace asrank::serve {
 
@@ -32,13 +43,27 @@ struct ServerConfig {
   std::uint16_t port = 7464;     ///< 0 = kernel-assigned (see Server::port())
   std::size_t threads = 4;       ///< connection workers (>= 1)
   int backlog = 64;
+  /// Close a keep-alive connection after this long with no request bytes.
+  /// <= 0 disables.  Also bounds the worker poll tick (capped at 200ms), so
+  /// a small idle timeout tightens shutdown latency too.
+  int idle_timeout_ms = 60000;
+  /// Budget for reading the rest of a request once its first byte arrived.
+  /// <= 0 disables.
+  int query_deadline_ms = 5000;
+  /// Admission bound on simultaneously-open connections; further accepts
+  /// are shed with one "ERR shedding" line.  0 disables.
+  std::size_t max_connections = 256;
+  /// Snapshot path re-read on SIGHUP ("" disables SIGHUP reloads).
+  std::string reload_path;
+  /// Epoch label for SIGHUP reloads ("" = derive from reload_path).
+  std::string reload_label;
 };
 
 class Server {
  public:
   /// Binds and listens immediately; throws ProtocolError on failure.  The
-  /// engine must outlive the server.
-  Server(QueryEngine& engine, ServerConfig config);
+  /// registry must outlive the server.
+  Server(SnapshotRegistry& registry, ServerConfig config);
   ~Server();
 
   Server(const Server&) = delete;
@@ -54,8 +79,9 @@ class Server {
   /// during run().
   void stop() noexcept;
 
-  /// Route SIGINT/SIGTERM to this server's stop() via a self-pipe write
-  /// (async-signal-safe).  Only one server per process may install.
+  /// Route SIGINT/SIGTERM to stop() and SIGHUP to a reload of
+  /// config.reload_path, via a self-pipe write (async-signal-safe).  Only
+  /// one server per process may install.
   void install_signal_handlers();
 
   /// Connections accepted so far (for tests and the daemon's exit log).
@@ -63,40 +89,58 @@ class Server {
     return connections_.load(std::memory_order_relaxed);
   }
 
+  /// The worker poll tick derived from idle_timeout_ms (exposed so tests
+  /// can assert shutdown latency stays under one tick).
+  [[nodiscard]] int poll_tick_ms() const noexcept { return poll_tick_ms_; }
+
  private:
   void accept_loop();
   void connection_worker();
-  void handle_connection(int fd);
+  void handle_connection(int fd, bool local_peer);
 
-  QueryEngine& engine_;
+  SnapshotRegistry& registry_;
   ServerConfig config_;
   int listen_fd_ = -1;
-  int stop_pipe_[2] = {-1, -1};
+  int stop_pipe_[2] = {-1, -1};      ///< signal/stop commands to accept loop
+  int shutdown_pipe_[2] = {-1, -1};  ///< written once at stop, never drained
   std::uint16_t port_ = 0;
+  int poll_tick_ms_ = 200;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::size_t> active_connections_{0};
 
-  // Daemon counters in the engine's registry (resolved once at bind time).
+  // Daemon counters in the registry's obs::Registry (resolved at bind time).
   obs::Counter* connections_total_;     ///< asrankd_connections_total
   obs::Counter* frames_total_;          ///< asrankd_frames_total
   obs::Counter* text_commands_total_;   ///< asrankd_text_commands_total
   obs::Counter* protocol_errors_total_; ///< asrankd_protocol_errors_total
+  obs::Counter* shed_total_;            ///< asrankd_connections_shed_total
+  obs::Counter* idle_timeouts_total_;   ///< asrankd_idle_timeouts_total
+  obs::Counter* deadline_timeouts_total_; ///< asrankd_deadline_timeouts_total
 
-  // Accepted sockets awaiting a worker; -1 is the shutdown sentinel.
+  // Accepted sockets awaiting a worker; fd -1 is the shutdown sentinel.
+  struct Pending {
+    int fd;
+    bool local;  ///< peer is loopback (may issue RELOAD)
+  };
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<int> pending_;
+  std::deque<Pending> pending_;
 };
 
 /// Decode and execute one binary request payload; always returns a response
 /// payload (status byte first), never throws for malformed requests.
+/// `local_peer` gates the RELOAD opcode (loopback connections only).
 [[nodiscard]] std::vector<std::uint8_t> handle_binary_request(
-    QueryEngine& engine, std::span<const std::uint8_t> payload);
+    SnapshotRegistry& registry, std::span<const std::uint8_t> payload,
+    bool local_peer = true);
 
 /// Execute one text-mode command line; returns the full response text
 /// (possibly multi-line for STATS, "."-terminated), without trailing
 /// newline.  QUIT is the caller's business (it closes the connection).
-[[nodiscard]] std::string handle_text_request(QueryEngine& engine,
-                                              std::string_view line);
+/// Commands may be prefixed with "@<epoch>" to query a named epoch.
+[[nodiscard]] std::string handle_text_request(SnapshotRegistry& registry,
+                                              std::string_view line,
+                                              bool local_peer = true);
 
 }  // namespace asrank::serve

@@ -1,0 +1,191 @@
+#include "serve/snapshot_registry.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/log.h"
+
+namespace asrank::serve {
+
+namespace {
+
+[[nodiscard]] bool label_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == ':' || c == '-';
+}
+
+}  // namespace
+
+SnapshotRegistry::SnapshotRegistry(SnapshotRegistryConfig config,
+                                   obs::Registry* registry)
+    : config_(config),
+      registry_(registry),
+      gen_(std::make_shared<const Generation>()),
+      reloads_total_(&registry->counter(
+          "asrankd_reloads_total",
+          "Successful snapshot (re)loads beyond the initial install")),
+      reload_failures_total_(&registry->counter(
+          "asrankd_reload_failures_total",
+          "Snapshot loads rejected (unreadable, corrupt, bad label)")),
+      reload_duration_(&registry->histogram(
+          "asrankd_reload_duration_micros",
+          "Wall time of snapshot load + install")),
+      epochs_loaded_(&registry->gauge("asrankd_epochs_loaded",
+                                      "Resident snapshot epochs")) {
+  config_.retention = std::max<std::size_t>(1, config_.retention);
+}
+
+bool SnapshotRegistry::valid_label(std::string_view label) noexcept {
+  if (label.empty() || label.size() > 64) return false;
+  return std::all_of(label.begin(), label.end(), label_char);
+}
+
+Result<std::string> SnapshotRegistry::derive_label(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = stem.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) stem.resize(dot);
+  if (!valid_label(stem)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "cannot derive epoch label from path '" + path + "'");
+  }
+  return stem;
+}
+
+std::shared_ptr<QueryEngine> SnapshotRegistry::current() const noexcept {
+  const auto gen = generation();
+  if (gen->entries.empty()) return nullptr;
+  return gen->entries.front()->engine;
+}
+
+std::string SnapshotRegistry::current_label() const {
+  const auto gen = generation();
+  if (gen->entries.empty()) return {};
+  return gen->entries.front()->label;
+}
+
+std::shared_ptr<QueryEngine> SnapshotRegistry::epoch(std::string_view label) const {
+  const auto gen = generation();
+  for (const auto& entry : gen->entries) {
+    if (entry->label == label) {
+      entry->last_used.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                             std::memory_order_relaxed);
+      return entry->engine;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SnapshotRegistry::epochs() const {
+  const auto gen = generation();
+  std::vector<std::string> out;
+  out.reserve(gen->entries.size());
+  for (const auto& entry : gen->entries) out.push_back(entry->label);
+  return out;
+}
+
+std::size_t SnapshotRegistry::epoch_count() const noexcept {
+  return generation()->entries.size();
+}
+
+Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::install(
+    const std::string& label, snapshot::SnapshotIndex index) {
+  if (!valid_label(label)) {
+    reload_failures_total_->inc();
+    return make_error(ErrorCode::kInvalidArgument,
+                      "invalid epoch label '" + label +
+                          "' (want 1-64 chars of [A-Za-z0-9._:-])");
+  }
+
+  auto engine = std::make_shared<QueryEngine>(
+      std::make_shared<const snapshot::SnapshotIndex>(std::move(index)),
+      config_.cache_capacity, registry_);
+  const std::size_t as_count = engine->index().as_count();
+
+  auto entry = std::make_shared<Entry>(label, engine);
+  entry->last_used.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  const auto old_gen = generation();
+  const bool first_install = old_gen->entries.empty();
+
+  // Copy-on-write: new entry first, prior entries (minus any same-label one)
+  // after, then evict the least-recently-used tail past the retention bound.
+  auto next = std::make_shared<Generation>();
+  next->entries.push_back(std::move(entry));
+  for (const auto& old : old_gen->entries) {
+    if (old->label != label) next->entries.push_back(old);
+  }
+  std::vector<std::string> evicted;
+  while (next->entries.size() > config_.retention) {
+    auto victim = next->entries.begin() + 1;  // never evict the current epoch
+    for (auto it = victim + 1; it != next->entries.end(); ++it) {
+      if ((*it)->last_used.load(std::memory_order_relaxed) <
+          (*victim)->last_used.load(std::memory_order_relaxed)) {
+        victim = it;
+      }
+    }
+    evicted.push_back((*victim)->label);
+    next->entries.erase(victim);
+  }
+
+  gen_.store(std::shared_ptr<const Generation>(std::move(next)),
+             std::memory_order_release);
+
+  if (!first_install) reloads_total_->inc();
+  epochs_loaded_->set(static_cast<std::int64_t>(generation()->entries.size()));
+  registry_->gauge("asrankd_epoch_ases", "ASes in a resident epoch",
+                   {{"epoch", label}})
+      .set(static_cast<std::int64_t>(as_count));
+  for (const auto& gone : evicted) {
+    registry_->gauge("asrankd_epoch_ases", "ASes in a resident epoch",
+                     {{"epoch", gone}})
+        .set(0);
+  }
+
+  obs::log_info("snapshot epoch installed",
+                {{"epoch", label},
+                 {"ases", as_count},
+                 {"resident", generation()->entries.size()},
+                 {"evicted", evicted.size()}});
+  return engine;
+}
+
+Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::load_file(
+    const std::string& path, const std::string& label) {
+  const auto start = std::chrono::steady_clock::now();
+
+  std::string effective = label;
+  if (effective.empty()) {
+    auto derived = derive_label(path);
+    if (!derived.ok()) {
+      reload_failures_total_->inc();
+      obs::log_warn("snapshot reload rejected",
+                    {{"path", path}, {"error", derived.error().context}});
+      return derived.take_error();
+    }
+    effective = std::move(derived).value();
+  }
+
+  auto index = snapshot::try_read_snapshot_file(path);
+  if (!index.ok()) {
+    reload_failures_total_->inc();
+    obs::log_warn("snapshot reload rejected",
+                  {{"path", path},
+                   {"epoch", effective},
+                   {"error", index.error().context}});
+    return index.take_error();
+  }
+
+  auto installed = install(effective, std::move(index).value());
+  if (installed.ok()) {
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    reload_duration_->observe(static_cast<std::uint64_t>(micros));
+  }
+  return installed;
+}
+
+}  // namespace asrank::serve

@@ -1,0 +1,140 @@
+// Hot-swappable, multi-epoch snapshot holder for asrankd.
+//
+// A long-lived daemon must pick up new inference runs without dropping
+// queries.  SnapshotRegistry holds one QueryEngine per loaded epoch label
+// ("2013-04", "rib-20260801", ...) behind an RCU-style generation pointer:
+//
+//   * The query hot path is ONE atomic shared_ptr load (current()) or one
+//     load plus a small label scan (epoch(label)) — no locks, no waiting on
+//     writers.  In-flight queries keep their engine alive through the
+//     shared_ptr even while a reload swaps the generation under them.
+//   * Writers (install / load_file) serialize on a mutex, build a fresh
+//     generation (copy-on-write of the entry list), and publish it with one
+//     atomic store.  A failed load — missing file, bad CRC, wrong version —
+//     leaves the serving generation untouched and only bumps
+//     asrankd_reload_failures_total.
+//   * Retention is bounded: at most `retention` epochs stay resident, the
+//     least-recently-queried non-current epoch is evicted when a new install
+//     would exceed the bound.
+//
+// Instrumentation (obs::Registry): asrankd_reloads_total,
+// asrankd_reload_failures_total, asrankd_reload_duration_micros,
+// asrankd_epochs_loaded, asrankd_epoch_ases{epoch=...}.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/query_engine.h"
+#include "util/result.h"
+
+namespace asrank::serve {
+
+struct SnapshotRegistryConfig {
+  /// Maximum number of resident epochs (>= 1).  Installing beyond this
+  /// evicts the least-recently-queried non-current epoch.
+  std::size_t retention = 4;
+  /// Per-engine derived-query LRU capacity (QueryEngine cache_capacity).
+  std::size_t cache_capacity = 4096;
+};
+
+class SnapshotRegistry {
+ public:
+  explicit SnapshotRegistry(SnapshotRegistryConfig config = {},
+                            obs::Registry* registry = &obs::Registry::global());
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Install an already-built index under `label` and make it current.
+  /// Re-installing an existing label replaces that epoch.  Fails
+  /// (kInvalidArgument) on a malformed label; the serving state is then
+  /// unchanged.
+  Result<std::shared_ptr<QueryEngine>> install(const std::string& label,
+                                               snapshot::SnapshotIndex index);
+
+  /// Read an ASRK1 file and install it.  Empty `label` derives one from the
+  /// file name (basename minus extension).  Any failure — unreadable file,
+  /// truncation, CRC mismatch, bad label — leaves the current generation
+  /// serving and increments asrankd_reload_failures_total.
+  Result<std::shared_ptr<QueryEngine>> load_file(const std::string& path,
+                                                 const std::string& label = "");
+
+  /// The current (most recently installed) engine; nullptr before the first
+  /// install.  Lock-free: one atomic shared_ptr load.
+  [[nodiscard]] std::shared_ptr<QueryEngine> current() const noexcept;
+
+  /// Label of the current epoch ("" before the first install).
+  [[nodiscard]] std::string current_label() const;
+
+  /// Engine for a named epoch, or nullptr if not resident.  Lock-free; also
+  /// bumps the epoch's LRU clock.
+  [[nodiscard]] std::shared_ptr<QueryEngine> epoch(std::string_view label) const;
+
+  /// Resident epoch labels, current first, then most-recently-installed
+  /// first.
+  [[nodiscard]] std::vector<std::string> epochs() const;
+
+  [[nodiscard]] std::size_t epoch_count() const noexcept;
+
+  /// Successful installs beyond the initial load (what a "reload" means
+  /// operationally; mirrors asrankd_reloads_total).
+  [[nodiscard]] std::uint64_t reloads() const noexcept {
+    return reloads_total_->value();
+  }
+  [[nodiscard]] std::uint64_t reload_failures() const noexcept {
+    return reload_failures_total_->value();
+  }
+
+  [[nodiscard]] obs::Registry& registry() const noexcept { return *registry_; }
+
+  /// Labels are operator-facing identifiers that travel over the wire and
+  /// into metric labels: 1..64 chars of [A-Za-z0-9._:-].
+  [[nodiscard]] static bool valid_label(std::string_view label) noexcept;
+
+  /// Label from a snapshot path: basename minus a final extension
+  /// ("/data/2013-04.asrk" -> "2013-04").  Fails (kInvalidArgument) when the
+  /// result is not a valid label.
+  [[nodiscard]] static Result<std::string> derive_label(const std::string& path);
+
+ private:
+  struct Entry {
+    std::string label;
+    std::shared_ptr<QueryEngine> engine;
+    /// LRU clock: stamped from use_clock_ on every epoch(label) hit and on
+    /// install, so eviction tracks query recency, not just install order.
+    mutable std::atomic<std::uint64_t> last_used{0};
+
+    Entry(std::string l, std::shared_ptr<QueryEngine> e) noexcept
+        : label(std::move(l)), engine(std::move(e)) {}
+  };
+
+  /// One immutable published state: entries[0] is the current epoch.
+  struct Generation {
+    std::vector<std::shared_ptr<Entry>> entries;
+  };
+
+  [[nodiscard]] std::shared_ptr<const Generation> generation() const noexcept {
+    return gen_.load(std::memory_order_acquire);
+  }
+
+  SnapshotRegistryConfig config_;
+  obs::Registry* registry_;
+
+  std::atomic<std::shared_ptr<const Generation>> gen_;
+  mutable std::atomic<std::uint64_t> use_clock_{0};
+  std::mutex reload_mutex_;  ///< serializes writers only
+
+  obs::Counter* reloads_total_;
+  obs::Counter* reload_failures_total_;
+  obs::Histogram* reload_duration_;
+  obs::Gauge* epochs_loaded_;
+};
+
+}  // namespace asrank::serve

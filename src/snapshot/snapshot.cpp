@@ -676,10 +676,18 @@ void write_snapshot_file(const SnapshotIndex& index, const std::string& path) {
   write_snapshot(index, out);
 }
 
-SnapshotIndex read_snapshot_file(const std::string& path) {
+Result<SnapshotIndex> try_read_snapshot_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw SnapshotError("cannot open for reading: " + path);
-  return read_snapshot(in);
+  if (!in) {
+    return make_error(ErrorCode::kNotFound, "cannot open for reading: " + path);
+  }
+  return try_read_snapshot(in);
+}
+
+SnapshotIndex read_snapshot_file(const std::string& path) {
+  auto parsed = try_read_snapshot_file(path);
+  if (!parsed.ok()) throw SnapshotError(parsed.error().context);
+  return std::move(parsed).value();
 }
 
 }  // namespace asrank::snapshot

@@ -193,4 +193,10 @@ void write_snapshot(const SnapshotIndex& index, std::ostream& os);
 void write_snapshot_file(const SnapshotIndex& index, const std::string& path);
 [[nodiscard]] SnapshotIndex read_snapshot_file(const std::string& path);
 
+/// Result-rail variant of read_snapshot_file: kNotFound when the file cannot
+/// be opened, otherwise the try_read_snapshot error class.  This is the
+/// hot-reload entry point — a failed load must not throw across the serving
+/// layer.
+[[nodiscard]] Result<SnapshotIndex> try_read_snapshot_file(const std::string& path);
+
 }  // namespace asrank::snapshot

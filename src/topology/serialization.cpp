@@ -11,8 +11,11 @@ namespace asrank {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
-  throw std::runtime_error("line " + std::to_string(line_no) + ": " + what);
+/// Parse failures ride the Result rail as kCorrupt; the context string is
+/// exactly the message the throwing wrappers historically raised.
+[[nodiscard]] Error fail(std::size_t line_no, const std::string& what) {
+  return make_error(ErrorCode::kCorrupt,
+                    "line " + std::to_string(line_no) + ": " + what);
 }
 
 /// Strict dataset-file ASN: plain decimal only.  The lenient Asn::parse
@@ -34,7 +37,7 @@ void write_as_rel(const AsGraph& graph, std::ostream& os) {
   }
 }
 
-AsGraph read_as_rel(std::istream& is) {
+Result<AsGraph> try_read_as_rel(std::istream& is) {
   AsGraph graph;
   std::string line;
   std::size_t line_no = 0;
@@ -43,27 +46,33 @@ AsGraph read_as_rel(std::istream& is) {
     const auto text = util::trim(line);
     if (text.empty() || text.front() == '#') continue;
     const auto fields = util::split(text, '|', /*keep_empty=*/true);
-    if (fields.size() != 3) fail(line_no, "expected 3 '|'-separated fields");
+    if (fields.size() != 3) return fail(line_no, "expected 3 '|'-separated fields");
     const auto a = parse_field_asn(fields[0]);
     const auto b = parse_field_asn(fields[1]);
-    if (!a || !b) fail(line_no, "malformed ASN field");
+    if (!a || !b) return fail(line_no, "malformed ASN field");
     const auto code = util::parse_unsigned<std::uint32_t>(
         fields[2].starts_with('-') ? fields[2].substr(1) : fields[2]);
-    if (!code) fail(line_no, "malformed relationship code");
+    if (!code) return fail(line_no, "malformed relationship code");
     const int rel_code = fields[2].starts_with('-') ? -static_cast<int>(*code)
                                                     : static_cast<int>(*code);
     const auto type = link_type_from_code(rel_code);
-    if (!type) fail(line_no, "unknown relationship code " + std::to_string(rel_code));
+    if (!type) return fail(line_no, "unknown relationship code " + std::to_string(rel_code));
     if (graph.has_link(*a, *b)) {
-      fail(line_no, "duplicate link " + a->str() + "|" + b->str());
+      return fail(line_no, "duplicate link " + a->str() + "|" + b->str());
     }
     try {
       graph.set_relationship(*a, *b, *type);
     } catch (const std::exception& error) {
-      fail(line_no, error.what());
+      return fail(line_no, error.what());
     }
   }
   return graph;
+}
+
+AsGraph read_as_rel(std::istream& is) {
+  auto parsed = try_read_as_rel(is);
+  if (!parsed.ok()) throw std::runtime_error(parsed.error().context);
+  return std::move(parsed).value();
 }
 
 void write_ppdc(const ConeMap& cones, std::ostream& os) {
@@ -75,7 +84,7 @@ void write_ppdc(const ConeMap& cones, std::ostream& os) {
   }
 }
 
-ConeMap read_ppdc(std::istream& is) {
+Result<ConeMap> try_read_ppdc(std::istream& is) {
   ConeMap cones;
   std::string line;
   std::size_t line_no = 0;
@@ -85,25 +94,31 @@ ConeMap read_ppdc(std::istream& is) {
     if (text.empty() || text.front() == '#') continue;
     const auto tokens = util::split_ws(text);
     const auto as = parse_field_asn(tokens[0]);
-    if (!as) fail(line_no, "malformed AS");
+    if (!as) return fail(line_no, "malformed AS");
     std::vector<Asn> members;
     members.reserve(tokens.size() - 1);
     bool has_self = false;
     for (std::size_t i = 1; i < tokens.size(); ++i) {
       const auto member = parse_field_asn(tokens[i]);
-      if (!member) fail(line_no, "malformed cone member '" + std::string(tokens[i]) + "'");
+      if (!member) return fail(line_no, "malformed cone member '" + std::string(tokens[i]) + "'");
       if (!members.empty() && !(members.back() < *member)) {
-        fail(line_no, "cone members not strictly ascending");
+        return fail(line_no, "cone members not strictly ascending");
       }
       has_self = has_self || *member == *as;
       members.push_back(*member);
     }
-    if (!has_self) fail(line_no, "cone does not contain its own AS");
+    if (!has_self) return fail(line_no, "cone does not contain its own AS");
     if (!cones.emplace(*as, std::move(members)).second) {
-      fail(line_no, "duplicate cone for AS" + as->str());
+      return fail(line_no, "duplicate cone for AS" + as->str());
     }
   }
   return cones;
+}
+
+ConeMap read_ppdc(std::istream& is) {
+  auto parsed = try_read_ppdc(is);
+  if (!parsed.ok()) throw std::runtime_error(parsed.error().context);
+  return std::move(parsed).value();
 }
 
 }  // namespace asrank

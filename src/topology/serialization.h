@@ -13,6 +13,7 @@
 
 #include "asn/asn.h"
 #include "topology/as_graph.h"
+#include "util/result.h"
 
 namespace asrank {
 
@@ -21,8 +22,12 @@ void write_as_rel(const AsGraph& graph, std::ostream& os);
 
 /// Parse .as-rel text.  Strict: ASNs are plain decimal (no "AS" prefix or
 /// asdot), relationship codes must be known, and duplicate links, self
-/// links, and AS0 are rejected.  Every failure throws std::runtime_error
-/// with the offending line number.
+/// links, and AS0 are rejected.  Every failure yields ErrorCode::kCorrupt
+/// with context "line <n>: <what>".
+[[nodiscard]] Result<AsGraph> try_read_as_rel(std::istream& is);
+
+/// Throwing boundary wrapper over try_read_as_rel: Error ->
+/// std::runtime_error carrying the identical "line <n>: ..." message.
 [[nodiscard]] AsGraph read_as_rel(std::istream& is);
 
 /// Customer cones keyed by AS, each cone sorted ascending and containing the
@@ -33,8 +38,12 @@ using ConeMap = std::map<Asn, std::vector<Asn>>;
 void write_ppdc(const ConeMap& cones, std::ostream& os);
 
 /// Parse .ppdc-ases text.  Strict: plain decimal ASNs, members strictly
-/// ascending and containing the AS itself, one line per AS.  Throws
-/// std::runtime_error with the offending line number.
+/// ascending and containing the AS itself, one line per AS.  Every failure
+/// yields ErrorCode::kCorrupt with context "line <n>: <what>".
+[[nodiscard]] Result<ConeMap> try_read_ppdc(std::istream& is);
+
+/// Throwing boundary wrapper over try_read_ppdc: Error -> std::runtime_error
+/// carrying the identical "line <n>: ..." message.
 [[nodiscard]] ConeMap read_ppdc(std::istream& is);
 
 }  // namespace asrank

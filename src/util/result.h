@@ -27,6 +27,10 @@ enum class ErrorCode : std::uint8_t {
   kIo,                   ///< operating-system level read/write failure
   kProtocol,             ///< wire-protocol violation
   kInternal,             ///< invariant breakage inside the library
+  kTimeout,              ///< a deadline expired before the operation finished
+  kRefused,              ///< the remote end refused the connection
+  kShedding,             ///< the server refused service under load
+  kUnknownEpoch,         ///< a named snapshot epoch is not loaded
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorCode code) noexcept {
@@ -39,6 +43,10 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kIo: return "io";
     case ErrorCode::kProtocol: return "protocol";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kRefused: return "connection refused";
+    case ErrorCode::kShedding: return "server shedding";
+    case ErrorCode::kUnknownEpoch: return "unknown epoch";
   }
   return "?";
 }

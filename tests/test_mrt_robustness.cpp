@@ -138,6 +138,68 @@ TEST(MrtRobustness, EmptyInputs) {
   EXPECT_TRUE(read_table_dump_v1(empty3).empty());
 }
 
+TEST(MrtRobustness, TryReadTableDumpV2ClassifiesErrors) {
+  // Missing peer table: structurally corrupt, not truncated.
+  std::stringstream empty;
+  auto parsed = try_read_table_dump_v2(empty);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, ErrorCode::kCorrupt);
+  EXPECT_NE(parsed.error().context.find("no PEER_INDEX_TABLE"),
+            std::string::npos);
+
+  // A well-formed dump cut mid-record is kTruncated.
+  const std::string bytes = wellformed_v2_bytes();
+  std::stringstream cut(bytes.substr(0, bytes.size() - 1));
+  auto truncated = try_read_table_dump_v2(cut);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.error().code, ErrorCode::kTruncated);
+
+  // The throwing wrapper reports the identical message.
+  std::stringstream cut_again(bytes.substr(0, bytes.size() - 1));
+  try {
+    (void)read_table_dump_v2(cut_again);
+    FAIL() << "expected DecodeError";
+  } catch (const DecodeError& error) {
+    EXPECT_EQ(truncated.error().context, error.what());
+  }
+
+  // An intact dump parses on the Result rail too.
+  std::stringstream whole(bytes);
+  EXPECT_TRUE(try_read_table_dump_v2(whole).ok());
+}
+
+TEST(MrtRobustness, TryReadUpdatesClassifiesErrors) {
+  UpdateMessage update;
+  update.timestamp = 7;
+  update.peer_as = Asn(100);
+  update.local_as = Asn(200);
+  update.announced = {Prefix::v4(0x0a000000, 8)};
+  update.attrs.as_path = AsPath{100, 300};
+  std::stringstream full;
+  write_update(update, full);
+  const std::string bytes = full.str();
+
+  std::stringstream cut(bytes.substr(0, bytes.size() - 1));
+  auto truncated = try_read_updates(cut);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.error().code, ErrorCode::kTruncated);
+  EXPECT_NE(truncated.error().context.find("truncated"), std::string::npos);
+
+  std::stringstream cut_again(bytes.substr(0, bytes.size() - 1));
+  try {
+    (void)read_updates(cut_again);
+    FAIL() << "expected DecodeError";
+  } catch (const DecodeError& error) {
+    EXPECT_EQ(truncated.error().context, error.what());
+  }
+
+  std::stringstream whole(bytes);
+  auto ok = try_read_updates(whole);
+  ASSERT_TRUE(ok.ok());
+  ASSERT_EQ(ok.value().size(), 1u);
+  EXPECT_EQ(ok.value()[0].announced, update.announced);
+}
+
 TEST(MrtRobustness, GarbageHeaderOnly) {
   std::string garbage(12, '\xff');  // one MRT header claiming a huge body
   std::stringstream stream(garbage);

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <csignal>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,7 +21,9 @@
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
 #include "serve/server.h"
+#include "serve/snapshot_registry.h"
 #include "snapshot/snapshot.h"
+#include "util/rng.h"
 
 namespace asrank::serve {
 namespace {
@@ -45,13 +51,29 @@ snapshot::SnapshotIndex make_index() {
                                   {Asn(1), Asn(2)});
 }
 
+// A second epoch: 4 and 5 are gone, 8 appeared under 3.  cone(1) shifts from
+// {1,3,4,5} to {1,3,8}, which the CONE_DIFF tests below rely on.
+snapshot::SnapshotIndex make_index_b() {
+  AsGraph graph;
+  graph.add_p2p(Asn(1), Asn(2));
+  graph.add_p2c(Asn(1), Asn(3));
+  graph.add_p2c(Asn(2), Asn(3));
+  graph.add_p2c(Asn(3), Asn(8));
+  graph.add_p2c(Asn(2), Asn(6));
+  graph.add_s2s(Asn(6), Asn(7));
+  const std::unordered_map<Asn, std::size_t> tdeg = {
+      {Asn(1), 2}, {Asn(2), 2}, {Asn(3), 1}};
+  return snapshot::build_snapshot(graph, tdeg, core::recursive_cone(graph),
+                                  {Asn(1), Asn(2)});
+}
+
 std::vector<Asn> asns(std::initializer_list<std::uint32_t> values) {
   std::vector<Asn> out;
   for (const auto v : values) out.emplace_back(v);
   return out;
 }
 
-// Every test engine gets its own obs::Registry: engines sharing a registry
+// Every test rig gets its own obs::Registry: engines sharing a registry
 // share metric series, so isolated registries keep the exact-count
 // assertions below valid regardless of what other tests in this process do.
 std::uint64_t stat_count(const QueryEngine& engine, QueryType type) {
@@ -61,6 +83,20 @@ std::uint64_t stat_count(const QueryEngine& engine, QueryType type) {
 std::uint64_t stat_hits(const QueryEngine& engine, QueryType type) {
   return engine.stats()[static_cast<std::size_t>(type)].cache_hits;
 }
+
+// A metrics registry plus a SnapshotRegistry with one installed epoch —
+// the minimum serving state the handlers need.
+struct ServeRig {
+  explicit ServeRig(std::size_t retention = 4) {
+    SnapshotRegistryConfig config;
+    config.retention = retention;
+    snapshots.emplace(config, &metrics);
+    EXPECT_TRUE(snapshots->install("seed", make_index()).ok());
+  }
+
+  obs::Registry metrics;
+  std::optional<SnapshotRegistry> snapshots;
+};
 
 // --------------------------------------------------------- query engine --
 
@@ -187,47 +223,164 @@ TEST(QueryEngine, EnginesSharingARegistryShareSeries) {
   EXPECT_EQ(stat_count(b, QueryType::kRank), 2u);
 }
 
+// ------------------------------------------------------ snapshot registry --
+
+TEST(SnapshotRegistry, InstallLookupAndEpochOrder) {
+  obs::Registry metrics;
+  SnapshotRegistry snapshots({}, &metrics);
+  EXPECT_EQ(snapshots.current(), nullptr);
+  EXPECT_EQ(snapshots.current_label(), "");
+  EXPECT_EQ(snapshots.epoch_count(), 0u);
+
+  ASSERT_TRUE(snapshots.install("a", make_index()).ok());
+  ASSERT_NE(snapshots.current(), nullptr);
+  EXPECT_EQ(snapshots.current_label(), "a");
+  EXPECT_EQ(snapshots.epoch("a"), snapshots.current());
+  EXPECT_EQ(snapshots.epoch("zzz"), nullptr);
+  EXPECT_EQ(snapshots.reloads(), 0u);  // the first install is not a reload
+
+  ASSERT_TRUE(snapshots.install("b", make_index_b()).ok());
+  EXPECT_EQ(snapshots.current_label(), "b");
+  EXPECT_EQ(snapshots.epochs(), (std::vector<std::string>{"b", "a"}));
+  EXPECT_EQ(snapshots.reloads(), 1u);
+  // The superseded epoch stays queryable.
+  EXPECT_EQ(snapshots.epoch("a")->cone_size(Asn(1)), 4u);
+  EXPECT_EQ(snapshots.current()->cone_size(Asn(1)), 3u);
+}
+
+TEST(SnapshotRegistry, ReinstallingALabelReplacesThatEpoch) {
+  obs::Registry metrics;
+  SnapshotRegistry snapshots({}, &metrics);
+  ASSERT_TRUE(snapshots.install("cur", make_index()).ok());
+  ASSERT_TRUE(snapshots.install("cur", make_index_b()).ok());
+  EXPECT_EQ(snapshots.epoch_count(), 1u);
+  EXPECT_EQ(snapshots.current()->cone_size(Asn(1)), 3u);
+  EXPECT_EQ(snapshots.reloads(), 1u);
+}
+
+TEST(SnapshotRegistry, RetentionEvictsLeastRecentlyQueriedEpoch) {
+  obs::Registry metrics;
+  SnapshotRegistryConfig config;
+  config.retention = 2;
+  SnapshotRegistry snapshots(config, &metrics);
+  ASSERT_TRUE(snapshots.install("a", make_index()).ok());
+  ASSERT_TRUE(snapshots.install("b", make_index()).ok());
+  // Touch "a" so "b" becomes the least-recently-queried non-current epoch.
+  ASSERT_NE(snapshots.epoch("a"), nullptr);
+  ASSERT_TRUE(snapshots.install("c", make_index()).ok());
+  EXPECT_EQ(snapshots.epochs(), (std::vector<std::string>{"c", "a"}));
+  EXPECT_EQ(snapshots.epoch("b"), nullptr);
+}
+
+TEST(SnapshotRegistry, InvalidLabelIsRejectedWithoutSideEffects) {
+  obs::Registry metrics;
+  SnapshotRegistry snapshots({}, &metrics);
+  ASSERT_TRUE(snapshots.install("good", make_index()).ok());
+  auto rejected = snapshots.install("bad label!", make_index());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(snapshots.current_label(), "good");
+  EXPECT_EQ(snapshots.epoch_count(), 1u);
+  EXPECT_EQ(snapshots.reload_failures(), 1u);
+  EXPECT_EQ(snapshots.reloads(), 0u);
+}
+
+TEST(SnapshotRegistry, FailedLoadLeavesServingStateUntouched) {
+  obs::Registry metrics;
+  SnapshotRegistry snapshots({}, &metrics);
+  ASSERT_TRUE(snapshots.install("good", make_index()).ok());
+
+  // Missing file.
+  auto missing = snapshots.load_file(testing::TempDir() + "/no-such.asrk");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kNotFound);
+
+  // Garbage bytes: not an ASRK1 snapshot.
+  const std::string corrupt_path = testing::TempDir() + "/corrupt-epoch.asrk";
+  {
+    std::ofstream out(corrupt_path, std::ios::binary);
+    out << "this is not a snapshot";
+  }
+  auto corrupt = snapshots.load_file(corrupt_path);
+  ASSERT_FALSE(corrupt.ok());
+
+  EXPECT_EQ(snapshots.current_label(), "good");
+  EXPECT_EQ(snapshots.epoch_count(), 1u);
+  EXPECT_EQ(snapshots.reload_failures(), 2u);
+  EXPECT_EQ(snapshots.reloads(), 0u);
+  EXPECT_EQ(snapshots.current()->cone_size(Asn(1)), 4u);
+}
+
+TEST(SnapshotRegistry, LoadFileInstallsAndDerivesLabel) {
+  const std::string path = testing::TempDir() + "/epoch-2013-04.asrk";
+  snapshot::write_snapshot_file(make_index_b(), path);
+  obs::Registry metrics;
+  SnapshotRegistry snapshots({}, &metrics);
+  auto loaded = snapshots.load_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().context;
+  EXPECT_EQ(snapshots.current_label(), "epoch-2013-04");
+  EXPECT_EQ(loaded.value()->cone_size(Asn(1)), 3u);
+  // Explicit label wins over derivation.
+  ASSERT_TRUE(snapshots.load_file(path, "named").ok());
+  EXPECT_EQ(snapshots.current_label(), "named");
+}
+
+TEST(SnapshotRegistry, LabelValidationAndDerivation) {
+  EXPECT_TRUE(SnapshotRegistry::valid_label("2013-04"));
+  EXPECT_TRUE(SnapshotRegistry::valid_label("rib.20260801:v2_x"));
+  EXPECT_FALSE(SnapshotRegistry::valid_label(""));
+  EXPECT_FALSE(SnapshotRegistry::valid_label("has space"));
+  EXPECT_FALSE(SnapshotRegistry::valid_label(std::string(65, 'a')));
+
+  auto derived = SnapshotRegistry::derive_label("/data/runs/2013-04.asrk");
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(derived.value(), "2013-04");
+  EXPECT_EQ(SnapshotRegistry::derive_label("plain").value(), "plain");
+  EXPECT_FALSE(SnapshotRegistry::derive_label("/x/bad name.asrk").ok());
+}
+
 // ------------------------------------------------- sans-socket handlers --
 
 TEST(Handlers, TextCommands) {
-  obs::Registry registry;
-  QueryEngine engine(make_index(), 4096, &registry);
-  EXPECT_EQ(handle_text_request(engine, "PING"), "OK pong");
-  EXPECT_EQ(handle_text_request(engine, "rel 1 3"), "OK customer");
-  EXPECT_EQ(handle_text_request(engine, "rel 3 1"), "OK provider");
-  EXPECT_EQ(handle_text_request(engine, "rel 1 4"), "OK none");
-  EXPECT_EQ(handle_text_request(engine, "rank 1"), "OK 1");
-  EXPECT_EQ(handle_text_request(engine, "conesize 1"), "OK 4");
-  EXPECT_EQ(handle_text_request(engine, "cone 3"), "OK 3 4");
-  EXPECT_EQ(handle_text_request(engine, "incone 1 4"), "OK yes");
-  EXPECT_EQ(handle_text_request(engine, "incone 1 6"), "OK no");
-  EXPECT_EQ(handle_text_request(engine, "providers 3"), "OK 1 2");
-  EXPECT_EQ(handle_text_request(engine, "intersect 1 2"), "OK 3 4");
-  EXPECT_EQ(handle_text_request(engine, "cliquepath 4"), "OK 4 3 1");
-  EXPECT_EQ(handle_text_request(engine, "clique"), "OK 1 2");
-  EXPECT_TRUE(handle_text_request(engine, "stats").starts_with("OK\n"));
-  EXPECT_TRUE(handle_text_request(engine, "stats").ends_with("."));
+  ServeRig rig;
+  auto& snapshots = *rig.snapshots;
+  EXPECT_EQ(handle_text_request(snapshots, "PING"), "OK pong");
+  EXPECT_EQ(handle_text_request(snapshots, "rel 1 3"), "OK customer");
+  EXPECT_EQ(handle_text_request(snapshots, "rel 3 1"), "OK provider");
+  EXPECT_EQ(handle_text_request(snapshots, "rel 1 4"), "OK none");
+  EXPECT_EQ(handle_text_request(snapshots, "rank 1"), "OK 1");
+  EXPECT_EQ(handle_text_request(snapshots, "conesize 1"), "OK 4");
+  EXPECT_EQ(handle_text_request(snapshots, "cone 3"), "OK 3 4");
+  EXPECT_EQ(handle_text_request(snapshots, "incone 1 4"), "OK yes");
+  EXPECT_EQ(handle_text_request(snapshots, "incone 1 6"), "OK no");
+  EXPECT_EQ(handle_text_request(snapshots, "providers 3"), "OK 1 2");
+  EXPECT_EQ(handle_text_request(snapshots, "intersect 1 2"), "OK 3 4");
+  EXPECT_EQ(handle_text_request(snapshots, "cliquepath 4"), "OK 4 3 1");
+  EXPECT_EQ(handle_text_request(snapshots, "clique"), "OK 1 2");
+  EXPECT_TRUE(handle_text_request(snapshots, "stats").starts_with("OK\n"));
+  EXPECT_TRUE(handle_text_request(snapshots, "stats").ends_with("."));
 }
 
 TEST(Handlers, MetricsTextCommandServesPrometheus) {
-  obs::Registry registry;
-  QueryEngine engine(make_index(), 4096, &registry);
-  (void)engine.rank(Asn(1));
-  const auto response = handle_text_request(engine, "metrics");
+  ServeRig rig;
+  (void)rig.snapshots->current()->rank(Asn(1));
+  const auto response = handle_text_request(*rig.snapshots, "metrics");
   EXPECT_TRUE(response.starts_with("OK\n")) << response;
   EXPECT_TRUE(response.ends_with(".")) << response;
   EXPECT_NE(response.find("# TYPE asrankd_query_latency_micros histogram"),
             std::string::npos);
   EXPECT_NE(response.find("asrankd_queries_total 1\n"), std::string::npos);
   EXPECT_NE(response.find("asrankd_metrics_requests_total"), std::string::npos);
+  // Registry-level series are exported through the same registry.
+  EXPECT_NE(response.find("asrankd_epochs_loaded 1\n"), std::string::npos);
 }
 
 TEST(Handlers, MetricsOpcodeServesPrometheus) {
-  obs::Registry registry;
-  QueryEngine engine(make_index(), 4096, &registry);
-  (void)engine.rank(Asn(1));
+  ServeRig rig;
+  (void)rig.snapshots->current()->rank(Asn(1));
   const auto response = handle_binary_request(
-      engine, std::vector<std::uint8_t>{static_cast<std::uint8_t>(Op::kMetrics)});
+      *rig.snapshots,
+      std::vector<std::uint8_t>{static_cast<std::uint8_t>(Op::kMetrics)});
   ASSERT_FALSE(response.empty());
   EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kOk));
   const std::string body(response.begin() + 1, response.end());
@@ -239,33 +392,165 @@ TEST(Handlers, MetricsOpcodeServesPrometheus) {
 }
 
 TEST(Handlers, TextErrorsNameTheProblem) {
-  obs::Registry registry;
-  QueryEngine engine(make_index(), 4096, &registry);
-  EXPECT_EQ(handle_text_request(engine, "rel 1"), "ERR usage: REL <asn> <asn>");
-  EXPECT_EQ(handle_text_request(engine, "rank notanasn"),
+  ServeRig rig;
+  auto& snapshots = *rig.snapshots;
+  EXPECT_EQ(handle_text_request(snapshots, "rel 1"), "ERR usage: REL <asn> <asn>");
+  EXPECT_EQ(handle_text_request(snapshots, "rank notanasn"),
             "ERR usage: RANK <asn>");
-  const auto unknown = handle_text_request(engine, "frobnicate 1");
+  const auto unknown = handle_text_request(snapshots, "frobnicate 1");
   EXPECT_TRUE(unknown.starts_with("ERR unknown command 'frobnicate'")) << unknown;
-  EXPECT_TRUE(handle_text_request(engine, "   ").starts_with("ERR"));
+  EXPECT_TRUE(handle_text_request(snapshots, "   ").starts_with("ERR"));
 }
 
 TEST(Handlers, BinaryRejectsMalformedRequests) {
-  obs::Registry registry;
-  QueryEngine engine(make_index(), 4096, &registry);
+  ServeRig rig;
+  auto& snapshots = *rig.snapshots;
   // Unknown opcode.
-  auto response = handle_binary_request(engine, std::vector<std::uint8_t>{0x7F});
+  auto response =
+      handle_binary_request(snapshots, std::vector<std::uint8_t>{0x7F});
   ASSERT_FALSE(response.empty());
   EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kError));
   // Truncated operand (kRank wants a u32).
   response = handle_binary_request(
-      engine, std::vector<std::uint8_t>{static_cast<std::uint8_t>(Op::kRank), 1});
+      snapshots, std::vector<std::uint8_t>{static_cast<std::uint8_t>(Op::kRank), 1});
   EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kError));
   // Trailing junk after a complete request.
   response = handle_binary_request(
-      engine, std::vector<std::uint8_t>{static_cast<std::uint8_t>(Op::kPing), 0});
+      snapshots, std::vector<std::uint8_t>{static_cast<std::uint8_t>(Op::kPing), 0});
   EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kError));
   // Empty payload.
-  response = handle_binary_request(engine, std::vector<std::uint8_t>{});
+  response = handle_binary_request(snapshots, std::vector<std::uint8_t>{});
+  EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kError));
+}
+
+TEST(Handlers, QueriesWithoutASnapshotAreErrors) {
+  obs::Registry metrics;
+  SnapshotRegistry snapshots({}, &metrics);
+  EXPECT_EQ(handle_text_request(snapshots, "rank 1"), "ERR no snapshot loaded");
+  // PING and EPOCHS answer without an engine.
+  EXPECT_EQ(handle_text_request(snapshots, "ping"), "OK pong");
+  EXPECT_EQ(handle_text_request(snapshots, "epochs"), "OK");
+}
+
+TEST(Handlers, EpochScopedTextCommands) {
+  ServeRig rig;
+  auto& snapshots = *rig.snapshots;
+  ASSERT_TRUE(snapshots.install("next", make_index_b()).ok());
+  // Current epoch is now "next"; the old one answers via @seed.
+  EXPECT_EQ(handle_text_request(snapshots, "conesize 1"), "OK 3");
+  EXPECT_EQ(handle_text_request(snapshots, "@seed conesize 1"), "OK 4");
+  EXPECT_EQ(handle_text_request(snapshots, "@next conesize 1"), "OK 3");
+  EXPECT_EQ(handle_text_request(snapshots, "@zzz conesize 1"),
+            "ERR unknown epoch 'zzz'");
+  EXPECT_EQ(handle_text_request(snapshots, "@seed"), "ERR usage: @<epoch> <command>");
+}
+
+TEST(Handlers, TextEpochsConediffAndReload) {
+  ServeRig rig;
+  auto& snapshots = *rig.snapshots;
+  ASSERT_TRUE(snapshots.install("next", make_index_b()).ok());
+  EXPECT_EQ(handle_text_request(snapshots, "epochs"), "OK next seed");
+  // cone(1): seed {1,3,4,5} -> next {1,3,8}: +8, -4, -5.
+  EXPECT_EQ(handle_text_request(snapshots, "conediff 1 seed next"),
+            "OK +8 -4 -5");
+  EXPECT_EQ(handle_text_request(snapshots, "conediff 1 seed zzz"),
+            "ERR unknown epoch 'zzz'");
+  EXPECT_EQ(handle_text_request(snapshots, "conediff x seed next"),
+            "ERR usage: CONEDIFF <asn> <epochA> <epochB>");
+
+  const std::string path = testing::TempDir() + "/text-reload.asrk";
+  snapshot::write_snapshot_file(make_index(), path);
+  EXPECT_EQ(handle_text_request(snapshots, "reload " + path + " fresh"),
+            "OK fresh 7");
+  EXPECT_EQ(snapshots.current_label(), "fresh");
+  EXPECT_TRUE(handle_text_request(snapshots, "reload /no/such.asrk")
+                  .starts_with("ERR"));
+  EXPECT_EQ(snapshots.current_label(), "fresh");
+}
+
+TEST(Handlers, ReloadIsDeniedForNonLocalPeers) {
+  ServeRig rig;
+  auto& snapshots = *rig.snapshots;
+  EXPECT_EQ(handle_text_request(snapshots, "reload /tmp/x.asrk", /*local_peer=*/false),
+            "ERR reload denied: not a local peer");
+
+  WireWriter request;
+  request.u8(static_cast<std::uint8_t>(Op::kReload));
+  request.str16("/tmp/x.asrk");
+  request.str16("");
+  const auto response =
+      handle_binary_request(snapshots, request.payload(), /*local_peer=*/false);
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kError));
+  const std::string text(response.begin() + 1, response.end());
+  EXPECT_EQ(text, "reload denied: not a local peer");
+  EXPECT_EQ(snapshots.reload_failures(), 0u);  // denied before any load
+}
+
+TEST(Handlers, BinaryEpochsConeDiffAndWithEpoch) {
+  ServeRig rig;
+  auto& snapshots = *rig.snapshots;
+  ASSERT_TRUE(snapshots.install("next", make_index_b()).ok());
+
+  // EPOCHS: u32 count + str16 labels, current first.
+  auto response = handle_binary_request(
+      snapshots, std::vector<std::uint8_t>{static_cast<std::uint8_t>(Op::kEpochs)});
+  ASSERT_EQ(response[0], static_cast<std::uint8_t>(Status::kOk));
+  {
+    WireReader reader(std::span<const std::uint8_t>(response).subspan(1));
+    ASSERT_EQ(reader.u32().value(), 2u);
+    EXPECT_EQ(reader.str16().value(), "next");
+    EXPECT_EQ(reader.str16().value(), "seed");
+    EXPECT_TRUE(reader.done());
+  }
+
+  // CONE_DIFF: added list then removed list.
+  WireWriter diff_req;
+  diff_req.u8(static_cast<std::uint8_t>(Op::kConeDiff));
+  diff_req.u32(1);
+  diff_req.str16("seed");
+  diff_req.str16("next");
+  response = handle_binary_request(snapshots, diff_req.payload());
+  ASSERT_EQ(response[0], static_cast<std::uint8_t>(Status::kOk));
+  {
+    WireReader reader(std::span<const std::uint8_t>(response).subspan(1));
+    ASSERT_EQ(reader.u32().value(), 1u);  // added
+    EXPECT_EQ(reader.u32().value(), 8u);
+    ASSERT_EQ(reader.u32().value(), 2u);  // removed
+    EXPECT_EQ(reader.u32().value(), 4u);
+    EXPECT_EQ(reader.u32().value(), 5u);
+    EXPECT_TRUE(reader.done());
+  }
+
+  // WITH_EPOCH wraps an engine-scoped request.
+  WireWriter scoped;
+  scoped.u8(static_cast<std::uint8_t>(Op::kWithEpoch));
+  scoped.str16("seed");
+  scoped.u8(static_cast<std::uint8_t>(Op::kConeSize));
+  scoped.u32(1);
+  response = handle_binary_request(snapshots, scoped.payload());
+  ASSERT_EQ(response[0], static_cast<std::uint8_t>(Status::kOk));
+  {
+    WireReader reader(std::span<const std::uint8_t>(response).subspan(1));
+    EXPECT_EQ(reader.u64().value(), 4u);
+  }
+
+  // WITH_EPOCH with an unknown label fails with the typed message.
+  WireWriter unknown;
+  unknown.u8(static_cast<std::uint8_t>(Op::kWithEpoch));
+  unknown.str16("zzz");
+  unknown.u8(static_cast<std::uint8_t>(Op::kPing));
+  response = handle_binary_request(snapshots, unknown.payload());
+  ASSERT_EQ(response[0], static_cast<std::uint8_t>(Status::kError));
+  EXPECT_EQ(std::string(response.begin() + 1, response.end()),
+            "unknown epoch 'zzz'");
+
+  // Registry ops cannot nest inside WITH_EPOCH.
+  WireWriter nested;
+  nested.u8(static_cast<std::uint8_t>(Op::kWithEpoch));
+  nested.str16("seed");
+  nested.u8(static_cast<std::uint8_t>(Op::kEpochs));
+  response = handle_binary_request(snapshots, nested.payload());
   EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kError));
 }
 
@@ -273,8 +558,7 @@ TEST(Handlers, BinaryRejectsMalformedRequests) {
 
 class ServeFixture : public testing::Test {
  protected:
-  ServeFixture()
-      : engine_(make_index(), 4096, &registry_), server_(engine_, config()) {
+  ServeFixture() : rig_(), server_(*rig_.snapshots, config()) {
     thread_ = std::thread([this] { server_.run(); });
   }
 
@@ -290,8 +574,7 @@ class ServeFixture : public testing::Test {
     return config;
   }
 
-  obs::Registry registry_;  ///< must outlive engine_ (declared first)
-  QueryEngine engine_;
+  ServeRig rig_;
   Server server_;
   std::thread thread_;
 };
@@ -386,25 +669,69 @@ TEST_F(ServeFixture, MetricsScrapeOverSocket) {
   EXPECT_NE(text.find("asrankd_metrics_requests_total 1\n"), std::string::npos);
 }
 
+TEST_F(ServeFixture, EpochAwareQueriesOverSocket) {
+  ASSERT_TRUE(rig_.snapshots->install("next", make_index_b()).ok());
+  Client client("127.0.0.1", server_.port());
+
+  auto epochs = client.try_epochs();
+  ASSERT_TRUE(epochs.ok());
+  EXPECT_EQ(epochs.value(), (std::vector<std::string>{"next", "seed"}));
+
+  // Unqualified queries answer from the current epoch; qualified ones from
+  // the named one.
+  EXPECT_EQ(client.try_cone_size(Asn(1)).value(), 3u);
+  EXPECT_EQ(client.try_cone_size(Asn(1), "seed").value(), 4u);
+  EXPECT_EQ(client.try_rank(Asn(1), "seed").value(), 1u);
+
+  auto diff = client.try_cone_diff(Asn(1), "seed", "next");
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff.value().added, asns({8}));
+  EXPECT_EQ(diff.value().removed, asns({4, 5}));
+
+  auto unknown = client.try_rank(Asn(1), "zzz");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.error().code, ErrorCode::kUnknownEpoch);
+  EXPECT_NE(unknown.error().context.find("unknown epoch 'zzz'"),
+            std::string::npos);
+}
+
+TEST_F(ServeFixture, ReloadOverSocket) {
+  const std::string path = testing::TempDir() + "/socket-reload.asrk";
+  snapshot::write_snapshot_file(make_index_b(), path);
+  Client client("127.0.0.1", server_.port());
+
+  auto info = client.try_reload(path);
+  ASSERT_TRUE(info.ok()) << info.error().context;
+  EXPECT_EQ(info.value().label, "socket-reload");
+  EXPECT_EQ(info.value().ases, 6u);
+  EXPECT_EQ(rig_.snapshots->reloads(), 1u);
+  EXPECT_EQ(rig_.snapshots->current_label(), "socket-reload");
+
+  // A failed reload reports the error and leaves the serving epoch alone.
+  auto bad = client.try_reload(testing::TempDir() + "/missing.asrk");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.error().context.find("server error:") != std::string::npos);
+  EXPECT_EQ(rig_.snapshots->current_label(), "socket-reload");
+  EXPECT_GE(rig_.snapshots->reload_failures(), 1u);
+}
+
 TEST(Server, StopBeforeRunReturnsImmediately) {
-  obs::Registry registry;
-  QueryEngine engine(make_index(), 4096, &registry);
+  ServeRig rig;
   ServerConfig config;
   config.port = 0;
   config.threads = 1;
-  Server server(engine, config);
+  Server server(*rig.snapshots, config);
   server.stop();
   server.run();  // must observe the queued stop and return
   EXPECT_EQ(server.connections_served(), 0u);
 }
 
 TEST(Server, GracefulShutdownWithIdleClientConnected) {
-  obs::Registry registry;
-  QueryEngine engine(make_index(), 4096, &registry);
+  ServeRig rig;
   ServerConfig config;
   config.port = 0;
   config.threads = 1;
-  Server server(engine, config);
+  Server server(*rig.snapshots, config);
   std::thread thread([&server] { server.run(); });
   {
     // An idle keep-alive connection must not wedge shutdown.
@@ -417,11 +744,395 @@ TEST(Server, GracefulShutdownWithIdleClientConnected) {
 }
 
 TEST(Server, RejectsBadListenAddress) {
-  obs::Registry registry;
-  QueryEngine engine(make_index(), 4096, &registry);
+  ServeRig rig;
   ServerConfig config;
   config.host = "not-an-address";
-  EXPECT_THROW((Server{engine, config}), ProtocolError);
+  EXPECT_THROW((Server{*rig.snapshots, config}), ProtocolError);
+}
+
+TEST(Server, PollTickDerivesFromIdleTimeout) {
+  ServeRig rig;
+  const auto tick_for = [&rig](int idle_timeout_ms) {
+    ServerConfig config;
+    config.port = 0;
+    config.idle_timeout_ms = idle_timeout_ms;
+    return Server(*rig.snapshots, config).poll_tick_ms();
+  };
+  EXPECT_EQ(tick_for(60000), 200);  // capped
+  EXPECT_EQ(tick_for(40), 10);      // idle/4
+  EXPECT_EQ(tick_for(8), 5);        // floored
+  EXPECT_EQ(tick_for(0), 200);      // disabled -> default tick
+}
+
+TEST(Server, ShutdownWakesIdleWorkersWithinOneTick) {
+  ServeRig rig;
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 2;
+  Server server(*rig.snapshots, config);
+  std::thread runner([&server] { server.run(); });
+  Client idle("127.0.0.1", server.port());
+  idle.ping();  // the worker is now parked in its keep-alive poll
+
+  const auto start = std::chrono::steady_clock::now();
+  server.stop();
+  runner.join();
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  // The shutdown broadcast pipe wakes pollers immediately; without it the
+  // idle worker would sleep out a full tick before noticing.
+  EXPECT_LT(elapsed_ms, server.poll_tick_ms());
+}
+
+TEST(Server, SighupReloadsAndSigtermStopsWithinOneTick) {
+  const std::string path = testing::TempDir() + "/sighup-epoch.asrk";
+  snapshot::write_snapshot_file(make_index_b(), path);
+
+  ServeRig rig;
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 1;
+  config.reload_path = path;  // label derives to "sighup-epoch"
+  Server server(*rig.snapshots, config);
+  server.install_signal_handlers();
+  std::thread runner([&server] { server.run(); });
+  Client client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.try_ping().ok());
+
+  ::raise(SIGHUP);
+  const auto reload_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (rig.snapshots->reloads() < 1 &&
+         std::chrono::steady_clock::now() < reload_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(rig.snapshots->reloads(), 1u);
+  EXPECT_EQ(rig.snapshots->current_label(), "sighup-epoch");
+  // The reload swapped epochs under the live connection.
+  EXPECT_EQ(client.try_cone_size(Asn(1)).value(), 3u);
+  EXPECT_EQ(client.try_cone_size(Asn(1), "seed").value(), 4u);
+
+  const auto start = std::chrono::steady_clock::now();
+  ::raise(SIGTERM);
+  runner.join();
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  EXPECT_LT(elapsed_ms, server.poll_tick_ms());
+}
+
+TEST(Server, ShedsConnectionsOverTheAdmissionLimit) {
+  ServeRig rig;
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 2;
+  config.max_connections = 1;
+  Server server(*rig.snapshots, config);
+  std::thread runner([&server] { server.run(); });
+
+  Client first("127.0.0.1", server.port());
+  first.ping();  // occupies the single admission slot
+
+  // A second connection gets the one-line shed notice and a close.  (The
+  // client-side mapping of that line to ErrorCode::kShedding is covered by
+  // the scripted-server retry test below, where the read/write order is
+  // deterministic.)
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  std::string notice;
+  char c = 0;
+  while (read_exact(fd, &c, 1)) notice.push_back(c);  // until the shed close
+  ::close(fd);
+  EXPECT_TRUE(notice.starts_with("ERR shedding")) << notice;
+  EXPECT_TRUE(notice.ends_with("\n")) << notice;
+  EXPECT_GE(rig.metrics
+                .counter("asrankd_connections_shed_total",
+                         "Connections refused at the admission limit")
+                .value(),
+            1u);
+
+  server.stop();
+  runner.join();
+}
+
+TEST(Server, IdleConnectionsAreClosedAndCounted) {
+  ServeRig rig;
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 1;
+  config.idle_timeout_ms = 40;  // tick = 10ms
+  Server server(*rig.snapshots, config);
+  std::thread runner([&server] { server.run(); });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+
+  // Send nothing: the server must close the connection on its own.
+  const auto start = std::chrono::steady_clock::now();
+  char byte = 0;
+  const ssize_t n = ::read(fd, &byte, 1);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  ::close(fd);
+  EXPECT_EQ(n, 0);  // clean EOF from the server side
+  EXPECT_LT(elapsed_ms, 2000);
+  EXPECT_GE(rig.metrics
+                .counter("asrankd_idle_timeouts_total",
+                         "Connections closed after the idle timeout")
+                .value(),
+            1u);
+
+  server.stop();
+  runner.join();
+}
+
+TEST(Server, StalledRequestsHitTheReadDeadline) {
+  ServeRig rig;
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 1;
+  config.query_deadline_ms = 40;
+  Server server(*rig.snapshots, config);
+  std::thread runner([&server] { server.run(); });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+
+  // Start a binary frame but never send the length: the per-query deadline
+  // must fire even though the connection is not idle.
+  const std::uint8_t marker = kBinaryMarker;
+  write_all(fd, &marker, 1);
+  char byte = 0;
+  const ssize_t n = ::read(fd, &byte, 1);
+  ::close(fd);
+  EXPECT_EQ(n, 0);
+  EXPECT_GE(rig.metrics
+                .counter("asrankd_deadline_timeouts_total",
+                         "Connections closed when a request missed its read deadline")
+                .value(),
+            1u);
+
+  server.stop();
+  runner.join();
+}
+
+TEST(Server, ConcurrentReloadTorture) {
+  // Reinstall the same epoch label with alternating indexes while clients
+  // hammer queries: every answer must be internally consistent with one of
+  // the two snapshots (cone(1) is 4 ASes in A, 3 in B), and nothing may
+  // error or crash.
+  ServeRig rig;
+  ASSERT_TRUE(rig.snapshots->install("flip", make_index()).ok());
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 2;
+  Server server(*rig.snapshots, config);
+  std::thread runner([&server] { server.run(); });
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> answers{0};
+
+  std::vector<std::thread> clients;
+  for (int w = 0; w < 2; ++w) {
+    clients.emplace_back([&server, &done, &failures, &answers] {
+      try {
+        Client client("127.0.0.1", server.port());
+        while (!done.load(std::memory_order_relaxed)) {
+          auto size = client.try_cone_size(Asn(1));
+          if (!size.ok()) {
+            ++failures;
+            continue;
+          }
+          if (size.value() != 4 && size.value() != 3) ++failures;
+          auto cone = client.try_cone(Asn(1), "flip");
+          if (!cone.ok()) {
+            ++failures;
+            continue;
+          }
+          if (cone.value() != asns({1, 3, 4, 5}) && cone.value() != asns({1, 3, 8})) {
+            ++failures;
+          }
+          ++answers;
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+
+  for (int i = 0; i < 40; ++i) {
+    auto swapped = (i % 2 == 0) ? rig.snapshots->install("flip", make_index_b())
+                                : rig.snapshots->install("flip", make_index());
+    if (!swapped.ok()) ++failures;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true);
+  for (auto& client : clients) client.join();
+  server.stop();
+  runner.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(answers.load(), 0);
+  EXPECT_EQ(rig.snapshots->reloads(), 41u);  // 40 flips + the initial reinstall
+}
+
+// ------------------------------------------------------- client backoff --
+
+TEST(ClientBackoff, DelayIsDeterministicAndCapped) {
+  util::Rng a(42);
+  util::Rng b(42);
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    const int x = backoff_delay_ms(attempt, 50, 2000, a);
+    EXPECT_EQ(x, backoff_delay_ms(attempt, 50, 2000, b)) << attempt;
+    const auto d = static_cast<int>(
+        std::min<std::int64_t>(2000, std::int64_t{50} << std::min(attempt, 20)));
+    EXPECT_GE(x, d / 2) << attempt;
+    EXPECT_LE(x, d) << attempt;
+  }
+  // Absurd attempt counts saturate at the cap instead of overflowing.
+  util::Rng c(1);
+  for (int i = 0; i < 8; ++i) {
+    const int x = backoff_delay_ms(1 << 30, 1, 30, c);
+    EXPECT_GE(x, 15);
+    EXPECT_LE(x, 30);
+  }
+}
+
+namespace {
+
+/// Bind a loopback listener on an ephemeral port.
+int make_listener(std::uint16_t* port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  EXPECT_EQ(::listen(fd, 8), 0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len), 0);
+  *port = ntohs(bound.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+TEST(Client, DialRefusedYieldsTypedError) {
+  // Reserve an ephemeral port, then close the listener so nothing accepts.
+  std::uint16_t port = 0;
+  const int fd = make_listener(&port);
+  ::close(fd);
+
+  auto dialed = Client::dial("127.0.0.1", port);
+  ASSERT_FALSE(dialed.ok());
+  EXPECT_EQ(dialed.error().code, ErrorCode::kRefused);
+  EXPECT_NE(dialed.error().context.find("connect 127.0.0.1:"),
+            std::string::npos);
+}
+
+TEST(Client, RetriesThroughRefuseAndShedWithDeterministicBackoff) {
+  std::uint16_t port = 0;
+  const int listen_fd = make_listener(&port);
+
+  // A scripted server: first exchange is cut off (client sees "refused"),
+  // the second is shed, the third is answered.
+  std::thread fake([listen_fd] {
+    // Connection 1: read the request, then slam the connection shut.
+    int c = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(c, 0);
+    std::uint8_t marker = 0;
+    ASSERT_TRUE(read_exact(c, &marker, 1));
+    (void)read_frame_body(c);
+    ::close(c);
+    // Connection 2: admission-control shed notice.
+    c = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(c, 0);
+    ASSERT_TRUE(read_exact(c, &marker, 1));
+    (void)read_frame_body(c);
+    const std::string shed = "ERR shedding: connection limit reached, retry later\n";
+    write_all(c, shed.data(), shed.size());
+    ::close(c);
+    // Connection 3: a real OK response to the ping.
+    c = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(c, 0);
+    ASSERT_TRUE(read_exact(c, &marker, 1));
+    (void)read_frame_body(c);
+    const std::vector<std::uint8_t> ok{static_cast<std::uint8_t>(Status::kOk)};
+    write_frame(c, ok);
+    ::close(c);
+  });
+
+  ClientConfig config;
+  config.max_retries = 3;
+  config.backoff_base_ms = 10;
+  config.backoff_cap_ms = 40;
+  config.backoff_seed = 7;
+  std::vector<int> sleeps;
+  config.sleep_ms = [&sleeps](int ms) { sleeps.push_back(ms); };  // no real wait
+
+  auto dialed = Client::dial("127.0.0.1", port, config);
+  ASSERT_TRUE(dialed.ok()) << dialed.error().context;
+  Client client = std::move(dialed).value();
+  EXPECT_TRUE(client.try_ping().ok());
+
+  fake.join();
+  ::close(listen_fd);
+
+  // Two failures -> two backoff sleeps, reproducible from the seed.
+  ASSERT_EQ(sleeps.size(), 2u);
+  util::Rng expected_rng(config.backoff_seed);
+  EXPECT_EQ(sleeps[0], backoff_delay_ms(0, 10, 40, expected_rng));
+  EXPECT_EQ(sleeps[1], backoff_delay_ms(1, 10, 40, expected_rng));
+}
+
+TEST(Client, ReadDeadlineSurfacesTimeout) {
+  std::uint16_t port = 0;
+  const int listen_fd = make_listener(&port);
+
+  std::atomic<bool> stop{false};
+  std::thread fake([listen_fd, &stop] {
+    const int c = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(c, 0);
+    // Read the request, then stall until the client gives up.
+    std::uint8_t marker = 0;
+    ASSERT_TRUE(read_exact(c, &marker, 1));
+    (void)read_frame_body(c);
+    while (!stop.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ::close(c);
+  });
+
+  ClientConfig config;
+  config.io_timeout_ms = 50;
+  auto dialed = Client::dial("127.0.0.1", port, config);
+  ASSERT_TRUE(dialed.ok());
+  Client client = std::move(dialed).value();
+  auto response = client.try_ping();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error().code, ErrorCode::kTimeout);
+
+  stop.store(true);
+  fake.join();
+  ::close(listen_fd);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -269,6 +270,29 @@ TEST(Snapshot, RejectsGarbageStream) {
   EXPECT_THROW((void)read_snapshot(text), SnapshotError);
   std::istringstream empty("");
   EXPECT_THROW((void)read_snapshot(empty), SnapshotError);
+}
+
+TEST(Snapshot, TryReadSnapshotFileReturnsTypedErrors) {
+  auto missing =
+      try_read_snapshot_file(testing::TempDir() + "/definitely-missing.asrk");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kNotFound);
+  EXPECT_NE(missing.error().context.find("cannot open"), std::string::npos);
+
+  const std::string path = testing::TempDir() + "/result-roundtrip.asrk";
+  write_snapshot_file(make_index(), path);
+  auto loaded = try_read_snapshot_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().context;
+  EXPECT_EQ(serialized_bytes(loaded.value()), serialized_bytes(make_index()));
+
+  // Corrupt bytes travel the Result rail as kCorrupt, not an exception.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a snapshot";
+  }
+  auto corrupt = try_read_snapshot_file(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.error().code, ErrorCode::kNotFound);
 }
 
 }  // namespace

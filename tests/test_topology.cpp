@@ -267,5 +267,41 @@ TEST(Serialization, PpdcRejectsStructuralErrorsWithLineNumbers) {
   EXPECT_NE(thrown_message("AS1 AS1\n", true), "");
 }
 
+TEST(Serialization, TryReadAsRelReturnsTypedLineErrors) {
+  const std::string text = "1|2|-1\nbogus|4|0\n";
+  std::stringstream bad(text);
+  auto parsed = try_read_as_rel(bad);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, ErrorCode::kCorrupt);
+  EXPECT_NE(parsed.error().context.find("line 2"), std::string::npos);
+  EXPECT_NE(parsed.error().context.find("malformed ASN"), std::string::npos);
+  // The throwing wrapper reports the identical message.
+  EXPECT_EQ(parsed.error().context, thrown_message(text));
+
+  std::stringstream good("# comment\n1|2|-1\n1|3|0\n");
+  auto graph = try_read_as_rel(good);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().view(Asn(1), Asn(2)), RelView::kCustomer);
+  EXPECT_EQ(graph.value().view(Asn(1), Asn(3)), RelView::kPeer);
+}
+
+TEST(Serialization, TryReadPpdcReturnsTypedLineErrors) {
+  const std::string text = "1 1\n2 3\n";  // cone missing its own AS
+  std::stringstream bad(text);
+  auto parsed = try_read_ppdc(bad);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, ErrorCode::kCorrupt);
+  EXPECT_NE(parsed.error().context.find("line 2"), std::string::npos);
+  EXPECT_NE(parsed.error().context.find("does not contain its own AS"),
+            std::string::npos);
+  EXPECT_EQ(parsed.error().context, thrown_message(text, /*ppdc=*/true));
+
+  std::stringstream good("1 1 2\n2 2\n");
+  auto cones = try_read_ppdc(good);
+  ASSERT_TRUE(cones.ok());
+  EXPECT_EQ(cones.value().at(Asn(1)).size(), 2u);
+  EXPECT_EQ(cones.value().at(Asn(2)).size(), 1u);
+}
+
 }  // namespace
 }  // namespace asrank
