@@ -3,21 +3,28 @@
 // to collector-sized corpora (RouteViews rv2 held ~466k prefixes in 2013).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "baselines/tor_local_search.h"
 #include "bgpsim/observation.h"
 #include "core/asrank.h"
+#include "core/cone_bitset.h"
 #include "core/cones.h"
 #include "core/degrees.h"
 #include "mrt/table_dump_v2.h"
 #include "paths/sanitizer.h"
+#include "snapshot/snapshot.h"
 #include "topogen/topogen.h"
 #include "topology/interner.h"
 #include "topology/topology_view.h"
@@ -386,6 +393,113 @@ void write_topology_view_json(const std::string& path) {
   std::cout << "wrote " << path << "\n";
 }
 
+// ----------------------------------------------- BENCH_snapshot_mmap.json --
+// Zero-copy load path and blocked-bitset cone kernels, measured against the
+// representations they replace: heap parse vs mmap open on a large synthetic
+// snapshot, and sorted-merge vs word-AND cone intersection on its biggest
+// cones.  Written as a side artifact so the speedups are tracked across PRs.
+
+/// A complete binary p2c tree: provider of AS i is AS i/2.  Acyclic by
+/// construction, with provider cones spanning whole subtrees — so the top
+/// of the hierarchy has the collector-scale cones (cone(1) = everything,
+/// cone(2) and cone(3) ≈ n/2) that make both load validation and cone
+/// intersection expensive, without paying a topogen+inference run at this
+/// size.
+AsGraph make_provider_tree(std::uint32_t ases) {
+  AsGraph graph;
+  for (std::uint32_t i = 2; i <= ases; ++i) graph.add_p2c(Asn(i / 2), Asn(i));
+  return graph;
+}
+
+void write_snapshot_mmap_json(const std::string& path) {
+  constexpr int kReps = 5;
+  constexpr std::uint32_t kAses = 120000;
+
+  const auto graph = make_provider_tree(kAses);
+  const auto cones = core::recursive_cone(graph);
+  std::size_t cone_members = 0;
+  for (const auto& [as, members] : cones) cone_members += members.size();
+  const std::unordered_map<Asn, std::size_t> no_tdeg;
+  const auto index =
+      snapshot::build_snapshot(graph, no_tdeg, cones, {Asn(1)});
+
+  const std::string file = "bench_snapshot_mmap.tmp.asrk";
+  snapshot::write_snapshot_file(index, file);
+  std::size_t file_bytes = 0;
+  {
+    std::ifstream in(file, std::ios::binary | std::ios::ate);
+    file_bytes = static_cast<std::size_t>(in.tellg());
+  }
+
+  // Open latency: fully re-validating heap parse vs zero-copy mmap.  Both
+  // loaders end in a ready-to-query index; min over reps discards cold
+  // page-cache effects for the comparison both paths share.
+  const double heap_open_ms = min_time_ms(kReps, [&file] {
+    auto loaded = snapshot::try_read_snapshot_file(file);
+    benchmark::DoNotOptimize(loaded.value().as_count());
+  });
+  const double mmap_open_ms = min_time_ms(kReps, [&file] {
+    auto mapped = snapshot::try_map_snapshot_file(file);
+    benchmark::DoNotOptimize(mapped.value().as_count());
+  });
+
+  // Cone intersection: sorted-merge kernel vs bitset AND+popcount, over all
+  // pairs of the largest cones (the subtree roots near the top of the
+  // hierarchy — exactly the pairs a serving workload hits hardest).
+  auto mapped = snapshot::try_map_snapshot_file(file).value();
+  const core::ConeBitset bits(mapped.ases(), mapped.cone_offsets(),
+                              mapped.cone_members(), {1024});
+  std::vector<std::uint32_t> top_ids;
+  for (std::uint32_t asn = 1; asn <= 9 && asn <= kAses; ++asn) {
+    top_ids.push_back(*mapped.node_id(Asn(asn)));
+  }
+  const double sorted_intersect_ms = min_time_ms(kReps, [&] {
+    std::size_t total = 0;
+    std::vector<Asn> out;
+    for (const auto a : top_ids) {
+      const auto cone_a = mapped.cone(mapped.asn_at(a));
+      for (const auto b : top_ids) {
+        const auto cone_b = mapped.cone(mapped.asn_at(b));
+        out.clear();
+        std::set_intersection(cone_a.begin(), cone_a.end(), cone_b.begin(),
+                              cone_b.end(), std::back_inserter(out));
+        total += out.size();
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  });
+  const double bitset_intersect_ms = min_time_ms(kReps, [&] {
+    std::size_t total = 0;
+    for (const auto a : top_ids) {
+      for (const auto b : top_ids) {
+        total += bits.intersect_ids(a, b).size();
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  });
+  std::remove(file.c_str());
+
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"snapshot_mmap\",\n";
+  os << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ",\n";
+  os << "  \"ases\": " << mapped.as_count() << ",\n";
+  os << "  \"links\": " << mapped.link_count() << ",\n";
+  os << "  \"cone_members\": " << cone_members << ",\n";
+  os << "  \"file_bytes\": " << file_bytes << ",\n";
+  os << "  \"open\": {\"heap_ms\": " << heap_open_ms
+     << ", \"mmap_ms\": " << mmap_open_ms << ", \"speedup\": "
+     << (mmap_open_ms > 0.0 ? heap_open_ms / mmap_open_ms : 0.0) << "},\n";
+  os << "  \"cone_intersect\": {\"sorted_ms\": " << sorted_intersect_ms
+     << ", \"bitset_ms\": " << bitset_intersect_ms << ", \"bitset_rows\": "
+     << bits.row_count() << ", \"bitset_bytes\": " << bits.memory_bytes()
+     << ", \"speedup\": "
+     << (bitset_intersect_ms > 0.0 ? sorted_intersect_ms / bitset_intersect_ms
+                                   : 0.0)
+     << "}\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -394,5 +508,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_topology_view_json("BENCH_topology_view.json");
+  write_snapshot_mmap_json("BENCH_snapshot_mmap.json");
   return 0;
 }

@@ -412,12 +412,16 @@ int cmd_serve(const Args& args) {
   serve::SnapshotRegistryConfig registry_config;
   registry_config.retention = args.get_u64("retention", 4);
   registry_config.cache_capacity = args.get_u64("cache", 4096);
+  // --mmap=0 falls back to the fully re-validating heap parse.
+  registry_config.mmap_load = args.get_u64("mmap", 1) != 0;
+  registry_config.cone_bitset.min_cone_size = args.get_u64("cone-bitset-min", 256);
   serve::SnapshotRegistry registry(registry_config);
 
   auto loaded = registry.load_file(snapshot_path, args.get_or("epoch", ""));
   if (!loaded.ok()) throw std::runtime_error(loaded.error().message());
   const auto& index = loaded.value()->index();
-  std::cerr << "loaded snapshot epoch '" << registry.current_label() << "': "
+  std::cerr << "loaded snapshot epoch '" << registry.current_label() << "' ("
+            << (index.mmap_backed() ? "mmap" : "heap") << "): "
             << index.as_count() << " ASes, " << index.link_count()
             << " links, clique " << index.clique().size() << "\n";
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/timer.h"
+#include "topology/bitset.h"
 #include "util/thread_pool.h"
 
 namespace asrank::core {
@@ -19,35 +20,17 @@ using topology::kNoNode;
 using topology::NodeId;
 using topology::TopologyView;
 
-/// Fixed-width bitset over node ids for fast cone unions.
-class Bits {
- public:
-  explicit Bits(std::size_t n) : blocks_((n + 63) / 64, 0) {}
-  void set(std::size_t i) noexcept { blocks_[i >> 6] |= (1ULL << (i & 63)); }
-  [[nodiscard]] bool test(std::size_t i) const noexcept {
-    return (blocks_[i >> 6] >> (i & 63)) & 1ULL;
-  }
-  void merge(const Bits& other) noexcept {
-    for (std::size_t b = 0; b < blocks_.size(); ++b) blocks_[b] |= other.blocks_[b];
-  }
-  [[nodiscard]] const std::vector<std::uint64_t>& blocks() const noexcept { return blocks_; }
-
- private:
-  std::vector<std::uint64_t> blocks_;
-};
+/// Fixed-width bitset over node ids for fast cone unions (the shared
+/// blocked-bitset utility also backing core::ConeBitset in the serving
+/// layer).
+using Bits = topology::DenseBitset;
 
 /// Set-bit extraction in id order (== ascending ASN), skipping zero words.
 std::vector<Asn> members_of(const Bits& bits, const AsnInterner& interner) {
   std::vector<Asn> members;
-  const auto& blocks = bits.blocks();
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
-    std::uint64_t word = blocks[b];
-    while (word != 0) {
-      members.push_back(interner.asn_of(
-          static_cast<NodeId>((b << 6) + static_cast<std::size_t>(std::countr_zero(word)))));
-      word &= word - 1;
-    }
-  }
+  topology::for_each_bit(bits.words(), [&](std::size_t id) {
+    members.push_back(interner.asn_of(static_cast<NodeId>(id)));
+  });
   return members;
 }
 

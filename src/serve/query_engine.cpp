@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <sstream>
 #include <vector>
+
+#include "obs/timer.h"
 
 namespace asrank::serve {
 
@@ -109,12 +112,14 @@ void QueryEngine::record(QueryType type, std::uint64_t micros, bool cache_hit) {
 // --------------------------------------------------------------- engine --
 
 QueryEngine::QueryEngine(std::shared_ptr<const snapshot::SnapshotIndex> index,
-                         std::size_t cache_capacity, obs::Registry* registry)
+                         std::size_t cache_capacity, obs::Registry* registry,
+                         core::ConeBitsetConfig cone_config)
     : index_(std::move(index)),
       registry_(registry),
       cache_capacity_(cache_capacity),
       intersect_cache_(cache_capacity),
-      path_cache_(cache_capacity) {
+      path_cache_(cache_capacity),
+      cone_config_(cone_config) {
   for (std::size_t i = 0; i < kQueryTypeCount; ++i) {
     const obs::Labels labels = {
         {"type", std::string(to_string(static_cast<QueryType>(i)))}};
@@ -127,12 +132,39 @@ QueryEngine::QueryEngine(std::shared_ptr<const snapshot::SnapshotIndex> index,
   }
   queries_total_ = &registry_->counter("asrankd_queries_total",
                                        "Queries served across all types");
+  const char* kernel_help =
+      "Cone intersection/diff/membership queries by answering kernel";
+  kernel_bitset_ = &registry_->counter("asrankd_cone_kernel_total", kernel_help,
+                                       {{"kernel", "bitset"}});
+  kernel_hybrid_ = &registry_->counter("asrankd_cone_kernel_total", kernel_help,
+                                       {{"kernel", "hybrid"}});
+  kernel_sorted_ = &registry_->counter("asrankd_cone_kernel_total", kernel_help,
+                                       {{"kernel", "sorted"}});
 }
 
 QueryEngine::QueryEngine(snapshot::SnapshotIndex index, std::size_t cache_capacity,
-                         obs::Registry* registry)
+                         obs::Registry* registry, core::ConeBitsetConfig cone_config)
     : QueryEngine(std::make_shared<const snapshot::SnapshotIndex>(std::move(index)),
-                  cache_capacity, registry) {}
+                  cache_capacity, registry, cone_config) {}
+
+const core::ConeBitset& QueryEngine::cone_bits() {
+  std::call_once(cone_bits_once_, [this] {
+    obs::ScopedTimer timer(&registry_->histogram(
+        "asrankd_cone_bitset_build_micros",
+        "Wall time of one lazy per-epoch ConeBitset build"));
+    auto bits = std::make_unique<const core::ConeBitset>(
+        index_->ases(), index_->cone_offsets(), index_->cone_members(),
+        cone_config_);
+    registry_->gauge("asrankd_cone_bitset_rows",
+                     "Materialized cone bit rows in the newest built epoch")
+        .set(static_cast<std::int64_t>(bits->row_count()));
+    registry_->gauge("asrankd_cone_bitset_bytes",
+                     "Bytes held by the newest built epoch's cone bitset")
+        .set(static_cast<std::int64_t>(bits->memory_bytes()));
+    cone_bits_store_ = std::move(bits);
+  });
+  return *cone_bits_store_;
+}
 
 std::optional<RelView> QueryEngine::relationship(Asn a, Asn b) {
   Timer timer(*this, QueryType::kRelationship);
@@ -156,6 +188,15 @@ std::span<const Asn> QueryEngine::cone(Asn as) {
 
 bool QueryEngine::in_cone(Asn as, Asn member) {
   Timer timer(*this, QueryType::kInCone);
+  if (const auto id = index_->node_id(as)) {
+    const auto& bits = cone_bits();
+    if (bits.has_row(*id)) {
+      kernel_bitset_->inc();
+      const auto member_id = index_->node_id(member);
+      return member_id.has_value() && bits.contains(*id, *member_id);
+    }
+  }
+  kernel_sorted_->inc();
   return index_->in_cone(as, member);
 }
 
@@ -195,14 +236,69 @@ AsnList QueryEngine::cone_intersection(Asn a, Asn b) {
     timer.mark_cache_hit();
     return *cached;
   }
-  const auto cone_a = index_->cone(a);
-  const auto cone_b = index_->cone(b);
   auto result = std::make_shared<std::vector<Asn>>();
-  std::set_intersection(cone_a.begin(), cone_a.end(), cone_b.begin(), cone_b.end(),
-                        std::back_inserter(*result));
+  const auto id_a = index_->node_id(a);
+  const auto id_b = index_->node_id(b);
+  const auto& bits = cone_bits();
+  const bool row_a = id_a && bits.has_row(*id_a);
+  const bool row_b = id_b && bits.has_row(*id_b);
+  if (row_a && row_b) {
+    // Word-wise AND + ascending-id extraction; ascending id ≡ ascending
+    // ASN, so this matches the sorted merge bit for bit.
+    const auto ids = bits.intersect_ids(*id_a, *id_b);
+    result->reserve(ids.size());
+    for (const std::uint32_t id : ids) result->push_back(index_->asn_at(id));
+    kernel_bitset_->inc();
+  } else if (row_a || row_b) {
+    // One row only: probe the other (small, sorted) cone against it.
+    const std::uint32_t row_id = row_a ? *id_a : *id_b;
+    for (const Asn member : index_->cone(row_a ? b : a)) {
+      const auto member_id = index_->node_id(member);
+      if (member_id && bits.contains(row_id, *member_id)) {
+        result->push_back(member);
+      }
+    }
+    kernel_hybrid_->inc();
+  } else {
+    const auto cone_a = index_->cone(a);
+    const auto cone_b = index_->cone(b);
+    std::set_intersection(cone_a.begin(), cone_a.end(), cone_b.begin(),
+                          cone_b.end(), std::back_inserter(*result));
+    kernel_sorted_->inc();
+  }
   AsnList shared = std::move(result);
   intersect_cache_.put(key, shared);
   return shared;
+}
+
+std::vector<Asn> QueryEngine::cone_minus(Asn as, std::span<const Asn> other) {
+  std::vector<Asn> out;
+  const auto id = index_->node_id(as);
+  const auto& bits = cone_bits();
+  if (id && bits.has_row(*id)) {
+    // Translate `other` into this epoch's id space (ASNs unknown here can't
+    // be members of this cone, so dropping them from the mask is exact) and
+    // subtract with one ANDNOT pass.
+    std::vector<std::uint32_t> other_ids;
+    other_ids.reserve(other.size());
+    for (const Asn member : other) {
+      if (const auto member_id = index_->node_id(member)) {
+        other_ids.push_back(*member_id);
+      }
+    }
+    const auto ids = bits.andnot_ids(*id, bits.make_mask(other_ids));
+    out.reserve(ids.size());
+    for (const std::uint32_t member_id : ids) {
+      out.push_back(index_->asn_at(member_id));
+    }
+    kernel_bitset_->inc();
+  } else {
+    const auto mine = index_->cone(as);
+    std::set_difference(mine.begin(), mine.end(), other.begin(), other.end(),
+                        std::back_inserter(out));
+    kernel_sorted_->inc();
+  }
+  return out;
 }
 
 AsnList QueryEngine::path_to_clique(Asn as) {
@@ -246,6 +342,9 @@ AsnList QueryEngine::path_to_clique(Asn as) {
       for (std::size_t i = 0; i < neighbors.size(); ++i) {
         if (static_cast<RelView>(rels[i]) != RelView::kProvider) continue;
         const std::uint32_t provider = neighbors[i];
+        // snapshot::kNoNeighborId guard: only reachable through a crafted
+        // CRC-valid mmap'd file; never index scratch out of bounds.
+        if (provider >= n) continue;
         if (scratch.stamp[provider] == epoch) continue;
         scratch.stamp[provider] = epoch;
         scratch.parent[provider] = current;

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/cone_bitset.h"
 #include "obs/metrics.h"
 #include "snapshot/snapshot.h"
 
@@ -66,15 +67,21 @@ class QueryEngine {
  public:
   /// The snapshot is shared, not copied, so several engines (or an engine
   /// plus background analysis) can serve one loaded index.  `registry`
-  /// receives the engine's query metrics and must outlive it.
+  /// receives the engine's query metrics and must outlive it.  `cone_config`
+  /// tunes the blocked-bitset cone kernels (core::ConeBitset, built lazily
+  /// on the first cone intersection/diff/membership query); pass
+  /// ConeBitsetConfig::disabled() to force the sorted-array kernels — the
+  /// answers are identical either way (tests/test_differential.cpp).
   explicit QueryEngine(std::shared_ptr<const snapshot::SnapshotIndex> index,
                        std::size_t cache_capacity = 4096,
-                       obs::Registry* registry = &obs::Registry::global());
+                       obs::Registry* registry = &obs::Registry::global(),
+                       core::ConeBitsetConfig cone_config = {});
 
   /// Convenience for callers holding the index by value (wraps it in a
   /// shared_ptr).
   explicit QueryEngine(snapshot::SnapshotIndex index, std::size_t cache_capacity = 4096,
-                       obs::Registry* registry = &obs::Registry::global());
+                       obs::Registry* registry = &obs::Registry::global(),
+                       core::ConeBitsetConfig cone_config = {});
 
   [[nodiscard]] const snapshot::SnapshotIndex& index() const noexcept { return *index_; }
   [[nodiscard]] const std::shared_ptr<const snapshot::SnapshotIndex>& index_ptr()
@@ -99,6 +106,11 @@ class QueryEngine {
   // Derived queries, LRU-cached.
   /// Sorted intersection of two customer cones.
   [[nodiscard]] AsnList cone_intersection(Asn a, Asn b);
+  /// Members of `as`'s cone absent from `other` (a sorted ASN list, e.g.
+  /// the same AS's cone in another epoch) — one direction of a CONE_DIFF.
+  /// Runs as an ANDNOT loop when `as` has a bitset row, else as a sorted
+  /// set difference; the result is ascending either way.
+  [[nodiscard]] std::vector<Asn> cone_minus(Asn as, std::span<const Asn> other);
   /// Shortest provider-chain from `as` to any clique member (BFS over
   /// provider links; ties broken toward lower ASNs, so the result is
   /// deterministic).  First hop is `as`, last is the clique member; empty
@@ -144,14 +156,27 @@ class QueryEngine {
 
   void record(QueryType type, std::uint64_t micros, bool cache_hit);
 
+  /// The per-epoch cone bitset, built thread-safely on first use (cone
+  /// kernels only; engines that never see a cone query never pay for it).
+  [[nodiscard]] const core::ConeBitset& cone_bits();
+
   std::shared_ptr<const snapshot::SnapshotIndex> index_;
   obs::Registry* registry_;
   std::size_t cache_capacity_;
   LruCache intersect_cache_;
   LruCache path_cache_;
 
+  core::ConeBitsetConfig cone_config_;
+  std::once_flag cone_bits_once_;
+  std::unique_ptr<const core::ConeBitset> cone_bits_store_;
+
   std::array<TypeMetrics, kQueryTypeCount> metrics_;
   obs::Counter* queries_total_ = nullptr;  ///< asrankd_queries_total
+  /// asrankd_cone_kernel_total{kernel=bitset|hybrid|sorted}: which kernel
+  /// answered each cone intersection/diff/membership query.
+  obs::Counter* kernel_bitset_ = nullptr;
+  obs::Counter* kernel_hybrid_ = nullptr;
+  obs::Counter* kernel_sorted_ = nullptr;
 };
 
 }  // namespace asrank::serve

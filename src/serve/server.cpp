@@ -48,14 +48,6 @@ std::string join_asns(std::span<const Asn> list) {
   return os.str();
 }
 
-/// Set difference of two sorted cones: members of `b` missing from `a`.
-std::vector<Asn> cone_minus(std::span<const Asn> b, std::span<const Asn> a) {
-  std::vector<Asn> out;
-  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
-                      std::back_inserter(out));
-  return out;
-}
-
 /// The self-pipe write end for the signal handler (one server per process).
 std::atomic<int> g_signal_fd{-1};
 
@@ -235,8 +227,8 @@ std::vector<std::uint8_t> handle_binary_request(SnapshotRegistry& registry,
             .inc();
         const auto cone_a = engine_a->cone(Asn(asn));
         const auto cone_b = engine_b->cone(Asn(asn));
-        encode_list(writer, cone_minus(cone_b, cone_a));  // added in B
-        encode_list(writer, cone_minus(cone_a, cone_b));  // removed in B
+        encode_list(writer, engine_b->cone_minus(Asn(asn), cone_a));  // added in B
+        encode_list(writer, engine_a->cone_minus(Asn(asn), cone_b));  // removed in B
         return writer.take();
       }
       case Op::kReload: {
@@ -331,8 +323,12 @@ std::string handle_text_request(SnapshotRegistry& registry, std::string_view lin
       const auto cone_b = b.value()->cone(*as);
       std::ostringstream os;
       os << "OK";
-      for (const Asn added : cone_minus(cone_b, cone_a)) os << " +" << added.value();
-      for (const Asn removed : cone_minus(cone_a, cone_b)) os << " -" << removed.value();
+      for (const Asn added : b.value()->cone_minus(*as, cone_a)) {
+        os << " +" << added.value();
+      }
+      for (const Asn removed : a.value()->cone_minus(*as, cone_b)) {
+        os << " -" << removed.value();
+      }
       return os.str();
     }
     if (cmd == "reload") {

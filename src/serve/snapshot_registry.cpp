@@ -99,7 +99,7 @@ Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::install(
 
   auto engine = std::make_shared<QueryEngine>(
       std::make_shared<const snapshot::SnapshotIndex>(std::move(index)),
-      config_.cache_capacity, registry_);
+      config_.cache_capacity, registry_, config_.cone_bitset);
   const std::size_t as_count = engine->index().as_count();
 
   auto entry = std::make_shared<Entry>(label, engine);
@@ -168,7 +168,8 @@ Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::load_file(
     effective = std::move(derived).value();
   }
 
-  auto index = snapshot::try_read_snapshot_file(path);
+  auto index = config_.mmap_load ? snapshot::try_map_snapshot_file(path)
+                                 : snapshot::try_read_snapshot_file(path);
   if (!index.ok()) {
     reload_failures_total_->inc();
     obs::log_warn("snapshot reload rejected",

@@ -42,6 +42,13 @@ struct SnapshotRegistryConfig {
   std::size_t retention = 4;
   /// Per-engine derived-query LRU capacity (QueryEngine cache_capacity).
   std::size_t cache_capacity = 4096;
+  /// load_file() uses the zero-copy mmap loader (SnapshotIndex::map_file):
+  /// epochs serve straight from the page cache and N replicas of one file
+  /// share a single physical copy.  false falls back to the fully
+  /// re-validating heap parse (behavior-identical answers, slower load).
+  bool mmap_load = true;
+  /// Blocked-bitset cone kernel tuning for each installed engine.
+  core::ConeBitsetConfig cone_bitset = {};
 };
 
 class SnapshotRegistry {

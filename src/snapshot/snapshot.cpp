@@ -1,10 +1,12 @@
 #include "snapshot/snapshot.h"
 
 #include <algorithm>
+#include <bit>
 #include <fstream>
 #include <istream>
 #include <iterator>
 #include <ostream>
+#include <type_traits>
 
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -26,6 +28,12 @@ obs::Counter& crc_failure_counter() {
   return obs::Registry::global().counter(
       "asrank_snapshot_crc_failures_total",
       "Snapshot loads rejected by a header or section CRC mismatch");
+}
+
+obs::Counter& mmap_loads_counter() {
+  return obs::Registry::global().counter(
+      "asrank_snapshot_mmap_loads_total",
+      "Snapshot indexes served zero-copy from an mmap'd file");
 }
 
 // ----------------------------------------------------------- LE encoding --
@@ -158,6 +166,120 @@ constexpr RelView inverse(RelView view) noexcept {
   return RelView::kPeer;
 }
 
+// ------------------------------------------------------ container parsing --
+// Shared between the heap decoder and the zero-copy mapper: check magic,
+// version, declared size, header CRC, then bounds-, CRC- and
+// duplicate-check every section-table entry.
+
+struct ParsedContainer {
+  std::unordered_map<std::uint32_t, std::span<const std::uint8_t>> sections;
+
+  [[nodiscard]] Result<std::span<const std::uint8_t>> require(SectionId id) const {
+    const auto it = sections.find(static_cast<std::uint32_t>(id));
+    if (it == sections.end()) {
+      return make_error(ErrorCode::kNotFound,
+                        "missing section " +
+                            std::to_string(static_cast<std::uint32_t>(id)));
+    }
+    return it->second;
+  }
+};
+
+Result<ParsedContainer> parse_container(std::span<const std::uint8_t> data) {
+  if (data.size() < kHeaderPrefixSize) {
+    return make_error(ErrorCode::kTruncated, "file shorter than header");
+  }
+  if (!std::equal(kMagic.begin(), kMagic.end(), data.begin())) {
+    return make_error(ErrorCode::kCorrupt,
+                      "bad magic (not an ASRK snapshot, or text-mode mangled)");
+  }
+  Cursor prefix{data.subspan(8, kHeaderPrefixSize - 8), "header"};
+  ASRANK_TRY(version, prefix.u16());
+  if (version != kFormatVersion) {
+    return make_error(ErrorCode::kUnsupported,
+                      "unsupported format version " + std::to_string(version));
+  }
+  ASRANK_TRY(section_count, prefix.u16());
+  ASRANK_TRY_VOID(prefix.u32());  // flags
+  ASRANK_TRY(file_size, prefix.u64());
+  if (file_size != data.size()) {
+    return make_error(ErrorCode::kTruncated,
+                      "file size mismatch: header says " + std::to_string(file_size) +
+                          ", have " + std::to_string(data.size()) +
+                          " bytes (truncated?)");
+  }
+  const std::size_t header_size =
+      kHeaderPrefixSize + static_cast<std::size_t>(section_count) * kSectionEntrySize + 4;
+  if (data.size() < header_size) {
+    return make_error(ErrorCode::kTruncated, "truncated section table");
+  }
+
+  const auto header_span = data.first(header_size - 4);
+  Cursor crc_cursor{data.subspan(header_size - 4, 4), "header crc"};
+  ASRANK_TRY(header_crc, crc_cursor.u32());
+  if (header_crc != util::crc32(header_span)) {
+    crc_failure_counter().inc();
+    return make_error(ErrorCode::kCorrupt, "header CRC mismatch");
+  }
+
+  ParsedContainer parsed;
+  Cursor table{data.subspan(kHeaderPrefixSize,
+                            static_cast<std::size_t>(section_count) *
+                                kSectionEntrySize),
+               "section table"};
+  for (std::uint16_t i = 0; i < section_count; ++i) {
+    ASRANK_TRY(id, table.u32());
+    ASRANK_TRY_VOID(table.u32());  // reserved
+    ASRANK_TRY(offset, table.u64());
+    ASRANK_TRY(length, table.u64());
+    ASRANK_TRY(crc, table.u32());
+    ASRANK_TRY_VOID(table.u32());  // pad
+    if (offset < header_size || offset > data.size() || length > data.size() - offset) {
+      return make_error(ErrorCode::kCorrupt,
+                        "section " + std::to_string(id) + " out of bounds");
+    }
+    const auto payload = data.subspan(offset, length);
+    if (util::crc32(payload) != crc) {
+      crc_failure_counter().inc();
+      return make_error(ErrorCode::kCorrupt,
+                        "section " + std::to_string(id) + " CRC mismatch");
+    }
+    if (!parsed.sections.emplace(id, payload).second) {
+      return make_error(ErrorCode::kCorrupt,
+                        "duplicate section " + std::to_string(id));
+    }
+  }
+  return parsed;
+}
+
+/// Reinterpret a section payload as a span of fixed-width little-endian
+/// elements, in place.  Only valid on little-endian hosts; the writer's
+/// 8-byte section alignment makes the cast well-defined for every element
+/// type used by the format, but a foreign file could carry any offset, so
+/// alignment is checked rather than assumed.
+template <typename T>
+Result<std::span<const T>> typed_view(std::span<const std::uint8_t> payload,
+                                      const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (payload.size() % sizeof(T) != 0) {
+    return make_error(ErrorCode::kCorrupt,
+                      std::string(what) + ": length not a multiple of " +
+                          std::to_string(sizeof(T)));
+  }
+  if (payload.empty()) return std::span<const T>{};
+  if (reinterpret_cast<std::uintptr_t>(payload.data()) % alignof(T) != 0) {
+    return make_error(ErrorCode::kCorrupt,
+                      std::string(what) + ": misaligned section offset");
+  }
+  return std::span<const T>(reinterpret_cast<const T*>(payload.data()),
+                            payload.size() / sizeof(T));
+}
+
+// Asn must stay layout-compatible with the serialized u32 for the in-place
+// reinterpretation above to be valid.
+static_assert(sizeof(Asn) == 4 && alignof(Asn) == 4 &&
+              std::is_trivially_copyable_v<Asn>);
+
 }  // namespace
 
 // ------------------------------------------------------------- accessors --
@@ -181,8 +303,7 @@ std::optional<RelView> SnapshotIndex::relationship(Asn as, Asn neighbor) const n
 std::span<const Asn> SnapshotIndex::neighbors(Asn as) const noexcept {
   const auto id = id_of(as);
   if (!id) return {};
-  return std::span<const Asn>(adj_nbr_).subspan(adj_off_[*id],
-                                                adj_off_[*id + 1] - adj_off_[*id]);
+  return adj_nbr_.subspan(adj_off_[*id], adj_off_[*id + 1] - adj_off_[*id]);
 }
 
 std::vector<Asn> SnapshotIndex::filter(Asn as, RelView want) const {
@@ -221,8 +342,7 @@ std::vector<TopEntry> SnapshotIndex::top(std::size_t n) const {
 std::span<const Asn> SnapshotIndex::cone(Asn as) const noexcept {
   const auto id = id_of(as);
   if (!id) return {};
-  return std::span<const Asn>(cone_mem_).subspan(cone_off_[*id],
-                                                 cone_off_[*id + 1] - cone_off_[*id]);
+  return cone_mem_.subspan(cone_off_[*id], cone_off_[*id + 1] - cone_off_[*id]);
 }
 
 bool SnapshotIndex::in_cone(Asn as, Asn member) const noexcept {
@@ -235,20 +355,45 @@ std::uint32_t SnapshotIndex::transit_degree(Asn as) const noexcept {
   return id ? tdeg_[*id] : 0;
 }
 
-std::span<const std::uint32_t> SnapshotIndex::neighbor_ids(std::uint32_t id) const noexcept {
-  return std::span<const std::uint32_t>(adj_nbr_id_)
+const std::vector<std::uint32_t>& SnapshotIndex::dense_neighbor_ids() const {
+  std::call_once(nbr_ids_->once, [this] {
+    auto& ids = nbr_ids_->ids;
+    ids.resize(adj_nbr_.size());
+    for (std::size_t i = 0; i < adj_nbr_.size(); ++i) {
+      const auto id = id_of(adj_nbr_[i]);
+      // kNoNeighborId only on crafted CRC-valid files (see snapshot.h); the
+      // full-validation path rejects such files before this runs.
+      ids[i] = id ? *id : kNoNeighborId;
+    }
+  });
+  return nbr_ids_->ids;
+}
+
+std::span<const std::uint32_t> SnapshotIndex::neighbor_ids(std::uint32_t id) const {
+  return std::span<const std::uint32_t>(dense_neighbor_ids())
       .subspan(adj_off_[id], adj_off_[id + 1] - adj_off_[id]);
 }
 
 std::span<const std::uint8_t> SnapshotIndex::relationship_codes(
     std::uint32_t id) const noexcept {
-  return std::span<const std::uint8_t>(adj_rel_)
-      .subspan(adj_off_[id], adj_off_[id + 1] - adj_off_[id]);
+  return adj_rel_.subspan(adj_off_[id], adj_off_[id + 1] - adj_off_[id]);
 }
 
 // ------------------------------------------------------------ validation --
 
-Result<void> SnapshotIndex::finalize_and_validate() {
+void SnapshotIndex::bind_heap() noexcept {
+  asns_ = heap_.asns;
+  adj_off_ = heap_.adj_off;
+  adj_nbr_ = heap_.adj_nbr;
+  adj_rel_ = heap_.adj_rel;
+  cone_off_ = heap_.cone_off;
+  cone_mem_ = heap_.cone_mem;
+  rank_ = heap_.rank;
+  tdeg_ = heap_.tdeg;
+  clique_ = heap_.clique;
+}
+
+Result<void> SnapshotIndex::finalize_and_validate(Validation depth) {
   const std::size_t n = asns_.size();
   const auto fail = [](std::string what) {
     return make_error(ErrorCode::kCorrupt, std::move(what));
@@ -299,32 +444,39 @@ Result<void> SnapshotIndex::finalize_and_validate() {
     if (cone_off_[id] > cone_off_[id + 1]) return fail("cone offsets not monotone");
   }
 
-  for (std::size_t id = 0; id < n; ++id) {
-    for (std::uint64_t i = adj_off_[id]; i < adj_off_[id + 1]; ++i) {
-      if (adj_rel_[i] > static_cast<std::uint8_t>(RelView::kSibling)) {
-        return fail("unknown relationship code in adjacency");
+  // The per-link and per-cone-member invariants are O(links · log n): the
+  // heap path re-checks them all, the mmap path trusts the section CRCs to
+  // attest the writer's output (FORMATS.md "Zero-copy mapping") — all table
+  // checks above and below still run, so accessors stay memory-safe either
+  // way.
+  if (depth == Validation::kFull) {
+    for (std::size_t id = 0; id < n; ++id) {
+      for (std::uint64_t i = adj_off_[id]; i < adj_off_[id + 1]; ++i) {
+        if (adj_rel_[i] > static_cast<std::uint8_t>(RelView::kSibling)) {
+          return fail("unknown relationship code in adjacency");
+        }
+        if (adj_nbr_[i] == asns_[id]) return fail("self-link in adjacency");
+        if (i > adj_off_[id] && !(adj_nbr_[i - 1] < adj_nbr_[i])) {
+          return fail("adjacency row not strictly ascending");
+        }
+        // Symmetry: the neighbour must list us back with the inverse view.
+        const auto back = relationship(adj_nbr_[i], asns_[id]);
+        if (!back || *back != inverse(static_cast<RelView>(adj_rel_[i]))) {
+          return fail("asymmetric adjacency entry");
+        }
       }
-      if (adj_nbr_[i] == asns_[id]) return fail("self-link in adjacency");
-      if (i > adj_off_[id] && !(adj_nbr_[i - 1] < adj_nbr_[i])) {
-        return fail("adjacency row not strictly ascending");
+      const std::uint64_t cone_begin = cone_off_[id];
+      const std::uint64_t cone_end = cone_off_[id + 1];
+      bool has_self = cone_end == cone_begin;  // empty cone = AS not covered
+      for (std::uint64_t i = cone_begin; i < cone_end; ++i) {
+        if (!id_of(cone_mem_[i])) return fail("cone member is not a known AS");
+        if (i > cone_begin && !(cone_mem_[i - 1] < cone_mem_[i])) {
+          return fail("cone row not strictly ascending");
+        }
+        has_self = has_self || cone_mem_[i] == asns_[id];
       }
-      // Symmetry: the neighbour must list us back with the inverse view.
-      const auto back = relationship(adj_nbr_[i], asns_[id]);
-      if (!back || *back != inverse(static_cast<RelView>(adj_rel_[i]))) {
-        return fail("asymmetric adjacency entry");
-      }
+      if (!has_self) return fail("cone does not contain its own AS");
     }
-    const std::uint64_t cone_begin = cone_off_[id];
-    const std::uint64_t cone_end = cone_off_[id + 1];
-    bool has_self = cone_end == cone_begin;  // empty cone = AS not covered
-    for (std::uint64_t i = cone_begin; i < cone_end; ++i) {
-      if (!id_of(cone_mem_[i])) return fail("cone member is not a known AS");
-      if (i > cone_begin && !(cone_mem_[i - 1] < cone_mem_[i])) {
-        return fail("cone row not strictly ascending");
-      }
-      has_self = has_self || cone_mem_[i] == asns_[id];
-    }
-    if (!has_self) return fail("cone does not contain its own AS");
   }
 
   // Ranks must be unique and contiguous from 1 (0 marks unranked ASes).
@@ -352,17 +504,16 @@ Result<void> SnapshotIndex::finalize_and_validate() {
     }
   }
 
-  // Derive the dense-id mirrors last: validation above guarantees every
-  // adjacency neighbour and clique member resolves to an id.
-  adj_nbr_id_.resize(adj_nbr_.size());
-  for (std::size_t i = 0; i < adj_nbr_.size(); ++i) {
-    adj_nbr_id_[i] = *id_of(adj_nbr_[i]);
-  }
+  // Derive the dense-id mirrors: validation above guarantees every clique
+  // member resolves to an id.  The neighbour-id translation is eager on the
+  // heap path (behavior-identical to the historical loader) and deferred to
+  // first use on the mmap path so mapping stays CRC-bound.
   clique_bits_.assign((n + 63) / 64, 0);
   for (const Asn member : clique_) {
     const std::uint32_t id = *id_of(member);
     clique_bits_[id >> 6] |= 1ULL << (id & 63);
   }
+  if (depth == Validation::kFull) (void)dense_neighbor_ids();
   return {};
 }
 
@@ -373,40 +524,41 @@ SnapshotIndex build_snapshot(const topology::TopologyView& view,
                              const ConeMap& cones, std::span<const Asn> clique) {
   const topology::AsnInterner& interner = view.interner();
   SnapshotIndex index;
-  index.asns_.assign(interner.asns().begin(), interner.asns().end());
-  const std::size_t n = index.asns_.size();
+  SnapshotIndex::HeapStore& store = index.heap_;
+  store.asns.assign(interner.asns().begin(), interner.asns().end());
+  const std::size_t n = store.asns.size();
 
   // The view's CSR rows are id-ascending, and the interner is
   // order-preserving, so the adjacency sections are bulk copies plus one
   // id→ASN translation of the neighbour array — no re-sorting, no hashing.
   const auto adj_off = view.adjacency_offsets();
-  index.adj_off_.assign(adj_off.begin(), adj_off.end());
+  store.adj_off.assign(adj_off.begin(), adj_off.end());
   const auto adj_nbr = view.adjacency_neighbors();
-  index.adj_nbr_.reserve(adj_nbr.size());
+  store.adj_nbr.reserve(adj_nbr.size());
   for (const topology::NodeId id : adj_nbr) {
-    index.adj_nbr_.push_back(interner.asn_of(id));
+    store.adj_nbr.push_back(interner.asn_of(id));
   }
   const auto adj_rel = view.adjacency_rels();
-  index.adj_rel_.assign(adj_rel.begin(), adj_rel.end());
+  store.adj_rel.assign(adj_rel.begin(), adj_rel.end());
 
-  index.cone_off_.assign(n + 1, 0);
-  index.rank_.assign(n, 0);
-  index.tdeg_.assign(n, 0);
+  store.cone_off.assign(n + 1, 0);
+  store.rank.assign(n, 0);
+  store.tdeg.assign(n, 0);
 
   for (std::size_t id = 0; id < n; ++id) {
-    const Asn as = index.asns_[id];
+    const Asn as = store.asns[id];
     const auto cone_it = cones.find(as);
     if (cone_it != cones.end()) {
       std::vector<Asn> members = cone_it->second;
       std::sort(members.begin(), members.end());
       members.erase(std::unique(members.begin(), members.end()), members.end());
-      index.cone_mem_.insert(index.cone_mem_.end(), members.begin(), members.end());
+      store.cone_mem.insert(store.cone_mem.end(), members.begin(), members.end());
     }
-    index.cone_off_[id + 1] = index.cone_mem_.size();
+    store.cone_off[id + 1] = store.cone_mem.size();
 
     const auto deg_it = transit_degrees.find(as);
     if (deg_it != transit_degrees.end()) {
-      index.tdeg_[id] = static_cast<std::uint32_t>(deg_it->second);
+      store.tdeg[id] = static_cast<std::uint32_t>(deg_it->second);
     }
   }
 
@@ -422,29 +574,32 @@ SnapshotIndex build_snapshot(const topology::TopologyView& view,
   // ASes are ranked; the rest keep rank 0.
   std::vector<std::uint32_t> ranked_ids;
   for (std::uint32_t id = 0; id < n; ++id) {
-    if (cones.contains(index.asns_[id])) ranked_ids.push_back(id);
+    if (cones.contains(store.asns[id])) ranked_ids.push_back(id);
   }
   std::sort(ranked_ids.begin(), ranked_ids.end(),
-            [&index](std::uint32_t a, std::uint32_t b) {
-              const auto cone_a = index.cone_off_[a + 1] - index.cone_off_[a];
-              const auto cone_b = index.cone_off_[b + 1] - index.cone_off_[b];
+            [&store](std::uint32_t a, std::uint32_t b) {
+              const auto cone_a = store.cone_off[a + 1] - store.cone_off[a];
+              const auto cone_b = store.cone_off[b + 1] - store.cone_off[b];
               if (cone_a != cone_b) return cone_a > cone_b;
-              if (index.tdeg_[a] != index.tdeg_[b]) return index.tdeg_[a] > index.tdeg_[b];
-              return index.asns_[a] < index.asns_[b];
+              if (store.tdeg[a] != store.tdeg[b]) return store.tdeg[a] > store.tdeg[b];
+              return store.asns[a] < store.asns[b];
             });
   for (std::size_t r = 0; r < ranked_ids.size(); ++r) {
-    index.rank_[ranked_ids[r]] = static_cast<std::uint32_t>(r + 1);
+    store.rank[ranked_ids[r]] = static_cast<std::uint32_t>(r + 1);
   }
 
-  index.clique_.assign(clique.begin(), clique.end());
-  std::sort(index.clique_.begin(), index.clique_.end());
-  index.clique_.erase(std::unique(index.clique_.begin(), index.clique_.end()),
-                      index.clique_.end());
+  store.clique.assign(clique.begin(), clique.end());
+  std::sort(store.clique.begin(), store.clique.end());
+  store.clique.erase(std::unique(store.clique.begin(), store.clique.end()),
+                     store.clique.end());
+
+  index.bind_heap();
 
   // The builder is a throwing boundary (callers hand it in-memory pipeline
   // output, not untrusted bytes), so a validation Error becomes the
   // subsystem's historical exception here.
-  if (auto validated = index.finalize_and_validate(); !validated.ok()) {
+  if (auto validated = index.finalize_and_validate(SnapshotIndex::Validation::kFull);
+      !validated.ok()) {
     throw SnapshotError(validated.error().context);
   }
   return index;
@@ -475,7 +630,8 @@ Result<void> try_write_snapshot(const SnapshotIndex& index, std::ostream& os) {
   sections.push_back({SectionId::kAsns, encode_asns(index.asns_)});
   sections.push_back({SectionId::kAdjOffsets, encode_u64s(index.adj_off_)});
   sections.push_back({SectionId::kAdjNeighbors, encode_asns(index.adj_nbr_)});
-  sections.push_back({SectionId::kAdjRels, index.adj_rel_});
+  sections.push_back({SectionId::kAdjRels,
+                      {index.adj_rel_.begin(), index.adj_rel_.end()}});
   sections.push_back({SectionId::kConeOffsets, encode_u64s(index.cone_off_)});
   sections.push_back({SectionId::kConeMembers, encode_asns(index.cone_mem_)});
   sections.push_back({SectionId::kRanks, encode_u32s(index.rank_)});
@@ -526,136 +682,139 @@ Result<void> try_write_snapshot(const SnapshotIndex& index, std::ostream& os) {
   return {};
 }
 
+Result<SnapshotIndex> SnapshotIndex::decode_image(std::span<const std::uint8_t> data) {
+  ASRANK_TRY(parsed, parse_container(data));
+
+  SnapshotIndex index;
+  SnapshotIndex::HeapStore& store = index.heap_;
+  {
+    ASRANK_TRY(bytes, parsed.require(SectionId::kAsns));
+    ASRANK_TRY(decoded, decode_asns(bytes, "AS table"));
+    store.asns = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(bytes, parsed.require(SectionId::kAdjOffsets));
+    ASRANK_TRY(decoded, decode_u64s(bytes, "adjacency offsets"));
+    store.adj_off = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(bytes, parsed.require(SectionId::kAdjNeighbors));
+    ASRANK_TRY(decoded, decode_asns(bytes, "adjacency neighbours"));
+    store.adj_nbr = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(rels, parsed.require(SectionId::kAdjRels));
+    store.adj_rel.assign(rels.begin(), rels.end());
+  }
+  {
+    ASRANK_TRY(bytes, parsed.require(SectionId::kConeOffsets));
+    ASRANK_TRY(decoded, decode_u64s(bytes, "cone offsets"));
+    store.cone_off = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(bytes, parsed.require(SectionId::kConeMembers));
+    ASRANK_TRY(decoded, decode_asns(bytes, "cone members"));
+    store.cone_mem = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(bytes, parsed.require(SectionId::kRanks));
+    ASRANK_TRY(decoded, decode_u32s(bytes, "ranks"));
+    store.rank = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(bytes, parsed.require(SectionId::kTransitDegrees));
+    ASRANK_TRY(decoded, decode_u32s(bytes, "transit degrees"));
+    store.tdeg = std::move(decoded);
+  }
+  {
+    ASRANK_TRY(bytes, parsed.require(SectionId::kClique));
+    ASRANK_TRY(decoded, decode_asns(bytes, "clique"));
+    store.clique = std::move(decoded);
+  }
+
+  index.bind_heap();
+  ASRANK_TRY_VOID(index.finalize_and_validate(Validation::kFull));
+  return index;
+}
+
 Result<SnapshotIndex> try_read_snapshot(std::istream& is) {
   obs::ScopedTimer timer(&io_histogram("read"));
   std::vector<std::uint8_t> data{std::istreambuf_iterator<char>(is),
                                  std::istreambuf_iterator<char>()};
-
-  if (data.size() < kHeaderPrefixSize) {
-    return make_error(ErrorCode::kTruncated, "file shorter than header");
-  }
-  if (!std::equal(kMagic.begin(), kMagic.end(), data.begin())) {
-    return make_error(ErrorCode::kCorrupt,
-                      "bad magic (not an ASRK snapshot, or text-mode mangled)");
-  }
-  Cursor prefix{std::span(data).subspan(8, kHeaderPrefixSize - 8), "header"};
-  ASRANK_TRY(version, prefix.u16());
-  if (version != kFormatVersion) {
-    return make_error(ErrorCode::kUnsupported,
-                      "unsupported format version " + std::to_string(version));
-  }
-  ASRANK_TRY(section_count, prefix.u16());
-  ASRANK_TRY_VOID(prefix.u32());  // flags
-  ASRANK_TRY(file_size, prefix.u64());
-  if (file_size != data.size()) {
-    return make_error(ErrorCode::kTruncated,
-                      "file size mismatch: header says " + std::to_string(file_size) +
-                          ", have " + std::to_string(data.size()) +
-                          " bytes (truncated?)");
-  }
-  const std::size_t header_size =
-      kHeaderPrefixSize + static_cast<std::size_t>(section_count) * kSectionEntrySize + 4;
-  if (data.size() < header_size) {
-    return make_error(ErrorCode::kTruncated, "truncated section table");
-  }
-
-  const auto header_span = std::span(data).first(header_size - 4);
-  Cursor crc_cursor{std::span(data).subspan(header_size - 4, 4), "header crc"};
-  ASRANK_TRY(header_crc, crc_cursor.u32());
-  if (header_crc != util::crc32(header_span)) {
-    crc_failure_counter().inc();
-    return make_error(ErrorCode::kCorrupt, "header CRC mismatch");
-  }
-
-  std::unordered_map<std::uint32_t, std::span<const std::uint8_t>> section_bytes;
-  Cursor table{std::span(data).subspan(kHeaderPrefixSize,
-                                      static_cast<std::size_t>(section_count) *
-                                          kSectionEntrySize),
-               "section table"};
-  for (std::uint16_t i = 0; i < section_count; ++i) {
-    ASRANK_TRY(id, table.u32());
-    ASRANK_TRY_VOID(table.u32());  // reserved
-    ASRANK_TRY(offset, table.u64());
-    ASRANK_TRY(length, table.u64());
-    ASRANK_TRY(crc, table.u32());
-    ASRANK_TRY_VOID(table.u32());  // pad
-    if (offset < header_size || offset > data.size() || length > data.size() - offset) {
-      return make_error(ErrorCode::kCorrupt,
-                        "section " + std::to_string(id) + " out of bounds");
-    }
-    const auto payload = std::span(data).subspan(offset, length);
-    if (util::crc32(payload) != crc) {
-      crc_failure_counter().inc();
-      return make_error(ErrorCode::kCorrupt,
-                        "section " + std::to_string(id) + " CRC mismatch");
-    }
-    if (!section_bytes.emplace(id, payload).second) {
-      return make_error(ErrorCode::kCorrupt,
-                        "duplicate section " + std::to_string(id));
-    }
-  }
-
-  const auto require =
-      [&](SectionId id) -> Result<std::span<const std::uint8_t>> {
-    const auto it = section_bytes.find(static_cast<std::uint32_t>(id));
-    if (it == section_bytes.end()) {
-      return make_error(ErrorCode::kNotFound,
-                        "missing section " +
-                            std::to_string(static_cast<std::uint32_t>(id)));
-    }
-    return it->second;
-  };
-
-  SnapshotIndex index;
-  {
-    ASRANK_TRY(bytes, require(SectionId::kAsns));
-    ASRANK_TRY(decoded, decode_asns(bytes, "AS table"));
-    index.asns_ = std::move(decoded);
-  }
-  {
-    ASRANK_TRY(bytes, require(SectionId::kAdjOffsets));
-    ASRANK_TRY(decoded, decode_u64s(bytes, "adjacency offsets"));
-    index.adj_off_ = std::move(decoded);
-  }
-  {
-    ASRANK_TRY(bytes, require(SectionId::kAdjNeighbors));
-    ASRANK_TRY(decoded, decode_asns(bytes, "adjacency neighbours"));
-    index.adj_nbr_ = std::move(decoded);
-  }
-  {
-    ASRANK_TRY(rels, require(SectionId::kAdjRels));
-    index.adj_rel_.assign(rels.begin(), rels.end());
-  }
-  {
-    ASRANK_TRY(bytes, require(SectionId::kConeOffsets));
-    ASRANK_TRY(decoded, decode_u64s(bytes, "cone offsets"));
-    index.cone_off_ = std::move(decoded);
-  }
-  {
-    ASRANK_TRY(bytes, require(SectionId::kConeMembers));
-    ASRANK_TRY(decoded, decode_asns(bytes, "cone members"));
-    index.cone_mem_ = std::move(decoded);
-  }
-  {
-    ASRANK_TRY(bytes, require(SectionId::kRanks));
-    ASRANK_TRY(decoded, decode_u32s(bytes, "ranks"));
-    index.rank_ = std::move(decoded);
-  }
-  {
-    ASRANK_TRY(bytes, require(SectionId::kTransitDegrees));
-    ASRANK_TRY(decoded, decode_u32s(bytes, "transit degrees"));
-    index.tdeg_ = std::move(decoded);
-  }
-  {
-    ASRANK_TRY(bytes, require(SectionId::kClique));
-    ASRANK_TRY(decoded, decode_asns(bytes, "clique"));
-    index.clique_ = std::move(decoded);
-  }
-
-  ASRANK_TRY_VOID(index.finalize_and_validate());
+  ASRANK_TRY(index, SnapshotIndex::decode_image(data));
   obs::log_debug("snapshot read", {{"ases", index.as_count()},
                                    {"links", index.link_count()}});
   return index;
+}
+
+Result<SnapshotIndex> SnapshotIndex::map_file(const std::string& path) {
+  obs::ScopedTimer timer(&io_histogram("map"));
+  ASRANK_TRY(file, util::MappedFile::open(path));
+
+  if constexpr (std::endian::native != std::endian::little) {
+    // The sections can't be reinterpreted in place on this host; decode the
+    // mapped bytes into heap mirrors instead (one read of the mapping,
+    // behavior-identical to the stream loader).
+    return decode_image(file.bytes());
+  } else {
+    auto mapping = std::make_shared<const util::MappedFile>(std::move(file));
+    const auto data = mapping->bytes();
+    ASRANK_TRY(parsed, parse_container(data));
+
+    SnapshotIndex index;
+    {
+      ASRANK_TRY(bytes, parsed.require(SectionId::kAsns));
+      ASRANK_TRY(view, typed_view<Asn>(bytes, "AS table"));
+      index.asns_ = view;
+    }
+    {
+      ASRANK_TRY(bytes, parsed.require(SectionId::kAdjOffsets));
+      ASRANK_TRY(view, typed_view<std::uint64_t>(bytes, "adjacency offsets"));
+      index.adj_off_ = view;
+    }
+    {
+      ASRANK_TRY(bytes, parsed.require(SectionId::kAdjNeighbors));
+      ASRANK_TRY(view, typed_view<Asn>(bytes, "adjacency neighbours"));
+      index.adj_nbr_ = view;
+    }
+    {
+      ASRANK_TRY(bytes, parsed.require(SectionId::kAdjRels));
+      index.adj_rel_ = bytes;
+    }
+    {
+      ASRANK_TRY(bytes, parsed.require(SectionId::kConeOffsets));
+      ASRANK_TRY(view, typed_view<std::uint64_t>(bytes, "cone offsets"));
+      index.cone_off_ = view;
+    }
+    {
+      ASRANK_TRY(bytes, parsed.require(SectionId::kConeMembers));
+      ASRANK_TRY(view, typed_view<Asn>(bytes, "cone members"));
+      index.cone_mem_ = view;
+    }
+    {
+      ASRANK_TRY(bytes, parsed.require(SectionId::kRanks));
+      ASRANK_TRY(view, typed_view<std::uint32_t>(bytes, "ranks"));
+      index.rank_ = view;
+    }
+    {
+      ASRANK_TRY(bytes, parsed.require(SectionId::kTransitDegrees));
+      ASRANK_TRY(view, typed_view<std::uint32_t>(bytes, "transit degrees"));
+      index.tdeg_ = view;
+    }
+    {
+      ASRANK_TRY(bytes, parsed.require(SectionId::kClique));
+      ASRANK_TRY(view, typed_view<Asn>(bytes, "clique"));
+      index.clique_ = view;
+    }
+    index.mapping_ = std::move(mapping);
+    ASRANK_TRY_VOID(index.finalize_and_validate(Validation::kMapped));
+    mmap_loads_counter().inc();
+    obs::log_debug("snapshot mapped", {{"path", path},
+                                       {"bytes", data.size()},
+                                       {"ases", index.as_count()},
+                                       {"links", index.link_count()}});
+    return index;
+  }
 }
 
 void write_snapshot(const SnapshotIndex& index, std::ostream& os) {
@@ -682,6 +841,10 @@ Result<SnapshotIndex> try_read_snapshot_file(const std::string& path) {
     return make_error(ErrorCode::kNotFound, "cannot open for reading: " + path);
   }
   return try_read_snapshot(in);
+}
+
+Result<SnapshotIndex> try_map_snapshot_file(const std::string& path) {
+  return SnapshotIndex::map_file(path);
 }
 
 SnapshotIndex read_snapshot_file(const std::string& path) {

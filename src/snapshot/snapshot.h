@@ -18,11 +18,17 @@
 //   * Fail-loud: every section is CRC-checked and every structural
 //     invariant re-validated on read, so corrupt or truncated files raise
 //     SnapshotError instead of serving wrong answers.
+//   * Zero-copy: every section is viewed through a std::span that points
+//     either at heap mirrors (stream loads, the builder) or straight into
+//     an mmap'd file (map_file) — the accessors cannot tell the difference,
+//     and N processes mapping one snapshot share a single page-cache copy.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -35,6 +41,7 @@
 #include "topology/as_graph.h"
 #include "topology/serialization.h"
 #include "topology/topology_view.h"
+#include "util/mmap_file.h"
 #include "util/result.h"
 
 namespace asrank::snapshot {
@@ -49,10 +56,37 @@ struct TopEntry {
   friend bool operator==(const TopEntry&, const TopEntry&) = default;
 };
 
+/// Sentinel in neighbor_ids() rows for a neighbour ASN that resolves to no
+/// dense id.  Unreachable through files the writer produced (the id
+/// translation is total there); it exists so a crafted CRC-valid file can
+/// never make the lazily-derived id arrays index out of bounds.
+inline constexpr std::uint32_t kNoNeighborId = 0xffffffffu;
+
 /// Immutable read-optimized view over one frozen inference run.  All
-/// accessors are const and safe to call concurrently.
+/// accessors are const and safe to call concurrently.  Move-only: the
+/// section spans alias either the index's own heap mirrors or its file
+/// mapping, so a copy would dangle.
 class SnapshotIndex {
  public:
+  SnapshotIndex() = default;
+  SnapshotIndex(const SnapshotIndex&) = delete;
+  SnapshotIndex& operator=(const SnapshotIndex&) = delete;
+  SnapshotIndex(SnapshotIndex&&) noexcept = default;
+  SnapshotIndex& operator=(SnapshotIndex&&) noexcept = default;
+
+  /// Zero-copy load: mmap `path` and serve every section straight from the
+  /// mapping.  Container integrity is fully checked (magic, version, file
+  /// size, header and per-section CRCs, bounds, alignment) plus the O(n)
+  /// structural invariants (sorted AS table, offset-table shape, rank
+  /// uniqueness, clique validity); the O(links)+O(cone) deep invariants are
+  /// attested by the section CRCs and re-checked only on the heap path.
+  /// On a big-endian host this falls back to an equivalent heap decode of
+  /// the mapped bytes.
+  [[nodiscard]] static Result<SnapshotIndex> map_file(const std::string& path);
+
+  /// True when the section spans point into an mmap'd file.
+  [[nodiscard]] bool mmap_backed() const noexcept { return mapping_ != nullptr; }
+
   [[nodiscard]] std::size_t as_count() const noexcept { return asns_.size(); }
   [[nodiscard]] std::size_t link_count() const noexcept { return link_count_; }
   [[nodiscard]] bool has_as(Asn as) const noexcept { return id_of(as).has_value(); }
@@ -92,11 +126,20 @@ class SnapshotIndex {
   /// Clique members, sorted ascending.
   [[nodiscard]] std::span<const Asn> clique() const noexcept { return clique_; }
 
+  // Flat-section accessors (the exact serialized layout): the substrate for
+  // derived representations built outside this class, e.g. the serving
+  // layer's core::ConeBitset.
+  [[nodiscard]] std::span<const std::uint64_t> cone_offsets() const noexcept {
+    return cone_off_;
+  }
+  [[nodiscard]] std::span<const Asn> cone_members() const noexcept { return cone_mem_; }
+
   // Dense-id accessors.  The node id space is the row index of the sorted AS
   // table — identical to the topology::AsnInterner id space of the view the
   // snapshot was built from.  The id-keyed adjacency and clique structures
-  // are derived on load (never serialized), so hot read paths (serve-layer
-  // BFS) can run on flat arrays without per-query hashing.
+  // are derived on load (never serialized); mmap-backed indexes defer the
+  // O(links · log n) neighbour-id translation until the first caller needs
+  // it, so mapping stays CRC-bound.
 
   /// Dense id of `as` (row in the sorted AS table), or nullopt if unknown.
   [[nodiscard]] std::optional<std::uint32_t> node_id(Asn as) const noexcept {
@@ -104,8 +147,9 @@ class SnapshotIndex {
   }
   /// ASN at dense id `id` (must be < as_count()).
   [[nodiscard]] Asn asn_at(std::uint32_t id) const noexcept { return asns_[id]; }
-  /// Neighbor ids of `id`, ascending (≡ ascending ASN).
-  [[nodiscard]] std::span<const std::uint32_t> neighbor_ids(std::uint32_t id) const noexcept;
+  /// Neighbor ids of `id`, ascending (≡ ascending ASN).  Derived lazily and
+  /// thread-safely on first use for mmap-backed indexes.
+  [[nodiscard]] std::span<const std::uint32_t> neighbor_ids(std::uint32_t id) const;
   /// RelView codes parallel to neighbor_ids(id).
   [[nodiscard]] std::span<const std::uint8_t> relationship_codes(std::uint32_t id) const noexcept;
   /// O(1) bitmap test; `id` must be < as_count().
@@ -120,30 +164,71 @@ class SnapshotIndex {
   friend Result<SnapshotIndex> try_read_snapshot(std::istream&);
   friend Result<void> try_write_snapshot(const SnapshotIndex&, std::ostream&);
 
+  /// How much of the structure finalize_and_validate() re-checks.  kFull is
+  /// the heap path: every per-link and per-cone-member invariant.  kMapped
+  /// trusts the section CRCs for those O(links)+O(cone) properties and only
+  /// runs the O(n) table checks required for memory-safe accessors.
+  enum class Validation { kFull, kMapped };
+
+  /// Heap mirrors of the nine sections; empty when mmap-backed.
+  struct HeapStore {
+    std::vector<Asn> asns;
+    std::vector<std::uint64_t> adj_off;
+    std::vector<Asn> adj_nbr;
+    std::vector<std::uint8_t> adj_rel;
+    std::vector<std::uint64_t> cone_off;
+    std::vector<Asn> cone_mem;
+    std::vector<std::uint32_t> rank;
+    std::vector<std::uint32_t> tdeg;
+    std::vector<Asn> clique;
+  };
+
+  /// neighbor_ids() backing store, derived on first use (std::once_flag is
+  /// immovable, so it lives behind a pointer to keep the index movable).
+  struct LazyNeighborIds {
+    std::once_flag once;
+    std::vector<std::uint32_t> ids;
+  };
+
   [[nodiscard]] std::optional<std::uint32_t> id_of(Asn as) const noexcept;
   [[nodiscard]] std::vector<Asn> filter(Asn as, RelView want) const;
 
-  /// Re-derive by_rank_/link_count_ and check every structural invariant;
-  /// the Error names the violated invariant (ErrorCode::kCorrupt).  Shared
-  /// by the builder and the reader so corrupt-but-CRC-valid data also fails
-  /// loudly.
-  [[nodiscard]] Result<void> finalize_and_validate();
+  /// Point the section spans at the heap mirrors (after decode/build).
+  void bind_heap() noexcept;
 
-  std::vector<Asn> asns_;                 ///< sorted ascending; index = id
-  std::vector<std::uint64_t> adj_off_;    ///< n+1
-  std::vector<Asn> adj_nbr_;              ///< sorted ascending per row
-  std::vector<std::uint8_t> adj_rel_;     ///< RelView codes, parallel to adj_nbr_
-  std::vector<std::uint64_t> cone_off_;   ///< n+1
-  std::vector<Asn> cone_mem_;             ///< sorted ascending per row
-  std::vector<std::uint32_t> rank_;       ///< 1-based; 0 = unranked
-  std::vector<std::uint32_t> tdeg_;
-  std::vector<Asn> clique_;               ///< sorted ascending
+  /// The adj_nbr_ → dense-id translation, built once on demand.
+  [[nodiscard]] const std::vector<std::uint32_t>& dense_neighbor_ids() const;
+
+  /// Decode an in-memory ASRK1 image into heap mirrors + full validation
+  /// (the stream loader, and map_file's big-endian fallback).
+  [[nodiscard]] static Result<SnapshotIndex> decode_image(
+      std::span<const std::uint8_t> data);
+
+  /// Re-derive by_rank_/link_count_/clique_bits_ and check structural
+  /// invariants per `depth`; the Error names the violated invariant
+  /// (ErrorCode::kCorrupt).  Shared by the builder and both load paths so
+  /// corrupt-but-CRC-valid data also fails loudly.
+  [[nodiscard]] Result<void> finalize_and_validate(Validation depth);
+
+  HeapStore heap_;
+  std::shared_ptr<const util::MappedFile> mapping_;  ///< keeps spans alive
+
+  // Section views — over heap_ or mapping_; every accessor reads these.
+  std::span<const Asn> asns_;                ///< sorted ascending; index = id
+  std::span<const std::uint64_t> adj_off_;   ///< n+1
+  std::span<const Asn> adj_nbr_;             ///< sorted ascending per row
+  std::span<const std::uint8_t> adj_rel_;    ///< RelView codes, parallel to adj_nbr_
+  std::span<const std::uint64_t> cone_off_;  ///< n+1
+  std::span<const Asn> cone_mem_;            ///< sorted ascending per row
+  std::span<const std::uint32_t> rank_;      ///< 1-based; 0 = unranked
+  std::span<const std::uint32_t> tdeg_;
+  std::span<const Asn> clique_;              ///< sorted ascending
 
   // Derived (not serialized).
-  std::vector<std::uint32_t> by_rank_;    ///< by_rank_[r-1] = id with rank r
-  std::vector<std::uint32_t> adj_nbr_id_; ///< dense ids parallel to adj_nbr_
+  std::vector<std::uint32_t> by_rank_;     ///< by_rank_[r-1] = id with rank r
   std::vector<std::uint64_t> clique_bits_; ///< ceil(n/64) membership words
   std::size_t link_count_ = 0;
+  std::unique_ptr<LazyNeighborIds> nbr_ids_ = std::make_unique<LazyNeighborIds>();
 };
 
 /// Freeze one inference run from an already-frozen TopologyView.  The
@@ -198,5 +283,10 @@ void write_snapshot_file(const SnapshotIndex& index, const std::string& path);
 /// hot-reload entry point — a failed load must not throw across the serving
 /// layer.
 [[nodiscard]] Result<SnapshotIndex> try_read_snapshot_file(const std::string& path);
+
+/// Zero-copy counterpart of try_read_snapshot_file: SnapshotIndex::map_file
+/// on the Result rail, same error classes.  The serving layer's default
+/// load path.
+[[nodiscard]] Result<SnapshotIndex> try_map_snapshot_file(const std::string& path);
 
 }  // namespace asrank::snapshot

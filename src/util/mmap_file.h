@@ -1,0 +1,46 @@
+// Read-only memory-mapped file (RAII over open/fstat/mmap/munmap).
+//
+// This is the substrate of the snapshot layer's zero-copy load path: the
+// whole file becomes one immutable byte span backed by the page cache, so
+// N processes (or N epochs of one daemon) mapping the same snapshot share
+// a single physical copy and pay no parse-time heap mirror.  The mapping
+// is PROT_READ/MAP_PRIVATE; the kernel faults pages in on first touch.
+//
+// Failure stays on the Result rail (kNotFound for an unopenable path,
+// kIo for stat/mmap failures) so hot-reload callers never unwind across
+// the serving layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/result.h"
+
+namespace asrank::util {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+
+  /// Map `path` read-only.  An empty file yields an empty, valid mapping.
+  [[nodiscard]] static Result<MappedFile> open(const std::string& path);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  ~MappedFile();
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_, size_};
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace asrank::util

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -552,6 +553,159 @@ TEST(Handlers, BinaryEpochsConeDiffAndWithEpoch) {
   nested.u8(static_cast<std::uint8_t>(Op::kEpochs));
   response = handle_binary_request(snapshots, nested.payload());
   EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kError));
+}
+
+// ------------------------------------------- bitset kernel regression --
+
+// A rig whose engines use a chosen cone-bitset threshold; 0 = every cone
+// gets a row, disabled() = sorted kernels only.
+struct KernelRig {
+  explicit KernelRig(core::ConeBitsetConfig cone_config) {
+    SnapshotRegistryConfig config;
+    config.cone_bitset = cone_config;
+    snapshots.emplace(config, &metrics);
+    EXPECT_TRUE(snapshots->install("seed", make_index()).ok());
+    EXPECT_TRUE(snapshots->install("next", make_index_b()).ok());
+  }
+
+  obs::Registry metrics;
+  std::optional<SnapshotRegistry> snapshots;
+};
+
+TEST(Handlers, WireBytesIdenticalAcrossConeKernels) {
+  // The bitset kernels are an internal representation swap: every response
+  // the server emits — text lines and binary frames — must be byte-identical
+  // to the sorted-array build, for every cone-flavored command.
+  KernelRig bitset({0});
+  KernelRig sorted(core::ConeBitsetConfig::disabled());
+
+  const std::vector<std::string> text_requests = {
+      "intersect 1 2", "intersect 2 1", "intersect 5 6", "incone 1 4",
+      "incone 1 6",    "incone 99 1",   "cone 1",        "cone 3",
+      "conesize 1",    "conediff 1 seed next", "conediff 3 next seed",
+      "conediff 99 seed next", "@seed intersect 1 2", "@seed incone 1 5",
+  };
+  for (const auto& request : text_requests) {
+    EXPECT_EQ(handle_text_request(*bitset.snapshots, request),
+              handle_text_request(*sorted.snapshots, request))
+        << request;
+  }
+
+  const auto binary_pair = [&](Op op, std::uint32_t a, std::uint32_t b) {
+    WireWriter request;
+    request.u8(static_cast<std::uint8_t>(op));
+    request.u32(a);
+    request.u32(b);
+    return request.payload();
+  };
+  for (std::uint32_t a : {1u, 2u, 5u, 99u}) {
+    for (std::uint32_t b : {1u, 2u, 4u, 6u}) {
+      EXPECT_EQ(handle_binary_request(*bitset.snapshots,
+                                      binary_pair(Op::kConeIntersect, a, b)),
+                handle_binary_request(*sorted.snapshots,
+                                      binary_pair(Op::kConeIntersect, a, b)))
+          << "INTERSECT " << a << " " << b;
+      EXPECT_EQ(handle_binary_request(*bitset.snapshots,
+                                      binary_pair(Op::kInCone, a, b)),
+                handle_binary_request(*sorted.snapshots,
+                                      binary_pair(Op::kInCone, a, b)))
+          << "IN_CONE " << a << " " << b;
+    }
+  }
+
+  WireWriter diff;
+  diff.u8(static_cast<std::uint8_t>(Op::kConeDiff));
+  diff.u32(1);
+  diff.str16("seed");
+  diff.str16("next");
+  EXPECT_EQ(handle_binary_request(*bitset.snapshots, diff.payload()),
+            handle_binary_request(*sorted.snapshots, diff.payload()));
+
+  // The bitset rig actually used its fast kernels for the work above.
+  EXPECT_GT(bitset.metrics
+                .counter("asrankd_cone_kernel_total",
+                         "Cone intersection/diff/membership queries by "
+                         "answering kernel",
+                         {{"kernel", "bitset"}})
+                .value(),
+            0u);
+}
+
+TEST(Handlers, StatsAndMetricsShapeUnchangedWithBitsetKernels) {
+  // STATS is a byte-stable wire format; enabling the bitset kernels must
+  // not change it (same query types, same counts).
+  KernelRig bitset({0});
+  KernelRig sorted(core::ConeBitsetConfig::disabled());
+  for (auto* rig : {&bitset, &sorted}) {
+    EXPECT_EQ(handle_text_request(*rig->snapshots, "intersect 1 2"), "OK 3 8");
+    EXPECT_EQ(handle_text_request(*rig->snapshots, "incone 1 3"), "OK yes");
+  }
+  // Identical modulo the avg_micros column, which is wall time.
+  const auto normalized_stats = [](const std::string& text) {
+    std::string out;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const auto last_space = line.find_last_of(' ');
+      if (last_space != std::string::npos &&
+          line.find_first_of("0123456789", last_space) != std::string::npos) {
+        line.resize(last_space);
+      }
+      out += line;
+      out += '\n';
+    }
+    return out;
+  };
+  EXPECT_EQ(normalized_stats(handle_text_request(*bitset.snapshots, "stats")),
+            normalized_stats(handle_text_request(*sorted.snapshots, "stats")));
+
+  // METRICS gains the kernel/bitset series but keeps every query series
+  // intact and well-formed.
+  const auto scrape = handle_text_request(*bitset.snapshots, "metrics");
+  EXPECT_NE(scrape.find("asrankd_cone_kernel_total{kernel=\"bitset\"}"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("asrankd_cone_bitset_rows"), std::string::npos);
+  EXPECT_NE(scrape.find("asrankd_query_latency_micros_count{type=\"cone_intersect\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(SnapshotRegistry, LoadFileInstallsMmapBackedEpoch) {
+  const std::string path = testing::TempDir() + "/mmap-epoch.asrk";
+  snapshot::write_snapshot_file(make_index_b(), path);
+
+  // Default config: zero-copy load.  The library-level mmap counter lives
+  // in the process-global registry (snapshot loads predate any daemon).
+  auto& mmap_loads = obs::Registry::global().counter(
+      "asrank_snapshot_mmap_loads_total",
+      "Snapshot indexes served zero-copy from an mmap'd file");
+  const auto mmap_loads_before = mmap_loads.value();
+  obs::Registry metrics;
+  SnapshotRegistry snapshots({}, &metrics);
+  auto loaded = snapshots.load_file(path, "zero-copy");
+  ASSERT_TRUE(loaded.ok()) << loaded.error().context;
+  EXPECT_TRUE(loaded.value()->index().mmap_backed());
+  EXPECT_EQ(loaded.value()->cone_size(Asn(1)), 3u);
+  EXPECT_EQ(mmap_loads.value(), mmap_loads_before + 1);
+
+  // Opting out falls back to the heap parse, same answers.
+  SnapshotRegistryConfig heap_config;
+  heap_config.mmap_load = false;
+  obs::Registry heap_metrics;
+  SnapshotRegistry heap_snapshots(heap_config, &heap_metrics);
+  auto heap_loaded = heap_snapshots.load_file(path, "heap");
+  ASSERT_TRUE(heap_loaded.ok()) << heap_loaded.error().context;
+  EXPECT_FALSE(heap_loaded.value()->index().mmap_backed());
+  EXPECT_EQ(heap_loaded.value()->cone_size(Asn(1)),
+            loaded.value()->cone_size(Asn(1)));
+
+  // A reload over the running registry swaps in another mmap-backed epoch.
+  snapshot::write_snapshot_file(make_index(), path);
+  auto reloaded = snapshots.load_file(path, "zero-copy");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded.value()->index().mmap_backed());
+  EXPECT_EQ(reloaded.value()->cone_size(Asn(1)), 4u);
+  EXPECT_EQ(snapshots.reloads(), 1u);
+  std::remove(path.c_str());
 }
 
 // --------------------------------------------------------- socket serve --

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/cones.h"
@@ -270,6 +271,125 @@ TEST(Snapshot, RejectsGarbageStream) {
   EXPECT_THROW((void)read_snapshot(text), SnapshotError);
   std::istringstream empty("");
   EXPECT_THROW((void)read_snapshot(empty), SnapshotError);
+}
+
+// ------------------------------------------------------------ mmap path --
+
+// Write `bytes` to a fresh file and return the path (overwrites).
+std::string write_temp(const std::vector<std::uint8_t>& bytes,
+                       const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+TEST(SnapshotMmap, MapFileMatchesHeapRead) {
+  const auto graph = make_graph();
+  const auto cones = core::recursive_cone(graph);
+  const auto index = build_snapshot(graph, make_tdeg(), cones, make_clique());
+  const auto path = write_temp(serialized_bytes(index), "mmap-equiv.asrk");
+
+  auto mapped = try_map_snapshot_file(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.error().context;
+  EXPECT_TRUE(mapped.value().mmap_backed());
+  EXPECT_FALSE(index.mmap_backed());
+  expect_equivalent(mapped.value(), graph, cones);
+  EXPECT_EQ(to_vec(mapped.value().clique()), make_clique());
+  EXPECT_EQ(mapped.value().transit_degree(Asn(1)), 3u);
+  EXPECT_EQ(mapped.value().rank(Asn(1)), index.rank(Asn(1)));
+  // The mapped sections reserialize to the exact bytes on disk.
+  EXPECT_EQ(serialized_bytes(mapped.value()), serialized_bytes(index));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotMmap, MapFileReturnsTypedErrors) {
+  auto missing = try_map_snapshot_file(testing::TempDir() + "/missing-map.asrk");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kNotFound);
+  EXPECT_NE(missing.error().context.find("cannot open"), std::string::npos);
+
+  // An empty file maps fine but is not a snapshot.
+  auto empty = try_map_snapshot_file(write_temp({}, "empty-map.asrk"));
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.error().code, ErrorCode::kTruncated);
+
+  auto garbage = try_map_snapshot_file(write_temp(
+      {'n', 'o', 't', ' ', 'a', ' ', 's', 'n', 'a', 'p'}, "garbage-map.asrk"));
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_NE(garbage.error().code, ErrorCode::kNotFound);
+}
+
+TEST(SnapshotMmap, MapFileRejectsEveryTruncation) {
+  // The heap loader's truncation fuzz, replayed through mmap: every proper
+  // prefix must fail with a typed error, never crash, never validate.
+  const auto bytes = serialized_bytes(make_index());
+  ASSERT_GT(bytes.size(), 0u);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const auto path = write_temp(
+        std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + cut),
+        "mmap-truncate.asrk");
+    auto mapped = try_map_snapshot_file(path);
+    ASSERT_FALSE(mapped.ok()) << "prefix of " << cut << " bytes accepted";
+    EXPECT_TRUE(mapped.error().code == ErrorCode::kTruncated ||
+                mapped.error().code == ErrorCode::kCorrupt ||
+                mapped.error().code == ErrorCode::kUnsupported)
+        << "cut " << cut << ": " << mapped.error().context;
+    EXPECT_FALSE(mapped.error().context.empty());
+  }
+}
+
+TEST(SnapshotMmap, MapFileDetectsAnyMeaningfulByteFlip) {
+  // Byte-flip fuzz over the mmap path.  The mapped loader skips the deep
+  // per-link re-validation (the CRCs attest it), so the bar is exactly the
+  // heap loader's: every flip is either rejected with a typed error or —
+  // checksum-free padding only — leaves all answers byte-identical.
+  const auto pristine_bytes = serialized_bytes(make_index());
+  std::size_t undetected = 0;
+  for (std::size_t i = 0; i < pristine_bytes.size(); ++i) {
+    auto bytes = pristine_bytes;
+    bytes[i] ^= 0xFF;
+    const auto path = write_temp(bytes, "mmap-flip.asrk");
+    auto mapped = try_map_snapshot_file(path);
+    if (mapped.ok()) {
+      ++undetected;
+      EXPECT_EQ(serialized_bytes(mapped.value()), pristine_bytes)
+          << "flip at offset " << i << " silently changed answers";
+    } else {
+      EXPECT_FALSE(mapped.error().context.empty()) << "flip at offset " << i;
+    }
+  }
+  EXPECT_LT(undetected, 8 * (kSectionCount + 1));
+}
+
+TEST(SnapshotMmap, MapFileAndReadFileRejectIdentically) {
+  // Differential fuzz: both loaders must accept/reject the same inputs.
+  // (Error messages may differ in depth — the mapped loader stops at the
+  // first container defect — but the verdict may not.)
+  const auto pristine = serialized_bytes(make_index());
+  for (std::size_t i = 0; i < pristine.size(); i += 3) {
+    auto bytes = pristine;
+    bytes[i] ^= 0xFF;
+    const auto path = write_temp(bytes, "mmap-vs-heap.asrk");
+    const bool heap_ok = try_read_snapshot_file(path).ok();
+    const bool mmap_ok = try_map_snapshot_file(path).ok();
+    EXPECT_EQ(heap_ok, mmap_ok) << "loaders disagree on flip at offset " << i;
+  }
+}
+
+TEST(SnapshotMmap, MappedIndexSurvivesMoves) {
+  // The registry moves indexes into shared_ptrs; the mapping (and the spans
+  // into it) must follow the move.
+  const auto path = write_temp(serialized_bytes(make_index()), "mmap-move.asrk");
+  auto mapped = try_map_snapshot_file(path);
+  ASSERT_TRUE(mapped.ok());
+  SnapshotIndex moved = std::move(mapped).value();
+  SnapshotIndex again = std::move(moved);
+  EXPECT_TRUE(again.mmap_backed());
+  EXPECT_EQ(again.cone_size(Asn(1)), 4u);
+  EXPECT_EQ(serialized_bytes(again), serialized_bytes(make_index()));
+  std::remove(path.c_str());
 }
 
 TEST(Snapshot, TryReadSnapshotFileReturnsTypedErrors) {

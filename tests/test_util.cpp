@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
 #include <set>
 #include <sstream>
 
+#include "util/crc32.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -13,6 +18,52 @@
 
 namespace asrank::util {
 namespace {
+
+// -------------------------------------------------------------- crc32 -----
+
+std::vector<std::uint8_t> bytes_of(std::string_view text) {
+  return {text.begin(), text.end()};
+}
+
+TEST(Crc32, MatchesTheStandardCheckValue) {
+  // The IEEE 802.3 check value: CRC-32 of "123456789".  Locks the
+  // implementation (whatever its internal blocking) to the polynomial the
+  // ASRK1 format is defined over.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32, EveryLengthAgreesWithTheBytewiseReference) {
+  // The sliced hot loop folds 8 bytes per step; lengths 0..40 cross every
+  // head/tail split it can take.  The reference is the textbook byte loop.
+  const auto reference = [](std::span<const std::uint8_t> data) {
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (const std::uint8_t byte : data) {
+      c ^= byte;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+    }
+    return c ^ 0xFFFFFFFFu;
+  };
+  std::vector<std::uint8_t> data;
+  for (std::size_t len = 0; len <= 40; ++len) {
+    EXPECT_EQ(crc32(data), reference(data)) << "length " << len;
+    data.push_back(static_cast<std::uint8_t>(len * 37 + 11));
+  }
+}
+
+TEST(Crc32, SeedChainsAcrossChunks) {
+  const auto whole = bytes_of("the quick brown fox jumps over the lazy dog");
+  const std::uint32_t direct = crc32(whole);
+  for (std::size_t split = 0; split <= whole.size(); ++split) {
+    const std::uint32_t head =
+        crc32(std::span(whole).first(split));
+    EXPECT_EQ(crc32(std::span(whole).subspan(split), head), direct)
+        << "split at " << split;
+  }
+}
 
 // ---------------------------------------------------------------- Rng -----
 
