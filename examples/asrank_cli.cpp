@@ -15,12 +15,16 @@
 // Every artifact is a documented interchange format: .as-rel and .ppdc-ases
 // (CAIDA text formats), MRT TABLE_DUMP_V2 (binary RIB), "prefix|path" pipe
 // tables, or ASRK1 binary snapshots (docs/FORMATS.md).
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -31,6 +35,8 @@
 #include "core/cones.h"
 #include "core/hierarchy.h"
 #include "core/ranking.h"
+#include "ingest/epoch_builder.h"
+#include "ingest/update_applier.h"
 #include "mrt/bgp4mp.h"
 #include "obs/log.h"
 #include "mrt/table_dump_v2.h"
@@ -77,7 +83,8 @@ class Args {
   }
 
   [[nodiscard]] static bool is_boolean(const std::string& key) {
-    return key == "log-json";
+    return key == "log-json" || key == "bootstrap" || key == "follow" ||
+           key == "flush-on-ts" || key == "verify-batch";
   }
 
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
@@ -316,25 +323,65 @@ int cmd_hierarchy(const Args& args) {
 }
 
 int cmd_updates(const Args& args) {
-  // Generate an evolution step and emit the BGP4MP update stream between
-  // the two snapshots.
   auto truth = generate_truth(args);
-  const auto before = observe_world(truth, args);
-  util::Rng rng(args.get_u64("seed", 42) + 1000);
-  topogen::EvolveParams evolve_params;
-  evolve_params.new_stubs = truth.graph.as_count() / 50;
-  evolve_params.new_peerings = truth.graph.link_count() / 40;
-  topogen::evolve(truth, rng, evolve_params);
-  const auto after = observe_world(truth, args);
+  const std::size_t steps = args.get_u64("steps", 0);
+  const bool bootstrap = args.get("bootstrap").has_value();
 
-  const auto updates = bgpsim::diff_observations(before, after, before.routes.empty() ? 0 : 1);
-  auto out = open_out(args.require("out"));
-  for (const auto& update : updates) mrt::write_update(update, out);
-  if (const auto rib_path = args.get("rib")) {
-    auto rib_out = open_out(*rib_path);
-    mrt::write_table_dump_v2(bgpsim::to_rib_dump(before), rib_out);
+  if (steps == 0 && !bootstrap) {
+    // Legacy single-step mode: one evolution, one diff.
+    const auto before = observe_world(truth, args);
+    util::Rng rng(args.get_u64("seed", 42) + 1000);
+    topogen::EvolveParams evolve_params;
+    evolve_params.new_stubs = truth.graph.as_count() / 50;
+    evolve_params.new_peerings = truth.graph.link_count() / 40;
+    topogen::evolve(truth, rng, evolve_params);
+    const auto after = observe_world(truth, args);
+
+    const auto updates =
+        bgpsim::diff_observations(before, after, before.routes.empty() ? 0 : 1);
+    auto out = open_out(args.require("out"));
+    for (const auto& update : updates) mrt::write_update(update, out);
+    if (const auto rib_path = args.get("rib")) {
+      auto rib_out = open_out(*rib_path);
+      mrt::write_table_dump_v2(bgpsim::to_rib_dump(before), rib_out);
+    }
+    std::cerr << "wrote " << updates.size() << " update messages\n";
+    return 0;
   }
-  std::cerr << "wrote " << updates.size() << " update messages\n";
+
+  // Stream mode: a multi-step timestamped feed for the ingest pipeline.
+  bgpsim::ObservationParams obs_params;
+  obs_params.seed = args.get_u64("seed", 42) + 1;
+  obs_params.full_vps = args.get_u64("full-vps", 30);
+  obs_params.partial_vps = args.get_u64("partial-vps", 10);
+
+  if (const auto rib_path = args.get("rib")) {
+    // Base table before any step (what a non-bootstrap consumer seeds from).
+    const auto base = bgpsim::observe(truth, obs_params);
+    auto rib_out = open_out(*rib_path);
+    mrt::write_table_dump_v2(bgpsim::to_rib_dump(base), rib_out);
+  }
+
+  bgpsim::UpdateStreamParams stream_params;
+  stream_params.steps = steps;
+  stream_params.seed = args.get_u64("seed", 42) + 1000;
+  stream_params.bootstrap = bootstrap;
+  stream_params.base_timestamp =
+      static_cast<std::uint32_t>(args.get_u64("base-ts", 1367193600));
+  stream_params.step_seconds =
+      static_cast<std::uint32_t>(args.get_u64("step-seconds", 60));
+  stream_params.evolve.new_stubs = truth.graph.as_count() / 50;
+  stream_params.evolve.new_peerings = truth.graph.link_count() / 40;
+
+  const auto stream = bgpsim::generate_update_stream(truth, obs_params, stream_params);
+  auto out = open_out(args.require("out"));
+  std::size_t total = 0;
+  for (const auto& step : stream) {
+    for (const auto& update : step.updates) mrt::write_update(update, out);
+    total += step.updates.size();
+  }
+  std::cerr << "wrote " << total << " update messages across " << stream.size()
+            << " timestamped steps\n";
   return 0;
 }
 
@@ -419,8 +466,8 @@ int cmd_serve(const Args& args) {
 
   auto loaded = registry.load_file(snapshot_path, args.get_or("epoch", ""));
   if (!loaded.ok()) throw std::runtime_error(loaded.error().message());
-  const auto& index = loaded.value()->index();
-  std::cerr << "loaded snapshot epoch '" << registry.current_label() << "' ("
+  const auto& index = loaded.value().engine->index();
+  std::cerr << "loaded snapshot epoch '" << loaded.value().label << "' ("
             << (index.mmap_backed() ? "mmap" : "heap") << "): "
             << index.as_count() << " ASes, " << index.link_count()
             << " links, clique " << index.clique().size() << "\n";
@@ -569,6 +616,210 @@ int cmd_metrics(const std::optional<std::string>& target, const Args& args) {
   return 0;
 }
 
+/// SIGINT/SIGTERM flag for the long-running ingest loop (which deliberately
+/// does NOT use Server::install_signal_handlers: the ingest loop — not the
+/// embedded server — owns shutdown, so it can cut a final epoch first).
+volatile std::sig_atomic_t g_ingest_stop = 0;
+
+extern "C" void ingest_stop_handler(int) { g_ingest_stop = 1; }
+
+// Long-running streaming ingest: tail a BGP4MP update feed, maintain the
+// route table, and periodically emit fresh epochs — to disk (--out-dir),
+// into an embedded asrankd (--serve-port), and/or into a separate daemon
+// via loopback RELOAD (--target host:port, needs --out-dir).
+int cmd_ingest(const Args& args) {
+  const std::string updates_path = args.require("updates");
+  const bool follow = args.get("follow").has_value();
+  if (follow && updates_path == "-") {
+    throw UsageError("--follow tails a seekable file, not stdin");
+  }
+  const std::string out_dir = args.get_or("out-dir", "");
+  const auto target = args.get("target");
+  const bool serve = args.get("serve-port").has_value();
+  if (target && out_dir.empty()) {
+    throw UsageError("--target needs --out-dir (the daemon reloads from a file path)");
+  }
+  if (!serve && !target && out_dir.empty()) {
+    throw UsageError("need an epoch sink: --serve-port, --out-dir, and/or --target");
+  }
+
+  ingest::EpochBuilderConfig builder_config;
+  builder_config.inference.threads = args.get_u64("threads", 0);
+  builder_config.cone_threads = args.get_u64("threads", 0);
+  builder_config.full_closure_threshold =
+      std::strtod(args.get_or("dirty-threshold", "0.5").c_str(), nullptr);
+  builder_config.verify_batch = args.get("verify-batch").has_value();
+  ingest::EpochBuilder builder(builder_config);
+  ingest::UpdateApplier applier;
+
+  if (const auto rib_path = args.get("rib")) {
+    auto rib_in = open_in(*rib_path);
+    for (const auto& route : bgpsim::from_rib_dump(mrt::read_table_dump_v2(rib_in))) {
+      applier.seed(route.vp, route.prefix, route.path);
+    }
+    std::cerr << "ingest: seeded " << applier.route_count() << " routes from "
+              << *rib_path << "\n";
+  }
+
+  const std::uint64_t flush_n = args.get_u64("flush-every-n", 0);
+  const std::uint64_t flush_ms = args.get_u64("flush-every-ms", 0);
+  const bool flush_ts = args.get("flush-on-ts").has_value();
+  // With no trigger armed, default to a count policy so the loop still cuts
+  // epochs instead of buffering forever.
+  ingest::FlushPolicy policy(
+      flush_n == 0 && flush_ms == 0 && !flush_ts ? 10000 : flush_n, flush_ms,
+      flush_ts);
+  const std::string label_format = args.get_or("epoch-label-format", "epoch-%N");
+
+  serve::SnapshotRegistryConfig registry_config;
+  registry_config.retention = args.get_u64("retention", 8);
+  registry_config.cache_capacity = args.get_u64("cache", 4096);
+  serve::SnapshotRegistry registry(registry_config);
+  std::unique_ptr<serve::Server> server;
+  std::thread server_thread;
+  if (serve) {
+    serve::ServerConfig server_config;
+    server_config.host = args.get_or("serve-host", "127.0.0.1");
+    server_config.port = static_cast<std::uint16_t>(args.get_u64("serve-port", 7474));
+    server_config.threads = args.get_u64("serve-threads", 2);
+    server = std::make_unique<serve::Server>(registry, server_config);
+    server_thread = std::thread([&server] { server->run(); });
+    std::cerr << "ingest: serving on " << server_config.host << ":" << server->port()
+              << " (" << server_config.threads << " workers)\n";
+  }
+
+  const auto now_ms = [] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+  const std::uint64_t poll_ms = std::max<std::uint64_t>(1, args.get_u64("poll-ms", 200));
+  const auto sleep_poll = [poll_ms] {
+    for (std::uint64_t slept = 0; slept < poll_ms && !g_ingest_stop; slept += 20) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::min<std::uint64_t>(20, poll_ms - slept)));
+    }
+  };
+
+  std::uint32_t last_ts = 0;
+  const auto flush = [&](const char* reason) {
+    // Nothing new since the last cut (and at least one epoch exists): no-op.
+    if (policy.pending() == 0 && builder.epochs_built() > 0) return;
+    if (applier.route_count() == 0) {
+      policy.flushed(now_ms());
+      return;  // empty table — an epoch with zero ASes helps nobody
+    }
+    ingest::EpochBuildInfo info;
+    auto built = builder.build(applier.corpus(), &info);
+    if (!built.ok()) {
+      obs::log_warn("ingest epoch build failed",
+                    {{"reason", reason}, {"error", built.error().context}});
+      policy.flushed(now_ms());  // back off; retry at the next boundary
+      return;
+    }
+    const std::string label =
+        ingest::expand_epoch_label(label_format, info.sequence, last_ts);
+    std::string snapshot_path;
+    if (!out_dir.empty()) {
+      snapshot_path = out_dir + "/" + label + ".asrk";
+      snapshot::write_snapshot_file(built.value(), snapshot_path);
+    }
+    if (serve) {
+      auto installed = registry.install(label, std::move(built).value());
+      if (!installed.ok()) {
+        obs::log_warn("ingest epoch install failed",
+                      {{"epoch", label}, {"error", installed.error().context}});
+      }
+    }
+    if (target) {
+      const auto [host, port] = parse_target(*target);
+      serve::Client client(host, port);
+      auto pushed = client.try_reload(snapshot_path, label);
+      if (!pushed.ok()) {
+        obs::log_warn("ingest remote reload failed",
+                      {{"target", *target}, {"error", pushed.error().context}});
+      }
+    }
+    applier.mark();
+    policy.flushed(now_ms());
+    std::cerr << "ingest: epoch '" << label << "' (" << reason << "): "
+              << (info.cones.full_recompute ? "full" : "incremental")
+              << " cones, dirty " << info.cones.dirty_asns << ", "
+              << info.build_micros << " us\n";
+  };
+
+  g_ingest_stop = 0;
+  std::signal(SIGINT, ingest_stop_handler);
+  std::signal(SIGTERM, ingest_stop_handler);
+  policy.flushed(now_ms());  // arm the interval trigger from "now", not 0
+
+  std::ifstream file_in;
+  std::istream* in = &std::cin;
+  if (updates_path != "-") {
+    file_in = open_in(updates_path);
+    in = &file_in;
+  }
+  mrt::UpdateReader reader(*in);
+
+  int exit_code = 0;
+  while (!g_ingest_stop) {
+    const std::streampos pos = in->tellg();
+    auto next = reader.next();
+    if (!next.ok()) {
+      if (follow && next.error().code == ErrorCode::kTruncated) {
+        // Partially written record: rewind to its start and wait for the
+        // writer to finish it.
+        in->clear();
+        if (pos != std::streampos(-1)) in->seekg(pos);
+        if (policy.due(now_ms())) flush("interval");
+        sleep_poll();
+        continue;
+      }
+      std::cerr << "ingest: stream error: " << next.error().message() << "\n";
+      exit_code = 1;
+      break;
+    }
+    if (!next.value().has_value()) {  // clean EOF
+      if (follow) {
+        in->clear();
+        if (pos != std::streampos(-1)) in->seekg(pos);
+        if (policy.due(now_ms())) flush("interval");
+        sleep_poll();
+        continue;
+      }
+      break;
+    }
+    const mrt::UpdateMessage message = std::move(*std::move(next).value());
+    if (policy.due_before(message.timestamp)) flush("timestamp");
+    applier.apply(message);
+    policy.applied(message.timestamp);
+    last_ts = message.timestamp;
+    if (policy.due(now_ms())) flush("batch");
+  }
+
+  flush("final");
+
+  if (server && !g_ingest_stop && exit_code == 0 && !follow) {
+    std::cerr << "ingest: stream complete; serving until SIGINT/SIGTERM\n";
+    while (!g_ingest_stop) sleep_poll();
+  }
+  if (server) {
+    server->stop();
+    server_thread.join();
+  }
+
+  const auto& rstats = reader.stats();
+  const auto& astats = applier.stats();
+  std::cerr << "ingest: " << (exit_code == 0 ? "clean shutdown" : "stopped on error")
+            << ": " << rstats.records << " records ("
+            << rstats.updates << " updates, " << rstats.skipped() << " skipped), "
+            << astats.announced << " announced / " << astats.withdrawn
+            << " withdrawn (" << astats.as_set_rejected << " AS_SET rejected), "
+            << builder.epochs_built() << " epochs emitted\n";
+  return exit_code;
+}
+
 void usage(std::ostream& os) {
   os <<
       "usage: asrank_cli <command> [--flag value ...]\n"
@@ -582,6 +833,15 @@ void usage(std::ostream& os) {
       "  hierarchy --as-rel F [--clique a,b,c]\n"
       "  diff     --before F.as-rel --after F.as-rel\n"
       "  updates  --out F.updates [--rib F.mrt] [--preset P] [--seed N]\n"
+      "           [--steps N] [--bootstrap] [--base-ts N] [--step-seconds N]\n"
+      "           (--steps/--bootstrap emit a timestamped multi-step stream)\n"
+      "  ingest   --updates F|- [--rib F.mrt] [--follow] [--poll-ms N]\n"
+      "           [--flush-every-n N] [--flush-every-ms N] [--flush-on-ts]\n"
+      "           [--epoch-label-format FMT] [--out-dir D] [--serve-port N]\n"
+      "           [--serve-host H] [--serve-threads N] [--target host:port]\n"
+      "           [--threads N] [--dirty-threshold X] [--retention N]\n"
+      "           [--verify-batch]\n"
+      "           long-running: BGP4MP updates in, fresh served epochs out\n"
       "  replay   --rib F.mrt --updates F.updates --out F2.mrt\n"
       "  snapshot --as-rel F --out F.asrk [--ppdc F | --mrt F | --pipe F]\n"
       "           [--method recursive|ppdc|observed] [--clique a,b,c]\n"
@@ -650,6 +910,7 @@ int main(int argc, char** argv) {
     if (command == "hierarchy") return cmd_hierarchy(args);
     if (command == "diff") return cmd_diff(args);
     if (command == "updates") return cmd_updates(args);
+    if (command == "ingest") return cmd_ingest(args);
     if (command == "replay") return cmd_replay(args);
     if (command == "snapshot") return cmd_snapshot(args);
     if (command == "serve") return cmd_serve(args);

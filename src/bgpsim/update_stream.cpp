@@ -68,6 +68,37 @@ std::vector<mrt::UpdateMessage> diff_observations(const Observation& before,
   return out;
 }
 
+std::vector<UpdateStreamStep> generate_update_stream(topogen::GroundTruth& truth,
+                                                     const ObservationParams& obs_params,
+                                                     const UpdateStreamParams& params) {
+  std::vector<UpdateStreamStep> out;
+  Observation current = observe(truth, obs_params);
+  if (params.bootstrap) {
+    // Session bring-up: every initial route announced against an empty table.
+    Observation empty;
+    empty.vps = current.vps;
+    UpdateStreamStep step;
+    step.timestamp = params.base_timestamp;
+    step.updates = diff_observations(empty, current, step.timestamp);
+    step.observation = current;
+    out.push_back(std::move(step));
+  }
+
+  util::Rng rng(params.seed);
+  for (std::size_t k = 1; k <= params.steps; ++k) {
+    topogen::evolve(truth, rng, params.evolve);
+    Observation next = observe(truth, obs_params);
+    UpdateStreamStep step;
+    step.timestamp =
+        params.base_timestamp + static_cast<std::uint32_t>(k) * params.step_seconds;
+    step.updates = diff_observations(current, next, step.timestamp);
+    step.observation = next;
+    current = std::move(next);
+    out.push_back(std::move(step));
+  }
+  return out;
+}
+
 std::vector<ObservedRoute> apply_updates(const Observation& base,
                                          const std::vector<mrt::UpdateMessage>& updates) {
   std::unordered_set<Asn> known_vps;

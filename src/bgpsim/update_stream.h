@@ -29,4 +29,41 @@ namespace asrank::bgpsim {
 [[nodiscard]] std::vector<ObservedRoute> apply_updates(
     const Observation& base, const std::vector<mrt::UpdateMessage>& updates);
 
+/// One step of a generated update stream: the messages stamped with this
+/// step's timestamp, plus the full observation they leave behind (the
+/// reference table for differential tests).
+struct UpdateStreamStep {
+  std::uint32_t timestamp = 0;
+  std::vector<mrt::UpdateMessage> updates;
+  Observation observation;
+};
+
+struct UpdateStreamParams {
+  /// Evolution steps after the bootstrap.  Total steps emitted is
+  /// `steps + (bootstrap ? 1 : 0)`.
+  std::size_t steps = 3;
+
+  /// Seed for the topology-evolution RNG (independent of the observation
+  /// seed in ObservationParams).
+  std::uint64_t seed = 7;
+
+  std::uint32_t base_timestamp = 1367193600;
+  std::uint32_t step_seconds = 60;
+
+  /// Emit a step 0 that announces the entire initial table (the stream a
+  /// collector records when a peer session first comes up).  Without it the
+  /// stream only carries deltas and the consumer needs a base RIB.
+  bool bootstrap = true;
+
+  topogen::EvolveParams evolve;
+};
+
+/// Simulate a live feed: observe `truth`, then repeatedly evolve the
+/// topology and diff consecutive observations into timestamped update
+/// batches.  `truth` is mutated in place (it ends at the final vintage).
+/// Deterministic given both seeds.
+[[nodiscard]] std::vector<UpdateStreamStep> generate_update_stream(
+    topogen::GroundTruth& truth, const ObservationParams& obs_params,
+    const UpdateStreamParams& params);
+
 }  // namespace asrank::bgpsim

@@ -1,0 +1,85 @@
+// Incremental route-table maintenance: the front half of the streaming
+// ingest conveyor (docs/INGEST.md).
+//
+// An UpdateApplier consumes decoded BGP4MP UPDATE messages one at a time
+// (typically straight off an mrt::UpdateReader) and maintains the (vantage
+// point, prefix) -> AS-path table a collector would hold — withdrawals erase
+// rows, announcements insert or implicitly replace them.  The table
+// materializes on demand as a paths::PathCorpus in deterministic (vp,
+// prefix) order, so feeding the same cumulative update stream always yields
+// the same corpus bytes and therefore (via the deterministic inference
+// pipeline) the same ASRK1 epoch bytes.
+//
+// Semantics deliberately mirror bgpsim::apply_updates — the differential
+// suite replays streams through both and asserts the emitted epochs match a
+// from-scratch batch build — with one widening: an applier accepts every
+// peer it sees (a long-running ingest daemon has no pre-configured peer
+// list), where the simulator's collector tracks only its configured VPs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "asn/as_path.h"
+#include "asn/asn.h"
+#include "asn/prefix.h"
+#include "mrt/bgp4mp.h"
+#include "obs/metrics.h"
+#include "paths/corpus.h"
+
+namespace asrank::ingest {
+
+/// Running tallies over every message an applier has consumed.
+struct ApplierStats {
+  std::uint64_t messages = 0;         ///< UPDATE messages applied
+  std::uint64_t announced = 0;        ///< announced prefixes accepted
+  std::uint64_t withdrawn = 0;        ///< withdrawn prefixes processed
+  std::uint64_t as_set_rejected = 0;  ///< announcements refused (AS_SET path)
+  std::uint64_t empty_path_rejected = 0;  ///< announcements with no AS_PATH hops
+  std::uint64_t noop_withdrawn = 0;   ///< withdrawals for routes never held
+
+  friend bool operator==(const ApplierStats&, const ApplierStats&) = default;
+};
+
+class UpdateApplier {
+ public:
+  explicit UpdateApplier(obs::Registry& metrics = obs::Registry::global());
+
+  /// Install one base-RIB row (bootstrap before replaying a stream).
+  /// Counted as an announcement but not as a message.
+  void seed(Asn vp, const Prefix& prefix, AsPath path);
+
+  /// Apply one UPDATE: withdrawals first, then announcements, exactly as the
+  /// message orders them.  Announcements carrying an AS_SET or an empty
+  /// AS_PATH are rejected (counted; any previously held route survives) —
+  /// the sanitizer would drop such paths anyway, and rejecting them here
+  /// keeps the table equal to what bgpsim::apply_updates reconstructs.
+  void apply(const mrt::UpdateMessage& update);
+
+  /// The current table as an inference input, rows in ascending (vp, prefix)
+  /// order.  O(routes); called once per epoch flush.
+  [[nodiscard]] paths::PathCorpus corpus() const;
+
+  [[nodiscard]] std::size_t route_count() const noexcept { return routes_.size(); }
+  [[nodiscard]] const ApplierStats& stats() const noexcept { return stats_; }
+
+  /// Flush bookkeeping: mark() at each epoch cut; messages_since_mark()
+  /// drives count-based flush policies.
+  void mark() noexcept { mark_ = stats_.messages; }
+  [[nodiscard]] std::uint64_t messages_since_mark() const noexcept {
+    return stats_.messages - mark_;
+  }
+
+ private:
+  std::map<std::pair<Asn, Prefix>, AsPath> routes_;
+  ApplierStats stats_;
+  std::uint64_t mark_ = 0;
+
+  obs::Counter* announce_total_;
+  obs::Counter* withdraw_total_;
+  obs::Counter* as_set_total_;
+  obs::Gauge* routes_gauge_;
+};
+
+}  // namespace asrank::ingest

@@ -59,56 +59,6 @@ std::vector<std::uint8_t> encode_bgp_update(const UpdateMessage& update) {
   return msg.take();
 }
 
-std::vector<UpdateMessage> read_updates_or_throw(std::istream& is) {
-  std::vector<UpdateMessage> out;
-  std::vector<std::uint8_t> header_buf(12);
-  while (is.read(reinterpret_cast<char*>(header_buf.data()), 12)) {
-    ByteReader header(header_buf);
-    const std::uint32_t timestamp = header.get_u32();
-    const std::uint16_t type = header.get_u16();
-    const std::uint16_t subtype = header.get_u16();
-    const std::uint32_t length = header.get_u32();
-    if (length > kMaxRecordBytes) {
-      throw DecodeError("MRT record length " + std::to_string(length) +
-                        " exceeds sanity cap");
-    }
-    std::vector<std::uint8_t> body(length);
-    if (!is.read(reinterpret_cast<char*>(body.data()), static_cast<std::streamsize>(length))) {
-      throw DecodeError("truncated MRT record body");
-    }
-    if (type != kTypeBgp4mp || subtype != kSubMessageAs4) continue;
-
-    ByteReader r(body);
-    UpdateMessage update;
-    update.timestamp = timestamp;
-    update.peer_as = Asn(r.get_u32());
-    update.local_as = Asn(r.get_u32());
-    r.get_u16();  // interface index
-    const std::uint16_t afi = r.get_u16();
-    if (afi != kAfiIpv4) continue;  // IPv6 sessions: not in our corpora
-    update.peer_ip = r.get_u32();
-    update.local_ip = r.get_u32();
-
-    r.get_bytes(16);  // BGP marker
-    const std::uint16_t msg_len = r.get_u16();
-    if (msg_len < 19) throw DecodeError("BGP message length < 19");
-    const std::uint8_t msg_type = r.get_u8();
-    if (msg_type != kBgpMsgUpdate) continue;  // KEEPALIVE/OPEN: skip
-
-    const std::uint16_t withdrawn_len = r.get_u16();
-    ByteReader withdrawn = r.sub(withdrawn_len);
-    while (!withdrawn.done()) update.withdrawn.push_back(get_ipv4_prefix(withdrawn));
-
-    const std::uint16_t attrs_len = r.get_u16();
-    ByteReader attrs = r.sub(attrs_len);
-    if (attrs_len > 0) update.attrs = decode_attributes(attrs);
-
-    while (!r.done()) update.announced.push_back(get_ipv4_prefix(r));
-    out.push_back(std::move(update));
-  }
-  return out;
-}
-
 }  // namespace
 
 void write_update(const UpdateMessage& update, std::ostream& os) {
@@ -133,18 +83,96 @@ void write_update(const UpdateMessage& update, std::ostream& os) {
            static_cast<std::streamsize>(body.size()));
 }
 
-Result<std::vector<UpdateMessage>> try_read_updates(std::istream& is) {
+Result<std::optional<UpdateMessage>> UpdateReader::next() {
   // Record framing and attribute decoding share the DecodeError rail
-  // internally; this top-level entry point converts each failure to an Error
-  // whose context is the complete historical "mrt: ..." message.
+  // internally; this entry point converts each failure to an Error whose
+  // context is the complete historical "mrt: ..." message.
   try {
-    return read_updates_or_throw(is);
+    for (;;) {
+      std::uint8_t header_buf[12];
+      is_->read(reinterpret_cast<char*>(header_buf), sizeof(header_buf));
+      if (is_->gcount() == 0) return std::optional<UpdateMessage>{};  // clean EOF
+      if (is_->gcount() < static_cast<std::streamsize>(sizeof(header_buf))) {
+        throw DecodeError("truncated MRT record header");
+      }
+      ByteReader header(header_buf);
+      const std::uint32_t timestamp = header.get_u32();
+      const std::uint16_t type = header.get_u16();
+      const std::uint16_t subtype = header.get_u16();
+      const std::uint32_t length = header.get_u32();
+      if (length > kMaxRecordBytes) {
+        throw DecodeError("MRT record length " + std::to_string(length) +
+                          " exceeds sanity cap");
+      }
+      std::vector<std::uint8_t> body(length);
+      if (!is_->read(reinterpret_cast<char*>(body.data()),
+                     static_cast<std::streamsize>(length))) {
+        throw DecodeError("truncated MRT record body");
+      }
+      ++stats_.records;
+      if (type != kTypeBgp4mp) {
+        ++stats_.unknown_type;
+        continue;
+      }
+      if (subtype != kSubMessageAs4) {
+        ++stats_.unknown_subtype;
+        continue;
+      }
+
+      ByteReader r(body);
+      UpdateMessage update;
+      update.timestamp = timestamp;
+      update.peer_as = Asn(r.get_u32());
+      update.local_as = Asn(r.get_u32());
+      r.get_u16();  // interface index
+      const std::uint16_t afi = r.get_u16();
+      if (afi != kAfiIpv4) {  // IPv6 sessions: not in our corpora
+        ++stats_.non_ipv4;
+        continue;
+      }
+      update.peer_ip = r.get_u32();
+      update.local_ip = r.get_u32();
+
+      r.get_bytes(16);  // BGP marker
+      const std::uint16_t msg_len = r.get_u16();
+      if (msg_len < 19) throw DecodeError("BGP message length < 19");
+      const std::uint8_t msg_type = r.get_u8();
+      if (msg_type != kBgpMsgUpdate) {  // KEEPALIVE/OPEN/NOTIFICATION
+        ++stats_.non_update;
+        continue;
+      }
+
+      const std::uint16_t withdrawn_len = r.get_u16();
+      ByteReader withdrawn = r.sub(withdrawn_len);
+      while (!withdrawn.done()) update.withdrawn.push_back(get_ipv4_prefix(withdrawn));
+
+      const std::uint16_t attrs_len = r.get_u16();
+      ByteReader attrs = r.sub(attrs_len);
+      if (attrs_len > 0) update.attrs = decode_attributes(attrs);
+
+      while (!r.done()) update.announced.push_back(get_ipv4_prefix(r));
+      ++stats_.updates;
+      return std::optional<UpdateMessage>(std::move(update));
+    }
   } catch (const DecodeError& error) {
     const std::string what = error.what();
     const auto code = what.find("truncated") != std::string::npos
                           ? ErrorCode::kTruncated
                           : ErrorCode::kCorrupt;
     return make_error(code, what);
+  }
+}
+
+Result<std::vector<UpdateMessage>> try_read_updates(std::istream& is,
+                                                    UpdateReaderStats* stats) {
+  UpdateReader reader(is);
+  std::vector<UpdateMessage> out;
+  for (;;) {
+    auto next = reader.next();
+    if (stats != nullptr) *stats = reader.stats();
+    if (!next.ok()) return next.take_error();
+    if (!next.value().has_value()) return out;
+    out.push_back(std::move(*next.value()));
   }
 }
 

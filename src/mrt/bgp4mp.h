@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <vector>
 
 #include "asn/asn.h"
@@ -33,11 +34,58 @@ struct UpdateMessage {
 /// Append one BGP4MP_MESSAGE_AS4 record to the stream.
 void write_update(const UpdateMessage& update, std::ostream& os);
 
+/// What an UpdateReader consumed, including every record it tolerated but
+/// could not turn into an UpdateMessage.  A live feed interleaves peer-state
+/// records, IPv6 sessions, and KEEPALIVEs with the UPDATEs a topology
+/// pipeline wants; none of those may abort the stream, and none should
+/// vanish without a trace either.
+struct UpdateReaderStats {
+  std::uint64_t records = 0;          ///< MRT records consumed, all types
+  std::uint64_t updates = 0;          ///< BGP4MP_MESSAGE_AS4 UPDATEs decoded
+  std::uint64_t unknown_type = 0;     ///< MRT types other than BGP4MP
+  std::uint64_t unknown_subtype = 0;  ///< BGP4MP subtypes other than MESSAGE_AS4
+  std::uint64_t non_ipv4 = 0;         ///< non-IPv4 address-family sessions
+  std::uint64_t non_update = 0;       ///< OPEN/KEEPALIVE/NOTIFICATION messages
+
+  [[nodiscard]] std::uint64_t skipped() const noexcept {
+    return unknown_type + unknown_subtype + non_ipv4 + non_update;
+  }
+
+  friend bool operator==(const UpdateReaderStats&, const UpdateReaderStats&) = default;
+};
+
+/// Record-at-a-time BGP4MP decoder: the incremental complement to
+/// try_read_updates, built for long-running ingest where the stream never
+/// ends and a whole-stream slurp would never return.  Skipped records are
+/// counted per reason (stats()), never silently dropped.
+///
+/// next() leaves the underlying stream positioned exactly after the last
+/// record it consumed, so a tailing caller may clear the stream state, seek
+/// back to the pre-call offset on a kTruncated result, and retry once more
+/// bytes arrive.
+class UpdateReader {
+ public:
+  explicit UpdateReader(std::istream& is) noexcept : is_(&is) {}
+
+  /// The next decodable UPDATE, skipping (and counting) records of other
+  /// kinds.  nullopt at a clean end-of-stream (between records).  A stream
+  /// ending mid-record yields ErrorCode::kTruncated; any other malformation
+  /// yields kCorrupt, context carrying the historical "mrt: ..." message.
+  [[nodiscard]] Result<std::optional<UpdateMessage>> next();
+
+  [[nodiscard]] const UpdateReaderStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::istream* is_;
+  UpdateReaderStats stats_;
+};
+
 /// Read every BGP4MP_MESSAGE_AS4 record from the stream; other MRT types are
-/// skipped.  Truncation yields ErrorCode::kTruncated and any other
-/// malformation yields ErrorCode::kCorrupt, context carrying the historical
-/// "mrt: ..." message.
-[[nodiscard]] Result<std::vector<UpdateMessage>> try_read_updates(std::istream& is);
+/// tolerated and counted into `*stats` (when given), never silently lost.
+/// Truncation yields ErrorCode::kTruncated and any other malformation yields
+/// ErrorCode::kCorrupt, context carrying the historical "mrt: ..." message.
+[[nodiscard]] Result<std::vector<UpdateMessage>> try_read_updates(
+    std::istream& is, UpdateReaderStats* stats = nullptr);
 
 /// Throwing boundary wrapper over try_read_updates: Error -> DecodeError with
 /// the identical message.

@@ -243,8 +243,8 @@ std::vector<std::uint8_t> handle_binary_request(SnapshotRegistry& registry,
                             "reload denied: not a local peer");
         }
         ASRANK_TRY(loaded, registry.load_file(path, label));
-        writer.str16(registry.current_label());
-        writer.u32(static_cast<std::uint32_t>(loaded->index().as_count()));
+        writer.str16(loaded.label);
+        writer.u32(static_cast<std::uint32_t>(loaded.engine->index().as_count()));
         return writer.take();
       }
       case Op::kWithEpoch: {
@@ -340,8 +340,8 @@ std::string handle_text_request(SnapshotRegistry& registry, std::string_view lin
           std::string(tokens[1]),
           tokens.size() == 3 ? std::string(tokens[2]) : std::string());
       if (!loaded.ok()) return "ERR " + loaded.error().context;
-      return "OK " + registry.current_label() + " " +
-             std::to_string(loaded.value()->index().as_count());
+      return "OK " + loaded.value().label + " " +
+             std::to_string(loaded.value().engine->index().as_count());
     }
 
     // Everything below is engine-scoped: default to the current epoch.

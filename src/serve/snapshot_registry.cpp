@@ -90,6 +90,12 @@ std::size_t SnapshotRegistry::epoch_count() const noexcept {
 
 Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::install(
     const std::string& label, snapshot::SnapshotIndex index) {
+  return install_impl(label, std::move(index), /*dedupe=*/false, nullptr);
+}
+
+Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::install_impl(
+    const std::string& label, snapshot::SnapshotIndex index, bool dedupe,
+    std::string* final_label) {
   if (!valid_label(label)) {
     reload_failures_total_->inc();
     return make_error(ErrorCode::kInvalidArgument,
@@ -102,20 +108,35 @@ Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::install(
       config_.cache_capacity, registry_, config_.cone_bitset);
   const std::size_t as_count = engine->index().as_count();
 
-  auto entry = std::make_shared<Entry>(label, engine);
-  entry->last_used.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
-                         std::memory_order_relaxed);
-
   std::lock_guard<std::mutex> lock(reload_mutex_);
   const auto old_gen = generation();
   const bool first_install = old_gen->entries.empty();
+
+  std::string effective = label;
+  if (dedupe) {
+    const auto taken = [&](const std::string& candidate) {
+      return std::any_of(old_gen->entries.begin(), old_gen->entries.end(),
+                         [&](const auto& e) { return e->label == candidate; });
+    };
+    for (std::uint64_t n = 2; taken(effective); ++n) {
+      const std::string suffix = "-" + std::to_string(n);
+      std::string base = label;
+      if (base.size() + suffix.size() > 64) base.resize(64 - suffix.size());
+      effective = base + suffix;
+    }
+  }
+  if (final_label != nullptr) *final_label = effective;
+
+  auto entry = std::make_shared<Entry>(effective, engine);
+  entry->last_used.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
 
   // Copy-on-write: new entry first, prior entries (minus any same-label one)
   // after, then evict the least-recently-used tail past the retention bound.
   auto next = std::make_shared<Generation>();
   next->entries.push_back(std::move(entry));
   for (const auto& old : old_gen->entries) {
-    if (old->label != label) next->entries.push_back(old);
+    if (old->label != effective) next->entries.push_back(old);
   }
   std::vector<std::string> evicted;
   while (next->entries.size() > config_.retention) {
@@ -136,7 +157,7 @@ Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::install(
   if (!first_install) reloads_total_->inc();
   epochs_loaded_->set(static_cast<std::int64_t>(generation()->entries.size()));
   registry_->gauge("asrankd_epoch_ases", "ASes in a resident epoch",
-                   {{"epoch", label}})
+                   {{"epoch", effective}})
       .set(static_cast<std::int64_t>(as_count));
   for (const auto& gone : evicted) {
     registry_->gauge("asrankd_epoch_ases", "ASes in a resident epoch",
@@ -145,19 +166,20 @@ Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::install(
   }
 
   obs::log_info("snapshot epoch installed",
-                {{"epoch", label},
+                {{"epoch", effective},
                  {"ases", as_count},
                  {"resident", generation()->entries.size()},
                  {"evicted", evicted.size()}});
   return engine;
 }
 
-Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::load_file(
+Result<SnapshotRegistry::InstalledEpoch> SnapshotRegistry::load_file(
     const std::string& path, const std::string& label) {
   const auto start = std::chrono::steady_clock::now();
 
-  std::string effective = label;
-  if (effective.empty()) {
+  std::string requested = label;
+  const bool derived_label = requested.empty();
+  if (derived_label) {
     auto derived = derive_label(path);
     if (!derived.ok()) {
       reload_failures_total_->inc();
@@ -165,7 +187,7 @@ Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::load_file(
                     {{"path", path}, {"error", derived.error().context}});
       return derived.take_error();
     }
-    effective = std::move(derived).value();
+    requested = std::move(derived).value();
   }
 
   auto index = config_.mmap_load ? snapshot::try_map_snapshot_file(path)
@@ -174,19 +196,22 @@ Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::load_file(
     reload_failures_total_->inc();
     obs::log_warn("snapshot reload rejected",
                   {{"path", path},
-                   {"epoch", effective},
+                   {"epoch", requested},
                    {"error", index.error().context}});
     return index.take_error();
   }
 
-  auto installed = install(effective, std::move(index).value());
-  if (installed.ok()) {
-    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
-    reload_duration_->observe(static_cast<std::uint64_t>(micros));
-  }
-  return installed;
+  // Derived (filename-stem) labels de-duplicate instead of replacing: the
+  // operator never typed the colliding name.  Explicit labels replace.
+  std::string installed_as;
+  auto installed = install_impl(requested, std::move(index).value(), derived_label,
+                                &installed_as);
+  if (!installed.ok()) return installed.take_error();
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  reload_duration_->observe(static_cast<std::uint64_t>(micros));
+  return InstalledEpoch{std::move(installed_as), std::move(installed).value()};
 }
 
 }  // namespace asrank::serve

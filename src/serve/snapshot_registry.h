@@ -66,12 +66,24 @@ class SnapshotRegistry {
   Result<std::shared_ptr<QueryEngine>> install(const std::string& label,
                                                snapshot::SnapshotIndex index);
 
+  /// What load_file installed: the engine plus the label it actually ended
+  /// up under (which differs from the filename stem when de-duplication
+  /// kicked in).
+  struct InstalledEpoch {
+    std::string label;
+    std::shared_ptr<QueryEngine> engine;
+  };
+
   /// Read an ASRK1 file and install it.  Empty `label` derives one from the
-  /// file name (basename minus extension).  Any failure — unreadable file,
-  /// truncation, CRC mismatch, bad label — leaves the current generation
-  /// serving and increments asrankd_reload_failures_total.
-  Result<std::shared_ptr<QueryEngine>> load_file(const std::string& path,
-                                                 const std::string& label = "");
+  /// file name (basename minus extension); a derived label that is already
+  /// resident is de-duplicated with a `-2`, `-3`, ... suffix instead of
+  /// replacing the existing epoch (re-loading "rib.asrk" twice must not
+  /// silently clobber the first vintage — explicit labels keep replace
+  /// semantics).  Any failure — unreadable file, truncation, CRC mismatch,
+  /// bad label — leaves the current generation serving and increments
+  /// asrankd_reload_failures_total.
+  Result<InstalledEpoch> load_file(const std::string& path,
+                                   const std::string& label = "");
 
   /// The current (most recently installed) engine; nullptr before the first
   /// install.  Lock-free: one atomic shared_ptr load.
@@ -130,6 +142,15 @@ class SnapshotRegistry {
   [[nodiscard]] std::shared_ptr<const Generation> generation() const noexcept {
     return gen_.load(std::memory_order_acquire);
   }
+
+  /// Shared writer path.  With `dedupe`, a label already resident is
+  /// suffixed `-2`, `-3`, ... under the writer lock (collision checks and
+  /// publish are atomic with respect to other writers); `*final_label`
+  /// receives the label actually installed.
+  Result<std::shared_ptr<QueryEngine>> install_impl(const std::string& label,
+                                                    snapshot::SnapshotIndex index,
+                                                    bool dedupe,
+                                                    std::string* final_label);
 
   SnapshotRegistryConfig config_;
   obs::Registry* registry_;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <span>
 #include <sstream>
 
 #include "mrt/bgp4mp.h"
@@ -307,6 +308,184 @@ TEST(Bgp4mp, SkipsForeignRecordTypes) {
   write_update(update, stream);
   const auto parsed = read_updates(stream);
   EXPECT_EQ(parsed.size(), 1u);
+}
+
+TEST(Bgp4mp, PrependedPathRoundTripsAndDedups) {
+  // Prepending survives the codec untouched; dedup is the sanitizer's
+  // explicit compress_prepending step, not a decode side effect.
+  UpdateMessage update;
+  update.peer_as = Asn(701);
+  update.local_as = Asn(6447);
+  update.announced = {*Prefix::parse("192.0.2.0/24")};
+  update.attrs.as_path = AsPath{701, 701, 701, 174, 174, 13335};
+  std::stringstream stream;
+  write_update(update, stream);
+  const auto parsed = read_updates(stream);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].attrs.as_path, (AsPath{701, 701, 701, 174, 174, 13335}));
+  EXPECT_TRUE(parsed[0].attrs.as_path.has_prepending());
+  EXPECT_EQ(parsed[0].attrs.as_path.compress_prepending(), (AsPath{701, 174, 13335}));
+}
+
+// Hand-assemble one BGP4MP_MESSAGE_AS4 record whose UPDATE carries the given
+// raw path-attribute bytes (write_update cannot produce AS_SET attributes).
+void write_raw_update_record(std::ostream& os, std::span<const std::uint8_t> attrs,
+                             const Prefix& announced) {
+  ByteWriter msg;
+  for (int i = 0; i < 16; ++i) msg.put_u8(0xff);  // BGP marker
+  const std::size_t len_slot = msg.size();
+  msg.put_u16(0);
+  msg.put_u8(2);   // UPDATE
+  msg.put_u16(0);  // no withdrawals
+  msg.put_u16(static_cast<std::uint16_t>(attrs.size()));
+  msg.put_bytes(attrs);
+  msg.put_u8(announced.length());
+  const auto addr = static_cast<std::uint32_t>(announced.bits());
+  for (unsigned i = 0; i < (announced.length() + 7u) / 8u; ++i) {
+    msg.put_u8(static_cast<std::uint8_t>(addr >> (24 - 8 * i)));
+  }
+  msg.patch_u16(len_slot, static_cast<std::uint16_t>(msg.size()));
+
+  ByteWriter body;
+  body.put_u32(64512);  // peer AS
+  body.put_u32(6447);   // local AS
+  body.put_u16(0);      // interface index
+  body.put_u16(1);      // AFI IPv4
+  body.put_u32(0x0a000001);
+  body.put_u32(0x0a0000fe);
+  body.put_bytes(msg.bytes());
+  ByteWriter header;
+  header.put_u32(1367193600);
+  header.put_u16(16);  // BGP4MP
+  header.put_u16(4);   // MESSAGE_AS4
+  header.put_u32(static_cast<std::uint32_t>(body.size()));
+  os.write(reinterpret_cast<const char*>(header.bytes().data()),
+           static_cast<std::streamsize>(header.size()));
+  os.write(reinterpret_cast<const char*>(body.bytes().data()),
+           static_cast<std::streamsize>(body.size()));
+}
+
+TEST(Bgp4mp, AsSetUpdateDecodesFlaggedAndRefusesReencode) {
+  ByteWriter path;
+  path.put_u8(2);  // AS_SEQUENCE [65000]
+  path.put_u8(1);
+  path.put_u32(65000);
+  path.put_u8(1);  // AS_SET {20, 10}
+  path.put_u8(2);
+  path.put_u32(20);
+  path.put_u32(10);
+  ByteWriter attrs;
+  attrs.put_u8(0x40);  // transitive
+  attrs.put_u8(2);     // AS_PATH
+  attrs.put_u8(static_cast<std::uint8_t>(path.size()));
+  attrs.put_bytes(path.bytes());
+
+  std::stringstream stream;
+  write_raw_update_record(stream, attrs.bytes(), *Prefix::parse("192.0.2.0/24"));
+  const auto parsed = read_updates(stream);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_TRUE(parsed[0].attrs.has_as_set);
+  EXPECT_EQ(parsed[0].attrs.as_path, (AsPath{65000, 10, 20}));  // set sorted
+  // Aggregated paths never re-enter a sanitized corpus: re-encoding rejects.
+  std::stringstream reencoded;
+  EXPECT_THROW(write_update(parsed[0], reencoded), std::invalid_argument);
+}
+
+// One record of every skippable kind around a single good UPDATE: nothing
+// aborts the stream and every skip is attributed to a counter.
+TEST(Bgp4mp, ReaderCountsSkippedRecords) {
+  std::stringstream stream;
+  const auto put_record = [&stream](std::uint16_t type, std::uint16_t subtype,
+                                    std::span<const std::uint8_t> body) {
+    ByteWriter header;
+    header.put_u32(7);
+    header.put_u16(type);
+    header.put_u16(subtype);
+    header.put_u32(static_cast<std::uint32_t>(body.size()));
+    stream.write(reinterpret_cast<const char*>(header.bytes().data()),
+                 static_cast<std::streamsize>(header.size()));
+    stream.write(reinterpret_cast<const char*>(body.data()),
+                 static_cast<std::streamsize>(body.size()));
+  };
+
+  const std::vector<std::uint8_t> junk = {1, 2, 3, 4};
+  put_record(12, 0, junk);  // unknown MRT type (TABLE_DUMP v1 era)
+  put_record(16, 1, junk);  // BGP4MP, unknown subtype (STATE_CHANGE)
+
+  ByteWriter v6;  // BGP4MP_MESSAGE_AS4 on an IPv6 session
+  v6.put_u32(1);
+  v6.put_u32(2);
+  v6.put_u16(0);
+  v6.put_u16(2);  // AFI IPv6
+  put_record(16, 4, v6.bytes());
+
+  ByteWriter keepalive;  // valid session header, BGP KEEPALIVE message
+  keepalive.put_u32(1);
+  keepalive.put_u32(2);
+  keepalive.put_u16(0);
+  keepalive.put_u16(1);  // AFI IPv4
+  keepalive.put_u32(0);
+  keepalive.put_u32(0);
+  for (int i = 0; i < 16; ++i) keepalive.put_u8(0xff);
+  keepalive.put_u16(19);
+  keepalive.put_u8(4);  // KEEPALIVE
+  put_record(16, 4, keepalive.bytes());
+
+  UpdateMessage update;
+  update.peer_as = Asn(1);
+  update.local_as = Asn(2);
+  update.announced = {*Prefix::parse("192.0.2.0/24")};
+  update.attrs.as_path = AsPath{1, 3};
+  write_update(update, stream);
+
+  UpdateReaderStats stats;
+  auto parsed = try_read_updates(stream, &stats);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value()[0].attrs.as_path, (AsPath{1, 3}));
+  EXPECT_EQ(stats.records, 5u);
+  EXPECT_EQ(stats.updates, 1u);
+  EXPECT_EQ(stats.unknown_type, 1u);
+  EXPECT_EQ(stats.unknown_subtype, 1u);
+  EXPECT_EQ(stats.non_ipv4, 1u);
+  EXPECT_EQ(stats.non_update, 1u);
+  EXPECT_EQ(stats.skipped(), 4u);
+}
+
+TEST(Bgp4mp, ReaderResumesAfterTruncationOnceBytesArrive) {
+  // The tail-follow contract: a mid-record EOF is kTruncated, the stream may
+  // be cleared and rewound to the record start, and the same reader picks up
+  // once the writer finishes the record.
+  UpdateMessage update;
+  update.peer_as = Asn(3356);
+  update.local_as = Asn(6447);
+  update.announced = {*Prefix::parse("10.0.0.0/8")};
+  update.attrs.as_path = AsPath{3356, 1299};
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  write_update(update, full);
+  const std::string bytes = full.str();
+
+  std::stringstream feed(std::ios::in | std::ios::out | std::ios::binary);
+  feed.str(bytes.substr(0, bytes.size() - 3));  // writer mid-record
+  UpdateReader reader(feed);
+  const std::streampos start = feed.tellg();
+  auto first = reader.next();
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.error().code, ErrorCode::kTruncated);
+
+  feed.clear();
+  feed.seekp(0, std::ios::end);
+  feed.write(bytes.data() + (bytes.size() - 3), 3);  // writer catches up
+  feed.seekg(start);
+  auto second = reader.next();
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second.value().has_value());
+  EXPECT_EQ(*second.value(), update);
+  EXPECT_EQ(reader.stats().updates, 1u);
+
+  auto eof = reader.next();
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof.value().has_value());
 }
 
 // ---------------------------------------------------------- text table ----

@@ -320,10 +320,57 @@ TEST(SnapshotRegistry, LoadFileInstallsAndDerivesLabel) {
   auto loaded = snapshots.load_file(path);
   ASSERT_TRUE(loaded.ok()) << loaded.error().context;
   EXPECT_EQ(snapshots.current_label(), "epoch-2013-04");
-  EXPECT_EQ(loaded.value()->cone_size(Asn(1)), 3u);
+  EXPECT_EQ(loaded.value().label, "epoch-2013-04");
+  EXPECT_EQ(loaded.value().engine->cone_size(Asn(1)), 3u);
   // Explicit label wins over derivation.
   ASSERT_TRUE(snapshots.load_file(path, "named").ok());
   EXPECT_EQ(snapshots.current_label(), "named");
+}
+
+TEST(SnapshotRegistry, DerivedLabelCollisionsDeduplicateWithSuffix) {
+  const std::string path = testing::TempDir() + "/dup-epoch.asrk";
+  snapshot::write_snapshot_file(make_index_b(), path);
+  obs::Registry metrics;
+  SnapshotRegistryConfig config;
+  config.retention = 8;
+  SnapshotRegistry snapshots(config, &metrics);
+
+  // Same file loaded three times with no explicit label: each vintage stays
+  // resident under a suffixed name instead of clobbering the previous one.
+  auto first = snapshots.load_file(path);
+  ASSERT_TRUE(first.ok()) << first.error().context;
+  EXPECT_EQ(first.value().label, "dup-epoch");
+  auto second = snapshots.load_file(path);
+  ASSERT_TRUE(second.ok()) << second.error().context;
+  EXPECT_EQ(second.value().label, "dup-epoch-2");
+  auto third = snapshots.load_file(path);
+  ASSERT_TRUE(third.ok()) << third.error().context;
+  EXPECT_EQ(third.value().label, "dup-epoch-3");
+
+  EXPECT_EQ(snapshots.epoch_count(), 3u);
+  EXPECT_EQ(snapshots.current_label(), "dup-epoch-3");
+  EXPECT_NE(snapshots.epoch("dup-epoch"), nullptr);
+  EXPECT_NE(snapshots.epoch("dup-epoch-2"), nullptr);
+
+  // An explicit label keeps replace semantics even when it collides.
+  ASSERT_TRUE(snapshots.load_file(path, "dup-epoch").ok());
+  EXPECT_EQ(snapshots.epoch_count(), 3u);
+  EXPECT_EQ(snapshots.current_label(), "dup-epoch");
+
+  // The suffix trims the stem when the 64-char label cap would overflow.
+  const std::string long_stem(64, 'x');
+  const std::string long_path = testing::TempDir() + "/" + long_stem + ".asrk";
+  snapshot::write_snapshot_file(make_index(), long_path);
+  auto long_first = snapshots.load_file(long_path);
+  ASSERT_TRUE(long_first.ok()) << long_first.error().context;
+  EXPECT_EQ(long_first.value().label, long_stem);
+  auto long_second = snapshots.load_file(long_path);
+  ASSERT_TRUE(long_second.ok()) << long_second.error().context;
+  EXPECT_EQ(long_second.value().label, long_stem.substr(0, 62) + "-2");
+  EXPECT_EQ(long_second.value().label.size(), 64u);
+
+  std::remove(path.c_str());
+  std::remove(long_path.c_str());
 }
 
 TEST(SnapshotRegistry, LabelValidationAndDerivation) {
@@ -683,8 +730,8 @@ TEST(SnapshotRegistry, LoadFileInstallsMmapBackedEpoch) {
   SnapshotRegistry snapshots({}, &metrics);
   auto loaded = snapshots.load_file(path, "zero-copy");
   ASSERT_TRUE(loaded.ok()) << loaded.error().context;
-  EXPECT_TRUE(loaded.value()->index().mmap_backed());
-  EXPECT_EQ(loaded.value()->cone_size(Asn(1)), 3u);
+  EXPECT_TRUE(loaded.value().engine->index().mmap_backed());
+  EXPECT_EQ(loaded.value().engine->cone_size(Asn(1)), 3u);
   EXPECT_EQ(mmap_loads.value(), mmap_loads_before + 1);
 
   // Opting out falls back to the heap parse, same answers.
@@ -694,16 +741,16 @@ TEST(SnapshotRegistry, LoadFileInstallsMmapBackedEpoch) {
   SnapshotRegistry heap_snapshots(heap_config, &heap_metrics);
   auto heap_loaded = heap_snapshots.load_file(path, "heap");
   ASSERT_TRUE(heap_loaded.ok()) << heap_loaded.error().context;
-  EXPECT_FALSE(heap_loaded.value()->index().mmap_backed());
-  EXPECT_EQ(heap_loaded.value()->cone_size(Asn(1)),
-            loaded.value()->cone_size(Asn(1)));
+  EXPECT_FALSE(heap_loaded.value().engine->index().mmap_backed());
+  EXPECT_EQ(heap_loaded.value().engine->cone_size(Asn(1)),
+            loaded.value().engine->cone_size(Asn(1)));
 
   // A reload over the running registry swaps in another mmap-backed epoch.
   snapshot::write_snapshot_file(make_index(), path);
   auto reloaded = snapshots.load_file(path, "zero-copy");
   ASSERT_TRUE(reloaded.ok());
-  EXPECT_TRUE(reloaded.value()->index().mmap_backed());
-  EXPECT_EQ(reloaded.value()->cone_size(Asn(1)), 4u);
+  EXPECT_TRUE(reloaded.value().engine->index().mmap_backed());
+  EXPECT_EQ(reloaded.value().engine->cone_size(Asn(1)), 4u);
   EXPECT_EQ(snapshots.reloads(), 1u);
   std::remove(path.c_str());
 }
