@@ -475,17 +475,26 @@ int cmd_serve(const Args& args) {
   serve::ServerConfig config;
   config.host = args.get_or("host", "127.0.0.1");
   config.port = static_cast<std::uint16_t>(args.get_u64("port", 7464));
-  config.threads = args.get_u64("threads", 4);
+  config.threads = args.get_u64("threads", 0);  // 0 = all hardware threads
   config.idle_timeout_ms = static_cast<int>(args.get_u64("idle-timeout-ms", 60000));
   config.query_deadline_ms = static_cast<int>(args.get_u64("deadline-ms", 5000));
   config.max_connections = args.get_u64("max-conns", 256);
+  // --runtime blocking keeps the thread-per-connection baseline around for
+  // A/B comparisons; the task runtime is the default.
+  const std::string runtime = args.get_or("runtime", "task");
+  if (runtime == "blocking") {
+    config.runtime = serve::RuntimeMode::kBlocking;
+  } else if (runtime != "task") {
+    throw UsageError("unknown --runtime '" + runtime + "' (task|blocking)");
+  }
   // SIGHUP re-reads the serving snapshot path (or --reload-path override).
   config.reload_path = args.get_or("reload-path", snapshot_path);
   config.reload_label = args.get_or("epoch", "");
   serve::Server server(registry, config);
   server.install_signal_handlers();
   std::cerr << "asrankd " << ASRANK_VERSION << " listening on " << config.host << ":"
-            << server.port() << " (" << config.threads << " workers)\n";
+            << server.port() << " (" << server.worker_threads() << " "
+            << runtime << " workers)\n";
   server.run();
   std::cerr << "asrankd: clean shutdown after " << server.connections_served()
             << " connections\n" << registry.current()->render_stats();
@@ -504,8 +513,9 @@ void need_void(Result<void> result) {
 }
 
 int cmd_query(const Args& args) {
-  serve::Client client(args.get_or("host", "127.0.0.1"),
-                       static_cast<std::uint16_t>(args.get_u64("port", 7464)));
+  serve::Client client =
+      need(serve::Client::dial(args.get_or("host", "127.0.0.1"),
+                               static_cast<std::uint16_t>(args.get_u64("port", 7464))));
   const std::string op = args.require("op");
   const std::string epoch = args.get_or("epoch", "");
   const auto as_arg = [&args](const char* key) {
@@ -584,7 +594,7 @@ int cmd_reload(const std::optional<std::string>& target, const Args& args) {
              : std::pair<std::string, std::uint16_t>{
                    args.get_or("host", "127.0.0.1"),
                    static_cast<std::uint16_t>(args.get_u64("port", 7464))};
-  serve::Client client(host, port);
+  serve::Client client = need(serve::Client::dial(host, port));
   const auto info =
       need(client.try_reload(args.require("snapshot"), args.get_or("epoch", "")));
   std::cout << "reloaded epoch '" << info.label << "' (" << info.ases << " ASes)\n";
@@ -611,8 +621,8 @@ int cmd_metrics(const std::optional<std::string>& target, const Args& args) {
              : std::pair<std::string, std::uint16_t>{
                    args.get_or("host", "127.0.0.1"),
                    static_cast<std::uint16_t>(args.get_u64("port", 7464))};
-  serve::Client client(host, port);
-  std::cout << client.metrics_text();
+  serve::Client client = need(serve::Client::dial(host, port));
+  std::cout << need(client.try_metrics_text());
   return 0;
 }
 
@@ -734,8 +744,10 @@ int cmd_ingest(const Args& args) {
     }
     if (target) {
       const auto [host, port] = parse_target(*target);
-      serve::Client client(host, port);
-      auto pushed = client.try_reload(snapshot_path, label);
+      auto client = serve::Client::dial(host, port);
+      Result<serve::ReloadInfo> pushed =
+          client.ok() ? client.value().try_reload(snapshot_path, label)
+                      : Result<serve::ReloadInfo>(client.take_error());
       if (!pushed.ok()) {
         obs::log_warn("ingest remote reload failed",
                       {{"target", *target}, {"error", pushed.error().context}});

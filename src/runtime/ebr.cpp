@@ -1,0 +1,77 @@
+#include "runtime/ebr.h"
+
+#include <utility>
+
+namespace asrank::runtime::ebr {
+
+Domain::~Domain() {
+  std::deque<Retired> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftover.swap(retired_);
+  }
+  for (auto& r : leftover) r.reclaim();
+  pending_.store(0, std::memory_order_relaxed);
+}
+
+Domain::Slot* Domain::acquire_slot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!free_slots_.empty()) {
+    Slot* slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.push_back(std::make_unique<Slot>());
+  return slots_.back().get();
+}
+
+void Domain::release_slot(Slot* slot) noexcept {
+  if (slot == nullptr) return;
+  slot->state_.store(Slot::kIdle, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_slots_.push_back(slot);
+}
+
+void Domain::retire(std::function<void()> reclaimer) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retired_.push_back(
+        Retired{global_epoch_.load(std::memory_order_seq_cst), std::move(reclaimer)});
+  }
+  pending_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t Domain::try_advance() {
+  std::vector<std::function<void()>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+    bool can_advance = true;
+    for (const auto& slot : slots_) {
+      std::uint64_t st = slot->state_.load(std::memory_order_seq_cst);
+      if ((st & 1) != 0 && (st >> 1) != epoch) {
+        can_advance = false;
+        break;
+      }
+    }
+    if (can_advance && !retired_.empty()) {
+      ++epoch;
+      global_epoch_.store(epoch, std::memory_order_seq_cst);
+    }
+    // A reclaimer retired in epoch r is safe once epoch >= r + 2: readers
+    // pinned when the object was still reachable were at epoch <= r, and the
+    // epoch only advanced past r after every such pin was released or caught
+    // up (and again past r + 1).
+    while (!retired_.empty() && retired_.front().epoch + 2 <= epoch) {
+      ready.push_back(std::move(retired_.front().reclaim));
+      retired_.pop_front();
+    }
+  }
+  if (!ready.empty()) {
+    pending_.fetch_sub(ready.size(), std::memory_order_relaxed);
+    for (auto& fn : ready) fn();
+  }
+  return ready.size();
+}
+
+}  // namespace asrank::runtime::ebr

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace asrank::runtime::ebr {
+
+/// Epoch-based reclamation domain.
+///
+/// Readers pin a `Slot` (one per thread, or per call on slow paths) for the
+/// duration of a critical section; writers unlink an object, then `retire()`
+/// a reclaimer closure for it. The global epoch only advances when every
+/// pinned slot has caught up to the current epoch, and a retired object is
+/// reclaimed once the epoch has advanced twice past its retirement epoch —
+/// at that point no reader can still hold a reference obtained before the
+/// unlink. This lets the serve hot path read the current snapshot generation
+/// through a raw pointer instead of bumping `shared_ptr` refcounts per query.
+///
+/// Slots are allocated once and recycled through a free list, so a domain
+/// never invalidates a Slot pointer while it lives.
+class Domain {
+ public:
+  class Slot {
+   public:
+    Slot() noexcept : state_(kIdle) {}
+
+   private:
+    friend class Domain;
+    friend class Guard;
+    static constexpr std::uint64_t kIdle = 0;
+    // Pinned slots hold (epoch << 1) | 1.
+    alignas(64) std::atomic<std::uint64_t> state_;
+  };
+
+  Domain() = default;
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// Runs every still-pending reclaimer; the caller guarantees no reader is
+  /// pinned any more.
+  ~Domain();
+
+  /// Registers a participant. O(1) amortized; takes the domain mutex. Cache
+  /// the slot per thread on hot paths. Never returns nullptr.
+  Slot* acquire_slot();
+
+  /// Returns a slot to the free list. The slot must not be pinned.
+  void release_slot(Slot* slot) noexcept;
+
+  /// Hands an unlinked object's destructor to the domain. The closure runs
+  /// once no pinned reader can still observe the object (or in ~Domain).
+  void retire(std::function<void()> reclaimer);
+
+  /// Tries to advance the global epoch and reclaim eligible retirees.
+  /// Returns the number of reclaimers run. Safe to call from any thread,
+  /// including one that is itself pinned — reclamation is simply deferred
+  /// until lagging readers unpin or catch up; there is no deadlock.
+  std::size_t try_advance();
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Retired-but-not-yet-reclaimed count (cheap, racy).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Guard;
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::atomic<std::size_t> pending_{0};
+
+  mutable std::mutex mutex_;  // guards slots_, free_slots_, retired_
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<Slot*> free_slots_;
+  struct Retired {
+    std::uint64_t epoch;
+    std::function<void()> reclaim;
+  };
+  std::deque<Retired> retired_;
+};
+
+/// RAII pin on a Domain. While alive, objects the reader can still reach are
+/// not reclaimed. Cheap (two seq_cst stores + a validation load); safe to
+/// construct per request.
+class Guard {
+ public:
+  /// Hot path: pin a pre-acquired slot.
+  Guard(Domain& domain, Domain::Slot& slot) noexcept
+      : domain_(domain), slot_(&slot), owned_(false) {
+    pin();
+  }
+
+  /// Slow path: acquire a slot for the guard's lifetime (takes the domain
+  /// mutex twice). For infrequent callers such as tests and CLI paths.
+  explicit Guard(Domain& domain)
+      : domain_(domain), slot_(domain.acquire_slot()), owned_(true) {
+    pin();
+  }
+
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+  ~Guard() {
+    slot_->state_.store(Domain::Slot::kIdle, std::memory_order_release);
+    if (owned_) domain_.release_slot(slot_);
+  }
+
+ private:
+  void pin() noexcept {
+    std::uint64_t e = domain_.global_epoch_.load(std::memory_order_seq_cst);
+    for (;;) {
+      slot_->state_.store((e << 1) | 1, std::memory_order_seq_cst);
+      std::uint64_t cur = domain_.global_epoch_.load(std::memory_order_seq_cst);
+      if (cur == e) break;  // advance cannot have missed this pin
+      e = cur;
+    }
+  }
+
+  Domain& domain_;
+  Domain::Slot* slot_;
+  bool owned_;
+};
+
+}  // namespace asrank::runtime::ebr

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace asrank::runtime {
+
+/// Bounded multi-producer multi-consumer queue (Vyukov's array algorithm).
+///
+/// A fixed ring of cells, each tagged with a sequence number that encodes
+/// whether the cell is free for the next producer lap or holds a value for
+/// the next consumer lap. Push and pop are lock-free (one CAS each, no
+/// spinning while another thread is inside a cell). Used as the connection
+/// admission queue: the acceptor pushes, any worker pops.
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit BoundedMpmcQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+    enqueue_pos_.store(0, std::memory_order_relaxed);
+    dequeue_pos_.store(0, std::memory_order_relaxed);
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Returns false when the queue is full.
+  bool try_push(T value) noexcept {
+    Cell* cell;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      auto diff = static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Returns nullopt when the queue is empty.
+  std::optional<T> try_pop() noexcept {
+    Cell* cell;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      auto diff =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    std::optional<T> out(std::move(cell->value));
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Racy size estimate; only a hint (used to decide whether a worker should
+  /// bother draining admissions on an idle pass).
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    std::size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+    std::size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    return enq > deq ? enq - deq : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence;
+    T value;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> enqueue_pos_;
+  alignas(64) std::atomic<std::size_t> dequeue_pos_;
+};
+
+}  // namespace asrank::runtime

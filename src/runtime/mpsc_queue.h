@@ -1,0 +1,82 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace asrank::runtime {
+
+/// Intrusive multi-producer single-consumer queue (Vyukov's algorithm).
+///
+/// Producers on any thread push nodes with two atomic stores (an exchange on
+/// the tail plus a release of the predecessor's `next`); the single consumer
+/// pops without any atomic RMW in the common case. The queue is linearizable
+/// for producers but a pop can observe a transient "empty" while a producer
+/// is between its two stores — callers that loop (the worker schedulers do)
+/// will see the node on a later pass.
+///
+/// T must expose a `std::atomic<T*> next` member and be default-constructible
+/// (one stub instance lives inside the queue). Nodes are caller-owned: the
+/// queue never allocates or frees.
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() noexcept : head_(&stub_), tail_(&stub_) {
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Push from any thread. Wait-free (one exchange).
+  void push(T* node) noexcept {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    T* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Pop from the single consumer thread. Returns nullptr when the queue is
+  /// empty or a producer is mid-push (transient; retry later).
+  T* pop() noexcept {
+    T* head = head_;
+    T* next = head->next.load(std::memory_order_acquire);
+    if (head == &stub_) {
+      if (next == nullptr) return nullptr;
+      head_ = next;
+      head = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      head_ = next;
+      return head;
+    }
+    T* tail = tail_.load(std::memory_order_acquire);
+    if (head != tail) return nullptr;  // producer between its two stores
+    // Queue holds exactly `head`; push the stub back so `head` gains a
+    // successor and can be unlinked.
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+    T* prev = tail_.exchange(&stub_, std::memory_order_acq_rel);
+    prev->next.store(&stub_, std::memory_order_release);
+    next = head->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      head_ = next;
+      return head;
+    }
+    return nullptr;  // concurrent push raced in ahead of the stub; retry
+  }
+
+  /// Consumer-side emptiness hint. May report non-empty for a node that is
+  /// still being linked; never reports empty when a fully linked node exists.
+  [[nodiscard]] bool empty() const noexcept {
+    const T* head = head_;
+    if (head != &stub_) return false;
+    return head->next.load(std::memory_order_acquire) == nullptr &&
+           tail_.load(std::memory_order_acquire) == head;
+  }
+
+ private:
+  T* head_;  // consumer-owned
+  alignas(64) std::atomic<T*> tail_;
+  alignas(64) T stub_;
+};
+
+}  // namespace asrank::runtime

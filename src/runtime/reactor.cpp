@@ -1,0 +1,185 @@
+#include "runtime/reactor.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace asrank::runtime {
+
+namespace {
+
+void set_nonblocking(int fd) noexcept {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+Reactor::Reactor(bool force_poll) {
+  if (::pipe(wake_fds_) != 0) {
+    wake_fds_[0] = wake_fds_[1] = -1;
+  } else {
+    set_nonblocking(wake_fds_[0]);
+    set_nonblocking(wake_fds_[1]);
+  }
+#ifdef __linux__
+  if (!force_poll) {
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd_ >= 0 && wake_fds_[0] >= 0) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLET;
+      ev.data.ptr = nullptr;  // nullptr marks the wake pipe
+      if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fds_[0], &ev) != 0) {
+        ::close(epfd_);
+        epfd_ = -1;
+      }
+    }
+  }
+#else
+  (void)force_poll;
+#endif
+}
+
+Reactor::~Reactor() {
+  if (epfd_ >= 0) ::close(epfd_);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+bool Reactor::add(int fd, std::uint32_t interest, IoHandler* handler) {
+#ifdef __linux__
+  if (epfd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLET | EPOLLRDHUP;
+    if (interest & kRead) ev.events |= EPOLLIN;
+    if (interest & kWrite) ev.events |= EPOLLOUT;
+    ev.data.ptr = handler;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  }
+#endif
+  handlers_[fd] = Registration{interest, handler};
+  pollset_dirty_ = true;
+  return true;
+}
+
+bool Reactor::modify(int fd, std::uint32_t interest) {
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return false;
+#ifdef __linux__
+  if (epfd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLET | EPOLLRDHUP;
+    if (interest & kRead) ev.events |= EPOLLIN;
+    if (interest & kWrite) ev.events |= EPOLLOUT;
+    ev.data.ptr = it->second.handler;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) return false;
+  }
+#endif
+  it->second.interest = interest;
+  pollset_dirty_ = true;
+  return true;
+}
+
+void Reactor::remove(int fd) {
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+#ifdef __linux__
+  if (epfd_ >= 0) ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+  handlers_.erase(it);
+  pollset_dirty_ = true;
+}
+
+void Reactor::wake() noexcept {
+  bool expected = false;
+  if (!wake_pending_.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+    return;  // a wakeup byte is already in flight
+  }
+  if (wake_fds_[1] >= 0) {
+    char byte = 0;
+    [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void Reactor::drain_wake_pipe() noexcept {
+  char buf[64];
+  while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+  }
+  wake_pending_.store(false, std::memory_order_release);
+}
+
+int Reactor::poll_once(int timeout_ms) {
+#ifdef __linux__
+  if (epfd_ >= 0) {
+    epoll_event events[128];
+    int n;
+    do {
+      n = ::epoll_wait(epfd_, events, 128, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return 0;
+    int dispatched = 0;
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.ptr == nullptr) {
+        drain_wake_pipe();
+        continue;
+      }
+      std::uint32_t ev = 0;
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        ev |= kRead;
+      }
+      if (events[i].events & EPOLLOUT) ev |= kWrite;
+      if (ev == 0) continue;
+      static_cast<IoHandler*>(events[i].data.ptr)->on_io(ev);
+      ++dispatched;
+    }
+    return dispatched;
+  }
+#endif
+  // poll(2) fallback (level-triggered; same handler contract works).
+  if (pollset_dirty_) {
+    pollset_fds_.clear();
+    pollset_fds_.reserve(handlers_.size());
+    for (const auto& [fd, reg] : handlers_) pollset_fds_.push_back(fd);
+    pollset_dirty_ = false;
+  }
+  std::vector<pollfd> pfds;
+  pfds.reserve(pollset_fds_.size() + 1);
+  pfds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+  for (int fd : pollset_fds_) {
+    auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;
+    short ev = 0;
+    if (it->second.interest & kRead) ev |= POLLIN;
+    if (it->second.interest & kWrite) ev |= POLLOUT;
+    pfds.push_back(pollfd{fd, ev, 0});
+  }
+  int n;
+  do {
+    n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return 0;
+  if (pfds[0].revents != 0) drain_wake_pipe();
+  int dispatched = 0;
+  for (std::size_t i = 1; i < pfds.size(); ++i) {
+    if (pfds[i].revents == 0) continue;
+    auto it = handlers_.find(pfds[i].fd);
+    if (it == handlers_.end()) continue;  // removed during this dispatch batch
+    std::uint32_t ev = 0;
+    if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) ev |= kRead;
+    if (pfds[i].revents & POLLOUT) ev |= kWrite;
+    if (ev == 0) continue;
+    it->second.handler->on_io(ev);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace asrank::runtime

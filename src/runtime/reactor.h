@@ -1,0 +1,84 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace asrank::runtime {
+
+/// Receives readiness notifications from a Reactor. Implementations may
+/// deregister and even destroy themselves from inside on_io() as long as the
+/// owning worker defers destruction until the dispatch batch ends (the serve
+/// layer parks closed connections in a graveyard for exactly this reason).
+class IoHandler {
+ public:
+  virtual void on_io(std::uint32_t events) = 0;
+
+ protected:
+  ~IoHandler() = default;
+};
+
+/// Single-threaded readiness reactor: epoll-backed (edge-triggered) on Linux
+/// with a portable poll(2) fallback, selectable at construction for tests.
+/// All methods except wake() must be called from the owning worker thread;
+/// wake() is safe from any thread and makes a concurrent/next poll_once()
+/// return immediately.
+///
+/// Edge-triggered contract: on a kRead notification the handler must read
+/// until EAGAIN; kWrite is only delivered while write interest is armed and
+/// the handler must likewise write until EAGAIN or done. The same handler
+/// discipline is level-trigger-safe, so the poll fallback needs no special
+/// casing by callers.
+class Reactor {
+ public:
+  static constexpr std::uint32_t kRead = 0x1;
+  static constexpr std::uint32_t kWrite = 0x2;
+
+  explicit Reactor(bool force_poll = false);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  [[nodiscard]] bool epoll_backed() const noexcept { return epfd_ >= 0; }
+
+  /// Registers fd with the given interest set. Returns false on failure
+  /// (e.g. fd limit). The handler must outlive the registration.
+  bool add(int fd, std::uint32_t interest, IoHandler* handler);
+
+  /// Updates the interest set of a registered fd.
+  bool modify(int fd, std::uint32_t interest);
+
+  /// Deregisters fd. Safe to call for fds that were never added.
+  void remove(int fd);
+
+  /// Waits up to timeout_ms (-1 = forever, 0 = non-blocking) and dispatches
+  /// readiness to handlers. Returns the number of I/O events dispatched
+  /// (wake-pipe traffic excluded).
+  int poll_once(int timeout_ms);
+
+  /// Cross-thread wakeup; coalesces.
+  void wake() noexcept;
+
+  [[nodiscard]] std::size_t watched() const noexcept { return handlers_.size(); }
+
+ private:
+  struct Registration {
+    std::uint32_t interest;
+    IoHandler* handler;
+  };
+
+  void drain_wake_pipe() noexcept;
+
+  int epfd_ = -1;  // -1 => poll fallback
+  int wake_fds_[2] = {-1, -1};
+  std::atomic<bool> wake_pending_{false};
+  std::unordered_map<int, Registration> handlers_;
+  // poll fallback state: pollfd set rebuilt when the registration map changes
+  bool pollset_dirty_ = true;
+  std::vector<int> pollset_fds_;
+};
+
+}  // namespace asrank::runtime

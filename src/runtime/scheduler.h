@@ -1,0 +1,117 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "runtime/mpsc_queue.h"
+#include "runtime/reactor.h"
+#include "runtime/timer_queue.h"
+
+namespace asrank::runtime {
+
+struct TaskSchedulerConfig {
+  /// 0 = hardware concurrency.
+  std::size_t workers = 0;
+  /// Upper bound on how long a worker parks with no timers pending.
+  int tick_ms = 200;
+  /// Force the poll(2) reactor backend (tests).
+  bool force_poll_reactor = false;
+  /// Metric name prefix, e.g. "asrankd_runtime".
+  std::string metric_prefix = "asrank_runtime";
+};
+
+/// Per-core worker scheduler: each worker owns a lock-free MPSC task queue,
+/// an edge-notified Reactor, and a TimerQueue, and runs a single-threaded
+/// event loop over them. Cross-core submission lands on the owning worker's
+/// queue (`post(worker, fn)`); there is no work stealing of posted tasks, so
+/// any state a task touches is single-threaded once it is owned by a worker.
+///
+/// The embedding layer (the serve daemon) drives connection state machines
+/// from reactor callbacks and uses the hooks for lifecycle and per-pass work
+/// such as draining a shared admission queue.
+class TaskScheduler {
+ public:
+  struct Hooks {
+    /// Runs on the worker thread before the first pass.
+    std::function<void(std::size_t worker)> on_start;
+    /// Runs on the worker thread after the loop exits (final task drain done).
+    std::function<void(std::size_t worker)> on_stop;
+    /// Runs every pass after tasks and timers; return true if it did work
+    /// (suppresses parking this pass).
+    std::function<bool(std::size_t worker)> on_pass;
+    /// Fired timer checkpoints: (worker, id, kind).
+    std::function<void(std::size_t worker, std::uint64_t id, std::uint32_t kind)>
+        on_timer;
+  };
+
+  TaskScheduler(TaskSchedulerConfig config, obs::Registry* registry);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Spawns the worker threads. Call at most once.
+  void start(Hooks hooks);
+
+  /// Requests shutdown and wakes every worker. Idempotent, thread-safe.
+  void stop() noexcept;
+
+  /// Joins the worker threads (after stop()).
+  void join();
+
+  /// Enqueues fn on the given worker's queue and wakes it if parked.
+  /// Safe from any thread, including the workers themselves.
+  void post(std::size_t worker, std::function<void()> fn);
+
+  /// The worker's reactor/timers. Only the worker thread itself may use
+  /// these (except Reactor::wake).
+  Reactor& reactor(std::size_t worker) { return *workers_[worker]->reactor; }
+  TimerQueue& timers(std::size_t worker) { return workers_[worker]->timers; }
+
+  [[nodiscard]] bool stopping() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct TaskNode {
+    std::atomic<TaskNode*> next{nullptr};
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
+  struct Worker {
+    MpscQueue<TaskNode> queue;
+    std::atomic<bool> sleeping{false};
+    std::atomic<std::int64_t> depth{0};
+    std::unique_ptr<Reactor> reactor;
+    TimerQueue timers;
+    std::thread thread;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Counter* tasks_total = nullptr;
+    obs::Counter* parks_total = nullptr;
+    obs::Counter* wakeups_total = nullptr;
+  };
+
+  void worker_main(std::size_t index);
+  std::size_t drain_tasks(Worker& w);
+
+  TaskSchedulerConfig config_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  Hooks hooks_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool joined_ = false;
+  obs::Histogram* task_latency_ = nullptr;
+};
+
+}  // namespace asrank::runtime

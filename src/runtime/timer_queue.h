@@ -1,0 +1,67 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace asrank::runtime {
+
+/// Single-threaded min-heap of deadline checkpoints, owned by one worker.
+///
+/// Entries are fire-and-forget: cancellation is lazy. Callers attach an
+/// (id, kind) pair; when an entry fires the callback decides whether the
+/// logical deadline it tracked is still live (and may re-schedule a new
+/// checkpoint if the logical deadline moved later). Ids that no longer
+/// resolve (closed connections) are simply ignored by the callback.
+class TimerQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  void schedule(Clock::time_point deadline, std::uint64_t id, std::uint32_t kind) {
+    heap_.push(Entry{deadline, id, kind});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Milliseconds until the earliest entry, clamped to [0, cap_ms].
+  /// Returns cap_ms when no entries are pending.
+  [[nodiscard]] int poll_timeout_ms(Clock::time_point now, int cap_ms) const {
+    if (heap_.empty()) return cap_ms;
+    auto delta = heap_.top().deadline - now;
+    if (delta <= Clock::duration::zero()) return 0;
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(delta).count();
+    // Round up so we do not spin-wake just before the deadline.
+    if (std::chrono::milliseconds(ms) < delta) ++ms;
+    if (cap_ms >= 0 && ms > cap_ms) return cap_ms;
+    return static_cast<int>(ms);
+  }
+
+  /// Pops every entry due at `now` and invokes fn(id, kind) for each.
+  /// Returns the number fired. fn may schedule() new entries.
+  template <typename Fn>
+  std::size_t expire(Clock::time_point now, Fn&& fn) {
+    std::size_t fired = 0;
+    while (!heap_.empty() && heap_.top().deadline <= now) {
+      Entry e = heap_.top();
+      heap_.pop();
+      ++fired;
+      fn(e.id, e.kind);
+    }
+    return fired;
+  }
+
+ private:
+  struct Entry {
+    Clock::time_point deadline;
+    std::uint64_t id;
+    std::uint32_t kind;
+    bool operator>(const Entry& other) const { return deadline > other.deadline; }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+};
+
+}  // namespace asrank::runtime

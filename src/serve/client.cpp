@@ -82,12 +82,6 @@ Result<Client> Client::dial(const std::string& host, std::uint16_t port,
   return client;
 }
 
-Client::Client(const std::string& host, std::uint16_t port) {
-  auto dialed = dial(host, port);
-  if (!dialed.ok()) throw ProtocolError(dialed.error().context);
-  *this = std::move(dialed).value();
-}
-
 Client::~Client() { disconnect(); }
 
 Client::Client(Client&& other) noexcept
@@ -429,45 +423,5 @@ Result<ReloadInfo> Client::try_reload(const std::string& path,
   info.ases = ases;
   return info;
 }
-
-// ----------------------------------------- legacy throwing forwarders --
-
-namespace {
-
-template <typename T>
-T unwrap(Result<T> result) {
-  if (!result.ok()) throw ProtocolError(result.error().context);
-  return std::move(result).value();
-}
-
-void unwrap_void(Result<void> result) {
-  if (!result.ok()) throw ProtocolError(result.error().context);
-}
-
-}  // namespace
-
-std::optional<RelView> Client::relationship(Asn a, Asn b) {
-  return unwrap(try_relationship(a, b));
-}
-std::optional<std::uint32_t> Client::rank(Asn as) { return unwrap(try_rank(as)); }
-std::uint64_t Client::cone_size(Asn as) { return unwrap(try_cone_size(as)); }
-std::vector<Asn> Client::cone(Asn as) { return unwrap(try_cone(as)); }
-bool Client::in_cone(Asn as, Asn member) { return unwrap(try_in_cone(as, member)); }
-std::vector<Asn> Client::providers(Asn as) { return unwrap(try_providers(as)); }
-std::vector<Asn> Client::customers(Asn as) { return unwrap(try_customers(as)); }
-std::vector<Asn> Client::peers(Asn as) { return unwrap(try_peers(as)); }
-std::vector<snapshot::TopEntry> Client::top(std::uint32_t n) {
-  return unwrap(try_top(n));
-}
-std::vector<Asn> Client::cone_intersection(Asn a, Asn b) {
-  return unwrap(try_cone_intersection(a, b));
-}
-std::vector<Asn> Client::path_to_clique(Asn as) {
-  return unwrap(try_path_to_clique(as));
-}
-std::vector<Asn> Client::clique() { return unwrap(try_clique()); }
-std::string Client::stats_text() { return unwrap(try_stats_text()); }
-std::string Client::metrics_text() { return unwrap(try_metrics_text()); }
-void Client::ping() { unwrap_void(try_ping()); }
 
 }  // namespace asrank::serve

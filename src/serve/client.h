@@ -2,19 +2,14 @@
 // query`, the serving tests, and the CI smoke script.  One connection per
 // Client; every method is one request/response exchange.
 //
-// Two API surfaces:
-//
-//   * try_* methods (preferred): return asrank::Result<T> with a typed
-//     ErrorCode — kTimeout (connect/read deadline expired), kRefused
-//     (connection refused), kShedding (server at its admission limit),
-//     kProtocol (bad frame or server-reported error), kUnknownEpoch.
-//     Refused/shed exchanges are retried up to ClientConfig::max_retries
-//     times with capped exponential equal-jitter backoff; the jitter RNG is
-//     seeded (deterministic for tests) and the sleep is injectable.
-//   * Legacy throwing methods (relationship(), rank(), ...): thin forwarders
-//     over try_* that raise ProtocolError with the historical messages.
-//     Deprecated — new callers should use the try_* forms; these forwarders
-//     remain for one release so existing tools keep compiling.
+// All methods return asrank::Result<T> with a typed ErrorCode — kTimeout
+// (connect/read deadline expired), kRefused (connection refused), kShedding
+// (server at its admission limit), kProtocol (bad frame or server-reported
+// error), kUnknownEpoch.  Refused/shed exchanges are retried up to
+// ClientConfig::max_retries times with capped exponential equal-jitter
+// backoff; the jitter RNG is seeded (deterministic for tests) and the sleep
+// is injectable.  (The legacy throwing forwarders were removed once every
+// in-repo caller migrated to the Result rail.)
 //
 // Most try_* query methods take an optional trailing `epoch` label; when
 // non-empty the request is wrapped in WITH_EPOCH and answered from that
@@ -77,8 +72,6 @@ class Client {
                                            std::uint16_t port,
                                            ClientConfig config = {});
 
-  /// Legacy throwing constructor (forwards to dial; kept for one release).
-  Client(const std::string& host, std::uint16_t port);
   ~Client();
 
   Client(const Client&) = delete;
@@ -117,27 +110,6 @@ class Client {
   /// empty label derives one from the path).
   Result<ReloadInfo> try_reload(const std::string& path,
                                 const std::string& label = {});
-
-  // ------------------------------------- legacy throwing surface (1 rel) --
-  // Deprecated forwarders: identical behavior and messages to the pre-epoch
-  // client; scheduled for removal once in-tree callers migrate to try_*.
-
-  [[nodiscard]] std::optional<RelView> relationship(Asn a, Asn b);
-  [[nodiscard]] std::optional<std::uint32_t> rank(Asn as);  ///< nullopt = unranked
-  [[nodiscard]] std::uint64_t cone_size(Asn as);
-  [[nodiscard]] std::vector<Asn> cone(Asn as);
-  [[nodiscard]] bool in_cone(Asn as, Asn member);
-  [[nodiscard]] std::vector<Asn> providers(Asn as);
-  [[nodiscard]] std::vector<Asn> customers(Asn as);
-  [[nodiscard]] std::vector<Asn> peers(Asn as);
-  [[nodiscard]] std::vector<snapshot::TopEntry> top(std::uint32_t n);
-  [[nodiscard]] std::vector<Asn> cone_intersection(Asn a, Asn b);
-  [[nodiscard]] std::vector<Asn> path_to_clique(Asn as);
-  [[nodiscard]] std::vector<Asn> clique();
-  [[nodiscard]] std::string stats_text();
-  /// Prometheus text exposition scraped via the METRICS opcode.
-  [[nodiscard]] std::string metrics_text();
-  void ping();
 
  private:
   Client() = default;

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -13,8 +14,12 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 
 #include "obs/log.h"
+#include "runtime/ebr.h"
+#include "runtime/reactor.h"
+#include "runtime/timer_queue.h"
 #include "serve/protocol.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -164,22 +169,23 @@ Result<void> dispatch_engine_op(QueryEngine& engine, Op op, WireReader& reader,
   return {};
 }
 
-/// Current-epoch engine or a kNotFound Error before the first install.
-Result<std::shared_ptr<QueryEngine>> require_current(SnapshotRegistry& registry) {
-  auto engine = registry.current();
-  if (!engine) return make_error(ErrorCode::kNotFound, "no snapshot loaded");
+/// Current-epoch engine or a kNotFound Error before the first install.  The
+/// raw pointer stays valid for the caller's EBR critical section.
+Result<QueryEngine*> require_current(const SnapshotRegistry::ReadView& view) {
+  auto* engine = view.current();
+  if (engine == nullptr) return make_error(ErrorCode::kNotFound, "no snapshot loaded");
   return engine;
 }
 
-Result<std::shared_ptr<QueryEngine>> require_epoch(SnapshotRegistry& registry,
-                                                   const std::string& label) {
-  auto engine = registry.epoch(label);
-  if (!engine) {
+Result<QueryEngine*> require_epoch(const SnapshotRegistry::ReadView& view,
+                                   const std::string& label) {
+  auto* engine = view.epoch(label);
+  if (engine == nullptr) {
     return make_error(ErrorCode::kUnknownEpoch, "unknown epoch '" + label + "'");
   }
-  registry.registry()
-      .counter("asrankd_epoch_queries_total",
-               "Queries naming an explicit epoch")
+  view.owner()
+      .registry()
+      .counter("asrankd_epoch_queries_total", "Queries naming an explicit epoch")
       .inc();
   return engine;
 }
@@ -188,13 +194,13 @@ Result<std::shared_ptr<QueryEngine>> require_epoch(SnapshotRegistry& registry,
 
 // ------------------------------------------------------ request handlers --
 
-std::vector<std::uint8_t> handle_binary_request(SnapshotRegistry& registry,
-                                                std::span<const std::uint8_t> payload,
-                                                bool local_peer) {
+std::vector<std::uint8_t> handle_binary_request(
+    const SnapshotRegistry::ReadView& view, std::span<const std::uint8_t> payload,
+    bool local_peer) {
   // Request decoding runs on the Result rail; a decode Error (truncated
   // operand, unknown opcode, trailing bytes) becomes an error response at
   // this boundary.  The catch-all remains for query execution itself.
-  const auto respond = [&registry, payload,
+  const auto respond = [&view, payload,
                         local_peer]() -> Result<std::vector<std::uint8_t>> {
     WireReader reader(payload);
     ASRANK_TRY(op_byte, reader.u8());
@@ -203,7 +209,7 @@ std::vector<std::uint8_t> handle_binary_request(SnapshotRegistry& registry,
     writer.u8(static_cast<std::uint8_t>(Status::kOk));
     switch (op) {
       case Op::kEpochs: {
-        const auto labels = registry.epochs();
+        const auto labels = view.epochs();
         writer.u32(static_cast<std::uint32_t>(labels.size()));
         for (const auto& label : labels) writer.str16(label);
         if (!reader.done()) {
@@ -220,9 +226,10 @@ std::vector<std::uint8_t> handle_binary_request(SnapshotRegistry& registry,
           return make_error(ErrorCode::kProtocol,
                             "trailing bytes after request operands");
         }
-        ASRANK_TRY(engine_a, require_epoch(registry, label_a));
-        ASRANK_TRY(engine_b, require_epoch(registry, label_b));
-        registry.registry()
+        ASRANK_TRY(engine_a, require_epoch(view, label_a));
+        ASRANK_TRY(engine_b, require_epoch(view, label_b));
+        view.owner()
+            .registry()
             .counter("asrankd_cone_diffs_total", "CONE_DIFF queries served")
             .inc();
         const auto cone_a = engine_a->cone(Asn(asn));
@@ -242,14 +249,14 @@ std::vector<std::uint8_t> handle_binary_request(SnapshotRegistry& registry,
           return make_error(ErrorCode::kInvalidArgument,
                             "reload denied: not a local peer");
         }
-        ASRANK_TRY(loaded, registry.load_file(path, label));
+        ASRANK_TRY(loaded, view.owner().load_file(path, label));
         writer.str16(loaded.label);
         writer.u32(static_cast<std::uint32_t>(loaded.engine->index().as_count()));
         return writer.take();
       }
       case Op::kWithEpoch: {
         ASRANK_TRY(label, reader.str16());
-        ASRANK_TRY(engine, require_epoch(registry, label));
+        ASRANK_TRY(engine, require_epoch(view, label));
         WireReader inner(reader.rest());
         ASRANK_TRY(inner_op, inner.u8());
         ASRANK_TRY_VOID(
@@ -257,7 +264,7 @@ std::vector<std::uint8_t> handle_binary_request(SnapshotRegistry& registry,
         return writer.take();
       }
       default: {
-        ASRANK_TRY(engine, require_current(registry));
+        ASRANK_TRY(engine, require_current(view));
         ASRANK_TRY_VOID(dispatch_engine_op(*engine, op, reader, writer));
         return writer.take();
       }
@@ -273,18 +280,25 @@ std::vector<std::uint8_t> handle_binary_request(SnapshotRegistry& registry,
   }
 }
 
-std::string handle_text_request(SnapshotRegistry& registry, std::string_view line,
-                                bool local_peer) {
+std::vector<std::uint8_t> handle_binary_request(SnapshotRegistry& registry,
+                                                std::span<const std::uint8_t> payload,
+                                                bool local_peer) {
+  runtime::ebr::Guard guard(registry.reclaim_domain());
+  return handle_binary_request(registry.read_view(), payload, local_peer);
+}
+
+std::string handle_text_request(const SnapshotRegistry::ReadView& view,
+                                std::string_view line, bool local_peer) {
   auto tokens = util::split_ws(util::trim(line));
   if (tokens.empty()) return "ERR empty command";
 
   // "@<epoch> <cmd> ..." routes the command to a named resident epoch.
-  std::shared_ptr<QueryEngine> engine;
+  QueryEngine* engine = nullptr;
   if (tokens[0].size() > 1 && tokens[0].front() == '@') {
     const std::string label(tokens[0].substr(1));
-    auto scoped = require_epoch(registry, label);
+    auto scoped = require_epoch(view, label);
     if (!scoped.ok()) return "ERR " + scoped.error().context;
-    engine = std::move(scoped).value();
+    engine = scoped.value();
     tokens.erase(tokens.begin());
     if (tokens.empty()) return "ERR usage: @<epoch> <command>";
   }
@@ -306,17 +320,18 @@ std::string handle_text_request(SnapshotRegistry& registry, std::string_view lin
     }
     if (cmd == "epochs") {
       std::string out = "OK";
-      for (const auto& label : registry.epochs()) out += " " + label;
+      for (const auto& label : view.epochs()) out += " " + label;
       return out;
     }
     if (cmd == "conediff") {
       const auto as = arg_as(1);
       if (!want_args(3) || !as) return "ERR usage: CONEDIFF <asn> <epochA> <epochB>";
-      auto a = require_epoch(registry, std::string(tokens[2]));
+      auto a = require_epoch(view, std::string(tokens[2]));
       if (!a.ok()) return "ERR " + a.error().context;
-      auto b = require_epoch(registry, std::string(tokens[3]));
+      auto b = require_epoch(view, std::string(tokens[3]));
       if (!b.ok()) return "ERR " + b.error().context;
-      registry.registry()
+      view.owner()
+          .registry()
           .counter("asrankd_cone_diffs_total", "CONE_DIFF queries served")
           .inc();
       const auto cone_a = a.value()->cone(*as);
@@ -336,7 +351,7 @@ std::string handle_text_request(SnapshotRegistry& registry, std::string_view lin
       if (tokens.size() != 2 && tokens.size() != 3) {
         return "ERR usage: RELOAD <path> [epoch]";
       }
-      auto loaded = registry.load_file(
+      auto loaded = view.owner().load_file(
           std::string(tokens[1]),
           tokens.size() == 3 ? std::string(tokens[2]) : std::string());
       if (!loaded.ok()) return "ERR " + loaded.error().context;
@@ -345,17 +360,17 @@ std::string handle_text_request(SnapshotRegistry& registry, std::string_view lin
     }
 
     // Everything below is engine-scoped: default to the current epoch.
-    if (!engine) {
-      auto current = require_current(registry);
+    if (engine == nullptr) {
+      auto current = require_current(view);
       if (!current.ok()) return "ERR " + current.error().context;
-      engine = std::move(current).value();
+      engine = current.value();
     }
 
     if (cmd == "rel") {
       const auto a = arg_as(1), b = arg_as(2);
       if (!want_args(2) || !a || !b) return "ERR usage: REL <asn> <asn>";
-      const auto view = engine->relationship(*a, *b);
-      return std::string("OK ") + (view ? std::string(to_string(*view)) : "none");
+      const auto rel = engine->relationship(*a, *b);
+      return std::string("OK ") + (rel ? std::string(to_string(*rel)) : "none");
     }
     if (cmd == "rank") {
       const auto as = arg_as(1);
@@ -426,6 +441,312 @@ std::string handle_text_request(SnapshotRegistry& registry, std::string_view lin
   }
 }
 
+std::string handle_text_request(SnapshotRegistry& registry, std::string_view line,
+                                bool local_peer) {
+  runtime::ebr::Guard guard(registry.reclaim_domain());
+  return handle_text_request(registry.read_view(), line, local_peer);
+}
+
+// ------------------------------------------- task-runtime worker context --
+
+struct Server::WorkerCtx {
+  std::unordered_map<std::uint64_t, std::unique_ptr<TaskConn>> conns;
+  /// Connections closed during a dispatch batch; freed on the next pass so a
+  /// handler may deregister itself mid-callback (see runtime::IoHandler).
+  std::vector<std::unique_ptr<TaskConn>> graveyard;
+  runtime::ebr::Domain::Slot* ebr_slot = nullptr;
+  std::uint64_t next_conn_id = 1;
+};
+
+// -------------------------------------- resumable connection state machine --
+
+/// One task-runtime connection: a buffered, non-blocking state machine that
+/// the owning worker resumes from reactor readiness, timer checkpoints, and
+/// shutdown.  Requests are parsed out of rbuf_ (binary frames and text lines
+/// interleave freely, as in the blocking runtime), executed under an EBR
+/// guard, and responses accumulate in wbuf_ with write interest armed only
+/// while flushes would block.
+class Server::TaskConn final : public runtime::IoHandler {
+ public:
+  TaskConn(Server& server, std::size_t worker, std::uint64_t id, int fd, bool local)
+      : server_(server), worker_(worker), id_(id), fd_(fd), local_(local) {}
+
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+  void start() {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+      fail("fcntl(O_NONBLOCK)");
+      return;
+    }
+    if (!reactor().add(fd_, runtime::Reactor::kRead, this)) {
+      fail("reactor add");
+      return;
+    }
+    registered_ = true;
+    update_timers();
+  }
+
+  void on_io(std::uint32_t events) override {
+    if (closed_) return;
+    if ((events & runtime::Reactor::kWrite) != 0) {
+      flush();
+      if (closed_) return;
+    }
+    if ((events & runtime::Reactor::kRead) != 0) handle_readable();
+  }
+
+  void on_timer(std::uint32_t kind) {
+    if (closed_) return;
+    bool& entry = kind == kTimerIdle ? idle_entry_ : deadline_entry_;
+    entry = false;
+    const auto logical = kind == kTimerIdle ? idle_deadline_ : query_deadline_;
+    if (logical == kNever) return;  // deadline lapsed; checkpoint is stale
+    const auto now = Clock::now();
+    if (now < logical) {
+      // The logical deadline moved later (new request / new idle period);
+      // re-arm one checkpoint at the current target.
+      ensure_timer(kind, logical);
+      return;
+    }
+    if (kind == kTimerIdle) {
+      server_.idle_timeouts_total_->inc();
+    } else {
+      server_.deadline_timeouts_total_->inc();
+    }
+    close_conn();
+  }
+
+  /// Server shutdown: one best-effort non-blocking flush, then close — the
+  /// blocking runtime's "finish the current request, drop the rest" shape.
+  void shutdown_close() {
+    if (closed_) return;
+    closing_ = true;
+    flush();
+    if (!closed_) close_conn();
+  }
+
+ private:
+  enum : std::uint32_t { kTimerIdle = 1, kTimerDeadline = 2 };
+  using Clock = std::chrono::steady_clock;
+  static constexpr Clock::time_point kNever = Clock::time_point::max();
+  static constexpr std::size_t kMaxTextLine = 4096;
+  static constexpr std::size_t kReadChunk = 16384;
+
+  runtime::Reactor& reactor() { return server_.scheduler_->reactor(worker_); }
+
+  void handle_readable() {
+    bool eof = false;
+    char chunk[kReadChunk];
+    for (;;) {
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n > 0) {
+        rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+        continue;  // edge-triggered: drain until EAGAIN
+      }
+      if (n == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      fail(std::string("recv: ") + std::strerror(errno));
+      return;
+    }
+    process_input();
+    if (closed_) return;
+    if (eof) {
+      if (!rbuf_.empty() && !closing_) {
+        // EOF mid-request, same as the blocking runtime's truncated read.
+        fail("unexpected EOF mid-request");
+        return;
+      }
+      closing_ = true;  // clean EOF: flush what we owe, then close
+    }
+    update_timers();
+    flush();
+  }
+
+  void process_input() {
+    std::size_t pos = 0;
+    while (!closed_ && !closing_) {
+      const std::size_t avail = rbuf_.size() - pos;
+      if (avail == 0) break;
+      if (rbuf_[pos] == kBinaryMarker) {
+        if (avail < 5) break;  // partial header
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(rbuf_[pos + 1]) |
+            static_cast<std::uint32_t>(rbuf_[pos + 2]) << 8 |
+            static_cast<std::uint32_t>(rbuf_[pos + 3]) << 16 |
+            static_cast<std::uint32_t>(rbuf_[pos + 4]) << 24;
+        if (len > kMaxPayload) {
+          fail("frame length " + std::to_string(len) + " exceeds limit");
+          return;
+        }
+        if (avail < 5 + static_cast<std::size_t>(len)) break;  // partial body
+        server_.frames_total_->inc();
+        const std::span<const std::uint8_t> payload(rbuf_.data() + pos + 5, len);
+        std::vector<std::uint8_t> response;
+        {
+          runtime::ebr::Guard guard(server_.registry_.reclaim_domain(), *ebr_slot());
+          response =
+              handle_binary_request(server_.registry_.read_view(), payload, local_);
+        }
+        append_frame(response);
+        pos += 5 + static_cast<std::size_t>(len);
+      } else {
+        const auto* begin = rbuf_.data() + pos;
+        const auto* nl =
+            static_cast<const std::uint8_t*>(std::memchr(begin, '\n', avail));
+        if (nl == nullptr) {
+          if (avail > kMaxTextLine) {
+            fail("text command too long");
+            return;
+          }
+          break;  // partial line
+        }
+        const std::size_t line_len = static_cast<std::size_t>(nl - begin);
+        if (line_len > kMaxTextLine) {
+          fail("text command too long");
+          return;
+        }
+        const std::string_view line(reinterpret_cast<const char*>(begin), line_len);
+        pos += line_len + 1;
+        const auto trimmed = util::trim(line);
+        if (util::iequals(trimmed, "quit") || util::iequals(trimmed, "exit")) {
+          closing_ = true;  // close after the pending responses flush
+          break;
+        }
+        server_.text_commands_total_->inc();
+        std::string response;
+        {
+          runtime::ebr::Guard guard(server_.registry_.reclaim_domain(), *ebr_slot());
+          response = handle_text_request(server_.registry_.read_view(), line, local_);
+        }
+        response += '\n';
+        wbuf_.insert(wbuf_.end(), response.begin(), response.end());
+      }
+    }
+    if (!closed_ && pos > 0) {
+      rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+  }
+
+  void append_frame(std::span<const std::uint8_t> payload) {
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    wbuf_.push_back(kBinaryMarker);
+    wbuf_.push_back(static_cast<std::uint8_t>(len & 0xFF));
+    wbuf_.push_back(static_cast<std::uint8_t>((len >> 8) & 0xFF));
+    wbuf_.push_back(static_cast<std::uint8_t>((len >> 16) & 0xFF));
+    wbuf_.push_back(static_cast<std::uint8_t>((len >> 24) & 0xFF));
+    wbuf_.insert(wbuf_.end(), payload.begin(), payload.end());
+  }
+
+  void flush() {
+    while (wpos_ < wbuf_.size()) {
+      const ssize_t n = ::write(fd_, wbuf_.data() + wpos_, wbuf_.size() - wpos_);
+      if (n > 0) {
+        wpos_ += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!want_write_) {
+          want_write_ = true;
+          reactor().modify(fd_, runtime::Reactor::kRead | runtime::Reactor::kWrite);
+        }
+        return;
+      }
+      fail(std::string("send: ") + std::strerror(errno));
+      return;
+    }
+    wbuf_.clear();
+    wpos_ = 0;
+    if (want_write_) {
+      want_write_ = false;
+      reactor().modify(fd_, runtime::Reactor::kRead);
+    }
+    if (closing_) close_conn();
+  }
+
+  /// Re-derive which logical deadline governs: the query deadline while a
+  /// partial request sits in rbuf_, the idle timeout while awaiting a first
+  /// byte.  Heap checkpoints are reused lazily (at most one per kind).
+  void update_timers() {
+    if (closed_ || closing_) {
+      idle_deadline_ = kNever;
+      query_deadline_ = kNever;
+      return;
+    }
+    if (!rbuf_.empty()) {
+      idle_deadline_ = kNever;
+      if (server_.config_.query_deadline_ms > 0 && query_deadline_ == kNever) {
+        query_deadline_ =
+            Clock::now() + std::chrono::milliseconds(server_.config_.query_deadline_ms);
+        ensure_timer(kTimerDeadline, query_deadline_);
+      }
+    } else {
+      query_deadline_ = kNever;
+      if (server_.config_.idle_timeout_ms > 0) {
+        idle_deadline_ =
+            Clock::now() + std::chrono::milliseconds(server_.config_.idle_timeout_ms);
+        ensure_timer(kTimerIdle, idle_deadline_);
+      }
+    }
+  }
+
+  void ensure_timer(std::uint32_t kind, Clock::time_point deadline) {
+    bool& entry = kind == kTimerIdle ? idle_entry_ : deadline_entry_;
+    if (entry) return;  // live checkpoint will re-arm itself if needed
+    entry = true;
+    server_.scheduler_->timers(worker_).schedule(deadline, id_, kind);
+  }
+
+  void fail(const std::string& what) {
+    server_.protocol_errors_total_->inc();
+    obs::log_warn("connection dropped", {{"error", what}});
+    close_conn();
+  }
+
+  void close_conn() {
+    if (closed_) return;
+    closed_ = true;
+    if (registered_) reactor().remove(fd_);
+    ::close(fd_);
+    fd_ = -1;
+    server_.active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    // Defer destruction to the worker's next pass: we may be deep inside
+    // this object's own on_io/on_timer frame right now.
+    auto& ctx = *server_.worker_ctx_[worker_];
+    auto it = ctx.conns.find(id_);
+    if (it != ctx.conns.end()) {
+      ctx.graveyard.push_back(std::move(it->second));
+      ctx.conns.erase(it);
+    }
+  }
+
+  runtime::ebr::Domain::Slot* ebr_slot() {
+    return server_.worker_ctx_[worker_]->ebr_slot;
+  }
+
+  Server& server_;
+  const std::size_t worker_;
+  const std::uint64_t id_;
+  int fd_;
+  const bool local_;
+  bool registered_ = false;
+  bool closing_ = false;  ///< QUIT / clean EOF: close once wbuf_ drains
+  bool closed_ = false;
+  bool want_write_ = false;
+  std::vector<std::uint8_t> rbuf_;
+  std::vector<std::uint8_t> wbuf_;
+  std::size_t wpos_ = 0;
+  Clock::time_point idle_deadline_ = kNever;
+  Clock::time_point query_deadline_ = kNever;
+  bool idle_entry_ = false;      ///< an idle checkpoint is in the timer heap
+  bool deadline_entry_ = false;  ///< a deadline checkpoint is in the heap
+};
+
 // ---------------------------------------------------------------- server --
 
 Server::Server(SnapshotRegistry& registry, ServerConfig config)
@@ -448,12 +769,22 @@ Server::Server(SnapshotRegistry& registry, ServerConfig config)
           "Connections closed after the idle timeout")),
       deadline_timeouts_total_(&registry.registry().counter(
           "asrankd_deadline_timeouts_total",
-          "Connections closed when a request missed its read deadline")) {
-  config_.threads = std::max<std::size_t>(1, config_.threads);
+          "Connections closed when a request missed its read deadline")),
+      admission_steals_total_(&registry.registry().counter(
+          "asrankd_runtime_admission_steals_total",
+          "Admissions adopted by a worker other than the acceptor's hint")) {
+  // threads == 0 means "use every hardware thread", matching
+  // InferenceConfig::threads; the resolved count is logged and exported so
+  // deployments can see what 0 meant on this machine.
+  threads_ = util::resolve_threads(config_.threads);
+  registry.registry()
+      .gauge("asrankd_worker_threads", "Resolved serving worker count")
+      .set(static_cast<std::int64_t>(threads_));
+
   // The worker poll tick bounds both idle-timeout resolution and the
-  // worst-case lag before a worker notices anything the broadcast pipe does
-  // not already wake it for; derive it from the idle timeout instead of a
-  // fixed 200ms so short timeouts stay accurate.
+  // worst-case lag before a worker notices anything its wakeup path does
+  // not already cover; derive it from the idle timeout instead of a fixed
+  // 200ms so short timeouts stay accurate.
   poll_tick_ms_ = 200;
   if (config_.idle_timeout_ms > 0) {
     poll_tick_ms_ = std::clamp(config_.idle_timeout_ms / 4, 5, 200);
@@ -484,9 +815,18 @@ Server::Server(SnapshotRegistry& registry, ServerConfig config)
     sys_fail("getsockname");
   }
   port_ = ntohs(bound.sin_port);
+
+  obs::log_info("asrankd workers resolved",
+                {{"requested", config_.threads},
+                 {"resolved", threads_},
+                 {"runtime", config_.runtime == RuntimeMode::kTask ? "task" : "blocking"}});
 }
 
 Server::~Server() {
+  if (scheduler_) {
+    scheduler_->stop();
+    scheduler_->join();
+  }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   for (const int fd : stop_pipe_) {
     if (fd >= 0) ::close(fd);
@@ -516,20 +856,14 @@ void Server::stop() noexcept {
 }
 
 void Server::run() {
-  running_.store(true, std::memory_order_release);
-  // Chunk 0 of the pool runs inline on this thread, which becomes the
-  // accept loop; chunks 1..threads are the connection workers.
-  util::ThreadPool pool(config_.threads + 1);
-  pool.for_chunks(config_.threads + 1, [this](std::size_t chunk, std::size_t, std::size_t) {
-    if (chunk == 0) {
-      accept_loop();
-    } else {
-      connection_worker();
-    }
-  });
+  if (config_.runtime == RuntimeMode::kBlocking) {
+    run_blocking();
+  } else {
+    run_task();
+  }
 }
 
-void Server::accept_loop() {
+void Server::accept_loop(const std::function<void(Pending)>& dispatch) {
   bool stopping = false;
   while (!stopping) {
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
@@ -584,26 +918,162 @@ void Server::accept_loop() {
       connections_.fetch_add(1, std::memory_order_relaxed);
       active_connections_.fetch_add(1, std::memory_order_relaxed);
       connections_total_->inc();
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      pending_.push_back({client, local});
-      queue_cv_.notify_one();
+      dispatch(Pending{client, local});
     }
   }
-
   running_.store(false, std::memory_order_release);
-  // Broadcast shutdown: one byte, never drained, so every worker's poll on
-  // the read end turns level-triggered readable at once — workers exit
-  // within one syscall instead of one poll tick.
-  const char byte = 'x';
-  [[maybe_unused]] const auto n = ::write(shutdown_pipe_[1], &byte, 1);
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    for (std::size_t i = 0; i < config_.threads; ++i) pending_.push_back({-1, false});
+}
+
+// ------------------------------------------------------------ task runtime --
+
+void Server::run_task() {
+  running_.store(true, std::memory_order_release);
+
+  runtime::TaskSchedulerConfig scfg;
+  scfg.workers = threads_;
+  scfg.tick_ms = poll_tick_ms_;
+  scfg.metric_prefix = "asrankd_runtime";
+  scheduler_ = std::make_unique<runtime::TaskScheduler>(scfg, &registry_.registry());
+
+  // Admission capacity tracks the connection bound, so with max_connections
+  // set the queue can never overflow (queued-but-unadopted sockets already
+  // count against active_connections_).
+  const std::size_t admission_cap =
+      config_.max_connections > 0 ? std::max<std::size_t>(config_.max_connections, 64)
+                                  : 4096;
+  admissions_ = std::make_unique<runtime::BoundedMpmcQueue<Admission>>(admission_cap);
+
+  worker_ctx_.clear();
+  for (std::size_t i = 0; i < threads_; ++i) {
+    worker_ctx_.push_back(std::make_unique<WorkerCtx>());
   }
-  queue_cv_.notify_all();
+
+  runtime::TaskScheduler::Hooks hooks;
+  hooks.on_start = [this](std::size_t w) {
+    worker_ctx_[w]->ebr_slot = registry_.reclaim_domain().acquire_slot();
+  };
+  hooks.on_stop = [this](std::size_t w) { close_worker_connections(w); };
+  hooks.on_pass = [this](std::size_t w) {
+    const bool did = drain_admissions(w);
+    registry_.reclaim_pass();
+    return did;
+  };
+  hooks.on_timer = [this](std::size_t w, std::uint64_t id, std::uint32_t kind) {
+    conn_timer_fired(w, id, kind);
+  };
+  scheduler_->start(std::move(hooks));
+
+  accept_loop([this](Pending pending) {
+    const auto hint = rr_hint_.fetch_add(1, std::memory_order_relaxed) %
+                      static_cast<std::uint32_t>(threads_);
+    if (!admissions_->try_push(Admission{pending.fd, pending.local, hint})) {
+      // Admission queue full (only reachable with max_connections == 0):
+      // shed exactly like the accept-path limit, undoing the active count.
+      static constexpr char kShedLine[] =
+          "ERR shedding: connection limit reached, retry later\n";
+      [[maybe_unused]] const auto w =
+          ::write(pending.fd, kShedLine, sizeof kShedLine - 1);
+      ::close(pending.fd);
+      shed_total_->inc();
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    scheduler_->post(hint, [this, hint] { drain_admissions(hint); });
+  });
+
+  scheduler_->stop();
+  scheduler_->join();
+  // Sockets accepted but never adopted by a worker.
+  while (auto admission = admissions_->try_pop()) {
+    ::close(admission->fd);
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  scheduler_.reset();
+  admissions_.reset();
+  worker_ctx_.clear();
+}
+
+bool Server::drain_admissions(std::size_t worker) {
+  auto& ctx = *worker_ctx_[worker];
+  bool did = !ctx.graveyard.empty();
+  ctx.graveyard.clear();
+  if (admissions_->size_approx() == 0) return did;
+  while (auto admission = admissions_->try_pop()) {
+    adopt_connection(worker, *admission);
+    did = true;
+  }
+  return did;
+}
+
+void Server::adopt_connection(std::size_t worker, const Admission& admission) {
+  if (admission.hint != worker) admission_steals_total_->inc();
+  auto& ctx = *worker_ctx_[worker];
+  const std::uint64_t id = ctx.next_conn_id++;
+  auto conn = std::make_unique<TaskConn>(*this, worker, id, admission.fd,
+                                         admission.local);
+  TaskConn* raw = conn.get();
+  ctx.conns.emplace(id, std::move(conn));
+  raw->start();
+  // Data may have arrived before registration; both backends report initial
+  // readiness, but one explicit kick makes it deterministic.
+  if (!raw->closed()) raw->on_io(runtime::Reactor::kRead);
+}
+
+void Server::conn_timer_fired(std::size_t worker, std::uint64_t conn_id,
+                              std::uint32_t kind) {
+  auto& ctx = *worker_ctx_[worker];
+  const auto it = ctx.conns.find(conn_id);
+  if (it == ctx.conns.end()) return;  // connection already gone; stale checkpoint
+  it->second->on_timer(kind);
+}
+
+void Server::close_worker_connections(std::size_t worker) {
+  auto& ctx = *worker_ctx_[worker];
+  std::vector<TaskConn*> open;
+  open.reserve(ctx.conns.size());
+  for (auto& [id, conn] : ctx.conns) open.push_back(conn.get());
+  for (auto* conn : open) conn->shutdown_close();  // moves entries to graveyard
+  ctx.graveyard.clear();
+  ctx.conns.clear();
+  if (ctx.ebr_slot != nullptr) {
+    registry_.reclaim_domain().release_slot(ctx.ebr_slot);
+    ctx.ebr_slot = nullptr;
+  }
+}
+
+// -------------------------------------------------------- blocking runtime --
+
+void Server::run_blocking() {
+  running_.store(true, std::memory_order_release);
+  // Chunk 0 of the pool runs inline on this thread, which becomes the
+  // accept loop; chunks 1..threads are the connection workers.
+  util::ThreadPool pool(threads_ + 1);
+  pool.for_chunks(threads_ + 1, [this](std::size_t chunk, std::size_t, std::size_t) {
+    if (chunk == 0) {
+      accept_loop([this](Pending pending) {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        pending_.push_back(pending);
+        queue_cv_.notify_one();
+      });
+      // Broadcast shutdown: one byte, never drained, so every worker's poll
+      // on the read end turns level-triggered readable at once — workers
+      // exit within one syscall instead of one poll tick.
+      const char byte = 'x';
+      [[maybe_unused]] const auto n = ::write(shutdown_pipe_[1], &byte, 1);
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        for (std::size_t i = 0; i < threads_; ++i) pending_.push_back({-1, false});
+      }
+      queue_cv_.notify_all();
+    } else {
+      connection_worker();
+    }
+  });
 }
 
 void Server::connection_worker() {
+  auto& domain = registry_.reclaim_domain();
+  auto* slot = domain.acquire_slot();
   while (true) {
     Pending next{-1, false};
     {
@@ -612,9 +1082,9 @@ void Server::connection_worker() {
       next = pending_.front();
       pending_.pop_front();
     }
-    if (next.fd < 0) return;
+    if (next.fd < 0) break;
     try {
-      handle_connection(next.fd, next.local);
+      handle_connection(next.fd, next.local, *slot);
     } catch (const TimeoutError&) {
       // A request that missed its read deadline; already counted.
       deadline_timeouts_total_->inc();
@@ -627,9 +1097,11 @@ void Server::connection_worker() {
     ::close(next.fd);
     active_connections_.fetch_sub(1, std::memory_order_relaxed);
   }
+  domain.release_slot(slot);
 }
 
-void Server::handle_connection(int fd, bool local_peer) {
+void Server::handle_connection(int fd, bool local_peer,
+                               runtime::ebr::Domain::Slot& slot) {
   using Clock = std::chrono::steady_clock;
   while (true) {
     // Interruptible first-byte wait: bounded by the idle timeout, woken
@@ -661,7 +1133,11 @@ void Server::handle_connection(int fd, bool local_peer) {
     if (first == kBinaryMarker) {
       const auto request = read_frame_body(fd, deadline_ms);
       frames_total_->inc();
-      const auto response = handle_binary_request(registry_, request, local_peer);
+      std::vector<std::uint8_t> response;
+      {
+        runtime::ebr::Guard guard(registry_.reclaim_domain(), slot);
+        response = handle_binary_request(registry_.read_view(), request, local_peer);
+      }
       write_frame(fd, response);
       continue;
     }
@@ -687,7 +1163,12 @@ void Server::handle_connection(int fd, bool local_peer) {
     const auto trimmed = util::trim(line);
     if (util::iequals(trimmed, "quit") || util::iequals(trimmed, "exit")) return;
     text_commands_total_->inc();
-    const std::string response = handle_text_request(registry_, line, local_peer) + "\n";
+    std::string response;
+    {
+      runtime::ebr::Guard guard(registry_.reclaim_domain(), slot);
+      response = handle_text_request(registry_.read_view(), line, local_peer);
+    }
+    response += "\n";
     write_all(fd, response.data(), response.size());
   }
 }

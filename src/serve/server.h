@@ -1,32 +1,44 @@
-// asrankd — a small blocking-TCP daemon serving snapshot queries.
+// asrankd — the snapshot-query daemon.
 //
-// Architecture: the listening socket is bound in the constructor (so
-// ephemeral port 0 works for tests), and run() drives one accept loop plus
-// `threads` connection workers on a util::ThreadPool — the accept loop runs
-// inline as chunk 0, accepted sockets flow to workers through a small
-// blocking queue, and each worker serves one connection at a time
-// (length-prefixed binary frames and/or newline text commands, see
-// protocol.h).  Shutdown is cooperative and signal-safe: stop() — or the
-// SIGINT/SIGTERM handler installed by install_signal_handlers() — writes to
-// a self-pipe, the accept loop drains, a broadcast pipe plus queue sentinels
-// wake every worker immediately (no poll-tick latency), and run() returns
-// after all in-flight requests complete.
+// Two serving runtimes share one wire protocol, one handler layer, and one
+// accept loop (bound in the constructor so ephemeral port 0 works in tests):
+//
+//   * RuntimeMode::kTask (default): a non-blocking, task-scheduled runtime.
+//     run() keeps the accept loop inline on the calling thread; accepted
+//     sockets flow through a bounded lock-free MPMC admission queue to
+//     per-core workers (runtime::TaskScheduler).  Each worker owns an
+//     edge-notified reactor (epoll on Linux, poll fallback) and drives
+//     resumable per-connection state machines — read-frame → decode →
+//     execute → write — parked on the reactor between steps, so thousands
+//     of idle connections cost no threads.  Snapshot lookups run under
+//     epoch-based-reclamation guards (SnapshotRegistry::ReadView): the hot
+//     path never bumps a shared_ptr refcount.
+//   * RuntimeMode::kBlocking: the original thread-per-worker baseline
+//     (kept for A/B measurement in bench_serve_load); one blocking worker
+//     serves one connection at a time.
+//
+// Both runtimes are byte-identical on the wire: length-prefixed binary
+// frames and/or newline text commands (protocol.h), identical STATS/METRICS
+// bytes, and the same idle-timeout / query-deadline / max-connection
+// shedding semantics.  Shutdown is cooperative and signal-safe: stop() — or
+// the SIGINT/SIGTERM handler installed by install_signal_handlers() —
+// writes to a self-pipe; the accept loop drains, every worker is woken
+// immediately (reactor wakeups in task mode, a broadcast pipe plus queue
+// sentinels in blocking mode), and run() returns after in-flight requests
+// complete.
 //
 // The server serves a SnapshotRegistry, not a single engine: queries default
 // to the current epoch, may name any resident epoch, and SIGHUP (or the
 // RELOAD command from a loopback peer) hot-swaps a new snapshot in without
 // dropping in-flight queries (see snapshot_registry.h).
-//
-// Self-defense: per-connection idle timeout, per-query read deadline, and a
-// max-connection admission bound — over-limit connections get one
-// "ERR shedding: ..." line and are closed (clients surface
-// ErrorCode::kShedding and may back off and retry).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -34,14 +46,23 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "runtime/mpmc_queue.h"
+#include "runtime/scheduler.h"
 #include "serve/snapshot_registry.h"
 
 namespace asrank::serve {
 
+/// Which serving substrate run() drives.  Wire behavior is identical; kTask
+/// multiplexes connections on per-core reactors, kBlocking dedicates one
+/// blocking worker per in-flight connection (the pre-runtime baseline).
+enum class RuntimeMode : std::uint8_t { kTask, kBlocking };
+
 struct ServerConfig {
   std::string host = "127.0.0.1";
-  std::uint16_t port = 7464;     ///< 0 = kernel-assigned (see Server::port())
-  std::size_t threads = 4;       ///< connection workers (>= 1)
+  std::uint16_t port = 7464;  ///< 0 = kernel-assigned (see Server::port())
+  /// Worker count; 0 = hardware concurrency (the resolved value is logged at
+  /// startup and exported as asrankd_worker_threads).
+  std::size_t threads = 4;
   int backlog = 64;
   /// Close a keep-alive connection after this long with no request bytes.
   /// <= 0 disables.  Also bounds the worker poll tick (capped at 200ms), so
@@ -57,6 +78,8 @@ struct ServerConfig {
   std::string reload_path;
   /// Epoch label for SIGHUP reloads ("" = derive from reload_path).
   std::string reload_label;
+  /// Serving substrate (see RuntimeMode).
+  RuntimeMode runtime = RuntimeMode::kTask;
 };
 
 class Server {
@@ -93,13 +116,45 @@ class Server {
   /// can assert shutdown latency stays under one tick).
   [[nodiscard]] int poll_tick_ms() const noexcept { return poll_tick_ms_; }
 
+  /// Resolved worker count (config.threads, with 0 mapped to hardware
+  /// concurrency at construction).
+  [[nodiscard]] std::size_t worker_threads() const noexcept { return threads_; }
+
  private:
-  void accept_loop();
+  // An accepted socket on its way to a worker.
+  struct Pending {
+    int fd;
+    bool local;  ///< peer is loopback (may issue RELOAD)
+  };
+  // Admission-queue entry for the task runtime; `hint` is the worker the
+  // acceptor nominated (round-robin) — any worker may pop it, a mismatch is
+  // counted as a steal.
+  struct Admission {
+    int fd = -1;
+    bool local = false;
+    std::uint32_t hint = 0;
+  };
+  class TaskConn;
+  struct WorkerCtx;
+
+  void accept_loop(const std::function<void(Pending)>& dispatch);
+
+  // Task runtime.
+  void run_task();
+  bool drain_admissions(std::size_t worker);
+  void adopt_connection(std::size_t worker, const Admission& admission);
+  void conn_timer_fired(std::size_t worker, std::uint64_t conn_id,
+                        std::uint32_t kind);
+  void close_worker_connections(std::size_t worker);
+
+  // Blocking baseline.
+  void run_blocking();
   void connection_worker();
-  void handle_connection(int fd, bool local_peer);
+  void handle_connection(int fd, bool local_peer, runtime::ebr::Domain::Slot& slot);
 
   SnapshotRegistry& registry_;
   ServerConfig config_;
+  std::size_t threads_ = 1;  ///< resolved worker count
   int listen_fd_ = -1;
   int stop_pipe_[2] = {-1, -1};      ///< signal/stop commands to accept loop
   int shutdown_pipe_[2] = {-1, -1};  ///< written once at stop, never drained
@@ -110,19 +165,23 @@ class Server {
   std::atomic<std::size_t> active_connections_{0};
 
   // Daemon counters in the registry's obs::Registry (resolved at bind time).
-  obs::Counter* connections_total_;     ///< asrankd_connections_total
-  obs::Counter* frames_total_;          ///< asrankd_frames_total
-  obs::Counter* text_commands_total_;   ///< asrankd_text_commands_total
-  obs::Counter* protocol_errors_total_; ///< asrankd_protocol_errors_total
-  obs::Counter* shed_total_;            ///< asrankd_connections_shed_total
-  obs::Counter* idle_timeouts_total_;   ///< asrankd_idle_timeouts_total
+  obs::Counter* connections_total_;       ///< asrankd_connections_total
+  obs::Counter* frames_total_;            ///< asrankd_frames_total
+  obs::Counter* text_commands_total_;     ///< asrankd_text_commands_total
+  obs::Counter* protocol_errors_total_;   ///< asrankd_protocol_errors_total
+  obs::Counter* shed_total_;              ///< asrankd_connections_shed_total
+  obs::Counter* idle_timeouts_total_;     ///< asrankd_idle_timeouts_total
   obs::Counter* deadline_timeouts_total_; ///< asrankd_deadline_timeouts_total
+  obs::Counter* admission_steals_total_;  ///< asrankd_runtime_admission_steals_total
 
-  // Accepted sockets awaiting a worker; fd -1 is the shutdown sentinel.
-  struct Pending {
-    int fd;
-    bool local;  ///< peer is loopback (may issue RELOAD)
-  };
+  // Task-runtime state, alive for the duration of run_task().
+  std::unique_ptr<runtime::TaskScheduler> scheduler_;
+  std::unique_ptr<runtime::BoundedMpmcQueue<Admission>> admissions_;
+  std::vector<std::unique_ptr<WorkerCtx>> worker_ctx_;
+  std::atomic<std::uint32_t> rr_hint_{0};
+
+  // Blocking-baseline state: accepted sockets awaiting a worker; fd -1 is
+  // the shutdown sentinel.
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<Pending> pending_;
@@ -130,7 +189,13 @@ class Server {
 
 /// Decode and execute one binary request payload; always returns a response
 /// payload (status byte first), never throws for malformed requests.
-/// `local_peer` gates the RELOAD opcode (loopback connections only).
+/// `local_peer` gates the RELOAD opcode (loopback connections only).  The
+/// view-taking overload is the hot path: the caller must hold an EBR guard
+/// on the registry's reclaim_domain() (see SnapshotRegistry::ReadView); the
+/// registry-taking overload pins a transient guard itself.
+[[nodiscard]] std::vector<std::uint8_t> handle_binary_request(
+    const SnapshotRegistry::ReadView& view, std::span<const std::uint8_t> payload,
+    bool local_peer = true);
 [[nodiscard]] std::vector<std::uint8_t> handle_binary_request(
     SnapshotRegistry& registry, std::span<const std::uint8_t> payload,
     bool local_peer = true);
@@ -138,7 +203,11 @@ class Server {
 /// Execute one text-mode command line; returns the full response text
 /// (possibly multi-line for STATS, "."-terminated), without trailing
 /// newline.  QUIT is the caller's business (it closes the connection).
-/// Commands may be prefixed with "@<epoch>" to query a named epoch.
+/// Commands may be prefixed with "@<epoch>" to query a named epoch.  Guard
+/// discipline matches handle_binary_request above.
+[[nodiscard]] std::string handle_text_request(const SnapshotRegistry::ReadView& view,
+                                              std::string_view line,
+                                              bool local_peer = true);
 [[nodiscard]] std::string handle_text_request(SnapshotRegistry& registry,
                                               std::string_view line,
                                               bool local_peer = true);

@@ -31,8 +31,44 @@ SnapshotRegistry::SnapshotRegistry(SnapshotRegistryConfig config,
           "asrankd_reload_duration_micros",
           "Wall time of snapshot load + install")),
       epochs_loaded_(&registry->gauge("asrankd_epochs_loaded",
-                                      "Resident snapshot epochs")) {
+                                      "Resident snapshot epochs")),
+      generations_retired_total_(&registry->counter(
+          "asrankd_snapshot_generations_retired_total",
+          "Snapshot generations handed to epoch-based reclamation")),
+      generations_reclaimed_total_(&registry->counter(
+          "asrankd_snapshot_generations_reclaimed_total",
+          "Retired snapshot generations freed after reader quiesce")),
+      ebr_pending_(&registry->gauge(
+          "asrankd_ebr_pending_reclaims",
+          "Retired snapshot generations awaiting reader quiesce")) {
   config_.retention = std::max<std::size_t>(1, config_.retention);
+  gen_raw_.store(generation().get(), std::memory_order_release);
+}
+
+QueryEngine* SnapshotRegistry::ReadView::epoch(std::string_view label) const noexcept {
+  for (const auto& entry : gen_->entries) {
+    if (entry->label == label) {
+      entry->last_used.store(
+          registry_->use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      return entry->engine.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SnapshotRegistry::ReadView::epochs() const {
+  std::vector<std::string> out;
+  out.reserve(gen_->entries.size());
+  for (const auto& entry : gen_->entries) out.push_back(entry->label);
+  return out;
+}
+
+void SnapshotRegistry::reclaim_pass() noexcept {
+  if (ebr_.pending() == 0) return;
+  const std::size_t freed = ebr_.try_advance();
+  if (freed != 0) generations_reclaimed_total_->inc(freed);
+  ebr_pending_->set(static_cast<std::int64_t>(ebr_.pending()));
 }
 
 bool SnapshotRegistry::valid_label(std::string_view label) noexcept {
@@ -151,8 +187,17 @@ Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::install_impl(
     next->entries.erase(victim);
   }
 
-  gen_.store(std::shared_ptr<const Generation>(std::move(next)),
-             std::memory_order_release);
+  std::shared_ptr<const Generation> published(std::move(next));
+  const Generation* published_raw = published.get();
+  gen_.store(std::move(published), std::memory_order_release);
+  gen_raw_.store(published_raw, std::memory_order_release);
+  // The replaced generation may still be visible to EBR-guarded readers that
+  // loaded gen_raw_ before the store above; park its ownership in the
+  // reclamation domain instead of dropping it here.
+  ebr_.retire([keep = old_gen]() mutable { keep.reset(); });
+  generations_retired_total_->inc();
+  ebr_pending_->set(static_cast<std::int64_t>(ebr_.pending()));
+  reclaim_pass();
 
   if (!first_install) reloads_total_->inc();
   epochs_loaded_->set(static_cast<std::int64_t>(generation()->entries.size()));

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "runtime/ebr.h"
 #include "serve/query_engine.h"
 #include "util/result.h"
 
@@ -113,6 +114,58 @@ class SnapshotRegistry {
 
   [[nodiscard]] obs::Registry& registry() const noexcept { return *registry_; }
 
+  /// Epoch-based-reclamation domain that owns retired generations.  Server
+  /// workers register one slot per thread and pin it per request; the
+  /// convenience handler wrappers pin a transient slot per call.
+  [[nodiscard]] runtime::ebr::Domain& reclaim_domain() const noexcept {
+    return ebr_;
+  }
+
+  // (defined in the private section below; forward-declared for ReadView)
+  struct Generation;
+
+  /// Raw-pointer view of the published generation for EBR-guarded readers.
+  /// The caller MUST hold a runtime::ebr::Guard on reclaim_domain() for the
+  /// whole lifetime of the view and of every engine pointer obtained from
+  /// it: the guard — not a shared_ptr refcount — is what keeps a swapped-out
+  /// generation alive.  This is the serve hot path; current()/epoch() above
+  /// stay for callers that want owning handles.
+  class ReadView {
+   public:
+    /// Current engine; nullptr before the first install.
+    [[nodiscard]] QueryEngine* current() const noexcept {
+      return gen_->entries.empty() ? nullptr : gen_->entries.front()->engine.get();
+    }
+    [[nodiscard]] std::string_view current_label() const noexcept {
+      return gen_->entries.empty() ? std::string_view{}
+                                   : std::string_view(gen_->entries.front()->label);
+    }
+    /// Engine for a named epoch (bumps its LRU clock), or nullptr.
+    [[nodiscard]] QueryEngine* epoch(std::string_view label) const noexcept;
+    [[nodiscard]] std::vector<std::string> epochs() const;
+    [[nodiscard]] std::size_t epoch_count() const noexcept {
+      return gen_->entries.size();
+    }
+    /// The registry the view was taken from (for RELOAD and metrics).
+    [[nodiscard]] SnapshotRegistry& owner() const noexcept { return *registry_; }
+
+   private:
+    friend class SnapshotRegistry;
+    ReadView(SnapshotRegistry* registry, const Generation* gen) noexcept
+        : registry_(registry), gen_(gen) {}
+    SnapshotRegistry* registry_;
+    const Generation* gen_;
+  };
+
+  /// Takes an EBR-guarded view of the published generation (see ReadView).
+  [[nodiscard]] ReadView read_view() noexcept {
+    return ReadView(this, gen_raw_.load(std::memory_order_acquire));
+  }
+
+  /// Opportunistically advances the reclamation epoch and frees quiesced
+  /// generations.  Cheap when nothing is pending; workers call it when idle.
+  void reclaim_pass() noexcept;
+
   /// Labels are operator-facing identifiers that travel over the wire and
   /// into metric labels: 1..64 chars of [A-Za-z0-9._:-].
   [[nodiscard]] static bool valid_label(std::string_view label) noexcept;
@@ -122,7 +175,6 @@ class SnapshotRegistry {
   /// result is not a valid label.
   [[nodiscard]] static Result<std::string> derive_label(const std::string& path);
 
- private:
   struct Entry {
     std::string label;
     std::shared_ptr<QueryEngine> engine;
@@ -139,6 +191,7 @@ class SnapshotRegistry {
     std::vector<std::shared_ptr<Entry>> entries;
   };
 
+ private:
   [[nodiscard]] std::shared_ptr<const Generation> generation() const noexcept {
     return gen_.load(std::memory_order_acquire);
   }
@@ -156,6 +209,11 @@ class SnapshotRegistry {
   obs::Registry* registry_;
 
   std::atomic<std::shared_ptr<const Generation>> gen_;
+  /// Raw mirror of gen_ for EBR-guarded readers (read_view()).  Published
+  /// after gen_; the pointee is kept alive by gen_ while current and by a
+  /// retired closure in ebr_ after it is replaced.
+  std::atomic<const Generation*> gen_raw_;
+  mutable runtime::ebr::Domain ebr_;
   mutable std::atomic<std::uint64_t> use_clock_{0};
   std::mutex reload_mutex_;  ///< serializes writers only
 
@@ -163,6 +221,9 @@ class SnapshotRegistry {
   obs::Counter* reload_failures_total_;
   obs::Histogram* reload_duration_;
   obs::Gauge* epochs_loaded_;
+  obs::Counter* generations_retired_total_;
+  obs::Counter* generations_reclaimed_total_;
+  obs::Gauge* ebr_pending_;
 };
 
 }  // namespace asrank::serve

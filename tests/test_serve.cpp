@@ -781,35 +781,35 @@ class ServeFixture : public testing::Test {
 };
 
 TEST_F(ServeFixture, SocketAnswersMatchBatchComputation) {
-  Client client("127.0.0.1", server_.port());
+  Client client = Client::dial("127.0.0.1", server_.port()).value();
   const auto graph = make_graph();
   const auto cones = core::recursive_cone(graph);
 
-  client.ping();
+  ASSERT_TRUE(client.try_ping().ok());
   for (const Asn as : graph.ases()) {
-    EXPECT_EQ(client.cone(as), cones.at(as));
-    EXPECT_EQ(client.cone_size(as), cones.at(as).size());
+    EXPECT_EQ(client.try_cone(as).value(), cones.at(as));
+    EXPECT_EQ(client.try_cone_size(as).value(), cones.at(as).size());
     std::vector<Asn> providers(graph.providers(as).begin(),
                                graph.providers(as).end());
     std::sort(providers.begin(), providers.end());
-    EXPECT_EQ(client.providers(as), providers);
+    EXPECT_EQ(client.try_providers(as).value(), providers);
     for (const Asn other : graph.ases()) {
-      EXPECT_EQ(client.relationship(as, other), graph.view(as, other));
+      EXPECT_EQ(client.try_relationship(as, other).value(), graph.view(as, other));
     }
   }
-  EXPECT_EQ(client.clique(), asns({1, 2}));
-  EXPECT_EQ(client.rank(Asn(1)), 1u);
-  EXPECT_EQ(client.rank(Asn(99)), std::nullopt);
-  EXPECT_EQ(client.cone_intersection(Asn(1), Asn(2)), asns({3, 4}));
-  EXPECT_EQ(client.path_to_clique(Asn(4)), asns({4, 3, 1}));
-  EXPECT_TRUE(client.in_cone(Asn(1), Asn(4)));
+  EXPECT_EQ(client.try_clique().value(), asns({1, 2}));
+  EXPECT_EQ(client.try_rank(Asn(1)).value(), 1u);
+  EXPECT_EQ(client.try_rank(Asn(99)).value(), std::nullopt);
+  EXPECT_EQ(client.try_cone_intersection(Asn(1), Asn(2)).value(), asns({3, 4}));
+  EXPECT_EQ(client.try_path_to_clique(Asn(4)).value(), asns({4, 3, 1}));
+  EXPECT_TRUE(client.try_in_cone(Asn(1), Asn(4)).value());
 
-  const auto top = client.top(3);
+  const auto top = client.try_top(3).value();
   ASSERT_EQ(top.size(), 3u);
   EXPECT_EQ(top[0].as, Asn(1));
   EXPECT_EQ(top[0].cone_size, 4u);
 
-  const auto stats = client.stats_text();
+  const auto stats = client.try_stats_text().value();
   EXPECT_NE(stats.find("relationship"), std::string::npos);
 }
 
@@ -819,10 +819,12 @@ TEST_F(ServeFixture, ConcurrentClientsAreServed) {
   for (int w = 0; w < 4; ++w) {
     workers.emplace_back([this, &failures] {
       try {
-        Client client("127.0.0.1", server_.port());
+        Client client = Client::dial("127.0.0.1", server_.port()).value();
         for (int i = 0; i < 25; ++i) {
-          if (client.cone_size(Asn(1)) != 4) ++failures;
-          if (client.rank(Asn(2)) != 2u) ++failures;
+          auto size = client.try_cone_size(Asn(1));
+          if (!size.ok() || size.value() != 4) ++failures;
+          auto rank = client.try_rank(Asn(2));
+          if (!rank.ok() || rank.value() != 2u) ++failures;
         }
       } catch (const std::exception&) {
         ++failures;
@@ -854,10 +856,10 @@ TEST_F(ServeFixture, TextModeOverSocket) {
 }
 
 TEST_F(ServeFixture, MetricsScrapeOverSocket) {
-  Client client("127.0.0.1", server_.port());
-  (void)client.rank(Asn(1));
-  (void)client.rank(Asn(2));
-  const auto text = client.metrics_text();
+  Client client = Client::dial("127.0.0.1", server_.port()).value();
+  (void)client.try_rank(Asn(1));
+  (void)client.try_rank(Asn(2));
+  const auto text = client.try_metrics_text().value();
   // Valid Prometheus exposition with per-query-type latency histograms and
   // the daemon's own connection/frame counters.
   EXPECT_NE(text.find("# TYPE asrankd_query_latency_micros histogram\n"),
@@ -872,7 +874,7 @@ TEST_F(ServeFixture, MetricsScrapeOverSocket) {
 
 TEST_F(ServeFixture, EpochAwareQueriesOverSocket) {
   ASSERT_TRUE(rig_.snapshots->install("next", make_index_b()).ok());
-  Client client("127.0.0.1", server_.port());
+  Client client = Client::dial("127.0.0.1", server_.port()).value();
 
   auto epochs = client.try_epochs();
   ASSERT_TRUE(epochs.ok());
@@ -899,7 +901,7 @@ TEST_F(ServeFixture, EpochAwareQueriesOverSocket) {
 TEST_F(ServeFixture, ReloadOverSocket) {
   const std::string path = testing::TempDir() + "/socket-reload.asrk";
   snapshot::write_snapshot_file(make_index_b(), path);
-  Client client("127.0.0.1", server_.port());
+  Client client = Client::dial("127.0.0.1", server_.port()).value();
 
   auto info = client.try_reload(path);
   ASSERT_TRUE(info.ok()) << info.error().context;
@@ -936,8 +938,8 @@ TEST(Server, GracefulShutdownWithIdleClientConnected) {
   std::thread thread([&server] { server.run(); });
   {
     // An idle keep-alive connection must not wedge shutdown.
-    Client idle("127.0.0.1", server.port());
-    idle.ping();
+    Client idle = Client::dial("127.0.0.1", server.port()).value();
+    ASSERT_TRUE(idle.try_ping().ok());
     server.stop();
     thread.join();
   }
@@ -972,8 +974,8 @@ TEST(Server, ShutdownWakesIdleWorkersWithinOneTick) {
   config.threads = 2;
   Server server(*rig.snapshots, config);
   std::thread runner([&server] { server.run(); });
-  Client idle("127.0.0.1", server.port());
-  idle.ping();  // the worker is now parked in its keep-alive poll
+  Client idle = Client::dial("127.0.0.1", server.port()).value();
+  ASSERT_TRUE(idle.try_ping().ok());  // the worker is now parked in its keep-alive poll
 
   const auto start = std::chrono::steady_clock::now();
   server.stop();
@@ -998,7 +1000,7 @@ TEST(Server, SighupReloadsAndSigtermStopsWithinOneTick) {
   Server server(*rig.snapshots, config);
   server.install_signal_handlers();
   std::thread runner([&server] { server.run(); });
-  Client client("127.0.0.1", server.port());
+  Client client = Client::dial("127.0.0.1", server.port()).value();
   ASSERT_TRUE(client.try_ping().ok());
 
   ::raise(SIGHUP);
@@ -1032,8 +1034,8 @@ TEST(Server, ShedsConnectionsOverTheAdmissionLimit) {
   Server server(*rig.snapshots, config);
   std::thread runner([&server] { server.run(); });
 
-  Client first("127.0.0.1", server.port());
-  first.ping();  // occupies the single admission slot
+  Client first = Client::dial("127.0.0.1", server.port()).value();
+  ASSERT_TRUE(first.try_ping().ok());  // occupies the single admission slot
 
   // A second connection gets the one-line shed notice and a close.  (The
   // client-side mapping of that line to ErrorCode::kShedding is covered by
@@ -1155,7 +1157,7 @@ TEST(Server, ConcurrentReloadTorture) {
   for (int w = 0; w < 2; ++w) {
     clients.emplace_back([&server, &done, &failures, &answers] {
       try {
-        Client client("127.0.0.1", server.port());
+        Client client = Client::dial("127.0.0.1", server.port()).value();
         while (!done.load(std::memory_order_relaxed)) {
           auto size = client.try_cone_size(Asn(1));
           if (!size.ok()) {
