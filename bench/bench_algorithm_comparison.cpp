@@ -5,10 +5,7 @@
 
 #include <chrono>
 
-#include "baselines/asrank_adapter.h"
-#include "baselines/degree_heuristic.h"
-#include "baselines/gao.h"
-#include "baselines/tor_local_search.h"
+#include "algo/registry.h"
 #include "paths/sanitizer.h"
 #include "validation/synthesize.h"
 
@@ -31,18 +28,15 @@ int main(int argc, char** argv) {
   const auto synth = validation::synthesize_validation(world.truth, world.observation,
                                                        validation::SynthesisParams{});
 
-  const baselines::AsRankAlgorithm asrank(bench::config_for(world.truth));
-  const baselines::GaoInference gao;
-  const baselines::DegreeHeuristic degree;
-  const baselines::TorLocalSearch tor;
-
   util::TableWriter table({"algorithm", "c2p PPV", "p2p PPV", "overall", "corpus PPV",
                            "links", "runtime ms"});
-  for (const baselines::InferenceAlgorithm* algorithm :
-       {static_cast<const baselines::InferenceAlgorithm*>(&asrank),
-        static_cast<const baselines::InferenceAlgorithm*>(&gao),
-        static_cast<const baselines::InferenceAlgorithm*>(&tor),
-        static_cast<const baselines::InferenceAlgorithm*>(&degree)}) {
+  for (const std::string_view name : algo::names()) {
+    auto made = algo::create(name);
+    if (!made.ok()) {
+      std::cerr << made.error().message() << "\n";
+      return 1;
+    }
+    const auto algorithm = std::move(made).value();
     const auto start = std::chrono::steady_clock::now();
     const auto graph = algorithm->infer(sanitized.corpus);
     const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(

@@ -15,6 +15,7 @@
 // Every artifact is a documented interchange format: .as-rel and .ppdc-ases
 // (CAIDA text formats), MRT TABLE_DUMP_V2 (binary RIB), "prefix|path" pipe
 // tables, or ASRK1 binary snapshots (docs/FORMATS.md).
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -28,6 +29,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "algo/registry.h"
 #include "bgpsim/collector.h"
 #include "bgpsim/observation.h"
 #include "bgpsim/update_stream.h"
@@ -124,6 +126,11 @@ std::ifstream open_in(const std::string& path) {
 topogen::GroundTruth generate_truth(const Args& args) {
   auto params = topogen::GenParams::preset(args.get_or("preset", "medium"));
   params.seed = args.get_u64("seed", 42);
+  // Adversarial scenario knobs (EXPERIMENTS.md): both default off.
+  params.hybrid_link_fraction =
+      std::strtod(args.get_or("hybrid-fraction", "0").c_str(), nullptr);
+  params.route_leaker_fraction =
+      std::strtod(args.get_or("leaker-fraction", "0").c_str(), nullptr);
   return topogen::generate(params);
 }
 
@@ -133,6 +140,55 @@ bgpsim::Observation observe_world(const topogen::GroundTruth& truth, const Args&
   params.full_vps = args.get_u64("full-vps", 30);
   params.partial_vps = args.get_u64("partial-vps", 10);
   return bgpsim::observe(truth, params);
+}
+
+/// Resolve a --algorithm value (one name, or a comma list for snapshot and
+/// ingest builds) to canonical registry names.  Unknown names are usage
+/// errors — exit 2 with the registered-name list, same as an unknown --op.
+std::vector<std::string> algorithm_list(const std::string& spec) {
+  std::vector<std::string> out;
+  for (const auto token : util::split(spec, ',')) {
+    auto canonical = algo::resolve(util::trim(token));
+    if (!canonical.ok()) throw UsageError(canonical.error().context);
+    if (std::find(out.begin(), out.end(), canonical.value()) == out.end()) {
+      out.push_back(std::move(canonical).value());
+    }
+  }
+  if (out.empty()) throw UsageError("--algorithm needs at least one name");
+  return out;
+}
+
+/// Build one single-algorithm snapshot part: infer from the corpus, freeze
+/// recursive cones over the inferred graph and the corpus transit degrees.
+/// "asrank" keeps its own clique; the baselines use provider-free ASes.
+snapshot::SnapshotIndex build_algorithm_part(const std::string& name,
+                                             const paths::PathCorpus& corpus,
+                                             const core::Degrees& degrees,
+                                             std::size_t threads) {
+  AsGraph graph;
+  std::vector<Asn> clique;
+  if (name == "asrank") {
+    core::InferenceConfig config;
+    config.threads = threads;
+    auto result = core::AsRankInference(config).run(corpus);
+    graph = std::move(result.graph);
+    clique = std::move(result.clique);
+  } else {
+    algo::AlgorithmOptions options;
+    options.threads = threads;
+    auto algorithm = algo::create(name, options);
+    if (!algorithm.ok()) throw UsageError(algorithm.error().context);
+    graph = algorithm.value()->infer(corpus);
+    // The baselines promise nothing about provider-cycle freedom, but the
+    // recursive cone closure (and so the snapshot) requires a DAG; impose
+    // the same rank-order repair the asrank pipeline applies (step 11).
+    core::break_provider_cycles(graph, degrees);
+    clique = graph.provider_free_ases();
+  }
+  std::unordered_map<Asn, std::size_t> transit;
+  for (const Asn as : graph.ases()) transit[as] = degrees.transit_degree(as);
+  const auto cones = core::recursive_cone(graph, threads);
+  return snapshot::build_snapshot(graph, transit, cones, clique);
 }
 
 /// Load a path corpus from --mrt (binary) or --pipe (text) input.
@@ -192,6 +248,24 @@ int cmd_observe(const Args& args) {
 
 int cmd_infer(const Args& args) {
   const auto corpus = load_corpus(args);
+  const auto algorithms = algorithm_list(args.get_or("algorithm", "asrank"));
+  if (algorithms.size() != 1) {
+    throw UsageError("infer takes one --algorithm (snapshot accepts a list)");
+  }
+  if (algorithms[0] != "asrank") {
+    // Baselines run through the registry; they have no audit/clique output.
+    algo::AlgorithmOptions options;
+    options.threads = args.get_u64("threads", 0);
+    auto algorithm = algo::create(algorithms[0], options);
+    if (!algorithm.ok()) throw UsageError(algorithm.error().context);
+    const AsGraph graph = algorithm.value()->infer(corpus);
+    auto out = open_out(args.require("out"));
+    write_as_rel(graph, out);
+    const auto counts = graph.link_counts();
+    std::cerr << algorithms[0] << ": inferred " << counts.p2c << " c2p + "
+              << counts.p2p << " p2p links\n";
+    return 0;
+  }
   core::InferenceConfig config;
   config.threads = args.get_u64("threads", 0);  // 0 = all hardware threads
   if (const auto ixps = args.get("ixp")) {
@@ -253,6 +327,40 @@ int cmd_rank(const Args& args) {
 }
 
 int cmd_validate(const Args& args) {
+  if (const auto spec = args.get("algorithm")) {
+    // Comparison mode: infer the same corpus under every named algorithm
+    // and score each against ground truth (the EXPERIMENTS.md PPV tables).
+    const auto algorithms = algorithm_list(*spec);
+    auto truth_in = open_in(args.require("truth"));
+    const AsGraph truth = read_as_rel(truth_in);
+    const auto corpus = load_corpus(args);
+    const std::size_t threads = args.get_u64("threads", 0);
+    util::TableWriter table({"algorithm", "links", "c2p PPV", "p2p PPV",
+                             "accuracy", "flips", "phantom"});
+    for (const auto& name : algorithms) {
+      AsGraph inferred;
+      if (name == "asrank") {
+        core::InferenceConfig config;
+        config.threads = threads;
+        inferred = core::AsRankInference(config).run(corpus).graph;
+      } else {
+        algo::AlgorithmOptions options;
+        options.threads = threads;
+        auto algorithm = algo::create(name, options);
+        if (!algorithm.ok()) throw UsageError(algorithm.error().context);
+        inferred = algorithm.value()->infer(corpus);
+      }
+      const auto accuracy = validation::evaluate_against_truth(inferred, truth);
+      table.add_row({name, util::fmt_count(accuracy.compared),
+                     util::fmt_pct(accuracy.c2p.ppv()),
+                     util::fmt_pct(accuracy.p2p.ppv()),
+                     util::fmt_pct(accuracy.accuracy()),
+                     util::fmt_count(accuracy.direction_errors),
+                     util::fmt_count(accuracy.unknown_links)});
+    }
+    table.render(std::cout);
+    return 0;
+  }
   auto inferred_in = open_in(args.require("inferred"));
   auto truth_in = open_in(args.require("truth"));
   const AsGraph inferred = read_as_rel(inferred_in);
@@ -405,6 +513,31 @@ int cmd_replay(const Args& args) {
 // snapshot falls back to recursive cones and graph-derived degrees (customer
 // count), which is exact for generated ground truth.
 int cmd_snapshot(const Args& args) {
+  if (const auto spec = args.get("algorithm")) {
+    // Multi-algorithm build: infer each named algorithm from the path
+    // corpus and merge the per-algorithm indexes into one tagged snapshot
+    // (the first name becomes the primary slot the daemon defaults to).
+    const auto algorithms = algorithm_list(*spec);
+    const std::size_t threads = args.get_u64("threads", 0);
+    const auto corpus = load_corpus(args);
+    const auto degrees = core::Degrees::compute(corpus, threads);
+    std::vector<std::pair<std::string, snapshot::SnapshotIndex>> parts;
+    parts.reserve(algorithms.size());
+    for (const auto& name : algorithms) {
+      parts.emplace_back(name,
+                         build_algorithm_part(name, corpus, degrees, threads));
+    }
+    auto combined = snapshot::combine_snapshots(std::move(parts));
+    if (!combined.ok()) throw std::runtime_error(combined.error().message());
+    snapshot::write_snapshot_file(combined.value(), args.require("out"));
+    std::cerr << "froze " << combined.value().as_count() << " ASes under "
+              << algorithms.size() << " algorithm section(s) (";
+    for (std::size_t i = 0; i < algorithms.size(); ++i) {
+      std::cerr << (i == 0 ? "" : ", ") << algorithms[i];
+    }
+    std::cerr << ") -> " << args.require("out") << "\n";
+    return 0;
+  }
   auto graph_in = open_in(args.require("as-rel"));
   const AsGraph graph = read_as_rel(graph_in);
   const std::size_t threads = args.get_u64("threads", 0);  // 0 = all hardware threads
@@ -518,6 +651,11 @@ int cmd_query(const Args& args) {
                                static_cast<std::uint16_t>(args.get_u64("port", 7464))));
   const std::string op = args.require("op");
   const std::string epoch = args.get_or("epoch", "");
+  if (const auto spec = args.get("algorithm")) {
+    const auto algorithms = algorithm_list(*spec);
+    if (algorithms.size() != 1) throw UsageError("query takes one --algorithm");
+    client.set_algorithm(algorithms[0]);
+  }
   const auto as_arg = [&args](const char* key) {
     const auto asn = Asn::parse(args.require(key));
     if (!asn) throw std::runtime_error(std::string("malformed ASN in --") + key);
@@ -574,6 +712,24 @@ int cmd_query(const Args& args) {
     std::cout << need(client.try_metrics_text());
   } else if (op == "epochs") {
     for (const auto& label : need(client.try_epochs())) std::cout << label << "\n";
+  } else if (op == "disagree") {
+    const auto first = algorithm_list(args.require("first"));
+    const auto second = algorithm_list(args.require("second"));
+    if (first.size() != 1 || second.size() != 1) {
+      throw UsageError("disagree compares exactly two algorithms");
+    }
+    const auto report = need(client.try_disagree(
+        first[0], second[0],
+        static_cast<std::uint32_t>(args.get_u64("limit", 0)), epoch));
+    const auto rel_text = [](const std::optional<RelView>& rel) {
+      return rel ? std::string(to_string(*rel)) : std::string("none");
+    };
+    for (const auto& row : report.rows) {
+      std::cout << "AS" << row.a.value() << "-AS" << row.b.value() << ": "
+                << rel_text(row.first) << " vs " << rel_text(row.second) << "\n";
+    }
+    std::cerr << report.total << " disagreement(s), " << report.rows.size()
+              << " shown\n";
   } else if (op == "conediff") {
     const auto diff = need(client.try_cone_diff(as_arg("a"), args.require("ea"),
                                                 args.require("eb")));
@@ -659,6 +815,18 @@ int cmd_ingest(const Args& args) {
   builder_config.full_closure_threshold =
       std::strtod(args.get_or("dirty-threshold", "0.5").c_str(), nullptr);
   builder_config.verify_batch = args.get("verify-batch").has_value();
+  // Extra algorithm sections per emitted epoch.  The incremental builder is
+  // asrank-only, so asrank stays the primary slot; the rest re-infer from
+  // the live corpus at each flush and ride along as tagged sections.
+  const auto algorithms = algorithm_list(args.get_or("algorithm", "asrank"));
+  if (algorithms[0] != "asrank") {
+    throw UsageError("ingest's incremental builder is asrank; list it first "
+                     "(e.g. --algorithm asrank," + algorithms[0] + ")");
+  }
+  const std::vector<std::string> extra_algos(algorithms.begin() + 1,
+                                             algorithms.end());
+  const std::size_t infer_threads = args.get_u64("threads", 0);
+
   ingest::EpochBuilder builder(builder_config);
   ingest::UpdateApplier applier;
 
@@ -727,6 +895,23 @@ int cmd_ingest(const Args& args) {
                     {{"reason", reason}, {"error", built.error().context}});
       policy.flushed(now_ms());  // back off; retry at the next boundary
       return;
+    }
+    if (!extra_algos.empty()) {
+      const auto corpus = applier.corpus();
+      const auto degrees = core::Degrees::compute(corpus, infer_threads);
+      std::vector<std::pair<std::string, snapshot::SnapshotIndex>> parts;
+      parts.emplace_back("asrank", std::move(built).value());
+      for (const auto& name : extra_algos) {
+        parts.emplace_back(
+            name, build_algorithm_part(name, corpus, degrees, infer_threads));
+      }
+      built = snapshot::combine_snapshots(std::move(parts));
+      if (!built.ok()) {
+        obs::log_warn("ingest epoch combine failed",
+                      {{"reason", reason}, {"error", built.error().context}});
+        policy.flushed(now_ms());
+        return;
+      }
     }
     const std::string label =
         ingest::expand_epoch_label(label_format, info.sequence, last_ts);
@@ -837,11 +1022,16 @@ void usage(std::ostream& os) {
       "usage: asrank_cli <command> [--flag value ...]\n"
       "commands:\n"
       "  generate --out F.as-rel [--ppdc F.ppdc] [--preset P] [--seed N]\n"
+      "           [--hybrid-fraction X] [--leaker-fraction X] (adversarial scenarios)\n"
       "  observe  (--mrt F | --pipe F) [--preset P] [--seed N] [--full-vps N] [--partial-vps N]\n"
+      "           [--hybrid-fraction X] [--leaker-fraction X] (must match generate)\n"
       "  infer    (--mrt F | --pipe F) --out F.as-rel [--ixp a,b,c]\n"
+      "           [--algorithm NAME] (default asrank)\n"
       "  cones    --as-rel F --out F.ppdc [--method recursive|ppdc|observed] [--mrt F | --pipe F]\n"
       "  rank     --as-rel F (--mrt F | --pipe F) [--top N]\n"
       "  validate --inferred F.as-rel --truth F.as-rel\n"
+      "           or: --truth F.as-rel (--mrt F | --pipe F) --algorithm a,b,c\n"
+      "           (per-algorithm PPV comparison against ground truth)\n"
       "  hierarchy --as-rel F [--clique a,b,c]\n"
       "  diff     --before F.as-rel --after F.as-rel\n"
       "  updates  --out F.updates [--rib F.mrt] [--preset P] [--seed N]\n"
@@ -852,20 +1042,24 @@ void usage(std::ostream& os) {
       "           [--epoch-label-format FMT] [--out-dir D] [--serve-port N]\n"
       "           [--serve-host H] [--serve-threads N] [--target host:port]\n"
       "           [--threads N] [--dirty-threshold X] [--retention N]\n"
-      "           [--verify-batch]\n"
+      "           [--verify-batch] [--algorithm asrank,b,c]\n"
       "           long-running: BGP4MP updates in, fresh served epochs out\n"
       "  replay   --rib F.mrt --updates F.updates --out F2.mrt\n"
       "  snapshot --as-rel F --out F.asrk [--ppdc F | --mrt F | --pipe F]\n"
       "           [--method recursive|ppdc|observed] [--clique a,b,c]\n"
+      "           or: --out F.asrk (--mrt F | --pipe F) --algorithm a,b,c\n"
+      "           (multi-algorithm snapshot; first name is the primary slot)\n"
       "  serve    --snapshot F.asrk [--host H] [--port N] [--threads N] [--cache N]\n"
       "           [--epoch LABEL] [--retention N] [--idle-timeout-ms N]\n"
       "           [--deadline-ms N] [--max-conns N] [--reload-path F]\n"
       "           (SIGHUP hot-reloads the snapshot; old epochs stay queryable)\n"
       "  query    --op OP [--host H] [--port N] [--a ASN] [--b ASN] [--n N]\n"
       "           [--epoch LABEL] (answer from a named resident epoch)\n"
+      "           [--algorithm NAME] (answer from a named algorithm section)\n"
       "           OP: ping rel rank conesize cone incone providers customers\n"
       "               peers top intersect cliquepath clique stats metrics\n"
       "               epochs conediff (--a ASN --ea EPOCH --eb EPOCH)\n"
+      "               disagree (--first ALGO --second ALGO [--limit N])\n"
       "  reload   [host:port] --snapshot F.asrk [--epoch LABEL]\n"
       "           hot-load a snapshot into a running asrankd (loopback only)\n"
       "  metrics  [host:port] (default 127.0.0.1:7464; or --host H --port N)\n"
@@ -876,6 +1070,8 @@ void usage(std::ostream& os) {
       "  --log-json                                    JSON-lines log output\n"
       "  --version                                     print version and exit\n"
       "exit codes: 0 success, 1 runtime error, 2 usage error\n";
+  os << "registered algorithms: " << algo::names_csv()
+     << " (docs/ALGORITHMS.md)\n";
 }
 
 }  // namespace

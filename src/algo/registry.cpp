@@ -1,0 +1,187 @@
+#include "algo/registry.h"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <functional>
+
+#include "baselines/degree_heuristic.h"
+#include "baselines/gao.h"
+#include "baselines/tor_local_search.h"
+#include "core/asrank.h"
+
+namespace asrank::algo {
+
+namespace {
+
+Error unknown_param(std::string_view key, std::string_view algorithm) {
+  return make_error(ErrorCode::kInvalidArgument,
+                    "unknown parameter '" + std::string(key) + "' for algorithm '" +
+                        std::string(algorithm) + "'");
+}
+
+Result<double> parse_double(const std::string& key, const std::string& value) {
+  double out = 0.0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "parameter '" + key + "' wants a number, got '" + value + "'");
+  }
+  return out;
+}
+
+Result<std::uint32_t> parse_u32(const std::string& key, const std::string& value) {
+  std::uint32_t out = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "parameter '" + key + "' wants an unsigned integer, got '" + value + "'");
+  }
+  return out;
+}
+
+using Factory = Result<std::unique_ptr<InferenceAlgorithm>> (*)(const AlgorithmOptions&);
+
+Result<std::unique_ptr<InferenceAlgorithm>> make_asrank(const AlgorithmOptions& options) {
+  core::InferenceConfig config;
+  config.threads = options.threads;
+  for (const auto& [key, value] : options.params) {
+    if (key == "sibling-conflict-ratio") {
+      ASRANK_TRY(ratio, parse_double(key, value));
+      config.sibling_conflict_ratio = ratio;
+    } else if (key == "partial-vp-threshold") {
+      ASRANK_TRY(threshold, parse_double(key, value));
+      config.partial_vp_threshold = threshold;
+    } else if (key == "apex-degree-gap") {
+      ASRANK_TRY(gap, parse_double(key, value));
+      config.apex_degree_gap = gap;
+    } else {
+      return unknown_param(key, "asrank");
+    }
+  }
+  return std::unique_ptr<InferenceAlgorithm>(
+      std::make_unique<core::AsRankInference>(std::move(config)));
+}
+
+Result<std::unique_ptr<InferenceAlgorithm>> make_gao(const AlgorithmOptions& options) {
+  baselines::GaoConfig config;
+  for (const auto& [key, value] : options.params) {
+    if (key == "sibling-threshold") {
+      ASRANK_TRY(threshold, parse_u32(key, value));
+      config.sibling_threshold = threshold;
+    } else if (key == "peering-degree-ratio") {
+      ASRANK_TRY(ratio, parse_double(key, value));
+      config.peering_degree_ratio = ratio;
+    } else {
+      return unknown_param(key, "gao2001");
+    }
+  }
+  return std::unique_ptr<InferenceAlgorithm>(std::make_unique<baselines::GaoInference>(config));
+}
+
+Result<std::unique_ptr<InferenceAlgorithm>> make_degree(const AlgorithmOptions& options) {
+  baselines::DegreeHeuristicConfig config;
+  for (const auto& [key, value] : options.params) {
+    if (key == "provider-ratio") {
+      ASRANK_TRY(ratio, parse_double(key, value));
+      config.provider_ratio = ratio;
+    } else {
+      return unknown_param(key, "degree-ratio");
+    }
+  }
+  return std::unique_ptr<InferenceAlgorithm>(std::make_unique<baselines::DegreeHeuristic>(config));
+}
+
+Result<std::unique_ptr<InferenceAlgorithm>> make_tor(const AlgorithmOptions& options) {
+  baselines::TorConfig config;
+  for (const auto& [key, value] : options.params) {
+    if (key == "initial-provider-ratio") {
+      ASRANK_TRY(ratio, parse_double(key, value));
+      config.initial_provider_ratio = ratio;
+    } else if (key == "max-passes") {
+      ASRANK_TRY(passes, parse_u32(key, value));
+      config.max_passes = passes;
+    } else {
+      return unknown_param(key, "tor-local-search");
+    }
+  }
+  return std::unique_ptr<InferenceAlgorithm>(std::make_unique<baselines::TorLocalSearch>(config));
+}
+
+struct Entry {
+  AlgorithmInfo info;
+  std::string_view alias;  ///< one short alias per algorithm
+  Factory factory;
+};
+
+/// Sorted by canonical name (names() leans on this).
+constexpr std::array<Entry, 4> kEntries = {{
+    {{"asrank",
+      "the paper's staged pipeline: clique, positional voting, valley-free fixpoint",
+      "Luckie et al., IMC 2013"},
+     "core",
+     &make_asrank},
+    {{"degree-ratio",
+      "strawman: the much-larger-degree side of every link is the provider",
+      "folklore baseline"},
+     "degree",
+     &make_degree},
+    {{"gao2001",
+      "valley-free around each path's top provider; transit counts, sibling threshold",
+      "Gao, IEEE/ACM ToN 2001"},
+     "gao",
+     &make_gao},
+    {{"tor-local-search",
+      "type-of-relationship combinatorial optimization via hill climbing",
+      "Di Battista et al., INFOCOM 2003; Erlebach et al. 2007"},
+     "tor",
+     &make_tor},
+}};
+
+const Entry* find_entry(std::string_view name) {
+  for (const Entry& entry : kEntries) {
+    if (entry.info.name == name || entry.alias == name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<std::string> resolve(std::string_view name) {
+  if (const Entry* entry = find_entry(name)) return std::string(entry->info.name);
+  return make_error(ErrorCode::kInvalidArgument, "unknown algorithm '" + std::string(name) +
+                                                     "' (registered: " + names_csv() + ")");
+}
+
+Result<std::unique_ptr<InferenceAlgorithm>> create(std::string_view name,
+                                                   const AlgorithmOptions& options) {
+  const Entry* entry = find_entry(name);
+  if (entry == nullptr) {
+    return make_error(ErrorCode::kInvalidArgument, "unknown algorithm '" + std::string(name) +
+                                                       "' (registered: " + names_csv() + ")");
+  }
+  return entry->factory(options);
+}
+
+std::vector<std::string_view> names() {
+  std::vector<std::string_view> out;
+  out.reserve(kEntries.size());
+  for (const Entry& entry : kEntries) out.push_back(entry.info.name);
+  return out;
+}
+
+std::string names_csv() {
+  std::string out;
+  for (const Entry& entry : kEntries) {
+    if (!out.empty()) out += ", ";
+    out += entry.info.name;
+  }
+  return out;
+}
+
+const AlgorithmInfo* info(std::string_view name) {
+  const Entry* entry = find_entry(name);
+  return entry == nullptr ? nullptr : &entry->info;
+}
+
+}  // namespace asrank::algo

@@ -1,0 +1,63 @@
+// Name -> factory registry over every inference algorithm in the tree.
+//
+// The registry is the single construction path for algorithms: the CLI's
+// `--algorithm` flag, multi-algorithm snapshot builds, the comparison
+// benches, and the tests all resolve names here, so adding an algorithm is
+// one table row (docs/ALGORITHMS.md lists the inventory with citations).
+//
+// Names are canonical lowercase identifiers; common short aliases resolve to
+// them ("gao" -> "gao2001", "core" -> "asrank").  Unknown names return
+// kInvalidArgument with the registered-name list in the message so callers
+// can surface it verbatim (the CLI exits 2 with it, matching the usage-error
+// convention).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algo/algorithm.h"
+#include "util/result.h"
+
+namespace asrank::algo {
+
+/// Options shared by every factory.  Per-algorithm knobs travel as string
+/// key=value pairs so one CLI surface covers the whole zoo; unknown keys are
+/// an error (not silently ignored).
+struct AlgorithmOptions {
+  /// Worker threads for algorithms with parallel stages (asrank).  0 =
+  /// hardware concurrency.  Ignored by the sequential baselines.
+  std::size_t threads = 0;
+  /// Algorithm-specific parameters, e.g. {"sibling-threshold", "2"}.
+  std::map<std::string, std::string> params;
+};
+
+/// Registry metadata for one algorithm (docs/ALGORITHMS.md mirrors this).
+struct AlgorithmInfo {
+  std::string_view name;      ///< canonical registry name
+  std::string_view summary;   ///< one-line description
+  std::string_view citation;  ///< primary paper
+};
+
+/// Resolve a (possibly aliased) name to its canonical form.
+/// kInvalidArgument with the registered-name list when unknown.
+[[nodiscard]] Result<std::string> resolve(std::string_view name);
+
+/// Construct an algorithm by (possibly aliased) name.  kInvalidArgument on
+/// unknown names or unknown/unparseable params.
+[[nodiscard]] Result<std::unique_ptr<InferenceAlgorithm>> create(
+    std::string_view name, const AlgorithmOptions& options = {});
+
+/// Canonical names, sorted.
+[[nodiscard]] std::vector<std::string_view> names();
+
+/// Comma-separated canonical names, for error messages and usage text.
+[[nodiscard]] std::string names_csv();
+
+/// Metadata for a (possibly aliased) name; nullptr when unknown.
+[[nodiscard]] const AlgorithmInfo* info(std::string_view name);
+
+}  // namespace asrank::algo

@@ -4,7 +4,7 @@
 // — its error rate shows why structural algorithms are needed.
 #pragma once
 
-#include "baselines/algorithm.h"
+#include "algo/algorithm.h"
 
 namespace asrank::baselines {
 
@@ -13,7 +13,7 @@ struct DegreeHeuristicConfig {
   double provider_ratio = 2.0;
 };
 
-class DegreeHeuristic final : public InferenceAlgorithm {
+class DegreeHeuristic final : public algo::InferenceAlgorithm {
  public:
   explicit DegreeHeuristic(DegreeHeuristicConfig config = {}) : config_(config) {}
 

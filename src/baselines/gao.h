@@ -17,7 +17,7 @@
 
 #include <cstdint>
 
-#include "baselines/algorithm.h"
+#include "algo/algorithm.h"
 
 namespace asrank::baselines {
 
@@ -28,7 +28,7 @@ struct GaoConfig {
   double peering_degree_ratio = 60.0;
 };
 
-class GaoInference final : public InferenceAlgorithm {
+class GaoInference final : public algo::InferenceAlgorithm {
  public:
   explicit GaoInference(GaoConfig config = {}) : config_(config) {}
 

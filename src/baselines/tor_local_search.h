@@ -17,7 +17,7 @@
 
 #include <cstdint>
 
-#include "baselines/algorithm.h"
+#include "algo/algorithm.h"
 
 namespace asrank::baselines {
 
@@ -28,7 +28,7 @@ struct TorConfig {
   std::size_t max_passes = 4;
 };
 
-class TorLocalSearch final : public InferenceAlgorithm {
+class TorLocalSearch final : public algo::InferenceAlgorithm {
  public:
   explicit TorLocalSearch(TorConfig config = {}) : config_(config) {}
 

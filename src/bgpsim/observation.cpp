@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
+#include <optional>
 #include <thread>
 
 namespace asrank::bgpsim {
@@ -198,7 +199,24 @@ Observation observe(const GroundTruth& truth, const ObservationParams& params) {
   observation.vps = choose_vps(truth, params);
   const auto poisoners = choose_poisoners(truth, params, rng);
 
-  const RouteSimulator simulator(truth.graph);
+  const RouteSimulator simulator(truth.graph, truth.route_leakers);
+  // Hybrid (partial-transit) links: a second simulator over a graph where
+  // each hybrid link is p2c.  Per destination one of the two is used, so the
+  // link carries transit for a deterministic half of the address space and
+  // plain peering for the rest — no single relationship label fits it.
+  std::optional<AsGraph> hybrid_graph;
+  std::optional<RouteSimulator> hybrid_simulator;
+  if (!truth.hybrid_links.empty()) {
+    hybrid_graph = truth.graph;
+    for (const auto& link : truth.hybrid_links) {
+      hybrid_graph->set_relationship(link.provider, link.customer, LinkType::kP2C);
+    }
+    hybrid_simulator.emplace(*hybrid_graph, truth.route_leakers);
+  }
+  const auto simulator_for = [&](Asn destination) -> const RouteSimulator& {
+    return hybrid_simulator && destination.value() % 2 == 0 ? *hybrid_simulator
+                                                            : simulator;
+  };
   const auto destinations = simulator.ases();
   std::vector<DestinationRows> per_destination(destinations.size());
 
@@ -208,8 +226,9 @@ Observation observe(const GroundTruth& truth, const ObservationParams& params) {
           : params.threads;
   if (threads <= 1) {
     for (std::size_t i = 0; i < destinations.size(); ++i) {
-      per_destination[i] = observe_destination(truth, params, poisoners, simulator,
-                                               observation.vps, destinations[i]);
+      per_destination[i] =
+          observe_destination(truth, params, poisoners, simulator_for(destinations[i]),
+                              observation.vps, destinations[i]);
     }
   } else {
     std::atomic<std::size_t> next{0};
@@ -217,8 +236,9 @@ Observation observe(const GroundTruth& truth, const ObservationParams& params) {
       while (true) {
         const std::size_t i = next.fetch_add(1);
         if (i >= destinations.size()) return;
-        per_destination[i] = observe_destination(truth, params, poisoners, simulator,
-                                                 observation.vps, destinations[i]);
+        per_destination[i] =
+            observe_destination(truth, params, poisoners, simulator_for(destinations[i]),
+                                observation.vps, destinations[i]);
       }
     };
     std::vector<std::thread> pool;

@@ -24,8 +24,11 @@ SelectedRoute RouteTable::route(Asn as) const noexcept {
 AsPath RouteTable::path_from(Asn as) const {
   std::vector<Asn> hops;
   Asn current = as;
-  // A well-formed table cannot loop (lengths strictly decrease), but guard
-  // against corrupted tables rather than spinning.
+  // A strict Gao–Rexford table cannot loop (lengths strictly decrease), but
+  // a route-leak table can chain a leaked customer-class route into a peer
+  // route that descends back through the leaker.  Real BGP's loop
+  // prevention discards exactly those paths, so a non-terminating chain
+  // reports unreachable rather than throwing.
   const std::size_t limit = routes_.size() + 2;
   while (hops.size() < limit) {
     const auto it = routes_.find(current);
@@ -35,10 +38,12 @@ AsPath RouteTable::path_from(Asn as) const {
     current = it->second.next_hop;
     if (!current.valid()) return AsPath{};
   }
-  throw std::logic_error("RouteTable::path_from: next-hop chain does not terminate");
+  return AsPath{};  // leak-induced next-hop cycle: BGP would drop the path
 }
 
-RouteSimulator::RouteSimulator(const AsGraph& graph) : graph_(graph) {
+RouteSimulator::RouteSimulator(const AsGraph& graph,
+                               const std::unordered_set<Asn>& leakers)
+    : graph_(graph) {
   // Snapshot the topology into index-based adjacency lists: routes_to runs
   // once per destination, so per-call rebuilding would dominate runtime.
   sorted_ases_ = graph.ases();
@@ -63,6 +68,7 @@ RouteSimulator::RouteSimulator(const AsGraph& graph) : graph_(graph) {
     customers_[i] = to_indices(graph.customers(as));
     peers_[i] = to_indices(graph.peers(as));
     siblings_[i] = to_indices(graph.siblings(as));
+    if (leakers.contains(as)) leaker_idx_.push_back(i);
   }
 }
 
@@ -97,10 +103,7 @@ RouteTable RouteSimulator::routes_to(Asn destination) const {
       prov_parent(n, kNoParent);
 
   // ---- Phase 1: customer-class routes climb provider and sibling edges ----
-  {
-    std::queue<std::size_t> queue;
-    cust_dist[dest_idx] = 0;
-    queue.push(dest_idx);
+  auto climb_customers = [&](std::queue<std::size_t>& queue) {
     while (!queue.empty()) {
       const std::size_t x = queue.front();
       queue.pop();
@@ -119,26 +122,35 @@ RouteTable RouteSimulator::routes_to(Asn destination) const {
       for (const std::size_t y : providers_[x]) relax(y);
       for (const std::size_t y : siblings_[x]) relax(y);
     }
+  };
+  {
+    std::queue<std::size_t> queue;
+    cust_dist[dest_idx] = 0;
+    queue.push(dest_idx);
+    climb_customers(queue);
   }
 
   // ---- Phase 2: one peer hop from every AS holding a customer-class route --
-  for (std::size_t x = 0; x < n; ++x) {
-    if (cust_dist[x] == kInf) continue;
-    for (const std::size_t y : peers_[x]) {
-      const std::uint32_t cand = cust_dist[x] + 1;
-      if (cand < peer_dist[y]) {
-        peer_dist[y] = cand;
-        peer_parent[y] = x;
-      } else if (cand == peer_dist[y] && peer_parent[y] != kNoParent &&
-                 tie_hash(destination, sorted_ases_[y], sorted_ases_[x]) <
-                     tie_hash(destination, sorted_ases_[y], sorted_ases_[peer_parent[y]])) {
-        peer_parent[y] = x;
+  auto spread_peers = [&] {
+    for (std::size_t x = 0; x < n; ++x) {
+      if (cust_dist[x] == kInf) continue;
+      for (const std::size_t y : peers_[x]) {
+        const std::uint32_t cand = cust_dist[x] + 1;
+        if (cand < peer_dist[y]) {
+          peer_dist[y] = cand;
+          peer_parent[y] = x;
+        } else if (cand == peer_dist[y] && peer_parent[y] != kNoParent &&
+                   tie_hash(destination, sorted_ases_[y], sorted_ases_[x]) <
+                       tie_hash(destination, sorted_ases_[y], sorted_ases_[peer_parent[y]])) {
+          peer_parent[y] = x;
+        }
       }
     }
-  }
+  };
+  spread_peers();
 
   // ---- Phase 3: provider-class routes descend customer and sibling edges --
-  {
+  auto descend_providers = [&] {
     // Multi-source Dijkstra; a node expands with the length of its SELECTED
     // route (class preference first, length second — local-pref beats path
     // length in BGP), because what an AS exports to customers is its
@@ -174,6 +186,53 @@ RouteTable RouteSimulator::routes_to(Asn destination) const {
       };
       for (const std::size_t y : customers_[x]) relax(y);
       for (const std::size_t y : siblings_[x]) relax(y);
+    }
+  };
+  descend_providers();
+
+  // ---- Route leaks --------------------------------------------------------
+  // One leak round: each leaker whose SELECTED route is peer- or
+  // provider-learned re-exports it to its providers, who accept it as a
+  // customer-class route (local pref beats the shorter legitimate path —
+  // exactly why real leaks spread).  The leaked routes then climb normally
+  // and the peer/provider classes are rebuilt on top of them.
+  if (!leaker_idx_.empty()) {
+    std::queue<std::size_t> queue;
+    for (const std::size_t x : leaker_idx_) {
+      if (cust_dist[x] != kInf) continue;  // customer routes export normally
+      const std::uint32_t len = peer_dist[x] != kInf ? peer_dist[x] : prov_dist[x];
+      if (len == kInf) continue;  // leaker cannot reach the destination
+      for (const std::size_t y : providers_[x]) {
+        if (cust_dist[y] == kInf) {
+          cust_dist[y] = len + 1;
+          cust_parent[y] = x;
+          queue.push(y);
+        }
+      }
+    }
+    if (!queue.empty()) {
+      // The leaked route climbs like a customer route but only fills gaps:
+      // an AS holding a legitimate customer route keeps it (that route is
+      // loop-free by construction; letting the leak displace it could form
+      // next-hop cycles, which real BGP's loop prevention would reject).
+      while (!queue.empty()) {
+        const std::size_t x = queue.front();
+        queue.pop();
+        auto relax = [&](std::size_t y) {
+          if (cust_dist[y] != kInf) return;
+          cust_dist[y] = cust_dist[x] + 1;
+          cust_parent[y] = x;
+          queue.push(y);
+        };
+        for (const std::size_t y : providers_[x]) relax(y);
+        for (const std::size_t y : siblings_[x]) relax(y);
+      }
+      std::fill(peer_dist.begin(), peer_dist.end(), kInf);
+      std::fill(peer_parent.begin(), peer_parent.end(), kNoParent);
+      std::fill(prov_dist.begin(), prov_dist.end(), kInf);
+      std::fill(prov_parent.begin(), prov_parent.end(), kNoParent);
+      spread_peers();
+      descend_providers();
     }
   }
 

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "asn/asn.h"
@@ -68,9 +69,19 @@ class RouteTable {
 
 /// Policy-routing engine bound to one topology.  The graph must outlive the
 /// simulator.
+///
+/// `leakers` names ASes that violate the export rule: after normal
+/// propagation converges, each leaker re-exports its selected peer- or
+/// provider-learned route to its providers, which accept it as a
+/// customer-class route (the textbook route leak).  The leaked route then
+/// climbs normally, filling in customer-class reachability where none
+/// legitimately existed (existing customer routes are never displaced),
+/// and the peer/provider classes are rebuilt on top.  An empty set
+/// reproduces the strict Gao–Rexford tables bit for bit.
 class RouteSimulator {
  public:
-  explicit RouteSimulator(const AsGraph& graph);
+  explicit RouteSimulator(const AsGraph& graph,
+                          const std::unordered_set<Asn>& leakers = {});
 
   /// Compute every AS's selected route toward `destination`.
   [[nodiscard]] RouteTable routes_to(Asn destination) const;
@@ -83,6 +94,7 @@ class RouteSimulator {
   std::vector<Asn> sorted_ases_;  ///< deterministic iteration order
   std::unordered_map<Asn, std::size_t> index_;
   std::vector<std::vector<std::size_t>> providers_, customers_, peers_, siblings_;
+  std::vector<std::size_t> leaker_idx_;  ///< sorted; usually empty
 };
 
 }  // namespace asrank::bgpsim

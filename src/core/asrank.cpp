@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/cones.h"
+
 #include "obs/log.h"
 #include "obs/timer.h"
 #include "topology/interner.h"
@@ -644,77 +646,10 @@ void Pipeline::finalize_graph() {
 }
 
 void Pipeline::repair_cycles() {
-  if (result_.graph.p2c_acyclic()) return;
-  // Tarjan SCC over the provider->customer digraph of a frozen CSR view;
-  // inside each non-trivial SCC, re-orient c2p edges so the higher-ranked
-  // endpoint provides, which imposes a strict total order and breaks all
-  // cycles without discarding transit evidence.
-  const topology::TopologyView view = result_.graph.freeze();
-  const std::size_t n = view.node_count();
-
-  std::vector<std::size_t> low(n, 0), disc(n, 0), scc_id(n, 0);
-  std::vector<bool> on_stack(n, false);
-  std::vector<std::size_t> stack;
-  std::size_t timer = 1, scc_count = 0;
-
-  // Iterative Tarjan to avoid deep recursion on large graphs.
-  struct Frame {
-    std::size_t node;
-    std::size_t child_index;
-  };
-  for (std::size_t root = 0; root < n; ++root) {
-    if (disc[root] != 0) continue;
-    std::vector<Frame> frames{{root, 0}};
-    while (!frames.empty()) {
-      const std::size_t node = frames.back().node;
-      if (frames.back().child_index == 0) {
-        disc[node] = low[node] = timer++;
-        stack.push_back(node);
-        on_stack[node] = true;
-      }
-      const auto customers = view.customers(static_cast<NodeId>(node));
-      if (frames.back().child_index < customers.size()) {
-        const std::size_t next = customers[frames.back().child_index];
-        ++frames.back().child_index;
-        if (disc[next] == 0) {
-          frames.push_back({next, 0});  // frames.back() invalidated; loop re-reads
-        } else if (on_stack[next]) {
-          low[node] = std::min(low[node], disc[next]);
-        }
-        continue;
-      }
-      if (low[node] == disc[node]) {
-        ++scc_count;
-        while (true) {
-          const std::size_t top = stack.back();
-          stack.pop_back();
-          on_stack[top] = false;
-          scc_id[top] = scc_count;
-          if (top == node) break;
-        }
-      }
-      frames.pop_back();
-      if (!frames.empty()) {
-        low[frames.back().node] = std::min(low[frames.back().node], low[node]);
-      }
-    }
-  }
-
-  const Degrees& degrees = result_.degrees;
-  const AsnInterner& graph_ids = view.interner();
-  for (const Link& link : result_.graph.links()) {
-    if (link.type != LinkType::kP2C) continue;
-    const NodeId ia = graph_ids.id_of(link.a), ib = graph_ids.id_of(link.b);
-    if (scc_id[ia] != scc_id[ib]) continue;
-    // Intra-SCC edge: orient toward the ranking.
-    const bool a_higher = degrees.rank_of(link.a) < degrees.rank_of(link.b) ||
-                          (degrees.rank_of(link.a) == degrees.rank_of(link.b) &&
-                           link.a < link.b);
-    if (!a_higher) {
-      result_.graph.add_p2c(link.b, link.a);
-      ++result_.audit.cycle_edges_reoriented;
-    }
-  }
+  // The SCC re-orientation lives in core/cones.cpp (break_provider_cycles)
+  // so baseline-algorithm snapshot builds can impose the same repair.
+  result_.audit.cycle_edges_reoriented +=
+      break_provider_cycles(result_.graph, result_.degrees);
 }
 
 }  // namespace

@@ -44,6 +44,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "algo/algorithm.h"
 #include "core/clique.h"
 #include "core/degrees.h"
 #include "paths/corpus.h"
@@ -122,7 +123,10 @@ struct InferenceResult {
   StageAudit audit;
 };
 
-class AsRankInference {
+/// The paper's algorithm, registered natively in the algo:: registry (no
+/// adapter): infer() runs the full pipeline and keeps the graph.  Callers
+/// needing the clique/audit/sanitized corpus use run() directly.
+class AsRankInference final : public algo::InferenceAlgorithm {
  public:
   explicit AsRankInference(InferenceConfig config = {}) : config_(std::move(config)) {}
 
@@ -130,6 +134,11 @@ class AsRankInference {
 
   /// Run the full pipeline.  Pure: the input corpus is untouched.
   [[nodiscard]] InferenceResult run(const paths::PathCorpus& raw) const;
+
+  [[nodiscard]] std::string name() const override { return "asrank"; }
+  [[nodiscard]] AsGraph infer(const paths::PathCorpus& corpus) const override {
+    return run(corpus).graph;
+  }
 
  private:
   InferenceConfig config_;

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <string_view>
 
+#include "core/degrees.h"
 #include "paths/corpus.h"
 #include "topology/as_graph.h"
 #include "topology/serialization.h"
@@ -51,6 +52,18 @@ enum class ConeMethod { kRecursive, kBgpObserved, kProviderPeerObserved };
 // result is bit-identical at any count (see util/thread_pool.h — the closure
 // parallelizes over reverse-topological levels of the p2c DAG, the observed
 // cones over path-corpus chunks with commutative merges).
+
+/// Establish assumption A3 in place: inside every strongly connected
+/// component of the provider->customer digraph, re-orient c2p edges so the
+/// higher-ranked endpoint (by transit degree, ASN tie-break) provides.  The
+/// strict total order breaks all cycles without discarding transit evidence.
+/// This is the asrank pipeline's step-11 repair, exposed for callers that
+/// freeze cones over graphs other inference algorithms produced — the
+/// baselines (gao2001, tor-local-search, degree-ratio) promise nothing about
+/// acyclicity.  Returns the number of re-oriented p2c edges (0 when the
+/// graph was already acyclic — the common case — in which case nothing is
+/// touched).
+std::size_t break_provider_cycles(AsGraph& graph, const Degrees& degrees);
 
 /// Full transitive closure over p2c links.  Requires an acyclic provider
 /// graph (throws std::invalid_argument otherwise — assumption A3).

@@ -27,7 +27,7 @@ WireWriter request(Op op) {
   return writer;
 }
 
-/// Wrap an engine-scoped request in WITH_EPOCH when an epoch is named.
+/// Wrap a payload in WITH_EPOCH when an epoch is named.
 std::vector<std::uint8_t> with_epoch(std::string_view epoch, WireWriter inner) {
   if (epoch.empty()) return inner.take();
   WireWriter outer;
@@ -53,6 +53,7 @@ Result<std::vector<Asn>> read_list(WireReader& reader) {
 /// protocol decode, not a heuristic.
 [[nodiscard]] ErrorCode classify_server_error(std::string_view text) noexcept {
   if (text.starts_with("unknown epoch")) return ErrorCode::kUnknownEpoch;
+  if (text.starts_with("unknown algorithm")) return ErrorCode::kUnknownAlgorithm;
   return ErrorCode::kProtocol;
 }
 
@@ -170,6 +171,23 @@ Result<void> Client::ensure_connected() {
   return {};
 }
 
+std::vector<std::uint8_t> Client::scoped(std::string_view epoch,
+                                         std::vector<std::uint8_t> inner) const {
+  if (!algorithm_.empty()) {
+    WireWriter algo;
+    algo.u8(static_cast<std::uint8_t>(Op::kWithAlgo));
+    algo.str16(algorithm_);
+    algo.bytes(inner);
+    inner = algo.take();
+  }
+  if (epoch.empty()) return inner;
+  WireWriter outer;
+  outer.u8(static_cast<std::uint8_t>(Op::kWithEpoch));
+  outer.str16(epoch);
+  outer.bytes(inner);
+  return outer.take();
+}
+
 // ------------------------------------------------------------ exchange --
 
 Result<std::vector<std::uint8_t>> Client::exchange_once(
@@ -241,7 +259,7 @@ Result<std::optional<RelView>> Client::try_relationship(Asn a, Asn b,
   auto req = request(Op::kRelationship);
   req.u32(a.value());
   req.u32(b.value());
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
   WireReader reader(body);
   ASRANK_TRY(code, reader.u8());
   if (code == kRelNone) return std::optional<RelView>{};
@@ -256,7 +274,7 @@ Result<std::optional<std::uint32_t>> Client::try_rank(Asn as,
                                                       std::string_view epoch) {
   auto req = request(Op::kRank);
   req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
   WireReader reader(body);
   ASRANK_TRY(rank, reader.u32());
   if (rank == 0) return std::optional<std::uint32_t>{};
@@ -266,7 +284,7 @@ Result<std::optional<std::uint32_t>> Client::try_rank(Asn as,
 Result<std::uint64_t> Client::try_cone_size(Asn as, std::string_view epoch) {
   auto req = request(Op::kConeSize);
   req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
   WireReader reader(body);
   return reader.u64();
 }
@@ -274,7 +292,7 @@ Result<std::uint64_t> Client::try_cone_size(Asn as, std::string_view epoch) {
 Result<std::vector<Asn>> Client::try_cone(Asn as, std::string_view epoch) {
   auto req = request(Op::kCone);
   req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
   WireReader reader(body);
   return read_list(reader);
 }
@@ -283,7 +301,7 @@ Result<bool> Client::try_in_cone(Asn as, Asn member, std::string_view epoch) {
   auto req = request(Op::kInCone);
   req.u32(as.value());
   req.u32(member.value());
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
   WireReader reader(body);
   ASRANK_TRY(flag, reader.u8());
   return flag != 0;
@@ -292,7 +310,7 @@ Result<bool> Client::try_in_cone(Asn as, Asn member, std::string_view epoch) {
 Result<std::vector<Asn>> Client::try_providers(Asn as, std::string_view epoch) {
   auto req = request(Op::kProviders);
   req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
   WireReader reader(body);
   return read_list(reader);
 }
@@ -300,7 +318,7 @@ Result<std::vector<Asn>> Client::try_providers(Asn as, std::string_view epoch) {
 Result<std::vector<Asn>> Client::try_customers(Asn as, std::string_view epoch) {
   auto req = request(Op::kCustomers);
   req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
   WireReader reader(body);
   return read_list(reader);
 }
@@ -308,7 +326,7 @@ Result<std::vector<Asn>> Client::try_customers(Asn as, std::string_view epoch) {
 Result<std::vector<Asn>> Client::try_peers(Asn as, std::string_view epoch) {
   auto req = request(Op::kPeers);
   req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
   WireReader reader(body);
   return read_list(reader);
 }
@@ -317,7 +335,7 @@ Result<std::vector<snapshot::TopEntry>> Client::try_top(std::uint32_t n,
                                                         std::string_view epoch) {
   auto req = request(Op::kTop);
   req.u32(n);
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
   WireReader reader(body);
   ASRANK_TRY(count, reader.u32());
   std::vector<snapshot::TopEntry> out;
@@ -342,7 +360,7 @@ Result<std::vector<Asn>> Client::try_cone_intersection(Asn a, Asn b,
   auto req = request(Op::kConeIntersect);
   req.u32(a.value());
   req.u32(b.value());
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
   WireReader reader(body);
   return read_list(reader);
 }
@@ -351,19 +369,19 @@ Result<std::vector<Asn>> Client::try_path_to_clique(Asn as,
                                                     std::string_view epoch) {
   auto req = request(Op::kPathToClique);
   req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
   WireReader reader(body);
   return read_list(reader);
 }
 
 Result<std::vector<Asn>> Client::try_clique(std::string_view epoch) {
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, request(Op::kClique))));
+  ASRANK_TRY(body, try_exchange(scoped(epoch, request(Op::kClique).take())));
   WireReader reader(body);
   return read_list(reader);
 }
 
 Result<std::string> Client::try_stats_text(std::string_view epoch) {
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, request(Op::kStats))));
+  ASRANK_TRY(body, try_exchange(scoped(epoch, request(Op::kStats).take())));
   WireReader reader(body);
   return reader.rest_as_text();
 }
@@ -422,6 +440,47 @@ Result<ReloadInfo> Client::try_reload(const std::string& path,
   info.label = std::move(installed);
   info.ases = ases;
   return info;
+}
+
+Result<DisagreeReport> Client::try_disagree(std::string_view algo_a,
+                                            std::string_view algo_b,
+                                            std::uint32_t limit,
+                                            std::string_view epoch) {
+  auto req = request(Op::kDisagree);
+  req.str16(algo_a);
+  req.str16(algo_b);
+  req.u32(limit);
+  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  WireReader reader(body);
+  DisagreeReport report;
+  ASRANK_TRY(total, reader.u32());
+  ASRANK_TRY(returned, reader.u32());
+  report.total = total;
+  report.rows.reserve(returned);
+  const auto decode_rel =
+      [](std::uint8_t code) -> Result<std::optional<RelView>> {
+    if (code == kRelNone) return std::optional<RelView>{};
+    const auto view = rel_from_code(code);
+    if (!view) {
+      return make_error(ErrorCode::kProtocol, "bad relationship code in response");
+    }
+    return std::optional<RelView>{*view};
+  };
+  for (std::uint32_t i = 0; i < returned; ++i) {
+    ASRANK_TRY(a, reader.u32());
+    ASRANK_TRY(b, reader.u32());
+    ASRANK_TRY(code_a, reader.u8());
+    ASRANK_TRY(code_b, reader.u8());
+    Disagreement row;
+    row.a = Asn(a);
+    row.b = Asn(b);
+    ASRANK_TRY(first, decode_rel(code_a));
+    ASRANK_TRY(second, decode_rel(code_b));
+    row.first = first;
+    row.second = second;
+    report.rows.push_back(row);
+  }
+  return report;
 }
 
 }  // namespace asrank::serve

@@ -58,6 +58,26 @@ struct ReloadInfo {
   friend bool operator==(const ReloadInfo&, const ReloadInfo&) = default;
 };
 
+/// One DISAGREE row: a link the two algorithms classify differently.
+/// nullopt = that algorithm has no such link.
+struct Disagreement {
+  Asn a;
+  Asn b;
+  std::optional<RelView> first;   ///< from a's perspective, first algorithm
+  std::optional<RelView> second;  ///< from a's perspective, second algorithm
+
+  friend bool operator==(const Disagreement&, const Disagreement&) = default;
+};
+
+/// DISAGREE result: total disagreement count plus the (possibly truncated)
+/// rows, ascending (a, b) with a < b.
+struct DisagreeReport {
+  std::uint32_t total = 0;
+  std::vector<Disagreement> rows;
+
+  friend bool operator==(const DisagreeReport&, const DisagreeReport&) = default;
+};
+
 /// Capped exponential backoff with equal jitter:
 /// d = min(cap, base << attempt); delay = d/2 + uniform[0, d/2].
 /// Deterministic for a given rng state (seeded from ClientConfig).
@@ -78,6 +98,13 @@ class Client {
   Client& operator=(const Client&) = delete;
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
+
+  /// Scope every engine query to a named algorithm: requests are wrapped in
+  /// WITH_ALGO (inside WITH_EPOCH when an epoch is also named).  Empty
+  /// restores the server default (the snapshot's primary algorithm).  A name
+  /// the serving epoch lacks surfaces as kUnknownAlgorithm per query.
+  void set_algorithm(std::string name) { algorithm_ = std::move(name); }
+  [[nodiscard]] const std::string& algorithm() const noexcept { return algorithm_; }
 
   // ----------------------------------------------------- Result surface --
 
@@ -110,6 +137,13 @@ class Client {
   /// empty label derives one from the path).
   Result<ReloadInfo> try_reload(const std::string& path,
                                 const std::string& label = {});
+  /// Links where two algorithms of one epoch differ (the current epoch when
+  /// `epoch` is empty); `limit` caps the returned rows (0 = all), the total
+  /// is always exact.  Ignores set_algorithm (both algorithms are explicit).
+  Result<DisagreeReport> try_disagree(std::string_view algo_a,
+                                      std::string_view algo_b,
+                                      std::uint32_t limit = 0,
+                                      std::string_view epoch = {});
 
  private:
   Client() = default;
@@ -125,8 +159,14 @@ class Client {
   void disconnect() noexcept;
   void sleep_for(int ms);
 
+  /// Wrap an engine-scoped request payload in WITH_ALGO / WITH_EPOCH as
+  /// configured.
+  [[nodiscard]] std::vector<std::uint8_t> scoped(
+      std::string_view epoch, std::vector<std::uint8_t> inner) const;
+
   std::string host_;
   std::uint16_t port_ = 0;
+  std::string algorithm_;  ///< non-empty: wrap engine queries in WITH_ALGO
   ClientConfig config_;
   util::Rng backoff_rng_;
   int fd_ = -1;

@@ -70,6 +70,13 @@ enum class Op : std::uint8_t {
   kConeDiff = 17,      ///< asn, str16 epochA, str16 epochB -> added + removed lists
   kReload = 18,        ///< str16 path, str16 label ("" = derive) -> str16 label + u32 ases
   kWithEpoch = 19,     ///< str16 label + inner request payload, answered from that epoch
+  kDisagree = 20,      ///< str16 algoA, str16 algoB, u32 limit (0 = all) ->
+                       ///< u32 total, u32 returned, entries {u32 a, u32 b,
+                       ///< u8 relA, u8 relB} over the union of links, ascending
+                       ///< (a, b) with a < b; kRelNone marks an absent link
+  kWithAlgo = 21,      ///< str16 algorithm + inner request payload, answered by
+                       ///< that algorithm's section of the epoch (nests inside
+                       ///< WITH_EPOCH; engine ops nest inside it)
 };
 
 enum class Status : std::uint8_t { kOk = 0, kError = 1 };

@@ -107,14 +107,17 @@ void QueryEngine::record(QueryType type, std::uint64_t micros, bool cache_hit) {
   slot.latency->observe(micros);
   if (cache_hit) slot.cache_hits->inc();
   queries_total_->inc();
+  algo_queries_total_->inc();
 }
 
 // --------------------------------------------------------------- engine --
 
 QueryEngine::QueryEngine(std::shared_ptr<const snapshot::SnapshotIndex> index,
                          std::size_t cache_capacity, obs::Registry* registry,
-                         core::ConeBitsetConfig cone_config)
+                         core::ConeBitsetConfig cone_config, std::size_t algo_slot)
     : index_(std::move(index)),
+      view_(&index_->algorithm_at(algo_slot)),
+      algo_name_(index_->algorithm_names()[algo_slot]),
       registry_(registry),
       cache_capacity_(cache_capacity),
       intersect_cache_(cache_capacity),
@@ -132,6 +135,10 @@ QueryEngine::QueryEngine(std::shared_ptr<const snapshot::SnapshotIndex> index,
   }
   queries_total_ = &registry_->counter("asrankd_queries_total",
                                        "Queries served across all types");
+  algo_queries_total_ =
+      &registry_->counter("asrankd_algo_queries_total",
+                          "Queries served, by answering inference algorithm",
+                          {{"algo", algo_name_}});
   const char* kernel_help =
       "Cone intersection/diff/membership queries by answering kernel";
   kernel_bitset_ = &registry_->counter("asrankd_cone_kernel_total", kernel_help,
@@ -153,7 +160,7 @@ const core::ConeBitset& QueryEngine::cone_bits() {
         "asrankd_cone_bitset_build_micros",
         "Wall time of one lazy per-epoch ConeBitset build"));
     auto bits = std::make_unique<const core::ConeBitset>(
-        index_->ases(), index_->cone_offsets(), index_->cone_members(),
+        view_->ases(), view_->cone_offsets(), view_->cone_members(),
         cone_config_);
     registry_->gauge("asrankd_cone_bitset_rows",
                      "Materialized cone bit rows in the newest built epoch")
@@ -168,61 +175,61 @@ const core::ConeBitset& QueryEngine::cone_bits() {
 
 std::optional<RelView> QueryEngine::relationship(Asn a, Asn b) {
   Timer timer(*this, QueryType::kRelationship);
-  return index_->relationship(a, b);
+  return view_->relationship(a, b);
 }
 
 std::optional<std::uint32_t> QueryEngine::rank(Asn as) {
   Timer timer(*this, QueryType::kRank);
-  return index_->rank(as);
+  return view_->rank(as);
 }
 
 std::size_t QueryEngine::cone_size(Asn as) {
   Timer timer(*this, QueryType::kConeSize);
-  return index_->cone_size(as);
+  return view_->cone_size(as);
 }
 
 std::span<const Asn> QueryEngine::cone(Asn as) {
   Timer timer(*this, QueryType::kCone);
-  return index_->cone(as);
+  return view_->cone(as);
 }
 
 bool QueryEngine::in_cone(Asn as, Asn member) {
   Timer timer(*this, QueryType::kInCone);
-  if (const auto id = index_->node_id(as)) {
+  if (const auto id = view_->node_id(as)) {
     const auto& bits = cone_bits();
     if (bits.has_row(*id)) {
       kernel_bitset_->inc();
-      const auto member_id = index_->node_id(member);
+      const auto member_id = view_->node_id(member);
       return member_id.has_value() && bits.contains(*id, *member_id);
     }
   }
   kernel_sorted_->inc();
-  return index_->in_cone(as, member);
+  return view_->in_cone(as, member);
 }
 
 std::vector<Asn> QueryEngine::providers(Asn as) {
   Timer timer(*this, QueryType::kNeighborSet);
-  return index_->providers(as);
+  return view_->providers(as);
 }
 
 std::vector<Asn> QueryEngine::customers(Asn as) {
   Timer timer(*this, QueryType::kNeighborSet);
-  return index_->customers(as);
+  return view_->customers(as);
 }
 
 std::vector<Asn> QueryEngine::peers(Asn as) {
   Timer timer(*this, QueryType::kNeighborSet);
-  return index_->peers(as);
+  return view_->peers(as);
 }
 
 std::vector<snapshot::TopEntry> QueryEngine::top(std::size_t n) {
   Timer timer(*this, QueryType::kTop);
-  return index_->top(n);
+  return view_->top(n);
 }
 
 std::span<const Asn> QueryEngine::clique() {
   Timer timer(*this, QueryType::kClique);
-  return index_->clique();
+  return view_->clique();
 }
 
 void QueryEngine::ping() { Timer timer(*this, QueryType::kPing); }
@@ -237,8 +244,8 @@ AsnList QueryEngine::cone_intersection(Asn a, Asn b) {
     return *cached;
   }
   auto result = std::make_shared<std::vector<Asn>>();
-  const auto id_a = index_->node_id(a);
-  const auto id_b = index_->node_id(b);
+  const auto id_a = view_->node_id(a);
+  const auto id_b = view_->node_id(b);
   const auto& bits = cone_bits();
   const bool row_a = id_a && bits.has_row(*id_a);
   const bool row_b = id_b && bits.has_row(*id_b);
@@ -247,21 +254,21 @@ AsnList QueryEngine::cone_intersection(Asn a, Asn b) {
     // ASN, so this matches the sorted merge bit for bit.
     const auto ids = bits.intersect_ids(*id_a, *id_b);
     result->reserve(ids.size());
-    for (const std::uint32_t id : ids) result->push_back(index_->asn_at(id));
+    for (const std::uint32_t id : ids) result->push_back(view_->asn_at(id));
     kernel_bitset_->inc();
   } else if (row_a || row_b) {
     // One row only: probe the other (small, sorted) cone against it.
     const std::uint32_t row_id = row_a ? *id_a : *id_b;
-    for (const Asn member : index_->cone(row_a ? b : a)) {
-      const auto member_id = index_->node_id(member);
+    for (const Asn member : view_->cone(row_a ? b : a)) {
+      const auto member_id = view_->node_id(member);
       if (member_id && bits.contains(row_id, *member_id)) {
         result->push_back(member);
       }
     }
     kernel_hybrid_->inc();
   } else {
-    const auto cone_a = index_->cone(a);
-    const auto cone_b = index_->cone(b);
+    const auto cone_a = view_->cone(a);
+    const auto cone_b = view_->cone(b);
     std::set_intersection(cone_a.begin(), cone_a.end(), cone_b.begin(),
                           cone_b.end(), std::back_inserter(*result));
     kernel_sorted_->inc();
@@ -273,7 +280,7 @@ AsnList QueryEngine::cone_intersection(Asn a, Asn b) {
 
 std::vector<Asn> QueryEngine::cone_minus(Asn as, std::span<const Asn> other) {
   std::vector<Asn> out;
-  const auto id = index_->node_id(as);
+  const auto id = view_->node_id(as);
   const auto& bits = cone_bits();
   if (id && bits.has_row(*id)) {
     // Translate `other` into this epoch's id space (ASNs unknown here can't
@@ -282,18 +289,18 @@ std::vector<Asn> QueryEngine::cone_minus(Asn as, std::span<const Asn> other) {
     std::vector<std::uint32_t> other_ids;
     other_ids.reserve(other.size());
     for (const Asn member : other) {
-      if (const auto member_id = index_->node_id(member)) {
+      if (const auto member_id = view_->node_id(member)) {
         other_ids.push_back(*member_id);
       }
     }
     const auto ids = bits.andnot_ids(*id, bits.make_mask(other_ids));
     out.reserve(ids.size());
     for (const std::uint32_t member_id : ids) {
-      out.push_back(index_->asn_at(member_id));
+      out.push_back(view_->asn_at(member_id));
     }
     kernel_bitset_->inc();
   } else {
-    const auto mine = index_->cone(as);
+    const auto mine = view_->cone(as);
     std::set_difference(mine.begin(), mine.end(), other.begin(), other.end(),
                         std::back_inserter(out));
     kernel_sorted_->inc();
@@ -310,13 +317,13 @@ AsnList QueryEngine::path_to_clique(Asn as) {
   }
 
   auto result = std::make_shared<std::vector<Asn>>();
-  if (const auto root = index_->node_id(as)) {
+  if (const auto root = view_->node_id(as)) {
     // BFS over provider links on dense node ids.  Frontier order is
     // deterministic: neighbor rows ascend by id (≡ ascending ASN) and the
     // flat queue preserves insertion order, so the first clique member found
     // — and the parent chain behind it — is the same on every run.
     thread_local BfsScratch scratch;
-    const std::size_t n = index_->as_count();
+    const std::size_t n = view_->as_count();
     if (scratch.stamp.size() < n) {
       scratch.stamp.resize(n, 0);
       scratch.parent.resize(n);
@@ -333,12 +340,12 @@ AsnList QueryEngine::path_to_clique(Asn as) {
     std::uint32_t found = kNoParent;
     for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
       const std::uint32_t current = scratch.queue[head];
-      if (index_->id_in_clique(current)) {
+      if (view_->id_in_clique(current)) {
         found = current;
         break;
       }
-      const auto neighbors = index_->neighbor_ids(current);
-      const auto rels = index_->relationship_codes(current);
+      const auto neighbors = view_->neighbor_ids(current);
+      const auto rels = view_->relationship_codes(current);
       for (std::size_t i = 0; i < neighbors.size(); ++i) {
         if (static_cast<RelView>(rels[i]) != RelView::kProvider) continue;
         const std::uint32_t provider = neighbors[i];
@@ -353,7 +360,7 @@ AsnList QueryEngine::path_to_clique(Asn as) {
     }
     if (found != kNoParent) {
       for (std::uint32_t hop = found; hop != kNoParent; hop = scratch.parent[hop]) {
-        result->push_back(index_->asn_at(hop));
+        result->push_back(view_->asn_at(hop));
       }
       std::reverse(result->begin(), result->end());
     }

@@ -72,10 +72,14 @@ class QueryEngine {
   /// on the first cone intersection/diff/membership query); pass
   /// ConeBitsetConfig::disabled() to force the sorted-array kernels — the
   /// answers are identical either way (tests/test_differential.cpp).
+  /// `algo_slot` selects which algorithm section of a multi-algorithm
+  /// snapshot the engine answers from (SnapshotIndex::algorithm_at); slot 0
+  /// is the primary and the only valid slot for single-algorithm files.
   explicit QueryEngine(std::shared_ptr<const snapshot::SnapshotIndex> index,
                        std::size_t cache_capacity = 4096,
                        obs::Registry* registry = &obs::Registry::global(),
-                       core::ConeBitsetConfig cone_config = {});
+                       core::ConeBitsetConfig cone_config = {},
+                       std::size_t algo_slot = 0);
 
   /// Convenience for callers holding the index by value (wraps it in a
   /// shared_ptr).
@@ -83,7 +87,11 @@ class QueryEngine {
                        obs::Registry* registry = &obs::Registry::global(),
                        core::ConeBitsetConfig cone_config = {});
 
-  [[nodiscard]] const snapshot::SnapshotIndex& index() const noexcept { return *index_; }
+  /// The algorithm section this engine answers from (the root index for
+  /// slot 0, a nested per-algorithm index otherwise).
+  [[nodiscard]] const snapshot::SnapshotIndex& index() const noexcept { return *view_; }
+  /// Canonical name of the algorithm behind index().
+  [[nodiscard]] const std::string& algorithm() const noexcept { return algo_name_; }
   [[nodiscard]] const std::shared_ptr<const snapshot::SnapshotIndex>& index_ptr()
       const noexcept {
     return index_;
@@ -161,6 +169,10 @@ class QueryEngine {
   [[nodiscard]] const core::ConeBitset& cone_bits();
 
   std::shared_ptr<const snapshot::SnapshotIndex> index_;
+  /// Slot view into *index_ (== index_.get() for slot 0).  Never null; owned
+  /// by index_, so the shared_ptr keeps it alive.
+  const snapshot::SnapshotIndex* view_;
+  std::string algo_name_;
   obs::Registry* registry_;
   std::size_t cache_capacity_;
   LruCache intersect_cache_;
@@ -172,6 +184,8 @@ class QueryEngine {
 
   std::array<TypeMetrics, kQueryTypeCount> metrics_;
   obs::Counter* queries_total_ = nullptr;  ///< asrankd_queries_total
+  /// asrankd_algo_queries_total{algo=...}: per-algorithm query volume.
+  obs::Counter* algo_queries_total_ = nullptr;
   /// asrankd_cone_kernel_total{kernel=bitset|hybrid|sorted}: which kernel
   /// answered each cone intersection/diff/membership query.
   obs::Counter* kernel_bitset_ = nullptr;

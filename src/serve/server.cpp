@@ -169,25 +169,148 @@ Result<void> dispatch_engine_op(QueryEngine& engine, Op op, WireReader& reader,
   return {};
 }
 
-/// Current-epoch engine or a kNotFound Error before the first install.  The
+/// Current-epoch entry or a kNotFound Error before the first install.  The
 /// raw pointer stays valid for the caller's EBR critical section.
-Result<QueryEngine*> require_current(const SnapshotRegistry::ReadView& view) {
-  auto* engine = view.current();
-  if (engine == nullptr) return make_error(ErrorCode::kNotFound, "no snapshot loaded");
-  return engine;
+Result<const SnapshotRegistry::Entry*> require_current(
+    const SnapshotRegistry::ReadView& view) {
+  const auto* entry = view.current_entry();
+  if (entry == nullptr) return make_error(ErrorCode::kNotFound, "no snapshot loaded");
+  return entry;
 }
 
-Result<QueryEngine*> require_epoch(const SnapshotRegistry::ReadView& view,
-                                   const std::string& label) {
-  auto* engine = view.epoch(label);
-  if (engine == nullptr) {
+Result<const SnapshotRegistry::Entry*> require_epoch(
+    const SnapshotRegistry::ReadView& view, const std::string& label) {
+  const auto* entry = view.find_epoch(label);
+  if (entry == nullptr) {
     return make_error(ErrorCode::kUnknownEpoch, "unknown epoch '" + label + "'");
   }
   view.owner()
       .registry()
       .counter("asrankd_epoch_queries_total", "Queries naming an explicit epoch")
       .inc();
+  return entry;
+}
+
+/// Algorithm-qualified engine within one epoch.  The "unknown algorithm"
+/// prefix is part of the wire contract (the client maps it to
+/// kUnknownAlgorithm), so keep it stable.
+Result<QueryEngine*> require_algo(const SnapshotRegistry::ReadView& view,
+                                  const SnapshotRegistry::Entry& entry,
+                                  const std::string& name) {
+  auto* engine = entry.algo(name);
+  if (engine == nullptr) {
+    std::string carried;
+    for (const auto& algo : entry.algo_names) {
+      if (!carried.empty()) carried += ", ";
+      carried += algo;
+    }
+    return make_error(ErrorCode::kUnknownAlgorithm,
+                      "unknown algorithm '" + name + "' (epoch '" + entry.label +
+                          "' carries: " + carried + ")");
+  }
+  view.owner()
+      .registry()
+      .counter("asrankd_algo_selected_queries_total",
+               "Queries naming an explicit algorithm")
+      .inc();
   return engine;
+}
+
+/// One DISAGREE row: a link where two algorithm sections differ.  rel_a /
+/// rel_b are RelView codes from `a`'s perspective, or kRelNone when that
+/// algorithm has no such link.
+struct DisagreeRow {
+  Asn a;
+  Asn b;
+  std::uint8_t rel_a;
+  std::uint8_t rel_b;
+};
+
+/// Links on which two algorithm sections disagree, over the union of both
+/// link sets: canonical a < b, ascending (a, b).  A link present in only one
+/// section always disagrees (the other side reports kRelNone).
+std::vector<DisagreeRow> disagreements(const snapshot::SnapshotIndex& first,
+                                       const snapshot::SnapshotIndex& second) {
+  std::vector<DisagreeRow> out;
+  const auto scan = [&out](const snapshot::SnapshotIndex& from,
+                           const snapshot::SnapshotIndex& to, bool shared_links) {
+    const std::size_t n = from.as_count();
+    for (std::uint32_t id = 0; id < n; ++id) {
+      const Asn a = from.asn_at(id);
+      const auto neighbors = from.neighbor_ids(id);
+      const auto rels = from.relationship_codes(id);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        // kNoNeighborId guard, as in the clique-path BFS: only reachable
+        // through a crafted CRC-valid file.
+        if (neighbors[i] >= n) continue;
+        const Asn b = from.asn_at(neighbors[i]);
+        if (!(a < b)) continue;  // canonical orientation only
+        const auto other = to.relationship(a, b);
+        if (shared_links) {
+          const std::uint8_t theirs =
+              other ? static_cast<std::uint8_t>(*other) : kRelNone;
+          if (rels[i] != theirs) out.push_back({a, b, rels[i], theirs});
+        } else if (!other) {
+          // Second pass collects links only the second algorithm inferred.
+          out.push_back({a, b, kRelNone, rels[i]});
+        }
+      }
+    }
+  };
+  scan(first, second, /*shared_links=*/true);
+  scan(second, first, /*shared_links=*/false);
+  std::sort(out.begin(), out.end(), [](const DisagreeRow& x, const DisagreeRow& y) {
+    return x.a == y.a ? x.b < y.b : x.a < y.a;
+  });
+  return out;
+}
+
+/// Entry-scoped opcodes: WITH_ALGO qualification and DISAGREE comparison;
+/// everything else runs against the entry's primary engine.  WITH_EPOCH is
+/// handled by the caller, and WITH_ALGO cannot nest inside itself (the inner
+/// payload goes straight to the engine dispatcher).
+Result<void> dispatch_entry_op(const SnapshotRegistry::ReadView& view,
+                               const SnapshotRegistry::Entry& entry, Op op,
+                               WireReader& reader, WireWriter& writer) {
+  switch (op) {
+    case Op::kWithAlgo: {
+      ASRANK_TRY(name, reader.str16());
+      ASRANK_TRY(engine, require_algo(view, entry, name));
+      WireReader inner(reader.rest());
+      ASRANK_TRY(inner_op, inner.u8());
+      return dispatch_engine_op(*engine, static_cast<Op>(inner_op), inner, writer);
+    }
+    case Op::kDisagree: {
+      ASRANK_TRY(name_a, reader.str16());
+      ASRANK_TRY(name_b, reader.str16());
+      ASRANK_TRY(limit, reader.u32());
+      if (!reader.done()) {
+        return make_error(ErrorCode::kProtocol,
+                          "trailing bytes after request operands");
+      }
+      ASRANK_TRY(engine_a, require_algo(view, entry, name_a));
+      ASRANK_TRY(engine_b, require_algo(view, entry, name_b));
+      view.owner()
+          .registry()
+          .counter("asrankd_disagreements_total", "DISAGREE queries served")
+          .inc();
+      const auto rows = disagreements(engine_a->index(), engine_b->index());
+      const std::size_t returned =
+          limit == 0 ? rows.size()
+                     : std::min<std::size_t>(limit, rows.size());
+      writer.u32(static_cast<std::uint32_t>(rows.size()));
+      writer.u32(static_cast<std::uint32_t>(returned));
+      for (std::size_t i = 0; i < returned; ++i) {
+        writer.u32(rows[i].a.value());
+        writer.u32(rows[i].b.value());
+        writer.u8(rows[i].rel_a);
+        writer.u8(rows[i].rel_b);
+      }
+      return {};
+    }
+    default:
+      return dispatch_engine_op(*entry.engine, op, reader, writer);
+  }
 }
 
 }  // namespace
@@ -226,12 +349,14 @@ std::vector<std::uint8_t> handle_binary_request(
           return make_error(ErrorCode::kProtocol,
                             "trailing bytes after request operands");
         }
-        ASRANK_TRY(engine_a, require_epoch(view, label_a));
-        ASRANK_TRY(engine_b, require_epoch(view, label_b));
+        ASRANK_TRY(entry_a, require_epoch(view, label_a));
+        ASRANK_TRY(entry_b, require_epoch(view, label_b));
         view.owner()
             .registry()
             .counter("asrankd_cone_diffs_total", "CONE_DIFF queries served")
             .inc();
+        auto* engine_a = entry_a->engine.get();
+        auto* engine_b = entry_b->engine.get();
         const auto cone_a = engine_a->cone(Asn(asn));
         const auto cone_b = engine_b->cone(Asn(asn));
         encode_list(writer, engine_b->cone_minus(Asn(asn), cone_a));  // added in B
@@ -256,16 +381,16 @@ std::vector<std::uint8_t> handle_binary_request(
       }
       case Op::kWithEpoch: {
         ASRANK_TRY(label, reader.str16());
-        ASRANK_TRY(engine, require_epoch(view, label));
+        ASRANK_TRY(entry, require_epoch(view, label));
         WireReader inner(reader.rest());
         ASRANK_TRY(inner_op, inner.u8());
-        ASRANK_TRY_VOID(
-            dispatch_engine_op(*engine, static_cast<Op>(inner_op), inner, writer));
+        ASRANK_TRY_VOID(dispatch_entry_op(view, *entry, static_cast<Op>(inner_op),
+                                          inner, writer));
         return writer.take();
       }
       default: {
-        ASRANK_TRY(engine, require_current(view));
-        ASRANK_TRY_VOID(dispatch_engine_op(*engine, op, reader, writer));
+        ASRANK_TRY(entry, require_current(view));
+        ASRANK_TRY_VOID(dispatch_entry_op(view, *entry, op, reader, writer));
         return writer.take();
       }
     }
@@ -292,16 +417,47 @@ std::string handle_text_request(const SnapshotRegistry::ReadView& view,
   auto tokens = util::split_ws(util::trim(line));
   if (tokens.empty()) return "ERR empty command";
 
-  // "@<epoch> <cmd> ..." routes the command to a named resident epoch.
+  // "@<selector> ..." prefixes scope the command.  The first @token resolves
+  // as a resident epoch label, falling back to an algorithm name in the
+  // current epoch; a second @token must be an algorithm within the selected
+  // epoch.  So "@rib-a @gao2001 CONE 42", "@gao2001 CONE 42", and
+  // "@rib-a CONE 42" all read naturally.
+  const SnapshotRegistry::Entry* scope = nullptr;
   QueryEngine* engine = nullptr;
-  if (tokens[0].size() > 1 && tokens[0].front() == '@') {
+  while (!tokens.empty() && tokens[0].size() > 1 && tokens[0].front() == '@') {
     const std::string label(tokens[0].substr(1));
-    auto scoped = require_epoch(view, label);
+    if (scope == nullptr && engine == nullptr) {
+      if (const auto* entry = view.find_epoch(label); entry != nullptr) {
+        view.owner()
+            .registry()
+            .counter("asrankd_epoch_queries_total",
+                     "Queries naming an explicit epoch")
+            .inc();
+        scope = entry;
+        tokens.erase(tokens.begin());
+        continue;
+      }
+      // Not a resident epoch: try it as an algorithm of the current epoch,
+      // reporting both namespaces on a miss (the selector is ambiguous).
+      auto current = require_current(view);
+      if (!current.ok()) return "ERR " + current.error().context;
+      auto scoped = require_algo(view, *current.value(), label);
+      if (!scoped.ok()) return "ERR unknown epoch or algorithm '" + label + "'";
+      scope = current.value();
+      engine = scoped.value();
+      tokens.erase(tokens.begin());
+      continue;
+    }
+    if (engine != nullptr) return "ERR at most one @<algorithm> selector";
+    auto scoped = require_algo(view, *scope, label);
     if (!scoped.ok()) return "ERR " + scoped.error().context;
     engine = scoped.value();
     tokens.erase(tokens.begin());
-    if (tokens.empty()) return "ERR usage: @<epoch> <command>";
   }
+  if ((scope != nullptr || engine != nullptr) && tokens.empty()) {
+    return "ERR usage: @<epoch|algorithm> <command>";
+  }
+  if (engine == nullptr && scope != nullptr) engine = scope->engine.get();
   const auto cmd = util::to_lower(tokens[0]);
 
   const auto arg_as = [&tokens](std::size_t i) -> std::optional<Asn> {
@@ -315,13 +471,63 @@ std::string handle_text_request(const SnapshotRegistry::ReadView& view,
     if (cmd == "help") {
       return "OK commands: PING REL RANK CONESIZE CONE INCONE PROVIDERS "
              "CUSTOMERS PEERS TOP INTERSECT CLIQUEPATH CLIQUE STATS METRICS "
-             "EPOCHS CONEDIFF RELOAD HELP QUIT (prefix @<epoch> targets a "
-             "resident epoch)";
+             "EPOCHS ALGOS CONEDIFF DISAGREE RELOAD HELP QUIT (prefix "
+             "@<epoch> and/or @<algorithm> scopes a command)";
     }
     if (cmd == "epochs") {
       std::string out = "OK";
       for (const auto& label : view.epochs()) out += " " + label;
       return out;
+    }
+    if (cmd == "algos" || cmd == "algorithms") {
+      const SnapshotRegistry::Entry* base = scope;
+      if (base == nullptr) {
+        auto current = require_current(view);
+        if (!current.ok()) return "ERR " + current.error().context;
+        base = current.value();
+      }
+      std::string out = "OK";
+      for (const auto& name : base->algo_names) out += " " + name;
+      return out;
+    }
+    if (cmd == "disagree") {
+      if (tokens.size() != 3 && tokens.size() != 4) {
+        return "ERR usage: DISAGREE <algoA> <algoB> [limit]";
+      }
+      std::uint32_t limit = 0;
+      if (tokens.size() == 4) {
+        const auto parsed = util::parse_unsigned<std::uint32_t>(tokens[3]);
+        if (!parsed) return "ERR usage: DISAGREE <algoA> <algoB> [limit]";
+        limit = *parsed;
+      }
+      const SnapshotRegistry::Entry* base = scope;
+      if (base == nullptr) {
+        auto current = require_current(view);
+        if (!current.ok()) return "ERR " + current.error().context;
+        base = current.value();
+      }
+      auto a = require_algo(view, *base, std::string(tokens[1]));
+      if (!a.ok()) return "ERR " + a.error().context;
+      auto b = require_algo(view, *base, std::string(tokens[2]));
+      if (!b.ok()) return "ERR " + b.error().context;
+      view.owner()
+          .registry()
+          .counter("asrankd_disagreements_total", "DISAGREE queries served")
+          .inc();
+      const auto rows = disagreements(a.value()->index(), b.value()->index());
+      const std::size_t shown =
+          limit == 0 ? rows.size() : std::min<std::size_t>(limit, rows.size());
+      const auto rel_text = [](std::uint8_t code) -> std::string {
+        if (code == kRelNone) return "none";
+        return std::string(to_string(static_cast<RelView>(code)));
+      };
+      std::ostringstream os;
+      os << "OK " << rows.size();
+      for (std::size_t i = 0; i < shown; ++i) {
+        os << ' ' << rows[i].a.value() << ':' << rows[i].b.value() << ':'
+           << rel_text(rows[i].rel_a) << ':' << rel_text(rows[i].rel_b);
+      }
+      return os.str();
     }
     if (cmd == "conediff") {
       const auto as = arg_as(1);
@@ -334,14 +540,16 @@ std::string handle_text_request(const SnapshotRegistry::ReadView& view,
           .registry()
           .counter("asrankd_cone_diffs_total", "CONE_DIFF queries served")
           .inc();
-      const auto cone_a = a.value()->cone(*as);
-      const auto cone_b = b.value()->cone(*as);
+      auto* engine_a = a.value()->engine.get();
+      auto* engine_b = b.value()->engine.get();
+      const auto cone_a = engine_a->cone(*as);
+      const auto cone_b = engine_b->cone(*as);
       std::ostringstream os;
       os << "OK";
-      for (const Asn added : b.value()->cone_minus(*as, cone_a)) {
+      for (const Asn added : engine_b->cone_minus(*as, cone_a)) {
         os << " +" << added.value();
       }
-      for (const Asn removed : a.value()->cone_minus(*as, cone_b)) {
+      for (const Asn removed : engine_a->cone_minus(*as, cone_b)) {
         os << " -" << removed.value();
       }
       return os.str();
@@ -359,11 +567,12 @@ std::string handle_text_request(const SnapshotRegistry::ReadView& view,
              std::to_string(loaded.value().engine->index().as_count());
     }
 
-    // Everything below is engine-scoped: default to the current epoch.
+    // Everything below is engine-scoped: default to the current epoch's
+    // primary algorithm.
     if (engine == nullptr) {
       auto current = require_current(view);
       if (!current.ok()) return "ERR " + current.error().context;
-      engine = current.value();
+      engine = current.value()->engine.get();
     }
 
     if (cmd == "rel") {

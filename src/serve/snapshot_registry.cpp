@@ -46,12 +46,18 @@ SnapshotRegistry::SnapshotRegistry(SnapshotRegistryConfig config,
 }
 
 QueryEngine* SnapshotRegistry::ReadView::epoch(std::string_view label) const noexcept {
+  const auto* entry = find_epoch(label);
+  return entry == nullptr ? nullptr : entry->engine.get();
+}
+
+const SnapshotRegistry::Entry* SnapshotRegistry::ReadView::find_epoch(
+    std::string_view label) const noexcept {
   for (const auto& entry : gen_->entries) {
     if (entry->label == label) {
       entry->last_used.store(
           registry_->use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
           std::memory_order_relaxed);
-      return entry->engine.get();
+      return entry.get();
     }
   }
   return nullptr;
@@ -139,10 +145,20 @@ Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::install_impl(
                           "' (want 1-64 chars of [A-Za-z0-9._:-])");
   }
 
+  auto shared_index =
+      std::make_shared<const snapshot::SnapshotIndex>(std::move(index));
   auto engine = std::make_shared<QueryEngine>(
-      std::make_shared<const snapshot::SnapshotIndex>(std::move(index)),
-      config_.cache_capacity, registry_, config_.cone_bitset);
+      shared_index, config_.cache_capacity, registry_, config_.cone_bitset);
   const std::size_t as_count = engine->index().as_count();
+  // One engine per algorithm section; slot 0 reuses the primary engine so
+  // @algo-qualified queries for the primary share its caches and counters.
+  std::vector<std::shared_ptr<QueryEngine>> engines;
+  engines.push_back(engine);
+  for (std::size_t slot = 1; slot < shared_index->algorithm_count(); ++slot) {
+    engines.push_back(std::make_shared<QueryEngine>(
+        shared_index, config_.cache_capacity, registry_, config_.cone_bitset,
+        slot));
+  }
 
   std::lock_guard<std::mutex> lock(reload_mutex_);
   const auto old_gen = generation();
@@ -164,8 +180,12 @@ Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::install_impl(
   if (final_label != nullptr) *final_label = effective;
 
   auto entry = std::make_shared<Entry>(effective, engine);
+  entry->engines = std::move(engines);
+  const auto names = shared_index->algorithm_names();
+  entry->algo_names.assign(names.begin(), names.end());
   entry->last_used.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                          std::memory_order_relaxed);
+  const std::size_t algo_count = entry->algo_names.size();
 
   // Copy-on-write: new entry first, prior entries (minus any same-label one)
   // after, then evict the least-recently-used tail past the retention bound.
@@ -213,6 +233,7 @@ Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::install_impl(
   obs::log_info("snapshot epoch installed",
                 {{"epoch", effective},
                  {"ases", as_count},
+                 {"algorithms", algo_count},
                  {"resident", generation()->entries.size()},
                  {"evicted", evicted.size()}});
   return engine;

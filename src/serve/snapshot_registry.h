@@ -121,8 +121,9 @@ class SnapshotRegistry {
     return ebr_;
   }
 
-  // (defined in the private section below; forward-declared for ReadView)
+  // (defined below; forward-declared for ReadView)
   struct Generation;
+  struct Entry;
 
   /// Raw-pointer view of the published generation for EBR-guarded readers.
   /// The caller MUST hold a runtime::ebr::Guard on reclaim_domain() for the
@@ -142,6 +143,13 @@ class SnapshotRegistry {
     }
     /// Engine for a named epoch (bumps its LRU clock), or nullptr.
     [[nodiscard]] QueryEngine* epoch(std::string_view label) const noexcept;
+    /// Entry of the current epoch (for per-algorithm dispatch), or nullptr
+    /// before the first install.
+    [[nodiscard]] const Entry* current_entry() const noexcept {
+      return gen_->entries.empty() ? nullptr : gen_->entries.front().get();
+    }
+    /// Entry for a named epoch (bumps its LRU clock), or nullptr.
+    [[nodiscard]] const Entry* find_epoch(std::string_view label) const noexcept;
     [[nodiscard]] std::vector<std::string> epochs() const;
     [[nodiscard]] std::size_t epoch_count() const noexcept {
       return gen_->entries.size();
@@ -177,13 +185,27 @@ class SnapshotRegistry {
 
   struct Entry {
     std::string label;
+    /// Primary-algorithm engine (== engines[0]); the default answer path.
     std::shared_ptr<QueryEngine> engine;
+    /// One engine per algorithm section in the snapshot, slot order.  A
+    /// single-algorithm file yields exactly {engine}.
+    std::vector<std::shared_ptr<QueryEngine>> engines;
+    /// Algorithm names, slot order (mirrors SnapshotIndex::algorithm_names).
+    std::vector<std::string> algo_names;
     /// LRU clock: stamped from use_clock_ on every epoch(label) hit and on
     /// install, so eviction tracks query recency, not just install order.
     mutable std::atomic<std::uint64_t> last_used{0};
 
     Entry(std::string l, std::shared_ptr<QueryEngine> e) noexcept
         : label(std::move(l)), engine(std::move(e)) {}
+
+    /// Engine for a named algorithm, or nullptr if this epoch lacks it.
+    [[nodiscard]] QueryEngine* algo(std::string_view name) const noexcept {
+      for (std::size_t i = 0; i < algo_names.size(); ++i) {
+        if (algo_names[i] == name) return engines[i].get();
+      }
+      return nullptr;
+    }
   };
 
   /// One immutable published state: entries[0] is the current epoch.

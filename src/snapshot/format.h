@@ -52,9 +52,40 @@ enum class SectionId : std::uint32_t {
   kRanks = 7,           ///< n * u32 1-based rank (0 = unranked)
   kTransitDegrees = 8,  ///< n * u32
   kClique = 9,          ///< clique member ASNs, sorted ascending
+  kAlgoDirectory = 10,  ///< multi-algorithm directory (see below); absent in
+                        ///< single-algorithm "asrank" files
 };
 
-/// Number of sections a version-1 writer emits (readers accept more).
+/// Number of sections a version-1 writer emits per algorithm (readers
+/// accept more).
 inline constexpr std::size_t kSectionCount = 9;
+
+// Multi-algorithm snapshots (additive, still format version 1).  One file
+// carries the full nine-section set once per inference algorithm:
+//
+//   * Algorithm slot 0 ("the primary") keeps the historical ids 1..9, so a
+//     multi-algorithm file is *also* a valid single-algorithm file to any
+//     pre-directory reader, and a single-algorithm file written today is
+//     byte-identical to one written before slots existed.
+//   * Algorithm slot s >= 1 stores section j at id s * kAlgoSlotStride + j.
+//   * Section kAlgoDirectory maps slots to algorithm names:
+//       u32 count, then count * { u32 slot, u16 name_len, name bytes }
+//     with slots ascending 0..count-1 and names unique, 1..64 chars of
+//     [A-Za-z0-9._:-] (the epoch-label charset).  The writer only emits the
+//     directory when there are extra slots or the primary is not "asrank";
+//     readers treat its absence as {"asrank"}.
+inline constexpr std::uint32_t kAlgoSlotStride = 16;
+/// Directory cap — keeps slot ids well clear of future low-id sections and
+/// bounds per-file memory for crafted inputs.
+inline constexpr std::size_t kMaxAlgorithms = 8;
+/// Longest algorithm name the directory accepts.
+inline constexpr std::size_t kMaxAlgoNameLen = 64;
+
+/// The on-disk section id of section `id` for algorithm slot `slot`.
+[[nodiscard]] constexpr std::uint32_t slot_section_id(std::size_t slot,
+                                                      SectionId id) noexcept {
+  return static_cast<std::uint32_t>(slot) * kAlgoSlotStride +
+         static_cast<std::uint32_t>(id);
+}
 
 }  // namespace asrank::snapshot

@@ -80,6 +80,12 @@ class Cursor {
     ASRANK_TRY(hi, u32());
     return static_cast<std::uint64_t>(lo) | static_cast<std::uint64_t>(hi) << 32;
   }
+  Result<std::span<const std::uint8_t>> bytes(std::size_t n) {
+    ASRANK_TRY_VOID(need(n));
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
 
  private:
   [[nodiscard]] Result<void> need(std::size_t n) const {
@@ -166,26 +172,49 @@ constexpr RelView inverse(RelView view) noexcept {
   return RelView::kPeer;
 }
 
+/// Valid algorithm-directory name: the epoch-label charset, 1..64 chars.
+bool valid_algo_name(std::string_view name) {
+  if (name.empty() || name.size() > kMaxAlgoNameLen) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == ':' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 // ------------------------------------------------------ container parsing --
 // Shared between the heap decoder and the zero-copy mapper: check magic,
 // version, declared size, header CRC, then bounds-, CRC- and
-// duplicate-check every section-table entry.
+// duplicate-check every section-table entry.  Namespace scope (not
+// anonymous) so snapshot.h can name it for the per-slot loaders.
 
-struct ParsedContainer {
+struct ContainerView {
   std::unordered_map<std::uint32_t, std::span<const std::uint8_t>> sections;
 
-  [[nodiscard]] Result<std::span<const std::uint8_t>> require(SectionId id) const {
-    const auto it = sections.find(static_cast<std::uint32_t>(id));
-    if (it == sections.end()) {
-      return make_error(ErrorCode::kNotFound,
-                        "missing section " +
-                            std::to_string(static_cast<std::uint32_t>(id)));
-    }
-    return it->second;
+  [[nodiscard]] const std::span<const std::uint8_t>* find(std::uint32_t raw_id) const {
+    const auto it = sections.find(raw_id);
+    return it == sections.end() ? nullptr : &it->second;
+  }
+
+  /// Section `id` of algorithm slot `slot` (see format.h id scheme).
+  [[nodiscard]] Result<std::span<const std::uint8_t>> require(std::size_t slot,
+                                                              SectionId id) const {
+    const std::uint32_t raw = slot_section_id(slot, id);
+    if (const auto* payload = find(raw)) return *payload;
+    return make_error(ErrorCode::kNotFound,
+                      "missing section " + std::to_string(raw) +
+                          (slot == 0 ? std::string{}
+                                     : " (algorithm slot " + std::to_string(slot) + ")"));
   }
 };
 
-Result<ParsedContainer> parse_container(std::span<const std::uint8_t> data) {
+namespace {
+
+Result<ContainerView> parse_container(std::span<const std::uint8_t> data) {
   if (data.size() < kHeaderPrefixSize) {
     return make_error(ErrorCode::kTruncated, "file shorter than header");
   }
@@ -222,7 +251,7 @@ Result<ParsedContainer> parse_container(std::span<const std::uint8_t> data) {
     return make_error(ErrorCode::kCorrupt, "header CRC mismatch");
   }
 
-  ParsedContainer parsed;
+  ContainerView parsed;
   Cursor table{data.subspan(kHeaderPrefixSize,
                             static_cast<std::size_t>(section_count) *
                                 kSectionEntrySize),
@@ -353,6 +382,14 @@ bool SnapshotIndex::in_cone(Asn as, Asn member) const noexcept {
 std::uint32_t SnapshotIndex::transit_degree(Asn as) const noexcept {
   const auto id = id_of(as);
   return id ? tdeg_[*id] : 0;
+}
+
+std::optional<std::size_t> SnapshotIndex::algorithm_slot(
+    std::string_view name) const noexcept {
+  for (std::size_t slot = 0; slot < algo_names_.size(); ++slot) {
+    if (algo_names_[slot] == name) return slot;
+  }
+  return std::nullopt;
 }
 
 const std::vector<std::uint32_t>& SnapshotIndex::dense_neighbor_ids() const {
@@ -618,25 +655,87 @@ SnapshotIndex build_snapshot(const AsGraph& graph, const core::Degrees& degrees,
   return build_snapshot(graph, transit, cones, clique);
 }
 
+Result<SnapshotIndex> combine_snapshots(
+    std::vector<std::pair<std::string, SnapshotIndex>> parts) {
+  const auto fail = [](std::string what) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "combine_snapshots: " + std::move(what));
+  };
+  if (parts.empty()) return fail("no parts");
+  if (parts.size() > kMaxAlgorithms) {
+    return fail("more than " + std::to_string(kMaxAlgorithms) + " algorithms");
+  }
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (!valid_algo_name(parts[i].first)) {
+      return fail("invalid algorithm name '" + parts[i].first + "' (want 1-" +
+                  std::to_string(kMaxAlgoNameLen) + " chars of [A-Za-z0-9._:-])");
+    }
+    if (parts[i].second.algorithm_count() != 1) {
+      return fail("part '" + parts[i].first + "' is already multi-algorithm");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (parts[j].first == parts[i].first) {
+        return fail("duplicate algorithm name '" + parts[i].first + "'");
+      }
+    }
+  }
+
+  // Moving an index is safe here: its spans alias heap vectors or a file
+  // mapping, both of which keep their addresses across the move.
+  SnapshotIndex merged = std::move(parts.front().second);
+  merged.algo_names_ = {std::move(parts.front().first)};
+  for (std::size_t slot = 1; slot < parts.size(); ++slot) {
+    auto extra = std::make_unique<SnapshotIndex>(std::move(parts[slot].second));
+    extra->algo_names_ = {parts[slot].first};
+    merged.extras_.push_back(std::move(extra));
+    merged.algo_names_.push_back(std::move(parts[slot].first));
+  }
+  return merged;
+}
+
 // -------------------------------------------------------------------- IO --
 
 Result<void> try_write_snapshot(const SnapshotIndex& index, std::ostream& os) {
   obs::ScopedTimer timer(&io_histogram("write"));
   struct Section {
-    SectionId id;
+    std::uint32_t id;
     std::vector<std::uint8_t> payload;
   };
   std::vector<Section> sections;
-  sections.push_back({SectionId::kAsns, encode_asns(index.asns_)});
-  sections.push_back({SectionId::kAdjOffsets, encode_u64s(index.adj_off_)});
-  sections.push_back({SectionId::kAdjNeighbors, encode_asns(index.adj_nbr_)});
-  sections.push_back({SectionId::kAdjRels,
-                      {index.adj_rel_.begin(), index.adj_rel_.end()}});
-  sections.push_back({SectionId::kConeOffsets, encode_u64s(index.cone_off_)});
-  sections.push_back({SectionId::kConeMembers, encode_asns(index.cone_mem_)});
-  sections.push_back({SectionId::kRanks, encode_u32s(index.rank_)});
-  sections.push_back({SectionId::kTransitDegrees, encode_u32s(index.tdeg_)});
-  sections.push_back({SectionId::kClique, encode_asns(index.clique_)});
+  const auto push_slot = [&sections](const SnapshotIndex& part, std::size_t slot) {
+    const auto at = [slot](SectionId id) { return slot_section_id(slot, id); };
+    sections.push_back({at(SectionId::kAsns), encode_asns(part.asns_)});
+    sections.push_back({at(SectionId::kAdjOffsets), encode_u64s(part.adj_off_)});
+    sections.push_back({at(SectionId::kAdjNeighbors), encode_asns(part.adj_nbr_)});
+    sections.push_back({at(SectionId::kAdjRels),
+                        {part.adj_rel_.begin(), part.adj_rel_.end()}});
+    sections.push_back({at(SectionId::kConeOffsets), encode_u64s(part.cone_off_)});
+    sections.push_back({at(SectionId::kConeMembers), encode_asns(part.cone_mem_)});
+    sections.push_back({at(SectionId::kRanks), encode_u32s(part.rank_)});
+    sections.push_back({at(SectionId::kTransitDegrees), encode_u32s(part.tdeg_)});
+    sections.push_back({at(SectionId::kClique), encode_asns(part.clique_)});
+  };
+  push_slot(index, 0);
+
+  // The directory (and with it the extra slots) is only emitted when the
+  // file actually deviates from the historical single-algorithm layout —
+  // this keeps a plain "asrank" snapshot byte-identical to the
+  // pre-multi-algorithm writer.
+  if (!index.extras_.empty() || index.algo_names_.front() != "asrank") {
+    std::vector<std::uint8_t> directory;
+    put_u32(directory, static_cast<std::uint32_t>(index.algo_names_.size()));
+    for (std::size_t slot = 0; slot < index.algo_names_.size(); ++slot) {
+      const std::string& name = index.algo_names_[slot];
+      put_u32(directory, static_cast<std::uint32_t>(slot));
+      put_u16(directory, static_cast<std::uint16_t>(name.size()));
+      directory.insert(directory.end(), name.begin(), name.end());
+    }
+    sections.push_back({static_cast<std::uint32_t>(SectionId::kAlgoDirectory),
+                        std::move(directory)});
+    for (std::size_t slot = 1; slot <= index.extras_.size(); ++slot) {
+      push_slot(*index.extras_[slot - 1], slot);
+    }
+  }
 
   const std::size_t header_size =
       kHeaderPrefixSize + sections.size() * kSectionEntrySize + 4;
@@ -682,58 +781,115 @@ Result<void> try_write_snapshot(const SnapshotIndex& index, std::ostream& os) {
   return {};
 }
 
-Result<SnapshotIndex> SnapshotIndex::decode_image(std::span<const std::uint8_t> data) {
-  ASRANK_TRY(parsed, parse_container(data));
-
+Result<SnapshotIndex> SnapshotIndex::decode_sections(const ContainerView& container,
+                                                     std::size_t slot) {
   SnapshotIndex index;
   SnapshotIndex::HeapStore& store = index.heap_;
   {
-    ASRANK_TRY(bytes, parsed.require(SectionId::kAsns));
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kAsns));
     ASRANK_TRY(decoded, decode_asns(bytes, "AS table"));
     store.asns = std::move(decoded);
   }
   {
-    ASRANK_TRY(bytes, parsed.require(SectionId::kAdjOffsets));
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kAdjOffsets));
     ASRANK_TRY(decoded, decode_u64s(bytes, "adjacency offsets"));
     store.adj_off = std::move(decoded);
   }
   {
-    ASRANK_TRY(bytes, parsed.require(SectionId::kAdjNeighbors));
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kAdjNeighbors));
     ASRANK_TRY(decoded, decode_asns(bytes, "adjacency neighbours"));
     store.adj_nbr = std::move(decoded);
   }
   {
-    ASRANK_TRY(rels, parsed.require(SectionId::kAdjRels));
+    ASRANK_TRY(rels, container.require(slot, SectionId::kAdjRels));
     store.adj_rel.assign(rels.begin(), rels.end());
   }
   {
-    ASRANK_TRY(bytes, parsed.require(SectionId::kConeOffsets));
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kConeOffsets));
     ASRANK_TRY(decoded, decode_u64s(bytes, "cone offsets"));
     store.cone_off = std::move(decoded);
   }
   {
-    ASRANK_TRY(bytes, parsed.require(SectionId::kConeMembers));
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kConeMembers));
     ASRANK_TRY(decoded, decode_asns(bytes, "cone members"));
     store.cone_mem = std::move(decoded);
   }
   {
-    ASRANK_TRY(bytes, parsed.require(SectionId::kRanks));
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kRanks));
     ASRANK_TRY(decoded, decode_u32s(bytes, "ranks"));
     store.rank = std::move(decoded);
   }
   {
-    ASRANK_TRY(bytes, parsed.require(SectionId::kTransitDegrees));
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kTransitDegrees));
     ASRANK_TRY(decoded, decode_u32s(bytes, "transit degrees"));
     store.tdeg = std::move(decoded);
   }
   {
-    ASRANK_TRY(bytes, parsed.require(SectionId::kClique));
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kClique));
     ASRANK_TRY(decoded, decode_asns(bytes, "clique"));
     store.clique = std::move(decoded);
   }
 
   index.bind_heap();
   ASRANK_TRY_VOID(index.finalize_and_validate(Validation::kFull));
+  return index;
+}
+
+Result<void> SnapshotIndex::attach_algorithms(
+    const ContainerView& container, SnapshotIndex& primary,
+    const std::shared_ptr<const util::MappedFile>& mapping) {
+  const auto* directory = container.find(
+      static_cast<std::uint32_t>(SectionId::kAlgoDirectory));
+  if (directory == nullptr) return {};  // legacy layout: {"asrank"}
+
+  const auto fail = [](std::string what) {
+    return make_error(ErrorCode::kCorrupt, "algorithm directory: " + std::move(what));
+  };
+  Cursor cursor(*directory, "algorithm directory");
+  ASRANK_TRY(count, cursor.u32());
+  if (count == 0) return fail("empty");
+  if (count > kMaxAlgorithms) {
+    return fail("declares " + std::to_string(count) + " algorithms (max " +
+                std::to_string(kMaxAlgorithms) + ")");
+  }
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ASRANK_TRY(slot, cursor.u32());
+    if (slot != i) return fail("slots not ascending from 0");
+    ASRANK_TRY(name_len, cursor.u16());
+    ASRANK_TRY(raw, cursor.bytes(name_len));
+    std::string name(raw.begin(), raw.end());
+    if (!valid_algo_name(name)) {
+      return fail("invalid algorithm name in slot " + std::to_string(slot));
+    }
+    if (std::find(names.begin(), names.end(), name) != names.end()) {
+      return fail("duplicate algorithm name '" + name + "'");
+    }
+    names.push_back(std::move(name));
+  }
+  if (cursor.remaining() != 0) return fail("trailing bytes");
+
+  for (std::size_t slot = 1; slot < names.size(); ++slot) {
+    SnapshotIndex extra;
+    if (mapping != nullptr) {
+      ASRANK_TRY(mapped, map_sections(container, slot, mapping));
+      extra = std::move(mapped);
+    } else {
+      ASRANK_TRY(decoded, decode_sections(container, slot));
+      extra = std::move(decoded);
+    }
+    extra.algo_names_ = {names[slot]};
+    primary.extras_.push_back(std::make_unique<SnapshotIndex>(std::move(extra)));
+  }
+  primary.algo_names_ = std::move(names);
+  return {};
+}
+
+Result<SnapshotIndex> SnapshotIndex::decode_image(std::span<const std::uint8_t> data) {
+  ASRANK_TRY(parsed, parse_container(data));
+  ASRANK_TRY(index, decode_sections(parsed, 0));
+  ASRANK_TRY_VOID(attach_algorithms(parsed, index, nullptr));
   return index;
 }
 
@@ -744,6 +900,59 @@ Result<SnapshotIndex> try_read_snapshot(std::istream& is) {
   ASRANK_TRY(index, SnapshotIndex::decode_image(data));
   obs::log_debug("snapshot read", {{"ases", index.as_count()},
                                    {"links", index.link_count()}});
+  return index;
+}
+
+Result<SnapshotIndex> SnapshotIndex::map_sections(
+    const ContainerView& container, std::size_t slot,
+    std::shared_ptr<const util::MappedFile> mapping) {
+  SnapshotIndex index;
+  {
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kAsns));
+    ASRANK_TRY(view, typed_view<Asn>(bytes, "AS table"));
+    index.asns_ = view;
+  }
+  {
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kAdjOffsets));
+    ASRANK_TRY(view, typed_view<std::uint64_t>(bytes, "adjacency offsets"));
+    index.adj_off_ = view;
+  }
+  {
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kAdjNeighbors));
+    ASRANK_TRY(view, typed_view<Asn>(bytes, "adjacency neighbours"));
+    index.adj_nbr_ = view;
+  }
+  {
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kAdjRels));
+    index.adj_rel_ = bytes;
+  }
+  {
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kConeOffsets));
+    ASRANK_TRY(view, typed_view<std::uint64_t>(bytes, "cone offsets"));
+    index.cone_off_ = view;
+  }
+  {
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kConeMembers));
+    ASRANK_TRY(view, typed_view<Asn>(bytes, "cone members"));
+    index.cone_mem_ = view;
+  }
+  {
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kRanks));
+    ASRANK_TRY(view, typed_view<std::uint32_t>(bytes, "ranks"));
+    index.rank_ = view;
+  }
+  {
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kTransitDegrees));
+    ASRANK_TRY(view, typed_view<std::uint32_t>(bytes, "transit degrees"));
+    index.tdeg_ = view;
+  }
+  {
+    ASRANK_TRY(bytes, container.require(slot, SectionId::kClique));
+    ASRANK_TRY(view, typed_view<Asn>(bytes, "clique"));
+    index.clique_ = view;
+  }
+  index.mapping_ = std::move(mapping);
+  ASRANK_TRY_VOID(index.finalize_and_validate(Validation::kMapped));
   return index;
 }
 
@@ -760,58 +969,13 @@ Result<SnapshotIndex> SnapshotIndex::map_file(const std::string& path) {
     auto mapping = std::make_shared<const util::MappedFile>(std::move(file));
     const auto data = mapping->bytes();
     ASRANK_TRY(parsed, parse_container(data));
-
-    SnapshotIndex index;
-    {
-      ASRANK_TRY(bytes, parsed.require(SectionId::kAsns));
-      ASRANK_TRY(view, typed_view<Asn>(bytes, "AS table"));
-      index.asns_ = view;
-    }
-    {
-      ASRANK_TRY(bytes, parsed.require(SectionId::kAdjOffsets));
-      ASRANK_TRY(view, typed_view<std::uint64_t>(bytes, "adjacency offsets"));
-      index.adj_off_ = view;
-    }
-    {
-      ASRANK_TRY(bytes, parsed.require(SectionId::kAdjNeighbors));
-      ASRANK_TRY(view, typed_view<Asn>(bytes, "adjacency neighbours"));
-      index.adj_nbr_ = view;
-    }
-    {
-      ASRANK_TRY(bytes, parsed.require(SectionId::kAdjRels));
-      index.adj_rel_ = bytes;
-    }
-    {
-      ASRANK_TRY(bytes, parsed.require(SectionId::kConeOffsets));
-      ASRANK_TRY(view, typed_view<std::uint64_t>(bytes, "cone offsets"));
-      index.cone_off_ = view;
-    }
-    {
-      ASRANK_TRY(bytes, parsed.require(SectionId::kConeMembers));
-      ASRANK_TRY(view, typed_view<Asn>(bytes, "cone members"));
-      index.cone_mem_ = view;
-    }
-    {
-      ASRANK_TRY(bytes, parsed.require(SectionId::kRanks));
-      ASRANK_TRY(view, typed_view<std::uint32_t>(bytes, "ranks"));
-      index.rank_ = view;
-    }
-    {
-      ASRANK_TRY(bytes, parsed.require(SectionId::kTransitDegrees));
-      ASRANK_TRY(view, typed_view<std::uint32_t>(bytes, "transit degrees"));
-      index.tdeg_ = view;
-    }
-    {
-      ASRANK_TRY(bytes, parsed.require(SectionId::kClique));
-      ASRANK_TRY(view, typed_view<Asn>(bytes, "clique"));
-      index.clique_ = view;
-    }
-    index.mapping_ = std::move(mapping);
-    ASRANK_TRY_VOID(index.finalize_and_validate(Validation::kMapped));
+    ASRANK_TRY(index, map_sections(parsed, 0, mapping));
+    ASRANK_TRY_VOID(attach_algorithms(parsed, index, mapping));
     mmap_loads_counter().inc();
     obs::log_debug("snapshot mapped", {{"path", path},
                                        {"bytes", data.size()},
                                        {"ases", index.as_count()},
+                                       {"algorithms", index.algorithm_count()},
                                        {"links", index.link_count()}});
     return index;
   }

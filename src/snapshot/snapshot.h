@@ -32,7 +32,9 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "asn/asn.h"
@@ -45,6 +47,8 @@
 #include "util/result.h"
 
 namespace asrank::snapshot {
+
+struct ContainerView;  // snapshot.cpp: one parsed ASRK1 section table
 
 /// One row of the frozen ranking (mirrors core::RankEntry).
 struct TopEntry {
@@ -157,12 +161,38 @@ class SnapshotIndex {
     return (clique_bits_[id >> 6] >> (id & 63)) & 1ULL;
   }
 
+  // Multi-algorithm access.  One index can carry the full section set once
+  // per inference algorithm (see format.h); slot 0 is the primary and is
+  // served by this object's own accessors, so single-algorithm callers never
+  // notice the machinery.  Files without a directory section load as
+  // {"asrank"}.
+
+  /// Number of algorithm section sets (>= 1).
+  [[nodiscard]] std::size_t algorithm_count() const noexcept {
+    return 1 + extras_.size();
+  }
+  /// Algorithm names in slot order; [0] names the primary.
+  [[nodiscard]] std::span<const std::string> algorithm_names() const noexcept {
+    return algo_names_;
+  }
+  /// Slot of `name`, nullopt when this snapshot does not carry it.
+  [[nodiscard]] std::optional<std::size_t> algorithm_slot(
+      std::string_view name) const noexcept;
+  /// The index for slot `slot` (0 returns *this); `slot` must be
+  /// < algorithm_count().  Extra slots are fully validated, self-contained
+  /// indexes sharing this object's file mapping when mmap-backed.
+  [[nodiscard]] const SnapshotIndex& algorithm_at(std::size_t slot) const noexcept {
+    return slot == 0 ? *this : *extras_[slot - 1];
+  }
+
  private:
   friend SnapshotIndex build_snapshot(const topology::TopologyView&,
                                       const std::unordered_map<Asn, std::size_t>&,
                                       const ConeMap&, std::span<const Asn>);
   friend Result<SnapshotIndex> try_read_snapshot(std::istream&);
   friend Result<void> try_write_snapshot(const SnapshotIndex&, std::ostream&);
+  friend Result<SnapshotIndex> combine_snapshots(
+      std::vector<std::pair<std::string, SnapshotIndex>> parts);
 
   /// How much of the structure finalize_and_validate() re-checks.  kFull is
   /// the heap path: every per-link and per-cone-member invariant.  kMapped
@@ -204,6 +234,21 @@ class SnapshotIndex {
   [[nodiscard]] static Result<SnapshotIndex> decode_image(
       std::span<const std::uint8_t> data);
 
+  /// Decode algorithm slot `slot`'s nine sections into heap mirrors + full
+  /// validation.
+  [[nodiscard]] static Result<SnapshotIndex> decode_sections(
+      const ContainerView& container, std::size_t slot);
+  /// Map algorithm slot `slot`'s nine sections in place (little-endian
+  /// hosts; `mapping` keeps the spans alive) + kMapped validation.
+  [[nodiscard]] static Result<SnapshotIndex> map_sections(
+      const ContainerView& container, std::size_t slot,
+      std::shared_ptr<const util::MappedFile> mapping);
+  /// Parse the algorithm directory (if present) and load every extra slot
+  /// into `primary`, heap-decoded or mapped to match the primary's backing.
+  [[nodiscard]] static Result<void> attach_algorithms(
+      const ContainerView& container, SnapshotIndex& primary,
+      const std::shared_ptr<const util::MappedFile>& mapping);
+
   /// Re-derive by_rank_/link_count_/clique_bits_ and check structural
   /// invariants per `depth`; the Error names the violated invariant
   /// (ErrorCode::kCorrupt).  Shared by the builder and both load paths so
@@ -229,6 +274,11 @@ class SnapshotIndex {
   std::vector<std::uint64_t> clique_bits_; ///< ceil(n/64) membership words
   std::size_t link_count_ = 0;
   std::unique_ptr<LazyNeighborIds> nbr_ids_ = std::make_unique<LazyNeighborIds>();
+
+  // Multi-algorithm state.  algo_names_[0] names this index's own sections;
+  // extras_[s-1] is slot s.  Extra indexes never nest further.
+  std::vector<std::string> algo_names_ = {"asrank"};
+  std::vector<std::unique_ptr<SnapshotIndex>> extras_;
 };
 
 /// Freeze one inference run from an already-frozen TopologyView.  The
@@ -253,6 +303,17 @@ class SnapshotIndex {
                                            const core::Degrees& degrees,
                                            const ConeMap& cones,
                                            const std::vector<Asn>& clique);
+
+/// Merge per-algorithm indexes into one multi-algorithm index: parts[0]
+/// becomes the primary (slot 0, served by the merged index's own
+/// accessors), the rest become extra slots in order.  Each part must be
+/// single-algorithm (kInvalidArgument otherwise); names must be unique,
+/// 1..64 chars of [A-Za-z0-9._:-], and at most kMaxAlgorithms parts.  The
+/// slots stay fully independent — AS tables, cones, and ranks may differ
+/// per algorithm.  A one-part combine with name "asrank" round-trips
+/// byte-identically to the plain single-algorithm writer.
+[[nodiscard]] Result<SnapshotIndex> combine_snapshots(
+    std::vector<std::pair<std::string, SnapshotIndex>> parts);
 
 /// Serialize in ASRK1 format.  Deterministic: equal indexes produce
 /// byte-identical output.  Fails with ErrorCode::kIo when the stream write

@@ -227,6 +227,46 @@ GroundTruth generate(const GenParams& params) {
     }
   }
 
+  // --- Adversarial scenarios ----------------------------------------------
+  // Both guarded so the RNG stream is untouched (and the output therefore
+  // byte-identical) when the fractions are zero.
+  if (params.hybrid_link_fraction > 0.0) {
+    // Candidate hybrid links: non-clique p2p links, visited in the
+    // deterministic sorted-AS order.  The provider side is the structurally
+    // bigger AS (higher tier, then higher degree, then lower ASN).
+    for (const Asn as : truth.graph.ases()) {
+      for (const Asn peer : truth.graph.peers(as)) {
+        if (!(as < peer)) continue;
+        if (truth.tier_of(as) == Tier::kClique && truth.tier_of(peer) == Tier::kClique) {
+          continue;  // the tier-1 mesh is settlement-free, not partial transit
+        }
+        if (!rng.bernoulli(params.hybrid_link_fraction)) continue;
+        const auto tier_a = static_cast<int>(truth.tier_of(as));
+        const auto tier_b = static_cast<int>(truth.tier_of(peer));
+        Asn provider = as, customer = peer;
+        if (tier_b < tier_a ||
+            (tier_b == tier_a &&
+             truth.graph.degree(peer) > truth.graph.degree(as))) {
+          provider = peer;
+          customer = as;
+        }
+        truth.hybrid_links.push_back({provider, customer});
+      }
+    }
+  }
+  if (params.route_leaker_fraction > 0.0) {
+    // Leakers are multi-homed edge networks (>= 2 providers, or a provider
+    // plus a peer): the textbook leak is a customer re-announcing one
+    // provider's routes to another.
+    for (const Asn as : truth.graph.ases()) {
+      const Tier tier = truth.tier_of(as);
+      if (tier != Tier::kStub && tier != Tier::kRegional) continue;
+      const std::size_t providers = truth.graph.providers(as).size();
+      if (providers + truth.graph.peers(as).size() < 2 || providers == 0) continue;
+      if (rng.bernoulli(params.route_leaker_fraction)) truth.route_leakers.insert(as);
+    }
+  }
+
   // --- Prefix origination --------------------------------------------------
   std::uint32_t prefix_cursor = 0;
   for (const Asn as : order) {

@@ -74,6 +74,23 @@ struct GenParams {
   std::size_t max_extra_prefixes = 8;
   double prefix_zipf_exponent = 1.5;
 
+  /// Adversarial scenarios (both default off, so presets keep generating
+  /// byte-identical topologies; the EXPERIMENTS.md comparison tables turn
+  /// them on):
+  ///
+  /// Fraction of non-clique p2p links that carry *partial transit*: ground
+  /// truth keeps the p2p label, but observation routes half the
+  /// destinations across the link as if it were p2c (hybrid relationships,
+  /// paper §2: links that are peering for some prefixes, transit for
+  /// others).  No inference algorithm that assigns one label per link can
+  /// be fully right on these.
+  double hybrid_link_fraction = 0.0;
+  /// Fraction of multi-homed stub/regional ASes that leak peer- or
+  /// provider-learned routes to their providers (a classic route leak).
+  /// Leaked paths are not valley-free, violating the propagation model
+  /// every algorithm here assumes.
+  double route_leaker_fraction = 0.0;
+
   /// Named presets: "tiny" (60), "small" (300), "medium" (2000),
   /// "large" (10000).  Throws std::invalid_argument for unknown names.
   [[nodiscard]] static GenParams preset(const std::string& name);
@@ -83,6 +100,17 @@ struct GenParams {
 struct Ixp {
   Asn route_server;
   std::vector<Asn> members;
+};
+
+/// One hybrid (partial-transit) link.  The graph label stays kP2P — that is
+/// the ground truth an inference algorithm is scored against — but the
+/// observation layer routes a deterministic half of all destinations across
+/// it as provider->customer.
+struct HybridLink {
+  Asn provider;  ///< the side that sells partial transit
+  Asn customer;
+
+  friend bool operator==(const HybridLink&, const HybridLink&) = default;
 };
 
 /// A generated topology with full ground truth.
@@ -97,6 +125,12 @@ struct GroundTruth {
   std::vector<std::vector<Asn>> sibling_groups;
   std::unordered_map<Asn, std::vector<Prefix>> originated;  ///< AS -> prefixes
   std::unordered_set<Asn> content_stubs;
+  /// Partial-transit links (see HybridLink); empty unless
+  /// GenParams::hybrid_link_fraction > 0.
+  std::vector<HybridLink> hybrid_links;
+  /// ASes that leak peer/provider-learned routes to their providers; empty
+  /// unless GenParams::route_leaker_fraction > 0.
+  std::unordered_set<Asn> route_leakers;
 
   [[nodiscard]] Tier tier_of(Asn as) const { return tiers.at(as); }
   [[nodiscard]] std::size_t prefix_count() const;

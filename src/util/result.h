@@ -31,6 +31,7 @@ enum class ErrorCode : std::uint8_t {
   kRefused,              ///< the remote end refused the connection
   kShedding,             ///< the server refused service under load
   kUnknownEpoch,         ///< a named snapshot epoch is not loaded
+  kUnknownAlgorithm,     ///< a named inference algorithm is not present
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorCode code) noexcept {
@@ -47,6 +48,7 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kRefused: return "connection refused";
     case ErrorCode::kShedding: return "server shedding";
     case ErrorCode::kUnknownEpoch: return "unknown epoch";
+    case ErrorCode::kUnknownAlgorithm: return "unknown algorithm";
   }
   return "?";
 }

@@ -1,15 +1,24 @@
 #include <gtest/gtest.h>
 
-#include "baselines/asrank_adapter.h"
-#include "baselines/degree_heuristic.h"
-#include "baselines/gao.h"
+#include "algo/registry.h"
 #include "baselines/tor_local_search.h"
 #include "bgpsim/observation.h"
+#include "paths/sanitizer.h"
 #include "topogen/topogen.h"
 #include "validation/ppv.h"
 
 namespace asrank::baselines {
 namespace {
+
+/// Every algorithm under test is constructed through the registry — the same
+/// path the CLI and snapshot builder use — so these tests also pin the
+/// registry's name->config plumbing.
+std::unique_ptr<algo::InferenceAlgorithm> make(std::string_view name,
+                                               algo::AlgorithmOptions options = {}) {
+  auto made = algo::create(name, options);
+  EXPECT_TRUE(made.ok()) << (made.ok() ? "" : made.error().message());
+  return std::move(made).value();
+}
 
 paths::PathRecord rec(std::uint32_t vp, std::uint32_t prefix_id,
                       std::initializer_list<std::uint32_t> hops) {
@@ -37,8 +46,8 @@ paths::PathCorpus star_corpus() {
 // ----------------------------------------------------------------- Gao ----
 
 TEST(Gao, InfersTransitAroundTopProvider) {
-  const GaoInference gao;
-  const AsGraph g = gao.infer(star_corpus());
+  const auto gao = make("gao2001");
+  const AsGraph g = gao->infer(star_corpus());
   EXPECT_EQ(g.view(Asn(1), Asn(10)), RelView::kProvider);
   EXPECT_EQ(g.view(Asn(2), Asn(10)), RelView::kProvider);
   EXPECT_EQ(g.view(Asn(20), Asn(10)), RelView::kProvider);
@@ -52,10 +61,10 @@ TEST(Gao, SiblingWhenBothDirectionsTransit) {
   corpus.add(rec(9, 2, {9, 10, 1, 2, 4}));
   corpus.add(rec(9, 3, {9, 10, 2, 1, 5}));
   corpus.add(rec(9, 4, {9, 10, 2, 1, 6}));
-  GaoConfig config;
-  config.sibling_threshold = 1;
-  const GaoInference gao(config);
-  const AsGraph g = gao.infer(corpus);
+  algo::AlgorithmOptions options;
+  options.params["sibling-threshold"] = "1";
+  const auto gao = make("gao2001", options);
+  const AsGraph g = gao->infer(corpus);
   EXPECT_EQ(g.view(Asn(1), Asn(2)), RelView::kSibling);
 }
 
@@ -67,8 +76,8 @@ TEST(Gao, PeeringAtTopWithComparableDegrees) {
   corpus.add(rec(5, 2, {5, 20, 10, 1}));
   corpus.add(rec(1, 3, {1, 10, 2}));
   corpus.add(rec(5, 4, {5, 20, 6}));
-  const GaoInference gao;
-  const AsGraph g = gao.infer(corpus);
+  const auto gao = make("gao2001");
+  const AsGraph g = gao->infer(corpus);
   EXPECT_EQ(g.view(Asn(10), Asn(20)), RelView::kPeer);
 }
 
@@ -77,20 +86,20 @@ TEST(Gao, DegreeRatioBlocksImplausiblePeering) {
   // Top 10 has many neighbours; 2 has only one: ratio too large to peer.
   for (std::uint32_t i = 20; i < 120; ++i) corpus.add(rec(1, i, {1, 10, i}));
   corpus.add(rec(2, 500, {2, 10, 21}));
-  GaoConfig config;
-  config.peering_degree_ratio = 10.0;
-  const GaoInference gao(config);
-  const AsGraph g = gao.infer(corpus);
+  algo::AlgorithmOptions options;
+  options.params["peering-degree-ratio"] = "10.0";
+  const auto gao = make("gao2001", options);
+  const AsGraph g = gao->infer(corpus);
   EXPECT_EQ(g.view(Asn(2), Asn(10)), RelView::kProvider);
 }
 
-TEST(Gao, NameIsStable) { EXPECT_EQ(GaoInference().name(), "gao2001"); }
+TEST(Gao, NameIsStable) { EXPECT_EQ(make("gao")->name(), "gao2001"); }
 
 // ---------------------------------------------------- degree heuristic ----
 
 TEST(DegreeHeuristic, BigDegreeGapMeansProvider) {
-  const DegreeHeuristic heuristic;
-  const AsGraph g = heuristic.infer(star_corpus());
+  const auto heuristic = make("degree-ratio");
+  const AsGraph g = heuristic->infer(star_corpus());
   EXPECT_EQ(g.view(Asn(1), Asn(10)), RelView::kProvider);
   EXPECT_EQ(g.view(Asn(6), Asn(20)), RelView::kProvider);
 }
@@ -100,15 +109,15 @@ TEST(DegreeHeuristic, ComparableDegreesMeanPeer) {
   corpus.add(rec(1, 1, {1, 10, 20, 5}));
   corpus.add(rec(1, 2, {1, 10, 2}));
   corpus.add(rec(5, 3, {5, 20, 6}));
-  const DegreeHeuristic heuristic;
-  const AsGraph g = heuristic.infer(corpus);
+  const auto heuristic = make("degree");
+  const AsGraph g = heuristic->infer(corpus);
   // 10 and 20 both have degree 3: peers under ratio 2.
   EXPECT_EQ(g.view(Asn(10), Asn(20)), RelView::kPeer);
 }
 
 TEST(DegreeHeuristic, AnnotatesEveryObservedLink) {
   const auto corpus = star_corpus();
-  const AsGraph g = DegreeHeuristic().infer(corpus);
+  const AsGraph g = make("degree-ratio")->infer(corpus);
   EXPECT_EQ(g.link_count(), corpus.link_observations().size());
 }
 
@@ -116,16 +125,15 @@ TEST(DegreeHeuristic, AnnotatesEveryObservedLink) {
 
 TEST(TorLocalSearch, ReducesViolationsFromInitialLabelling) {
   const auto corpus = star_corpus();
-  DegreeHeuristicConfig initial;
-  const AsGraph start = DegreeHeuristic(initial).infer(corpus);
-  const AsGraph tuned = TorLocalSearch().infer(corpus);
+  const AsGraph start = make("degree-ratio")->infer(corpus);
+  const AsGraph tuned = make("tor-local-search")->infer(corpus);
   EXPECT_LE(TorLocalSearch::violations(tuned, corpus),
             TorLocalSearch::violations(start, corpus));
 }
 
 TEST(TorLocalSearch, ConvergesToValleyFreeOnCleanStar) {
   const auto corpus = star_corpus();
-  const AsGraph tuned = TorLocalSearch().infer(corpus);
+  const AsGraph tuned = make("tor")->infer(corpus);
   EXPECT_EQ(TorLocalSearch::violations(tuned, corpus), 0u);
   // Transit skeleton correct where the objective constrains it.
   EXPECT_EQ(tuned.view(Asn(1), Asn(10)), RelView::kProvider);
@@ -150,7 +158,7 @@ TEST(TorLocalSearch, ViolationCountsKnownCases) {
 
 TEST(TorLocalSearch, AnnotatesEveryObservedLink) {
   const auto corpus = star_corpus();
-  const AsGraph tuned = TorLocalSearch().infer(corpus);
+  const AsGraph tuned = make("tor-local-search")->infer(corpus);
   EXPECT_EQ(tuned.link_count(), corpus.link_observations().size());
 }
 
@@ -162,27 +170,84 @@ TEST(Comparison, AsRankBeatsBaselinesOnSyntheticTruth) {
   params.full_vps = 15;
   params.partial_vps = 5;
   const auto observation = bgpsim::observe(truth, params);
-  const auto corpus = paths::PathCorpus::from_records(observation.routes);
+  // All algorithms consume the same IXP-stripped corpus, so differences are
+  // algorithmic rather than hygiene (asrank re-sanitizes internally; that
+  // pass is a no-op on already-clean paths).
+  paths::SanitizerConfig sanitizer;
+  sanitizer.ixp_asns.insert(truth.ixp_asns.begin(), truth.ixp_asns.end());
+  const auto corpus =
+      paths::sanitize(paths::PathCorpus::from_records(observation.routes), sanitizer).corpus;
 
-  core::InferenceConfig config;
-  config.sanitizer.ixp_asns.insert(truth.ixp_asns.begin(), truth.ixp_asns.end());
-  const AsRankAlgorithm asrank(config);
-  const GaoInference gao;
-  const DegreeHeuristic degree;
-  const TorLocalSearch tor;
-
-  auto accuracy = [&](const InferenceAlgorithm& algorithm) {
-    const auto inferred = algorithm.infer(corpus);
+  auto accuracy = [&](std::string_view name) {
+    const auto inferred = make(name)->infer(corpus);
     return validation::evaluate_against_truth(inferred, truth.graph).accuracy();
   };
-  const double a = accuracy(asrank);
-  const double g = accuracy(gao);
-  const double d = accuracy(degree);
-  const double t = accuracy(tor);
+  const double a = accuracy("asrank");
+  const double g = accuracy("gao2001");
+  const double d = accuracy("degree-ratio");
+  const double t = accuracy("tor-local-search");
   EXPECT_GT(a, g);
   EXPECT_GT(a, d);
   EXPECT_GT(a, t);
   EXPECT_GT(a, 0.85);
+}
+
+// ------------------------------------------------------------- registry ----
+
+TEST(Registry, ResolvesCanonicalNamesAndAliases) {
+  for (const auto& [alias, canonical] :
+       {std::pair<std::string_view, std::string_view>{"gao", "gao2001"},
+        {"core", "asrank"},
+        {"degree", "degree-ratio"},
+        {"tor", "tor-local-search"}}) {
+    auto resolved = algo::resolve(alias);
+    ASSERT_TRUE(resolved.ok()) << alias;
+    EXPECT_EQ(resolved.value(), canonical);
+    EXPECT_EQ(algo::resolve(canonical).value(), canonical);
+  }
+}
+
+TEST(Registry, UnknownNameListsRegisteredAlgorithms) {
+  auto resolved = algo::resolve("bgp-magic");
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_NE(resolved.error().context.find("unknown algorithm 'bgp-magic'"), std::string::npos);
+  for (const std::string_view name : algo::names()) {
+    EXPECT_NE(resolved.error().context.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Registry, CreatedAlgorithmsReportCanonicalNames) {
+  for (const std::string_view name : algo::names()) {
+    EXPECT_EQ(make(name)->name(), name);
+  }
+}
+
+TEST(Registry, RejectsUnknownAndMalformedParams) {
+  algo::AlgorithmOptions bad_key;
+  bad_key.params["no-such-knob"] = "1";
+  auto made = algo::create("gao2001", bad_key);
+  ASSERT_FALSE(made.ok());
+  EXPECT_EQ(made.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_NE(made.error().context.find("no-such-knob"), std::string::npos);
+
+  algo::AlgorithmOptions bad_value;
+  bad_value.params["sibling-threshold"] = "many";
+  auto parsed = algo::create("gao2001", bad_value);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(Registry, InfoCarriesCitations) {
+  for (const std::string_view name : algo::names()) {
+    const auto* info = algo::info(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->name, name);
+    EXPECT_FALSE(info->citation.empty());
+  }
+  EXPECT_EQ(algo::info("nonsense"), nullptr);
+  // Aliases resolve to the same metadata.
+  EXPECT_EQ(algo::info("gao"), algo::info("gao2001"));
 }
 
 }  // namespace

@@ -185,6 +185,92 @@ TEST(RouteSim, PathLengthMatchesSelectedLength) {
   }
 }
 
+// -------------------------------------------------------- route leaks -----
+
+TEST(RouteSim, LeakerExportsNonCustomerRoutesToProviders) {
+  // 1-2 peer at the top, 10 multihomed below both, 20 a customer of 1 only.
+  AsGraph g;
+  g.add_p2p(Asn(1), Asn(2));
+  g.add_p2c(Asn(1), Asn(10));
+  g.add_p2c(Asn(2), Asn(10));
+  g.add_p2c(Asn(1), Asn(20));
+
+  // Without leakers, 2 reaches 20 over the peering: strict Gao–Rexford.
+  {
+    const RouteSimulator sim(g);
+    const auto table = sim.routes_to(Asn(20));
+    EXPECT_EQ(table.route(Asn(2)).route_class, RouteClass::kPeer);
+    EXPECT_EQ(table.path_from(Asn(2)), (AsPath{2, 1, 20}));
+    EXPECT_EQ(table.route(Asn(10)).route_class, RouteClass::kProvider);
+  }
+
+  // With 10 leaking, 2 hears 10's provider-learned route as customer-class
+  // and prefers it despite the extra hops (local-pref beats length — the
+  // mechanism that makes real leaks spread).  The resulting path has a
+  // valley: 2 -> 10 goes down, 10 -> 1 goes back up.
+  {
+    const RouteSimulator sim(g, {Asn(10)});
+    const auto table = sim.routes_to(Asn(20));
+    EXPECT_EQ(table.route(Asn(2)).route_class, RouteClass::kCustomer);
+    EXPECT_EQ(table.path_from(Asn(2)), (AsPath{2, 10, 1, 20}));
+    // The leak fills gaps only: 1's legitimate customer route is untouched,
+    // and the leaker's own selection is unchanged.
+    EXPECT_EQ(table.route(Asn(1)).route_class, RouteClass::kCustomer);
+    EXPECT_EQ(table.path_from(Asn(1)), (AsPath{1, 20}));
+    EXPECT_EQ(table.route(Asn(10)).route_class, RouteClass::kProvider);
+  }
+
+  // A leaker holding a customer route exports it normally — nothing new
+  // leaks, so the tables match the strict simulator exactly.
+  {
+    AsGraph with_stub = g;
+    with_stub.add_p2c(Asn(10), Asn(30));
+    const RouteSimulator strict(with_stub);
+    const RouteSimulator leaky(with_stub, {Asn(10)});
+    const auto a = strict.routes_to(Asn(30));
+    const auto b = leaky.routes_to(Asn(30));
+    for (const Asn as : strict.ases()) {
+      EXPECT_EQ(a.route(as).route_class, b.route(as).route_class) << as.value();
+      EXPECT_EQ(a.path_from(as), b.path_from(as)) << as.value();
+    }
+  }
+}
+
+TEST(RouteSim, EmptyLeakerSetMatchesStrictSimulatorExactly) {
+  const auto truth = topogen::generate(topogen::GenParams::preset("tiny"));
+  const RouteSimulator strict(truth.graph);
+  const RouteSimulator empty_leakers(truth.graph, {});
+  for (const Asn dest : strict.ases()) {
+    const auto a = strict.routes_to(dest);
+    const auto b = empty_leakers.routes_to(dest);
+    for (const Asn as : strict.ases()) {
+      EXPECT_EQ(a.path_from(as), b.path_from(as))
+          << "dest " << dest.value() << " at " << as.value();
+    }
+  }
+}
+
+TEST(RouteSim, LeakedPathsViolateValleyFreedomButNeverLoop) {
+  auto params = topogen::GenParams::preset("tiny");
+  params.route_leaker_fraction = 1.0;
+  const auto truth = topogen::generate(params);
+  ASSERT_FALSE(truth.route_leakers.empty());
+  const RouteSimulator sim(truth.graph, truth.route_leakers);
+  std::size_t valleys = 0;
+  for (const Asn dest : sim.ases()) {
+    const auto table = sim.routes_to(dest);
+    for (const Asn as : sim.ases()) {
+      const auto path = table.path_from(as);
+      if (path.empty()) continue;
+      EXPECT_FALSE(path.has_loop()) << path.str();
+      EXPECT_EQ(path.last(), dest);
+      if (!valley_free(truth.graph, path)) ++valleys;
+    }
+  }
+  // The whole point of the scenario: some selected paths now have valleys.
+  EXPECT_GT(valleys, 0u);
+}
+
 // --------------------------------------------------------- observation ----
 
 TEST(Observation, DeterministicForSeed) {
@@ -224,6 +310,44 @@ TEST(Observation, PartialVpsExportOnlyCustomerRoutes) {
           << route.path.str();
     }
   }
+}
+
+TEST(Observation, HybridLinksRouteEvenDestinationsAsTransit) {
+  auto params_gen = topogen::GenParams::preset("tiny");
+  params_gen.hybrid_link_fraction = 1.0;
+  const auto truth = topogen::generate(params_gen);
+  ASSERT_FALSE(truth.hybrid_links.empty());
+
+  // Control: the same topology with the hybrid overlay stripped.
+  auto control = truth;
+  control.hybrid_links.clear();
+
+  ObservationParams params;
+  params.full_vps = 4;
+  params.partial_vps = 0;
+  params.prepend_prob = 0;
+  params.poison_prob = 0;
+  params.ixp_leak_prob = 0;
+  params.private_leak_prob = 0;
+  const auto with_hybrid = observe(truth, params);
+  const auto without = observe(control, params);
+
+  // The overlay reroutes only the deterministic half of the destinations
+  // (even ASN = the hybrid simulator), so the two observations align
+  // row-for-row and differ only on even-origin paths.
+  ASSERT_EQ(with_hybrid.routes.size(), without.routes.size());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < with_hybrid.routes.size(); ++i) {
+    const auto& a = with_hybrid.routes[i];
+    const auto& b = without.routes[i];
+    ASSERT_EQ(a.vp, b.vp);
+    ASSERT_EQ(a.prefix, b.prefix);
+    if (a.path == b.path) continue;
+    ++changed;
+    EXPECT_EQ(a.path.last(), b.path.last());
+    EXPECT_EQ(a.path.last().value() % 2, 0u) << a.path.str();
+  }
+  EXPECT_GT(changed, 0u);
 }
 
 TEST(Observation, PathologiesAreInjectedAndAudited) {

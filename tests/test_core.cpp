@@ -382,6 +382,37 @@ TEST(Cones, RecursiveRejectsCycles) {
   EXPECT_THROW((void)recursive_cone(g), std::invalid_argument);
 }
 
+TEST(Cones, BreakProviderCyclesImposesRankOrder) {
+  // 1 -> 2 -> 3 -> 1 is a provider cycle.  Transit evidence ranks 1 above
+  // 2 above 3, so the repair re-orients only the 3 -> 1 edge and the result
+  // satisfies the closure's DAG precondition.
+  AsGraph g;
+  g.add_p2c(Asn(1), Asn(2));
+  g.add_p2c(Asn(2), Asn(3));
+  g.add_p2c(Asn(3), Asn(1));
+  paths::PathCorpus corpus;
+  corpus.add(rec(9, 1, {9, 1, 2}));
+  corpus.add(rec(9, 2, {9, 1, 3}));
+  corpus.add(rec(8, 3, {8, 2, 3}));
+  const auto degrees = Degrees::compute(corpus);
+  ASSERT_LT(degrees.rank_of(Asn(1)), degrees.rank_of(Asn(2)));
+  ASSERT_LT(degrees.rank_of(Asn(2)), degrees.rank_of(Asn(3)));
+
+  EXPECT_EQ(break_provider_cycles(g, degrees), 1u);
+  EXPECT_TRUE(g.p2c_acyclic());
+  // Edges agreeing with the ranking are untouched; 3 -> 1 flipped.
+  EXPECT_EQ(g.view(Asn(1), Asn(2)), RelView::kCustomer);
+  EXPECT_EQ(g.view(Asn(2), Asn(3)), RelView::kCustomer);
+  EXPECT_EQ(g.view(Asn(1), Asn(3)), RelView::kCustomer);
+  const auto cones = recursive_cone(g);
+  EXPECT_EQ(cones.at(Asn(1)), (std::vector<Asn>{Asn(1), Asn(2), Asn(3)}));
+
+  // Acyclic input is the common case and a strict no-op.
+  AsGraph dag = cone_graph();
+  EXPECT_EQ(break_provider_cycles(dag, degrees), 0u);
+  EXPECT_EQ(dag.view(Asn(1), Asn(2)), RelView::kCustomer);
+}
+
 TEST(Cones, BgpObservedNeedsActualPaths) {
   const AsGraph g = cone_graph();
   paths::PathCorpus corpus;

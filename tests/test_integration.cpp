@@ -5,7 +5,6 @@
 
 #include <sstream>
 
-#include "baselines/asrank_adapter.h"
 #include "baselines/gao.h"
 #include "bgpsim/observation.h"
 #include "core/asrank.h"

@@ -68,6 +68,35 @@ snapshot::SnapshotIndex make_index_b() {
                                   {Asn(1), Asn(2)});
 }
 
+// A second algorithm's view of the seed topology: 1->5 is gone and the 4-5
+// peering is inverted into 5->4 transit, so the two sections disagree on
+// exactly two links — (1,5) customer/none and (4,5) peer/provider — and
+// cone(1) shrinks from {1,3,4,5} to {1,3,4}.
+snapshot::SnapshotIndex make_variant_index() {
+  AsGraph graph;
+  graph.add_p2p(Asn(1), Asn(2));
+  graph.add_p2c(Asn(1), Asn(3));
+  graph.add_p2c(Asn(2), Asn(3));
+  graph.add_p2c(Asn(3), Asn(4));
+  graph.add_p2c(Asn(5), Asn(4));
+  graph.add_p2c(Asn(2), Asn(6));
+  graph.add_s2s(Asn(6), Asn(7));
+  const std::unordered_map<Asn, std::size_t> tdeg = {
+      {Asn(1), 3}, {Asn(2), 3}, {Asn(3), 2}};
+  return snapshot::build_snapshot(graph, tdeg, core::recursive_cone(graph),
+                                  {Asn(1), Asn(2)});
+}
+
+// Two algorithm sections in one snapshot: asrank primary, gao2001 extra.
+snapshot::SnapshotIndex make_multi_index() {
+  std::vector<std::pair<std::string, snapshot::SnapshotIndex>> parts;
+  parts.emplace_back("asrank", make_index());
+  parts.emplace_back("gao2001", make_variant_index());
+  auto combined = snapshot::combine_snapshots(std::move(parts));
+  EXPECT_TRUE(combined.ok());
+  return std::move(combined).value();
+}
+
 std::vector<Asn> asns(std::initializer_list<std::uint32_t> values) {
   std::vector<Asn> out;
   for (const auto v : values) out.emplace_back(v);
@@ -489,8 +518,9 @@ TEST(Handlers, EpochScopedTextCommands) {
   EXPECT_EQ(handle_text_request(snapshots, "@seed conesize 1"), "OK 4");
   EXPECT_EQ(handle_text_request(snapshots, "@next conesize 1"), "OK 3");
   EXPECT_EQ(handle_text_request(snapshots, "@zzz conesize 1"),
-            "ERR unknown epoch 'zzz'");
-  EXPECT_EQ(handle_text_request(snapshots, "@seed"), "ERR usage: @<epoch> <command>");
+            "ERR unknown epoch or algorithm 'zzz'");
+  EXPECT_EQ(handle_text_request(snapshots, "@seed"),
+            "ERR usage: @<epoch|algorithm> <command>");
 }
 
 TEST(Handlers, TextEpochsConediffAndReload) {
@@ -600,6 +630,181 @@ TEST(Handlers, BinaryEpochsConeDiffAndWithEpoch) {
   nested.u8(static_cast<std::uint8_t>(Op::kEpochs));
   response = handle_binary_request(snapshots, nested.payload());
   EXPECT_EQ(response[0], static_cast<std::uint8_t>(Status::kError));
+}
+
+// ------------------------------------------------- algorithm selectors --
+
+TEST(Handlers, AlgoScopedTextCommands) {
+  ServeRig rig;
+  auto& snapshots = *rig.snapshots;
+  ASSERT_TRUE(snapshots.install("multi", make_multi_index()).ok());
+
+  // ALGOS lists the current (or @epoch-scoped) epoch's sections in slot order.
+  EXPECT_EQ(handle_text_request(snapshots, "algos"), "OK asrank gao2001");
+  EXPECT_EQ(handle_text_request(snapshots, "algorithms"), "OK asrank gao2001");
+  EXPECT_EQ(handle_text_request(snapshots, "@seed algos"), "OK asrank");
+
+  // @<algorithm> scopes engine commands to that section of the current epoch.
+  EXPECT_EQ(handle_text_request(snapshots, "conesize 1"), "OK 4");
+  EXPECT_EQ(handle_text_request(snapshots, "@asrank conesize 1"), "OK 4");
+  EXPECT_EQ(handle_text_request(snapshots, "@gao2001 conesize 1"), "OK 3");
+  EXPECT_EQ(handle_text_request(snapshots, "@gao2001 rel 4 5"), "OK provider");
+  EXPECT_EQ(handle_text_request(snapshots, "@gao2001 rel 1 5"), "OK none");
+
+  // Epoch and algorithm selectors combine, epoch first.
+  EXPECT_EQ(handle_text_request(snapshots, "@multi @gao2001 conesize 1"), "OK 3");
+  EXPECT_EQ(handle_text_request(snapshots, "@gao2001 @asrank conesize 1"),
+            "ERR at most one @<algorithm> selector");
+  EXPECT_EQ(handle_text_request(snapshots, "@seed @gao2001 conesize 1"),
+            "ERR unknown algorithm 'gao2001' (epoch 'seed' carries: asrank)");
+}
+
+TEST(Handlers, DisagreeTextCommand) {
+  ServeRig rig;
+  auto& snapshots = *rig.snapshots;
+  ASSERT_TRUE(snapshots.install("multi", make_multi_index()).ok());
+
+  // Exact row format: ascending (a, b), rels from a's perspective, "none"
+  // when that algorithm has no such link.
+  EXPECT_EQ(handle_text_request(snapshots, "disagree asrank gao2001"),
+            "OK 2 1:5:customer:none 4:5:peer:provider");
+  // Swapping the operands swaps the per-row perspective, not the order.
+  EXPECT_EQ(handle_text_request(snapshots, "disagree gao2001 asrank"),
+            "OK 2 1:5:none:customer 4:5:provider:peer");
+  // A limit truncates rows but the total stays exact.
+  EXPECT_EQ(handle_text_request(snapshots, "disagree asrank gao2001 1"),
+            "OK 2 1:5:customer:none");
+  // An algorithm never disagrees with itself.
+  EXPECT_EQ(handle_text_request(snapshots, "disagree asrank asrank"), "OK 0");
+
+  const auto unknown = handle_text_request(snapshots, "disagree asrank nope");
+  EXPECT_TRUE(unknown.starts_with("ERR unknown algorithm 'nope'")) << unknown;
+  EXPECT_EQ(handle_text_request(snapshots, "@seed disagree asrank gao2001"),
+            "ERR unknown algorithm 'gao2001' (epoch 'seed' carries: asrank)");
+  EXPECT_EQ(handle_text_request(snapshots, "disagree asrank"),
+            "ERR usage: DISAGREE <algoA> <algoB> [limit]");
+  EXPECT_EQ(handle_text_request(snapshots, "disagree asrank gao2001 x"),
+            "ERR usage: DISAGREE <algoA> <algoB> [limit]");
+}
+
+TEST(Handlers, BinaryDisagreeWireBytes) {
+  ServeRig rig;
+  auto& snapshots = *rig.snapshots;
+  ASSERT_TRUE(snapshots.install("multi", make_multi_index()).ok());
+
+  const auto customer = static_cast<std::uint8_t>(RelView::kCustomer);
+  const auto provider = static_cast<std::uint8_t>(RelView::kProvider);
+  const auto peer = static_cast<std::uint8_t>(RelView::kPeer);
+
+  WireWriter req;
+  req.u8(static_cast<std::uint8_t>(Op::kDisagree));
+  req.str16("asrank");
+  req.str16("gao2001");
+  req.u32(0);
+  const auto response = handle_binary_request(snapshots, req.payload());
+
+  WireWriter body;
+  body.u32(2);  // total
+  body.u32(2);  // returned
+  body.u32(1); body.u32(5); body.u8(customer); body.u8(kRelNone);
+  body.u32(4); body.u32(5); body.u8(peer); body.u8(provider);
+  std::vector<std::uint8_t> expected{static_cast<std::uint8_t>(Status::kOk)};
+  const auto bytes = body.take();
+  expected.insert(expected.end(), bytes.begin(), bytes.end());
+  EXPECT_EQ(response, expected);
+
+  // limit=1 truncates the rows; the total stays exact.
+  WireWriter limited;
+  limited.u8(static_cast<std::uint8_t>(Op::kDisagree));
+  limited.str16("asrank");
+  limited.str16("gao2001");
+  limited.u32(1);
+  const auto truncated = handle_binary_request(snapshots, limited.payload());
+  WireWriter limited_body;
+  limited_body.u32(2);
+  limited_body.u32(1);
+  limited_body.u32(1); limited_body.u32(5);
+  limited_body.u8(customer); limited_body.u8(kRelNone);
+  std::vector<std::uint8_t> limited_expected{static_cast<std::uint8_t>(Status::kOk)};
+  const auto limited_bytes = limited_body.take();
+  limited_expected.insert(limited_expected.end(), limited_bytes.begin(),
+                          limited_bytes.end());
+  EXPECT_EQ(truncated, limited_expected);
+
+  // Trailing bytes after the operands are a protocol error.
+  WireWriter trailing;
+  trailing.u8(static_cast<std::uint8_t>(Op::kDisagree));
+  trailing.str16("asrank");
+  trailing.str16("gao2001");
+  trailing.u32(0);
+  trailing.u8(0);
+  EXPECT_EQ(handle_binary_request(snapshots, trailing.payload())[0],
+            static_cast<std::uint8_t>(Status::kError));
+
+  // An unknown algorithm reports the carried set.
+  WireWriter unknown;
+  unknown.u8(static_cast<std::uint8_t>(Op::kDisagree));
+  unknown.str16("asrank");
+  unknown.str16("zzz");
+  unknown.u32(0);
+  const auto error = handle_binary_request(snapshots, unknown.payload());
+  ASSERT_EQ(error[0], static_cast<std::uint8_t>(Status::kError));
+  EXPECT_EQ(std::string(error.begin() + 1, error.end()),
+            "unknown algorithm 'zzz' (epoch 'multi' carries: asrank, gao2001)");
+}
+
+TEST(Handlers, BinaryWithAlgoWireBytes) {
+  ServeRig rig;
+  auto& snapshots = *rig.snapshots;
+  ASSERT_TRUE(snapshots.install("multi", make_multi_index()).ok());
+
+  const auto ok_u64 = [](std::uint64_t v) {
+    WireWriter body;
+    body.u64(v);
+    std::vector<std::uint8_t> expected{static_cast<std::uint8_t>(Status::kOk)};
+    const auto bytes = body.take();
+    expected.insert(expected.end(), bytes.begin(), bytes.end());
+    return expected;
+  };
+
+  // WITH_ALGO answers from the named section of the current epoch.
+  WireWriter scoped;
+  scoped.u8(static_cast<std::uint8_t>(Op::kWithAlgo));
+  scoped.str16("gao2001");
+  scoped.u8(static_cast<std::uint8_t>(Op::kConeSize));
+  scoped.u32(1);
+  EXPECT_EQ(handle_binary_request(snapshots, scoped.payload()), ok_u64(3));
+
+  // And nests inside WITH_EPOCH (epoch outermost).
+  WireWriter nested;
+  nested.u8(static_cast<std::uint8_t>(Op::kWithEpoch));
+  nested.str16("multi");
+  nested.u8(static_cast<std::uint8_t>(Op::kWithAlgo));
+  nested.str16("asrank");
+  nested.u8(static_cast<std::uint8_t>(Op::kConeSize));
+  nested.u32(1);
+  EXPECT_EQ(handle_binary_request(snapshots, nested.payload()), ok_u64(4));
+
+  // WITH_ALGO cannot nest inside itself.
+  WireWriter doubled;
+  doubled.u8(static_cast<std::uint8_t>(Op::kWithAlgo));
+  doubled.str16("asrank");
+  doubled.u8(static_cast<std::uint8_t>(Op::kWithAlgo));
+  doubled.str16("gao2001");
+  doubled.u8(static_cast<std::uint8_t>(Op::kPing));
+  EXPECT_EQ(handle_binary_request(snapshots, doubled.payload())[0],
+            static_cast<std::uint8_t>(Status::kError));
+
+  // Unknown algorithm: stable "unknown algorithm" prefix (the client maps
+  // it to kUnknownAlgorithm).
+  WireWriter unknown;
+  unknown.u8(static_cast<std::uint8_t>(Op::kWithAlgo));
+  unknown.str16("zzz");
+  unknown.u8(static_cast<std::uint8_t>(Op::kPing));
+  const auto error = handle_binary_request(snapshots, unknown.payload());
+  ASSERT_EQ(error[0], static_cast<std::uint8_t>(Status::kError));
+  EXPECT_EQ(std::string(error.begin() + 1, error.end()),
+            "unknown algorithm 'zzz' (epoch 'multi' carries: asrank, gao2001)");
 }
 
 // ------------------------------------------- bitset kernel regression --
@@ -896,6 +1101,60 @@ TEST_F(ServeFixture, EpochAwareQueriesOverSocket) {
   EXPECT_EQ(unknown.error().code, ErrorCode::kUnknownEpoch);
   EXPECT_NE(unknown.error().context.find("unknown epoch 'zzz'"),
             std::string::npos);
+}
+
+TEST_F(ServeFixture, AlgorithmScopedQueriesOverSocket) {
+  ASSERT_TRUE(rig_.snapshots->install("multi", make_multi_index()).ok());
+  Client client = Client::dial("127.0.0.1", server_.port()).value();
+
+  // Unscoped queries answer from the primary (asrank) section.
+  EXPECT_EQ(client.try_cone_size(Asn(1)).value(), 4u);
+
+  // set_algorithm wraps every engine query in WITH_ALGO...
+  client.set_algorithm("gao2001");
+  EXPECT_EQ(client.try_cone_size(Asn(1)).value(), 3u);
+  EXPECT_EQ(client.try_relationship(Asn(4), Asn(5)).value(), RelView::kProvider);
+  EXPECT_EQ(client.try_relationship(Asn(1), Asn(5)).value(), std::nullopt);
+  // ...nesting inside WITH_EPOCH when an epoch is also named.
+  EXPECT_EQ(client.try_cone_size(Asn(1), "multi").value(), 3u);
+
+  // An algorithm the named epoch lacks surfaces on the Result rail as
+  // kUnknownAlgorithm, per query.
+  auto missing = client.try_rank(Asn(1), "seed");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kUnknownAlgorithm);
+
+  client.set_algorithm("tor-local-search");
+  auto unknown = client.try_cone_size(Asn(1));
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.error().code, ErrorCode::kUnknownAlgorithm);
+  EXPECT_NE(unknown.error().context.find("unknown algorithm 'tor-local-search'"),
+            std::string::npos);
+
+  // Empty restores the server default.
+  client.set_algorithm("");
+  EXPECT_EQ(client.try_cone_size(Asn(1)).value(), 4u);
+
+  // DISAGREE round-trips the typed report.
+  auto report = client.try_disagree("asrank", "gao2001");
+  ASSERT_TRUE(report.ok()) << report.error().context;
+  EXPECT_EQ(report.value().total, 2u);
+  ASSERT_EQ(report.value().rows.size(), 2u);
+  EXPECT_EQ(report.value().rows[0],
+            (Disagreement{Asn(1), Asn(5), RelView::kCustomer, std::nullopt}));
+  EXPECT_EQ(report.value().rows[1],
+            (Disagreement{Asn(4), Asn(5), RelView::kPeer, RelView::kProvider}));
+  auto limited = client.try_disagree("asrank", "gao2001", 1);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited.value().total, 2u);
+  EXPECT_EQ(limited.value().rows.size(), 1u);
+
+  // Per-algorithm metric series appear alongside the aggregate ones.
+  const auto text = client.try_metrics_text().value();
+  EXPECT_NE(text.find("asrankd_algo_queries_total{algo=\"gao2001\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("asrankd_algo_selected_queries_total"), std::string::npos);
+  EXPECT_NE(text.find("asrankd_disagreements_total 2\n"), std::string::npos);
 }
 
 TEST_F(ServeFixture, ReloadOverSocket) {

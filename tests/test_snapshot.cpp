@@ -415,5 +415,161 @@ TEST(Snapshot, TryReadSnapshotFileReturnsTypedErrors) {
   EXPECT_NE(corrupt.error().code, ErrorCode::kNotFound);
 }
 
+// ------------------------------------------------------- multi-algorithm --
+
+// A second algorithm's view of the same topology: 1->5 is gone and the 4-5
+// peering is inverted into 5->4 transit, so the sections genuinely differ
+// per slot (different link sets, cones, and ranks).
+SnapshotIndex make_variant_index() {
+  AsGraph graph;
+  graph.add_p2p(Asn(1), Asn(2));
+  graph.add_p2c(Asn(1), Asn(3));
+  graph.add_p2c(Asn(2), Asn(3));
+  graph.add_p2c(Asn(3), Asn(4));
+  graph.add_p2c(Asn(5), Asn(4));
+  graph.add_p2c(Asn(2), Asn(6));
+  graph.add_s2s(Asn(6), Asn(7));
+  return build_snapshot(graph, make_tdeg(), core::recursive_cone(graph),
+                        make_clique());
+}
+
+SnapshotIndex make_multi_index() {
+  std::vector<std::pair<std::string, SnapshotIndex>> parts;
+  parts.emplace_back("asrank", make_index());
+  parts.emplace_back("gao2001", make_variant_index());
+  auto combined = combine_snapshots(std::move(parts));
+  EXPECT_TRUE(combined.ok());
+  return std::move(combined).value();
+}
+
+TEST(SnapshotMultiAlgo, SingleAlgorithmIndexesLoadAsAsrank) {
+  // Back compat: pre-registry files carry no directory section and must keep
+  // identifying as the implicit {"asrank"} after a round trip.
+  const auto index = make_index();
+  EXPECT_EQ(index.algorithm_count(), 1u);
+  ASSERT_EQ(index.algorithm_names().size(), 1u);
+  EXPECT_EQ(index.algorithm_names()[0], "asrank");
+  EXPECT_EQ(index.algorithm_slot("asrank"), 0u);
+  EXPECT_EQ(index.algorithm_slot("gao2001"), std::nullopt);
+  const auto reread = read_bytes(serialized_bytes(index));
+  EXPECT_EQ(reread.algorithm_count(), 1u);
+  EXPECT_EQ(reread.algorithm_names()[0], "asrank");
+}
+
+TEST(SnapshotMultiAlgo, OnePartAsrankCombineMatchesPlainWriterByteForByte) {
+  std::vector<std::pair<std::string, SnapshotIndex>> parts;
+  parts.emplace_back("asrank", make_index());
+  auto combined = combine_snapshots(std::move(parts));
+  ASSERT_TRUE(combined.ok()) << combined.error().context;
+  EXPECT_EQ(serialized_bytes(combined.value()), serialized_bytes(make_index()));
+}
+
+TEST(SnapshotMultiAlgo, CombineRoundTripsEachSectionByteIdentical) {
+  const auto combined = make_multi_index();
+  ASSERT_EQ(combined.algorithm_count(), 2u);
+  EXPECT_EQ(combined.algorithm_names()[0], "asrank");
+  EXPECT_EQ(combined.algorithm_names()[1], "gao2001");
+  EXPECT_EQ(combined.algorithm_slot("gao2001"), 1u);
+
+  // Slot 0 is served by the combined index's own accessors.
+  EXPECT_EQ(combined.cone_size(Asn(1)), make_index().cone_size(Asn(1)));
+  EXPECT_EQ(&combined.algorithm_at(0), &combined);
+
+  // Decode/encode reproduces the exact bytes, sections and directory alike.
+  const auto bytes = serialized_bytes(combined);
+  const auto reread = read_bytes(bytes);
+  EXPECT_EQ(serialized_bytes(reread), bytes);
+  ASSERT_EQ(reread.algorithm_count(), 2u);
+
+  // Each slot answers as the original part did, and the extra slot — a
+  // self-contained single-algorithm index — reserializes byte-identically
+  // to a one-part combine of the original under the same name.
+  const auto variant = make_variant_index();
+  const auto& slot1 = reread.algorithm_at(1);
+  EXPECT_EQ(slot1.cone_size(Asn(1)), variant.cone_size(Asn(1)));
+  EXPECT_EQ(slot1.relationship(Asn(4), Asn(5)), variant.relationship(Asn(4), Asn(5)));
+  EXPECT_EQ(slot1.rank(Asn(1)), variant.rank(Asn(1)));
+  std::vector<std::pair<std::string, SnapshotIndex>> renamed;
+  renamed.emplace_back("gao2001", make_variant_index());
+  auto expected = combine_snapshots(std::move(renamed));
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(serialized_bytes(slot1), serialized_bytes(expected.value()));
+}
+
+TEST(SnapshotMultiAlgo, MappedMultiAlgorithmFileMatchesHeapRead) {
+  const auto combined = make_multi_index();
+  const auto bytes = serialized_bytes(combined);
+  const auto path = write_temp(bytes, "mmap-multi.asrk");
+
+  auto mapped = try_map_snapshot_file(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.error().context;
+  EXPECT_TRUE(mapped.value().mmap_backed());
+  ASSERT_EQ(mapped.value().algorithm_count(), 2u);
+  EXPECT_EQ(mapped.value().algorithm_names()[1], "gao2001");
+  // Extra slots share the file mapping and answer like the heap load.
+  const auto& heap_slot1 = combined.algorithm_at(1);
+  const auto& mmap_slot1 = mapped.value().algorithm_at(1);
+  EXPECT_TRUE(mmap_slot1.mmap_backed());
+  for (const Asn as : {Asn(1), Asn(2), Asn(3), Asn(4), Asn(5)}) {
+    EXPECT_EQ(mmap_slot1.cone_size(as), heap_slot1.cone_size(as)) << as.str();
+    EXPECT_EQ(mmap_slot1.rank(as), heap_slot1.rank(as)) << as.str();
+  }
+  EXPECT_EQ(mmap_slot1.relationship(Asn(4), Asn(5)), heap_slot1.relationship(Asn(4), Asn(5)));
+  // And the mapped index reserializes to the exact bytes on disk.
+  EXPECT_EQ(serialized_bytes(mapped.value()), bytes);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotMultiAlgo, MappedMultiAlgorithmFileRejectsEveryTruncation) {
+  const auto bytes = serialized_bytes(make_multi_index());
+  // Step 7 keeps the fuzz tractable; byte 0 and every section boundary
+  // region still get hit across the file.
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    const auto path = write_temp(
+        std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + cut),
+        "mmap-multi-truncate.asrk");
+    auto mapped = try_map_snapshot_file(path);
+    ASSERT_FALSE(mapped.ok()) << "prefix of " << cut << " bytes accepted";
+    EXPECT_FALSE(mapped.error().context.empty());
+    EXPECT_FALSE(try_read_snapshot_file(path).ok()) << "heap loader at " << cut;
+  }
+}
+
+TEST(SnapshotMultiAlgo, CombineRejectsInvalidInputs) {
+  const auto expect_rejected = [](std::vector<std::pair<std::string, SnapshotIndex>> parts,
+                                  const std::string& needle) {
+    auto combined = combine_snapshots(std::move(parts));
+    ASSERT_FALSE(combined.ok()) << "combine accepted: " << needle;
+    EXPECT_EQ(combined.error().code, ErrorCode::kInvalidArgument);
+    EXPECT_NE(combined.error().context.find(needle), std::string::npos)
+        << combined.error().context;
+  };
+
+  expect_rejected({}, "no parts");
+
+  std::vector<std::pair<std::string, SnapshotIndex>> dup;
+  dup.emplace_back("asrank", make_index());
+  dup.emplace_back("asrank", make_variant_index());
+  expect_rejected(std::move(dup), "duplicate algorithm name 'asrank'");
+
+  std::vector<std::pair<std::string, SnapshotIndex>> bad_name;
+  bad_name.emplace_back("not a name", make_index());
+  expect_rejected(std::move(bad_name), "invalid algorithm name");
+
+  std::vector<std::pair<std::string, SnapshotIndex>> empty_name;
+  empty_name.emplace_back("", make_index());
+  expect_rejected(std::move(empty_name), "invalid algorithm name");
+
+  std::vector<std::pair<std::string, SnapshotIndex>> too_many;
+  for (std::size_t i = 0; i < kMaxAlgorithms + 1; ++i) {
+    too_many.emplace_back("algo" + std::to_string(i), make_index());
+  }
+  expect_rejected(std::move(too_many), "more than");
+
+  std::vector<std::pair<std::string, SnapshotIndex>> nested;
+  nested.emplace_back("outer", make_multi_index());
+  expect_rejected(std::move(nested), "already multi-algorithm");
+}
+
 }  // namespace
 }  // namespace asrank::snapshot

@@ -183,6 +183,61 @@ INSTANTIATE_TEST_SUITE_P(PresetsAndSeeds, TopogenInvariants,
                          ::testing::Combine(::testing::Values("tiny", "small"),
                                             ::testing::Values(1u, 42u, 1234u)));
 
+// ------------------------------------------- adversarial scenarios -------
+
+TEST(Topogen, AdversarialScenariosAreOffByDefault) {
+  const auto& truth = small_truth();
+  EXPECT_TRUE(truth.hybrid_links.empty());
+  EXPECT_TRUE(truth.route_leakers.empty());
+}
+
+TEST(Topogen, HybridLinksKeepPeerGroundTruthLabels) {
+  auto params = GenParams::preset("tiny");
+  params.hybrid_link_fraction = 1.0;
+  const auto truth = generate(params);
+  ASSERT_FALSE(truth.hybrid_links.empty());
+  for (const auto& link : truth.hybrid_links) {
+    // The ground-truth label stays p2p — the hybrid half lives only in the
+    // observation model, so algorithms are scored against the honest truth.
+    EXPECT_EQ(truth.graph.view(link.provider, link.customer), RelView::kPeer);
+    // The transit side is the structurally bigger endpoint, and clique-to-
+    // clique peerings are never hybridized (the mesh is assumption A1).
+    EXPECT_LE(static_cast<int>(truth.tiers.at(link.provider)),
+              static_cast<int>(truth.tiers.at(link.customer)));
+    EXPECT_FALSE(truth.tiers.at(link.provider) == Tier::kClique &&
+                 truth.tiers.at(link.customer) == Tier::kClique);
+  }
+}
+
+TEST(Topogen, RouteLeakersAreMultihomedEdgeAses) {
+  auto params = GenParams::preset("tiny");
+  params.route_leaker_fraction = 1.0;
+  const auto truth = generate(params);
+  ASSERT_FALSE(truth.route_leakers.empty());
+  for (const Asn leaker : truth.route_leakers) {
+    const auto tier = truth.tiers.at(leaker);
+    EXPECT_TRUE(tier == Tier::kStub || tier == Tier::kRegional)
+        << "AS" << leaker.value();
+    // A leak needs a provider to leak to and a second route to leak.
+    const auto providers = truth.graph.providers(leaker).size();
+    EXPECT_GE(providers, 1u) << "AS" << leaker.value();
+    EXPECT_GE(providers + truth.graph.peers(leaker).size(), 2u)
+        << "AS" << leaker.value();
+  }
+}
+
+TEST(Topogen, ScenariosAreDeterministicForSameSeed) {
+  auto params = GenParams::preset("tiny");
+  params.hybrid_link_fraction = 0.5;
+  params.route_leaker_fraction = 0.5;
+  const auto a = generate(params);
+  const auto b = generate(params);
+  EXPECT_EQ(a.hybrid_links, b.hybrid_links);
+  EXPECT_EQ(a.route_leakers, b.route_leakers);
+  EXPECT_FALSE(a.hybrid_links.empty());
+  EXPECT_FALSE(a.route_leakers.empty());
+}
+
 // ------------------------------------------------------------- evolve -----
 
 TEST(Evolve, AddsStubsAndPeerings) {
