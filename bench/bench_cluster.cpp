@@ -1,0 +1,245 @@
+// Cluster serving scale-out: the same synthetic topology served by 1, 2,
+// and 4 asrankd members behind a serve::ClusterClient, measuring routed
+// (single-shard) query throughput/latency and scatter-gather (TOP cover
+// fan-out) latency per configuration.  Results land in BENCH_cluster.json;
+// the trajectory tracks what consistent-hash routing and bounded fan-out
+// cost relative to one monolithic server.
+//
+//     bench_cluster [total_ases] [duration_ms] [threads] [json_out]
+//
+// Defaults: 5000 400 4 BENCH_cluster.json
+//
+// Every member serves the full snapshot (the cluster replicates for load
+// and availability, not data partitioning), so all configurations answer
+// identically and the deltas are pure serving-path cost.  Each load thread
+// owns one ClusterClient (the client is single-caller by contract); routed
+// work is uniform random per-AS CONE_SIZE queries, fan-out work is TOP-10.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cones.h"
+#include "obs/metrics.h"
+#include "serve/cluster_client.h"
+#include "serve/cluster_map.h"
+#include "serve/query_scope.h"
+#include "serve/server.h"
+#include "serve/snapshot_registry.h"
+#include "snapshot/snapshot.h"
+#include "topogen/topogen.h"
+
+namespace {
+
+using namespace asrank;
+using Clock = std::chrono::steady_clock;
+
+double to_micros(Clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+double percentile(std::vector<double>& values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(p * (values.size() - 1));
+  return values[rank];
+}
+
+// One in-process cluster member: registry + server thread.  The index is
+// rehydrated from the shared serialized image (SnapshotIndex is move-only).
+struct Member {
+  explicit Member(const std::string& image) {
+    snapshots.emplace(serve::SnapshotRegistryConfig{}, &metrics);
+    std::stringstream bytes(image,
+                            std::ios::in | std::ios::out | std::ios::binary);
+    auto installed = snapshots->install("bench", snapshot::read_snapshot(bytes));
+    if (!installed.ok()) {
+      std::cerr << "install failed: " << installed.error().message() << "\n";
+      std::exit(1);
+    }
+    serve::ServerConfig config;
+    config.port = 0;
+    server.emplace(*snapshots, config);
+    thread = std::thread([this] { server->run(); });
+  }
+
+  ~Member() {
+    server->stop();
+    thread.join();
+  }
+
+  obs::Registry metrics;
+  std::optional<serve::SnapshotRegistry> snapshots;
+  std::optional<serve::Server> server;
+  std::thread thread;
+};
+
+struct ShardResult {
+  std::size_t shards = 0;
+  std::uint64_t routed_requests = 0;
+  double routed_qps = 0;
+  double routed_p50_micros = 0;
+  double routed_p99_micros = 0;
+  std::uint64_t fanout_requests = 0;
+  double fanout_p50_micros = 0;
+  double fanout_p99_micros = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t total_ases = 5000;
+  int duration_ms = 400;
+  std::size_t threads = 4;
+  std::string json_out = "BENCH_cluster.json";
+  if (argc > 1) total_ases = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) duration_ms = static_cast<int>(std::strtol(argv[2], nullptr, 10));
+  if (argc > 3) threads = std::strtoull(argv[3], nullptr, 10);
+  if (argc > 4) json_out = argv[4];
+
+  auto params = topogen::GenParams::preset("large");
+  params.total_ases = total_ases;
+  params.seed = 42;
+  const auto truth = topogen::generate(params);
+  const auto& graph = truth.graph;
+  std::unordered_map<Asn, std::size_t> tdeg;
+  for (const Asn as : graph.ases()) tdeg[as] = graph.customers(as).size();
+  const auto index = snapshot::build_snapshot(
+      graph, tdeg, core::recursive_cone(graph), graph.provider_free_ases());
+  std::stringstream image_bytes(std::ios::in | std::ios::out | std::ios::binary);
+  snapshot::write_snapshot(index, image_bytes);
+  const std::string image = image_bytes.str();
+  std::vector<Asn> ases(graph.ases().begin(), graph.ases().end());
+
+  std::cout << "== cluster serving (" << graph.as_count() << " ASes, "
+            << graph.link_count() << " links, " << threads
+            << " load threads, " << duration_ms << " ms per config) ==\n";
+
+  std::vector<ShardResult> results;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    std::vector<std::unique_ptr<Member>> members;
+    std::vector<serve::ClusterEndpoint> endpoints;
+    for (std::size_t i = 0; i < shards; ++i) {
+      members.push_back(std::make_unique<Member>(image));
+      endpoints.push_back({"127.0.0.1", members.back()->server->port()});
+    }
+    serve::ClusterMapConfig map_config;
+    map_config.slots = 64;
+    map_config.replication = std::min<std::size_t>(2, shards);
+    auto map = serve::ClusterMap::make(endpoints, map_config);
+    if (!map.ok()) {
+      std::cerr << "cluster map: " << map.error().message() << "\n";
+      return 1;
+    }
+
+    // Routed load: `threads` clients hammering random per-AS queries.
+    std::atomic<bool> stop{false};
+    std::vector<std::uint64_t> counts(threads, 0);
+    std::vector<std::vector<double>> latencies(threads);
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        obs::Registry metrics;
+        serve::ClusterClientConfig config;
+        config.metrics = &metrics;
+        serve::ClusterClient client(map.value(), std::move(config));
+        std::mt19937_64 rng(17 + t);
+        std::uniform_int_distribution<std::size_t> pick(0, ases.size() - 1);
+        while (!stop.load(std::memory_order_relaxed)) {
+          const auto start = Clock::now();
+          const auto result =
+              client.try_cone_size(ases[pick(rng)], serve::QueryScope{});
+          if (!result.ok()) {
+            std::cerr << "routed query failed: " << result.error().message()
+                      << "\n";
+            std::exit(1);
+          }
+          latencies[t].push_back(to_micros(Clock::now() - start));
+          ++counts[t];
+        }
+      });
+    }
+    const auto window_start = Clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+    stop.store(true);
+    for (auto& worker : workers) worker.join();
+    const double window_s =
+        std::chrono::duration<double>(Clock::now() - window_start).count();
+
+    ShardResult row;
+    row.shards = shards;
+    std::vector<double> routed;
+    for (std::size_t t = 0; t < threads; ++t) {
+      row.routed_requests += counts[t];
+      routed.insert(routed.end(), latencies[t].begin(), latencies[t].end());
+    }
+    row.routed_qps = static_cast<double>(row.routed_requests) / window_s;
+    row.routed_p50_micros = percentile(routed, 0.50);
+    row.routed_p99_micros = percentile(routed, 0.99);
+
+    // Scatter fan-out: TOP-10 across the slot cover, single caller.
+    {
+      obs::Registry metrics;
+      serve::ClusterClientConfig config;
+      config.metrics = &metrics;
+      serve::ClusterClient client(map.value(), std::move(config));
+      std::vector<double> fanout;
+      const auto fan_deadline =
+          Clock::now() + std::chrono::milliseconds(duration_ms);
+      while (Clock::now() < fan_deadline) {
+        const auto start = Clock::now();
+        const auto top = client.try_top(10, serve::QueryScope{});
+        if (!top.ok()) {
+          std::cerr << "fan-out query failed: " << top.error().message() << "\n";
+          return 1;
+        }
+        fanout.push_back(to_micros(Clock::now() - start));
+      }
+      row.fanout_requests = fanout.size();
+      row.fanout_p50_micros = percentile(fanout, 0.50);
+      row.fanout_p99_micros = percentile(fanout, 0.99);
+    }
+
+    std::cout << "  " << shards << " shard(s): " << static_cast<std::uint64_t>(
+                     row.routed_qps) << " routed qps (p50 "
+              << row.routed_p50_micros << "us, p99 " << row.routed_p99_micros
+              << "us), fan-out p50 " << row.fanout_p50_micros << "us p99 "
+              << row.fanout_p99_micros << "us over " << row.fanout_requests
+              << " TOP scatters\n";
+    results.push_back(row);
+  }
+
+  std::ofstream json(json_out);
+  json << "{\n  \"bench\": \"cluster\",\n";
+  json << "  \"total_ases\": " << graph.as_count() << ",\n";
+  json << "  \"duration_ms\": " << duration_ms << ",\n";
+  json << "  \"load_threads\": " << threads << ",\n";
+  json << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n";
+  json << "  \"configs\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& row = results[i];
+    if (i != 0) json << ", ";
+    json << "{\"shards\": " << row.shards
+         << ", \"routed_requests\": " << row.routed_requests
+         << ", \"routed_qps\": " << static_cast<std::uint64_t>(row.routed_qps)
+         << ", \"routed_p50_micros\": " << row.routed_p50_micros
+         << ", \"routed_p99_micros\": " << row.routed_p99_micros
+         << ", \"fanout_requests\": " << row.fanout_requests
+         << ", \"fanout_p50_micros\": " << row.fanout_p50_micros
+         << ", \"fanout_p99_micros\": " << row.fanout_p99_micros << "}";
+  }
+  json << "]\n}\n";
+  std::cout << "wrote " << json_out << "\n";
+  return 0;
+}

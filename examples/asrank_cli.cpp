@@ -44,6 +44,8 @@
 #include "mrt/table_dump_v2.h"
 #include "mrt/text_table.h"
 #include "serve/client.h"
+#include "serve/cluster_client.h"
+#include "serve/cluster_map.h"
 #include "serve/query_engine.h"
 #include "serve/server.h"
 #include "snapshot/snapshot.h"
@@ -86,7 +88,7 @@ class Args {
 
   [[nodiscard]] static bool is_boolean(const std::string& key) {
     return key == "log-json" || key == "bootstrap" || key == "follow" ||
-           key == "flush-on-ts" || key == "verify-batch";
+           key == "flush-on-ts" || key == "verify-batch" || key == "metrics";
   }
 
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
@@ -645,17 +647,13 @@ void need_void(Result<void> result) {
   if (!result.ok()) throw std::runtime_error(result.error().message());
 }
 
-int cmd_query(const Args& args) {
-  serve::Client client =
-      need(serve::Client::dial(args.get_or("host", "127.0.0.1"),
-                               static_cast<std::uint16_t>(args.get_u64("port", 7464))));
-  const std::string op = args.require("op");
-  const std::string epoch = args.get_or("epoch", "");
-  if (const auto spec = args.get("algorithm")) {
-    const auto algorithms = algorithm_list(*spec);
-    if (algorithms.size() != 1) throw UsageError("query takes one --algorithm");
-    client.set_algorithm(algorithms[0]);
-  }
+/// One query op against the scoped surface both serve::Client and
+/// serve::ClusterClient expose (the scope carries epoch + algorithm; no
+/// mutable client state).  The single divergence is `metrics`, which is
+/// inherently per-endpoint and thus monolithic-only.
+template <typename ClientT>
+int run_query_op(ClientT& client, const std::string& op, const Args& args,
+                 const serve::QueryScope& scope) {
   const auto as_arg = [&args](const char* key) {
     const auto asn = Asn::parse(args.require(key));
     if (!asn) throw std::runtime_error(std::string("malformed ASN in --") + key);
@@ -672,28 +670,28 @@ int cmd_query(const Args& args) {
     need_void(client.try_ping());
     std::cout << "pong\n";
   } else if (op == "rel") {
-    const auto view = need(client.try_relationship(as_arg("a"), as_arg("b"), epoch));
+    const auto view = need(client.try_relationship(as_arg("a"), as_arg("b"), scope));
     std::cout << (view ? to_string(*view) : "none") << "\n";
   } else if (op == "rank") {
-    const auto rank = need(client.try_rank(as_arg("a"), epoch));
+    const auto rank = need(client.try_rank(as_arg("a"), scope));
     std::cout << (rank ? std::to_string(*rank) : "unranked") << "\n";
   } else if (op == "conesize") {
-    std::cout << need(client.try_cone_size(as_arg("a"), epoch)) << "\n";
+    std::cout << need(client.try_cone_size(as_arg("a"), scope)) << "\n";
   } else if (op == "cone") {
-    print_list(need(client.try_cone(as_arg("a"), epoch)));
+    print_list(need(client.try_cone(as_arg("a"), scope)));
   } else if (op == "incone") {
-    std::cout << (need(client.try_in_cone(as_arg("a"), as_arg("b"), epoch)) ? "yes" : "no")
+    std::cout << (need(client.try_in_cone(as_arg("a"), as_arg("b"), scope)) ? "yes" : "no")
               << "\n";
   } else if (op == "providers") {
-    print_list(need(client.try_providers(as_arg("a"), epoch)));
+    print_list(need(client.try_providers(as_arg("a"), scope)));
   } else if (op == "customers") {
-    print_list(need(client.try_customers(as_arg("a"), epoch)));
+    print_list(need(client.try_customers(as_arg("a"), scope)));
   } else if (op == "peers") {
-    print_list(need(client.try_peers(as_arg("a"), epoch)));
+    print_list(need(client.try_peers(as_arg("a"), scope)));
   } else if (op == "top") {
     util::TableWriter table({"rank", "AS", "cone", "transit degree"});
     const auto entries =
-        need(client.try_top(static_cast<std::uint32_t>(args.get_u64("n", 15)), epoch));
+        need(client.try_top(static_cast<std::uint32_t>(args.get_u64("n", 15)), scope));
     for (const auto& entry : entries) {
       table.add_row({std::to_string(entry.rank), "AS" + entry.as.str(),
                      util::fmt_count(entry.cone_size),
@@ -701,17 +699,25 @@ int cmd_query(const Args& args) {
     }
     table.render(std::cout);
   } else if (op == "intersect") {
-    print_list(need(client.try_cone_intersection(as_arg("a"), as_arg("b"), epoch)));
+    print_list(need(client.try_cone_intersection(as_arg("a"), as_arg("b"), scope)));
   } else if (op == "cliquepath") {
-    print_list(need(client.try_path_to_clique(as_arg("a"), epoch)));
+    print_list(need(client.try_path_to_clique(as_arg("a"), scope)));
   } else if (op == "clique") {
-    print_list(need(client.try_clique(epoch)));
+    print_list(need(client.try_clique(scope)));
   } else if (op == "stats") {
-    std::cout << need(client.try_stats_text(epoch));
+    std::cout << need(client.try_stats_text(scope));
   } else if (op == "metrics") {
-    std::cout << need(client.try_metrics_text());
+    if constexpr (requires { client.try_metrics_text(); }) {
+      std::cout << need(client.try_metrics_text());
+    } else {
+      throw UsageError(
+          "--op metrics is per-endpoint; use `asrank_cli metrics host:port` "
+          "per member or `cluster-status ... --metrics` for client metrics");
+    }
   } else if (op == "epochs") {
     for (const auto& label : need(client.try_epochs())) std::cout << label << "\n";
+  } else if (op == "algos") {
+    for (const auto& name : need(client.try_algos(scope))) std::cout << name << "\n";
   } else if (op == "disagree") {
     const auto first = algorithm_list(args.require("first"));
     const auto second = algorithm_list(args.require("second"));
@@ -720,7 +726,7 @@ int cmd_query(const Args& args) {
     }
     const auto report = need(client.try_disagree(
         first[0], second[0],
-        static_cast<std::uint32_t>(args.get_u64("limit", 0)), epoch));
+        static_cast<std::uint32_t>(args.get_u64("limit", 0)), scope));
     const auto rel_text = [](const std::optional<RelView>& rel) {
       return rel ? std::string(to_string(*rel)) : std::string("none");
     };
@@ -738,6 +744,62 @@ int cmd_query(const Args& args) {
   } else {
     throw UsageError("unknown --op '" + op + "'");
   }
+  return 0;
+}
+
+/// ClusterMap + ClusterClient from the shared --cluster/--slots/--replication/
+/// --fanout flags (used by `query --cluster` and `cluster-status`).
+serve::ClusterClient make_cluster_client(const std::string& spec, const Args& args) {
+  serve::ClusterMapConfig map_config;
+  map_config.slots = args.get_u64("slots", map_config.slots);
+  map_config.replication = args.get_u64("replication", map_config.replication);
+  auto map = need(serve::ClusterMap::parse(spec, map_config));
+  serve::ClusterClientConfig config;
+  config.max_fanout = args.get_u64("fanout", config.max_fanout);
+  return serve::ClusterClient(std::move(map), std::move(config));
+}
+
+int cmd_query(const Args& args) {
+  const std::string op = args.require("op");
+  serve::QueryScope scope{args.get_or("epoch", ""), ""};
+  if (const auto spec = args.get("algorithm")) {
+    const auto algorithms = algorithm_list(*spec);
+    if (algorithms.size() != 1) throw UsageError("query takes one --algorithm");
+    scope.algorithm = algorithms[0];
+  }
+  if (const auto cluster = args.get("cluster")) {
+    serve::ClusterClient client = make_cluster_client(*cluster, args);
+    return run_query_op(client, op, args, scope);
+  }
+  serve::Client client =
+      need(serve::Client::dial(args.get_or("host", "127.0.0.1"),
+                               static_cast<std::uint16_t>(args.get_u64("port", 7464))));
+  return run_query_op(client, op, args, scope);
+}
+
+// Probe every member of a cluster (endpoint list as positional arg or
+// --cluster) and print breaker state, reachability, and resident epoch per
+// endpoint, then the resolved cluster-wide epoch (or the typed skew/
+// unavailable error).  --metrics appends the client-side asrank_cluster_*
+// Prometheus exposition.
+int cmd_cluster_status(const std::optional<std::string>& target, const Args& args) {
+  const std::string spec = target ? *target : args.require("cluster");
+  serve::ClusterClient client = make_cluster_client(spec, args);
+  util::TableWriter table({"endpoint", "state", "reachable", "epoch", "error"});
+  for (const auto& row : client.probe_endpoints()) {
+    table.add_row({row.endpoint, std::string(serve::to_string(row.state)),
+                   row.reachable ? "yes" : "no", row.current_epoch, row.error});
+  }
+  table.render(std::cout);
+  std::cout << "slots: " << client.map().slot_count()
+            << ", replication: " << client.map().replication() << "\n";
+  const auto epoch = client.try_resolved_epoch();
+  if (epoch.ok()) {
+    std::cout << "cluster epoch: " << epoch.value() << "\n";
+  } else {
+    std::cout << "cluster epoch: unresolved (" << epoch.error().message() << ")\n";
+  }
+  if (args.get("metrics")) std::cout << client.metrics().render_prometheus();
   return 0;
 }
 
@@ -1056,10 +1118,15 @@ void usage(std::ostream& os) {
       "  query    --op OP [--host H] [--port N] [--a ASN] [--b ASN] [--n N]\n"
       "           [--epoch LABEL] (answer from a named resident epoch)\n"
       "           [--algorithm NAME] (answer from a named algorithm section)\n"
+      "           [--cluster host:port,host:port,...] (sharded cluster instead\n"
+      "           of one server; with [--slots N] [--replication N] [--fanout N])\n"
       "           OP: ping rel rank conesize cone incone providers customers\n"
       "               peers top intersect cliquepath clique stats metrics\n"
-      "               epochs conediff (--a ASN --ea EPOCH --eb EPOCH)\n"
+      "               epochs algos conediff (--a ASN --ea EPOCH --eb EPOCH)\n"
       "               disagree (--first ALGO --second ALGO [--limit N])\n"
+      "  cluster-status host:port,host:port,... [--slots N] [--replication N]\n"
+      "           [--metrics] probe every member: breaker state, reachability,\n"
+      "           resident epoch, and the resolved cluster-wide epoch\n"
       "  reload   [host:port] --snapshot F.asrk [--epoch LABEL]\n"
       "           hot-load a snapshot into a running asrankd (loopback only)\n"
       "  metrics  [host:port] (default 127.0.0.1:7464; or --host H --port N)\n"
@@ -1091,12 +1158,13 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
-    // `metrics` and `reload` accept one optional positional <host:port>
-    // before flags.
+    // `metrics`, `reload`, and `cluster-status` accept one optional
+    // positional <host:port[,host:port...]> before flags.
     std::optional<std::string> target;
     int first_flag = 2;
-    if ((command == "metrics" || command == "reload") && argc > 2 &&
-        std::string(argv[2]).rfind("--", 0) != 0) {
+    if ((command == "metrics" || command == "reload" ||
+         command == "cluster-status") &&
+        argc > 2 && std::string(argv[2]).rfind("--", 0) != 0) {
       target = argv[2];
       first_flag = 3;
     }
@@ -1125,6 +1193,7 @@ int main(int argc, char** argv) {
     if (command == "query") return cmd_query(args);
     if (command == "reload") return cmd_reload(target, args);
     if (command == "metrics") return cmd_metrics(target, args);
+    if (command == "cluster-status") return cmd_cluster_status(target, args);
     std::cerr << "asrank_cli: unknown command '" << command
               << "' (try 'asrank_cli help')\n";
     return 2;

@@ -1,486 +1,253 @@
 #include "serve/client.h"
 
-#include <arpa/inet.h>
-#include <cerrno>
-#include <cstring>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <chrono>
-#include <thread>
 #include <utility>
 
 #include "serve/protocol.h"
+#include "serve/wire_ops.h"
 
 namespace asrank::serve {
-
-namespace {
-
-WireWriter request(Op op) {
-  WireWriter writer;
-  writer.u8(static_cast<std::uint8_t>(op));
-  return writer;
-}
-
-/// Wrap a payload in WITH_EPOCH when an epoch is named.
-std::vector<std::uint8_t> with_epoch(std::string_view epoch, WireWriter inner) {
-  if (epoch.empty()) return inner.take();
-  WireWriter outer;
-  outer.u8(static_cast<std::uint8_t>(Op::kWithEpoch));
-  outer.str16(epoch);
-  outer.bytes(inner.payload());
-  return outer.take();
-}
-
-Result<std::vector<Asn>> read_list(WireReader& reader) {
-  ASRANK_TRY(count, reader.u32());
-  std::vector<Asn> out;
-  out.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    ASRANK_TRY(asn, reader.u32());
-    out.emplace_back(asn);
-  }
-  return out;
-}
-
-/// Server-reported error text -> typed code.  The server's error strings are
-/// part of the wire contract (docs/SERVING.md), so prefix-matching here is a
-/// protocol decode, not a heuristic.
-[[nodiscard]] ErrorCode classify_server_error(std::string_view text) noexcept {
-  if (text.starts_with("unknown epoch")) return ErrorCode::kUnknownEpoch;
-  if (text.starts_with("unknown algorithm")) return ErrorCode::kUnknownAlgorithm;
-  return ErrorCode::kProtocol;
-}
-
-}  // namespace
-
-int backoff_delay_ms(int attempt, int base_ms, int cap_ms, util::Rng& rng) {
-  base_ms = std::max(1, base_ms);
-  cap_ms = std::max(base_ms, cap_ms);
-  const int shift = std::min(attempt, 20);
-  const std::int64_t exp = static_cast<std::int64_t>(base_ms) << shift;
-  const auto d = static_cast<int>(std::min<std::int64_t>(exp, cap_ms));
-  // Equal jitter: half deterministic, half uniform — retries from many
-  // clients decorrelate without ever collapsing to zero delay.
-  return d / 2 + static_cast<int>(rng.uniform(static_cast<std::uint64_t>(d / 2) + 1));
-}
 
 // ----------------------------------------------------------- lifecycle --
 
 Result<Client> Client::dial(const std::string& host, std::uint16_t port,
                             ClientConfig config) {
-  Client client;
-  client.host_ = host;
-  client.port_ = port;
-  client.config_ = std::move(config);
-  client.backoff_rng_.reseed(client.config_.backoff_seed);
-  ASRANK_TRY_VOID(client.ensure_connected());
-  return client;
+  ASRANK_TRY(transport, Transport::dial(host, port, std::move(config)));
+  return Client(std::move(transport));
 }
 
-Client::~Client() { disconnect(); }
+// ------------------------------------------------------ scoped surface --
 
-Client::Client(Client&& other) noexcept
-    : host_(std::move(other.host_)),
-      port_(other.port_),
-      config_(std::move(other.config_)),
-      backoff_rng_(other.backoff_rng_),
-      fd_(std::exchange(other.fd_, -1)) {}
-
-Client& Client::operator=(Client&& other) noexcept {
-  if (this != &other) {
-    disconnect();
-    host_ = std::move(other.host_);
-    port_ = other.port_;
-    config_ = std::move(other.config_);
-    backoff_rng_ = other.backoff_rng_;
-    fd_ = std::exchange(other.fd_, -1);
-  }
-  return *this;
-}
-
-void Client::disconnect() noexcept {
-  if (fd_ >= 0) ::close(fd_);
-  fd_ = -1;
-}
-
-void Client::sleep_for(int ms) {
-  if (ms <= 0) return;
-  if (config_.sleep_ms) {
-    config_.sleep_ms(ms);
-  } else {
-    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
-  }
-}
-
-Result<void> Client::ensure_connected() {
-  if (fd_ >= 0) return {};
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return make_error(ErrorCode::kIo,
-                      std::string("socket: ") + std::strerror(errno));
-  }
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port_);
-  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return make_error(ErrorCode::kInvalidArgument, "bad server address: " + host_);
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-
-  // Deadline-aware connect: non-blocking connect, poll for writability,
-  // then read SO_ERROR for the real outcome.
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (config_.connect_timeout_ms > 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-
-  const auto fail = [&](ErrorCode code, const std::string& what) -> Result<void> {
-    ::close(fd);
-    return make_error(code, "connect " + host_ + ":" + std::to_string(port_) +
-                                ": " + what);
-  };
-
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    if (errno == EINPROGRESS && config_.connect_timeout_ms > 0) {
-      pollfd pfd{fd, POLLOUT, 0};
-      const int ready = ::poll(&pfd, 1, config_.connect_timeout_ms);
-      if (ready == 0) return fail(ErrorCode::kTimeout, "timed out");
-      if (ready < 0) return fail(ErrorCode::kIo, std::strerror(errno));
-      int soerr = 0;
-      socklen_t len = sizeof soerr;
-      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
-      if (soerr != 0) {
-        return fail(soerr == ECONNREFUSED ? ErrorCode::kRefused : ErrorCode::kIo,
-                    std::strerror(soerr));
-      }
-    } else {
-      return fail(errno == ECONNREFUSED ? ErrorCode::kRefused : ErrorCode::kIo,
-                  std::strerror(errno));
-    }
-  }
-  if (config_.connect_timeout_ms > 0) ::fcntl(fd, F_SETFL, flags);
-  fd_ = fd;
-  return {};
-}
-
-std::vector<std::uint8_t> Client::scoped(std::string_view epoch,
-                                         std::vector<std::uint8_t> inner) const {
-  if (!algorithm_.empty()) {
-    WireWriter algo;
-    algo.u8(static_cast<std::uint8_t>(Op::kWithAlgo));
-    algo.str16(algorithm_);
-    algo.bytes(inner);
-    inner = algo.take();
-  }
-  if (epoch.empty()) return inner;
-  WireWriter outer;
-  outer.u8(static_cast<std::uint8_t>(Op::kWithEpoch));
-  outer.str16(epoch);
-  outer.bytes(inner);
-  return outer.take();
-}
-
-// ------------------------------------------------------------ exchange --
-
-Result<std::vector<std::uint8_t>> Client::exchange_once(
-    const std::vector<std::uint8_t>& req) {
-  ASRANK_TRY_VOID(ensure_connected());
-  const int deadline = config_.io_timeout_ms > 0 ? config_.io_timeout_ms : -1;
-  try {
-    write_frame(fd_, req);
-    std::uint8_t marker = 0;
-    if (!read_exact(fd_, &marker, 1, deadline)) {
-      // The server closing right after our write is how a pre-shed or
-      // mid-shutdown connection looks; surface as refused so retry logic
-      // reconnects.
-      disconnect();
-      return make_error(ErrorCode::kRefused, "server closed connection");
-    }
-    if (marker != kBinaryMarker) {
-      // A text line in binary mode is the admission controller's shed
-      // notice ("ERR shedding: ...\n"); anything else is a framing bug.
-      std::string line(1, static_cast<char>(marker));
-      char c = 0;
-      while (line.size() < 256 && read_exact(fd_, &c, 1, deadline) && c != '\n') {
-        line.push_back(c);
-      }
-      disconnect();
-      if (line.starts_with("ERR shedding")) {
-        return make_error(ErrorCode::kShedding, line);
-      }
-      return make_error(ErrorCode::kProtocol, "unexpected response framing");
-    }
-    auto payload = read_frame_body(fd_, deadline);
-    WireReader reader(payload);
-    ASRANK_TRY(status_byte, reader.u8());
-    if (static_cast<Status>(status_byte) != Status::kOk) {
-      const auto text = reader.rest_as_text();
-      return make_error(classify_server_error(text), "server error: " + text);
-    }
-    // Strip the status byte so callers decode the body only.
-    return std::vector<std::uint8_t>(payload.begin() + 1, payload.end());
-  } catch (const TimeoutError& error) {
-    disconnect();
-    return make_error(ErrorCode::kTimeout, error.what());
-  } catch (const ProtocolError& error) {
-    disconnect();
-    return make_error(ErrorCode::kIo, error.what());
-  }
-}
-
-Result<std::vector<std::uint8_t>> Client::try_exchange(
-    const std::vector<std::uint8_t>& req) {
-  int attempt = 0;
-  while (true) {
-    auto response = exchange_once(req);
-    if (response.ok()) return response;
-    const auto code = response.error().code;
-    const bool retryable =
-        code == ErrorCode::kRefused || code == ErrorCode::kShedding;
-    if (!retryable || attempt >= config_.max_retries) return response;
-    sleep_for(backoff_delay_ms(attempt, config_.backoff_base_ms,
-                               config_.backoff_cap_ms, backoff_rng_));
-    ++attempt;
-  }
-}
-
-// ------------------------------------------------------ Result surface --
-
-Result<std::optional<RelView>> Client::try_relationship(Asn a, Asn b,
-                                                        std::string_view epoch) {
-  auto req = request(Op::kRelationship);
+Result<std::optional<RelView>> Client::try_relationship(
+    Asn a, Asn b, const QueryScope& scope) {
+  auto req = wire::request(Op::kRelationship);
   req.u32(a.value());
   req.u32(b.value());
-  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
+  ASRANK_TRY(body, transport_.try_exchange(wire::apply_scope(scope, req.take())));
   WireReader reader(body);
   ASRANK_TRY(code, reader.u8());
-  if (code == kRelNone) return std::optional<RelView>{};
-  const auto view = rel_from_code(code);
-  if (!view) {
-    return make_error(ErrorCode::kProtocol, "bad relationship code in response");
-  }
-  return std::optional<RelView>{*view};
+  return wire::decode_rel_opt(code);
 }
 
 Result<std::optional<std::uint32_t>> Client::try_rank(Asn as,
-                                                      std::string_view epoch) {
-  auto req = request(Op::kRank);
+                                                      const QueryScope& scope) {
+  auto req = wire::request(Op::kRank);
   req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
+  ASRANK_TRY(body, transport_.try_exchange(wire::apply_scope(scope, req.take())));
   WireReader reader(body);
   ASRANK_TRY(rank, reader.u32());
   if (rank == 0) return std::optional<std::uint32_t>{};
   return std::optional<std::uint32_t>{rank};
 }
 
-Result<std::uint64_t> Client::try_cone_size(Asn as, std::string_view epoch) {
-  auto req = request(Op::kConeSize);
+Result<std::uint64_t> Client::try_cone_size(Asn as, const QueryScope& scope) {
+  auto req = wire::request(Op::kConeSize);
   req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
+  ASRANK_TRY(body, transport_.try_exchange(wire::apply_scope(scope, req.take())));
   WireReader reader(body);
   return reader.u64();
 }
 
-Result<std::vector<Asn>> Client::try_cone(Asn as, std::string_view epoch) {
-  auto req = request(Op::kCone);
+Result<std::vector<Asn>> Client::try_cone(Asn as, const QueryScope& scope) {
+  auto req = wire::request(Op::kCone);
   req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
-  WireReader reader(body);
-  return read_list(reader);
+  ASRANK_TRY(body, transport_.try_exchange(wire::apply_scope(scope, req.take())));
+  return wire::decode_asn_list(body);
 }
 
-Result<bool> Client::try_in_cone(Asn as, Asn member, std::string_view epoch) {
-  auto req = request(Op::kInCone);
+Result<bool> Client::try_in_cone(Asn as, Asn member, const QueryScope& scope) {
+  auto req = wire::request(Op::kInCone);
   req.u32(as.value());
   req.u32(member.value());
-  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
+  ASRANK_TRY(body, transport_.try_exchange(wire::apply_scope(scope, req.take())));
   WireReader reader(body);
   ASRANK_TRY(flag, reader.u8());
   return flag != 0;
 }
 
-Result<std::vector<Asn>> Client::try_providers(Asn as, std::string_view epoch) {
-  auto req = request(Op::kProviders);
+Result<std::vector<Asn>> Client::try_providers(Asn as, const QueryScope& scope) {
+  auto req = wire::request(Op::kProviders);
   req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
+  ASRANK_TRY(body, transport_.try_exchange(wire::apply_scope(scope, req.take())));
+  return wire::decode_asn_list(body);
+}
+
+Result<std::vector<Asn>> Client::try_customers(Asn as, const QueryScope& scope) {
+  auto req = wire::request(Op::kCustomers);
+  req.u32(as.value());
+  ASRANK_TRY(body, transport_.try_exchange(wire::apply_scope(scope, req.take())));
+  return wire::decode_asn_list(body);
+}
+
+Result<std::vector<Asn>> Client::try_peers(Asn as, const QueryScope& scope) {
+  auto req = wire::request(Op::kPeers);
+  req.u32(as.value());
+  ASRANK_TRY(body, transport_.try_exchange(wire::apply_scope(scope, req.take())));
+  return wire::decode_asn_list(body);
+}
+
+Result<std::vector<snapshot::TopEntry>> Client::try_top(std::uint32_t n,
+                                                        const QueryScope& scope) {
+  auto req = wire::request(Op::kTop);
+  req.u32(n);
+  ASRANK_TRY(body, transport_.try_exchange(wire::apply_scope(scope, req.take())));
+  return wire::decode_top(body);
+}
+
+Result<std::vector<Asn>> Client::try_cone_intersection(Asn a, Asn b,
+                                                       const QueryScope& scope) {
+  auto req = wire::request(Op::kConeIntersect);
+  req.u32(a.value());
+  req.u32(b.value());
+  ASRANK_TRY(body, transport_.try_exchange(wire::apply_scope(scope, req.take())));
+  return wire::decode_asn_list(body);
+}
+
+Result<std::vector<Asn>> Client::try_path_to_clique(Asn as,
+                                                    const QueryScope& scope) {
+  auto req = wire::request(Op::kPathToClique);
+  req.u32(as.value());
+  ASRANK_TRY(body, transport_.try_exchange(wire::apply_scope(scope, req.take())));
+  return wire::decode_asn_list(body);
+}
+
+Result<std::vector<Asn>> Client::try_clique(const QueryScope& scope) {
+  ASRANK_TRY(body, transport_.try_exchange(
+                       wire::apply_scope(scope, wire::request(Op::kClique).take())));
+  return wire::decode_asn_list(body);
+}
+
+Result<std::string> Client::try_stats_text(const QueryScope& scope) {
+  ASRANK_TRY(body, transport_.try_exchange(
+                       wire::apply_scope(scope, wire::request(Op::kStats).take())));
   WireReader reader(body);
-  return read_list(reader);
+  return reader.rest_as_text();
+}
+
+Result<std::vector<std::string>> Client::try_algos(const QueryScope& scope) {
+  ASRANK_TRY(body, transport_.try_exchange(wire::apply_epoch(
+                       scope.epoch, wire::request(Op::kAlgos).take())));
+  return wire::decode_labels(body);
+}
+
+Result<DisagreeReport> Client::try_disagree(std::string_view algo_a,
+                                            std::string_view algo_b,
+                                            std::uint32_t limit,
+                                            const QueryScope& scope) {
+  auto req = wire::request(Op::kDisagree);
+  req.str16(algo_a);
+  req.str16(algo_b);
+  req.u32(limit);
+  ASRANK_TRY(body,
+             transport_.try_exchange(wire::apply_epoch(scope.epoch, req.take())));
+  return wire::decode_disagree(body);
+}
+
+// ----------------------------------------------- legacy epoch delegates --
+
+Result<std::optional<RelView>> Client::try_relationship(Asn a, Asn b,
+                                                        std::string_view epoch) {
+  return try_relationship(a, b, effective(epoch));
+}
+
+Result<std::optional<std::uint32_t>> Client::try_rank(Asn as,
+                                                      std::string_view epoch) {
+  return try_rank(as, effective(epoch));
+}
+
+Result<std::uint64_t> Client::try_cone_size(Asn as, std::string_view epoch) {
+  return try_cone_size(as, effective(epoch));
+}
+
+Result<std::vector<Asn>> Client::try_cone(Asn as, std::string_view epoch) {
+  return try_cone(as, effective(epoch));
+}
+
+Result<bool> Client::try_in_cone(Asn as, Asn member, std::string_view epoch) {
+  return try_in_cone(as, member, effective(epoch));
+}
+
+Result<std::vector<Asn>> Client::try_providers(Asn as, std::string_view epoch) {
+  return try_providers(as, effective(epoch));
 }
 
 Result<std::vector<Asn>> Client::try_customers(Asn as, std::string_view epoch) {
-  auto req = request(Op::kCustomers);
-  req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
-  WireReader reader(body);
-  return read_list(reader);
+  return try_customers(as, effective(epoch));
 }
 
 Result<std::vector<Asn>> Client::try_peers(Asn as, std::string_view epoch) {
-  auto req = request(Op::kPeers);
-  req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
-  WireReader reader(body);
-  return read_list(reader);
+  return try_peers(as, effective(epoch));
 }
 
 Result<std::vector<snapshot::TopEntry>> Client::try_top(std::uint32_t n,
                                                         std::string_view epoch) {
-  auto req = request(Op::kTop);
-  req.u32(n);
-  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
-  WireReader reader(body);
-  ASRANK_TRY(count, reader.u32());
-  std::vector<snapshot::TopEntry> out;
-  out.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    snapshot::TopEntry entry;
-    ASRANK_TRY(rank, reader.u32());
-    ASRANK_TRY(asn, reader.u32());
-    ASRANK_TRY(cone, reader.u64());
-    ASRANK_TRY(tdeg, reader.u32());
-    entry.rank = rank;
-    entry.as = Asn(asn);
-    entry.cone_size = cone;
-    entry.transit_degree = tdeg;
-    out.push_back(entry);
-  }
-  return out;
+  return try_top(n, effective(epoch));
 }
 
 Result<std::vector<Asn>> Client::try_cone_intersection(Asn a, Asn b,
                                                        std::string_view epoch) {
-  auto req = request(Op::kConeIntersect);
-  req.u32(a.value());
-  req.u32(b.value());
-  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
-  WireReader reader(body);
-  return read_list(reader);
+  return try_cone_intersection(a, b, effective(epoch));
 }
 
 Result<std::vector<Asn>> Client::try_path_to_clique(Asn as,
                                                     std::string_view epoch) {
-  auto req = request(Op::kPathToClique);
-  req.u32(as.value());
-  ASRANK_TRY(body, try_exchange(scoped(epoch, req.take())));
-  WireReader reader(body);
-  return read_list(reader);
+  return try_path_to_clique(as, effective(epoch));
 }
 
 Result<std::vector<Asn>> Client::try_clique(std::string_view epoch) {
-  ASRANK_TRY(body, try_exchange(scoped(epoch, request(Op::kClique).take())));
-  WireReader reader(body);
-  return read_list(reader);
+  return try_clique(effective(epoch));
 }
 
 Result<std::string> Client::try_stats_text(std::string_view epoch) {
-  ASRANK_TRY(body, try_exchange(scoped(epoch, request(Op::kStats).take())));
-  WireReader reader(body);
-  return reader.rest_as_text();
+  return try_stats_text(effective(epoch));
 }
 
-Result<std::string> Client::try_metrics_text() {
-  ASRANK_TRY(body, try_exchange(request(Op::kMetrics).take()));
-  WireReader reader(body);
-  return reader.rest_as_text();
-}
-
-Result<void> Client::try_ping() {
-  ASRANK_TRY(body, try_exchange(request(Op::kPing).take()));
-  (void)body;
-  return {};
-}
-
-Result<std::vector<std::string>> Client::try_epochs() {
-  ASRANK_TRY(body, try_exchange(request(Op::kEpochs).take()));
-  WireReader reader(body);
-  ASRANK_TRY(count, reader.u32());
-  std::vector<std::string> out;
-  out.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    ASRANK_TRY(label, reader.str16());
-    out.push_back(std::move(label));
-  }
-  return out;
-}
-
-Result<ConeDiff> Client::try_cone_diff(Asn as, std::string_view epoch_a,
-                                       std::string_view epoch_b) {
-  auto req = request(Op::kConeDiff);
-  req.u32(as.value());
-  req.str16(epoch_a);
-  req.str16(epoch_b);
-  ASRANK_TRY(body, try_exchange(req.take()));
-  WireReader reader(body);
-  ConeDiff diff;
-  ASRANK_TRY(added, read_list(reader));
-  ASRANK_TRY(removed, read_list(reader));
-  diff.added = std::move(added);
-  diff.removed = std::move(removed);
-  return diff;
-}
-
-Result<ReloadInfo> Client::try_reload(const std::string& path,
-                                      const std::string& label) {
-  auto req = request(Op::kReload);
-  req.str16(path);
-  req.str16(label);
-  ASRANK_TRY(body, try_exchange(req.take()));
-  WireReader reader(body);
-  ReloadInfo info;
-  ASRANK_TRY(installed, reader.str16());
-  ASRANK_TRY(ases, reader.u32());
-  info.label = std::move(installed);
-  info.ases = ases;
-  return info;
+Result<std::vector<std::string>> Client::try_algos(std::string_view epoch) {
+  return try_algos(effective(epoch));
 }
 
 Result<DisagreeReport> Client::try_disagree(std::string_view algo_a,
                                             std::string_view algo_b,
                                             std::uint32_t limit,
                                             std::string_view epoch) {
-  auto req = request(Op::kDisagree);
-  req.str16(algo_a);
-  req.str16(algo_b);
-  req.u32(limit);
-  ASRANK_TRY(body, try_exchange(with_epoch(epoch, std::move(req))));
+  return try_disagree(algo_a, algo_b, limit, effective(epoch));
+}
+
+// --------------------------------------------------- unscoped requests --
+
+Result<std::string> Client::try_metrics_text() {
+  ASRANK_TRY(body, transport_.try_exchange(wire::request(Op::kMetrics).take()));
   WireReader reader(body);
-  DisagreeReport report;
-  ASRANK_TRY(total, reader.u32());
-  ASRANK_TRY(returned, reader.u32());
-  report.total = total;
-  report.rows.reserve(returned);
-  const auto decode_rel =
-      [](std::uint8_t code) -> Result<std::optional<RelView>> {
-    if (code == kRelNone) return std::optional<RelView>{};
-    const auto view = rel_from_code(code);
-    if (!view) {
-      return make_error(ErrorCode::kProtocol, "bad relationship code in response");
-    }
-    return std::optional<RelView>{*view};
-  };
-  for (std::uint32_t i = 0; i < returned; ++i) {
-    ASRANK_TRY(a, reader.u32());
-    ASRANK_TRY(b, reader.u32());
-    ASRANK_TRY(code_a, reader.u8());
-    ASRANK_TRY(code_b, reader.u8());
-    Disagreement row;
-    row.a = Asn(a);
-    row.b = Asn(b);
-    ASRANK_TRY(first, decode_rel(code_a));
-    ASRANK_TRY(second, decode_rel(code_b));
-    row.first = first;
-    row.second = second;
-    report.rows.push_back(row);
-  }
-  return report;
+  return reader.rest_as_text();
+}
+
+Result<void> Client::try_ping() {
+  ASRANK_TRY(body, transport_.try_exchange(wire::request(Op::kPing).take()));
+  (void)body;
+  return {};
+}
+
+Result<std::vector<std::string>> Client::try_epochs() {
+  ASRANK_TRY(body, transport_.try_exchange(wire::request(Op::kEpochs).take()));
+  return wire::decode_labels(body);
+}
+
+Result<ConeDiff> Client::try_cone_diff(Asn as, std::string_view epoch_a,
+                                       std::string_view epoch_b) {
+  auto req = wire::request(Op::kConeDiff);
+  req.u32(as.value());
+  req.str16(epoch_a);
+  req.str16(epoch_b);
+  ASRANK_TRY(body, transport_.try_exchange(req.take()));
+  return wire::decode_cone_diff(body);
+}
+
+Result<ReloadInfo> Client::try_reload(const std::string& path,
+                                      const std::string& label) {
+  auto req = wire::request(Op::kReload);
+  req.str16(path);
+  req.str16(label);
+  ASRANK_TRY(body, transport_.try_exchange(req.take()));
+  return wire::decode_reload(body);
 }
 
 }  // namespace asrank::serve

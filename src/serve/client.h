@@ -1,88 +1,43 @@
 // Blocking client for the asrankd binary protocol, used by `asrank_cli
 // query`, the serving tests, and the CI smoke script.  One connection per
-// Client; every method is one request/response exchange.
+// Client (one serve::Transport); every method is one request/response
+// exchange.
 //
 // All methods return asrank::Result<T> with a typed ErrorCode — kTimeout
 // (connect/read deadline expired), kRefused (connection refused), kShedding
 // (server at its admission limit), kProtocol (bad frame or server-reported
-// error), kUnknownEpoch.  Refused/shed exchanges are retried up to
-// ClientConfig::max_retries times with capped exponential equal-jitter
-// backoff; the jitter RNG is seeded (deterministic for tests) and the sleep
-// is injectable.  (The legacy throwing forwarders were removed once every
-// in-repo caller migrated to the Result rail.)
+// error), kUnknownEpoch, kUnknownAlgorithm.  Refused/shed exchanges are
+// retried up to TransportConfig::max_retries times with capped exponential
+// equal-jitter backoff; the jitter RNG is seeded (deterministic for tests)
+// and the sleep is injectable.
 //
-// Most try_* query methods take an optional trailing `epoch` label; when
-// non-empty the request is wrapped in WITH_EPOCH and answered from that
-// resident epoch instead of the server's current one.
+// Query scoping: every try_* query method has a scoped overload taking a
+// `const QueryScope&` — the explicit (epoch, algorithm) pair the query is
+// answered under, with no mutable client state involved.  A default scope
+// can be bound once with with_scope().  The historical per-call
+// `std::string_view epoch` overloads remain as thin delegates that combine
+// the given epoch with the bound scope's algorithm (set_algorithm is now a
+// shorthand for mutating the bound scope).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "asn/asn.h"
+#include "serve/query_scope.h"
+#include "serve/transport.h"
+#include "serve/wire_ops.h"
 #include "snapshot/snapshot.h"
 #include "topology/relationship.h"
 #include "util/result.h"
-#include "util/rng.h"
 
 namespace asrank::serve {
 
-struct ClientConfig {
-  int connect_timeout_ms = 5000;  ///< <= 0 = block indefinitely
-  int io_timeout_ms = 5000;       ///< per-response read budget; <= 0 = block
-  int max_retries = 0;            ///< extra attempts after refused/shed
-  int backoff_base_ms = 50;
-  int backoff_cap_ms = 2000;
-  std::uint64_t backoff_seed = 0x5eed5eed5eed5eedULL;
-  /// Injectable sleep (tests observe/skip the waits); default really sleeps.
-  std::function<void(int)> sleep_ms;
-};
-
-/// CONE_DIFF result: members entering/leaving the cone from epoch A to B.
-struct ConeDiff {
-  std::vector<Asn> added;
-  std::vector<Asn> removed;
-
-  friend bool operator==(const ConeDiff&, const ConeDiff&) = default;
-};
-
-/// RELOAD result: the installed epoch label and its AS count.
-struct ReloadInfo {
-  std::string label;
-  std::uint32_t ases = 0;
-
-  friend bool operator==(const ReloadInfo&, const ReloadInfo&) = default;
-};
-
-/// One DISAGREE row: a link the two algorithms classify differently.
-/// nullopt = that algorithm has no such link.
-struct Disagreement {
-  Asn a;
-  Asn b;
-  std::optional<RelView> first;   ///< from a's perspective, first algorithm
-  std::optional<RelView> second;  ///< from a's perspective, second algorithm
-
-  friend bool operator==(const Disagreement&, const Disagreement&) = default;
-};
-
-/// DISAGREE result: total disagreement count plus the (possibly truncated)
-/// rows, ascending (a, b) with a < b.
-struct DisagreeReport {
-  std::uint32_t total = 0;
-  std::vector<Disagreement> rows;
-
-  friend bool operator==(const DisagreeReport&, const DisagreeReport&) = default;
-};
-
-/// Capped exponential backoff with equal jitter:
-/// d = min(cap, base << attempt); delay = d/2 + uniform[0, d/2].
-/// Deterministic for a given rng state (seeded from ClientConfig).
-[[nodiscard]] int backoff_delay_ms(int attempt, int base_ms, int cap_ms,
-                                   util::Rng& rng);
+/// Historical name: Client's config is exactly the transport's.
+using ClientConfig = TransportConfig;
 
 class Client {
  public:
@@ -92,21 +47,63 @@ class Client {
                                            std::uint16_t port,
                                            ClientConfig config = {});
 
-  ~Client();
-
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
-  Client(Client&& other) noexcept;
-  Client& operator=(Client&& other) noexcept;
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+  ~Client() = default;
 
-  /// Scope every engine query to a named algorithm: requests are wrapped in
-  /// WITH_ALGO (inside WITH_EPOCH when an epoch is also named).  Empty
-  /// restores the server default (the snapshot's primary algorithm).  A name
-  /// the serving epoch lacks surfaces as kUnknownAlgorithm per query.
-  void set_algorithm(std::string name) { algorithm_ = std::move(name); }
-  [[nodiscard]] const std::string& algorithm() const noexcept { return algorithm_; }
+  // ------------------------------------------------------------- scope --
 
-  // ----------------------------------------------------- Result surface --
+  /// Bind a default QueryScope; legacy (no-scope) calls are answered under
+  /// it.  Returns *this for dial-then-bind chaining.
+  Client& with_scope(QueryScope scope) {
+    scope_ = std::move(scope);
+    return *this;
+  }
+  [[nodiscard]] const QueryScope& scope() const noexcept { return scope_; }
+
+  /// Shorthand for mutating the bound scope's algorithm (historical API).
+  /// Empty restores the server default (the snapshot's primary algorithm).
+  /// A name the serving epoch lacks surfaces as kUnknownAlgorithm per query.
+  void set_algorithm(std::string name) { scope_.algorithm = std::move(name); }
+  [[nodiscard]] const std::string& algorithm() const noexcept {
+    return scope_.algorithm;
+  }
+
+  // --------------------------------------------------- scoped queries --
+  // The scope is used exactly as given; the bound scope is not consulted.
+
+  Result<std::optional<RelView>> try_relationship(Asn a, Asn b,
+                                                  const QueryScope& scope);
+  Result<std::optional<std::uint32_t>> try_rank(Asn as, const QueryScope& scope);
+  Result<std::uint64_t> try_cone_size(Asn as, const QueryScope& scope);
+  Result<std::vector<Asn>> try_cone(Asn as, const QueryScope& scope);
+  Result<bool> try_in_cone(Asn as, Asn member, const QueryScope& scope);
+  Result<std::vector<Asn>> try_providers(Asn as, const QueryScope& scope);
+  Result<std::vector<Asn>> try_customers(Asn as, const QueryScope& scope);
+  Result<std::vector<Asn>> try_peers(Asn as, const QueryScope& scope);
+  Result<std::vector<snapshot::TopEntry>> try_top(std::uint32_t n,
+                                                  const QueryScope& scope);
+  Result<std::vector<Asn>> try_cone_intersection(Asn a, Asn b,
+                                                 const QueryScope& scope);
+  Result<std::vector<Asn>> try_path_to_clique(Asn as, const QueryScope& scope);
+  Result<std::vector<Asn>> try_clique(const QueryScope& scope);
+  Result<std::string> try_stats_text(const QueryScope& scope);
+  /// Algorithm sections of the scoped epoch, primary first (scope.algorithm
+  /// is ignored — the answer enumerates algorithms).
+  Result<std::vector<std::string>> try_algos(const QueryScope& scope);
+  /// Links where two algorithms of the scoped epoch differ; `limit` caps the
+  /// returned rows (0 = all), the total is always exact.  scope.algorithm is
+  /// ignored (both algorithms are explicit).
+  Result<DisagreeReport> try_disagree(std::string_view algo_a,
+                                      std::string_view algo_b,
+                                      std::uint32_t limit,
+                                      const QueryScope& scope);
+
+  // ------------------------------------- legacy per-call epoch surface --
+  // Thin delegates: the named epoch (empty = bound scope's epoch) combines
+  // with the bound scope's algorithm.
 
   Result<std::optional<RelView>> try_relationship(Asn a, Asn b,
                                                   std::string_view epoch = {});
@@ -125,9 +122,16 @@ class Client {
   Result<std::vector<Asn>> try_path_to_clique(Asn as, std::string_view epoch = {});
   Result<std::vector<Asn>> try_clique(std::string_view epoch = {});
   Result<std::string> try_stats_text(std::string_view epoch = {});
+  Result<std::vector<std::string>> try_algos(std::string_view epoch = {});
+  Result<DisagreeReport> try_disagree(std::string_view algo_a,
+                                      std::string_view algo_b,
+                                      std::uint32_t limit = 0,
+                                      std::string_view epoch = {});
+
+  // ------------------------------------------------- unscoped requests --
+
   Result<std::string> try_metrics_text();
   Result<void> try_ping();
-
   /// Resident epoch labels, current first.
   Result<std::vector<std::string>> try_epochs();
   /// Cone membership delta of `as` from `epoch_a` to `epoch_b`.
@@ -137,39 +141,23 @@ class Client {
   /// empty label derives one from the path).
   Result<ReloadInfo> try_reload(const std::string& path,
                                 const std::string& label = {});
-  /// Links where two algorithms of one epoch differ (the current epoch when
-  /// `epoch` is empty); `limit` caps the returned rows (0 = all), the total
-  /// is always exact.  Ignores set_algorithm (both algorithms are explicit).
-  Result<DisagreeReport> try_disagree(std::string_view algo_a,
-                                      std::string_view algo_b,
-                                      std::uint32_t limit = 0,
-                                      std::string_view epoch = {});
+
+  /// The underlying connection (exposed for diagnostics; ClusterClient uses
+  /// its own Transports directly).
+  [[nodiscard]] const Transport& transport() const noexcept { return transport_; }
 
  private:
-  Client() = default;
+  explicit Client(Transport transport) : transport_(std::move(transport)) {}
 
-  /// One request/response exchange with refused/shed retry + backoff.
-  [[nodiscard]] Result<std::vector<std::uint8_t>> try_exchange(
-      const std::vector<std::uint8_t>& request);
-  /// The exchange body for a single attempt (no retry).
-  [[nodiscard]] Result<std::vector<std::uint8_t>> exchange_once(
-      const std::vector<std::uint8_t>& request);
-  /// (Re)connect if fd_ < 0.
-  [[nodiscard]] Result<void> ensure_connected();
-  void disconnect() noexcept;
-  void sleep_for(int ms);
+  /// The scope a legacy call resolves to: the named epoch (or the bound
+  /// scope's when empty) plus the bound scope's algorithm.
+  [[nodiscard]] QueryScope effective(std::string_view epoch) const {
+    if (epoch.empty()) return scope_;
+    return scope_.with_epoch(epoch);
+  }
 
-  /// Wrap an engine-scoped request payload in WITH_ALGO / WITH_EPOCH as
-  /// configured.
-  [[nodiscard]] std::vector<std::uint8_t> scoped(
-      std::string_view epoch, std::vector<std::uint8_t> inner) const;
-
-  std::string host_;
-  std::uint16_t port_ = 0;
-  std::string algorithm_;  ///< non-empty: wrap engine queries in WITH_ALGO
-  ClientConfig config_;
-  util::Rng backoff_rng_;
-  int fd_ = -1;
+  Transport transport_;
+  QueryScope scope_;
 };
 
 }  // namespace asrank::serve

@@ -1,0 +1,94 @@
+#include "serve/cluster_map.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace asrank::serve {
+
+Result<ClusterMap> ClusterMap::make(std::vector<ClusterEndpoint> endpoints,
+                                    ClusterMapConfig config) {
+  if (endpoints.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "cluster map needs at least one endpoint");
+  }
+  if (config.slots == 0) {
+    return make_error(ErrorCode::kInvalidArgument, "cluster map needs at least one slot");
+  }
+  if (config.replication == 0) {
+    return make_error(ErrorCode::kInvalidArgument, "cluster replication must be >= 1");
+  }
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    for (std::size_t j = i + 1; j < endpoints.size(); ++j) {
+      if (endpoints[i] == endpoints[j]) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "duplicate cluster endpoint " + endpoints[i].label());
+      }
+    }
+  }
+
+  ClusterMap map;
+  map.endpoints_ = std::move(endpoints);
+  map.config_ = config;
+  map.replication_ = std::min(config.replication, map.endpoints_.size());
+
+  // Rendezvous: rank every endpoint by mix64(slot, label) per slot and keep
+  // the top `replication_` as that slot's ordered replica list.
+  std::vector<std::uint64_t> label_hashes;
+  label_hashes.reserve(map.endpoints_.size());
+  for (const auto& endpoint : map.endpoints_) {
+    label_hashes.push_back(util::fnv1a_64(endpoint.label()));
+  }
+  map.replica_table_.resize(map.config_.slots * map.replication_);
+  std::vector<std::size_t> order(map.endpoints_.size());
+  for (std::size_t slot = 0; slot < map.config_.slots; ++slot) {
+    std::iota(order.begin(), order.end(), 0);
+    const std::uint64_t slot_hash = util::splitmix64(slot);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return util::mix64(slot_hash, label_hashes[a]) >
+                              util::mix64(slot_hash, label_hashes[b]);
+                     });
+    for (std::size_t r = 0; r < map.replication_; ++r) {
+      map.replica_table_[slot * map.replication_ + r] = order[r];
+    }
+  }
+  return map;
+}
+
+Result<ClusterMap> ClusterMap::parse(std::string_view spec,
+                                     ClusterMapConfig config) {
+  std::vector<ClusterEndpoint> endpoints;
+  for (const auto token : util::split(spec, ',')) {
+    const auto entry = util::trim(token);
+    if (entry.empty()) continue;
+    const auto colon = entry.rfind(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "bad cluster endpoint '" + std::string(entry) +
+                            "' (want host:port)");
+    }
+    const auto port = util::parse_unsigned<std::uint16_t>(entry.substr(colon + 1));
+    if (!port || *port == 0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "bad cluster endpoint port in '" + std::string(entry) + "'");
+    }
+    endpoints.push_back({std::string(entry.substr(0, colon)), *port});
+  }
+  if (endpoints.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "empty cluster endpoint list '" + std::string(spec) + "'");
+  }
+  return make(std::move(endpoints), config);
+}
+
+std::size_t ClusterMap::slot_of(Asn as) const noexcept {
+  return static_cast<std::size_t>(util::splitmix64(as.value()) % config_.slots);
+}
+
+std::span<const std::size_t> ClusterMap::replicas(std::size_t slot) const {
+  return {replica_table_.data() + slot * replication_, replication_};
+}
+
+}  // namespace asrank::serve

@@ -1,0 +1,77 @@
+// ClusterMap: the static shard map of an asrankd cluster.
+//
+// ASNs hash onto a dense ring of `slots` shard slots (splitmix64(asn) mod
+// slots); each slot owns an ordered replica list of `replication` endpoints
+// chosen by rendezvous (highest-random-weight) hashing over the endpoint
+// labels.  Rendezvous hashing keeps the map stable under membership change:
+// removing one endpoint reassigns only the slots it served, and every client
+// that agrees on the endpoint list computes the identical map with no
+// coordination.
+//
+// The map is pure data — no sockets, no health.  ClusterClient layers
+// per-endpoint transports, circuit breakers, and epoch consistency on top.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asn/asn.h"
+#include "util/result.h"
+
+namespace asrank::serve {
+
+struct ClusterEndpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  /// "host:port" — the rendezvous hash key and the metrics label.
+  [[nodiscard]] std::string label() const {
+    return host + ":" + std::to_string(port);
+  }
+
+  friend bool operator==(const ClusterEndpoint&, const ClusterEndpoint&) = default;
+};
+
+struct ClusterMapConfig {
+  std::size_t slots = 64;       ///< shard slots on the hash ring
+  std::size_t replication = 2;  ///< replicas per slot (clamped to cluster size)
+};
+
+class ClusterMap {
+ public:
+  /// Build the slot table.  kInvalidArgument on an empty endpoint list,
+  /// duplicate endpoints, or zero slots/replication.
+  [[nodiscard]] static Result<ClusterMap> make(
+      std::vector<ClusterEndpoint> endpoints, ClusterMapConfig config = {});
+
+  /// Parse "host:port,host:port,…" (the `--cluster` CLI argument) and build.
+  [[nodiscard]] static Result<ClusterMap> parse(std::string_view spec,
+                                                ClusterMapConfig config = {});
+
+  [[nodiscard]] std::size_t slot_of(Asn as) const noexcept;
+
+  /// Endpoint indices serving `slot`, preference order (failover walks this
+  /// list front to back).
+  [[nodiscard]] std::span<const std::size_t> replicas(std::size_t slot) const;
+
+  [[nodiscard]] const std::vector<ClusterEndpoint>& endpoints() const noexcept {
+    return endpoints_;
+  }
+  [[nodiscard]] std::size_t slot_count() const noexcept { return config_.slots; }
+  /// Effective replication (requested, clamped to the cluster size).
+  [[nodiscard]] std::size_t replication() const noexcept { return replication_; }
+
+ private:
+  ClusterMap() = default;
+
+  std::vector<ClusterEndpoint> endpoints_;
+  ClusterMapConfig config_;
+  std::size_t replication_ = 0;
+  /// Flat slot table: replicas of slot s are replica_table_[s*replication_ ..].
+  std::vector<std::size_t> replica_table_;
+};
+
+}  // namespace asrank::serve

@@ -77,6 +77,9 @@ enum class Op : std::uint8_t {
   kWithAlgo = 21,      ///< str16 algorithm + inner request payload, answered by
                        ///< that algorithm's section of the epoch (nests inside
                        ///< WITH_EPOCH; engine ops nest inside it)
+  kAlgos = 22,         ///< -> u32 count + {str16 name} list, the scoped epoch's
+                       ///< algorithm sections, primary first (nests inside
+                       ///< WITH_EPOCH only; rejected inside WITH_ALGO)
 };
 
 enum class Status : std::uint8_t { kOk = 0, kError = 1 };

@@ -280,6 +280,15 @@ Result<void> dispatch_entry_op(const SnapshotRegistry::ReadView& view,
       ASRANK_TRY(inner_op, inner.u8());
       return dispatch_engine_op(*engine, static_cast<Op>(inner_op), inner, writer);
     }
+    case Op::kAlgos: {
+      if (!reader.done()) {
+        return make_error(ErrorCode::kProtocol,
+                          "trailing bytes after request operands");
+      }
+      writer.u32(static_cast<std::uint32_t>(entry.algo_names.size()));
+      for (const auto& name : entry.algo_names) writer.str16(name);
+      return {};
+    }
     case Op::kDisagree: {
       ASRANK_TRY(name_a, reader.str16());
       ASRANK_TRY(name_b, reader.str16());

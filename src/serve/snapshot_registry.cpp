@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "algo/registry.h"
 #include "obs/log.h"
 
 namespace asrank::serve {
@@ -143,6 +144,33 @@ Result<std::shared_ptr<QueryEngine>> SnapshotRegistry::install_impl(
     return make_error(ErrorCode::kInvalidArgument,
                       "invalid epoch label '" + label +
                           "' (want 1-64 chars of [A-Za-z0-9._:-])");
+  }
+
+  // An epoch label that is also an algorithm name would make the text rail's
+  // `@<selector>` prefix ambiguous: the first @ token resolves as an epoch
+  // label first and only falls back to an algorithm name (docs/SERVING.md),
+  // so installing such an epoch silently shadows the algorithm.  Reject the
+  // collision at install/RELOAD time instead.
+  const auto collision = [&]() -> std::string {
+    if (algo::resolve(label).ok()) return "a registered algorithm name";
+    for (const auto& name : index.algorithm_names()) {
+      if (label == name) return "an algorithm section of the snapshot";
+    }
+    for (const auto& entry : generation()->entries) {
+      for (const auto& name : entry->algo_names) {
+        if (label == name) {
+          return "an algorithm section of resident epoch '" + entry->label + "'";
+        }
+      }
+    }
+    return {};
+  }();
+  if (!collision.empty()) {
+    reload_failures_total_->inc();
+    return make_error(ErrorCode::kInvalidArgument,
+                      "ambiguous epoch label '" + label + "': collides with " +
+                          collision +
+                          " (@<selector> tries epoch labels before algorithms)");
   }
 
   auto shared_index =

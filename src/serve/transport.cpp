@@ -1,0 +1,206 @@
+#include "serve/transport.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace asrank::serve {
+
+int backoff_delay_ms(int attempt, int base_ms, int cap_ms, util::Rng& rng) {
+  base_ms = std::max(1, base_ms);
+  cap_ms = std::max(base_ms, cap_ms);
+  const int shift = std::min(attempt, 20);
+  const std::int64_t exp = static_cast<std::int64_t>(base_ms) << shift;
+  const auto d = static_cast<int>(std::min<std::int64_t>(exp, cap_ms));
+  // Equal jitter: half deterministic, half uniform — retries from many
+  // clients decorrelate without ever collapsing to zero delay.
+  return d / 2 + static_cast<int>(rng.uniform(static_cast<std::uint64_t>(d / 2) + 1));
+}
+
+ErrorCode classify_server_error(std::string_view text) noexcept {
+  if (text.starts_with("unknown epoch")) return ErrorCode::kUnknownEpoch;
+  if (text.starts_with("unknown algorithm")) return ErrorCode::kUnknownAlgorithm;
+  return ErrorCode::kProtocol;
+}
+
+// ----------------------------------------------------------- lifecycle --
+
+Transport::Transport(std::string host, std::uint16_t port,
+                     TransportConfig config)
+    : host_(std::move(host)), port_(port), config_(std::move(config)) {
+  backoff_rng_.reseed(config_.backoff_seed);
+}
+
+Result<Transport> Transport::dial(const std::string& host, std::uint16_t port,
+                                  TransportConfig config) {
+  Transport transport(host, port, std::move(config));
+  ASRANK_TRY_VOID(transport.ensure_connected());
+  return transport;
+}
+
+Transport::~Transport() { disconnect(); }
+
+Transport::Transport(Transport&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      config_(std::move(other.config_)),
+      backoff_rng_(other.backoff_rng_),
+      fd_(std::exchange(other.fd_, -1)) {}
+
+Transport& Transport::operator=(Transport&& other) noexcept {
+  if (this != &other) {
+    disconnect();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    config_ = std::move(other.config_);
+    backoff_rng_ = other.backoff_rng_;
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Transport::disconnect() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void Transport::sleep_for(int ms) {
+  if (ms <= 0) return;
+  if (config_.sleep_ms) {
+    config_.sleep_ms(ms);
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+Result<void> Transport::ensure_connected() {
+  if (fd_ >= 0) return {};
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return make_error(ErrorCode::kIo,
+                      std::string("socket: ") + std::strerror(errno));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return make_error(ErrorCode::kInvalidArgument, "bad server address: " + host_);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  // Deadline-aware connect: non-blocking connect, poll for writability,
+  // then read SO_ERROR for the real outcome.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (config_.connect_timeout_ms > 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  const auto fail = [&](ErrorCode code, const std::string& what) -> Result<void> {
+    ::close(fd);
+    return make_error(code, "connect " + host_ + ":" + std::to_string(port_) +
+                                ": " + what);
+  };
+
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno == EINPROGRESS && config_.connect_timeout_ms > 0) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, config_.connect_timeout_ms);
+      if (ready == 0) return fail(ErrorCode::kTimeout, "timed out");
+      if (ready < 0) return fail(ErrorCode::kIo, std::strerror(errno));
+      int soerr = 0;
+      socklen_t len = sizeof soerr;
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      if (soerr != 0) {
+        return fail(soerr == ECONNREFUSED ? ErrorCode::kRefused : ErrorCode::kIo,
+                    std::strerror(soerr));
+      }
+    } else {
+      return fail(errno == ECONNREFUSED ? ErrorCode::kRefused : ErrorCode::kIo,
+                  std::strerror(errno));
+    }
+  }
+  if (config_.connect_timeout_ms > 0) ::fcntl(fd, F_SETFL, flags);
+  fd_ = fd;
+  return {};
+}
+
+// ------------------------------------------------------------ exchange --
+
+Result<std::vector<std::uint8_t>> Transport::exchange_once(
+    const std::vector<std::uint8_t>& req) {
+  ASRANK_TRY_VOID(ensure_connected());
+  const int deadline = config_.io_timeout_ms > 0 ? config_.io_timeout_ms : -1;
+  try {
+    write_frame(fd_, req);
+    std::uint8_t marker = 0;
+    if (!read_exact(fd_, &marker, 1, deadline)) {
+      // The server closing right after our write is how a pre-shed or
+      // mid-shutdown connection looks; surface as refused so retry logic
+      // reconnects.
+      disconnect();
+      return make_error(ErrorCode::kRefused, "server closed connection");
+    }
+    if (marker != kBinaryMarker) {
+      // A text line in binary mode is the admission controller's shed
+      // notice ("ERR shedding: ...\n"); anything else is a framing bug.
+      std::string line(1, static_cast<char>(marker));
+      char c = 0;
+      while (line.size() < 256 && read_exact(fd_, &c, 1, deadline) && c != '\n') {
+        line.push_back(c);
+      }
+      disconnect();
+      if (line.starts_with("ERR shedding")) {
+        return make_error(ErrorCode::kShedding, line);
+      }
+      return make_error(ErrorCode::kProtocol, "unexpected response framing");
+    }
+    auto payload = read_frame_body(fd_, deadline);
+    WireReader reader(payload);
+    ASRANK_TRY(status_byte, reader.u8());
+    if (static_cast<Status>(status_byte) != Status::kOk) {
+      const auto text = reader.rest_as_text();
+      return make_error(classify_server_error(text), "server error: " + text);
+    }
+    // Strip the status byte so callers decode the body only.
+    return std::vector<std::uint8_t>(payload.begin() + 1, payload.end());
+  } catch (const TimeoutError& error) {
+    disconnect();
+    return make_error(ErrorCode::kTimeout, error.what());
+  } catch (const ProtocolError& error) {
+    disconnect();
+    return make_error(ErrorCode::kIo, error.what());
+  }
+}
+
+Result<std::vector<std::uint8_t>> Transport::try_exchange(
+    const std::vector<std::uint8_t>& req) {
+  int attempt = 0;
+  while (true) {
+    auto response = exchange_once(req);
+    if (response.ok()) return response;
+    const auto code = response.error().code;
+    const bool retryable =
+        code == ErrorCode::kRefused || code == ErrorCode::kShedding;
+    if (!retryable || attempt >= config_.max_retries) return response;
+    sleep_for(backoff_delay_ms(attempt, config_.backoff_base_ms,
+                               config_.backoff_cap_ms, backoff_rng_));
+    ++attempt;
+  }
+}
+
+}  // namespace asrank::serve

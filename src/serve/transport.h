@@ -1,0 +1,94 @@
+// serve::Transport — the wire-exchange layer of the asrankd client stack,
+// extracted from Client so the framing / deadline / reconnect / backoff
+// logic exists exactly once.  Client owns one Transport for its single
+// connection; ClusterClient owns one per endpoint.
+//
+// A Transport is one TCP connection to one endpoint.  `try_exchange` sends a
+// binary frame and reads the response frame, retrying refused/shed exchanges
+// up to TransportConfig::max_retries times with capped equal-jitter backoff.
+// All failures are typed asrank::Error codes: kTimeout (connect/read budget
+// expired), kRefused (connection refused or server closed mid-exchange),
+// kShedding (admission controller turned us away), kUnknownEpoch /
+// kUnknownAlgorithm (server-reported), kProtocol (framing violation), kIo.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace asrank::serve {
+
+struct TransportConfig {
+  int connect_timeout_ms = 5000;  ///< <= 0 = block indefinitely
+  int io_timeout_ms = 5000;       ///< per-response read budget; <= 0 = block
+  int max_retries = 0;            ///< extra attempts after refused/shed
+  int backoff_base_ms = 50;
+  int backoff_cap_ms = 2000;
+  std::uint64_t backoff_seed = 0x5eed5eed5eed5eedULL;
+  /// Injectable sleep (tests observe/skip the waits); default really sleeps.
+  std::function<void(int)> sleep_ms;
+};
+
+/// Capped exponential backoff with equal jitter:
+/// d = min(cap, base << attempt); delay = d/2 + uniform[0, d/2].
+/// Deterministic for a given rng state (seeded from TransportConfig).
+[[nodiscard]] int backoff_delay_ms(int attempt, int base_ms, int cap_ms,
+                                   util::Rng& rng);
+
+/// Server-reported error text -> typed code.  The server's error strings are
+/// part of the wire contract (docs/SERVING.md), so prefix-matching here is a
+/// protocol decode, not a heuristic.
+[[nodiscard]] ErrorCode classify_server_error(std::string_view text) noexcept;
+
+class Transport {
+ public:
+  /// Lazy transport: remembers the endpoint, connects on first exchange.
+  Transport(std::string host, std::uint16_t port, TransportConfig config = {});
+
+  /// Eager connect with the config's deadline.  kRefused when the server
+  /// refuses, kTimeout when the deadline expires.
+  [[nodiscard]] static Result<Transport> dial(const std::string& host,
+                                              std::uint16_t port,
+                                              TransportConfig config = {});
+
+  ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+  Transport(Transport&& other) noexcept;
+  Transport& operator=(Transport&& other) noexcept;
+
+  /// One request/response exchange with refused/shed retry + backoff.
+  [[nodiscard]] Result<std::vector<std::uint8_t>> try_exchange(
+      const std::vector<std::uint8_t>& request);
+  /// The exchange body for a single attempt (no retry).
+  [[nodiscard]] Result<std::vector<std::uint8_t>> exchange_once(
+      const std::vector<std::uint8_t>& request);
+  /// (Re)connect if not connected.
+  [[nodiscard]] Result<void> ensure_connected();
+  void disconnect() noexcept;
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& host() const noexcept { return host_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// "host:port", for logs, metrics labels, and error context.
+  [[nodiscard]] std::string endpoint() const {
+    return host_ + ":" + std::to_string(port_);
+  }
+  [[nodiscard]] const TransportConfig& config() const noexcept { return config_; }
+
+ private:
+  void sleep_for(int ms);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  TransportConfig config_;
+  util::Rng backoff_rng_;
+  int fd_ = -1;
+};
+
+}  // namespace asrank::serve

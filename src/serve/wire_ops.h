@@ -1,0 +1,100 @@
+// Shared request encoders / response decoders for the asrankd binary
+// protocol, used by both serve::Client (one connection) and
+// serve::ClusterClient (fan-out over many Transports).  Keeping the codecs
+// here means a cluster answer is byte-identical to a single-server answer by
+// construction: both sides build the same frames and decode the same bodies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "asn/asn.h"
+#include "serve/protocol.h"
+#include "serve/query_scope.h"
+#include "snapshot/snapshot.h"
+#include "topology/relationship.h"
+#include "util/result.h"
+
+namespace asrank::serve {
+
+/// CONE_DIFF result: members entering/leaving the cone from epoch A to B.
+struct ConeDiff {
+  std::vector<Asn> added;
+  std::vector<Asn> removed;
+
+  friend bool operator==(const ConeDiff&, const ConeDiff&) = default;
+};
+
+/// RELOAD result: the installed epoch label and its AS count.
+struct ReloadInfo {
+  std::string label;
+  std::uint32_t ases = 0;
+
+  friend bool operator==(const ReloadInfo&, const ReloadInfo&) = default;
+};
+
+/// One DISAGREE row: a link the two algorithms classify differently.
+/// nullopt = that algorithm has no such link.
+struct Disagreement {
+  Asn a;
+  Asn b;
+  std::optional<RelView> first;   ///< from a's perspective, first algorithm
+  std::optional<RelView> second;  ///< from a's perspective, second algorithm
+
+  friend bool operator==(const Disagreement&, const Disagreement&) = default;
+};
+
+/// DISAGREE result: total disagreement count plus the (possibly truncated)
+/// rows, ascending (a, b) with a < b.
+struct DisagreeReport {
+  std::uint32_t total = 0;
+  std::vector<Disagreement> rows;
+
+  friend bool operator==(const DisagreeReport&, const DisagreeReport&) = default;
+};
+
+}  // namespace asrank::serve
+
+namespace asrank::serve::wire {
+
+/// Start a request payload: u8 opcode, operands appended by the caller.
+[[nodiscard]] WireWriter request(Op op);
+
+/// Wrap an engine-scoped request in WITH_ALGO (inner) and WITH_EPOCH
+/// (outer) as the scope names them.  The nesting order is wire contract:
+/// WITH_EPOCH selects the registry entry, WITH_ALGO the engine inside it.
+[[nodiscard]] std::vector<std::uint8_t> apply_scope(
+    const QueryScope& scope, std::vector<std::uint8_t> inner);
+
+/// Wrap a registry-scoped request (kDisagree, kAlgos) in WITH_EPOCH only;
+/// these ops name algorithms explicitly or not at all, so scope.algorithm is
+/// ignored.
+[[nodiscard]] std::vector<std::uint8_t> apply_epoch(
+    std::string_view epoch, std::vector<std::uint8_t> inner);
+
+// ----------------------------------------------------- response decoders --
+
+[[nodiscard]] Result<std::optional<RelView>> decode_rel_opt(std::uint8_t code);
+[[nodiscard]] Result<std::vector<Asn>> decode_asn_list(
+    std::span<const std::uint8_t> body);
+[[nodiscard]] Result<std::vector<snapshot::TopEntry>> decode_top(
+    std::span<const std::uint8_t> body);
+/// u32 count + {str16} list (kEpochs, kAlgos responses).
+[[nodiscard]] Result<std::vector<std::string>> decode_labels(
+    std::span<const std::uint8_t> body);
+
+/// Read a u32-count-prefixed ASN list from an open reader (for bodies that
+/// carry more than one list, e.g. CONE_DIFF).
+[[nodiscard]] Result<std::vector<Asn>> read_asn_list(WireReader& reader);
+
+[[nodiscard]] Result<ConeDiff> decode_cone_diff(
+    std::span<const std::uint8_t> body);
+[[nodiscard]] Result<ReloadInfo> decode_reload(
+    std::span<const std::uint8_t> body);
+[[nodiscard]] Result<DisagreeReport> decode_disagree(
+    std::span<const std::uint8_t> body);
+
+}  // namespace asrank::serve::wire

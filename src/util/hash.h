@@ -1,0 +1,43 @@
+// Header-only non-cryptographic hashing used by the serving cluster layer:
+// splitmix64 for integer keys (ASN -> shard slot), FNV-1a for byte strings
+// (endpoint labels), and a two-input mixer for rendezvous (highest random
+// weight) ranking of (slot, endpoint) pairs.
+//
+// These are stable across platforms and process restarts by construction —
+// every ClusterClient must route a given ASN to the same slot and rank the
+// same replica list, so std::hash (which may be salted / implementation
+// defined) is not usable here.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace asrank::util {
+
+/// splitmix64 finalizer (Steele, Lea, Flood / Vigna).  Bijective on u64;
+/// good avalanche for sequential keys like ASNs.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over bytes; stable string hash for endpoint labels.
+[[nodiscard]] constexpr std::uint64_t fnv1a_64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mix two 64-bit values into one; used for rendezvous weights
+/// weight(slot, endpoint) = mix64(splitmix64(slot), fnv1a_64(endpoint)).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a,
+                                            std::uint64_t b) noexcept {
+  return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace asrank::util

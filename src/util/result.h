@@ -32,6 +32,8 @@ enum class ErrorCode : std::uint8_t {
   kShedding,             ///< the server refused service under load
   kUnknownEpoch,         ///< a named snapshot epoch is not loaded
   kUnknownAlgorithm,     ///< a named inference algorithm is not present
+  kUnavailable,          ///< no healthy endpoint could serve the request
+  kEpochSkew,            ///< cluster members answered from different vintages
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorCode code) noexcept {
@@ -49,6 +51,8 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kShedding: return "server shedding";
     case ErrorCode::kUnknownEpoch: return "unknown epoch";
     case ErrorCode::kUnknownAlgorithm: return "unknown algorithm";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kEpochSkew: return "epoch skew";
   }
   return "?";
 }
